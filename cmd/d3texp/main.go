@@ -1,0 +1,97 @@
+// Command d3texp regenerates the tables and figures of the paper's
+// evaluation (Section 6). Each figure prints the same rows/series the
+// paper plots.
+//
+// Usage:
+//
+//	d3texp -fig fig3             # one figure at the default (small) scale
+//	d3texp -fig all -scale paper # the full evaluation at paper scale
+//	d3texp -list                 # available figure ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"d3t/internal/core"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "figure id to regenerate, or 'all'")
+		scale   = flag.String("scale", "small", "experiment scale: 'small' or 'paper'")
+		list    = flag.Bool("list", false, "list available figure ids and exit")
+		seed    = flag.Int64("seed", 0, "override the experiment seed (0 keeps the preset)")
+		repos   = flag.Int("repos", 0, "override the repository count")
+		items   = flag.Int("items", 0, "override the item count")
+		ticks   = flag.Int("ticks", 0, "override the trace length")
+		timings = flag.Bool("time", false, "print elapsed time per figure")
+		asCSV   = flag.Bool("csv", false, "emit machine-readable CSV instead of tables")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range core.FigureIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var s core.Scale
+	switch *scale {
+	case "small":
+		s = core.SmallScale()
+	case "paper":
+		s = core.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "d3texp: unknown scale %q (want small or paper)\n", *scale)
+		os.Exit(2)
+	}
+	if *seed != 0 {
+		s.Seed = *seed
+	}
+	if *repos > 0 {
+		s.Repositories = *repos
+		s.Routers = 6 * *repos
+	}
+	if *items > 0 {
+		s.Items = *items
+	}
+	if *ticks > 0 {
+		s.Ticks = *ticks
+	}
+
+	registry := core.Figures()
+	var ids []string
+	if *fig == "all" {
+		ids = core.FigureIDs()
+	} else {
+		if _, ok := registry[*fig]; !ok {
+			fmt.Fprintf(os.Stderr, "d3texp: unknown figure %q; use -list\n", *fig)
+			os.Exit(2)
+		}
+		ids = []string{*fig}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		result, err := registry[id](s)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "d3texp: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		emit := result.Fprint
+		if *asCSV {
+			emit = result.WriteCSV
+		}
+		if err := emit(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "d3texp: printing %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *timings {
+			fmt.Printf("(%s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Command tracegen generates synthetic dynamic-data traces in the
+// repository's CSV format — the stand-ins for the stock-price polls the
+// paper collected from finance.yahoo.com.
+//
+// Examples:
+//
+//	tracegen -n 100 -ticks 10000 > traces.csv   # a full workload set
+//	tracegen -table1 > table1.csv               # the six Table 1 tickers
+//	tracegen -stats -table1                     # print Table 1 rows instead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"d3t/internal/sim"
+	"d3t/internal/trace"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 10, "number of traces")
+		ticks    = flag.Int("ticks", 10000, "observations per trace")
+		interval = flag.Float64("interval", 1000, "tick interval in milliseconds")
+		seed     = flag.Int64("seed", 1, "random seed")
+		table1   = flag.Bool("table1", false, "generate the six Table 1 ticker traces instead")
+		stats    = flag.Bool("stats", false, "print per-trace statistics instead of CSV")
+	)
+	flag.Parse()
+
+	var traces []*trace.Trace
+	if *table1 {
+		traces = trace.Table1TracesSized(*ticks, *seed)
+	} else {
+		traces = trace.GenerateSet(*n, *ticks, sim.Milliseconds(*interval), *seed)
+	}
+
+	if *stats {
+		for _, tr := range traces {
+			fmt.Println(tr.Summarize())
+		}
+		return
+	}
+	if err := trace.WriteCSV(os.Stdout, traces...); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+}

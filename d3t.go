@@ -1,0 +1,210 @@
+// Package d3t is a reproduction of "Maintaining Coherency of Dynamic Data
+// in Cooperating Repositories" (Shah, Ramamritham, Shenoy — VLDB 2002) as
+// a reusable Go library.
+//
+// The paper's system disseminates rapidly changing data items (stock
+// prices, sensor readings) from a source through an overlay of cooperating
+// repositories — the dynamic data dissemination tree, d3t — such that each
+// repository's copy stays within a per-item coherency tolerance c:
+//
+//	|source(t) - copy(t)| <= c    for all t
+//
+// The package exposes three layers:
+//
+//   - Experiments: RunExperiment executes a fully configured simulation
+//     (network, overlay, dissemination, fidelity measurement); Figures
+//     regenerates every table and figure of the paper's evaluation.
+//   - Building blocks: traces (GenerateTraces), physical networks
+//     (GenerateNetwork), overlay construction (NewLeLA and friends) and
+//     dissemination protocols (NewDistributed, NewCentralized, RunPush,
+//     RunPull, RunLease) for custom setups.
+//   - Live runtimes: the live subpackage runs the same algorithms on
+//     goroutines in real time, and netio serves them over TCP.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package d3t
+
+import (
+	"d3t/internal/coherency"
+	"d3t/internal/core"
+	"d3t/internal/dissemination"
+	"d3t/internal/netsim"
+	"d3t/internal/repository"
+	"d3t/internal/sim"
+	"d3t/internal/trace"
+	"d3t/internal/tree"
+)
+
+// Experiment layer -----------------------------------------------------
+
+type (
+	// Config fully describes one simulation run.
+	Config = core.Config
+	// Outcome is the measured result of a run.
+	Outcome = core.Outcome
+	// Scale sizes a figure sweep (SmallScale or PaperScale).
+	Scale = core.Scale
+	// FigureResult is a regenerated table or figure.
+	FigureResult = core.FigureResult
+	// FigureFunc regenerates one table or figure.
+	FigureFunc = core.FigureFunc
+	// Series is one labelled curve in a FigureResult.
+	Series = core.Series
+)
+
+// DefaultConfig returns the paper's base case at full scale.
+func DefaultConfig() Config { return core.Default() }
+
+// RunExperiment executes one end-to-end simulation.
+func RunExperiment(cfg Config) (*Outcome, error) { return core.RunExperiment(cfg) }
+
+// SmallScale is the fast sweep preset; PaperScale is the paper's.
+func SmallScale() Scale { return core.SmallScale() }
+
+// PaperScale reproduces the paper's evaluation scale (100 repositories,
+// 700 network nodes, 100 traces of 10000 ticks).
+func PaperScale() Scale { return core.PaperScale() }
+
+// Figures returns the registry of reproducible tables and figures.
+func Figures() map[string]FigureFunc { return core.Figures() }
+
+// FigureIDs lists the registry keys in sorted order.
+func FigureIDs() []string { return core.FigureIDs() }
+
+// Building blocks -------------------------------------------------------
+
+type (
+	// Time is simulation time in microseconds.
+	Time = sim.Time
+	// Trace is one data item's update history.
+	Trace = trace.Trace
+	// Tick is a single trace observation.
+	Tick = trace.Tick
+	// TraceConfig parameterizes synthetic trace generation.
+	TraceConfig = trace.GenConfig
+	// Network is the endpoint delay structure of a physical topology.
+	Network = netsim.Network
+	// NetworkConfig parameterizes random topology generation.
+	NetworkConfig = netsim.Config
+	// Repository is one overlay node.
+	Repository = repository.Repository
+	// RepositoryID identifies an overlay node (0 is the source).
+	RepositoryID = repository.ID
+	// Requirement is a coherency tolerance in value units.
+	Requirement = coherency.Requirement
+	// Client is an end user attached to a repository with per-item
+	// tolerances (Section 1.2).
+	Client = repository.Client
+	// ClientWorkload parameterizes random client population generation.
+	ClientWorkload = repository.ClientWorkload
+	// Overlay is a constructed dissemination graph.
+	Overlay = tree.Overlay
+	// Builder constructs overlays.
+	Builder = tree.Builder
+	// LeLABuilder is the paper's Level-by-Level Algorithm with its
+	// dynamic-membership operations (Insert, UpdateNeeds).
+	LeLABuilder = tree.LeLA
+	// Protocol is a push dissemination algorithm.
+	Protocol = dissemination.Protocol
+	// PushConfig is the delay model for push runs.
+	PushConfig = dissemination.Config
+	// PullConfig parameterizes pull-based runs.
+	PullConfig = dissemination.PullConfig
+	// LeaseConfig parameterizes lease-augmented push runs.
+	LeaseConfig = dissemination.LeaseConfig
+	// RunResult is the outcome of a protocol run over an overlay.
+	RunResult = dissemination.Result
+	// FidelityReport aggregates per-repository fidelity.
+	FidelityReport = coherency.Report
+)
+
+// Time units re-exported for building schedules and delays.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Pull modes.
+const (
+	StaticTTR   = dissemination.StaticTTR
+	AdaptiveTTR = dissemination.AdaptiveTTR
+)
+
+// SourceID is the overlay id of the data source.
+const SourceID = repository.SourceID
+
+// Milliseconds converts floating-point milliseconds to Time.
+func Milliseconds(ms float64) Time { return sim.Milliseconds(ms) }
+
+// GenerateTrace produces one synthetic trace.
+func GenerateTrace(cfg TraceConfig) (*Trace, error) { return trace.Generate(cfg) }
+
+// GenerateTraces produces n workload traces at the given tick count and
+// interval (the paper's stock-price stand-ins).
+func GenerateTraces(n, ticks int, interval Time, seed int64) []*Trace {
+	return trace.GenerateSet(n, ticks, interval, seed)
+}
+
+// GenerateNetwork builds a random router topology with Pareto link delays.
+func GenerateNetwork(cfg NetworkConfig) (*Network, error) { return netsim.Generate(cfg) }
+
+// UniformNetwork builds a network where every endpoint pair is exactly
+// delay apart.
+func UniformNetwork(repositories int, delay Time) *Network {
+	return netsim.Uniform(repositories, delay)
+}
+
+// NewRepository creates an overlay node with the given id and cooperation
+// limit.
+func NewRepository(id RepositoryID, coopLimit int) *Repository {
+	return repository.New(id, coopLimit)
+}
+
+// NewLeLA returns the paper's Level-by-Level overlay builder. The
+// concrete type also supports dynamic membership: Insert joins a new
+// repository into a built overlay, UpdateNeeds reapplies the algorithm
+// for changed coherency needs, and Overlay.Remove departs a leaf.
+func NewLeLA(pPercent float64, seed int64) *LeLABuilder {
+	return &tree.LeLA{PPercent: pPercent, Seed: seed}
+}
+
+// NewDistributed returns the repository-based dissemination algorithm
+// (Eqs. 3 and 7).
+func NewDistributed() Protocol { return dissemination.NewDistributed() }
+
+// NewCentralized returns the source-based dissemination algorithm.
+func NewCentralized() Protocol { return dissemination.NewCentralized() }
+
+// RunPush pushes the traces through the overlay with the protocol.
+func RunPush(o *Overlay, traces []*Trace, p Protocol, cfg PushConfig) (*RunResult, error) {
+	return dissemination.Run(o, traces, p, cfg)
+}
+
+// RunPull refreshes the overlay by polling (static or adaptive TTR).
+func RunPull(o *Overlay, traces []*Trace, cfg PullConfig) (*RunResult, error) {
+	return dissemination.RunPull(o, traces, cfg)
+}
+
+// RunLease runs lease-augmented push.
+func RunLease(o *Overlay, traces []*Trace, cfg LeaseConfig) (*RunResult, error) {
+	return dissemination.RunLease(o, traces, cfg)
+}
+
+// ControlledCoopDegree computes the Eq. 2 "optimal" degree of cooperation.
+func ControlledCoopDegree(avgComm, avgComp Time, resources, k int) int {
+	return tree.ControlledCoopDegree(avgComm, avgComp, resources, k)
+}
+
+// DeriveNeeds computes each repository's data and coherency needs from its
+// client population: the union of its clients' items, each at the most
+// stringent tolerance any client demands (Section 1.2).
+func DeriveNeeds(repos []*Repository, clients []*Client) error {
+	return repository.DeriveNeeds(repos, clients)
+}
+
+// GenerateClients builds a random client population for a workload.
+func GenerateClients(w ClientWorkload) ([]*Client, error) {
+	return repository.GenerateClients(w)
+}

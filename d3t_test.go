@@ -1,0 +1,160 @@
+package d3t
+
+import (
+	"testing"
+)
+
+// TestFacadeEndToEnd exercises the public API the way a downstream user
+// would: generate a workload, build an overlay, run both exact protocols
+// under ideal conditions, and check the guarantee.
+func TestFacadeEndToEnd(t *testing.T) {
+	const repos = 10
+	net := UniformNetwork(repos, 0)
+	traces := GenerateTraces(8, 200, Second, 42)
+
+	members := make([]*Repository, repos)
+	for i := range members {
+		members[i] = NewRepository(RepositoryID(i+1), 3)
+		for j, tr := range traces {
+			if (i+j)%2 == 0 {
+				members[i].Needs[tr.Item] = 0.05
+				members[i].Serving[tr.Item] = 0.05
+			}
+		}
+	}
+	overlay, err := NewLeLA(5, 1).Build(net, members, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Protocol{NewDistributed(), NewCentralized()} {
+		res, err := RunPush(overlay, traces, p, PushConfig{CompDelay: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f := res.Report.SystemFidelity(); f != 1 {
+			t.Errorf("%s fidelity %v under ideal conditions", p.Name(), f)
+		}
+	}
+}
+
+func TestFacadeExperiment(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Repositories, cfg.Routers = 10, 30
+	cfg.Items, cfg.Ticks = 8, 200
+	out, err := RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Fidelity <= 0 || out.Fidelity > 1 {
+		t.Errorf("fidelity %v out of range", out.Fidelity)
+	}
+}
+
+func TestFacadeScalesAndFigures(t *testing.T) {
+	if got := len(FigureIDs()); got < 15 {
+		t.Errorf("only %d figures registered", got)
+	}
+	if s := SmallScale(); s.Repositories >= PaperScale().Repositories {
+		t.Error("small scale not smaller than paper scale")
+	}
+}
+
+func TestFacadeCoopDegree(t *testing.T) {
+	if got := ControlledCoopDegree(Milliseconds(25), Milliseconds(12.5), 100, 30); got != 6 {
+		t.Errorf("ControlledCoopDegree = %d, want 6", got)
+	}
+}
+
+func TestFacadeClientLayer(t *testing.T) {
+	// End-to-end through the public API: clients drive repository needs,
+	// the overlay is built from the derived needs, dissemination runs.
+	traces := GenerateTraces(6, 150, Second, 5)
+	items := make([]string, len(traces))
+	for i, tr := range traces {
+		items[i] = tr.Item
+	}
+	repos := make([]*Repository, 5)
+	ids := make([]RepositoryID, 5)
+	for i := range repos {
+		repos[i] = NewRepository(RepositoryID(i+1), 3)
+		ids[i] = RepositoryID(i + 1)
+	}
+	clients, err := GenerateClients(ClientWorkload{
+		Clients: 30, Repos: ids, Items: items, StringentFrac: 0.5, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DeriveNeeds(repos, clients); err != nil {
+		t.Fatal(err)
+	}
+	overlay, err := NewLeLA(5, 7).Build(UniformNetwork(5, 0), repos, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunPush(overlay, traces, NewDistributed(), PushConfig{CompDelay: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := res.Report.SystemFidelity(); f != 1 {
+		t.Errorf("client-derived overlay fidelity %v under ideal conditions, want 1", f)
+	}
+}
+
+func TestFacadeDynamicMembership(t *testing.T) {
+	net := UniformNetwork(6, 0) // capacity 6, join 4 later
+	members := make([]*Repository, 4)
+	for i := range members {
+		members[i] = NewRepository(RepositoryID(i+1), 2)
+		members[i].Needs["A"], members[i].Serving["A"] = 0.1, 0.1
+	}
+	lela := NewLeLA(5, 3)
+	overlay, err := lela.Build(net, members, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joiner := NewRepository(5, 2)
+	joiner.Needs["A"], joiner.Serving["A"] = 0.05, 0.05
+	if err := lela.Insert(overlay, joiner); err != nil {
+		t.Fatal(err)
+	}
+	if err := lela.UpdateNeeds(overlay, 2, map[string]Requirement{"A": 0.01}); err != nil {
+		t.Fatal(err)
+	}
+	if err := overlay.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The joiner is a leaf: it may depart.
+	if err := overlay.Remove(5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadePull(t *testing.T) {
+	net := UniformNetwork(4, 0)
+	traces := GenerateTraces(4, 100, Second, 7)
+	members := make([]*Repository, 4)
+	for i := range members {
+		members[i] = NewRepository(RepositoryID(i+1), 2)
+		members[i].Needs[traces[0].Item] = 0.1
+		members[i].Serving[traces[0].Item] = 0.1
+	}
+	overlay, err := NewLeLA(5, 2).Build(net, members, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunPull(overlay, traces[:1], PullConfig{Mode: StaticTTR, TTR: 5 * Second, CompDelay: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Messages == 0 {
+		t.Error("pull run sent no messages")
+	}
+	lease, err := RunLease(overlay, traces[:1], LeaseConfig{Duration: 20 * Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease.Protocol != "lease-push" {
+		t.Errorf("lease protocol %q", lease.Protocol)
+	}
+}

@@ -1,0 +1,105 @@
+// Dynamic: overlay membership churn. Repositories join a running overlay
+// one at a time (LeLA is inherently incremental), a client population
+// shifts a repository's coherency needs (the algorithm is reapplied, per
+// Section 4 of the paper), and leaves depart — with the overlay's
+// invariants checked and fidelity measured after every phase.
+//
+//	go run ./examples/dynamic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"d3t"
+)
+
+func main() {
+	const capacity = 24 // network sized with room for joiners
+	traces := d3t.GenerateTraces(12, 900, d3t.Second, 77)
+
+	// Phase 1: twelve founding repositories.
+	founders := make([]*d3t.Repository, 12)
+	for i := range founders {
+		founders[i] = d3t.NewRepository(d3t.RepositoryID(i+1), 3)
+		for j, tr := range traces {
+			if (i+j)%2 == 0 {
+				founders[i].Needs[tr.Item] = 0.25
+				founders[i].Serving[tr.Item] = 0.25
+			}
+		}
+	}
+	net, err := d3t.GenerateNetwork(d3t.NetworkConfig{Repositories: capacity, Routers: 80, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	lela := d3t.NewLeLA(5, 9)
+	overlay, err := lela.Build(net, founders, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("after build (12 repositories)", overlay, traces)
+
+	// Phase 2: eight newcomers join the live overlay.
+	for j := 0; j < 8; j++ {
+		q := d3t.NewRepository(d3t.RepositoryID(13+j), 3)
+		for k := j; k < j+4 && k < len(traces); k++ {
+			q.Needs[traces[k].Item] = 0.1
+			q.Serving[traces[k].Item] = 0.1
+		}
+		if err := lela.Insert(overlay, q); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := overlay.Validate(); err != nil {
+		log.Fatalf("invariants broken after joins: %v", err)
+	}
+	report("after 8 joins (20 repositories)", overlay, traces)
+
+	// Phase 3: repository 5's clients get demanding — every tolerance
+	// tightens 10x and it picks up two new items. The serving chains
+	// toward the source are augmented in place.
+	newNeeds := map[string]d3t.Requirement{}
+	r5 := overlay.Node(5)
+	for item, c := range r5.Needs {
+		newNeeds[item] = c / 10
+	}
+	newNeeds[traces[1].Item] = 0.02
+	newNeeds[traces[3].Item] = 0.02
+	if err := lela.UpdateNeeds(overlay, 5, newNeeds); err != nil {
+		log.Fatal(err)
+	}
+	if err := overlay.Validate(); err != nil {
+		log.Fatalf("invariants broken after needs update: %v", err)
+	}
+	report("after repo 5 tightened 10x", overlay, traces)
+
+	// Phase 4: leaves depart.
+	departed := 0
+	for id := d3t.RepositoryID(20); id >= 13 && departed < 3; id-- {
+		if overlay.Node(id).NumChildren() == 0 {
+			if err := overlay.Remove(id); err != nil {
+				log.Fatal(err)
+			}
+			departed++
+		}
+	}
+	if err := overlay.Validate(); err != nil {
+		log.Fatalf("invariants broken after departures: %v", err)
+	}
+	fmt.Printf("\n%d leaves departed; overlay still valid.\n", departed)
+}
+
+// report runs the distributed protocol over the current overlay and
+// prints fidelity and shape.
+func report(phase string, overlay *d3t.Overlay, traces []*d3t.Trace) {
+	res, err := d3t.RunPush(overlay, traces, d3t.NewDistributed(), d3t.PushConfig{
+		CompDelay: d3t.Milliseconds(12.5),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := overlay.ComputeMetrics()
+	fmt.Printf("%-32s fidelity %.4f  p10 %.4f  msgs %6d  %v\n",
+		phase, res.Report.SystemFidelity(), res.Report.Percentile(10), res.Stats.Messages, m)
+}

@@ -1,0 +1,154 @@
+// Stockfeed: a real-time ticker plant on goroutines. A synthetic volatile
+// market streams through a cooperative repository overlay; each
+// repository sees only the updates its coherency tolerance requires, yet
+// never drifts further than that tolerance from the source.
+//
+//	go run ./examples/stockfeed
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"d3t"
+	"d3t/live"
+)
+
+const (
+	numRepos = 9
+	coop     = 3
+)
+
+var tickers = []string{"MSFT", "INTC", "ORCL"}
+
+func main() {
+	// Traces: one volatile afternoon per ticker, one tick per 2ms of real
+	// time (the runtime is wall-clock; we compress the feed).
+	traces := make([]*d3t.Trace, len(tickers))
+	for i, sym := range tickers {
+		tr, err := d3t.GenerateTrace(d3t.TraceConfig{
+			Item: sym, Ticks: 400, Start: 40 + 10*float64(i),
+			Low: 38 + 10*float64(i), High: 42 + 10*float64(i),
+			Step: 0.08, Seed: int64(i) + 7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		traces[i] = tr
+	}
+
+	// Repositories: brokerage frontends with tight tolerances (1-3 cents)
+	// and casual dashboards with loose ones (25-75 cents).
+	repos := make([]*d3t.Repository, numRepos)
+	for i := range repos {
+		repos[i] = d3t.NewRepository(d3t.RepositoryID(i+1), coop)
+		for j, sym := range tickers {
+			if (i+j)%3 == 2 {
+				continue // not every desk follows every ticker
+			}
+			tol := d3t.Requirement(0.01 + 0.01*float64(i%3)) // brokerage
+			if i >= numRepos/2 {
+				tol = d3t.Requirement(0.25 * float64(1+i%3)) // dashboard
+			}
+			repos[i].Needs[sym] = tol
+			repos[i].Serving[sym] = tol
+		}
+	}
+
+	overlay, err := d3t.NewLeLA(5, 1).Build(d3t.UniformNetwork(numRepos, 0), repos, coop)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var mu sync.Mutex
+	delivered := map[d3t.RepositoryID]int{}
+	cluster := live.NewCluster(overlay, live.Options{
+		CommDelay: 200 * time.Microsecond,
+		CompDelay: 50 * time.Microsecond,
+		OnDeliver: func(id d3t.RepositoryID, item string, v float64) {
+			mu.Lock()
+			delivered[id]++
+			mu.Unlock()
+		},
+	})
+	for _, tr := range traces {
+		cluster.Seed(tr.Item, tr.Ticks[0].Value)
+	}
+	cluster.Start()
+	defer cluster.Stop()
+
+	fmt.Printf("streaming %d tickers through %d repositories (fan-out %d)...\n",
+		len(tickers), numRepos, coop)
+	published := 0
+	for i := 1; i < 400; i++ {
+		for _, tr := range traces {
+			if tr.Ticks[i].Value != tr.Ticks[i-1].Value {
+				cluster.Publish(tr.Item, tr.Ticks[i].Value)
+				published++
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Drain in-flight updates: wait until delivery counts stop moving.
+	drainStart := time.Now()
+	prev := -1
+	for time.Since(drainStart) < 5*time.Second {
+		time.Sleep(100 * time.Millisecond)
+		mu.Lock()
+		total := 0
+		for _, c := range delivered {
+			total += c
+		}
+		mu.Unlock()
+		if total == prev {
+			break
+		}
+		prev = total
+	}
+	fmt.Printf("(drained in %v)\n", time.Since(drainStart).Round(time.Millisecond))
+
+	fmt.Printf("published %d source updates\n\n", published)
+	fmt.Println("repo  tolerance-class  deliveries  subscribed views (vs source)")
+	mu.Lock()
+	defer mu.Unlock()
+	ids := make([]int, 0, numRepos)
+	for i := 1; i <= numRepos; i++ {
+		ids = append(ids, i)
+	}
+	sort.Ints(ids)
+	violations := 0
+	for _, i := range ids {
+		id := d3t.RepositoryID(i)
+		repo := repos[i-1]
+		class := "brokerage"
+		if i > numRepos/2 {
+			class = "dashboard"
+		}
+		var views []string
+		for _, tr := range traces {
+			tol, subscribed := repo.Needs[tr.Item]
+			if !subscribed {
+				continue // the desk may relay other tickers for its children
+			}
+			v, _ := cluster.Value(id, tr.Item)
+			src := tr.Ticks[len(tr.Ticks)-1].Value
+			diff := v - src
+			if diff < 0 {
+				diff = -diff
+			}
+			status := "ok"
+			if d3t.Requirement(diff) > tol {
+				status = "VIOLATED"
+				violations++
+			}
+			views = append(views, fmt.Sprintf("%s %.2f/%.2f %s", tr.Item, v, src, status))
+		}
+		fmt.Printf("%4d  %-15s  %10d  %v\n", i, class, delivered[id], views)
+	}
+	fmt.Printf("\n%d tolerance violations at quiescence.\n", violations)
+	fmt.Println("brokerage desks received many more updates than dashboards —")
+	fmt.Println("the overlay filtered by each repository's own tolerance.")
+}

@@ -1,0 +1,34 @@
+package coherency
+
+import (
+	"testing"
+
+	"d3t/internal/sim"
+)
+
+func BenchmarkTracker(b *testing.B) {
+	b.ReportAllocs()
+	tr := NewTracker(0.05, 0, 50)
+	now := sim.Time(0)
+	v := 50.0
+	for i := 0; i < b.N; i++ {
+		now += sim.Second
+		if i%3 == 0 {
+			v += 0.03
+			tr.SourceUpdate(now, v)
+		} else {
+			tr.RepoUpdate(now, v)
+		}
+	}
+	_ = tr.Fidelity(now)
+}
+
+func BenchmarkShouldForward(b *testing.B) {
+	var hits int
+	for i := 0; i < b.N; i++ {
+		if ShouldForward(float64(i%100)/100, 0.5, 0.3, 0.1) {
+			hits++
+		}
+	}
+	_ = hits
+}

@@ -1,0 +1,62 @@
+// Package coherency implements the data coherency semantics of the paper
+// (Section 1.1) and the dissemination conditions of Section 5: when a
+// repository must forward an update to a dependent (Eqs. 3 and 7), and how
+// much fidelity a consumer observed (the paper's key metric).
+//
+// A coherency requirement c is a value tolerance: the consumer's copy must
+// satisfy |S(t) - R(t)| <= c at all times. Smaller c is more stringent.
+package coherency
+
+import (
+	"fmt"
+	"math"
+)
+
+// Requirement is a per-item, per-repository coherency tolerance in value
+// units (dollars, for the stock traces). Zero means "every update".
+type Requirement float64
+
+// Stringer renders the tolerance as dollars-and-cents.
+func (r Requirement) String() string { return fmt.Sprintf("$%.3f", float64(r)) }
+
+// AtLeastAsStringentAs reports whether r is at least as stringent as other,
+// i.e. r <= other. Equation (1) of the paper requires every d3t parent to
+// be at least as stringent as each of its dependents.
+func (r Requirement) AtLeastAsStringentAs(other Requirement) bool { return r <= other }
+
+// Violated reports whether holding value `have` while the source holds
+// `actual` violates the tolerance: |actual - have| > c. (Eq. 3 viewpoint.)
+func (r Requirement) Violated(actual, have float64) bool {
+	return math.Abs(actual-have) > float64(r)
+}
+
+// NeedsUpdate is Eq. (3): a new value v must be forwarded to a dependent
+// whose last received value is last and whose tolerance is cDep when the
+// difference exceeds the tolerance. Necessary for coherency, but not
+// sufficient (see RisksMissedUpdate).
+func NeedsUpdate(v, last float64, cDep Requirement) bool {
+	return math.Abs(v-last) > float64(cDep)
+}
+
+// RisksMissedUpdate is Eq. (7): even if v itself does not violate the
+// dependent's tolerance, withholding it is unsafe when a future source
+// update could violate the dependent without violating us. With cSelf our
+// own tolerance for the item, the hazard condition is
+//
+//	cDep - |v - last| < cSelf
+//
+// because the adversarial next source value can move |v' - v| up to cSelf
+// without being delivered to us, landing |v' - last| as high as
+// |v - last| + cSelf > cDep. The source calls this with cSelf = 0 (it sees
+// every update exactly), for which the condition never fires.
+func RisksMissedUpdate(v, last float64, cDep, cSelf Requirement) bool {
+	return float64(cDep)-math.Abs(v-last) < float64(cSelf)
+}
+
+// ShouldForward combines Eqs. (3) and (7): the distributed dissemination
+// algorithm of Section 5.1 forwards when either holds. Given the d3t
+// invariant cSelf <= cDep, this is equivalent to
+// |v - last| > cDep - cSelf.
+func ShouldForward(v, last float64, cDep, cSelf Requirement) bool {
+	return NeedsUpdate(v, last, cDep) || RisksMissedUpdate(v, last, cDep, cSelf)
+}

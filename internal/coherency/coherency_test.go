@@ -1,0 +1,263 @@
+package coherency
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"d3t/internal/sim"
+)
+
+func TestRequirementStringency(t *testing.T) {
+	if !Requirement(0.01).AtLeastAsStringentAs(0.5) {
+		t.Error("0.01 should be at least as stringent as 0.5")
+	}
+	if Requirement(0.5).AtLeastAsStringentAs(0.01) {
+		t.Error("0.5 should not be at least as stringent as 0.01")
+	}
+	if !Requirement(0.3).AtLeastAsStringentAs(0.3) {
+		t.Error("equal tolerances are mutually at-least-as-stringent")
+	}
+}
+
+func TestNeedsUpdate(t *testing.T) {
+	cases := []struct {
+		v, last float64
+		c       Requirement
+		want    bool
+	}{
+		{1.5, 1.0, 0.4, true},
+		{1.5, 1.0, 0.5, false}, // exactly at tolerance: not violated
+		{1.5, 1.0, 0.6, false},
+		{0.5, 1.0, 0.4, true}, // symmetric in sign
+		{1.0, 1.0, 0, false},  // no change never needs an update
+		{1.0001, 1.0, 0, true},
+	}
+	for _, c := range cases {
+		if got := NeedsUpdate(c.v, c.last, c.c); got != c.want {
+			t.Errorf("NeedsUpdate(%v,%v,%v) = %v, want %v", c.v, c.last, c.c, got, c.want)
+		}
+	}
+}
+
+// TestFigure4Scenario walks the exact example of Figure 4: source values
+// 1, 1.2, 1.4, 1.5 with c_p=0.3 (repository P) and c_q=0.5 (dependent Q).
+// Eq. 3 alone would withhold 1.4 from Q; then 1.5 arrives at neither P nor
+// Q (|1.5-1.4| <= c_p) and Q is left violated. Eq. 7 forces 1.4 out to Q.
+func TestFigure4Scenario(t *testing.T) {
+	const cp, cq = Requirement(0.3), Requirement(0.5)
+	lastQ := 1.0
+
+	// P receives 1.4 (because |1.4-1.0| > 0.3 at the source).
+	v := 1.4
+	if NeedsUpdate(v, lastQ, cq) {
+		t.Fatal("Eq.3 should NOT require forwarding 1.4 to Q (|1.4-1.0| <= 0.5)")
+	}
+	if !RisksMissedUpdate(v, lastQ, cq, cp) {
+		t.Fatal("Eq.7 must flag 1.4: a future update within c_p of 1.4 can violate Q")
+	}
+	if !ShouldForward(v, lastQ, cq, cp) {
+		t.Fatal("distributed algorithm must forward 1.4 to Q")
+	}
+
+	// The adversarial next value 1.5: P does not receive it, but with 1.4
+	// already at Q there is no violation (|1.5 - 1.4| <= 0.5).
+	if cq.Violated(1.5, 1.4) {
+		t.Fatal("after forwarding 1.4, source 1.5 must not violate Q")
+	}
+	// Without Eq. 7, Q would still hold 1.0 — and 1.5 violates: loss.
+	// (The violation appears at source value 1.7 in the paper's figure; at
+	// 1.5 the gap is exactly 0.5 which is still within tolerance.)
+	if !cq.Violated(1.7, 1.0) {
+		t.Fatal("source 1.7 against stale 1.0 must violate c_q=0.5")
+	}
+}
+
+func TestSourceNeverRisksMissedUpdate(t *testing.T) {
+	// The source has cSelf = 0: Eq. 7 reduces to Eq. 3 strictly
+	// (cDep - |v-last| < 0 iff |v-last| > cDep).
+	f := func(vRaw, lastRaw int16, cRaw uint8) bool {
+		v, last := float64(vRaw)/100, float64(lastRaw)/100
+		c := Requirement(float64(cRaw) / 100)
+		return RisksMissedUpdate(v, last, c, 0) == NeedsUpdate(v, last, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestShouldForwardThreshold: with the tree invariant cSelf <= cDep,
+// ShouldForward is exactly |v-last| > cDep - cSelf.
+func TestShouldForwardThreshold(t *testing.T) {
+	f := func(vRaw, lastRaw int16, a, b uint8) bool {
+		v, last := float64(vRaw)/100, float64(lastRaw)/100
+		cSelf, cDep := Requirement(float64(a)/100), Requirement(float64(a)/100+float64(b)/100)
+		want := math.Abs(v-last) > float64(cDep)-float64(cSelf)
+		return ShouldForward(v, last, cDep, cSelf) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTrackerBasicTimeline(t *testing.T) {
+	// c=0.5, start at t=0 with value 1.0.
+	tr := NewTracker(0.5, 0, 1.0)
+	// t=10s: source jumps to 2.0 -> violated (|2-1| > 0.5).
+	tr.SourceUpdate(10*sim.Second, 2.0)
+	// t=14s: delivery of 2.0 -> coherent again. 4s violated.
+	tr.RepoUpdate(14*sim.Second, 2.0)
+	// t=20s: source moves to 2.4 -> within tolerance.
+	tr.SourceUpdate(20*sim.Second, 2.4)
+	// Observe at t=20s: violation was 4s of 20s -> fidelity 0.8.
+	if got := tr.ViolationTime(20 * sim.Second); got != 4*sim.Second {
+		t.Errorf("violation time %v, want 4s", got)
+	}
+	if got := tr.Fidelity(20 * sim.Second); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("fidelity %v, want 0.8", got)
+	}
+	if got := tr.LossPercent(20 * sim.Second); math.Abs(got-20) > 1e-9 {
+		t.Errorf("loss %v%%, want 20%%", got)
+	}
+	if tr.Violations() != 1 {
+		t.Errorf("violations %d, want 1", tr.Violations())
+	}
+}
+
+func TestTrackerOpenViolationCountsToNow(t *testing.T) {
+	tr := NewTracker(0.1, 0, 5.0)
+	tr.SourceUpdate(10*sim.Second, 6.0)
+	// Still violated at t=30s; ViolationTime must include the open tail.
+	if got := tr.ViolationTime(30 * sim.Second); got != 20*sim.Second {
+		t.Errorf("open violation time %v, want 20s", got)
+	}
+	if got := tr.Fidelity(30 * sim.Second); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("fidelity %v, want 1/3", got)
+	}
+}
+
+func TestTrackerNeverViolatedPerfectFidelity(t *testing.T) {
+	tr := NewTracker(1.0, 0, 10)
+	for i := 1; i <= 100; i++ {
+		tr.SourceUpdate(sim.Time(i)*sim.Second, 10+0.5*float64(i%3))
+	}
+	if f := tr.Fidelity(100 * sim.Second); f != 1 {
+		t.Errorf("fidelity %v, want exactly 1", f)
+	}
+	if tr.Violations() != 0 {
+		t.Errorf("violations %d, want 0", tr.Violations())
+	}
+}
+
+func TestTrackerEmptyWindow(t *testing.T) {
+	tr := NewTracker(0.5, 100, 1)
+	if f := tr.Fidelity(100); f != 1 {
+		t.Errorf("empty window fidelity %v, want 1", f)
+	}
+}
+
+func TestTrackerPanicsOnTimeTravel(t *testing.T) {
+	tr := NewTracker(0.5, 0, 1)
+	tr.SourceUpdate(10, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("tracker accepted an event in the past")
+		}
+	}()
+	tr.SourceUpdate(5, 3)
+}
+
+// TestTrackerDeliveryClosesViolationProperty: delivering the exact source
+// value always ends any violation.
+func TestTrackerDeliveryClosesViolationProperty(t *testing.T) {
+	f := func(moves []int8) bool {
+		tr := NewTracker(0.25, 0, 0)
+		now := sim.Time(0)
+		v := 0.0
+		for _, m := range moves {
+			now += sim.Second
+			v += float64(m) / 50
+			tr.SourceUpdate(now, v)
+			now += sim.Second
+			tr.RepoUpdate(now, v) // perfect delivery
+			if tr.inViol {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReportAggregation(t *testing.T) {
+	r := NewReport()
+	r.Add(1, 1.0)
+	r.Add(1, 0.5) // repo 1 mean: 0.75
+	r.Add(2, 0.9) // repo 2 mean: 0.9
+	got := r.SystemFidelity()
+	want := (0.75 + 0.9) / 2
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("system fidelity %v, want %v", got, want)
+	}
+	if f, ok := r.RepoFidelity(1); !ok || math.Abs(f-0.75) > 1e-12 {
+		t.Errorf("repo 1 fidelity %v,%v; want 0.75,true", f, ok)
+	}
+	if _, ok := r.RepoFidelity(99); ok {
+		t.Error("unknown repo reported fidelity")
+	}
+	if worst, wf := r.WorstRepo(); worst != 1 || math.Abs(wf-0.75) > 1e-12 {
+		t.Errorf("worst repo %d at %v, want 1 at 0.75", worst, wf)
+	}
+	if loss := r.LossPercent(); math.Abs(loss-100*(1-want)) > 1e-9 {
+		t.Errorf("loss %v", loss)
+	}
+}
+
+func TestReportEmpty(t *testing.T) {
+	r := NewReport()
+	if f := r.SystemFidelity(); f != 1 {
+		t.Errorf("empty report fidelity %v, want 1", f)
+	}
+	if worst, wf := r.WorstRepo(); worst != -1 || wf != 1 {
+		t.Errorf("empty report worst %d,%v; want -1,1", worst, wf)
+	}
+}
+
+func TestReportPercentile(t *testing.T) {
+	r := NewReport()
+	for i := 1; i <= 10; i++ {
+		r.Add(i, float64(i)/10) // fidelities 0.1 .. 1.0
+	}
+	if got := r.Percentile(0); got != 0.1 {
+		t.Errorf("p0 = %v, want 0.1", got)
+	}
+	if got := r.Percentile(100); got != 1.0 {
+		t.Errorf("p100 = %v, want 1.0", got)
+	}
+	if got := r.Percentile(50); math.Abs(got-0.5) > 0.11 {
+		t.Errorf("p50 = %v, want about 0.5", got)
+	}
+	// Clamping.
+	if got := r.Percentile(-5); got != 0.1 {
+		t.Errorf("p(-5) = %v, want clamp to p0", got)
+	}
+	if got := r.Percentile(500); got != 1.0 {
+		t.Errorf("p(500) = %v, want clamp to p100", got)
+	}
+	if got := NewReport().Percentile(50); got != 1 {
+		t.Errorf("empty report percentile %v, want 1", got)
+	}
+}
+
+func TestReportRepositoriesSorted(t *testing.T) {
+	r := NewReport()
+	for _, id := range []int{5, 1, 3} {
+		r.Add(id, 1)
+	}
+	ids := r.Repositories()
+	if len(ids) != 3 || ids[0] != 1 || ids[1] != 3 || ids[2] != 5 {
+		t.Errorf("repositories %v, want [1 3 5]", ids)
+	}
+}

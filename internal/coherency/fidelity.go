@@ -1,0 +1,103 @@
+package coherency
+
+import (
+	"fmt"
+	"math"
+
+	"d3t/internal/sim"
+)
+
+// Tracker measures the fidelity of one (repository, item) pair online.
+//
+// Both the source signal and the repository's copy are piecewise constant:
+// the source changes at trace ticks, the copy changes at delivery events.
+// Between events the violation predicate |S - R| > c is constant, so exact
+// fidelity is the sum of the violation interval lengths divided by the
+// observation span (Section 6.2).
+type Tracker struct {
+	c Requirement
+
+	src, rep   float64
+	started    bool
+	start      sim.Time
+	last       sim.Time // time of the most recent state change
+	inViol     bool
+	violation  sim.Time
+	violations int // number of violation intervals entered
+}
+
+// NewTracker starts measuring at time start with both source and
+// repository holding the initial value (repositories are assumed to be
+// seeded with the item's current value when they join, so observation
+// starts coherent).
+func NewTracker(c Requirement, start sim.Time, initial float64) *Tracker {
+	return &Tracker{c: c, src: initial, rep: initial, started: true, start: start, last: start}
+}
+
+// advance accounts the interval [t.last, now) against the current
+// violation state.
+func (t *Tracker) advance(now sim.Time) {
+	if now < t.last {
+		panic(fmt.Sprintf("coherency: tracker moved backwards from %v to %v", t.last, now))
+	}
+	if t.inViol {
+		t.violation += now - t.last
+	}
+	t.last = now
+}
+
+// refresh recomputes the violation predicate after a state change at time
+// now.
+func (t *Tracker) refresh() {
+	v := math.Abs(t.src-t.rep) > float64(t.c)
+	if v && !t.inViol {
+		t.violations++
+	}
+	t.inViol = v
+}
+
+// SourceUpdate records that the source value changed to v at time now.
+func (t *Tracker) SourceUpdate(now sim.Time, v float64) {
+	t.advance(now)
+	t.src = v
+	t.refresh()
+}
+
+// RepoUpdate records that the repository's copy changed to v at time now
+// (an update was delivered).
+func (t *Tracker) RepoUpdate(now sim.Time, v float64) {
+	t.advance(now)
+	t.rep = v
+	t.refresh()
+}
+
+// ViolationTime returns the accumulated violation time up to `now`.
+func (t *Tracker) ViolationTime(now sim.Time) sim.Time {
+	extra := sim.Time(0)
+	if t.inViol && now > t.last {
+		extra = now - t.last
+	}
+	return t.violation + extra
+}
+
+// Violations returns how many distinct violation intervals have begun.
+func (t *Tracker) Violations() int { return t.violations }
+
+// Fidelity returns the fraction of [start, now] during which the tolerance
+// held, in [0,1]. It returns 1 for an empty observation window.
+func (t *Tracker) Fidelity(now sim.Time) float64 {
+	span := now - t.start
+	if span <= 0 {
+		return 1
+	}
+	f := 1 - float64(t.ViolationTime(now))/float64(span)
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// LossPercent returns 100 * (1 - fidelity), the paper's plotted metric.
+func (t *Tracker) LossPercent(now sim.Time) float64 {
+	return 100 * (1 - t.Fidelity(now))
+}

@@ -1,0 +1,109 @@
+package coherency
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Report aggregates fidelity the way Section 6.2 defines it: the fidelity
+// of a repository is the mean fidelity over the items it stores; the
+// fidelity of the system is the mean over repositories.
+type Report struct {
+	perRepo map[int][]float64 // repository id -> per-item fidelities
+}
+
+// NewReport returns an empty report.
+func NewReport() *Report {
+	return &Report{perRepo: make(map[int][]float64)}
+}
+
+// Add records the fidelity of one (repository, item) pair.
+func (r *Report) Add(repo int, fidelity float64) {
+	r.perRepo[repo] = append(r.perRepo[repo], fidelity)
+}
+
+// RepoFidelity returns the mean fidelity of one repository, and false if
+// the repository recorded no items.
+func (r *Report) RepoFidelity(repo int) (float64, bool) {
+	items := r.perRepo[repo]
+	if len(items) == 0 {
+		return 0, false
+	}
+	return mean(items), true
+}
+
+// SystemFidelity returns the mean over repositories of the per-repository
+// mean fidelity. An empty report has fidelity 1. Summation runs in sorted
+// repository order so the result is bit-for-bit reproducible.
+func (r *Report) SystemFidelity() float64 {
+	if len(r.perRepo) == 0 {
+		return 1
+	}
+	var sum float64
+	for _, id := range r.Repositories() {
+		sum += mean(r.perRepo[id])
+	}
+	return sum / float64(len(r.perRepo))
+}
+
+// LossPercent returns 100*(1 - SystemFidelity()), the paper's y-axis.
+func (r *Report) LossPercent() float64 { return 100 * (1 - r.SystemFidelity()) }
+
+// Repositories returns the repository ids present, sorted.
+func (r *Report) Repositories() []int {
+	ids := make([]int, 0, len(r.perRepo))
+	for id := range r.perRepo {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// WorstRepo returns the repository with the lowest mean fidelity, or
+// (-1, 1) for an empty report.
+func (r *Report) WorstRepo() (repo int, fidelity float64) {
+	repo, fidelity = -1, 1
+	for _, id := range r.Repositories() {
+		if f, ok := r.RepoFidelity(id); ok && (repo == -1 || f < fidelity) {
+			repo, fidelity = id, f
+		}
+	}
+	return repo, fidelity
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of per-repository
+// fidelity, or 1 for an empty report. Tail percentiles expose repositories
+// the system-wide mean hides — the deep or overloaded ones.
+func (r *Report) Percentile(p float64) float64 {
+	if len(r.perRepo) == 0 {
+		return 1
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	vals := make([]float64, 0, len(r.perRepo))
+	for _, id := range r.Repositories() {
+		vals = append(vals, mean(r.perRepo[id]))
+	}
+	sort.Float64s(vals)
+	idx := int(p / 100 * float64(len(vals)-1))
+	return vals[idx]
+}
+
+// String summarizes the report.
+func (r *Report) String() string {
+	worst, wf := r.WorstRepo()
+	return fmt.Sprintf("fidelity %.4f (loss %.2f%%), %d repositories, worst repo %d at %.4f",
+		r.SystemFidelity(), r.LossPercent(), len(r.perRepo), worst, wf)
+}
+
+func mean(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

@@ -1,0 +1,208 @@
+// Package core assembles the substrates — traces, network, overlay
+// construction and dissemination — into end-to-end experiments, and
+// provides one preset per table and figure of the paper's evaluation
+// (Section 6) so each can be regenerated with a single call.
+package core
+
+import (
+	"fmt"
+
+	"d3t/internal/dissemination"
+	"d3t/internal/netsim"
+	"d3t/internal/repository"
+	"d3t/internal/sim"
+	"d3t/internal/trace"
+	"d3t/internal/tree"
+)
+
+// Config fully describes one simulation run. The zero value is not valid;
+// start from Default() and override.
+type Config struct {
+	// Repositories and Routers size the physical network (paper base
+	// case: 100 and 600).
+	Repositories int
+	Routers      int
+
+	// Items, Ticks and TickInterval size the workload (paper: 100 traces
+	// of 10000 one-second polls).
+	Items        int
+	Ticks        int
+	TickInterval sim.Time
+
+	// SubscribeProb is each repository's per-item interest probability
+	// (paper: 0.5). StringentFrac is T: the fraction of subscribed items
+	// with stringent tolerances.
+	SubscribeProb float64
+	StringentFrac float64
+
+	// CoopDegree caps each node's dependents. Zero selects controlled
+	// cooperation (Eq. 2) with constant CoopK.
+	CoopDegree int
+	CoopK      int
+
+	// Builder names the overlay construction algorithm: "lela" (default),
+	// "random", "greedy-closest" or "direct".
+	Builder string
+	// PPercent is LeLA's load-controller admission band (default 5).
+	PPercent float64
+	// Preference is LeLA's preference factor, "P1" (default) or "P2".
+	Preference string
+
+	// Protocol names the dissemination algorithm: "distributed"
+	// (default), "centralized", "naive-eq3" or "all-push".
+	Protocol string
+
+	// CompDelayMs is the per-dissemination computational delay (default
+	// 12.5; negative means exactly zero).
+	CompDelayMs float64
+	// CommDelayMs, when positive, replaces the generated topology with a
+	// uniform all-pairs delay — the delay-sweep figures use it. Zero
+	// keeps the Pareto-delay random topology.
+	CommDelayMs float64
+	// LinkDelayMinMs/LinkDelayMeanMs parameterize the generated topology
+	// (defaults 2 and 15, per the paper).
+	LinkDelayMinMs  float64
+	LinkDelayMeanMs float64
+	// Queueing selects the strict serial-server node model instead of the
+	// paper's per-update latency model (see dissemination.Config).
+	Queueing bool
+
+	// Seed makes the whole run deterministic.
+	Seed int64
+}
+
+// Default returns the paper's base-case configuration at full scale.
+func Default() Config {
+	return Config{
+		Repositories:  100,
+		Routers:       600,
+		Items:         100,
+		Ticks:         10000,
+		TickInterval:  sim.Second,
+		SubscribeProb: 0.5,
+		StringentFrac: 0.5,
+		CoopDegree:    0, // controlled cooperation
+		CoopK:         tree.DefaultCoopK,
+		Builder:       "lela",
+		PPercent:      5,
+		Preference:    "P1",
+		Protocol:      "distributed",
+		CompDelayMs:   12.5,
+		Seed:          1,
+	}
+}
+
+// Validate reports the first problem with the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Repositories < 1:
+		return fmt.Errorf("core: need at least one repository, got %d", c.Repositories)
+	case c.Items < 1:
+		return fmt.Errorf("core: need at least one item, got %d", c.Items)
+	case c.Ticks < 2:
+		return fmt.Errorf("core: need at least two ticks, got %d", c.Ticks)
+	case c.SubscribeProb <= 0 || c.SubscribeProb > 1:
+		return fmt.Errorf("core: subscribe probability %v outside (0,1]", c.SubscribeProb)
+	case c.StringentFrac < 0 || c.StringentFrac > 1:
+		return fmt.Errorf("core: stringent fraction %v outside [0,1]", c.StringentFrac)
+	case c.CoopDegree < 0:
+		return fmt.Errorf("core: negative cooperation degree %d", c.CoopDegree)
+	}
+	if _, err := c.builder(); err != nil {
+		return err
+	}
+	if _, err := c.protocol(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// builder resolves the overlay construction algorithm.
+func (c Config) builder() (tree.Builder, error) {
+	var pref tree.PreferenceFunc
+	switch c.Preference {
+	case "", "P1":
+		pref = tree.P1
+	case "P2":
+		pref = tree.P2
+	default:
+		return nil, fmt.Errorf("core: unknown preference function %q", c.Preference)
+	}
+	switch c.Builder {
+	case "", "lela":
+		return &tree.LeLA{PPercent: c.PPercent, Preference: pref, Seed: c.Seed + 2}, nil
+	case "random":
+		return &tree.RandomBuilder{Seed: c.Seed + 2}, nil
+	case "greedy-closest":
+		return &tree.GreedyBuilder{Seed: c.Seed + 2}, nil
+	case "direct":
+		return &tree.DirectBuilder{}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown builder %q", c.Builder)
+	}
+}
+
+// protocol resolves the dissemination algorithm.
+func (c Config) protocol() (dissemination.Protocol, error) {
+	switch c.Protocol {
+	case "", "distributed":
+		return dissemination.NewDistributed(), nil
+	case "centralized":
+		return dissemination.NewCentralized(), nil
+	case "naive-eq3":
+		return dissemination.NewNaive(), nil
+	case "all-push":
+		return dissemination.NewAllPush(), nil
+	default:
+		return nil, fmt.Errorf("core: unknown protocol %q", c.Protocol)
+	}
+}
+
+// network builds or synthesizes the physical network.
+func (c Config) network() (*netsim.Network, error) {
+	if c.CommDelayMs > 0 {
+		return netsim.Uniform(c.Repositories, sim.Milliseconds(c.CommDelayMs)), nil
+	}
+	if c.CommDelayMs < 0 {
+		return netsim.Uniform(c.Repositories, 0), nil
+	}
+	return netsim.Generate(netsim.Config{
+		Repositories:    c.Repositories,
+		Routers:         c.Routers,
+		LinkDelayMinMs:  c.LinkDelayMinMs,
+		LinkDelayMeanMs: c.LinkDelayMeanMs,
+		Seed:            c.Seed,
+	})
+}
+
+// compDelay converts the configured computational delay.
+func (c Config) compDelay() sim.Time {
+	switch {
+	case c.CompDelayMs > 0:
+		return sim.Milliseconds(c.CompDelayMs)
+	case c.CompDelayMs < 0:
+		return -1 // dissemination.Config convention for "exactly zero"
+	default:
+		return 0 // dissemination default (12.5 ms)
+	}
+}
+
+// workload generates the trace set and repository needs.
+func (c Config) workload() ([]*trace.Trace, []*repository.Repository) {
+	traces := trace.GenerateSet(c.Items, c.Ticks, c.TickInterval, c.Seed+10)
+	catalogue := make([]string, len(traces))
+	for i, tr := range traces {
+		catalogue[i] = tr.Item
+	}
+	repos := make([]*repository.Repository, c.Repositories)
+	for i := range repos {
+		repos[i] = repository.New(repository.ID(i+1), 1) // limit set later
+	}
+	repository.AssignNeeds(repos, repository.Workload{
+		Items:         catalogue,
+		SubscribeProb: c.SubscribeProb,
+		StringentFrac: c.StringentFrac,
+		Seed:          c.Seed + 11,
+	})
+	return traces, repos
+}

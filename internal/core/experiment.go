@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+
+	"d3t/internal/dissemination"
+	"d3t/internal/sim"
+	"d3t/internal/tree"
+)
+
+// Outcome is the measured result of one simulation run.
+type Outcome struct {
+	// Config is the configuration that produced the outcome.
+	Config Config
+	// Fidelity is the system fidelity in [0,1]; LossPercent is
+	// 100*(1-Fidelity), the paper's y-axis.
+	Fidelity    float64
+	LossPercent float64
+	// CoopDegreeUsed is the effective per-node dependent cap (after
+	// controlled cooperation, if it was selected).
+	CoopDegreeUsed int
+	// AvgCommDelay is the measured mean endpoint-to-endpoint delay.
+	AvgCommDelay sim.Time
+	// Tree summarizes the constructed overlay's shape.
+	Tree tree.Metrics
+	// Stats carries message/check counters from the dissemination run.
+	Stats dissemination.Stats
+	// SourceUtilization is the busy fraction of the source's processor.
+	SourceUtilization float64
+}
+
+// String renders the outcome as a one-line summary.
+func (o *Outcome) String() string {
+	return fmt.Sprintf("loss=%.2f%% coop=%d msgs=%d srcChecks=%d srcUtil=%.2f %v",
+		o.LossPercent, o.CoopDegreeUsed, o.Stats.Messages, o.Stats.SourceChecks,
+		o.SourceUtilization, o.Tree)
+}
+
+// RunExperiment executes one full simulation: generate workload and
+// network, derive the cooperation degree, construct the overlay, and push
+// the traces through it.
+func RunExperiment(cfg Config) (*Outcome, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	net, err := cfg.network()
+	if err != nil {
+		return nil, err
+	}
+	traces, repos := cfg.workload()
+
+	avgComm := net.AvgDelay()
+	coop := cfg.CoopDegree
+	if coop == 0 {
+		comp := cfg.compDelay()
+		if comp < 0 {
+			comp = 0
+		}
+		coop = tree.ControlledCoopDegree(avgComm, comp, cfg.Repositories, cfg.CoopK)
+	}
+	for _, r := range repos {
+		r.CoopLimit = coop
+	}
+
+	builder, err := cfg.builder()
+	if err != nil {
+		return nil, err
+	}
+	overlay, err := builder.Build(net, repos, coop)
+	if err != nil {
+		return nil, err
+	}
+
+	protocol, err := cfg.protocol()
+	if err != nil {
+		return nil, err
+	}
+	res, err := dissemination.Run(overlay, traces, protocol, dissemination.Config{
+		CompDelay: cfg.compDelay(),
+		Queueing:  cfg.Queueing,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	return &Outcome{
+		Config:            cfg,
+		Fidelity:          res.Report.SystemFidelity(),
+		LossPercent:       res.Report.LossPercent(),
+		CoopDegreeUsed:    coop,
+		AvgCommDelay:      avgComm,
+		Tree:              overlay.ComputeMetrics(),
+		Stats:             res.Stats,
+		SourceUtilization: res.SourceUtilization,
+	}, nil
+}

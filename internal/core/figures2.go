@@ -1,0 +1,287 @@
+package core
+
+import (
+	"fmt"
+
+	"d3t/internal/dissemination"
+	"d3t/internal/netsim"
+	"d3t/internal/repository"
+	"d3t/internal/sim"
+	"d3t/internal/trace"
+	"d3t/internal/tree"
+)
+
+// probeNetwork generates the configuration's network and returns the Eq. 2
+// controlled cooperation degree for it.
+func probeNetwork(cfg Config) (int, error) {
+	net, err := cfg.network()
+	if err != nil {
+		return 0, err
+	}
+	comp := cfg.compDelay()
+	if comp < 0 {
+		comp = 0
+	}
+	return tree.ControlledCoopDegree(net.AvgDelay(), comp, cfg.Repositories, cfg.CoopK), nil
+}
+
+// Table1 regenerates the trace-characteristics table from the synthetic
+// stand-ins for the paper's six example tickers.
+func Table1(s Scale) (*FigureResult, error) {
+	traces := trace.Table1TracesSized(s.Ticks, s.Seed)
+	rows := make([][]string, 0, len(traces))
+	for i, tr := range traces {
+		st := tr.Summarize()
+		tk := trace.Table1Tickers[i]
+		rows = append(rows, []string{
+			st.Item,
+			fmt.Sprintf("%d", st.Ticks),
+			fmt.Sprintf("%.2f", st.Min),
+			fmt.Sprintf("%.2f", st.Max),
+			fmt.Sprintf("%.2f-%.2f", tk.Min, tk.Max),
+		})
+	}
+	return &FigureResult{
+		ID:     "table1",
+		Title:  "Trace characteristics (synthetic stand-ins for the paper's polls)",
+		Header: []string{"ticker", "ticks", "min", "max", "paper band"},
+		Rows:   rows,
+	}, nil
+}
+
+// Figure4 demonstrates the missed-update problem on the paper's exact
+// example (values scaled x100 so the comparisons are float-exact): Eq. 3
+// alone loses fidelity even under ideal conditions; adding Eq. 7 restores
+// 100%.
+func Figure4(Scale) (*FigureResult, error) {
+	build := func() (*tree.Overlay, []*trace.Trace, error) {
+		net := netsim.Uniform(2, 0)
+		p := repository.New(1, 1)
+		q := repository.New(2, 1)
+		p.Needs["X"], p.Serving["X"] = 30, 30
+		q.Needs["X"], q.Serving["X"] = 50, 50
+		o, err := (&tree.LeLA{}).Build(net, []*repository.Repository{p, q}, 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		tr := &trace.Trace{Item: "X"}
+		for i, v := range []float64{100, 120, 140, 150, 170, 200} {
+			tr.Ticks = append(tr.Ticks, trace.Tick{At: sim.Time(i) * sim.Second, Value: v})
+		}
+		return o, []*trace.Trace{tr}, nil
+	}
+	rows := make([][]string, 0, 3)
+	for _, proto := range []dissemination.Protocol{
+		dissemination.NewNaive(), dissemination.NewDistributed(), dissemination.NewCentralized(),
+	} {
+		o, traces, err := build()
+		if err != nil {
+			return nil, err
+		}
+		res, err := dissemination.Run(o, traces, proto, dissemination.Config{CompDelay: -1})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, []string{
+			proto.Name(),
+			fmt.Sprintf("%.2f", res.Report.LossPercent()),
+			fmt.Sprintf("%d", res.Stats.Messages),
+		})
+	}
+	return &FigureResult{
+		ID:     "fig4",
+		Title:  "Missed-update problem (paper's Figure 4 scenario, zero delays)",
+		Header: []string{"protocol", "loss %", "messages"},
+		Rows:   rows,
+		Notes: []string{
+			"chain source -> P (c=30) -> Q (c=50); values 100,120,140,150,170,200",
+			"naive-eq3 must show positive loss; the exact algorithms must show 0",
+		},
+	}, nil
+}
+
+// AblationTree compares the overlay builders under controlled cooperation:
+// the paper's claim is that once the cooperation degree is right, the
+// exact construction algorithm is secondary.
+func AblationTree(s Scale) (*FigureResult, error) {
+	builders := []string{"lela", "random", "greedy-closest"}
+	var cfgs []Config
+	for _, b := range builders {
+		cfg := s.base()
+		cfg.Builder = b
+		cfg.CoopDegree = 0 // controlled
+		cfgs = append(cfgs, cfg)
+	}
+	outs, err := runAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]string, 0, len(outs))
+	for _, o := range outs {
+		rows = append(rows, []string{
+			o.Config.Builder,
+			fmt.Sprintf("%.2f", o.LossPercent),
+			fmt.Sprintf("%d", o.Tree.Diameter),
+			fmt.Sprintf("%.1f", o.Tree.AvgDepth),
+			fmt.Sprintf("%d", o.Stats.Messages),
+		})
+	}
+	return &FigureResult{
+		ID:     "ablation-tree",
+		Title:  "Tree construction ablation under controlled cooperation",
+		Header: []string{"builder", "loss %", "diameter", "avg depth", "messages"},
+		Rows:   rows,
+	}, nil
+}
+
+// AblationK sweeps the Eq. 2 constant k (the paper's footnote 1 reports
+// insensitivity for k >= 30).
+func AblationK(s Scale) (*FigureResult, error) {
+	ks := []int{10, 30, 50, 100}
+	var cfgs []Config
+	for _, k := range ks {
+		cfg := s.base()
+		cfg.CoopDegree = 0
+		cfg.CoopK = k
+		cfgs = append(cfgs, cfg)
+	}
+	outs, err := runAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]string, 0, len(outs))
+	for _, o := range outs {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", o.Config.CoopK),
+			fmt.Sprintf("%d", o.CoopDegreeUsed),
+			fmt.Sprintf("%.2f", o.LossPercent),
+		})
+	}
+	return &FigureResult{
+		ID:     "ablation-k",
+		Title:  "Sensitivity to the Eq. 2 constant k",
+		Header: []string{"k", "coop degree", "loss %"},
+		Rows:   rows,
+	}, nil
+}
+
+// AblationQueueing contrasts the paper's per-update latency service model
+// with a strict serial-server (queueing) model at growing fan-out: under
+// queueing, an overcommitted node's backlog compounds across updates and
+// the right arm of the U-curve turns into a cliff.
+func AblationQueueing(s Scale) (*FigureResult, error) {
+	var cfgs []Config
+	for _, queueing := range []bool{false, true} {
+		for _, coop := range s.CoopGrid {
+			cfg := s.base()
+			cfg.StringentFrac = 1
+			cfg.CoopDegree = coop
+			cfg.Queueing = queueing
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	outs, err := runAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	labels := []string{"latency-model", "queueing-model"}
+	var series []Series
+	i := 0
+	for _, lbl := range labels {
+		se := Series{Label: lbl}
+		for _, coop := range s.CoopGrid {
+			se.X = append(se.X, float64(coop))
+			se.Y = append(se.Y, outs[i].LossPercent)
+			i++
+		}
+		series = append(series, se)
+	}
+	return &FigureResult{
+		ID:     "ablation-queueing",
+		Title:  "Service-model ablation: per-update latency vs strict queueing (T=100)",
+		XLabel: "Degree of Cooperation",
+		YLabel: "Loss of Fidelity (%)",
+		Series: series,
+		Notes: []string{
+			"the paper's computational delay is a per-dependent latency within an update;",
+			"a strict serial server saturates at high fan-out and the loss explodes",
+		},
+	}, nil
+}
+
+// ExtensionPull compares the paper's push architecture against the
+// future-work mechanisms (Section 8): pull with static TTR, adaptive TTR,
+// and lease-augmented push — fidelity versus message cost.
+func ExtensionPull(s Scale) (*FigureResult, error) {
+	cfg := s.base()
+	cfg.CoopDegree = 0
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	net, err := cfg.network()
+	if err != nil {
+		return nil, err
+	}
+	traces, repos := cfg.workload()
+	coop, err := probeNetwork(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range repos {
+		r.CoopLimit = coop
+	}
+	builder, err := cfg.builder()
+	if err != nil {
+		return nil, err
+	}
+	overlay, err := builder.Build(net, repos, coop)
+	if err != nil {
+		return nil, err
+	}
+
+	pushCfg := dissemination.Config{CompDelay: cfg.compDelay()}
+	type entry struct {
+		name string
+		run  func() (*dissemination.Result, error)
+	}
+	entries := []entry{
+		{"push-distributed", func() (*dissemination.Result, error) {
+			return dissemination.Run(overlay, traces, dissemination.NewDistributed(), pushCfg)
+		}},
+		{"pull-static-2s", func() (*dissemination.Result, error) {
+			return dissemination.RunPull(overlay, traces, dissemination.PullConfig{
+				Mode: dissemination.StaticTTR, TTR: 2 * sim.Second, CompDelay: cfg.compDelay()})
+		}},
+		{"pull-static-10s", func() (*dissemination.Result, error) {
+			return dissemination.RunPull(overlay, traces, dissemination.PullConfig{
+				Mode: dissemination.StaticTTR, TTR: 10 * sim.Second, CompDelay: cfg.compDelay()})
+		}},
+		{"pull-adaptive", func() (*dissemination.Result, error) {
+			return dissemination.RunPull(overlay, traces, dissemination.PullConfig{
+				Mode: dissemination.AdaptiveTTR, TTR: 10 * sim.Second, CompDelay: cfg.compDelay()})
+		}},
+		{"lease-push-60s", func() (*dissemination.Result, error) {
+			return dissemination.RunLease(overlay, traces, dissemination.LeaseConfig{
+				Duration: 60 * sim.Second, Push: pushCfg})
+		}},
+	}
+	rows := make([][]string, 0, len(entries))
+	for _, e := range entries {
+		res, err := e.run()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, []string{
+			e.name,
+			fmt.Sprintf("%.2f", res.Report.LossPercent()),
+			fmt.Sprintf("%d", res.Stats.Messages),
+		})
+	}
+	return &FigureResult{
+		ID:     "ext-pull",
+		Title:  "Extension: push vs pull (TTR / adaptive) vs leases",
+		Header: []string{"mechanism", "loss %", "messages"},
+		Rows:   rows,
+		Notes:  []string{"same overlay (controlled cooperation) and traces for every mechanism"},
+	}, nil
+}

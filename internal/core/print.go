@@ -1,0 +1,88 @@
+package core
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+// Fprint renders a figure result as the rows/series the paper plots:
+// tabular results as an aligned table, curve figures as one row per x
+// value with one column per series.
+func (f *FigureResult) Fprint(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	switch {
+	case len(f.Rows) > 0:
+		fmt.Fprintln(tw, strings.Join(f.Header, "\t"))
+		for _, row := range f.Rows {
+			fmt.Fprintln(tw, strings.Join(row, "\t"))
+		}
+	case len(f.Series) > 0:
+		header := []string{f.XLabel}
+		for _, s := range f.Series {
+			header = append(header, s.Label)
+		}
+		fmt.Fprintln(tw, strings.Join(header, "\t"))
+		for i := range f.Series[0].X {
+			row := []string{fmt.Sprintf("%g", f.Series[0].X[i])}
+			for _, s := range f.Series {
+				row = append(row, fmt.Sprintf("%.2f", s.Y[i]))
+			}
+			fmt.Fprintln(tw, strings.Join(row, "\t"))
+		}
+		fmt.Fprintf(tw, "(y values: %s)\n", f.YLabel)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	for _, n := range f.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteCSV emits the figure's data in machine-readable form for external
+// plotting: tabular figures as-is, curve figures as one row per x with one
+// column per series.
+func (f *FigureResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	switch {
+	case len(f.Rows) > 0:
+		if err := cw.Write(f.Header); err != nil {
+			return err
+		}
+		for _, row := range f.Rows {
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	case len(f.Series) > 0:
+		header := []string{f.XLabel}
+		for _, s := range f.Series {
+			header = append(header, s.Label)
+		}
+		if err := cw.Write(header); err != nil {
+			return err
+		}
+		for i := range f.Series[0].X {
+			row := []string{strconv.FormatFloat(f.Series[0].X[i], 'g', -1, 64)}
+			for _, s := range f.Series {
+				row = append(row, strconv.FormatFloat(s.Y[i], 'f', 4, 64))
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,63 @@
+package core
+
+// Scale sizes an experiment sweep. The paper's evaluation runs at
+// PaperScale (100 repositories, 700 network nodes, 100 traces of 10000
+// ticks); tests and benchmarks use SmallScale, which preserves every
+// qualitative shape at a fraction of the cost.
+type Scale struct {
+	Repositories int
+	Routers      int
+	Items        int
+	Ticks        int
+	// CoopGrid is the x-axis of degree-of-cooperation sweeps.
+	CoopGrid []int
+	// TValues are the coherency-mix percentages plotted as separate
+	// curves (the paper uses 0,20,50,70,80,90,100).
+	TValues []float64
+	// CommGridMs and CompGridMs are the delay sweep x-axes (Figures 5-7).
+	CommGridMs []float64
+	CompGridMs []float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// PaperScale reproduces the paper's base case.
+func PaperScale() Scale {
+	return Scale{
+		Repositories: 100,
+		Routers:      600,
+		Items:        100,
+		Ticks:        10000,
+		CoopGrid:     []int{1, 2, 3, 5, 7, 10, 15, 20, 30, 50, 75, 100},
+		TValues:      []float64{0, 20, 50, 70, 80, 90, 100},
+		CommGridMs:   []float64{1, 25, 50, 75, 100, 125},
+		CompGridMs:   []float64{-1, 5, 10, 15, 20, 25},
+		Seed:         1,
+	}
+}
+
+// SmallScale is the fast preset used by tests and benchmarks.
+func SmallScale() Scale {
+	return Scale{
+		Repositories: 30,
+		Routers:      90,
+		Items:        20,
+		Ticks:        600,
+		CoopGrid:     []int{1, 2, 4, 7, 12, 20, 30},
+		TValues:      []float64{0, 50, 100},
+		CommGridMs:   []float64{1, 50, 125},
+		CompGridMs:   []float64{-1, 12.5, 25},
+		Seed:         1,
+	}
+}
+
+// base converts the scale into the base-case configuration.
+func (s Scale) base() Config {
+	cfg := Default()
+	cfg.Repositories = s.Repositories
+	cfg.Routers = s.Routers
+	cfg.Items = s.Items
+	cfg.Ticks = s.Ticks
+	cfg.Seed = s.Seed
+	return cfg
+}

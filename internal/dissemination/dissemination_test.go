@@ -1,0 +1,407 @@
+package dissemination
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"d3t/internal/netsim"
+	"d3t/internal/repository"
+	"d3t/internal/sim"
+	"d3t/internal/trace"
+	"d3t/internal/tree"
+)
+
+// fixture builds an overlay plus trace set for tests: n repositories over
+// a zero- or nonzero-delay network, items traced items, LeLA at the given
+// coop degree.
+type fixture struct {
+	overlay *tree.Overlay
+	traces  []*trace.Trace
+}
+
+func buildFixture(t *testing.T, n, items, coop int, stringentFrac float64, net *netsim.Network, ticks int, seed int64) fixture {
+	t.Helper()
+	if net == nil {
+		net = netsim.Uniform(n, 0)
+	}
+	repos := make([]*repository.Repository, n)
+	for i := range repos {
+		repos[i] = repository.New(repository.ID(i+1), coop)
+	}
+	traces := trace.GenerateSet(items, ticks, sim.Second, seed)
+	catalogue := make([]string, items)
+	for i, tr := range traces {
+		catalogue[i] = tr.Item
+	}
+	repository.AssignNeeds(repos, repository.Workload{
+		Items: catalogue, SubscribeProb: 0.5, StringentFrac: stringentFrac, Seed: seed + 1,
+	})
+	o, err := (&tree.LeLA{Seed: seed}).Build(net, repos, coop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return fixture{overlay: o, traces: traces}
+}
+
+// zeroDelay is the ideal-conditions config of Section 5: no computational
+// delay at all.
+var zeroDelay = Config{CompDelay: -1}
+
+func TestDistributedPerfectFidelityAtZeroDelay(t *testing.T) {
+	fx := buildFixture(t, 20, 12, 3, 0.6, nil, 400, 1)
+	res, err := Run(fx.overlay, fx.traces, NewDistributed(), zeroDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := res.Report.SystemFidelity(); f != 1 {
+		t.Errorf("distributed fidelity %v under ideal conditions, want exactly 1 (loss %.4f%%)",
+			f, res.Report.LossPercent())
+	}
+}
+
+func TestCentralizedPerfectFidelityAtZeroDelay(t *testing.T) {
+	fx := buildFixture(t, 20, 12, 3, 0.6, nil, 400, 2)
+	res, err := Run(fx.overlay, fx.traces, NewCentralized(), zeroDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := res.Report.SystemFidelity(); f != 1 {
+		t.Errorf("centralized fidelity %v under ideal conditions, want exactly 1 (loss %.4f%%)",
+			f, res.Report.LossPercent())
+	}
+}
+
+// TestPerfectFidelityProperty fuzzes the guarantee across overlay shapes,
+// coherency mixes and seeds: both exact algorithms must deliver 100%
+// fidelity whenever delays are zero.
+func TestPerfectFidelityProperty(t *testing.T) {
+	f := func(seed int64, coopRaw, tRaw uint8) bool {
+		coop := 1 + int(coopRaw)%8
+		strFrac := float64(tRaw%101) / 100
+		n, items := 12, 8
+		net := netsim.Uniform(n, 0)
+		repos := make([]*repository.Repository, n)
+		for i := range repos {
+			repos[i] = repository.New(repository.ID(i+1), coop)
+		}
+		traces := trace.GenerateSet(items, 150, sim.Second, seed)
+		catalogue := make([]string, items)
+		for i, tr := range traces {
+			catalogue[i] = tr.Item
+		}
+		repository.AssignNeeds(repos, repository.Workload{
+			Items: catalogue, SubscribeProb: 0.5, StringentFrac: strFrac, Seed: seed + 1,
+		})
+		o, err := (&tree.LeLA{Seed: seed}).Build(net, repos, coop)
+		if err != nil {
+			return false
+		}
+		for _, p := range []Protocol{NewDistributed(), NewCentralized()} {
+			res, err := Run(o, traces, p, zeroDelay)
+			if err != nil || res.Report.SystemFidelity() != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// figure4 builds the exact scenario of Figure 4: source -> P (c_p) ->
+// Q (c_q) with the paper's update sequence 1, 1.2, 1.4, 1.5, 1.7, 2.0 and
+// tolerances 0.3/0.5, all scaled by 100 so every comparison the example
+// depends on (|1.7 - 1.4| vs 0.3 in particular) is exact in float64.
+func figure4(t *testing.T) (*tree.Overlay, []*trace.Trace) {
+	t.Helper()
+	net := netsim.Uniform(2, 0)
+	p := repository.New(1, 1)
+	q := repository.New(2, 1)
+	p.Needs["X"], p.Serving["X"] = 30, 30
+	q.Needs["X"], q.Serving["X"] = 50, 50
+	o, err := (&tree.LeLA{}).Build(net, []*repository.Repository{p, q}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coop degree 1 forces the chain source -> P -> Q.
+	if q.Parents["X"] != 1 || p.Parents["X"] != repository.SourceID {
+		t.Fatalf("fixture is not the chain: P parent %v, Q parent %v", p.Parents["X"], q.Parents["X"])
+	}
+	tr := &trace.Trace{Item: "X"}
+	for i, v := range []float64{100, 120, 140, 150, 170, 200} {
+		tr.Ticks = append(tr.Ticks, trace.Tick{At: sim.Time(i) * sim.Second, Value: v})
+	}
+	return o, []*trace.Trace{tr}
+}
+
+func TestNaiveMissesUpdatesOnFigure4(t *testing.T) {
+	o, traces := figure4(t)
+
+	naive, err := Run(o, traces, NewNaive(), zeroDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive.Report.SystemFidelity() >= 1 {
+		t.Error("Eq.3-only filtering should lose fidelity on the Figure 4 sequence even with zero delays")
+	}
+
+	dist, err := Run(o, traces, NewDistributed(), zeroDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := dist.Report.SystemFidelity(); f != 1 {
+		t.Errorf("distributed fidelity %v on Figure 4, want 1", f)
+	}
+	cent, err := Run(o, traces, NewCentralized(), zeroDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := cent.Report.SystemFidelity(); f != 1 {
+		t.Errorf("centralized fidelity %v on Figure 4, want 1", f)
+	}
+
+	// Eq. 7 costs extra messages — that is its price.
+	if dist.Stats.Messages <= naive.Stats.Messages {
+		t.Errorf("distributed sent %d messages, naive %d; the guard must cost something here",
+			dist.Stats.Messages, naive.Stats.Messages)
+	}
+}
+
+func TestCentralizedAndDistributedMessageParity(t *testing.T) {
+	// Section 6.3.4 / Figure 11b: both exact approaches send (nearly) the
+	// same number of messages.
+	fx := buildFixture(t, 25, 15, 4, 0.5, nil, 600, 3)
+	dist, err := Run(fx.overlay, fx.traces, NewDistributed(), zeroDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cent, err := Run(fx.overlay, fx.traces, NewCentralized(), zeroDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, c := float64(dist.Stats.Messages), float64(cent.Stats.Messages)
+	if math.Abs(d-c) > 0.15*math.Max(d, c) {
+		t.Errorf("message counts diverge: distributed %v, centralized %v", d, c)
+	}
+}
+
+func TestCentralizedDoesMoreSourceChecks(t *testing.T) {
+	// Figure 11a: the centralized source checks every unique tolerance per
+	// update — substantially more work at the source than the distributed
+	// source's per-dependent checks.
+	fx := buildFixture(t, 40, 20, 4, 0.5, nil, 600, 4)
+	dist, err := Run(fx.overlay, fx.traces, NewDistributed(), zeroDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cent, err := Run(fx.overlay, fx.traces, NewCentralized(), zeroDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cent.Stats.SourceChecks <= dist.Stats.SourceChecks {
+		t.Errorf("centralized source checks %d not above distributed %d",
+			cent.Stats.SourceChecks, dist.Stats.SourceChecks)
+	}
+	// And the distributed approach spreads checking over repositories.
+	if dist.Stats.RepoChecks == 0 {
+		t.Error("distributed run performed no repository checks")
+	}
+	if cent.Stats.RepoChecks != 0 {
+		t.Errorf("centralized charged %d checks to repositories, want 0", cent.Stats.RepoChecks)
+	}
+}
+
+func TestAllPushSendsEverythingEverywhere(t *testing.T) {
+	fx := buildFixture(t, 15, 10, 3, 0.3, nil, 300, 5)
+	all, err := Run(fx.overlay, fx.traces, NewAllPush(), zeroDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := Run(fx.overlay, fx.traces, NewDistributed(), zeroDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all.Stats.Messages <= dist.Stats.Messages {
+		t.Errorf("all-push messages %d not above filtered %d", all.Stats.Messages, dist.Stats.Messages)
+	}
+	if f := all.Report.SystemFidelity(); f != 1 {
+		t.Errorf("all-push with zero delays should still be perfect, got %v", f)
+	}
+}
+
+func TestFilteringBeatsAllPushUnderLoad(t *testing.T) {
+	// Figure 8's mechanism: with real computational delays, pushing every
+	// update clogs the source and loses fidelity versus filtered push.
+	// A direct tree over 30 items keeps the unfiltered source saturated.
+	n := 20
+	net := netsim.Uniform(n, 20*sim.Millisecond)
+	repos := make([]*repository.Repository, n)
+	for i := range repos {
+		repos[i] = repository.New(repository.ID(i+1), n)
+	}
+	traces := trace.GenerateSet(70, 500, sim.Second, 6)
+	catalogue := make([]string, len(traces))
+	for i, tr := range traces {
+		catalogue[i] = tr.Item
+	}
+	repository.AssignNeeds(repos, repository.Workload{
+		Items: catalogue, SubscribeProb: 0.5, StringentFrac: 0, Seed: 7,
+	})
+	o, err := (&tree.DirectBuilder{}).Build(net, repos, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{CompDelay: sim.Milliseconds(12.5), Queueing: true}
+	all, err := Run(o, traces, NewAllPush(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := Run(o, traces, NewDistributed(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.Report.LossPercent() >= all.Report.LossPercent() {
+		t.Errorf("filtered loss %.2f%% not below all-push loss %.2f%% (all-push utilization %.2f)",
+			dist.Report.LossPercent(), all.Report.LossPercent(), all.SourceUtilization)
+	}
+}
+
+func TestDelaysReduceFidelity(t *testing.T) {
+	mk := func(delay sim.Time) float64 {
+		net := netsim.Uniform(15, delay)
+		fx := buildFixture(t, 15, 10, 4, 1.0, net, 400, 7)
+		res, err := Run(fx.overlay, fx.traces, NewDistributed(), Config{CompDelay: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Report.LossPercent()
+	}
+	l0 := mk(0)
+	l200 := mk(200 * sim.Millisecond)
+	l2000 := mk(2000 * sim.Millisecond)
+	if l0 != 0 {
+		t.Errorf("zero-delay loss %.3f%%, want 0", l0)
+	}
+	if !(l200 > l0) || !(l2000 > l200) {
+		t.Errorf("loss not increasing with delay: %.3f%% -> %.3f%% -> %.3f%%", l0, l200, l2000)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	fx := buildFixture(t, 5, 4, 2, 0.5, nil, 50, 8)
+	if _, err := Run(fx.overlay, nil, NewDistributed(), zeroDelay); err == nil {
+		t.Error("empty trace set accepted")
+	}
+	empty := []*trace.Trace{{Item: "X"}}
+	if _, err := Run(fx.overlay, empty, NewDistributed(), zeroDelay); err == nil {
+		t.Error("empty trace accepted")
+	}
+	dup := []*trace.Trace{fx.traces[0], fx.traces[0]}
+	if _, err := Run(fx.overlay, dup, NewDistributed(), zeroDelay); err == nil {
+		t.Error("duplicate traces accepted")
+	}
+	// Needing an item with no trace must fail.
+	if _, err := Run(fx.overlay, fx.traces[:1], NewDistributed(), zeroDelay); err == nil {
+		t.Error("missing trace for a needed item accepted")
+	}
+}
+
+func TestQuietTicksCostNothing(t *testing.T) {
+	// A flat trace (one initial value, never changing) produces no source
+	// ticks, no checks, no messages.
+	net := netsim.Uniform(3, 0)
+	repos := make([]*repository.Repository, 3)
+	for i := range repos {
+		repos[i] = repository.New(repository.ID(i+1), 2)
+		repos[i].Needs["X"], repos[i].Serving["X"] = 0.1, 0.1
+	}
+	o, err := (&tree.LeLA{}).Build(net, repos, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := &trace.Trace{Item: "X"}
+	for i := 0; i < 100; i++ {
+		flat.Ticks = append(flat.Ticks, trace.Tick{At: sim.Time(i) * sim.Second, Value: 42})
+	}
+	res, err := Run(o, []*trace.Trace{flat}, NewDistributed(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SourceTicks != 0 || res.Stats.Messages != 0 {
+		t.Errorf("flat trace produced %d ticks, %d messages; want 0, 0",
+			res.Stats.SourceTicks, res.Stats.Messages)
+	}
+	if f := res.Report.SystemFidelity(); f != 1 {
+		t.Errorf("flat trace fidelity %v, want 1", f)
+	}
+}
+
+func TestSourceUtilizationReflectsLoad(t *testing.T) {
+	// A direct tree with stringent tolerances and 12.5 ms per send should
+	// keep the source visibly busy.
+	n := 20
+	net := netsim.Uniform(n, 10*sim.Millisecond)
+	repos := make([]*repository.Repository, n)
+	for i := range repos {
+		repos[i] = repository.New(repository.ID(i+1), n)
+	}
+	traces := trace.GenerateSet(10, 300, sim.Second, 9)
+	catalogue := make([]string, len(traces))
+	for i, tr := range traces {
+		catalogue[i] = tr.Item
+	}
+	repository.AssignNeeds(repos, repository.Workload{
+		Items: catalogue, SubscribeProb: 0.5, StringentFrac: 1, Seed: 10,
+	})
+	o, err := (&tree.DirectBuilder{}).Build(net, repos, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(o, traces, NewDistributed(), Config{CompDelay: sim.Milliseconds(12.5), Queueing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SourceUtilization <= 0.02 {
+		t.Errorf("source utilization %.3f suspiciously low for a direct tree", res.SourceUtilization)
+	}
+	if res.SourceUtilization > 1 {
+		t.Errorf("source utilization %.3f above 1", res.SourceUtilization)
+	}
+}
+
+func TestProtocolNames(t *testing.T) {
+	names := map[string]Protocol{
+		"distributed": NewDistributed(),
+		"naive-eq3":   NewNaive(),
+		"centralized": NewCentralized(),
+		"all-push":    NewAllPush(),
+	}
+	for want, p := range names {
+		if got := p.Name(); got != want {
+			t.Errorf("protocol name %q, want %q", got, want)
+		}
+	}
+}
+
+func ExampleRun() {
+	net := netsim.Uniform(2, 0)
+	p := repository.New(1, 1)
+	q := repository.New(2, 1)
+	p.Needs["MSFT"], p.Serving["MSFT"] = 30, 30
+	q.Needs["MSFT"], q.Serving["MSFT"] = 50, 50
+	o, _ := (&tree.LeLA{}).Build(net, []*repository.Repository{p, q}, 1)
+
+	tr := &trace.Trace{Item: "MSFT"}
+	for i, v := range []float64{100, 120, 140, 150, 170, 200} {
+		tr.Ticks = append(tr.Ticks, trace.Tick{At: sim.Time(i) * sim.Second, Value: v})
+	}
+	res, _ := Run(o, []*trace.Trace{tr}, NewDistributed(), Config{CompDelay: -1})
+	fmt.Printf("fidelity %.2f, %d messages\n", res.Report.SystemFidelity(), res.Stats.Messages)
+	// Output: fidelity 1.00, 4 messages
+}

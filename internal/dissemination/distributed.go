@@ -1,0 +1,112 @@
+package dissemination
+
+import (
+	"d3t/internal/coherency"
+	"d3t/internal/repository"
+	"d3t/internal/tree"
+)
+
+// Distributed is the repository-based dissemination algorithm of Section
+// 5.1: each node forwards an update to a dependent when Eq. (3) — the
+// dependent's tolerance is violated — or Eq. (7) — withholding it risks a
+// missed update — holds. With UseEq7 false it degrades to the naive
+// Eq.3-only filter, which cannot guarantee fidelity even with zero delays
+// (Figure 4); that variant exists for the ablation and the tests.
+type Distributed struct {
+	// UseEq7 enables the missed-update guard. The real algorithm has it
+	// on; turning it off yields the naive baseline.
+	UseEq7 bool
+
+	overlay *tree.Overlay
+	sent    lastSent
+}
+
+// NewDistributed returns the paper's distributed algorithm.
+func NewDistributed() *Distributed { return &Distributed{UseEq7: true} }
+
+// NewNaive returns the Eq.3-only variant.
+func NewNaive() *Distributed { return &Distributed{UseEq7: false} }
+
+// Name implements Protocol.
+func (d *Distributed) Name() string {
+	if d.UseEq7 {
+		return "distributed"
+	}
+	return "naive-eq3"
+}
+
+// Init implements Protocol.
+func (d *Distributed) Init(o *tree.Overlay, initial map[string]float64) {
+	d.overlay = o
+	d.sent = initLastSent(o, initial)
+}
+
+// AtSource implements Protocol. The source holds the exact value, so its
+// own tolerance in Eq. (7) is zero and the filter reduces to Eq. (3).
+func (d *Distributed) AtSource(x string, v float64) ([]Forward, int) {
+	return d.decide(d.overlay.Source(), x, v, 0)
+}
+
+// AtRepo implements Protocol.
+func (d *Distributed) AtRepo(node *repository.Repository, x string, v float64, _ coherency.Requirement) ([]Forward, int) {
+	cSelf, ok := node.ServingTolerance(x)
+	if !ok {
+		return nil, 0
+	}
+	return d.decide(node, x, v, cSelf)
+}
+
+func (d *Distributed) decide(node *repository.Repository, x string, v float64, cSelf coherency.Requirement) ([]Forward, int) {
+	deps := node.Dependents[x]
+	var fwd []Forward
+	for _, dep := range deps {
+		cDep, ok := d.overlay.Node(dep).ServingTolerance(x)
+		if !ok {
+			continue // should not happen in a validated overlay
+		}
+		last := d.sent.get(node.ID, dep, x)
+		forward := coherency.NeedsUpdate(v, last, cDep)
+		if !forward && d.UseEq7 {
+			forward = coherency.RisksMissedUpdate(v, last, cDep, cSelf)
+		}
+		if forward {
+			fwd = append(fwd, Forward{To: dep})
+			d.sent.set(node.ID, dep, x, v)
+		}
+	}
+	return fwd, len(deps)
+}
+
+// AllPush is the Figure 8 baseline: no filtering at all; every update of
+// an item flows to every repository interested in it.
+type AllPush struct {
+	overlay *tree.Overlay
+}
+
+// NewAllPush returns the unfiltered baseline.
+func NewAllPush() *AllPush { return &AllPush{} }
+
+// Name implements Protocol.
+func (a *AllPush) Name() string { return "all-push" }
+
+// Init implements Protocol.
+func (a *AllPush) Init(o *tree.Overlay, _ map[string]float64) { a.overlay = o }
+
+// AtSource implements Protocol.
+func (a *AllPush) AtSource(x string, v float64) ([]Forward, int) {
+	return a.all(a.overlay.Source(), x)
+}
+
+// AtRepo implements Protocol.
+func (a *AllPush) AtRepo(node *repository.Repository, x string, _ float64, _ coherency.Requirement) ([]Forward, int) {
+	return a.all(node, x)
+}
+
+func (a *AllPush) all(node *repository.Repository, x string) ([]Forward, int) {
+	deps := node.Dependents[x]
+	fwd := make([]Forward, len(deps))
+	for i, dep := range deps {
+		fwd[i] = Forward{To: dep}
+	}
+	return fwd, 0 // no filtering checks are performed
+}

@@ -1,0 +1,145 @@
+package dissemination
+
+import (
+	"testing"
+
+	"d3t/internal/coherency"
+	"d3t/internal/netsim"
+	"d3t/internal/repository"
+	"d3t/internal/sim"
+	"d3t/internal/trace"
+	"d3t/internal/tree"
+)
+
+// starOverlay builds a source directly serving n repositories, all
+// needing item X at tolerance c.
+func starOverlay(t *testing.T, n int, c float64, delay sim.Time) *tree.Overlay {
+	t.Helper()
+	net := netsim.Uniform(n, delay)
+	repos := make([]*repository.Repository, n)
+	for i := range repos {
+		repos[i] = repository.New(repository.ID(i+1), n)
+		repos[i].Needs["X"] = coherency.Requirement(c)
+		repos[i].Serving["X"] = coherency.Requirement(c)
+	}
+	o, err := (&tree.DirectBuilder{}).Build(net, repos, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+// rampTrace moves from 0 upward in unit steps every second — every tick
+// violates any tolerance below 1.
+func rampTrace(ticks int) *trace.Trace {
+	tr := &trace.Trace{Item: "X"}
+	for i := 0; i < ticks; i++ {
+		tr.Ticks = append(tr.Ticks, trace.Tick{At: sim.Time(i) * sim.Second, Value: float64(i)})
+	}
+	return tr
+}
+
+func TestLatencyModelStalenessGrowsWithFanOut(t *testing.T) {
+	// In the per-update latency model, the k-th dependent of an update
+	// waits k computational delays: wider stars are staler on average.
+	loss := func(n int) float64 {
+		o := starOverlay(t, n, 0.5, 0)
+		res, err := Run(o, []*trace.Trace{rampTrace(200)}, NewDistributed(), Config{
+			CompDelay: sim.Milliseconds(12.5),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Report.LossPercent()
+	}
+	l2, l20, l60 := loss(2), loss(20), loss(60)
+	if !(l2 < l20 && l20 < l60) {
+		t.Errorf("loss not increasing with fan-out: %v, %v, %v", l2, l20, l60)
+	}
+}
+
+func TestQueueingModelSaturates(t *testing.T) {
+	// With strict queueing, a star whose per-update work exceeds the
+	// inter-update gap grows an unbounded backlog; the latency model with
+	// identical parameters stays bounded. 60 dependents x 12.5 ms =
+	// 750 ms of work per 1000 ms update interval per item... with one
+	// item ramping every second the star is at 75% load; to saturate,
+	// use two items.
+	const n = 60
+	o := starOverlay(t, n, 0.5, 0)
+	for _, r := range o.Repos() {
+		r.Needs["Y"], r.Serving["Y"] = 0.5, 0.5
+		o.Source().AddDependent("Y", r.ID)
+		r.Parents["Y"] = repository.SourceID
+	}
+	tr2 := rampTrace(200)
+	y := &trace.Trace{Item: "Y", Ticks: append([]trace.Tick(nil), tr2.Ticks...)}
+	y.Item = "Y"
+	traces := []*trace.Trace{rampTrace(200), y}
+
+	lat, err := Run(o, traces, NewDistributed(), Config{CompDelay: sim.Milliseconds(12.5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	que, err := Run(o, traces, NewDistributed(), Config{CompDelay: sim.Milliseconds(12.5), Queueing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if que.Report.LossPercent() <= lat.Report.LossPercent()+5 {
+		t.Errorf("queueing loss %.2f%% not far above latency-model loss %.2f%% despite 150%% load",
+			que.Report.LossPercent(), lat.Report.LossPercent())
+	}
+}
+
+func TestStatsConsistency(t *testing.T) {
+	fx := buildFixture(t, 20, 12, 4, 0.7, nil, 400, 31)
+	res, err := Run(fx.overlay, fx.traces, NewDistributed(), zeroDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At zero delay everything sent is delivered within the horizon,
+	// except copies sent exactly at the horizon boundary.
+	if res.Stats.Deliveries > res.Stats.Messages {
+		t.Errorf("deliveries %d exceed messages %d", res.Stats.Deliveries, res.Stats.Messages)
+	}
+	if res.Stats.Messages-res.Stats.Deliveries > res.Stats.Messages/100 {
+		t.Errorf("too many undelivered at zero delay: %d of %d",
+			res.Stats.Messages-res.Stats.Deliveries, res.Stats.Messages)
+	}
+	if res.Stats.SourceTicks == 0 || res.Stats.Events == 0 {
+		t.Error("zero ticks or events recorded")
+	}
+}
+
+func TestDeeperRepositoriesAreStaler(t *testing.T) {
+	// Build a 6-deep chain with uniform delays and compare per-repository
+	// fidelity by depth: every hop adds staleness.
+	const n = 6
+	net := netsim.Uniform(n, 100*sim.Millisecond)
+	repos := make([]*repository.Repository, n)
+	for i := range repos {
+		repos[i] = repository.New(repository.ID(i+1), 1)
+		repos[i].Needs["X"], repos[i].Serving["X"] = 0.5, 0.5
+	}
+	o, err := (&tree.LeLA{}).Build(net, repos, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(o, []*trace.Trace{rampTrace(300)}, NewDistributed(), Config{
+		CompDelay: sim.Milliseconds(12.5),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64 = 2
+	for id := 1; id <= n; id++ {
+		f, ok := res.Report.RepoFidelity(id)
+		if !ok {
+			t.Fatalf("no fidelity for repo %d", id)
+		}
+		if f > prev+1e-9 {
+			t.Errorf("repo %d (deeper) has HIGHER fidelity %v than its parent %v", id, f, prev)
+		}
+		prev = f
+	}
+}

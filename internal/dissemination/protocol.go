@@ -1,0 +1,76 @@
+// Package dissemination implements the update dissemination algorithms of
+// Section 5 of the paper — the distributed repository-based approach
+// (Eqs. 3 and 7), the centralized source-based approach, the naive Eq.3-
+// only filter (which exhibits the missed-update problem of Figure 4), and
+// the unfiltered push-everything baseline of Figure 8 — together with the
+// discrete-event runner that drives them over an overlay and a trace set
+// and measures fidelity, message counts and check counts.
+//
+// The package also provides the pull-based alternatives the paper lists as
+// future work (static TTR, adaptive TTR, and leases); see pull.go.
+package dissemination
+
+import (
+	"d3t/internal/coherency"
+	"d3t/internal/repository"
+	"d3t/internal/tree"
+)
+
+// Forward is one outgoing copy of an update: the dependent to send to and
+// the coherency tag it carries (used only by the centralized algorithm;
+// zero otherwise).
+type Forward struct {
+	To  repository.ID
+	Tag coherency.Requirement
+}
+
+// Protocol is a push dissemination algorithm. Implementations are stateful
+// (they track last-sent values per edge or per tolerance) and are not safe
+// for concurrent use; each simulation run owns one instance.
+type Protocol interface {
+	// Name identifies the protocol in experiment output.
+	Name() string
+	// Init prepares protocol state for an overlay whose nodes all hold
+	// the given initial values.
+	Init(o *tree.Overlay, initial map[string]float64)
+	// AtSource reports which direct dependents must receive the new value
+	// v of item x, and how many filtering checks the source performed.
+	AtSource(x string, v float64) (fwd []Forward, checks int)
+	// AtRepo reports which of node's dependents must receive the update
+	// (x, v, tag) that node just received, and how many checks node
+	// performed.
+	AtRepo(node *repository.Repository, x string, v float64, tag coherency.Requirement) (fwd []Forward, checks int)
+}
+
+// lastSent tracks, per (parent, dependent, item), the last value the
+// parent pushed to the dependent — the state behind Eqs. 3 and 7.
+type lastSent map[repository.ID]map[repository.ID]map[string]float64
+
+// initLastSent seeds every overlay edge with the initial item values.
+func initLastSent(o *tree.Overlay, initial map[string]float64) lastSent {
+	ls := make(lastSent, len(o.Nodes))
+	for _, n := range o.Nodes {
+		byDep := make(map[repository.ID]map[string]float64)
+		for x, deps := range n.Dependents {
+			v := initial[x]
+			for _, d := range deps {
+				m := byDep[d]
+				if m == nil {
+					m = make(map[string]float64)
+					byDep[d] = m
+				}
+				m[x] = v
+			}
+		}
+		ls[n.ID] = byDep
+	}
+	return ls
+}
+
+func (ls lastSent) get(from, to repository.ID, x string) float64 {
+	return ls[from][to][x]
+}
+
+func (ls lastSent) set(from, to repository.ID, x string, v float64) {
+	ls[from][to][x] = v
+}

@@ -1,0 +1,176 @@
+package dissemination
+
+import (
+	"fmt"
+	"testing"
+
+	"d3t/internal/netsim"
+	"d3t/internal/repository"
+	"d3t/internal/sim"
+	"d3t/internal/trace"
+	"d3t/internal/tree"
+)
+
+func TestPullFidelityImprovesWithShorterTTR(t *testing.T) {
+	fx := buildFixture(t, 15, 10, 4, 0.8, nil, 400, 21)
+	run := func(ttr sim.Time) *Result {
+		res, err := RunPull(fx.overlay, fx.traces, PullConfig{
+			Mode: StaticTTR, TTR: ttr, CompDelay: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	fast := run(2 * sim.Second)
+	slow := run(30 * sim.Second)
+	if fast.Report.SystemFidelity() <= slow.Report.SystemFidelity() {
+		t.Errorf("TTR 2s fidelity %.4f not above TTR 30s fidelity %.4f",
+			fast.Report.SystemFidelity(), slow.Report.SystemFidelity())
+	}
+	if fast.Stats.Messages <= slow.Stats.Messages {
+		t.Errorf("TTR 2s messages %d not above TTR 30s messages %d",
+			fast.Stats.Messages, slow.Stats.Messages)
+	}
+}
+
+func TestPullLosesToPushAtEqualConditions(t *testing.T) {
+	// Push delivers exactly the needed updates as they happen; periodic
+	// pull must miss some windows. This is the motivation for the paper's
+	// push architecture.
+	fx := buildFixture(t, 15, 10, 4, 0.8, nil, 400, 22)
+	push, err := Run(fx.overlay, fx.traces, NewDistributed(), zeroDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pull, err := RunPull(fx.overlay, fx.traces, PullConfig{Mode: StaticTTR, TTR: 5 * sim.Second, CompDelay: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pull.Report.SystemFidelity() >= push.Report.SystemFidelity() {
+		t.Errorf("pull fidelity %.4f not below push fidelity %.4f",
+			pull.Report.SystemFidelity(), push.Report.SystemFidelity())
+	}
+}
+
+func TestAdaptiveTTRBeatsStaticAtMatchedBudget(t *testing.T) {
+	// The adaptive scheme spends polls where the data moves, so its edge
+	// shows on a workload with heterogeneous volatility: half the items
+	// move fast relative to the tolerance, half barely move. A static TTR
+	// wastes its budget polling quiet items; adaptive reallocates it.
+	fx := mixedVolatilityFixture(t)
+	adaptive, err := RunPull(fx.overlay, fx.traces, PullConfig{
+		Mode: AdaptiveTTR, TTR: 10 * sim.Second,
+		TTRMin: 1 * sim.Second, TTRMax: 60 * sim.Second, CompDelay: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Derive the static interval that spends the same budget: pollers
+	// poll every TTR, two messages per poll.
+	var pollers uint64
+	for _, n := range fx.overlay.Repos() {
+		pollers += uint64(len(n.Serving))
+	}
+	ttrEq := sim.Time(uint64(adaptive.Horizon) * 2 * pollers / adaptive.Stats.Messages)
+	static, err := RunPull(fx.overlay, fx.traces, PullConfig{
+		Mode: StaticTTR, TTR: ttrEq, CompDelay: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("adaptive: fidelity %.4f msgs %d; static(TTR=%v): fidelity %.4f msgs %d",
+		adaptive.Report.SystemFidelity(), adaptive.Stats.Messages,
+		ttrEq, static.Report.SystemFidelity(), static.Stats.Messages)
+	// Budgets should land close.
+	lo, hi := static.Stats.Messages*7/10, static.Stats.Messages*13/10
+	if adaptive.Stats.Messages < lo || adaptive.Stats.Messages > hi {
+		t.Logf("budget match is loose: adaptive %d vs static %d", adaptive.Stats.Messages, static.Stats.Messages)
+	}
+	if adaptive.Report.SystemFidelity() < static.Report.SystemFidelity()-0.01 {
+		t.Errorf("adaptive fidelity %.4f below budget-matched static %.4f",
+			adaptive.Report.SystemFidelity(), static.Report.SystemFidelity())
+	}
+}
+
+func TestLeaseMatchesDistributedFidelityWithRenewals(t *testing.T) {
+	fx := buildFixture(t, 15, 10, 4, 0.5, nil, 300, 24)
+	lease, err := RunLease(fx.overlay, fx.traces, LeaseConfig{
+		Duration: 30 * sim.Second, Push: zeroDelay,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	push, err := Run(fx.overlay, fx.traces, NewDistributed(), zeroDelay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lease.Report.SystemFidelity() != push.Report.SystemFidelity() {
+		t.Errorf("lease fidelity %.4f != distributed %.4f",
+			lease.Report.SystemFidelity(), push.Report.SystemFidelity())
+	}
+	if lease.Stats.Messages <= push.Stats.Messages {
+		t.Errorf("lease messages %d not above push %d (renewals missing)",
+			lease.Stats.Messages, push.Stats.Messages)
+	}
+	if lease.Protocol != "lease-push" {
+		t.Errorf("protocol name %q", lease.Protocol)
+	}
+}
+
+// mixedVolatilityFixture builds 10 repositories that each need all 10
+// items at tolerance 0.15: five items are volatile (10-cent steps every
+// second), five are quiet (1-cent steps, 95% hold).
+func mixedVolatilityFixture(t *testing.T) fixture {
+	t.Helper()
+	const nRepos, nItems = 10, 10
+	traces := make([]*trace.Trace, nItems)
+	for i := range traces {
+		cfg := trace.GenConfig{
+			Item:  fmt.Sprintf("ITEM%03d", i),
+			Model: trace.BoundedWalk,
+			Ticks: 600, Interval: sim.Second,
+			Start: 50, Low: 48, High: 52,
+			Seed: 23_000 + int64(i),
+		}
+		if i < nItems/2 {
+			cfg.Step, cfg.HoldProb = 0.10, 0 // volatile
+		} else {
+			cfg.Step, cfg.HoldProb = 0.01, 0.95 // quiet
+		}
+		traces[i] = trace.MustGenerate(cfg)
+	}
+	repos := make([]*repository.Repository, nRepos)
+	for i := range repos {
+		repos[i] = repository.New(repository.ID(i+1), 4)
+		for _, tr := range traces {
+			repos[i].Needs[tr.Item] = 0.15
+			repos[i].Serving[tr.Item] = 0.15
+		}
+	}
+	net := netsim.Uniform(nRepos, 0)
+	o, err := (&tree.LeLA{Seed: 23}).Build(net, repos, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fixture{overlay: o, traces: traces}
+}
+
+func TestPullRejectsBadInput(t *testing.T) {
+	fx := buildFixture(t, 5, 4, 2, 0.5, nil, 50, 25)
+	if _, err := RunPull(fx.overlay, nil, PullConfig{}); err == nil {
+		t.Error("empty trace set accepted")
+	}
+	if _, err := RunPull(fx.overlay, fx.traces[:1], PullConfig{}); err == nil {
+		t.Error("missing traces for needed items accepted")
+	}
+}
+
+func TestPullModeString(t *testing.T) {
+	if StaticTTR.String() != "pull-static" || AdaptiveTTR.String() != "pull-adaptive" {
+		t.Error("unexpected mode names")
+	}
+	if PullMode(9).String() == "" {
+		t.Error("unknown mode produced empty name")
+	}
+}

@@ -1,0 +1,269 @@
+package dissemination
+
+import (
+	"fmt"
+	"sort"
+
+	"d3t/internal/coherency"
+	"d3t/internal/repository"
+	"d3t/internal/sim"
+	"d3t/internal/trace"
+	"d3t/internal/tree"
+)
+
+// Config sets the delay model of a simulation run (Section 6.1).
+type Config struct {
+	// CompDelay is the computational delay a node incurs per dependent it
+	// disseminates an update to — checking plus preparing the message.
+	// The paper's default is 12.5 ms.
+	CompDelay sim.Time
+	// CheckFrac is the fraction of CompDelay charged for a dependent that
+	// is checked but not forwarded. The paper folds checking into the
+	// 12.5 ms per-dissemination cost, so the default is 0; the ablation
+	// benches raise it.
+	CheckFrac float64
+	// Queueing selects the node service model. The default (false)
+	// matches the paper: dissemination cost is a per-update latency — the
+	// k-th copy of an update leaves k computational delays after the
+	// update arrives, so a node with many dependents delays its later
+	// dependents, but successive updates do not queue behind each other.
+	// With Queueing true the node is a strict serial server (a
+	// sim.Station): back-to-back updates queue, and an overcommitted node
+	// grows an unbounded backlog — a harsher model useful for studying
+	// saturation (the ablation-queueing experiment).
+	Queueing bool
+}
+
+func (c Config) withDefaults() Config {
+	switch {
+	case c.CompDelay == 0:
+		c.CompDelay = sim.Milliseconds(12.5)
+	case c.CompDelay < 0:
+		// Negative means "explicitly zero": the ideal-conditions runs that
+		// verify the 100%-fidelity guarantees use it.
+		c.CompDelay = 0
+	}
+	return c
+}
+
+// Stats counts the work a run performed.
+type Stats struct {
+	// Messages is the number of update copies pushed over overlay edges.
+	Messages uint64
+	// SourceChecks counts filtering checks performed at the source
+	// (per-dependent for the distributed algorithm, per-unique-tolerance
+	// for the centralized one — the Figure 11a comparison).
+	SourceChecks uint64
+	// RepoChecks counts filtering checks performed at repositories.
+	RepoChecks uint64
+	// Deliveries counts updates actually delivered to repositories within
+	// the observation horizon.
+	Deliveries uint64
+	// SourceTicks counts trace ticks that changed an item's value.
+	SourceTicks uint64
+	// Events is the number of simulation events executed.
+	Events uint64
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	// Protocol is the protocol name.
+	Protocol string
+	// Report holds per-repository fidelity.
+	Report *coherency.Report
+	// Stats holds work counters.
+	Stats Stats
+	// Horizon is the observation end time (the last trace tick).
+	Horizon sim.Time
+	// SourceUtilization is the fraction of the horizon the source's
+	// processing resource was busy — the bottleneck indicator behind the
+	// rising arm of the U-curve.
+	SourceUtilization float64
+}
+
+// Run simulates pushing the traces through the overlay with the given
+// protocol and returns fidelity and work statistics. The overlay must
+// contain a parent path for every needed item (tree builders guarantee
+// this; Run validates lazily by panicking inside the engine otherwise).
+//
+// Time zero holds the initial value of every trace at every node; fidelity
+// is observed from time zero to the last trace tick.
+func Run(o *tree.Overlay, traces []*trace.Trace, p Protocol, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("dissemination: no traces to run")
+	}
+
+	// Initial values and observation horizon.
+	initial := make(map[string]float64, len(traces))
+	var horizon sim.Time
+	for _, tr := range traces {
+		if tr.Len() == 0 {
+			return nil, fmt.Errorf("dissemination: trace %s is empty", tr.Item)
+		}
+		if _, dup := initial[tr.Item]; dup {
+			return nil, fmt.Errorf("dissemination: duplicate trace for item %s", tr.Item)
+		}
+		initial[tr.Item] = tr.Ticks[0].Value
+		if end := tr.Ticks[tr.Len()-1].At; end > horizon {
+			horizon = end
+		}
+	}
+
+	p.Init(o, initial)
+
+	// Fidelity trackers for every (repository, needed item) pair, at the
+	// repository's own client-facing tolerance.
+	trackers := make(map[string][]repoTracker) // item -> interested repositories
+	byRepo := make(map[string]map[repository.ID]*coherency.Tracker)
+	for _, n := range o.Repos() {
+		for _, x := range n.NeededItems() {
+			c := n.Needs[x]
+			v, ok := initial[x]
+			if !ok {
+				return nil, fmt.Errorf("dissemination: repository %d needs item %s with no trace", n.ID, x)
+			}
+			t := coherency.NewTracker(c, 0, v)
+			trackers[x] = append(trackers[x], repoTracker{repo: n.ID, tr: t})
+			m := byRepo[x]
+			if m == nil {
+				m = make(map[repository.ID]*coherency.Tracker)
+				byRepo[x] = m
+			}
+			m[n.ID] = t
+		}
+	}
+
+	r := &runner{
+		overlay:  o,
+		cfg:      cfg,
+		engine:   sim.New(),
+		protocol: p,
+		stations: make([]sim.Station, len(o.Nodes)),
+		trackers: trackers,
+		byRepo:   byRepo,
+	}
+
+	// Schedule the source-side trace ticks. Quiet ticks (no value change)
+	// cost nothing: the paper's sources react to new data values.
+	for _, tr := range traces {
+		last := tr.Ticks[0].Value
+		for _, tk := range tr.Ticks[1:] {
+			if tk.Value == last {
+				continue
+			}
+			last = tk.Value
+			item, v := tr.Item, tk.Value
+			r.engine.At(tk.At, func(now sim.Time) { r.sourceTick(now, item, v) })
+		}
+	}
+
+	r.engine.RunUntil(horizon)
+
+	report := coherency.NewReport()
+	items := make([]string, 0, len(trackers))
+	for x := range trackers {
+		items = append(items, x)
+	}
+	sort.Strings(items)
+	for _, x := range items {
+		for _, rt := range trackers[x] {
+			report.Add(int(rt.repo), rt.tr.Fidelity(horizon))
+		}
+	}
+	r.stats.Events = r.engine.Processed()
+	return &Result{
+		Protocol:          p.Name(),
+		Report:            report,
+		Stats:             r.stats,
+		Horizon:           horizon,
+		SourceUtilization: r.stations[repository.SourceID].Utilization(horizon),
+	}, nil
+}
+
+type repoTracker struct {
+	repo repository.ID
+	tr   *coherency.Tracker
+}
+
+// runner is the per-run simulation state.
+type runner struct {
+	overlay  *tree.Overlay
+	cfg      Config
+	engine   *sim.Engine
+	protocol Protocol
+	stations []sim.Station
+	trackers map[string][]repoTracker
+	byRepo   map[string]map[repository.ID]*coherency.Tracker
+	stats    Stats
+}
+
+// sourceTick handles a changed value arriving at the source.
+func (r *runner) sourceTick(now sim.Time, item string, v float64) {
+	r.stats.SourceTicks++
+	for _, rt := range r.trackers[item] {
+		rt.tr.SourceUpdate(now, v)
+	}
+	fwd, checks := r.protocol.AtSource(item, v)
+	r.stats.SourceChecks += uint64(checks)
+	r.dispatch(now, r.overlay.Source(), item, v, fwd, checks)
+}
+
+// deliver handles an update copy arriving at a repository: record it for
+// fidelity, then let the protocol fan it out further.
+func (r *runner) deliver(now sim.Time, node *repository.Repository, item string, v float64, tag coherency.Requirement) {
+	r.stats.Deliveries++
+	if t := r.byRepo[item][node.ID]; t != nil {
+		t.RepoUpdate(now, v)
+	}
+	fwd, checks := r.protocol.AtRepo(node, item, v, tag)
+	r.stats.RepoChecks += uint64(checks)
+	r.dispatch(now, node, item, v, fwd, checks)
+}
+
+// dispatch charges the node's computational delays for the checks and
+// sends, and schedules the resulting deliveries after the per-pair
+// communication delay.
+//
+// In the default (latency) model the k-th forwarded copy departs k
+// computational delays after the update arrives: a node with many
+// dependents makes its later dependents stale — the computational-delay
+// effect of Section 3 — without successive updates queueing. In the
+// queueing model the node is a strict serial server and backlog carries
+// across updates.
+func (r *runner) dispatch(now sim.Time, from *repository.Repository, item string, v float64, fwd []Forward, checks int) {
+	st := &r.stations[from.ID]
+	var preamble sim.Time
+	if extra := checks - len(fwd); extra > 0 && r.cfg.CheckFrac > 0 {
+		preamble = sim.Time(float64(r.cfg.CompDelay) * r.cfg.CheckFrac * float64(extra))
+	}
+	if r.cfg.Queueing {
+		if preamble > 0 {
+			st.Acquire(now, preamble)
+		}
+		for _, f := range fwd {
+			done := st.Acquire(now, r.cfg.CompDelay)
+			r.send(done, from, item, v, f)
+		}
+		return
+	}
+	// Latency model: account the work for utilization reporting, then
+	// schedule departures relative to the update's arrival only.
+	st.Busy += preamble + sim.Time(len(fwd))*r.cfg.CompDelay
+	st.Jobs++
+	depart := now + preamble
+	for _, f := range fwd {
+		depart += r.cfg.CompDelay
+		r.send(depart, from, item, v, f)
+	}
+}
+
+// send emits one copy departing at the given time and schedules its
+// delivery after the wire delay.
+func (r *runner) send(depart sim.Time, from *repository.Repository, item string, v float64, f Forward) {
+	r.stats.Messages++
+	to := r.overlay.Node(f.To)
+	arrive := depart + r.overlay.Net.Delay[from.ID][f.To]
+	tag := f.Tag
+	r.engine.At(arrive, func(t sim.Time) { r.deliver(t, to, item, v, tag) })
+}

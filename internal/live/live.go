@@ -1,0 +1,278 @@
+// Package live runs the paper's distributed dissemination algorithm in
+// real time on goroutines: every overlay node is a goroutine, push
+// connections are channels, and communication/computation delays are real
+// (scaled) durations. It demonstrates the same filtering logic as the
+// discrete-event simulator outside simulated time — the "evaluation in a
+// real setting" the paper leaves as future work — on a single machine.
+package live
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"d3t/internal/coherency"
+	"d3t/internal/repository"
+	"d3t/internal/tree"
+)
+
+// Options configures a live cluster.
+type Options struct {
+	// CommDelay is applied to every update hop; CompDelay is the per-copy
+	// processing cost at a node. Both may be zero for fastest delivery.
+	CommDelay time.Duration
+	CompDelay time.Duration
+	// OnDeliver, when set, observes every delivery at a repository. It is
+	// called from node goroutines and must be safe for concurrent use.
+	OnDeliver func(repo repository.ID, item string, value float64)
+	// Buffer is the per-node inbox size (default 256). A full inbox
+	// applies backpressure to the sender, mirroring a congested node.
+	Buffer int
+}
+
+// Cluster is a running set of node goroutines wired per an overlay.
+type Cluster struct {
+	overlay *tree.Overlay
+	opts    Options
+	nodes   map[repository.ID]*node
+	done    chan struct{}
+	wg      sync.WaitGroup
+
+	closeOnce sync.Once
+}
+
+type update struct {
+	item  string
+	value float64
+}
+
+type node struct {
+	repo *repository.Repository
+	in   chan update
+	// out holds one FIFO channel per dependent: a dedicated forwarder
+	// goroutine applies the wire delay, so updates on an edge can never
+	// overtake one another.
+	out map[repository.ID]chan update
+
+	mu       sync.Mutex
+	values   map[string]float64
+	lastSent map[repository.ID]map[string]float64
+}
+
+// NewCluster builds (but does not start) a live cluster over the overlay.
+func NewCluster(o *tree.Overlay, opts Options) *Cluster {
+	if opts.Buffer <= 0 {
+		opts.Buffer = 256
+	}
+	c := &Cluster{
+		overlay: o,
+		opts:    opts,
+		nodes:   make(map[repository.ID]*node, len(o.Nodes)),
+		done:    make(chan struct{}),
+	}
+	for _, r := range o.Nodes {
+		n := &node{
+			repo:     r,
+			in:       make(chan update, opts.Buffer),
+			out:      make(map[repository.ID]chan update),
+			values:   make(map[string]float64),
+			lastSent: make(map[repository.ID]map[string]float64),
+		}
+		for _, deps := range r.Dependents {
+			for _, dep := range deps {
+				if _, ok := n.out[dep]; !ok {
+					n.out[dep] = make(chan update, opts.Buffer)
+				}
+			}
+		}
+		c.nodes[r.ID] = n
+	}
+	return c
+}
+
+// Start launches one goroutine per node plus one forwarder per overlay
+// edge. It must be called once.
+func (c *Cluster) Start() {
+	for _, n := range c.nodes {
+		n := n
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.run(n)
+		}()
+		for dep, ch := range n.out {
+			child, ch := c.nodes[dep], ch
+			c.wg.Add(1)
+			go func() {
+				defer c.wg.Done()
+				c.forwardLoop(ch, child)
+			}()
+		}
+	}
+}
+
+// forwardLoop ships updates over one edge in FIFO order, applying the
+// wire delay per message.
+func (c *Cluster) forwardLoop(ch chan update, child *node) {
+	var timer *time.Timer
+	for {
+		select {
+		case <-c.done:
+			return
+		case u := <-ch:
+			if c.opts.CommDelay > 0 {
+				if timer == nil {
+					timer = time.NewTimer(c.opts.CommDelay)
+					defer timer.Stop()
+				} else {
+					timer.Reset(c.opts.CommDelay)
+				}
+				select {
+				case <-c.done:
+					return
+				case <-timer.C:
+				}
+			}
+			select {
+			case child.in <- u:
+			case <-c.done:
+				return
+			}
+		}
+	}
+}
+
+// Stop terminates all node goroutines and waits for them.
+func (c *Cluster) Stop() {
+	c.closeOnce.Do(func() { close(c.done) })
+	c.wg.Wait()
+}
+
+// Publish injects a new value of item at the source. It blocks only if
+// the source inbox is full, and returns false if the cluster is stopped.
+func (c *Cluster) Publish(item string, value float64) bool {
+	// Check shutdown first: when the inbox also has room, a single select
+	// would pick between the two ready cases at random.
+	select {
+	case <-c.done:
+		return false
+	default:
+	}
+	select {
+	case c.nodes[repository.SourceID].in <- update{item, value}:
+		return true
+	case <-c.done:
+		return false
+	}
+}
+
+// Value returns a node's current copy of item.
+func (c *Cluster) Value(id repository.ID, item string) (float64, bool) {
+	n, ok := c.nodes[id]
+	if !ok {
+		return 0, false
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	v, ok := n.values[item]
+	return v, ok
+}
+
+// Seed initializes every node's copy of item (and the edge filter state)
+// to value, as if all repositories joined fully synchronized.
+func (c *Cluster) Seed(item string, value float64) {
+	for _, n := range c.nodes {
+		n.mu.Lock()
+		if n.repo.IsSource() || hasItem(n.repo, item) {
+			n.values[item] = value
+		}
+		for _, dep := range n.repo.Dependents[item] {
+			m := n.lastSent[dep]
+			if m == nil {
+				m = make(map[string]float64)
+				n.lastSent[dep] = m
+			}
+			m[item] = value
+		}
+		n.mu.Unlock()
+	}
+}
+
+func hasItem(r *repository.Repository, item string) bool {
+	_, ok := r.Serving[item]
+	return ok
+}
+
+// run is the node goroutine body: receive, record, filter, forward.
+func (c *Cluster) run(n *node) {
+	for {
+		select {
+		case <-c.done:
+			return
+		case u := <-n.in:
+			c.handle(n, u)
+		}
+	}
+}
+
+func (c *Cluster) handle(n *node, u update) {
+	n.mu.Lock()
+	n.values[u.item] = u.value
+	cSelf := coherency.Requirement(0)
+	if !n.repo.IsSource() {
+		cSelf, _ = n.repo.ServingTolerance(u.item)
+	}
+	// Decide forwards under the distributed algorithm (Eqs. 3 and 7).
+	var targets []repository.ID
+	for _, dep := range n.repo.Dependents[u.item] {
+		cDep, ok := c.overlay.Node(dep).ServingTolerance(u.item)
+		if !ok {
+			continue
+		}
+		m := n.lastSent[dep]
+		if m == nil {
+			m = make(map[string]float64)
+			n.lastSent[dep] = m
+		}
+		last, seeded := m[u.item]
+		if !seeded || coherency.ShouldForward(u.value, last, cDep, cSelf) {
+			m[u.item] = u.value
+			targets = append(targets, dep)
+		}
+	}
+	n.mu.Unlock()
+
+	if !n.repo.IsSource() && c.opts.OnDeliver != nil {
+		c.opts.OnDeliver(n.repo.ID, u.item, u.value)
+	}
+
+	for _, dep := range targets {
+		if c.opts.CompDelay > 0 {
+			time.Sleep(c.opts.CompDelay) // serial per-copy processing cost
+		}
+		select {
+		case n.out[dep] <- u:
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// Snapshot returns every repository's copy of item, for observation.
+func (c *Cluster) Snapshot(item string) map[repository.ID]float64 {
+	out := make(map[repository.ID]float64)
+	for id, n := range c.nodes {
+		n.mu.Lock()
+		if v, ok := n.values[item]; ok {
+			out[id] = v
+		}
+		n.mu.Unlock()
+	}
+	return out
+}
+
+// String describes the cluster.
+func (c *Cluster) String() string {
+	return fmt.Sprintf("live cluster: %d nodes, comm %v, comp %v",
+		len(c.nodes), c.opts.CommDelay, c.opts.CompDelay)
+}

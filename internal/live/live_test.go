@@ -1,0 +1,162 @@
+package live
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"d3t/internal/netsim"
+	"d3t/internal/repository"
+	"d3t/internal/tree"
+)
+
+// chainOverlay builds source -> P(c=30) -> Q(c=50) for item X.
+func chainOverlay(t *testing.T) *tree.Overlay {
+	t.Helper()
+	net := netsim.Uniform(2, 0)
+	p := repository.New(1, 1)
+	q := repository.New(2, 1)
+	p.Needs["X"], p.Serving["X"] = 30, 30
+	q.Needs["X"], q.Serving["X"] = 50, 50
+	o, err := (&tree.LeLA{}).Build(net, []*repository.Repository{p, q}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+// waitFor polls until cond holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return cond()
+}
+
+func TestClusterPropagatesAndFilters(t *testing.T) {
+	o := chainOverlay(t)
+	c := NewCluster(o, Options{})
+	c.Seed("X", 100)
+	c.Start()
+	defer c.Stop()
+
+	// 120: within P's tolerance 30 of 100 -> no movement anywhere.
+	c.Publish("X", 120)
+	time.Sleep(20 * time.Millisecond)
+	if v, _ := c.Value(1, "X"); v != 100 {
+		t.Errorf("P received a filtered update: holds %v", v)
+	}
+
+	// 140: must reach P (|140-100| > 30) and — via Eq. 7 — also Q.
+	c.Publish("X", 140)
+	if !waitFor(t, time.Second, func() bool {
+		p, _ := c.Value(1, "X")
+		q, _ := c.Value(2, "X")
+		return p == 140 && q == 140
+	}) {
+		t.Fatalf("140 did not propagate: snapshot %v", c.Snapshot("X"))
+	}
+}
+
+func TestClusterWithDelays(t *testing.T) {
+	o := chainOverlay(t)
+	c := NewCluster(o, Options{CommDelay: 5 * time.Millisecond, CompDelay: time.Millisecond})
+	c.Seed("X", 100)
+	c.Start()
+	defer c.Stop()
+	c.Publish("X", 200)
+	if !waitFor(t, time.Second, func() bool {
+		q, _ := c.Value(2, "X")
+		return q == 200
+	}) {
+		t.Fatalf("update did not propagate through delays: %v", c.Snapshot("X"))
+	}
+}
+
+func TestClusterObservesDeliveries(t *testing.T) {
+	o := chainOverlay(t)
+	var mu sync.Mutex
+	got := map[repository.ID][]float64{}
+	c := NewCluster(o, Options{OnDeliver: func(id repository.ID, item string, v float64) {
+		mu.Lock()
+		got[id] = append(got[id], v)
+		mu.Unlock()
+	}})
+	c.Seed("X", 100)
+	c.Start()
+	defer c.Stop()
+	for _, v := range []float64{120, 140, 150, 170, 200} {
+		c.Publish("X", v)
+	}
+	if !waitFor(t, time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got[2]) >= 2
+	}) {
+		t.Fatalf("expected at least 2 deliveries at Q, got %v", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	// P must see a superset of Q's updates.
+	if len(got[1]) < len(got[2]) {
+		t.Errorf("P saw %d updates, Q saw %d; parent must see at least as many", len(got[1]), len(got[2]))
+	}
+}
+
+func TestClusterStopTerminates(t *testing.T) {
+	o := chainOverlay(t)
+	c := NewCluster(o, Options{CommDelay: 50 * time.Millisecond})
+	c.Seed("X", 100)
+	c.Start()
+	c.Publish("X", 500) // leaves an in-flight delayed send
+	done := make(chan struct{})
+	go func() {
+		c.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Stop did not terminate with in-flight sends")
+	}
+	if c.Publish("X", 600) {
+		t.Error("Publish succeeded after Stop")
+	}
+	// Stop is idempotent.
+	c.Stop()
+}
+
+func TestClusterLargerFanOut(t *testing.T) {
+	const n = 12
+	net := netsim.Uniform(n, 0)
+	repos := make([]*repository.Repository, n)
+	for i := range repos {
+		repos[i] = repository.New(repository.ID(i+1), 3)
+		repos[i].Needs["Y"], repos[i].Serving["Y"] = 1, 1
+	}
+	o, err := (&tree.LeLA{}).Build(net, repos, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCluster(o, Options{})
+	c.Seed("Y", 10)
+	c.Start()
+	defer c.Stop()
+	c.Publish("Y", 50)
+	if !waitFor(t, 2*time.Second, func() bool {
+		snap := c.Snapshot("Y")
+		for id := repository.ID(1); id <= n; id++ {
+			if snap[id] != 50 {
+				return false
+			}
+		}
+		return true
+	}) {
+		t.Fatalf("big jump did not reach every repository: %v", c.Snapshot("Y"))
+	}
+}

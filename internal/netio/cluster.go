@@ -1,0 +1,143 @@
+package netio
+
+import (
+	"fmt"
+	"time"
+
+	"d3t/internal/coherency"
+	"d3t/internal/repository"
+	"d3t/internal/tree"
+)
+
+// Cluster runs every node of an overlay as a TCP server on localhost —
+// the one-box deployment used by the livecluster example and the tests.
+type Cluster struct {
+	// Nodes holds the running nodes, indexed like the overlay (0 is the
+	// source).
+	Nodes []*Node
+}
+
+// StartCluster brings up the whole overlay: parents before children so
+// every dependent can dial in immediately. Initial seeds every node.
+func StartCluster(o *tree.Overlay, initial map[string]float64) (*Cluster, error) {
+	nodes := make([]*Node, len(o.Nodes))
+	addr := make([]string, len(o.Nodes))
+
+	// Start in level order (parents first).
+	order := make([]*repository.Repository, len(o.Nodes))
+	copy(order, o.Nodes)
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && order[j].Level < order[j-1].Level; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+
+	shutdown := func() {
+		for _, n := range nodes {
+			if n != nil {
+				n.Close()
+			}
+		}
+	}
+
+	for _, r := range order {
+		children := make(map[repository.ID]map[string]coherency.Requirement)
+		for item, deps := range r.Dependents {
+			for _, dep := range deps {
+				c, ok := o.Node(dep).ServingTolerance(item)
+				if !ok {
+					shutdown()
+					return nil, fmt.Errorf("netio: dependent %d lacks tolerance for %s", dep, item)
+				}
+				if children[dep] == nil {
+					children[dep] = make(map[string]coherency.Requirement)
+				}
+				children[dep][item] = c
+			}
+		}
+		var parentAddrs []string
+		if !r.IsSource() {
+			pids := parentsOf(r)
+			if len(pids) == 0 {
+				shutdown()
+				return nil, fmt.Errorf("netio: repository %d has no parent", r.ID)
+			}
+			for _, pid := range pids {
+				if addr[pid] == "" {
+					shutdown()
+					return nil, fmt.Errorf("netio: parent %d of %d not started yet", pid, r.ID)
+				}
+				parentAddrs = append(parentAddrs, addr[pid])
+			}
+		}
+		seed := make(map[string]float64)
+		for item, v := range initial {
+			if _, serves := r.ServingTolerance(item); serves {
+				seed[item] = v
+			}
+		}
+		node, err := Start(NodeConfig{
+			ID:       r.ID,
+			Serving:  r.Serving,
+			Children: children,
+			Parents:  parentAddrs,
+			Initial:  seed,
+		})
+		if err != nil {
+			shutdown()
+			return nil, err
+		}
+		nodes[r.ID] = node
+		addr[r.ID] = node.Addr()
+	}
+	// Wait for every push connection to establish so the first Publish
+	// cannot race a child's hello handshake.
+	deadline := time.Now().Add(10 * time.Second)
+	for _, n := range nodes {
+		for n.ConnectedChildren() < n.ExpectedChildren() {
+			if time.Now().After(deadline) {
+				for _, m := range nodes {
+					m.Close()
+				}
+				return nil, fmt.Errorf("netio: node %d has %d of %d children connected after 10s",
+					n.ID(), n.ConnectedChildren(), n.ExpectedChildren())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	return &Cluster{Nodes: nodes}, nil
+}
+
+// parentsOf lists the repository's distinct parents (falling back to the
+// liaison for need-less members), sorted for determinism.
+func parentsOf(r *repository.Repository) []repository.ID {
+	set := make(map[repository.ID]bool)
+	for _, pid := range r.Parents {
+		set[pid] = true
+	}
+	if len(set) == 0 && r.Liaison != repository.NoID {
+		set[r.Liaison] = true
+	}
+	out := make([]repository.ID, 0, len(set))
+	for pid := range set {
+		out = append(out, pid)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Source returns the source node.
+func (c *Cluster) Source() *Node { return c.Nodes[repository.SourceID] }
+
+// Close shuts every node down.
+func (c *Cluster) Close() {
+	for _, n := range c.Nodes {
+		if n != nil {
+			n.Close()
+		}
+	}
+}

@@ -1,0 +1,309 @@
+// Package netio serves the paper's distributed dissemination algorithm
+// over TCP: every overlay node is a network server that accepts push
+// connections from its dependents and forwards filtered updates to them.
+// It is the deployment-shaped counterpart of the in-process runtimes —
+// nodes could run in separate processes or on separate hosts; the tests
+// and the livecluster example run them on localhost.
+//
+// Wire format: gob-encoded frames on long-lived TCP connections. A
+// dependent dials its parent and sends a hello frame identifying itself;
+// the parent then pushes update frames for the items it serves that
+// dependent, filtered by Eqs. 3 and 7.
+package netio
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"d3t/internal/coherency"
+	"d3t/internal/repository"
+)
+
+// frame is the single wire message type; Kind discriminates.
+type frame struct {
+	Kind  kind
+	From  repository.ID
+	Item  string
+	Value float64
+}
+
+type kind uint8
+
+const (
+	kindHello kind = iota + 1
+	kindUpdate
+)
+
+// NodeConfig describes one dissemination node. It is self-contained: a
+// node needs no global overlay view, only its own serving set and its
+// dependents' tolerances — exactly the state a deployed repository would
+// hold.
+type NodeConfig struct {
+	// ID is the node's overlay id (SourceID for the source).
+	ID repository.ID
+	// Serving maps item -> the tolerance this node maintains. The source
+	// may leave it nil (it holds exact values).
+	Serving map[string]coherency.Requirement
+	// Children maps dependent id -> the items (and tolerances) this node
+	// pushes to it.
+	Children map[repository.ID]map[string]coherency.Requirement
+	// Listen is the TCP address to listen on ("127.0.0.1:0" for tests).
+	Listen string
+	// Parents are the parent nodes' addresses — one per distinct parent
+	// serving this node items (LeLA may split a repository's needs across
+	// several parents). Empty for the source.
+	Parents []string
+	// Initial seeds the node's item values (and per-child filter state).
+	Initial map[string]float64
+}
+
+// Node is a running dissemination server.
+type Node struct {
+	cfg NodeConfig
+	ln  net.Listener
+
+	mu       sync.Mutex
+	values   map[string]float64
+	lastSent map[repository.ID]map[string]float64
+	childEnc map[repository.ID]*gob.Encoder
+	conns    map[net.Conn]bool
+	closed   bool
+
+	parentConns []net.Conn
+	wg          sync.WaitGroup
+	// Delivered counts updates received from the parent.
+	delivered int
+}
+
+// Start launches the node: listen for dependents, connect to the parent
+// (if any), and begin forwarding.
+func Start(cfg NodeConfig) (*Node, error) {
+	if cfg.Listen == "" {
+		cfg.Listen = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("netio: node %d listen: %w", cfg.ID, err)
+	}
+	n := &Node{
+		cfg:      cfg,
+		ln:       ln,
+		values:   make(map[string]float64),
+		lastSent: make(map[repository.ID]map[string]float64),
+		childEnc: make(map[repository.ID]*gob.Encoder),
+		conns:    make(map[net.Conn]bool),
+	}
+	for item, v := range cfg.Initial {
+		n.values[item] = v
+	}
+	for child, items := range cfg.Children {
+		m := make(map[string]float64, len(items))
+		for item := range items {
+			if v, ok := cfg.Initial[item]; ok {
+				m[item] = v
+			}
+		}
+		n.lastSent[child] = m
+	}
+
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		n.acceptLoop()
+	}()
+
+	for _, parent := range cfg.Parents {
+		conn, err := net.Dial("tcp", parent)
+		if err != nil {
+			n.Close()
+			return nil, fmt.Errorf("netio: node %d dialing parent %s: %w", cfg.ID, parent, err)
+		}
+		n.parentConns = append(n.parentConns, conn)
+		if err := gob.NewEncoder(conn).Encode(frame{Kind: kindHello, From: cfg.ID}); err != nil {
+			n.Close()
+			return nil, fmt.Errorf("netio: node %d hello: %w", cfg.ID, err)
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.parentLoop(conn)
+		}()
+	}
+	return n, nil
+}
+
+// Addr returns the node's listening address (for children to dial).
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// ID returns the node's overlay id.
+func (n *Node) ID() repository.ID { return n.cfg.ID }
+
+// Close shuts the node down and waits for its goroutines.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	n.closed = true
+	for conn := range n.conns {
+		conn.Close() // unblocks parked child readers
+	}
+	n.mu.Unlock()
+	err := n.ln.Close()
+	for _, conn := range n.parentConns {
+		conn.Close()
+	}
+	n.wg.Wait()
+	return err
+}
+
+// Publish injects a new value at the source node and pushes it to every
+// dependent whose tolerance it violates. Calling it on a non-source node
+// is an error.
+func (n *Node) Publish(item string, value float64) error {
+	if len(n.cfg.Parents) > 0 {
+		return errors.New("netio: Publish on a non-source node")
+	}
+	return n.apply(item, value)
+}
+
+// Value returns the node's current copy of item.
+func (n *Node) Value(item string) (float64, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	v, ok := n.values[item]
+	return v, ok
+}
+
+// Delivered returns how many updates this node has received from its
+// parent.
+func (n *Node) Delivered() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.delivered
+}
+
+// ConnectedChildren reports how many dependents currently hold a live push
+// connection.
+func (n *Node) ConnectedChildren() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.childEnc)
+}
+
+// ExpectedChildren reports how many dependents the node is configured to
+// serve.
+func (n *Node) ExpectedChildren() int { return len(n.cfg.Children) }
+
+// acceptLoop registers dependents as they dial in.
+func (n *Node) acceptLoop() {
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.handleChild(conn)
+		}()
+	}
+}
+
+// handleChild performs the hello handshake and parks the connection as a
+// push target. The child never sends further frames; the read blocks
+// until either side closes, cleaning up the registration.
+func (n *Node) handleChild(conn net.Conn) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		conn.Close()
+		return
+	}
+	n.conns[conn] = true
+	n.mu.Unlock()
+	defer func() {
+		conn.Close()
+		n.mu.Lock()
+		delete(n.conns, conn)
+		n.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(conn)
+	var hello frame
+	if err := dec.Decode(&hello); err != nil || hello.Kind != kindHello {
+		return
+	}
+	if _, ok := n.cfg.Children[hello.From]; !ok {
+		return // unknown dependent
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.childEnc[hello.From] = gob.NewEncoder(conn)
+	n.mu.Unlock()
+
+	var discard frame
+	for dec.Decode(&discard) == nil {
+	}
+	n.mu.Lock()
+	delete(n.childEnc, hello.From)
+	n.mu.Unlock()
+}
+
+// parentLoop applies pushes from the parent.
+func (n *Node) parentLoop(conn net.Conn) {
+	dec := gob.NewDecoder(conn)
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			return
+		}
+		if f.Kind != kindUpdate {
+			continue
+		}
+		n.mu.Lock()
+		n.delivered++
+		n.mu.Unlock()
+		n.apply(f.Item, f.Value)
+	}
+}
+
+// apply records the value locally and forwards it to every dependent the
+// distributed algorithm selects.
+func (n *Node) apply(item string, value float64) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.values[item] = value
+
+	cSelf := coherency.Requirement(0)
+	if len(n.cfg.Parents) > 0 {
+		if c, ok := n.cfg.Serving[item]; ok {
+			cSelf = c
+		}
+	}
+	var firstErr error
+	for child, items := range n.cfg.Children {
+		cDep, ok := items[item]
+		if !ok {
+			continue
+		}
+		enc, connected := n.childEnc[child]
+		if !connected {
+			// Child not dialed in yet: leave the filter state untouched so
+			// it catches up on the next qualifying update after it joins.
+			continue
+		}
+		m := n.lastSent[child]
+		last, seeded := m[item]
+		if seeded && !coherency.ShouldForward(value, last, cDep, cSelf) {
+			continue
+		}
+		m[item] = value
+		if err := enc.Encode(frame{Kind: kindUpdate, Item: item, Value: value}); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("netio: node %d pushing to %d: %w", n.cfg.ID, child, err)
+		}
+	}
+	return firstErr
+}

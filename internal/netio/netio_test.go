@@ -1,0 +1,184 @@
+package netio
+
+import (
+	"testing"
+	"time"
+
+	"d3t/internal/netsim"
+	"d3t/internal/repository"
+	"d3t/internal/tree"
+)
+
+func waitFor(t *testing.T, d time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return cond()
+}
+
+// chain builds the Figure-4 chain overlay: source -> P(30) -> Q(50).
+func chain(t *testing.T) *tree.Overlay {
+	t.Helper()
+	net := netsim.Uniform(2, 0)
+	p := repository.New(1, 1)
+	q := repository.New(2, 1)
+	p.Needs["X"], p.Serving["X"] = 30, 30
+	q.Needs["X"], q.Serving["X"] = 50, 50
+	o, err := (&tree.LeLA{}).Build(net, []*repository.Repository{p, q}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestTCPChainPropagation(t *testing.T) {
+	o := chain(t)
+	cl, err := StartCluster(o, map[string]float64{"X": 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Within tolerance: nothing moves.
+	if err := cl.Source().Publish("X", 120); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if v, _ := cl.Nodes[1].Value("X"); v != 100 {
+		t.Errorf("P received a filtered update over TCP: holds %v", v)
+	}
+
+	// 140 violates P's tolerance and — via Eq. 7 — must reach Q too.
+	if err := cl.Source().Publish("X", 140); err != nil {
+		t.Fatal(err)
+	}
+	if !waitFor(t, 2*time.Second, func() bool {
+		p, _ := cl.Nodes[1].Value("X")
+		q, _ := cl.Nodes[2].Value("X")
+		return p == 140 && q == 140
+	}) {
+		p, _ := cl.Nodes[1].Value("X")
+		q, _ := cl.Nodes[2].Value("X")
+		t.Fatalf("TCP propagation failed: P=%v Q=%v", p, q)
+	}
+	if d := cl.Nodes[2].Delivered(); d != 1 {
+		t.Errorf("Q delivered count %d, want 1", d)
+	}
+}
+
+func TestTCPPublishOnRepositoryFails(t *testing.T) {
+	o := chain(t)
+	cl, err := StartCluster(o, map[string]float64{"X": 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Nodes[1].Publish("X", 1); err == nil {
+		t.Error("Publish on a repository node succeeded")
+	}
+}
+
+func TestTCPFullSequenceMatchesFigure4(t *testing.T) {
+	o := chain(t)
+	cl, err := StartCluster(o, map[string]float64{"X": 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for _, v := range []float64{120, 140, 150, 170, 200} {
+		if err := cl.Source().Publish("X", v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Final state: both P and Q converge to 200 (the 200 forward violates
+	// both tolerances). P receives {140, 200}; Q receives {140, 200}.
+	if !waitFor(t, 2*time.Second, func() bool {
+		p, _ := cl.Nodes[1].Value("X")
+		q, _ := cl.Nodes[2].Value("X")
+		return p == 200 && q == 200
+	}) {
+		t.Fatalf("sequence did not converge: %v / %v",
+			first(cl.Nodes[1].Value("X")), first(cl.Nodes[2].Value("X")))
+	}
+	if d := cl.Nodes[1].Delivered(); d != 2 {
+		t.Errorf("P delivered %d updates, want 2 (140 and 200)", d)
+	}
+	if d := cl.Nodes[2].Delivered(); d != 2 {
+		t.Errorf("Q delivered %d updates, want 2 (140 via Eq.7, then 200)", d)
+	}
+}
+
+func first(v float64, _ bool) float64 { return v }
+
+func TestTCPWiderOverlay(t *testing.T) {
+	const n = 8
+	net := netsim.Uniform(n, 0)
+	repos := make([]*repository.Repository, n)
+	for i := range repos {
+		repos[i] = repository.New(repository.ID(i+1), 3)
+		repos[i].Needs["Y"], repos[i].Serving["Y"] = 0.5, 0.5
+		if i%2 == 0 {
+			repos[i].Needs["Z"], repos[i].Serving["Z"] = 0.25, 0.25
+		}
+	}
+	o, err := (&tree.LeLA{Seed: 3}).Build(net, repos, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := StartCluster(o, map[string]float64{"Y": 10, "Z": 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Source().Publish("Y", 15); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Source().Publish("Z", 30); err != nil {
+		t.Fatal(err)
+	}
+	if !waitFor(t, 2*time.Second, func() bool {
+		for i := 1; i <= n; i++ {
+			if v, _ := cl.Nodes[i].Value("Y"); v != 15 {
+				return false
+			}
+			if i%2 == 1 { // repos with even index i-1 hold Z
+				if v, _ := cl.Nodes[i].Value("Z"); v != 30 {
+					return false
+				}
+			}
+		}
+		return true
+	}) {
+		t.Fatal("big jumps did not reach every interested repository over TCP")
+	}
+}
+
+func TestNodeRejectsUnknownChild(t *testing.T) {
+	src, err := Start(NodeConfig{ID: repository.SourceID, Initial: map[string]float64{"X": 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	// A node claiming an id the parent does not serve gets no pushes.
+	stranger, err := Start(NodeConfig{
+		ID:      99,
+		Parents: []string{src.Addr()},
+		Serving: nil,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stranger.Close()
+	if err := src.Publish("X", 1000); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if d := stranger.Delivered(); d != 0 {
+		t.Errorf("unknown child received %d updates", d)
+	}
+}

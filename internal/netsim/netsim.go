@@ -1,0 +1,249 @@
+// Package netsim models the physical network underlying the repository
+// overlay, following Section 6.1 of the paper: a randomly generated graph
+// of routers and repositories with heavy-tailed (Pareto) link delays, from
+// which node-to-node communication delays are derived via shortest paths.
+//
+// The paper computes routing tables with Floyd-Warshall; this package
+// provides that algorithm verbatim for paper fidelity plus an equivalent
+// multi-source Dijkstra that scales to the 2100-node topologies of the
+// scalability experiment (Floyd-Warshall is Theta(V^3); Dijkstra from the
+// ~100-300 overlay endpoints is far cheaper and provably produces the same
+// distances, which the tests assert).
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+
+	"d3t/internal/sim"
+)
+
+// Config describes a random physical topology.
+type Config struct {
+	// Repositories is the number of repository endpoints (the paper's base
+	// case uses 100).
+	Repositories int
+	// Routers is the number of interior router nodes (base case 600, for
+	// 700 nodes total with the single source).
+	Routers int
+	// ExtraEdges is the number of random shortcut edges added to the
+	// router spanning tree, as a multiple of the router count. Higher
+	// values shorten paths. Default 1.0.
+	ExtraEdges float64
+	// LinkDelayMinMs and LinkDelayMeanMs parameterize the Pareto link
+	// delay distribution (paper: 2 ms minimum, 15 ms mean).
+	LinkDelayMinMs  float64
+	LinkDelayMeanMs float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Repositories <= 0 {
+		c.Repositories = 100
+	}
+	if c.Routers <= 0 {
+		c.Routers = 600
+	}
+	if c.ExtraEdges == 0 {
+		c.ExtraEdges = 1.0
+	}
+	if c.LinkDelayMinMs == 0 {
+		c.LinkDelayMinMs = 2
+	}
+	if c.LinkDelayMeanMs == 0 {
+		c.LinkDelayMeanMs = 15
+	}
+	return c
+}
+
+// Network holds the endpoint-to-endpoint delay structure of a generated
+// topology. Endpoint 0 is the source; endpoints 1..Repositories are the
+// repositories. Delay and Hops are symmetric (Repositories+1)^2 matrices
+// over endpoints, derived from shortest-delay paths through the routers.
+type Network struct {
+	// Repositories is the repository count; the endpoint count is one more.
+	Repositories int
+	// Delay[i][j] is the shortest-path communication delay between
+	// endpoints i and j.
+	Delay [][]sim.Time
+	// Hops[i][j] is the link count along that shortest-delay path.
+	Hops [][]int
+}
+
+// Endpoints returns the number of overlay endpoints (source + repositories).
+func (n *Network) Endpoints() int { return n.Repositories + 1 }
+
+// AvgDelay returns the mean endpoint-to-endpoint delay over all distinct
+// pairs. This is the "average communication delay" input to the controlled
+// cooperation formula (Eq. 2).
+func (n *Network) AvgDelay() sim.Time {
+	var sum sim.Time
+	var pairs int64
+	for i := 0; i < n.Endpoints(); i++ {
+		for j := i + 1; j < n.Endpoints(); j++ {
+			sum += n.Delay[i][j]
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return sim.Time(int64(sum) / pairs)
+}
+
+// AvgHops returns the mean hop count over all distinct endpoint pairs.
+func (n *Network) AvgHops() float64 {
+	var sum, pairs int
+	for i := 0; i < n.Endpoints(); i++ {
+		for j := i + 1; j < n.Endpoints(); j++ {
+			sum += n.Hops[i][j]
+			pairs++
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return float64(sum) / float64(pairs)
+}
+
+// Uniform builds a degenerate network where every endpoint pair is exactly
+// delay apart in one hop. The no-cooperation delay sweeps (Figures 5, 6,
+// 7b, 7c) use uniform networks so the x-axis is the exact delay value.
+func Uniform(repositories int, delay sim.Time) *Network {
+	n := &Network{Repositories: repositories}
+	e := n.Endpoints()
+	n.Delay = make([][]sim.Time, e)
+	n.Hops = make([][]int, e)
+	for i := 0; i < e; i++ {
+		n.Delay[i] = make([]sim.Time, e)
+		n.Hops[i] = make([]int, e)
+		for j := 0; j < e; j++ {
+			if i != j {
+				n.Delay[i][j] = delay
+				n.Hops[i][j] = 1
+			}
+		}
+	}
+	return n
+}
+
+// graph is the raw link-level topology prior to shortest-path reduction.
+type graph struct {
+	n   int
+	adj [][]edge
+}
+
+type edge struct {
+	to    int
+	delay sim.Time
+}
+
+func (g *graph) addEdge(a, b int, d sim.Time) {
+	g.adj[a] = append(g.adj[a], edge{b, d})
+	g.adj[b] = append(g.adj[b], edge{a, d})
+}
+
+// Generate builds a random topology per the config: a connected random
+// spanning tree over the routers, extra shortcut edges, and each endpoint
+// (source and repositories) attached to a random router. Link delays are
+// Pareto(min, mean) draws. The endpoint delay/hop matrices are computed by
+// Dijkstra from every endpoint.
+func Generate(cfg Config) (*Network, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Routers < 2 {
+		return nil, fmt.Errorf("netsim: need at least 2 routers, got %d", cfg.Routers)
+	}
+	if cfg.LinkDelayMinMs <= 0 || cfg.LinkDelayMeanMs < cfg.LinkDelayMinMs {
+		return nil, fmt.Errorf("netsim: bad link delay parameters min=%v mean=%v",
+			cfg.LinkDelayMinMs, cfg.LinkDelayMeanMs)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	endpoints := cfg.Repositories + 1
+	total := cfg.Routers + endpoints
+	g := &graph{n: total, adj: make([][]edge, total)}
+	linkDelay := func() sim.Time {
+		return sim.Milliseconds(sim.Pareto(r, cfg.LinkDelayMinMs, cfg.LinkDelayMeanMs))
+	}
+
+	// Router core: random spanning tree (guarantees connectivity) plus
+	// shortcut edges. Router node ids start after the endpoints.
+	router := func(i int) int { return endpoints + i }
+	for i := 1; i < cfg.Routers; i++ {
+		g.addEdge(router(i), router(r.Intn(i)), linkDelay())
+	}
+	for e := 0; e < int(cfg.ExtraEdges*float64(cfg.Routers)); e++ {
+		a, b := r.Intn(cfg.Routers), r.Intn(cfg.Routers)
+		if a != b {
+			g.addEdge(router(a), router(b), linkDelay())
+		}
+	}
+	// Attach each endpoint to a random router by an access link.
+	for ep := 0; ep < endpoints; ep++ {
+		g.addEdge(ep, router(r.Intn(cfg.Routers)), linkDelay())
+	}
+
+	n := &Network{Repositories: cfg.Repositories}
+	n.Delay = make([][]sim.Time, endpoints)
+	n.Hops = make([][]int, endpoints)
+	for ep := 0; ep < endpoints; ep++ {
+		dist, hops := g.dijkstra(ep)
+		n.Delay[ep] = dist[:endpoints]
+		n.Hops[ep] = hops[:endpoints]
+	}
+	return n, nil
+}
+
+// MustGenerate is Generate for configurations known statically to be valid.
+func MustGenerate(cfg Config) *Network {
+	n, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+const inf = sim.Time(1) << 60
+
+// dijkstra computes single-source shortest delays and the hop counts along
+// the chosen shortest paths.
+func (g *graph) dijkstra(src int) (dist []sim.Time, hops []int) {
+	dist = make([]sim.Time, g.n)
+	hops = make([]int, g.n)
+	done := make([]bool, g.n)
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[src] = 0
+	pq := &nodeHeap{{node: src, dist: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(nodeItem)
+		if done[it.node] {
+			continue
+		}
+		done[it.node] = true
+		for _, e := range g.adj[it.node] {
+			nd := dist[it.node] + e.delay
+			if nd < dist[e.to] {
+				dist[e.to] = nd
+				hops[e.to] = hops[it.node] + 1
+				heap.Push(pq, nodeItem{node: e.to, dist: nd})
+			}
+		}
+	}
+	return dist, hops
+}
+
+type nodeItem struct {
+	node int
+	dist sim.Time
+}
+
+type nodeHeap []nodeItem
+
+func (h nodeHeap) Len() int           { return len(h) }
+func (h nodeHeap) Less(i, j int) bool { return h[i].dist < h[j].dist }
+func (h nodeHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)        { *h = append(*h, x.(nodeItem)) }
+func (h *nodeHeap) Pop() (x any)      { old := *h; n := len(old); x = old[n-1]; *h = old[:n-1]; return }

@@ -1,0 +1,176 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"d3t/internal/sim"
+)
+
+func TestGenerateBasicProperties(t *testing.T) {
+	n := MustGenerate(Config{Repositories: 20, Routers: 60, Seed: 1})
+	e := n.Endpoints()
+	if e != 21 {
+		t.Fatalf("endpoints = %d, want 21", e)
+	}
+	for i := 0; i < e; i++ {
+		if n.Delay[i][i] != 0 {
+			t.Errorf("self delay [%d][%d] = %v, want 0", i, i, n.Delay[i][i])
+		}
+		for j := 0; j < e; j++ {
+			if n.Delay[i][j] != n.Delay[j][i] {
+				t.Errorf("asymmetric delay [%d][%d]=%v [%d][%d]=%v",
+					i, j, n.Delay[i][j], j, i, n.Delay[j][i])
+			}
+			if i != j {
+				if n.Delay[i][j] <= 0 || n.Delay[i][j] >= inf {
+					t.Errorf("unreachable or non-positive delay [%d][%d] = %v", i, j, n.Delay[i][j])
+				}
+				// Every endpoint-endpoint path crosses at least the two
+				// access links.
+				if n.Hops[i][j] < 2 {
+					t.Errorf("hops[%d][%d] = %d, want >= 2", i, j, n.Hops[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(Config{Repositories: 10, Routers: 30, Seed: 9})
+	b := MustGenerate(Config{Repositories: 10, Routers: 30, Seed: 9})
+	for i := range a.Delay {
+		for j := range a.Delay[i] {
+			if a.Delay[i][j] != b.Delay[i][j] {
+				t.Fatal("same seed produced different networks")
+			}
+		}
+	}
+}
+
+func TestGeneratePaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale topology in -short mode")
+	}
+	// The paper's base case: 1 source + 100 repositories + 600 routers.
+	// It reports ~10 hops and 20-30 ms average node-node delay.
+	n := MustGenerate(Config{Repositories: 100, Routers: 600, Seed: 42})
+	hops := n.AvgHops()
+	if hops < 4 || hops > 18 {
+		t.Errorf("average hops %.1f outside plausible band [4,18]", hops)
+	}
+	avg := n.AvgDelay()
+	if avg < 10*sim.Millisecond || avg > 60*sim.Millisecond {
+		t.Errorf("average endpoint delay %v outside [10ms,60ms]", avg)
+	}
+	t.Logf("paper-scale network: avg hops %.1f, avg delay %v", hops, avg)
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Config{Routers: 1, Repositories: 5}); err == nil {
+		t.Error("single-router config accepted")
+	}
+	if _, err := Generate(Config{Routers: 10, Repositories: 5, LinkDelayMinMs: 10, LinkDelayMeanMs: 5}); err == nil {
+		t.Error("mean<min delay config accepted")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	n := Uniform(5, 10*sim.Millisecond)
+	if n.Endpoints() != 6 {
+		t.Fatalf("endpoints = %d, want 6", n.Endpoints())
+	}
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			want := 10 * sim.Millisecond
+			wantHops := 1
+			if i == j {
+				want, wantHops = 0, 0
+			}
+			if n.Delay[i][j] != want || n.Hops[i][j] != wantHops {
+				t.Errorf("uniform [%d][%d] = %v/%d hops, want %v/%d",
+					i, j, n.Delay[i][j], n.Hops[i][j], want, wantHops)
+			}
+		}
+	}
+	if n.AvgDelay() != 10*sim.Millisecond {
+		t.Errorf("AvgDelay = %v, want 10ms", n.AvgDelay())
+	}
+}
+
+// TestDijkstraMatchesFloydWarshall checks the two shortest-path
+// implementations agree on random graphs — Floyd-Warshall is the
+// paper-faithful oracle.
+func TestDijkstraMatchesFloydWarshall(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 8 + r.Intn(25)
+		g := &graph{n: n, adj: make([][]edge, n)}
+		for i := 1; i < n; i++ {
+			g.addEdge(i, r.Intn(i), sim.Time(1+r.Intn(1000)))
+		}
+		for e := 0; e < n; e++ {
+			a, b := r.Intn(n), r.Intn(n)
+			if a != b {
+				g.addEdge(a, b, sim.Time(1+r.Intn(1000)))
+			}
+		}
+		fw := FloydWarshall(g.adjacencyMatrix())
+		for src := 0; src < n; src++ {
+			dist, _ := g.dijkstra(src)
+			for j := 0; j < n; j++ {
+				if dist[j] != fw[src][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFloydWarshallUnreachable(t *testing.T) {
+	// Two disconnected components.
+	adj := [][]sim.Time{
+		{-1, 5, -1},
+		{5, -1, -1},
+		{-1, -1, -1},
+	}
+	d := FloydWarshall(adj)
+	if d[0][1] != 5 || d[1][0] != 5 {
+		t.Errorf("connected pair distance %v/%v, want 5/5", d[0][1], d[1][0])
+	}
+	if d[0][2] != -1 || d[2][0] != -1 {
+		t.Errorf("disconnected pair distance %v/%v, want -1/-1", d[0][2], d[2][0])
+	}
+	if d[2][2] != 0 {
+		t.Errorf("self distance %v, want 0", d[2][2])
+	}
+}
+
+// TestTriangleInequality: shortest-path delays satisfy the triangle
+// inequality by construction.
+func TestTriangleInequality(t *testing.T) {
+	n := MustGenerate(Config{Repositories: 15, Routers: 40, Seed: 3})
+	e := n.Endpoints()
+	for i := 0; i < e; i++ {
+		for j := 0; j < e; j++ {
+			for k := 0; k < e; k++ {
+				if n.Delay[i][j] > n.Delay[i][k]+n.Delay[k][j] {
+					t.Fatalf("triangle violation: d(%d,%d)=%v > d(%d,%d)+d(%d,%d)=%v",
+						i, j, n.Delay[i][j], i, k, k, j, n.Delay[i][k]+n.Delay[k][j])
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkGenerate700(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MustGenerate(Config{Repositories: 100, Routers: 600, Seed: int64(i)})
+	}
+}

@@ -1,0 +1,153 @@
+package repository
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"d3t/internal/coherency"
+)
+
+// Client models an end user attached to a repository (Section 1.2 of the
+// paper): it names the items the user watches and the tolerance the user
+// demands for each. Multiple clients share a repository; the repository's
+// own coherency requirement for an item is the most stringent requirement
+// across its clients.
+type Client struct {
+	// Name identifies the client in diagnostics.
+	Name string
+	// Repo is the repository the client connects to.
+	Repo ID
+	// Wants maps item -> the client's tolerance.
+	Wants map[string]coherency.Requirement
+}
+
+// Validate checks client well-formedness.
+func (c *Client) Validate() error {
+	if c.Repo <= 0 {
+		return fmt.Errorf("repository: client %q attached to non-repository node %d", c.Name, c.Repo)
+	}
+	if len(c.Wants) == 0 {
+		return fmt.Errorf("repository: client %q wants nothing", c.Name)
+	}
+	for item, tol := range c.Wants {
+		if tol < 0 {
+			return fmt.Errorf("repository: client %q has negative tolerance %v for %s", c.Name, tol, item)
+		}
+	}
+	return nil
+}
+
+// DeriveNeeds computes each repository's data and coherency needs from its
+// client population: the repository needs exactly the union of its
+// clients' items, each at the most stringent tolerance any client demands
+// (Section 1.2: "the coherency requirement for data item x at a repository
+// is the most stringent across all clients that obtain x from it").
+// Existing needs are replaced; serving sets are reset to match.
+func DeriveNeeds(repos []*Repository, clients []*Client) error {
+	byID := make(map[ID]*Repository, len(repos))
+	for _, r := range repos {
+		byID[r.ID] = r
+		r.Needs = make(map[string]coherency.Requirement)
+		r.Serving = make(map[string]coherency.Requirement)
+	}
+	for _, c := range clients {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+		r, ok := byID[c.Repo]
+		if !ok {
+			return fmt.Errorf("repository: client %q attached to unknown repository %d", c.Name, c.Repo)
+		}
+		for item, tol := range c.Wants {
+			cur, exists := r.Needs[item]
+			if !exists || tol.AtLeastAsStringentAs(cur) {
+				r.Needs[item] = tol
+				r.Serving[item] = tol
+			}
+		}
+	}
+	return nil
+}
+
+// ClientWorkload parameterizes random client population generation.
+type ClientWorkload struct {
+	// Clients is the total client count.
+	Clients int
+	// Repos are the repositories clients may attach to.
+	Repos []ID
+	// Items is the item catalogue.
+	Items []string
+	// ItemsPerClient is the mean number of items each client watches
+	// (default 3, at least 1 each).
+	ItemsPerClient int
+	// StringentFrac is the probability a client demand is stringent
+	// ([0.01, 0.099] vs [0.1, 0.999]), mirroring the paper's T mix.
+	StringentFrac float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// GenerateClients builds a random client population.
+func GenerateClients(w ClientWorkload) ([]*Client, error) {
+	if w.Clients <= 0 || len(w.Repos) == 0 || len(w.Items) == 0 {
+		return nil, fmt.Errorf("repository: client workload needs clients, repos and items")
+	}
+	if w.ItemsPerClient <= 0 {
+		w.ItemsPerClient = 3
+	}
+	r := rand.New(rand.NewSource(w.Seed))
+	out := make([]*Client, w.Clients)
+	for i := range out {
+		c := &Client{
+			Name:  fmt.Sprintf("client%04d", i),
+			Repo:  w.Repos[r.Intn(len(w.Repos))],
+			Wants: make(map[string]coherency.Requirement),
+		}
+		n := 1 + r.Intn(2*w.ItemsPerClient-1)
+		perm := r.Perm(len(w.Items))
+		if n > len(perm) {
+			n = len(perm)
+		}
+		for _, idx := range perm[:n] {
+			var tol coherency.Requirement
+			if r.Float64() < w.StringentFrac {
+				tol = coherency.Requirement(0.01 + r.Float64()*(0.099-0.01))
+			} else {
+				tol = coherency.Requirement(0.1 + r.Float64()*(0.999-0.1))
+			}
+			c.Wants[w.Items[idx]] = tol
+		}
+		out[i] = c
+	}
+	return out, nil
+}
+
+// ClientFidelity evaluates whether each client's own tolerance was met,
+// given the fidelity its repository achieved per item at the repository's
+// (possibly more stringent) requirement. A client whose tolerance is
+// looser than the repository's requirement observes at least the
+// repository's fidelity, so repoFidelity is a lower bound; this helper
+// aggregates it per client for reporting.
+func ClientFidelity(clients []*Client, repoFidelity func(repo ID, item string) (float64, bool)) map[string]float64 {
+	out := make(map[string]float64, len(clients))
+	for _, c := range clients {
+		var sum float64
+		var n int
+		items := make([]string, 0, len(c.Wants))
+		for item := range c.Wants {
+			items = append(items, item)
+		}
+		sort.Strings(items)
+		for _, item := range items {
+			if f, ok := repoFidelity(c.Repo, item); ok {
+				sum += f
+				n++
+			}
+		}
+		if n > 0 {
+			out[c.Name] = sum / float64(n)
+		}
+	}
+	return out
+}

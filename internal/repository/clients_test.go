@@ -1,0 +1,154 @@
+package repository
+
+import (
+	"testing"
+	"testing/quick"
+
+	"d3t/internal/coherency"
+)
+
+func TestDeriveNeedsTakesMostStringent(t *testing.T) {
+	repos := []*Repository{New(1, 4), New(2, 4)}
+	clients := []*Client{
+		{Name: "a", Repo: 1, Wants: map[string]coherency.Requirement{"X": 0.5, "Y": 0.2}},
+		{Name: "b", Repo: 1, Wants: map[string]coherency.Requirement{"X": 0.05}},
+		{Name: "c", Repo: 2, Wants: map[string]coherency.Requirement{"Y": 0.9}},
+	}
+	if err := DeriveNeeds(repos, clients); err != nil {
+		t.Fatal(err)
+	}
+	if got := repos[0].Needs["X"]; got != 0.05 {
+		t.Errorf("repo 1 X tolerance %v, want the most stringent 0.05", got)
+	}
+	if got := repos[0].Needs["Y"]; got != 0.2 {
+		t.Errorf("repo 1 Y tolerance %v, want 0.2", got)
+	}
+	if got := repos[1].Needs["Y"]; got != 0.9 {
+		t.Errorf("repo 2 Y tolerance %v, want 0.9", got)
+	}
+	if _, has := repos[1].Needs["X"]; has {
+		t.Error("repo 2 acquired an item no client asked it for")
+	}
+	// Serving mirrors needs after derivation.
+	if repos[0].Serving["X"] != 0.05 {
+		t.Errorf("serving not reset to needs: %v", repos[0].Serving)
+	}
+}
+
+func TestDeriveNeedsRejectsBadClients(t *testing.T) {
+	repos := []*Repository{New(1, 4)}
+	cases := []*Client{
+		{Name: "noRepo", Repo: 0, Wants: map[string]coherency.Requirement{"X": 0.5}},
+		{Name: "unknown", Repo: 9, Wants: map[string]coherency.Requirement{"X": 0.5}},
+		{Name: "empty", Repo: 1, Wants: map[string]coherency.Requirement{}},
+		{Name: "negative", Repo: 1, Wants: map[string]coherency.Requirement{"X": -1}},
+	}
+	for _, c := range cases {
+		if err := DeriveNeeds(repos, []*Client{c}); err == nil {
+			t.Errorf("client %q accepted", c.Name)
+		}
+	}
+}
+
+func TestGenerateClients(t *testing.T) {
+	items := catalogue(20)
+	repos := []ID{1, 2, 3}
+	clients, err := GenerateClients(ClientWorkload{
+		Clients: 100, Repos: repos, Items: items,
+		ItemsPerClient: 4, StringentFrac: 0.5, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clients) != 100 {
+		t.Fatalf("got %d clients, want 100", len(clients))
+	}
+	var total int
+	for _, c := range clients {
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if c.Repo < 1 || c.Repo > 3 {
+			t.Fatalf("client %s attached to %d", c.Name, c.Repo)
+		}
+		total += len(c.Wants)
+	}
+	// Mean items per client is ItemsPerClient by construction.
+	if avg := float64(total) / 100; avg < 2.5 || avg > 5.5 {
+		t.Errorf("mean wants per client %.1f, expected near 4", avg)
+	}
+}
+
+func TestGenerateClientsErrors(t *testing.T) {
+	if _, err := GenerateClients(ClientWorkload{}); err == nil {
+		t.Error("empty workload accepted")
+	}
+}
+
+// TestDeriveNeedsProperty: after derivation, every repository need is
+// exactly the minimum tolerance any of its clients demands for that item.
+func TestDeriveNeedsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		items := catalogue(10)
+		clients, err := GenerateClients(ClientWorkload{
+			Clients: 40, Repos: []ID{1, 2, 3, 4}, Items: items,
+			ItemsPerClient: 3, StringentFrac: 0.5, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		repos := []*Repository{New(1, 4), New(2, 4), New(3, 4), New(4, 4)}
+		if err := DeriveNeeds(repos, clients); err != nil {
+			return false
+		}
+		want := map[ID]map[string]coherency.Requirement{}
+		for _, c := range clients {
+			m := want[c.Repo]
+			if m == nil {
+				m = map[string]coherency.Requirement{}
+				want[c.Repo] = m
+			}
+			for item, tol := range c.Wants {
+				cur, ok := m[item]
+				if !ok || tol < cur {
+					m[item] = tol
+				}
+			}
+		}
+		for _, r := range repos {
+			if len(r.Needs) != len(want[r.ID]) {
+				return false
+			}
+			for item, tol := range r.Needs {
+				if want[r.ID][item] != tol {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClientFidelity(t *testing.T) {
+	clients := []*Client{
+		{Name: "a", Repo: 1, Wants: map[string]coherency.Requirement{"X": 0.5, "Y": 0.5}},
+		{Name: "b", Repo: 2, Wants: map[string]coherency.Requirement{"X": 0.5}},
+	}
+	fid := map[ID]map[string]float64{
+		1: {"X": 1.0, "Y": 0.8},
+		2: {"X": 0.9},
+	}
+	got := ClientFidelity(clients, func(repo ID, item string) (float64, bool) {
+		f, ok := fid[repo][item]
+		return f, ok
+	})
+	if got["a"] != 0.9 {
+		t.Errorf("client a fidelity %v, want 0.9", got["a"])
+	}
+	if got["b"] != 0.9 {
+		t.Errorf("client b fidelity %v, want 0.9", got["b"])
+	}
+}

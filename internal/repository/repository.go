@@ -1,0 +1,236 @@
+// Package repository models the cooperating repositories of Section 2: the
+// data items each repository must hold, the coherency tolerance for each,
+// the push connections to dependents, and the degree of cooperation each
+// node offers. It also generates the paper's experimental workload (each
+// repository subscribes to each item with probability 0.5; T% of its items
+// get stringent tolerances).
+package repository
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"d3t/internal/coherency"
+)
+
+// ID identifies an overlay node. SourceID (0) is the data source; positive
+// ids are repositories.
+type ID int
+
+// SourceID is the overlay id of the single data source.
+const SourceID ID = 0
+
+// NoID marks the absence of a node reference.
+const NoID ID = -1
+
+// Repository is one overlay node: the source or a repository. The zero
+// value is not usable; construct with New.
+type Repository struct {
+	// ID is the overlay node id (0 for the source).
+	ID ID
+	// Needs maps item -> the coherency tolerance this node's own clients
+	// require. The source needs nothing for itself.
+	Needs map[string]coherency.Requirement
+	// Serving maps item -> the tolerance this node actually maintains.
+	// It starts as a copy of Needs and is tightened/extended when LeLA
+	// augments the node to serve a dependent (Section 4). Invariant:
+	// Serving[x] <= Needs[x] wherever both exist.
+	Serving map[string]coherency.Requirement
+	// CoopLimit is the degree of cooperation offered: the maximum number
+	// of distinct dependent repositories (push connections). Section 3.
+	CoopLimit int
+	// Parents maps item -> the node that pushes that item to us. Empty
+	// for the source.
+	Parents map[string]ID
+	// Dependents maps item -> the nodes we push that item to.
+	Dependents map[string][]ID
+	// Level is the node's depth in the d3g (source = 0).
+	Level int
+	// Liaison is the parent a repository with no data needs of its own is
+	// attached to when it joins (so it holds a connection it can later be
+	// augmented through), or NoID.
+	Liaison ID
+
+	children map[ID]bool // distinct dependents; len counts against CoopLimit
+}
+
+// New returns an empty repository with the given id and cooperation limit.
+func New(id ID, coopLimit int) *Repository {
+	return &Repository{
+		ID:         id,
+		Needs:      make(map[string]coherency.Requirement),
+		Serving:    make(map[string]coherency.Requirement),
+		CoopLimit:  coopLimit,
+		Parents:    make(map[string]ID),
+		Dependents: make(map[string][]ID),
+		Liaison:    NoID,
+		children:   make(map[ID]bool),
+	}
+}
+
+// IsSource reports whether the node is the data source.
+func (r *Repository) IsSource() bool { return r.ID == SourceID }
+
+// NumChildren returns the number of distinct dependent repositories. One
+// push connection is used per child irrespective of how many items flow
+// over it (Section 6.3.3).
+func (r *Repository) NumChildren() int { return len(r.children) }
+
+// HasChild reports whether dep is already a dependent (for any item).
+func (r *Repository) HasChild(dep ID) bool { return r.children[dep] }
+
+// HasCapacityFor reports whether the node can serve dep: either dep is
+// already a child (no new connection needed) or a connection slot is free.
+func (r *Repository) HasCapacityFor(dep ID) bool {
+	return r.children[dep] || len(r.children) < r.CoopLimit
+}
+
+// CanServe reports whether the node can serve item x to a dependent with
+// tolerance c without augmentation: the source can always serve (it holds
+// the exact value, tolerance 0); a repository must already maintain x at a
+// tolerance at least as stringent as c (Eq. 1).
+func (r *Repository) CanServe(x string, c coherency.Requirement) bool {
+	if r.IsSource() {
+		return true
+	}
+	own, ok := r.Serving[x]
+	return ok && own.AtLeastAsStringentAs(c)
+}
+
+// ServingTolerance returns the tolerance at which the node maintains x.
+// The source maintains everything exactly (tolerance 0).
+func (r *Repository) ServingTolerance(x string) (coherency.Requirement, bool) {
+	if r.IsSource() {
+		return 0, true
+	}
+	c, ok := r.Serving[x]
+	return c, ok
+}
+
+// AddDependent wires dep as a dependent of r for item x. It panics if the
+// connection would exceed the cooperation limit — callers must check
+// HasCapacityFor first; violating the limit silently would invalidate the
+// experiment.
+func (r *Repository) AddDependent(x string, dep ID) {
+	if !r.HasCapacityFor(dep) {
+		panic(fmt.Sprintf("repository %d: adding dependent %d for %s exceeds coop limit %d",
+			r.ID, dep, x, r.CoopLimit))
+	}
+	for _, d := range r.Dependents[x] {
+		if d == dep {
+			return // already served this item
+		}
+	}
+	r.Dependents[x] = append(r.Dependents[x], dep)
+	r.children[dep] = true
+}
+
+// DropDependent removes every push edge from r to dep, releasing the
+// connection slot. It is the inverse of AddDependent/Attach, used when a
+// leaf repository departs the overlay.
+func (r *Repository) DropDependent(dep ID) {
+	if !r.children[dep] {
+		return
+	}
+	for x, deps := range r.Dependents {
+		keep := deps[:0]
+		for _, d := range deps {
+			if d != dep {
+				keep = append(keep, d)
+			}
+		}
+		if len(keep) == 0 {
+			delete(r.Dependents, x)
+		} else {
+			r.Dependents[x] = keep
+		}
+	}
+	delete(r.children, dep)
+}
+
+// Attach registers dep as a child without serving it any item yet: the
+// liaison connection a repository with no data needs joins through. It
+// panics on a capacity violation, like AddDependent.
+func (r *Repository) Attach(dep ID) {
+	if !r.HasCapacityFor(dep) {
+		panic(fmt.Sprintf("repository %d: attaching child %d exceeds coop limit %d",
+			r.ID, dep, r.CoopLimit))
+	}
+	r.children[dep] = true
+}
+
+// Tighten ensures the node maintains item x at a tolerance at least as
+// stringent as c, recording the augmentation LeLA performs when a parent
+// takes on a dependent's needs. It reports whether the serving set changed.
+func (r *Repository) Tighten(x string, c coherency.Requirement) bool {
+	if r.IsSource() {
+		return false // the source always holds the exact value
+	}
+	cur, ok := r.Serving[x]
+	if ok && cur.AtLeastAsStringentAs(c) {
+		return false
+	}
+	r.Serving[x] = c
+	return true
+}
+
+// Items returns the items in Serving, sorted for deterministic iteration.
+func (r *Repository) Items() []string {
+	items := make([]string, 0, len(r.Serving))
+	for x := range r.Serving {
+		items = append(items, x)
+	}
+	sort.Strings(items)
+	return items
+}
+
+// NeededItems returns the items in Needs, sorted.
+func (r *Repository) NeededItems() []string {
+	items := make([]string, 0, len(r.Needs))
+	for x := range r.Needs {
+		items = append(items, x)
+	}
+	sort.Strings(items)
+	return items
+}
+
+// Workload parameterizes need generation per Section 6.1.
+type Workload struct {
+	// Items is the full catalogue of item names.
+	Items []string
+	// SubscribeProb is the probability a repository requests an item
+	// (paper: 0.5).
+	SubscribeProb float64
+	// StringentFrac is T: the fraction of a repository's items that get a
+	// stringent tolerance in [0.01, 0.099]; the rest get [0.1, 0.999].
+	StringentFrac float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// AssignNeeds fills in the Needs and Serving maps of each repository
+// according to the workload. Existing needs are replaced.
+func AssignNeeds(repos []*Repository, w Workload) {
+	r := rand.New(rand.NewSource(w.Seed))
+	if w.SubscribeProb == 0 {
+		w.SubscribeProb = 0.5
+	}
+	for _, repo := range repos {
+		repo.Needs = make(map[string]coherency.Requirement)
+		repo.Serving = make(map[string]coherency.Requirement)
+		for _, item := range w.Items {
+			if r.Float64() >= w.SubscribeProb {
+				continue
+			}
+			var c coherency.Requirement
+			if r.Float64() < w.StringentFrac {
+				c = coherency.Requirement(0.01 + r.Float64()*(0.099-0.01))
+			} else {
+				c = coherency.Requirement(0.1 + r.Float64()*(0.999-0.1))
+			}
+			repo.Needs[item] = c
+			repo.Serving[item] = c
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package repository
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestNewRepositoryBasics(t *testing.T) {
+	r := New(3, 5)
+	if r.IsSource() {
+		t.Error("id 3 should not be the source")
+	}
+	if !New(SourceID, 1).IsSource() {
+		t.Error("id 0 should be the source")
+	}
+	if r.NumChildren() != 0 {
+		t.Errorf("fresh repository has %d children", r.NumChildren())
+	}
+}
+
+func TestCapacityAccounting(t *testing.T) {
+	r := New(1, 2)
+	r.Serving["A"] = 0.5
+	r.Serving["B"] = 0.5
+	r.AddDependent("A", 10)
+	r.AddDependent("B", 10) // same child, second item: one connection
+	if r.NumChildren() != 1 {
+		t.Fatalf("one child serving two items counted as %d connections", r.NumChildren())
+	}
+	r.AddDependent("A", 11)
+	if r.NumChildren() != 2 {
+		t.Fatalf("children = %d, want 2", r.NumChildren())
+	}
+	if r.HasCapacityFor(12) {
+		t.Error("full repository reported capacity for a new child")
+	}
+	if !r.HasCapacityFor(10) {
+		t.Error("full repository must still accept items for an existing child")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("exceeding coop limit did not panic")
+		}
+	}()
+	r.AddDependent("A", 12)
+}
+
+func TestAddDependentIdempotentPerItem(t *testing.T) {
+	r := New(1, 5)
+	r.AddDependent("A", 7)
+	r.AddDependent("A", 7)
+	if got := len(r.Dependents["A"]); got != 1 {
+		t.Errorf("duplicate AddDependent produced %d entries", got)
+	}
+}
+
+func TestCanServe(t *testing.T) {
+	src := New(SourceID, 100)
+	if !src.CanServe("anything", 0) {
+		t.Error("source must serve any item at any tolerance")
+	}
+	r := New(1, 5)
+	r.Serving["A"] = 0.3
+	if !r.CanServe("A", 0.5) {
+		t.Error("0.3 server must serve a 0.5 dependent")
+	}
+	if r.CanServe("A", 0.1) {
+		t.Error("0.3 server cannot serve a 0.1 dependent without augmentation")
+	}
+	if r.CanServe("B", 0.5) {
+		t.Error("cannot serve an item not held")
+	}
+}
+
+func TestTighten(t *testing.T) {
+	r := New(1, 5)
+	r.Serving["A"] = 0.5
+	if !r.Tighten("A", 0.2) {
+		t.Error("tightening 0.5 -> 0.2 should report a change")
+	}
+	if r.Serving["A"] != 0.2 {
+		t.Errorf("serving tolerance %v, want 0.2", r.Serving["A"])
+	}
+	if r.Tighten("A", 0.4) {
+		t.Error("loosening must be a no-op")
+	}
+	if !r.Tighten("NEW", 0.7) {
+		t.Error("tightening a fresh item should report a change")
+	}
+	src := New(SourceID, 100)
+	if src.Tighten("A", 0.1) {
+		t.Error("the source never needs tightening")
+	}
+	if c, ok := src.ServingTolerance("A"); !ok || c != 0 {
+		t.Errorf("source tolerance %v,%v; want 0,true", c, ok)
+	}
+}
+
+func TestItemsSorted(t *testing.T) {
+	r := New(1, 5)
+	for _, x := range []string{"C", "A", "B"} {
+		r.Serving[x] = 0.5
+		r.Needs[x] = 0.5
+	}
+	for i, x := range r.Items() {
+		if want := string(rune('A' + i)); x != want {
+			t.Errorf("Items()[%d] = %s, want %s", i, x, want)
+		}
+	}
+	if len(r.NeededItems()) != 3 {
+		t.Errorf("NeededItems length %d, want 3", len(r.NeededItems()))
+	}
+}
+
+func catalogue(n int) []string {
+	items := make([]string, n)
+	for i := range items {
+		items[i] = fmt.Sprintf("ITEM%03d", i)
+	}
+	return items
+}
+
+func TestAssignNeedsSubscriptionRate(t *testing.T) {
+	repos := make([]*Repository, 50)
+	for i := range repos {
+		repos[i] = New(ID(i+1), 4)
+	}
+	items := catalogue(100)
+	AssignNeeds(repos, Workload{Items: items, SubscribeProb: 0.5, StringentFrac: 0.2, Seed: 1})
+	var total int
+	for _, r := range repos {
+		total += len(r.Needs)
+	}
+	// 50 repos x 100 items x 0.5 ~ 2500 subscriptions.
+	if total < 2200 || total > 2800 {
+		t.Errorf("total subscriptions %d, want ~2500", total)
+	}
+}
+
+func TestAssignNeedsToleranceMix(t *testing.T) {
+	repos := []*Repository{New(1, 4)}
+	items := catalogue(2000)
+	AssignNeeds(repos, Workload{Items: items, SubscribeProb: 1, StringentFrac: 0.7, Seed: 2})
+	var stringent, lax int
+	for _, c := range repos[0].Needs {
+		switch {
+		case c >= 0.01 && c <= 0.099:
+			stringent++
+		case c >= 0.1 && c <= 0.999:
+			lax++
+		default:
+			t.Fatalf("tolerance %v outside both paper bands", c)
+		}
+	}
+	frac := float64(stringent) / float64(stringent+lax)
+	if frac < 0.6 || frac > 0.8 {
+		t.Errorf("stringent fraction %.2f, want ~0.7", frac)
+	}
+}
+
+func TestAssignNeedsExtremes(t *testing.T) {
+	repos := []*Repository{New(1, 4)}
+	items := catalogue(100)
+	AssignNeeds(repos, Workload{Items: items, SubscribeProb: 1, StringentFrac: 1, Seed: 3})
+	for x, c := range repos[0].Needs {
+		if c > 0.099 {
+			t.Errorf("T=100%%: item %s got lax tolerance %v", x, c)
+		}
+	}
+	AssignNeeds(repos, Workload{Items: items, SubscribeProb: 1, StringentFrac: 0, Seed: 3})
+	for x, c := range repos[0].Needs {
+		if c < 0.1 {
+			t.Errorf("T=0%%: item %s got stringent tolerance %v", x, c)
+		}
+	}
+}
+
+func TestAssignNeedsDeterministic(t *testing.T) {
+	mk := func() *Repository {
+		r := New(1, 4)
+		AssignNeeds([]*Repository{r}, Workload{Items: catalogue(50), StringentFrac: 0.5, Seed: 11})
+		return r
+	}
+	a, b := mk(), mk()
+	if len(a.Needs) != len(b.Needs) {
+		t.Fatal("same seed produced different subscription counts")
+	}
+	for x, c := range a.Needs {
+		if b.Needs[x] != c {
+			t.Fatal("same seed produced different tolerances")
+		}
+	}
+}

@@ -1,0 +1,162 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine is the substrate on which the dissemination experiments run:
+// trace ticks, update forwarding, and delivery are all events ordered on a
+// virtual clock. Determinism matters because the paper's figures are
+// parameter sweeps; for a fixed seed, two runs of the same configuration
+// must produce identical fidelity numbers. The engine therefore breaks
+// timestamp ties by insertion sequence, never by map iteration or heap
+// internals.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is virtual simulation time in microseconds. Microsecond resolution
+// comfortably covers the paper's parameter space (delays are milliseconds,
+// traces span hours) without floating-point drift in the event heap.
+type Time int64
+
+// Common durations expressed in simulation time units.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Milliseconds converts a floating-point millisecond count to Time,
+// rounding to the nearest microsecond.
+func Milliseconds(ms float64) Time {
+	return Time(ms*1000 + 0.5)
+}
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Ms reports t as floating-point milliseconds.
+func (t Time) Ms() float64 { return float64(t) / float64(Millisecond) }
+
+// String formats the time as seconds with microsecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.6fs", t.Seconds()) }
+
+// Event is a unit of work scheduled on the engine's virtual clock.
+type Event struct {
+	// At is the virtual time at which Fn runs.
+	At Time
+	// Fn is the event body. It may schedule further events.
+	Fn func(now Time)
+
+	seq uint64 // insertion order, breaks timestamp ties deterministically
+	idx int    // heap index
+}
+
+// eventQueue implements heap.Interface ordered by (At, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event scheduler. The zero value is
+// ready to use. Engines are not safe for concurrent use; the experiments
+// achieve parallelism by running independent engines per goroutine.
+type Engine struct {
+	queue   eventQueue
+	now     Time
+	nextSeq uint64
+	events  uint64 // total events executed
+}
+
+// New returns an empty engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time. During event execution it equals
+// the running event's timestamp.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed reports how many events have been executed so far.
+func (e *Engine) Processed() uint64 { return e.events }
+
+// Pending reports how many events are scheduled but not yet executed.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// (t < Now) panics: it indicates a logic error in a delay computation and
+// silently clamping it would corrupt fidelity accounting.
+func (e *Engine) At(t Time, fn func(now Time)) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &Event{At: t, Fn: fn, seq: e.nextSeq}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Time, fn func(now Time)) {
+	e.At(e.now+d, fn)
+}
+
+// Step executes the single earliest pending event and reports whether one
+// was available.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.At
+	e.events++
+	ev.Fn(ev.At)
+	return true
+}
+
+// Run executes events until the queue drains and returns the final clock
+// value.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline, leaves later events
+// queued, and advances the clock to exactly deadline. It returns the number
+// of events executed.
+func (e *Engine) RunUntil(deadline Time) uint64 {
+	start := e.events
+	for len(e.queue) > 0 && e.queue[0].At <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.events - start
+}

@@ -1,0 +1,37 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// NewRand returns a deterministic random source for the given seed.
+// Centralizing construction keeps every package in the repository on the
+// same generator and makes "same seed, same run" a project-wide guarantee.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Pareto draws from a bounded Pareto heavy-tailed distribution with the
+// given minimum and mean, following the delay model of Section 6.1:
+// delay = min / u^(1/alpha) with alpha = mean/(mean-min), which gives the
+// unbounded distribution expectation E[delay] = mean. The paper uses
+// mean 15 ms and minimum 2 ms for link delays.
+func Pareto(r *rand.Rand, min, mean float64) float64 {
+	if mean <= min {
+		return min
+	}
+	alpha := mean / (mean - min)
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	d := min / math.Pow(u, 1/alpha)
+	// Cap the tail at 20x the mean so a single freak link cannot dominate
+	// an entire topology; the clipped mass is tiny and the paper's average
+	// 20-30 ms node-node delay is preserved.
+	if cap := 20 * mean; d > cap {
+		d = cap
+	}
+	return d
+}

@@ -1,0 +1,58 @@
+package sim
+
+// Station models a processing resource that serves work strictly serially,
+// such as a repository CPU deciding which dependents need an update. Work
+// arriving while the station is busy queues behind the in-progress work;
+// this queueing is the computational-delay mechanism from Section 3 of the
+// paper: a node with too many dependents becomes its own bottleneck, which
+// produces the rising arm of the U-shaped fidelity curve (Figure 3).
+type Station struct {
+	busyUntil Time
+
+	// Busy accumulates total busy time, for utilization reporting.
+	Busy Time
+	// Jobs counts scheduled work items.
+	Jobs uint64
+}
+
+// Acquire reserves the station for cost units of work starting no earlier
+// than now, and returns the time at which the work completes. If the
+// station is idle the work starts immediately; otherwise it starts when the
+// current backlog drains.
+func (s *Station) Acquire(now Time, cost Time) (done Time) {
+	start := now
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	done = start + cost
+	s.busyUntil = done
+	s.Busy += cost
+	s.Jobs++
+	return done
+}
+
+// Backlog reports how much queued work remains at time now.
+func (s *Station) Backlog(now Time) Time {
+	if s.busyUntil <= now {
+		return 0
+	}
+	return s.busyUntil - now
+}
+
+// Utilization reports the fraction of [0, horizon] the station was busy.
+// It returns 0 for a non-positive horizon.
+func (s *Station) Utilization(horizon Time) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	u := float64(s.Busy) / float64(horizon)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Reset returns the station to the idle state, keeping no statistics.
+func (s *Station) Reset() {
+	*s = Station{}
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"d3t/internal/sim"
+)
+
+// WriteCSV writes the trace as CSV rows "item,usec,value" with a header.
+// The format round-trips through ReadCSV, and real polled traces in the
+// same format can be fed to the experiment harness in place of synthetic
+// ones.
+func WriteCSV(w io.Writer, traces ...*Trace) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"item", "usec", "value"}); err != nil {
+		return fmt.Errorf("trace: writing csv header: %w", err)
+	}
+	for _, tr := range traces {
+		for _, tk := range tr.Ticks {
+			rec := []string{
+				tr.Item,
+				strconv.FormatInt(int64(tk.At), 10),
+				strconv.FormatFloat(tk.Value, 'f', -1, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return fmt.Errorf("trace: writing csv row for %s: %w", tr.Item, err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses traces in the WriteCSV format. Rows must be grouped by
+// item and time-ordered within each item (the natural output order).
+func ReadCSV(r io.Reader) ([]*Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 3
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading csv header: %w", err)
+	}
+	if header[0] != "item" || header[1] != "usec" || header[2] != "value" {
+		return nil, fmt.Errorf("trace: unexpected csv header %v", header)
+	}
+	var out []*Trace
+	var cur *Trace
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading csv line %d: %w", line, err)
+		}
+		usec, err := strconv.ParseInt(rec[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d: bad time %q: %w", line, rec[1], err)
+		}
+		val, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv line %d: bad value %q: %w", line, rec[2], err)
+		}
+		if cur == nil || cur.Item != rec[0] {
+			cur = &Trace{Item: rec[0]}
+			out = append(out, cur)
+		}
+		cur.Ticks = append(cur.Ticks, Tick{At: sim.Time(usec), Value: val})
+	}
+	for _, tr := range out {
+		if err := tr.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,201 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"d3t/internal/sim"
+)
+
+// Model selects a synthetic price process.
+type Model int
+
+const (
+	// BoundedWalk is a uniform-step random walk reflected inside
+	// [Low, High]. It is the default because it most directly reproduces
+	// the paper's traces: prices that wander within a narrow daily band
+	// with step sizes comparable to the coherency tolerances.
+	BoundedWalk Model = iota
+	// GBM is geometric Brownian motion, the classic equity model.
+	GBM
+	// OU is an Ornstein-Uhlenbeck mean-reverting process, useful for
+	// exchange-rate- or sensor-like streams.
+	OU
+)
+
+// String names the model.
+func (m Model) String() string {
+	switch m {
+	case BoundedWalk:
+		return "bounded-walk"
+	case GBM:
+		return "gbm"
+	case OU:
+		return "ou"
+	default:
+		return fmt.Sprintf("Model(%d)", int(m))
+	}
+}
+
+// GenConfig parameterizes a synthetic trace.
+type GenConfig struct {
+	Item  string
+	Model Model
+	// Ticks is the number of observations (the paper polled 10000).
+	Ticks int
+	// Interval is the time between observations (the paper observed ~1/s).
+	Interval sim.Time
+	// Start is the initial price. Required > 0 for GBM.
+	Start float64
+	// Low/High bound the BoundedWalk band (ignored by GBM).
+	Low, High float64
+	// Step is the per-tick scale: max |step| for BoundedWalk, per-tick
+	// volatility for GBM, noise scale for OU.
+	Step float64
+	// Drift is the per-tick drift (GBM) or mean-reversion target (OU;
+	// zero value means revert to Start).
+	Drift float64
+	// Reversion is the OU pull strength per tick in [0,1].
+	Reversion float64
+	// Quantum is the price granularity values are rounded to (default
+	// 0.01, i.e. cents, matching quoted stock prices). Use finer values
+	// for FX-style items; negative disables rounding entirely.
+	Quantum float64
+	// HoldProb is the probability that a tick repeats the previous value.
+	// The paper polled once per second but observes that "stock prices
+	// change at a slower rate than once per second"; a hold probability
+	// around 0.8 reproduces that effective change rate.
+	HoldProb float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// withDefaults fills zero fields with sensible paper-scale values.
+func (c GenConfig) withDefaults() GenConfig {
+	if c.Item == "" {
+		c.Item = "ITEM"
+	}
+	if c.Ticks <= 0 {
+		c.Ticks = 10000
+	}
+	if c.Interval <= 0 {
+		c.Interval = sim.Second
+	}
+	if c.Start == 0 {
+		c.Start = 50
+	}
+	if c.Low == 0 && c.High == 0 {
+		c.Low, c.High = c.Start-0.5, c.Start+0.5
+	}
+	if c.Step == 0 {
+		c.Step = 0.05
+	}
+	if c.Reversion == 0 {
+		c.Reversion = 0.05
+	}
+	if c.Quantum == 0 {
+		c.Quantum = 0.01
+	}
+	return c
+}
+
+// Generate produces a synthetic trace for the configuration. Generation is
+// deterministic in (config, seed).
+func Generate(cfg GenConfig) (*Trace, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Low >= cfg.High && cfg.Model == BoundedWalk {
+		return nil, fmt.Errorf("trace: bounded walk needs Low < High, got [%v, %v]", cfg.Low, cfg.High)
+	}
+	if cfg.Model == GBM && cfg.Start <= 0 {
+		return nil, fmt.Errorf("trace: GBM needs positive Start, got %v", cfg.Start)
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	tr := &Trace{Item: cfg.Item, Ticks: make([]Tick, 0, cfg.Ticks)}
+	v := cfg.Start
+	target := cfg.Drift
+	if target == 0 {
+		target = cfg.Start
+	}
+	for i := 0; i < cfg.Ticks; i++ {
+		tr.Ticks = append(tr.Ticks, Tick{At: sim.Time(i) * cfg.Interval, Value: quantize(v, cfg.Quantum)})
+		if cfg.HoldProb > 0 && r.Float64() < cfg.HoldProb {
+			continue // quiet tick: the price did not trade
+		}
+		switch cfg.Model {
+		case BoundedWalk:
+			v += (2*r.Float64() - 1) * cfg.Step
+			v = reflectInto(v, cfg.Low, cfg.High)
+		case GBM:
+			v *= math.Exp(cfg.Drift - 0.5*cfg.Step*cfg.Step + cfg.Step*r.NormFloat64())
+			if v < 0.01 {
+				v = 0.01
+			}
+		case OU:
+			v += cfg.Reversion*(target-v) + cfg.Step*r.NormFloat64()
+		default:
+			return nil, fmt.Errorf("trace: unknown model %v", cfg.Model)
+		}
+	}
+	return tr, nil
+}
+
+// MustGenerate is Generate for configurations known statically to be valid;
+// it panics on error.
+func MustGenerate(cfg GenConfig) *Trace {
+	tr, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+// GenerateSet produces n traces named ITEM000..ITEM(n-1), each a bounded
+// walk with per-item band and step scattered around the paper's trace
+// characteristics. It is the workload generator used by the experiment
+// harness: 100 items, 50% subscription probability per repository.
+func GenerateSet(n, ticks int, interval sim.Time, seed int64) []*Trace {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]*Trace, n)
+	for i := range out {
+		start := 10 + r.Float64()*90    // prices $10-$100, like Table 1
+		band := 0.3 + r.Float64()*0.8   // daily band $0.3-$1.1 wide
+		step := 0.01 + r.Float64()*0.05 // tick-to-tick moves 1-6 cents
+		hold := 0.4 + r.Float64()*0.4   // trades on 20-60% of poll ticks
+		out[i] = MustGenerate(GenConfig{
+			Item:     fmt.Sprintf("ITEM%03d", i),
+			Model:    BoundedWalk,
+			Ticks:    ticks,
+			Interval: interval,
+			Start:    start,
+			Low:      start - band/2,
+			High:     start + band/2,
+			Step:     step,
+			HoldProb: hold,
+			Seed:     seed + int64(i)*7919,
+		})
+	}
+	return out
+}
+
+// reflectInto folds v back into [low, high] by reflecting at the boundaries.
+func reflectInto(v, low, high float64) float64 {
+	for v < low || v > high {
+		if v < low {
+			v = 2*low - v
+		}
+		if v > high {
+			v = 2*high - v
+		}
+	}
+	return v
+}
+
+// quantize rounds v to the nearest multiple of the quantum; a
+// non-positive quantum disables rounding.
+func quantize(v, quantum float64) float64 {
+	if quantum <= 0 {
+		return v
+	}
+	return math.Round(v/quantum) * quantum
+}

@@ -1,0 +1,53 @@
+package trace
+
+import "d3t/internal/sim"
+
+// Table1Ticker describes one of the six example traces the paper lists in
+// Table 1, with the observed price band.
+type Table1Ticker struct {
+	Symbol string
+	Min    float64
+	Max    float64
+}
+
+// Table1Tickers are the six example traces from Table 1 of the paper.
+// (The paper collected 100 traces; these six are the ones it tabulates.)
+var Table1Tickers = []Table1Ticker{
+	{"MSFT", 60.09, 60.85},
+	{"SUNW", 10.60, 10.99},
+	{"DELL", 27.16, 28.26},
+	{"QCOM", 40.38, 41.23},
+	{"INTC", 33.66, 34.239},
+	{"ORCL", 16.51, 17.10},
+}
+
+// Table1Traces generates synthetic stand-ins for the Table 1 traces:
+// 10000 ticks at 1-second intervals, bounded to each ticker's published
+// min/max band. The substitution is documented in DESIGN.md.
+func Table1Traces(seed int64) []*Trace {
+	return Table1TracesSized(10000, seed)
+}
+
+// Table1TracesSized is Table1Traces with a configurable tick count, for
+// fast tests and scaled-down benchmarks.
+func Table1TracesSized(ticks int, seed int64) []*Trace {
+	out := make([]*Trace, len(Table1Tickers))
+	for i, tk := range Table1Tickers {
+		band := tk.Max - tk.Min
+		out[i] = MustGenerate(GenConfig{
+			Item:     tk.Symbol,
+			Model:    BoundedWalk,
+			Ticks:    ticks,
+			Interval: sim.Second,
+			Start:    (tk.Min + tk.Max) / 2,
+			Low:      tk.Min,
+			High:     tk.Max,
+			// Step sized so the walk explores the whole band over the
+			// trace while individual moves stay at realistic cent scale.
+			Step:     band / 15,
+			HoldProb: 0.8,
+			Seed:     seed + int64(i)*104729,
+		})
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+// Package trace models streams of dynamic data items — the stock-price
+// traces of Section 6.1 of the paper — and provides synthetic generators
+// that substitute for the authors' 100 live polls of finance.yahoo.com.
+//
+// A Trace is a piecewise-constant signal: the source holds Ticks[i].Value
+// from Ticks[i].At until the next tick. The experiments only depend on the
+// tick rate (~1/s) and on the excursion scale relative to the coherency
+// tolerances ($0.01-$0.999), both of which the generators reproduce.
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"d3t/internal/sim"
+)
+
+// Tick is a single observed value of a data item at a point in time.
+type Tick struct {
+	At    sim.Time
+	Value float64
+}
+
+// Trace is the full update history of one data item at its source.
+type Trace struct {
+	// Item names the data item, e.g. a stock ticker symbol.
+	Item string
+	// Ticks is the time-ordered update sequence. Ticks[0] is the initial
+	// value; the source value is piecewise constant between ticks.
+	Ticks []Tick
+}
+
+// Len returns the number of ticks.
+func (t *Trace) Len() int { return len(t.Ticks) }
+
+// Duration returns the time spanned from the first to the last tick, or 0
+// for traces with fewer than two ticks.
+func (t *Trace) Duration() sim.Time {
+	if len(t.Ticks) < 2 {
+		return 0
+	}
+	return t.Ticks[len(t.Ticks)-1].At - t.Ticks[0].At
+}
+
+// ValueAt returns the source value at time at: the value of the latest tick
+// with Ticks[i].At <= at. It returns the first tick's value for times
+// before the trace begins and false if the trace is empty.
+func (t *Trace) ValueAt(at sim.Time) (float64, bool) {
+	if len(t.Ticks) == 0 {
+		return 0, false
+	}
+	// Binary search for the last tick at or before `at`.
+	lo, hi := 0, len(t.Ticks)-1
+	if t.Ticks[0].At >= at {
+		return t.Ticks[0].Value, true
+	}
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if t.Ticks[mid].At <= at {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return t.Ticks[lo].Value, true
+}
+
+// Stats summarizes a trace the way Table 1 of the paper does.
+type Stats struct {
+	Item     string
+	Ticks    int
+	Duration sim.Time
+	Min      float64
+	Max      float64
+	// MeanAbsStep is the mean absolute tick-to-tick change; it calibrates
+	// how stringent a given coherency tolerance is for this trace.
+	MeanAbsStep float64
+}
+
+// Summarize computes Table 1-style statistics for the trace.
+func (t *Trace) Summarize() Stats {
+	s := Stats{Item: t.Item, Ticks: len(t.Ticks), Duration: t.Duration()}
+	if len(t.Ticks) == 0 {
+		return s
+	}
+	s.Min, s.Max = t.Ticks[0].Value, t.Ticks[0].Value
+	var absSum float64
+	for i, tk := range t.Ticks {
+		s.Min = math.Min(s.Min, tk.Value)
+		s.Max = math.Max(s.Max, tk.Value)
+		if i > 0 {
+			absSum += math.Abs(tk.Value - t.Ticks[i-1].Value)
+		}
+	}
+	if len(t.Ticks) > 1 {
+		s.MeanAbsStep = absSum / float64(len(t.Ticks)-1)
+	}
+	return s
+}
+
+// String renders the stats as a Table 1 row.
+func (s Stats) String() string {
+	return fmt.Sprintf("%-6s ticks=%-6d dur=%-10v min=%-8.3f max=%-8.3f meanStep=%.4f",
+		s.Item, s.Ticks, s.Duration, s.Min, s.Max, s.MeanAbsStep)
+}
+
+// Validate checks trace well-formedness: non-empty item name, strictly
+// increasing timestamps, finite values.
+func (t *Trace) Validate() error {
+	if t.Item == "" {
+		return fmt.Errorf("trace: empty item name")
+	}
+	for i, tk := range t.Ticks {
+		if math.IsNaN(tk.Value) || math.IsInf(tk.Value, 0) {
+			return fmt.Errorf("trace %s: tick %d has non-finite value %v", t.Item, i, tk.Value)
+		}
+		if i > 0 && tk.At <= t.Ticks[i-1].At {
+			return fmt.Errorf("trace %s: tick %d at %v not after tick %d at %v",
+				t.Item, i, tk.At, i-1, t.Ticks[i-1].At)
+		}
+	}
+	return nil
+}
+
+// Project returns the sub-sequence of ticks a consumer with coherency
+// tolerance c would receive under pure value filtering (Eq. 3 of the
+// paper): a tick is included when it differs from the last included value
+// by more than c. The first tick is always included. This is the "view" /
+// "projection" of the data stream described in Section 2.
+func (t *Trace) Project(c float64) *Trace {
+	out := &Trace{Item: t.Item}
+	if len(t.Ticks) == 0 {
+		return out
+	}
+	out.Ticks = append(out.Ticks, t.Ticks[0])
+	last := t.Ticks[0].Value
+	for _, tk := range t.Ticks[1:] {
+		if math.Abs(tk.Value-last) > c {
+			out.Ticks = append(out.Ticks, tk)
+			last = tk.Value
+		}
+	}
+	return out
+}

@@ -1,0 +1,260 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"d3t/internal/sim"
+)
+
+func mkTrace(vals ...float64) *Trace {
+	tr := &Trace{Item: "X"}
+	for i, v := range vals {
+		tr.Ticks = append(tr.Ticks, Tick{At: sim.Time(i) * sim.Second, Value: v})
+	}
+	return tr
+}
+
+func TestValueAt(t *testing.T) {
+	tr := mkTrace(1, 2, 3)
+	cases := []struct {
+		at   sim.Time
+		want float64
+	}{
+		{-5 * sim.Second, 1}, // before start: first value
+		{0, 1},
+		{sim.Second / 2, 1},
+		{sim.Second, 2},
+		{3 * sim.Second / 2, 2},
+		{2 * sim.Second, 3},
+		{100 * sim.Second, 3},
+	}
+	for _, c := range cases {
+		got, ok := tr.ValueAt(c.at)
+		if !ok || got != c.want {
+			t.Errorf("ValueAt(%v) = %v,%v; want %v,true", c.at, got, ok, c.want)
+		}
+	}
+	var empty Trace
+	if _, ok := empty.ValueAt(0); ok {
+		t.Error("ValueAt on empty trace reported ok")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := mkTrace(10, 12, 11, 15)
+	s := tr.Summarize()
+	if s.Min != 10 || s.Max != 15 {
+		t.Errorf("min/max = %v/%v, want 10/15", s.Min, s.Max)
+	}
+	if s.Ticks != 4 {
+		t.Errorf("ticks = %d, want 4", s.Ticks)
+	}
+	if want := (2.0 + 1 + 4) / 3; math.Abs(s.MeanAbsStep-want) > 1e-12 {
+		t.Errorf("meanAbsStep = %v, want %v", s.MeanAbsStep, want)
+	}
+	if s.Duration != 3*sim.Second {
+		t.Errorf("duration = %v, want 3s", s.Duration)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := mkTrace(1, 2)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid trace rejected: %v", err)
+	}
+	noName := &Trace{}
+	if err := noName.Validate(); err == nil {
+		t.Error("empty item name accepted")
+	}
+	dup := &Trace{Item: "X", Ticks: []Tick{{0, 1}, {0, 2}}}
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate timestamps accepted")
+	}
+	nan := &Trace{Item: "X", Ticks: []Tick{{0, math.NaN()}}}
+	if err := nan.Validate(); err == nil {
+		t.Error("NaN value accepted")
+	}
+}
+
+func TestProjectFiltersByTolerance(t *testing.T) {
+	// The Figure 4 sequence from the paper.
+	tr := mkTrace(1, 1.2, 1.4, 1.5, 1.7, 2.0)
+	p := tr.Project(0.5)
+	want := []float64{1, 1.7}
+	var got []float64
+	for _, tk := range p.Ticks {
+		got = append(got, tk.Value)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Project(0.5) kept %v, want %v", got, want)
+	}
+	// c=0 keeps every change.
+	if n := tr.Project(0).Len(); n != 6 {
+		t.Errorf("Project(0) kept %d ticks, want 6", n)
+	}
+}
+
+// Property: a projection is a subsequence whose consecutive values differ
+// by more than c, and a coarser tolerance never keeps more ticks.
+func TestProjectProperties(t *testing.T) {
+	f := func(raw []int8, cRaw uint8) bool {
+		vals := make([]float64, 0, len(raw)+1)
+		vals = append(vals, 0)
+		for _, v := range raw {
+			vals = append(vals, float64(v)/10)
+		}
+		tr := mkTrace(vals...)
+		c := float64(cRaw) / 50
+		p := tr.Project(c)
+		if p.Len() == 0 || p.Ticks[0] != tr.Ticks[0] {
+			return false
+		}
+		for i := 1; i < p.Len(); i++ {
+			if math.Abs(p.Ticks[i].Value-p.Ticks[i-1].Value) <= c {
+				return false // kept a tick within tolerance of the previous kept one
+			}
+		}
+		coarser := tr.Project(c * 2)
+		return coarser.Len() <= p.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerateBoundedWalkStaysInBand(t *testing.T) {
+	tr := MustGenerate(GenConfig{
+		Item: "MSFT", Model: BoundedWalk, Ticks: 5000,
+		Start: 60.5, Low: 60.0, High: 61.0, Step: 0.05, Seed: 7,
+	})
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Summarize()
+	if s.Min < 60.0-1e-9 || s.Max > 61.0+1e-9 {
+		t.Errorf("walk escaped band: [%v, %v]", s.Min, s.Max)
+	}
+	if s.Ticks != 5000 {
+		t.Errorf("got %d ticks, want 5000", s.Ticks)
+	}
+	// The walk should actually move: its band coverage should be a large
+	// fraction of the configured band.
+	if s.Max-s.Min < 0.5 {
+		t.Errorf("walk too static: explored only %v of a 1.0 band", s.Max-s.Min)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := GenConfig{Item: "X", Ticks: 100, Seed: 42}
+	a := MustGenerate(cfg)
+	b := MustGenerate(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same config+seed produced different traces")
+	}
+	c := MustGenerate(GenConfig{Item: "X", Ticks: 100, Seed: 43})
+	if reflect.DeepEqual(a.Ticks, c.Ticks) {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateGBMPositive(t *testing.T) {
+	tr := MustGenerate(GenConfig{Item: "G", Model: GBM, Ticks: 2000, Start: 30, Step: 0.01, Seed: 3})
+	for _, tk := range tr.Ticks {
+		if tk.Value <= 0 {
+			t.Fatalf("GBM produced non-positive price %v", tk.Value)
+		}
+	}
+}
+
+func TestGenerateOUReverts(t *testing.T) {
+	tr := MustGenerate(GenConfig{Item: "O", Model: OU, Ticks: 5000, Start: 20, Step: 0.05, Reversion: 0.1, Seed: 9})
+	s := tr.Summarize()
+	// Mean reversion keeps the process near its start.
+	if s.Min < 15 || s.Max > 25 {
+		t.Errorf("OU wandered to [%v, %v], expected to stay near 20", s.Min, s.Max)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(GenConfig{Item: "B", Model: BoundedWalk, Low: 5, High: 5, Ticks: 10}); err == nil {
+		t.Error("degenerate band accepted")
+	}
+	if _, err := Generate(GenConfig{Item: "B", Model: GBM, Start: -1, Ticks: 10}); err == nil {
+		t.Error("negative GBM start accepted")
+	}
+	if _, err := Generate(GenConfig{Item: "B", Model: Model(99), Ticks: 10}); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestGenerateSet(t *testing.T) {
+	set := GenerateSet(10, 500, sim.Second, 1)
+	if len(set) != 10 {
+		t.Fatalf("got %d traces, want 10", len(set))
+	}
+	names := map[string]bool{}
+	for _, tr := range set {
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Len() != 500 {
+			t.Errorf("%s has %d ticks, want 500", tr.Item, tr.Len())
+		}
+		if names[tr.Item] {
+			t.Errorf("duplicate item name %s", tr.Item)
+		}
+		names[tr.Item] = true
+	}
+}
+
+func TestTable1Traces(t *testing.T) {
+	traces := Table1TracesSized(2000, 5)
+	if len(traces) != len(Table1Tickers) {
+		t.Fatalf("got %d traces, want %d", len(traces), len(Table1Tickers))
+	}
+	for i, tr := range traces {
+		s := tr.Summarize()
+		tk := Table1Tickers[i]
+		if s.Item != tk.Symbol {
+			t.Errorf("trace %d named %s, want %s", i, s.Item, tk.Symbol)
+		}
+		if s.Min < tk.Min-1e-9 || s.Max > tk.Max+1e-9 {
+			t.Errorf("%s range [%v,%v] outside published band [%v,%v]",
+				tk.Symbol, s.Min, s.Max, tk.Min, tk.Max)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	in := GenerateSet(3, 50, sim.Second, 11)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, in...); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Error("CSV round trip changed traces")
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"a,b,c\n",
+		"item,usec,value\nX,notanumber,5\n",
+		"item,usec,value\nX,5,notanumber\n",
+		"item,usec,value\nX,5,1\nX,5,2\n", // duplicate timestamp
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(bytes.NewBufferString(c)); err == nil {
+			t.Errorf("ReadCSV accepted %q", c)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package tree
+
+import (
+	"fmt"
+	"math/rand"
+
+	"d3t/internal/netsim"
+	"d3t/internal/repository"
+)
+
+// The alternative builders below exist for the paper's secondary claim
+// (Section 6.3.3): once the degree of cooperation is chosen correctly, the
+// exact tree construction algorithm has only minimal impact on fidelity.
+// They wire each entering repository to a single already-placed parent and
+// reuse LeLA's cascading augmentation for coverage.
+
+// RandomBuilder attaches each repository to a uniformly random
+// already-placed node with spare capacity.
+type RandomBuilder struct {
+	Seed int64
+}
+
+// Name implements Builder.
+func (b *RandomBuilder) Name() string { return "random" }
+
+// Build implements Builder.
+func (b *RandomBuilder) Build(net *netsim.Network, repos []*repository.Repository, sourceCoopLimit int) (*Overlay, error) {
+	rng := rand.New(rand.NewSource(b.Seed))
+	return buildSingleParent(net, repos, sourceCoopLimit, rng,
+		func(q *repository.Repository, placed []*repository.Repository) *repository.Repository {
+			var avail []*repository.Repository
+			for _, p := range placed {
+				if p.HasCapacityFor(q.ID) {
+					avail = append(avail, p)
+				}
+			}
+			if len(avail) == 0 {
+				return nil
+			}
+			return avail[rng.Intn(len(avail))]
+		})
+}
+
+// GreedyBuilder attaches each repository to the already-placed node with
+// spare capacity that is physically closest (smallest communication
+// delay), a classic proximity heuristic.
+type GreedyBuilder struct {
+	Seed int64
+}
+
+// Name implements Builder.
+func (b *GreedyBuilder) Name() string { return "greedy-closest" }
+
+// Build implements Builder.
+func (b *GreedyBuilder) Build(net *netsim.Network, repos []*repository.Repository, sourceCoopLimit int) (*Overlay, error) {
+	rng := rand.New(rand.NewSource(b.Seed))
+	return buildSingleParent(net, repos, sourceCoopLimit, rng,
+		func(q *repository.Repository, placed []*repository.Repository) *repository.Repository {
+			var best *repository.Repository
+			for _, p := range placed {
+				if !p.HasCapacityFor(q.ID) {
+					continue
+				}
+				if best == nil || net.Delay[p.ID][q.ID] < net.Delay[best.ID][q.ID] {
+					best = p
+				}
+			}
+			return best
+		})
+}
+
+// DirectBuilder wires every repository directly to the source — the
+// no-cooperation configuration of Section 6.3.2 (Figures 5 and 6). The
+// source's cooperation limit is raised to fit everyone.
+type DirectBuilder struct{}
+
+// Name implements Builder.
+func (b *DirectBuilder) Name() string { return "direct" }
+
+// Build implements Builder.
+func (b *DirectBuilder) Build(net *netsim.Network, repos []*repository.Repository, sourceCoopLimit int) (*Overlay, error) {
+	if sourceCoopLimit < len(repos) {
+		sourceCoopLimit = len(repos)
+	}
+	o, err := newOverlay(net, repos, sourceCoopLimit)
+	if err != nil {
+		return nil, err
+	}
+	src := o.Source()
+	for _, q := range repos {
+		for _, x := range q.NeededItems() {
+			src.AddDependent(x, q.ID)
+			q.Parents[x] = src.ID
+		}
+		q.Level = 1
+	}
+	return o, nil
+}
+
+// buildSingleParent runs the shared insertion loop for the random and
+// greedy builders: pick one parent per repository, route every needed item
+// through it, augmenting as required.
+func buildSingleParent(net *netsim.Network, repos []*repository.Repository, sourceCoopLimit int,
+	rng *rand.Rand, pick func(q *repository.Repository, placed []*repository.Repository) *repository.Repository) (*Overlay, error) {
+
+	o, err := newOverlay(net, repos, sourceCoopLimit)
+	if err != nil {
+		return nil, err
+	}
+	placed := []*repository.Repository{o.Source()}
+	for _, q := range repos {
+		parent := pick(q, placed)
+		if parent == nil {
+			return nil, fmt.Errorf("tree: no capacity anywhere for repository %d", q.ID)
+		}
+		q.Level = parent.Level + 1
+		needs := q.NeededItems()
+		for _, x := range needs {
+			c := q.Needs[x]
+			if !parent.CanServe(x, c) {
+				if err := augment(o, parent, x, c, rng); err != nil {
+					return nil, err
+				}
+			}
+			parent.AddDependent(x, q.ID)
+			q.Parents[x] = parent.ID
+		}
+		if len(needs) == 0 {
+			parent.Attach(q.ID)
+			q.Liaison = parent.ID
+		}
+		placed = append(placed, q)
+	}
+	return o, nil
+}

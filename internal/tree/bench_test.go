@@ -1,0 +1,77 @@
+package tree
+
+import (
+	"fmt"
+	"testing"
+
+	"d3t/internal/netsim"
+	"d3t/internal/repository"
+)
+
+// benchBuild measures overlay construction at the paper's base-case size.
+func benchBuild(b *testing.B, builder func() Builder, repos, items, coop int) {
+	b.Helper()
+	net := netsim.MustGenerate(netsim.Config{Repositories: repos, Routers: 6 * repos, Seed: 1})
+	catalogue := make([]string, items)
+	for i := range catalogue {
+		catalogue[i] = fmt.Sprintf("ITEM%03d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		members := make([]*repository.Repository, repos)
+		for j := range members {
+			members[j] = repository.New(repository.ID(j+1), coop)
+		}
+		repository.AssignNeeds(members, repository.Workload{
+			Items: catalogue, SubscribeProb: 0.5, StringentFrac: 0.5, Seed: 2,
+		})
+		b.StartTimer()
+		if _, err := builder().Build(net, members, coop); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLeLABuild100(b *testing.B) {
+	benchBuild(b, func() Builder { return &LeLA{} }, 100, 100, 6)
+}
+
+func BenchmarkLeLABuild300(b *testing.B) {
+	benchBuild(b, func() Builder { return &LeLA{} }, 300, 100, 6)
+}
+
+func BenchmarkRandomBuild100(b *testing.B) {
+	benchBuild(b, func() Builder { return &RandomBuilder{} }, 100, 100, 6)
+}
+
+func BenchmarkGreedyBuild100(b *testing.B) {
+	benchBuild(b, func() Builder { return &GreedyBuilder{} }, 100, 100, 6)
+}
+
+func BenchmarkValidate(b *testing.B) {
+	net := netsim.MustGenerate(netsim.Config{Repositories: 100, Routers: 600, Seed: 1})
+	members := make([]*repository.Repository, 100)
+	for j := range members {
+		members[j] = repository.New(repository.ID(j+1), 6)
+	}
+	catalogue := make([]string, 100)
+	for i := range catalogue {
+		catalogue[i] = fmt.Sprintf("ITEM%03d", i)
+	}
+	repository.AssignNeeds(members, repository.Workload{
+		Items: catalogue, SubscribeProb: 0.5, StringentFrac: 0.5, Seed: 2,
+	})
+	o, err := (&LeLA{}).Build(net, members, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := o.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package tree
+
+import "d3t/internal/sim"
+
+// DefaultCoopK is the paper's recommended constant k in Eq. 2. Footnote 1
+// reports fidelity is insensitive for k >= 30; k = 30 yields a degree of
+// cooperation around 4-10 for the paper's delay regime, k = 100 around
+// 2-4.
+const DefaultCoopK = 30
+
+// ControlledCoopDegree computes the "optimal" degree of cooperation of
+// Section 3 (Eq. 2):
+//
+//	coopDegree = (1/k) * (avgCommDelay / avgCompDelay) * resources
+//
+// clamped to [1, resources]. The degree grows with communication delays
+// (deep trees hurt more) and shrinks with computational delays (wide nodes
+// queue more), exactly the proportionality the paper argues for.
+func ControlledCoopDegree(avgComm, avgComp sim.Time, resources, k int) int {
+	if resources < 1 {
+		resources = 1
+	}
+	if k <= 0 {
+		k = DefaultCoopK
+	}
+	if avgComp <= 0 || avgComm <= 0 {
+		// Degenerate delay regimes: with free computation there is no
+		// queueing penalty, so use everything; with free communication
+		// depth is harmless but width still queues, so serve one.
+		if avgComp <= 0 {
+			return resources
+		}
+		return 1
+	}
+	deg := int(float64(avgComm) / float64(avgComp) * float64(resources) / float64(k))
+	if deg < 1 {
+		deg = 1
+	}
+	if deg > resources {
+		deg = resources
+	}
+	return deg
+}

@@ -1,0 +1,266 @@
+package tree
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"d3t/internal/coherency"
+	"d3t/internal/netsim"
+	"d3t/internal/repository"
+)
+
+// dynFixture builds an overlay with spare endpoint capacity for joiners.
+func dynFixture(t *testing.T, initial, capacity, items, coop int, seed int64) (*Overlay, *LeLA) {
+	t.Helper()
+	net := netsim.MustGenerate(netsim.Config{Repositories: capacity, Routers: 3 * capacity, Seed: seed})
+	repos := make([]*repository.Repository, initial)
+	for i := range repos {
+		repos[i] = repository.New(repository.ID(i+1), coop)
+	}
+	catalogue := make([]string, items)
+	for i := range catalogue {
+		catalogue[i] = fmt.Sprintf("ITEM%03d", i)
+	}
+	repository.AssignNeeds(repos, repository.Workload{
+		Items: catalogue, SubscribeProb: 0.5, StringentFrac: 0.5, Seed: seed + 1,
+	})
+	l := &LeLA{Seed: seed}
+	o, err := l.Build(net, repos, coop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o, l
+}
+
+func TestInsertJoinsNewRepository(t *testing.T) {
+	o, l := dynFixture(t, 10, 15, 12, 3, 1)
+	for j := 0; j < 5; j++ {
+		q := repository.New(repository.ID(11+j), 3)
+		q.Needs["ITEM000"], q.Serving["ITEM000"] = 0.05, 0.05
+		q.Needs["ITEM005"], q.Serving["ITEM005"] = 0.3, 0.3
+		if err := l.Insert(o, q); err != nil {
+			t.Fatalf("insert %d: %v", j, err)
+		}
+		if err := o.Validate(); err != nil {
+			t.Fatalf("overlay invalid after insert %d: %v", j, err)
+		}
+	}
+	if len(o.Nodes) != 16 {
+		t.Errorf("overlay has %d nodes, want 16", len(o.Nodes))
+	}
+}
+
+func TestInsertRejectsBadJoins(t *testing.T) {
+	o, l := dynFixture(t, 10, 12, 8, 3, 2)
+	if err := l.Insert(o, repository.New(99, 3)); err == nil {
+		t.Error("non-sequential id accepted")
+	}
+	if err := l.Insert(o, repository.New(11, 0)); err == nil {
+		t.Error("zero cooperation accepted")
+	}
+	// Fill the capacity, then one more must fail on network size.
+	for id := 11; id <= 12; id++ {
+		q := repository.New(repository.ID(id), 3)
+		q.Needs["ITEM000"], q.Serving["ITEM000"] = 0.5, 0.5
+		if err := l.Insert(o, q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := repository.New(13, 3)
+	if err := l.Insert(o, q); err == nil {
+		t.Error("insert beyond network capacity accepted")
+	}
+	if len(o.Nodes) != 13 {
+		t.Errorf("failed insert left %d nodes, want 13 (rollback)", len(o.Nodes))
+	}
+}
+
+func TestUpdateNeedsTightens(t *testing.T) {
+	o, l := dynFixture(t, 12, 12, 10, 3, 3)
+	q := o.Node(5)
+	items := q.NeededItems()
+	if len(items) == 0 {
+		t.Skip("repository 5 subscribed to nothing under this seed")
+	}
+	x := items[0]
+	newNeeds := map[string]coherency.Requirement{x: q.Needs[x] / 10}
+	if err := l.UpdateNeeds(o, 5, newNeeds); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatalf("overlay invalid after tightening: %v", err)
+	}
+	if got := q.Needs[x]; got != newNeeds[x] {
+		t.Errorf("need not updated: %v", got)
+	}
+	// The whole chain to the source must now serve at the new stringency.
+	cur := q
+	for !cur.IsSource() {
+		c, ok := cur.ServingTolerance(x)
+		if !ok || !c.AtLeastAsStringentAs(newNeeds[x]) {
+			t.Fatalf("node %d serves %s at %v, need %v", cur.ID, x, c, newNeeds[x])
+		}
+		cur = o.Node(cur.Parents[x])
+	}
+}
+
+func TestUpdateNeedsAddsItem(t *testing.T) {
+	o, l := dynFixture(t, 12, 12, 10, 3, 4)
+	q := o.Node(7)
+	// Pick an item q does not hold.
+	var fresh string
+	for i := 0; i < 10; i++ {
+		x := fmt.Sprintf("ITEM%03d", i)
+		if _, ok := q.Serving[x]; !ok {
+			fresh = x
+			break
+		}
+	}
+	if fresh == "" {
+		t.Skip("repository 7 already holds everything under this seed")
+	}
+	needs := map[string]coherency.Requirement{fresh: 0.02}
+	for x, c := range q.Needs {
+		needs[x] = c
+	}
+	if err := l.UpdateNeeds(o, 7, needs); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatalf("overlay invalid after adding %s: %v", fresh, err)
+	}
+	if _, ok := q.Parents[fresh]; !ok {
+		t.Errorf("no feed established for %s", fresh)
+	}
+}
+
+func TestUpdateNeedsDropKeepsServing(t *testing.T) {
+	o, l := dynFixture(t, 12, 12, 10, 3, 5)
+	q := o.Node(3)
+	items := q.NeededItems()
+	if len(items) < 2 {
+		t.Skip("repository 3 too sparsely subscribed under this seed")
+	}
+	dropped := items[0]
+	needs := map[string]coherency.Requirement{}
+	for _, x := range items[1:] {
+		needs[x] = q.Needs[x]
+	}
+	if err := l.UpdateNeeds(o, 3, needs); err != nil {
+		t.Fatal(err)
+	}
+	if _, still := q.Needs[dropped]; still {
+		t.Error("dropped need still present")
+	}
+	if _, serves := q.Serving[dropped]; !serves {
+		t.Error("serving entry removed — dependents may rely on it")
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpdateNeedsErrors(t *testing.T) {
+	o, l := dynFixture(t, 6, 6, 8, 3, 6)
+	if err := l.UpdateNeeds(o, 99, nil); err == nil {
+		t.Error("unknown repository accepted")
+	}
+	if err := l.UpdateNeeds(o, 1, map[string]coherency.Requirement{"X": -1}); err == nil {
+		t.Error("negative tolerance accepted")
+	}
+}
+
+func TestRemoveLeaf(t *testing.T) {
+	o, _ := dynFixture(t, 12, 12, 10, 3, 7)
+	// Find a leaf.
+	var leaf repository.ID
+	for _, n := range o.Repos() {
+		if n.NumChildren() == 0 {
+			leaf = n.ID
+			break
+		}
+	}
+	if leaf == 0 {
+		t.Fatal("no leaf in a 12-node overlay?")
+	}
+	if err := o.Remove(leaf); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range o.Nodes {
+		if n.HasChild(leaf) {
+			t.Errorf("node %d still lists departed %d as a child", n.ID, leaf)
+		}
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatalf("overlay invalid after leaf departure: %v", err)
+	}
+}
+
+func TestRemoveRejectsInteriorAndUnknown(t *testing.T) {
+	o, _ := dynFixture(t, 12, 12, 10, 3, 8)
+	var interior repository.ID
+	for _, n := range o.Repos() {
+		if n.NumChildren() > 0 {
+			interior = n.ID
+			break
+		}
+	}
+	if interior != 0 {
+		if err := o.Remove(interior); err == nil {
+			t.Error("interior departure accepted")
+		}
+	}
+	if err := o.Remove(99); err == nil {
+		t.Error("unknown repository departure accepted")
+	}
+}
+
+// TestDynamicChurnProperty: joins interleaved with tightenings keep every
+// overlay invariant intact.
+func TestDynamicChurnProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		net := netsim.MustGenerate(netsim.Config{Repositories: 20, Routers: 60, Seed: seed})
+		repos := make([]*repository.Repository, 10)
+		for i := range repos {
+			repos[i] = repository.New(repository.ID(i+1), 3)
+		}
+		catalogue := make([]string, 8)
+		for i := range catalogue {
+			catalogue[i] = fmt.Sprintf("ITEM%03d", i)
+		}
+		repository.AssignNeeds(repos, repository.Workload{
+			Items: catalogue, SubscribeProb: 0.5, StringentFrac: 0.5, Seed: seed,
+		})
+		l := &LeLA{Seed: seed}
+		o, err := l.Build(net, repos, 3)
+		if err != nil {
+			return false
+		}
+		for j := 0; j < 6; j++ {
+			q := repository.New(repository.ID(11+j), 3)
+			item := catalogue[j%len(catalogue)]
+			q.Needs[item], q.Serving[item] = coherency.Requirement(0.05+0.1*float64(j)), coherency.Requirement(0.05+0.1*float64(j))
+			if err := l.Insert(o, q); err != nil {
+				return false
+			}
+			target := repository.ID(1 + j%10)
+			tn := o.Node(target)
+			upd := map[string]coherency.Requirement{}
+			for x, c := range tn.Needs {
+				upd[x] = c / 2
+			}
+			upd[catalogue[(j+3)%len(catalogue)]] = 0.03
+			if err := l.UpdateNeeds(o, target, upd); err != nil {
+				return false
+			}
+			if o.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

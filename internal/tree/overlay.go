@@ -1,0 +1,162 @@
+// Package tree constructs the dynamic data dissemination graph (d3g) of
+// Section 4: the logical overlay connecting the source to the cooperating
+// repositories. For any single item the d3g reduces to that item's
+// dissemination tree (d3t).
+//
+// The package provides the paper's LeLA (Level-by-Level Algorithm) with
+// its load controller and preference factors, the controlled-cooperation
+// formula of Section 3 (Eq. 2), alternative builders used as ablations,
+// and structural validation of the overlay invariants.
+package tree
+
+import (
+	"fmt"
+
+	"d3t/internal/netsim"
+	"d3t/internal/repository"
+)
+
+// Overlay is a constructed d3g: the source plus repositories, wired with
+// per-item parent/dependent edges, over a physical network.
+type Overlay struct {
+	// Nodes holds the source at index 0 and repository i at index i.
+	Nodes []*repository.Repository
+	// Net provides endpoint-to-endpoint communication delays; endpoint
+	// indices coincide with node ids.
+	Net *netsim.Network
+}
+
+// Source returns the source node.
+func (o *Overlay) Source() *repository.Repository { return o.Nodes[repository.SourceID] }
+
+// Node returns the node with the given id.
+func (o *Overlay) Node(id repository.ID) *repository.Repository { return o.Nodes[id] }
+
+// Repos returns the repository nodes (everything but the source).
+func (o *Overlay) Repos() []*repository.Repository { return o.Nodes[1:] }
+
+// Validate checks the structural invariants the dissemination algorithms
+// rely on. It returns the first violation found:
+//
+//  1. parent/dependent edges are symmetric;
+//  2. every node's distinct-children count respects its cooperation limit;
+//  3. for every item a repository serves, following Parents leads to the
+//     source without cycles;
+//  4. along every edge the parent's tolerance is at least as stringent as
+//     the child's (Eq. 1).
+func (o *Overlay) Validate() error {
+	for _, n := range o.Nodes {
+		if n.NumChildren() > n.CoopLimit {
+			return fmt.Errorf("tree: node %d has %d children, limit %d", n.ID, n.NumChildren(), n.CoopLimit)
+		}
+		for x, deps := range n.Dependents {
+			for _, d := range deps {
+				dep := o.Node(d)
+				if dep.Parents[x] != n.ID {
+					return fmt.Errorf("tree: node %d lists %d as dependent for %s, but %d's parent is %d",
+						n.ID, d, x, d, dep.Parents[x])
+				}
+				pc, ok := n.ServingTolerance(x)
+				if !ok {
+					return fmt.Errorf("tree: node %d serves %s to %d without holding it", n.ID, x, d)
+				}
+				cc, ok := dep.ServingTolerance(x)
+				if !ok {
+					return fmt.Errorf("tree: node %d receives %s without a serving tolerance", d, x)
+				}
+				if !pc.AtLeastAsStringentAs(cc) {
+					return fmt.Errorf("tree: edge %d->%d for %s violates Eq.1: parent %v > child %v",
+						n.ID, d, x, pc, cc)
+				}
+			}
+		}
+	}
+	for _, n := range o.Repos() {
+		for _, x := range n.Items() {
+			if err := o.checkPath(n, x); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// checkPath follows item x's parent chain from n to the source.
+func (o *Overlay) checkPath(n *repository.Repository, x string) error {
+	seen := map[repository.ID]bool{}
+	cur := n
+	for !cur.IsSource() {
+		if seen[cur.ID] {
+			return fmt.Errorf("tree: cycle through node %d for item %s", cur.ID, x)
+		}
+		seen[cur.ID] = true
+		pid, ok := cur.Parents[x]
+		if !ok {
+			return fmt.Errorf("tree: node %d holds %s but has no parent for it", cur.ID, x)
+		}
+		cur = o.Node(pid)
+	}
+	return nil
+}
+
+// Metrics summarizes the overlay shape the way Section 6.3.1 reports it.
+type Metrics struct {
+	// Diameter is the maximum node level (hops from the source in the
+	// overlay).
+	Diameter int
+	// AvgDepth is the mean repository level.
+	AvgDepth float64
+	// AvgChildren is the mean distinct-children count over nodes that
+	// have at least one child.
+	AvgChildren float64
+	// MaxChildren is the largest distinct-children count.
+	MaxChildren int
+}
+
+// ComputeMetrics derives shape metrics from the overlay.
+func (o *Overlay) ComputeMetrics() Metrics {
+	var m Metrics
+	var depthSum, reposN int
+	var childSum, parentsN int
+	for _, n := range o.Nodes {
+		if !n.IsSource() {
+			depthSum += n.Level
+			reposN++
+			if n.Level > m.Diameter {
+				m.Diameter = n.Level
+			}
+		}
+		if c := n.NumChildren(); c > 0 {
+			childSum += c
+			parentsN++
+			if c > m.MaxChildren {
+				m.MaxChildren = c
+			}
+		}
+	}
+	if reposN > 0 {
+		m.AvgDepth = float64(depthSum) / float64(reposN)
+	}
+	if parentsN > 0 {
+		m.AvgChildren = float64(childSum) / float64(parentsN)
+	}
+	return m
+}
+
+// String renders the metrics compactly.
+func (m Metrics) String() string {
+	return fmt.Sprintf("diameter=%d avgDepth=%.1f avgChildren=%.1f maxChildren=%d",
+		m.Diameter, m.AvgDepth, m.AvgChildren, m.MaxChildren)
+}
+
+// Builder constructs an overlay from a physical network and a set of
+// repositories whose needs and cooperation limits are already assigned.
+// Builders mutate the passed repositories (wiring edges and augmenting
+// serving sets).
+type Builder interface {
+	// Name identifies the builder in experiment output.
+	Name() string
+	// Build wires the repositories into an overlay rooted at a new source
+	// node with the given cooperation limit.
+	Build(net *netsim.Network, repos []*repository.Repository, sourceCoopLimit int) (*Overlay, error)
+}

@@ -1,0 +1,39 @@
+package tree
+
+// PrefInputs are the ingredients of a load controller's preference factor
+// for one candidate parent (Section 4). Smaller preference values are
+// better.
+type PrefInputs struct {
+	// DelayMs is the communication delay between the candidate parent and
+	// the entering repository, in milliseconds.
+	DelayMs float64
+	// Dependents is the candidate's current distinct-children count; it
+	// approximates the computational delay a new child would see.
+	Dependents int
+	// Available is the number of the entering repository's needed items
+	// the candidate can serve at the required stringency without
+	// augmentation (the data availability factor).
+	Available int
+}
+
+// PreferenceFunc scores a candidate parent; lower is preferred.
+type PreferenceFunc func(PrefInputs) float64
+
+// P1 is the paper's primary preference factor:
+//
+//	(computational delay factor x communication delay factor)
+//	-------------------------------------------------------
+//	           data availability factor
+//
+// using (1 + dependents) for the computational factor and (1 + available)
+// for availability so fresh nodes and zero-availability candidates stay
+// finite.
+func P1(in PrefInputs) float64 {
+	return in.DelayMs * float64(1+in.Dependents) / float64(1+in.Available)
+}
+
+// P2 is the alternative of Section 6.3.3 (Figure 10): delay x (1 +
+// dependents), ignoring data availability.
+func P2(in PrefInputs) float64 {
+	return in.DelayMs * float64(1+in.Dependents)
+}

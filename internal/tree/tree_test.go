@@ -1,0 +1,274 @@
+package tree
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"d3t/internal/netsim"
+	"d3t/internal/repository"
+	"d3t/internal/sim"
+)
+
+// buildFixture creates n repositories with workload-assigned needs over
+// `items` item names and wires them with the given builder.
+func buildFixture(t *testing.T, b Builder, n, items, coop int, stringentFrac float64, seed int64) *Overlay {
+	t.Helper()
+	o, err := buildFixtureErr(b, n, items, coop, stringentFrac, seed)
+	if err != nil {
+		t.Fatalf("%s build failed: %v", b.Name(), err)
+	}
+	return o
+}
+
+func buildFixtureErr(b Builder, n, items, coop int, stringentFrac float64, seed int64) (*Overlay, error) {
+	net := netsim.MustGenerate(netsim.Config{Repositories: n, Routers: 3 * n, Seed: seed})
+	repos := make([]*repository.Repository, n)
+	for i := range repos {
+		repos[i] = repository.New(repository.ID(i+1), coop)
+	}
+	catalogue := make([]string, items)
+	for i := range catalogue {
+		catalogue[i] = fmt.Sprintf("ITEM%03d", i)
+	}
+	repository.AssignNeeds(repos, repository.Workload{
+		Items: catalogue, SubscribeProb: 0.5, StringentFrac: stringentFrac, Seed: seed + 1,
+	})
+	return b.Build(net, repos, coop)
+}
+
+func TestLeLAProducesValidOverlay(t *testing.T) {
+	o := buildFixture(t, &LeLA{}, 30, 20, 4, 0.5, 1)
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := o.ComputeMetrics()
+	if m.Diameter < 2 {
+		t.Errorf("30 repos at fan-out 4 should need depth >= 2, got %d", m.Diameter)
+	}
+	if m.MaxChildren > 4 {
+		t.Errorf("max children %d exceeds coop limit 4", m.MaxChildren)
+	}
+}
+
+func TestLeLAChainAtCoopOne(t *testing.T) {
+	// Degree of cooperation 1 must produce a chain: every node has at
+	// most one child and the diameter equals the repository count.
+	o := buildFixture(t, &LeLA{}, 12, 8, 1, 0.5, 2)
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := o.ComputeMetrics()
+	if m.MaxChildren != 1 {
+		t.Errorf("chain max children %d, want 1", m.MaxChildren)
+	}
+	if m.Diameter != 12 {
+		t.Errorf("chain diameter %d, want 12", m.Diameter)
+	}
+}
+
+func TestLeLAStarAtFullCooperation(t *testing.T) {
+	// Degree of cooperation >= repository count: the source serves
+	// everyone directly (the paper's right end of Figure 3).
+	o := buildFixture(t, &LeLA{}, 15, 8, 15, 0.5, 3)
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := o.ComputeMetrics()
+	if m.Diameter != 1 {
+		t.Errorf("star diameter %d, want 1", m.Diameter)
+	}
+	if got := o.Source().NumChildren(); got != 15 {
+		t.Errorf("source children %d, want 15", got)
+	}
+}
+
+func TestLeLADeterministicForSeed(t *testing.T) {
+	a, err := buildFixtureErr(&LeLA{Seed: 7}, 20, 10, 3, 0.5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := buildFixtureErr(&LeLA{Seed: 7}, 20, 10, 3, 0.5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i].NumChildren() != b.Nodes[i].NumChildren() ||
+			a.Nodes[i].Level != b.Nodes[i].Level {
+			t.Fatalf("node %d differs across identical builds", i)
+		}
+		for x, p := range a.Nodes[i].Parents {
+			if b.Nodes[i].Parents[x] != p {
+				t.Fatalf("node %d parent for %s differs across identical builds", i, x)
+			}
+		}
+	}
+}
+
+func TestAllBuildersSatisfyInvariants(t *testing.T) {
+	builders := []Builder{
+		&LeLA{},
+		&LeLA{Preference: P2},
+		&LeLA{PPercent: 25},
+		&RandomBuilder{Seed: 5},
+		&GreedyBuilder{},
+		&DirectBuilder{},
+	}
+	for _, b := range builders {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			o := buildFixture(t, b, 25, 15, 5, 0.5, 4)
+			if err := o.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestOverlayInvariantsProperty fuzzes LeLA across sizes, coop degrees and
+// coherency mixes: every build must validate.
+func TestOverlayInvariantsProperty(t *testing.T) {
+	f := func(seed int64, nRaw, coopRaw, tRaw uint8) bool {
+		n := 5 + int(nRaw)%30
+		coop := 1 + int(coopRaw)%10
+		strFrac := float64(tRaw%101) / 100
+		o, err := buildFixtureErr(&LeLA{Seed: seed}, n, 12, coop, strFrac, seed)
+		if err != nil {
+			return false
+		}
+		return o.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDirectBuilderIgnoresSmallSourceLimit(t *testing.T) {
+	o := buildFixture(t, &DirectBuilder{}, 10, 6, 2, 0.5, 6)
+	if got := o.Source().NumChildren(); got != 10 {
+		t.Errorf("direct build source children %d, want 10", got)
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildRejectsMismatchedNetwork(t *testing.T) {
+	net := netsim.MustGenerate(netsim.Config{Repositories: 3, Routers: 9, Seed: 1})
+	// Fewer repositories than endpoints is fine (spare capacity for
+	// joiners); more than the network can address is not.
+	repos := []*repository.Repository{repository.New(1, 2)}
+	if _, err := (&LeLA{}).Build(net, repos, 2); err != nil {
+		t.Errorf("spare endpoint capacity rejected: %v", err)
+	}
+	repos = []*repository.Repository{
+		repository.New(1, 2), repository.New(2, 2),
+		repository.New(3, 2), repository.New(4, 2),
+	}
+	if _, err := (&LeLA{}).Build(net, repos, 2); err == nil {
+		t.Error("more repositories than network endpoints accepted")
+	}
+	repos = []*repository.Repository{repository.New(5, 2), repository.New(2, 2), repository.New(3, 2)}
+	if _, err := (&LeLA{}).Build(net, repos, 2); err == nil {
+		t.Error("misnumbered repository ids accepted")
+	}
+	repos = []*repository.Repository{repository.New(1, 0), repository.New(2, 2), repository.New(3, 2)}
+	if _, err := (&LeLA{}).Build(net, repos, 2); err == nil {
+		t.Error("zero cooperation limit accepted")
+	}
+}
+
+func TestControlledCoopDegree(t *testing.T) {
+	ms := func(x float64) sim.Time { return sim.Milliseconds(x) }
+	cases := []struct {
+		comm, comp float64
+		res, k     int
+		want       int
+	}{
+		// The paper's regime: 25 ms comm, 12.5 ms comp, 100 resources.
+		{25, 12.5, 100, 30, 6},
+		{25, 12.5, 100, 100, 2},
+		// Larger communication delays push the degree up (Fig. 7b logic).
+		{125, 12.5, 100, 30, 33},
+		// Larger computational delays push it down (Fig. 7c logic).
+		{25, 25, 100, 30, 3},
+		// Clamping.
+		{1000, 1, 100, 30, 100},
+		{1, 1000, 100, 30, 1},
+	}
+	for _, c := range cases {
+		got := ControlledCoopDegree(ms(c.comm), ms(c.comp), c.res, c.k)
+		if got != c.want {
+			t.Errorf("ControlledCoopDegree(%vms, %vms, %d, %d) = %d, want %d",
+				c.comm, c.comp, c.res, c.k, got, c.want)
+		}
+	}
+}
+
+func TestControlledCoopDegreeDegenerate(t *testing.T) {
+	if got := ControlledCoopDegree(0, sim.Millisecond, 50, 30); got != 1 {
+		t.Errorf("zero comm delay: degree %d, want 1", got)
+	}
+	if got := ControlledCoopDegree(sim.Millisecond, 0, 50, 30); got != 50 {
+		t.Errorf("zero comp delay: degree %d, want all resources (50)", got)
+	}
+	if got := ControlledCoopDegree(sim.Millisecond, sim.Millisecond, 0, 0); got != 1 {
+		t.Errorf("no resources: degree %d, want 1", got)
+	}
+}
+
+func TestPreferenceFunctions(t *testing.T) {
+	in := PrefInputs{DelayMs: 10, Dependents: 3, Available: 4}
+	if got, want := P1(in), 10.0*4/5; got != want {
+		t.Errorf("P1 = %v, want %v", got, want)
+	}
+	if got, want := P2(in), 40.0; got != want {
+		t.Errorf("P2 = %v, want %v", got, want)
+	}
+	// More dependents must never make a candidate more preferred.
+	for d := 0; d < 10; d++ {
+		a := P1(PrefInputs{DelayMs: 10, Dependents: d, Available: 2})
+		b := P1(PrefInputs{DelayMs: 10, Dependents: d + 1, Available: 2})
+		if b <= a {
+			t.Fatalf("P1 not monotone in dependents: %v then %v", a, b)
+		}
+	}
+	// More availability must never make a candidate less preferred.
+	for av := 0; av < 10; av++ {
+		a := P1(PrefInputs{DelayMs: 10, Dependents: 2, Available: av})
+		b := P1(PrefInputs{DelayMs: 10, Dependents: 2, Available: av + 1})
+		if b >= a {
+			t.Fatalf("P1 not monotone in availability: %v then %v", a, b)
+		}
+	}
+}
+
+func TestStringentNeedsSitCloserToSource(t *testing.T) {
+	// Section 1.2: repositories with stringent requirements should end up
+	// closer to the source. LeLA achieves this indirectly: serving chains
+	// are augmented so upstream tolerances are at least as stringent.
+	// Verify the direct consequence: along every path, tolerance never
+	// loosens toward the leaves.
+	o := buildFixture(t, &LeLA{}, 40, 20, 4, 0.5, 13)
+	for _, n := range o.Repos() {
+		for x, pid := range n.Parents {
+			p := o.Node(pid)
+			pc, ok := p.ServingTolerance(x)
+			if !ok {
+				t.Fatalf("node %d's parent %d does not serve %s", n.ID, pid, x)
+			}
+			nc, _ := n.ServingTolerance(x)
+			if !pc.AtLeastAsStringentAs(nc) {
+				t.Fatalf("parent %d tolerance %v looser than child %d tolerance %v for %s",
+					pid, pc, n.ID, nc, x)
+			}
+		}
+	}
+}
+
+func TestMetricsString(t *testing.T) {
+	m := Metrics{Diameter: 3, AvgDepth: 2.1, AvgChildren: 4.2, MaxChildren: 6}
+	if s := m.String(); s == "" {
+		t.Error("empty metrics string")
+	}
+}

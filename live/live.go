@@ -1,0 +1,22 @@
+// Package live exposes the real-time goroutine runtime: every overlay
+// node is a goroutine, push connections are channels, and the distributed
+// dissemination algorithm (Eqs. 3 and 7 of the paper) filters updates in
+// real time. See d3t/internal/live for the implementation.
+package live
+
+import (
+	d3t "d3t"
+	ilive "d3t/internal/live"
+)
+
+type (
+	// Options configures a live cluster (delays, observation hook).
+	Options = ilive.Options
+	// Cluster is a running set of node goroutines.
+	Cluster = ilive.Cluster
+)
+
+// NewCluster builds (but does not start) a live cluster over the overlay.
+func NewCluster(o *d3t.Overlay, opts Options) *Cluster {
+	return ilive.NewCluster(o, opts)
+}

@@ -1,0 +1,30 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"d3t"
+)
+
+func TestPublicLiveCluster(t *testing.T) {
+	repos := []*d3t.Repository{d3t.NewRepository(1, 1)}
+	repos[0].Needs["X"], repos[0].Serving["X"] = 0.5, 0.5
+	overlay, err := d3t.NewLeLA(5, 1).Build(d3t.UniformNetwork(1, 0), repos, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCluster(overlay, Options{})
+	c.Seed("X", 1)
+	c.Start()
+	defer c.Stop()
+	c.Publish("X", 2)
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		if v, _ := c.Value(1, "X"); v == 2 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("update did not propagate: %v", c.Snapshot("X"))
+}

@@ -1,0 +1,29 @@
+// Package netio exposes the TCP deployment runtime: every overlay node is
+// a network server pushing filtered updates to its dependents over
+// gob-encoded TCP connections. See d3t/internal/netio for the
+// implementation.
+package netio
+
+import (
+	d3t "d3t"
+	inetio "d3t/internal/netio"
+)
+
+type (
+	// Node is one running dissemination server.
+	Node = inetio.Node
+	// NodeConfig describes a node: its serving set, dependents, listen
+	// address and parents.
+	NodeConfig = inetio.NodeConfig
+	// Cluster runs a whole overlay on localhost.
+	Cluster = inetio.Cluster
+)
+
+// Start launches a single node.
+func Start(cfg NodeConfig) (*Node, error) { return inetio.Start(cfg) }
+
+// StartCluster brings up every node of the overlay on localhost, parents
+// before children, seeded with the initial values.
+func StartCluster(o *d3t.Overlay, initial map[string]float64) (*Cluster, error) {
+	return inetio.StartCluster(o, initial)
+}
