@@ -1,12 +1,16 @@
 // Command d3texp regenerates the tables and figures of the paper's
 // evaluation (Section 6). Each figure prints the same rows/series the
-// paper plots.
+// paper plots. Sweeps run on a bounded worker pool that shares cached
+// networks and traces across points, and any registered workload family
+// can stand in for the paper's stock traces.
 //
 // Usage:
 //
-//	d3texp -fig fig3             # one figure at the default (small) scale
-//	d3texp -fig all -scale paper # the full evaluation at paper scale
-//	d3texp -list                 # available figure ids
+//	d3texp -fig fig3                  # one figure at the default (small) scale
+//	d3texp -fig all -scale paper      # the full evaluation at paper scale
+//	d3texp -fig fig3 -workload bursty # the same sweep over a bursty feed
+//	d3texp -workers 4 -progress       # bound the pool, watch points complete
+//	d3texp -list                      # available figure ids and workloads
 package main
 
 import (
@@ -16,25 +20,36 @@ import (
 	"time"
 
 	"d3t/internal/core"
+	"d3t/internal/trace"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure id to regenerate, or 'all'")
-		scale   = flag.String("scale", "small", "experiment scale: 'small' or 'paper'")
-		list    = flag.Bool("list", false, "list available figure ids and exit")
-		seed    = flag.Int64("seed", 0, "override the experiment seed (0 keeps the preset)")
-		repos   = flag.Int("repos", 0, "override the repository count")
-		items   = flag.Int("items", 0, "override the item count")
-		ticks   = flag.Int("ticks", 0, "override the trace length")
-		timings = flag.Bool("time", false, "print elapsed time per figure")
-		asCSV   = flag.Bool("csv", false, "emit machine-readable CSV instead of tables")
+		fig      = flag.String("fig", "all", "figure id to regenerate, or 'all'")
+		scale    = flag.String("scale", "small", "experiment scale: 'small' or 'paper'")
+		list     = flag.Bool("list", false, "list available figure ids and workloads, then exit")
+		seed     = flag.Int64("seed", 0, "override the experiment seed (0 keeps the preset)")
+		repos    = flag.Int("repos", 0, "override the repository count")
+		items    = flag.Int("items", 0, "override the item count")
+		ticks    = flag.Int("ticks", 0, "override the trace length")
+		workload = flag.String("workload", "", "trace workload family (default stocks); see -list")
+		wpath    = flag.String("workload-path", "", "trace CSV file for -workload=csv")
+		workers  = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+		progress = flag.Bool("progress", false, "report sweep progress to stderr")
+		timings  = flag.Bool("time", false, "print elapsed time per figure")
+		asCSV    = flag.Bool("csv", false, "emit machine-readable CSV instead of tables")
 	)
 	flag.Parse()
 
 	if *list {
+		fmt.Println("figures:")
 		for _, id := range core.FigureIDs() {
-			fmt.Println(id)
+			fmt.Printf("  %s\n", id)
+		}
+		fmt.Println("workloads:")
+		for _, name := range trace.WorkloadNames() {
+			w, _ := trace.LookupWorkload(name)
+			fmt.Printf("  %-8s %s\n", name, w.Describe())
 		}
 		return
 	}
@@ -62,6 +77,32 @@ func main() {
 	if *ticks > 0 {
 		s.Ticks = *ticks
 	}
+	if _, err := trace.LookupWorkload(*workload); err != nil {
+		fmt.Fprintf(os.Stderr, "d3texp: %v\n", err)
+		os.Exit(2)
+	}
+	if *workload == "csv" && *wpath == "" {
+		fmt.Fprintln(os.Stderr, "d3texp: -workload=csv needs -workload-path")
+		os.Exit(2)
+	}
+	s.Workload = *workload
+	s.WorkloadPath = *wpath
+
+	// One runner for every figure: its network/trace caches carry across
+	// figures (most share the base-case substrates), and its worker pool
+	// bounds the whole run.
+	runner := core.NewRunner(*workers)
+	current := ""
+	if *progress {
+		runner.OnProgress = func(p core.Progress) {
+			status := "ok"
+			if p.Err != nil {
+				status = "FAILED"
+			}
+			fmt.Fprintf(os.Stderr, "d3texp: %s: point %d/%d %s\n", current, p.Done, p.Total, status)
+		}
+	}
+	s.Runner = runner
 
 	registry := core.Figures()
 	var ids []string
@@ -77,6 +118,7 @@ func main() {
 
 	for _, id := range ids {
 		start := time.Now()
+		current = id
 		result, err := registry[id](s)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "d3texp: %s: %v\n", id, err)
@@ -93,5 +135,10 @@ func main() {
 		if *timings {
 			fmt.Printf("(%s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 		}
+	}
+	if *progress {
+		st := runner.CacheStats()
+		fmt.Fprintf(os.Stderr, "d3texp: cache: %d networks built (%d reused), %d trace sets built (%d reused)\n",
+			st.NetworkBuilds, st.NetworkHits, st.TraceBuilds, st.TraceHits)
 	}
 }

@@ -13,8 +13,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"d3t/internal/core"
+	"d3t/internal/trace"
 )
 
 func main() {
@@ -31,6 +33,9 @@ func main() {
 	flag.Float64Var(&cfg.PPercent, "p", cfg.PPercent, "LeLA load-controller admission band (%)")
 	flag.StringVar(&cfg.Preference, "pref", cfg.Preference, "LeLA preference function: P1 or P2")
 	flag.StringVar(&cfg.Protocol, "protocol", cfg.Protocol, "dissemination: distributed, centralized, naive-eq3, all-push")
+	flag.StringVar(&cfg.Workload, "workload", cfg.Workload,
+		"trace workload family: "+strings.Join(trace.WorkloadNames(), ", "))
+	flag.StringVar(&cfg.WorkloadPath, "workload-path", cfg.WorkloadPath, "trace CSV file for -workload=csv")
 	flag.Float64Var(&cfg.CompDelayMs, "comp", cfg.CompDelayMs, "computational delay per dissemination (ms; negative = zero)")
 	flag.Float64Var(&cfg.CommDelayMs, "comm", cfg.CommDelayMs, "uniform communication delay (ms; 0 = random topology)")
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
@@ -40,6 +45,16 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "d3tsim: %v\n", err)
 		os.Exit(1)
+	}
+	workload := cfg.Workload
+	if workload == "" {
+		workload = "stocks"
+	}
+	if workload == "csv" {
+		// Items/Ticks only cap a replayed set; the file decides the rest.
+		fmt.Printf("workload            csv (replay of %s)\n", cfg.WorkloadPath)
+	} else {
+		fmt.Printf("workload            %s (%d items x %d ticks)\n", workload, cfg.Items, cfg.Ticks)
 	}
 	fmt.Printf("protocol            %s over %s overlay\n", cfg.Protocol, cfg.Builder)
 	fmt.Printf("fidelity            %.4f (loss %.2f%%)\n", out.Fidelity, out.LossPercent)

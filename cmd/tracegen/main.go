@@ -1,10 +1,12 @@
 // Command tracegen generates synthetic dynamic-data traces in the
 // repository's CSV format — the stand-ins for the stock-price polls the
-// paper collected from finance.yahoo.com.
+// paper collected from finance.yahoo.com, or any other registered
+// workload family.
 //
 // Examples:
 //
 //	tracegen -n 100 -ticks 10000 > traces.csv   # a full workload set
+//	tracegen -workload bursty -n 20 > b.csv     # a regime-switching set
 //	tracegen -table1 > table1.csv               # the six Table 1 tickers
 //	tracegen -stats -table1                     # print Table 1 rows instead
 package main
@@ -13,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"d3t/internal/sim"
 	"d3t/internal/trace"
@@ -24,8 +27,10 @@ func main() {
 		ticks    = flag.Int("ticks", 10000, "observations per trace")
 		interval = flag.Float64("interval", 1000, "tick interval in milliseconds")
 		seed     = flag.Int64("seed", 1, "random seed")
-		table1   = flag.Bool("table1", false, "generate the six Table 1 ticker traces instead")
-		stats    = flag.Bool("stats", false, "print per-trace statistics instead of CSV")
+		workload = flag.String("workload", "stocks",
+			"workload family: "+strings.Join(trace.WorkloadNames(), ", "))
+		table1 = flag.Bool("table1", false, "generate the six Table 1 ticker traces instead")
+		stats  = flag.Bool("stats", false, "print per-trace statistics instead of CSV")
 	)
 	flag.Parse()
 
@@ -33,7 +38,18 @@ func main() {
 	if *table1 {
 		traces = trace.Table1TracesSized(*ticks, *seed)
 	} else {
-		traces = trace.GenerateSet(*n, *ticks, sim.Milliseconds(*interval), *seed)
+		w, err := trace.LookupWorkload(*workload)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(2)
+		}
+		traces, err = w.Generate(trace.WorkloadSpec{
+			Items: *n, Ticks: *ticks, Interval: sim.Milliseconds(*interval), Seed: *seed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+			os.Exit(1)
+		}
 	}
 
 	if *stats {

@@ -72,6 +72,19 @@ func Figures() map[string]FigureFunc { return core.Figures() }
 // FigureIDs lists the registry keys in sorted order.
 func FigureIDs() []string { return core.FigureIDs() }
 
+// SweepRunner executes batches of configurations on a bounded worker
+// pool, sharing cached networks and trace sets across sweep points.
+// Results are index-ordered and independent of the worker count.
+type SweepRunner = core.Runner
+
+// SweepProgress is the per-point progress report of a SweepRunner.
+type SweepProgress = core.Progress
+
+// NewSweepRunner returns a runner bounded to the given worker count
+// (<= 0 means GOMAXPROCS). Assign it to Scale.Runner to share caches
+// across figures, or call RunAll directly with a batch of Configs.
+func NewSweepRunner(workers int) *SweepRunner { return core.NewRunner(workers) }
+
 // Building blocks -------------------------------------------------------
 
 type (
@@ -83,6 +96,10 @@ type (
 	Tick = trace.Tick
 	// TraceConfig parameterizes synthetic trace generation.
 	TraceConfig = trace.GenConfig
+	// Workload is a pluggable trace-set generator family.
+	Workload = trace.Workload
+	// WorkloadSpec sizes a workload generation request.
+	WorkloadSpec = trace.WorkloadSpec
 	// Network is the endpoint delay structure of a physical topology.
 	Network = netsim.Network
 	// NetworkConfig parameterizes random topology generation.
@@ -146,6 +163,17 @@ func GenerateTrace(cfg TraceConfig) (*Trace, error) { return trace.Generate(cfg)
 func GenerateTraces(n, ticks int, interval Time, seed int64) []*Trace {
 	return trace.GenerateSet(n, ticks, interval, seed)
 }
+
+// LookupWorkload resolves a registered workload family by name; the empty
+// string selects "stocks".
+func LookupWorkload(name string) (Workload, error) { return trace.LookupWorkload(name) }
+
+// RegisterWorkload adds a custom workload family to the registry, making
+// it selectable via Config.Workload and the cmd flags.
+func RegisterWorkload(w Workload) { trace.RegisterWorkload(w) }
+
+// WorkloadNames lists the registered workload families in sorted order.
+func WorkloadNames() []string { return trace.WorkloadNames() }
 
 // GenerateNetwork builds a random router topology with Pareto link delays.
 func GenerateNetwork(cfg NetworkConfig) (*Network, error) { return netsim.Generate(cfg) }

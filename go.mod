@@ -1,0 +1,3 @@
+module d3t
+
+go 1.24

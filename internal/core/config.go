@@ -29,6 +29,14 @@ type Config struct {
 	Ticks        int
 	TickInterval sim.Time
 
+	// Workload names the trace family: "stocks" (default, the paper's
+	// bounded random walks), "bursty", "sensor", "pareto" or "csv". See
+	// trace.WorkloadNames for the full registry.
+	Workload string
+	// WorkloadPath is the recorded trace file replayed when Workload is
+	// "csv"; synthetic families ignore it.
+	WorkloadPath string
+
 	// SubscribeProb is each repository's per-item interest probability
 	// (paper: 0.5). StringentFrac is T: the fraction of subscribed items
 	// with stringent tolerances.
@@ -114,6 +122,12 @@ func (c Config) Validate() error {
 	if _, err := c.protocol(); err != nil {
 		return err
 	}
+	if _, err := trace.LookupWorkload(c.Workload); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if c.Workload == "csv" && c.WorkloadPath == "" {
+		return fmt.Errorf("core: csv workload needs WorkloadPath")
+	}
 	return nil
 }
 
@@ -187,9 +201,29 @@ func (c Config) compDelay() sim.Time {
 	}
 }
 
-// workload generates the trace set and repository needs.
-func (c Config) workload() ([]*trace.Trace, []*repository.Repository) {
-	traces := trace.GenerateSet(c.Items, c.Ticks, c.TickInterval, c.Seed+10)
+// traces generates (or replays) the configuration's trace set through the
+// selected workload family. The result is deterministic in the
+// workload-relevant fields and read-only thereafter, so sweep runners may
+// share one trace set across concurrent runs.
+func (c Config) traces() ([]*trace.Trace, error) {
+	w, err := trace.LookupWorkload(c.Workload)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return w.Generate(trace.WorkloadSpec{
+		Items:    c.Items,
+		Ticks:    c.Ticks,
+		Interval: c.TickInterval,
+		Seed:     c.Seed + 10,
+		Path:     c.WorkloadPath,
+	})
+}
+
+// repositories builds the repository population and assigns each node's
+// data and coherency needs over the trace catalogue. Repositories are
+// mutated during overlay construction and dissemination, so unlike traces
+// and networks they are built fresh for every run.
+func (c Config) repositories(traces []*trace.Trace) []*repository.Repository {
 	catalogue := make([]string, len(traces))
 	for i, tr := range traces {
 		catalogue[i] = tr.Item
@@ -204,5 +238,5 @@ func (c Config) workload() ([]*trace.Trace, []*repository.Repository) {
 		StringentFrac: c.StringentFrac,
 		Seed:          c.Seed + 11,
 	})
-	return traces, repos
+	return repos
 }

@@ -4,7 +4,9 @@ import (
 	"fmt"
 
 	"d3t/internal/dissemination"
+	"d3t/internal/netsim"
 	"d3t/internal/sim"
+	"d3t/internal/trace"
 	"d3t/internal/tree"
 )
 
@@ -47,7 +49,19 @@ func RunExperiment(cfg Config) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	traces, repos := cfg.workload()
+	traces, err := cfg.traces()
+	if err != nil {
+		return nil, err
+	}
+	return runExperimentWith(cfg, net, traces)
+}
+
+// runExperimentWith runs the simulation over pre-built substrates. The
+// network and traces are only read, so sweep runners pass cached copies
+// shared across concurrent calls; everything mutable (repositories, the
+// overlay, trackers) is created here, per run.
+func runExperimentWith(cfg Config, net *netsim.Network, traces []*trace.Trace) (*Outcome, error) {
+	repos := cfg.repositories(traces)
 
 	avgComm := net.AvgDelay()
 	coop := cfg.CoopDegree

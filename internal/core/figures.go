@@ -2,9 +2,7 @@ package core
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 )
 
 // Series is one labelled curve of a figure.
@@ -65,30 +63,6 @@ func FigureIDs() []string {
 	return ids
 }
 
-// runAll executes the configurations concurrently, preserving order.
-func runAll(cfgs []Config) ([]*Outcome, error) {
-	outs := make([]*Outcome, len(cfgs))
-	errs := make([]error, len(cfgs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i, cfg := range cfgs {
-		wg.Add(1)
-		go func(i int, cfg Config) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			outs[i], errs[i] = RunExperiment(cfg)
-		}(i, cfg)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return outs, nil
-}
-
 // coopSweep runs one loss-vs-cooperation curve per T value, with mutate
 // applied to each configuration before running.
 func coopSweep(s Scale, mutate func(*Config)) ([]Series, error) {
@@ -107,7 +81,7 @@ func coopSweep(s Scale, mutate func(*Config)) ([]Series, error) {
 			cfgs = append(cfgs, cfg)
 		}
 	}
-	outs, err := runAll(cfgs)
+	outs, err := s.runAll(cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -152,7 +126,7 @@ func delaySweep(s Scale, grid []float64, mutate func(*Config, float64)) ([]Serie
 			cfgs = append(cfgs, cfg)
 		}
 	}
-	outs, err := runAll(cfgs)
+	outs, err := s.runAll(cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -220,10 +194,11 @@ func Figure6(s Scale) (*FigureResult, error) {
 // Figure7a reproduces the controlled-cooperation base case: the offered
 // degree of cooperation is capped by Eq. 2, turning the U into an L.
 func Figure7a(s Scale) (*FigureResult, error) {
+	s, r := s.withRunner()
 	series, err := coopSweep(s, func(cfg *Config) {
 		offered := cfg.CoopDegree
 		cfg.CoopDegree = 0 // ask RunExperiment for the Eq. 2 value...
-		probe, err := controlledDegree(*cfg)
+		probe, err := r.controlledDegree(*cfg)
 		if err == nil && offered > probe {
 			cfg.CoopDegree = probe // ...and never offer more than it
 		} else {
@@ -281,17 +256,6 @@ func Figure7c(s Scale) (*FigureResult, error) {
 	}, nil
 }
 
-// controlledDegree computes the Eq. 2 degree for a configuration without
-// running the dissemination (it still generates the network to measure the
-// average communication delay).
-func controlledDegree(cfg Config) (int, error) {
-	out, err := probeNetwork(cfg)
-	if err != nil {
-		return 0, err
-	}
-	return out, nil
-}
-
 // Figure8 compares filtered dissemination (T=0: every update selectively
 // forwarded) against pushing all updates, across the cooperation sweep.
 // The figure's mechanism is overload — "the latter approach disseminates
@@ -311,7 +275,7 @@ func Figure8(s Scale) (*FigureResult, error) {
 			cfgs = append(cfgs, cfg)
 		}
 	}
-	outs, err := runAll(cfgs)
+	outs, err := s.runAll(cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -339,8 +303,9 @@ func Figure8(s Scale) (*FigureResult, error) {
 // Figure9 sweeps the load controller's P% admission band, with and
 // without controlled cooperation ("W" curves).
 func Figure9(s Scale) (*FigureResult, error) {
+	s, r := s.withRunner()
 	pvals := []float64{1, 5, 10, 25}
-	eq2, err := controlledDegree(s.base())
+	eq2, err := r.controlledDegree(s.base())
 	if err != nil {
 		return nil, err
 	}
@@ -358,7 +323,7 @@ func Figure9(s Scale) (*FigureResult, error) {
 			}
 		}
 	}
-	outs, err := runAll(cfgs)
+	outs, err := s.runAll(cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -392,8 +357,9 @@ func Figure9(s Scale) (*FigureResult, error) {
 // Figure10 compares the two preference functions P1 and P2, with and
 // without controlled cooperation.
 func Figure10(s Scale) (*FigureResult, error) {
+	s, r := s.withRunner()
 	prefs := []string{"P1", "P2"}
-	eq2, err := controlledDegree(s.base())
+	eq2, err := r.controlledDegree(s.base())
 	if err != nil {
 		return nil, err
 	}
@@ -411,7 +377,7 @@ func Figure10(s Scale) (*FigureResult, error) {
 			}
 		}
 	}
-	outs, err := runAll(cfgs)
+	outs, err := s.runAll(cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -451,7 +417,7 @@ func Figure11(s Scale) (*FigureResult, error) {
 		cfg.CoopDegree = 0 // controlled
 		cfgs = append(cfgs, cfg)
 	}
-	outs, err := runAll(cfgs)
+	outs, err := s.runAll(cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -489,7 +455,7 @@ func Scalability(s Scale) (*FigureResult, error) {
 		cfg.CoopDegree = 0 // controlled
 		cfgs = append(cfgs, cfg)
 	}
-	outs, err := runAll(cfgs)
+	outs, err := s.runAll(cfgs)
 	if err != nil {
 		return nil, err
 	}

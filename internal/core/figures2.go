@@ -11,20 +11,6 @@ import (
 	"d3t/internal/tree"
 )
 
-// probeNetwork generates the configuration's network and returns the Eq. 2
-// controlled cooperation degree for it.
-func probeNetwork(cfg Config) (int, error) {
-	net, err := cfg.network()
-	if err != nil {
-		return 0, err
-	}
-	comp := cfg.compDelay()
-	if comp < 0 {
-		comp = 0
-	}
-	return tree.ControlledCoopDegree(net.AvgDelay(), comp, cfg.Repositories, cfg.CoopK), nil
-}
-
 // Table1 regenerates the trace-characteristics table from the synthetic
 // stand-ins for the paper's six example tickers.
 func Table1(s Scale) (*FigureResult, error) {
@@ -112,7 +98,7 @@ func AblationTree(s Scale) (*FigureResult, error) {
 		cfg.CoopDegree = 0 // controlled
 		cfgs = append(cfgs, cfg)
 	}
-	outs, err := runAll(cfgs)
+	outs, err := s.runAll(cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -145,7 +131,7 @@ func AblationK(s Scale) (*FigureResult, error) {
 		cfg.CoopK = k
 		cfgs = append(cfgs, cfg)
 	}
-	outs, err := runAll(cfgs)
+	outs, err := s.runAll(cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -180,7 +166,7 @@ func AblationQueueing(s Scale) (*FigureResult, error) {
 			cfgs = append(cfgs, cfg)
 		}
 	}
-	outs, err := runAll(cfgs)
+	outs, err := s.runAll(cfgs)
 	if err != nil {
 		return nil, err
 	}
@@ -213,17 +199,22 @@ func AblationQueueing(s Scale) (*FigureResult, error) {
 // future-work mechanisms (Section 8): pull with static TTR, adaptive TTR,
 // and lease-augmented push — fidelity versus message cost.
 func ExtensionPull(s Scale) (*FigureResult, error) {
+	s, r := s.withRunner()
 	cfg := s.base()
 	cfg.CoopDegree = 0
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	net, err := cfg.network()
+	net, err := r.network(cfg)
 	if err != nil {
 		return nil, err
 	}
-	traces, repos := cfg.workload()
-	coop, err := probeNetwork(cfg)
+	traces, err := r.traceSet(cfg)
+	if err != nil {
+		return nil, err
+	}
+	repos := cfg.repositories(traces)
+	coop, err := r.controlledDegree(cfg)
 	if err != nil {
 		return nil, err
 	}

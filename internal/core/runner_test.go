@@ -1,0 +1,187 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"d3t/internal/sim"
+	"d3t/internal/trace"
+)
+
+// sweepConfigs is a small batch shaped like a real figure sweep: shared
+// substrates, varying cooperation degree and coherency mix.
+func sweepConfigs() []Config {
+	var cfgs []Config
+	for _, tval := range []float64{0, 100} {
+		for _, coop := range []int{1, 4, 15} {
+			cfg := tinyScale().base()
+			cfg.StringentFrac = tval / 100
+			cfg.CoopDegree = coop
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	return cfgs
+}
+
+func TestRunnerMatchesSequentialAndUncached(t *testing.T) {
+	cfgs := sweepConfigs()
+
+	// Ground truth: the uncached single-run path.
+	want := make([]*Outcome, len(cfgs))
+	for i, cfg := range cfgs {
+		out, err := RunExperiment(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = out
+	}
+
+	for _, workers := range []int{1, 8} {
+		outs, err := NewRunner(workers).RunAll(cfgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range outs {
+			if !reflect.DeepEqual(outs[i], want[i]) {
+				t.Errorf("workers=%d point %d diverges from the uncached run:\n got %v\nwant %v",
+					workers, i, outs[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRunnerFigureOutputWorkerInvariant(t *testing.T) {
+	render := func(workers int) string {
+		s := tinyScale()
+		s.Runner = NewRunner(workers)
+		fig, err := Figure3(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := fig.Fprint(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if one, many := render(1), render(8); one != many {
+		t.Errorf("figure output differs between workers=1 and workers=8:\n%s\nvs\n%s", one, many)
+	}
+}
+
+func TestRunnerSharesSubstratesAcrossPoints(t *testing.T) {
+	r := NewRunner(4)
+	cfgs := sweepConfigs()
+	if _, err := r.RunAll(cfgs); err != nil {
+		t.Fatal(err)
+	}
+	st := r.CacheStats()
+	if st.NetworkBuilds != 1 || st.TraceBuilds != 1 {
+		t.Errorf("sweep with shared substrates built %d networks and %d trace sets, want 1 and 1",
+			st.NetworkBuilds, st.TraceBuilds)
+	}
+	if want := len(cfgs) - 1; st.NetworkHits != want || st.TraceHits != want {
+		t.Errorf("got %d network and %d trace hits, want %d each",
+			st.NetworkHits, st.TraceHits, want)
+	}
+}
+
+func TestRunnerAggregatesAllErrors(t *testing.T) {
+	cfgs := sweepConfigs()
+	cfgs[1].Builder = "mystery"
+	cfgs[4].Protocol = "mystery"
+	outs, err := NewRunner(3).RunAll(cfgs)
+	if err == nil {
+		t.Fatal("bad points did not fail the batch")
+	}
+	if outs != nil {
+		t.Error("failed batch returned outcomes")
+	}
+	for _, frag := range []string{"point 1/", "point 4/", "mystery"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("error %q missing %q", err, frag)
+		}
+	}
+}
+
+func TestRunnerProgress(t *testing.T) {
+	cfgs := sweepConfigs()
+	r := NewRunner(4)
+	var events []Progress
+	r.OnProgress = func(p Progress) { events = append(events, p) }
+	if _, err := r.RunAll(cfgs); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != len(cfgs) {
+		t.Fatalf("got %d progress events, want %d", len(events), len(cfgs))
+	}
+	seen := make(map[int]bool)
+	for i, ev := range events {
+		if ev.Done != i+1 || ev.Total != len(cfgs) {
+			t.Errorf("event %d reports %d/%d, want %d/%d", i, ev.Done, ev.Total, i+1, len(cfgs))
+		}
+		if ev.Err != nil {
+			t.Errorf("event %d carries error %v", i, ev.Err)
+		}
+		if seen[ev.Index] {
+			t.Errorf("point %d reported twice", ev.Index)
+		}
+		seen[ev.Index] = true
+	}
+}
+
+func TestWorkloadFamiliesEndToEnd(t *testing.T) {
+	for _, name := range []string{"stocks", "bursty", "sensor", "pareto"} {
+		cfg := tinyScale().base()
+		cfg.Workload = name
+		out, err := RunExperiment(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if out.Fidelity <= 0 || out.Fidelity > 1 {
+			t.Errorf("%s: implausible fidelity %v", name, out.Fidelity)
+		}
+		if out.Stats.Messages == 0 {
+			t.Errorf("%s: no messages were sent", name)
+		}
+	}
+}
+
+func TestCSVWorkloadEndToEnd(t *testing.T) {
+	cfg := tinyScale().base()
+	traces := trace.GenerateSet(cfg.Items, cfg.Ticks, sim.Second, 99)
+	path := filepath.Join(t.TempDir(), "traces.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteCSV(f, traces...); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Workload = "csv"
+	cfg.WorkloadPath = path
+	out, err := RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Fidelity <= 0 || out.Fidelity > 1 {
+		t.Errorf("implausible fidelity %v", out.Fidelity)
+	}
+
+	cfg.WorkloadPath = ""
+	if err := cfg.Validate(); err == nil {
+		t.Error("csv workload without a path validated")
+	}
+	cfg.Workload = "no-such-family"
+	if err := cfg.Validate(); err == nil {
+		t.Error("unknown workload validated")
+	}
+}

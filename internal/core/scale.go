@@ -19,6 +19,16 @@ type Scale struct {
 	CompGridMs []float64
 	// Seed drives all randomness.
 	Seed int64
+	// Workload names the trace family every sweep point runs over
+	// (default "stocks"); WorkloadPath feeds the "csv" family.
+	Workload     string
+	WorkloadPath string
+	// Workers bounds the sweep worker pool (<= 0 means GOMAXPROCS).
+	Workers int
+	// Runner, when set, executes the sweeps — sharing its substrate
+	// caches and progress callback across figures. When nil each sweep
+	// uses a fresh runner bounded by Workers.
+	Runner *Runner
 }
 
 // PaperScale reproduces the paper's base case.
@@ -59,5 +69,23 @@ func (s Scale) base() Config {
 	cfg.Items = s.Items
 	cfg.Ticks = s.Ticks
 	cfg.Seed = s.Seed
+	cfg.Workload = s.Workload
+	cfg.WorkloadPath = s.WorkloadPath
 	return cfg
+}
+
+// runAll executes a figure's configurations through the scale's runner.
+func (s Scale) runAll(cfgs []Config) ([]*Outcome, error) {
+	_, r := s.withRunner()
+	return r.RunAll(cfgs)
+}
+
+// withRunner pins a concrete runner on the scale copy, so that every
+// sweep and substrate probe within one figure shares its caches even
+// when the caller did not provide a shared Runner.
+func (s Scale) withRunner() (Scale, *Runner) {
+	if s.Runner == nil {
+		s.Runner = NewRunner(s.Workers)
+	}
+	return s, s.Runner
 }

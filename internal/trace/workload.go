@@ -1,0 +1,297 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+
+	"d3t/internal/sim"
+)
+
+// WorkloadSpec sizes a workload: how many items, how long, how dense.
+// Every field is interpreted the same way by all workload families, so a
+// sweep can swap families without re-tuning its scale.
+type WorkloadSpec struct {
+	// Items is the number of traces (data items) to produce.
+	Items int
+	// Ticks is the number of observations per trace.
+	Ticks int
+	// Interval is the time between observations.
+	Interval sim.Time
+	// Seed makes generation deterministic: the same spec always produces
+	// the same traces, regardless of callers running concurrently.
+	Seed int64
+	// Path is consumed by file-backed workloads (csv replay); synthetic
+	// families ignore it.
+	Path string
+}
+
+func (s WorkloadSpec) withDefaults() WorkloadSpec {
+	if s.Items <= 0 {
+		s.Items = 100
+	}
+	if s.Ticks <= 0 {
+		s.Ticks = 10000
+	}
+	if s.Interval <= 0 {
+		s.Interval = sim.Second
+	}
+	return s
+}
+
+// Workload is a pluggable trace-set generator — one family of dynamic-data
+// scenarios (stock prices, sensor telemetry, bursty feeds, ...). Generate
+// must be deterministic in the spec and safe for concurrent use.
+type Workload interface {
+	// Name is the registry key, e.g. "stocks".
+	Name() string
+	// Describe is a one-line summary for -list style output.
+	Describe() string
+	// Generate produces the trace set for the spec.
+	Generate(spec WorkloadSpec) ([]*Trace, error)
+}
+
+// registry holds the named workload families.
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]Workload)
+)
+
+// RegisterWorkload adds a workload family to the registry. Registering a
+// duplicate name panics: families are package-level singletons and a
+// silent override would make Config.Workload ambiguous.
+func RegisterWorkload(w Workload) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if w.Name() == "" {
+		panic("trace: workload with empty name")
+	}
+	if _, dup := registry[w.Name()]; dup {
+		panic(fmt.Sprintf("trace: duplicate workload %q", w.Name()))
+	}
+	registry[w.Name()] = w
+}
+
+// LookupWorkload resolves a family by name; the empty string selects
+// "stocks", the paper's workload.
+func LookupWorkload(name string) (Workload, error) {
+	if name == "" {
+		name = "stocks"
+	}
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	w, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("trace: unknown workload %q (have %v)", name, workloadNamesLocked())
+	}
+	return w, nil
+}
+
+// WorkloadNames lists the registered families in sorted order.
+func WorkloadNames() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	return workloadNamesLocked()
+}
+
+func workloadNamesLocked() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	RegisterWorkload(stocksWorkload{})
+	RegisterWorkload(burstyWorkload{})
+	RegisterWorkload(sensorWorkload{})
+	RegisterWorkload(paretoWorkload{})
+	RegisterWorkload(csvWorkload{})
+}
+
+// stocksWorkload is the paper's workload: bounded random walks with
+// per-item bands and step sizes scattered around the Table 1 traces.
+type stocksWorkload struct{}
+
+func (stocksWorkload) Name() string { return "stocks" }
+func (stocksWorkload) Describe() string {
+	return "bounded random-walk stock prices (the paper's Section 6.1 traces)"
+}
+func (stocksWorkload) Generate(spec WorkloadSpec) ([]*Trace, error) {
+	spec = spec.withDefaults()
+	return GenerateSet(spec.Items, spec.Ticks, spec.Interval, spec.Seed), nil
+}
+
+// burstyWorkload produces regime-switching traces: long calm stretches
+// where the price barely trades, interrupted by bursts where it moves fast
+// and often. Regime durations are geometric, so bursts arrive without
+// warning — the stress case for filtering and for queueing nodes.
+type burstyWorkload struct{}
+
+func (burstyWorkload) Name() string { return "bursty" }
+func (burstyWorkload) Describe() string {
+	return "regime-switching feeds: calm stretches broken by high-volatility bursts"
+}
+func (burstyWorkload) Generate(spec WorkloadSpec) ([]*Trace, error) {
+	spec = spec.withDefaults()
+	out := make([]*Trace, spec.Items)
+	for i := range out {
+		r := rand.New(rand.NewSource(spec.Seed + int64(i)*7919))
+		start := 10 + r.Float64()*90
+		band := 0.5 + r.Float64()*1.5 // wider than stocks: bursts travel
+		// Calm regime: tiny steps, rare trades. Burst regime: steps near
+		// the top of the tolerance band, trading almost every tick.
+		calmStep, burstStep := 0.01+r.Float64()*0.01, 0.08+r.Float64()*0.12
+		calmHold, burstHold := 0.9, 0.05
+		// Mean regime lengths in ticks; calm dominates ~10:1.
+		calmLen, burstLen := 200.0, 20.0
+
+		tr := &Trace{Item: fmt.Sprintf("BURST%03d", i), Ticks: make([]Tick, 0, spec.Ticks)}
+		v := start
+		low, high := start-band/2, start+band/2
+		inBurst := false
+		for t := 0; t < spec.Ticks; t++ {
+			tr.Ticks = append(tr.Ticks, Tick{At: sim.Time(t) * spec.Interval, Value: quantize(v, 0.01)})
+			// Geometric regime switching.
+			if inBurst {
+				if r.Float64() < 1/burstLen {
+					inBurst = false
+				}
+			} else if r.Float64() < 1/calmLen {
+				inBurst = true
+			}
+			step, hold := calmStep, calmHold
+			if inBurst {
+				step, hold = burstStep, burstHold
+			}
+			if r.Float64() < hold {
+				continue
+			}
+			v = reflectInto(v+(2*r.Float64()-1)*step, low, high)
+		}
+		out[i] = tr
+	}
+	return out, nil
+}
+
+// sensorWorkload produces periodic signals with noise: a diurnal-style
+// sinusoid (think temperature or load telemetry) plus mean-zero jitter.
+// Unlike the random walks, most of the movement is predictable drift, so
+// per-update filtering stays effective at stringent tolerances.
+type sensorWorkload struct{}
+
+func (sensorWorkload) Name() string { return "sensor" }
+func (sensorWorkload) Describe() string {
+	return "periodic sensor telemetry: sinusoidal drift plus measurement noise"
+}
+func (sensorWorkload) Generate(spec WorkloadSpec) ([]*Trace, error) {
+	spec = spec.withDefaults()
+	out := make([]*Trace, spec.Items)
+	for i := range out {
+		r := rand.New(rand.NewSource(spec.Seed + int64(i)*7919))
+		base := 15 + r.Float64()*20  // resting value, e.g. 15-35 degrees
+		amp := 0.3 + r.Float64()*0.7 // swing comparable to the band
+		period := 0.5 + r.Float64()  // 0.5-1.5 cycles across the trace
+		phase := r.Float64() * 2 * math.Pi
+		noise := 0.01 + r.Float64()*0.03 // per-tick jitter
+
+		tr := &Trace{Item: fmt.Sprintf("SENSOR%03d", i), Ticks: make([]Tick, 0, spec.Ticks)}
+		for t := 0; t < spec.Ticks; t++ {
+			frac := float64(t) / float64(spec.Ticks)
+			v := base + amp*math.Sin(phase+2*math.Pi*period*frac) + noise*r.NormFloat64()
+			tr.Ticks = append(tr.Ticks, Tick{At: sim.Time(t) * spec.Interval, Value: quantize(v, 0.01)})
+		}
+		out[i] = tr
+	}
+	return out, nil
+}
+
+// paretoWorkload produces heavy-tailed jump processes: most ticks hold or
+// move a hair, but jump magnitudes are Pareto-distributed, so a small
+// fraction of updates leap across many tolerance bands at once — the
+// worst case for staleness when a node is mid-backlog.
+type paretoWorkload struct{}
+
+func (paretoWorkload) Name() string { return "pareto" }
+func (paretoWorkload) Describe() string {
+	return "heavy-tailed (Pareto) jump processes: rare updates that leap across tolerance bands"
+}
+func (paretoWorkload) Generate(spec WorkloadSpec) ([]*Trace, error) {
+	spec = spec.withDefaults()
+	const alpha = 1.5 // classic heavy-tail shape: finite mean, infinite variance
+	out := make([]*Trace, spec.Items)
+	for i := range out {
+		r := rand.New(rand.NewSource(spec.Seed + int64(i)*7919))
+		start := 10 + r.Float64()*90
+		band := 1 + r.Float64()*2 // wide band so the tail has room
+		xm := 0.005 + r.Float64()*0.01
+		hold := 0.5 + r.Float64()*0.3
+
+		tr := &Trace{Item: fmt.Sprintf("PARETO%03d", i), Ticks: make([]Tick, 0, spec.Ticks)}
+		v := start
+		low, high := start-band/2, start+band/2
+		for t := 0; t < spec.Ticks; t++ {
+			tr.Ticks = append(tr.Ticks, Tick{At: sim.Time(t) * spec.Interval, Value: quantize(v, 0.01)})
+			if r.Float64() < hold {
+				continue
+			}
+			// Pareto(xm, alpha) magnitude via inverse transform, clamped to
+			// the band width so one draw cannot pin v to a boundary forever.
+			mag := xm / math.Pow(1-r.Float64(), 1/alpha)
+			if mag > band {
+				mag = band
+			}
+			if r.Float64() < 0.5 {
+				mag = -mag
+			}
+			v = reflectInto(v+mag, low, high)
+		}
+		out[i] = tr
+	}
+	return out, nil
+}
+
+// csvWorkload replays traces recorded in the WriteCSV format (for
+// example, real polled feeds or tracegen output), so measured workloads
+// can stand in for synthetic ones anywhere a spec is accepted.
+type csvWorkload struct{}
+
+func (csvWorkload) Name() string { return "csv" }
+func (csvWorkload) Describe() string {
+	return "replay of recorded traces from a CSV file (see WriteCSV/ReadCSV)"
+}
+func (csvWorkload) Generate(spec WorkloadSpec) ([]*Trace, error) {
+	if spec.Path == "" {
+		return nil, fmt.Errorf("trace: csv workload needs a file path")
+	}
+	f, err := os.Open(spec.Path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: csv workload: %w", err)
+	}
+	defer f.Close()
+	traces, err := ReadCSV(f)
+	if err != nil {
+		return nil, fmt.Errorf("trace: csv workload %s: %w", spec.Path, err)
+	}
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("trace: csv workload %s holds no traces", spec.Path)
+	}
+	// The spec's Items/Ticks act as caps on the recorded set: a sweep can
+	// replay a subset without editing the file. Zero means "all".
+	if spec.Items > 0 && spec.Items < len(traces) {
+		traces = traces[:spec.Items]
+	}
+	if spec.Ticks > 0 {
+		for _, tr := range traces {
+			if len(tr.Ticks) > spec.Ticks {
+				tr.Ticks = tr.Ticks[:spec.Ticks]
+			}
+		}
+	}
+	return traces, nil
+}

@@ -1,0 +1,201 @@
+package trace
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"d3t/internal/sim"
+)
+
+// syntheticNames are the registered families that generate (rather than
+// replay) traces; csv is tested separately with a recorded file.
+var syntheticNames = []string{"stocks", "bursty", "sensor", "pareto"}
+
+func TestWorkloadRegistry(t *testing.T) {
+	names := WorkloadNames()
+	for _, want := range append([]string{"csv"}, syntheticNames...) {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("registry missing %q: %v", want, names)
+		}
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] <= names[i-1] {
+			t.Errorf("names not sorted: %v", names)
+		}
+	}
+	if _, err := LookupWorkload("no-such-family"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	w, err := LookupWorkload("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name() != "stocks" {
+		t.Errorf("empty name resolved to %q, want stocks", w.Name())
+	}
+	for _, n := range names {
+		w, err := LookupWorkload(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Name() != n {
+			t.Errorf("workload %q reports name %q", n, w.Name())
+		}
+		if w.Describe() == "" {
+			t.Errorf("workload %q has no description", n)
+		}
+	}
+}
+
+func TestRegisterWorkloadRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	RegisterWorkload(stocksWorkload{})
+}
+
+func TestSyntheticWorkloadsDeterministic(t *testing.T) {
+	spec := WorkloadSpec{Items: 5, Ticks: 400, Interval: sim.Second, Seed: 42}
+	for _, name := range syntheticNames {
+		w, err := LookupWorkload(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := w.Generate(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := w.Generate(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same spec produced different traces", name)
+		}
+		other := spec
+		other.Seed = 43
+		c, err := w.Generate(other)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if reflect.DeepEqual(a, c) {
+			t.Errorf("%s: different seeds produced identical traces", name)
+		}
+	}
+}
+
+func TestSyntheticWorkloadInvariants(t *testing.T) {
+	spec := WorkloadSpec{Items: 4, Ticks: 300, Interval: 2 * sim.Second, Seed: 7}
+	for _, name := range syntheticNames {
+		w, err := LookupWorkload(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		traces, err := w.Generate(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(traces) != spec.Items {
+			t.Fatalf("%s: got %d traces, want %d", name, len(traces), spec.Items)
+		}
+		seen := make(map[string]bool)
+		for _, tr := range traces {
+			if err := tr.Validate(); err != nil {
+				t.Errorf("%s: %v", name, err)
+			}
+			if seen[tr.Item] {
+				t.Errorf("%s: duplicate item %s", name, tr.Item)
+			}
+			seen[tr.Item] = true
+			if tr.Len() != spec.Ticks {
+				t.Errorf("%s: trace %s has %d ticks, want %d", name, tr.Item, tr.Len(), spec.Ticks)
+			}
+			for i, tk := range tr.Ticks {
+				if want := sim.Time(i) * spec.Interval; tk.At != want {
+					t.Fatalf("%s: trace %s tick %d at %v, want %v", name, tr.Item, i, tk.At, want)
+				}
+			}
+			// Each family must actually move: a constant trace would make
+			// every dissemination run trivially perfect.
+			if st := tr.Summarize(); st.Max == st.Min {
+				t.Errorf("%s: trace %s never changes value", name, tr.Item)
+			}
+		}
+	}
+}
+
+func TestCSVWorkloadReplay(t *testing.T) {
+	src := GenerateSet(6, 50, sim.Second, 3)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "traces.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(f, src...); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w, err := LookupWorkload("csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := w.Generate(WorkloadSpec{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, src) {
+		t.Error("replayed traces differ from the recorded set")
+	}
+
+	// Items and Ticks cap the replayed subset.
+	capped, err := w.Generate(WorkloadSpec{Path: path, Items: 2, Ticks: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped) != 2 {
+		t.Fatalf("got %d capped traces, want 2", len(capped))
+	}
+	for _, tr := range capped {
+		if tr.Len() != 10 {
+			t.Errorf("capped trace %s has %d ticks, want 10", tr.Item, tr.Len())
+		}
+	}
+
+	if _, err := w.Generate(WorkloadSpec{}); err == nil {
+		t.Error("csv workload without a path accepted")
+	}
+	if _, err := w.Generate(WorkloadSpec{Path: filepath.Join(dir, "missing.csv")}); err == nil {
+		t.Error("csv workload with a missing file accepted")
+	}
+}
+
+func TestStocksWorkloadMatchesGenerateSet(t *testing.T) {
+	// The "stocks" family is the paper's workload; it must reproduce
+	// GenerateSet exactly so figure results are unchanged by the engine.
+	w, err := LookupWorkload("stocks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := w.Generate(WorkloadSpec{Items: 3, Ticks: 100, Interval: sim.Second, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := GenerateSet(3, 100, sim.Second, 11)
+	if !reflect.DeepEqual(got, want) {
+		t.Error("stocks workload diverges from GenerateSet")
+	}
+}
