@@ -34,6 +34,7 @@ func main() {
 		ticks    = flag.Int("ticks", 0, "override the trace length")
 		workload = flag.String("workload", "", "trace workload family (default stocks); see -list")
 		wpath    = flag.String("workload-path", "", "trace CSV file for -workload=csv")
+		faults   = flag.String("faults", "", "failure injection applied to every sweep point (resilience figures override it)")
 		workers  = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 		progress = flag.Bool("progress", false, "report sweep progress to stderr")
 		timings  = flag.Bool("time", false, "print elapsed time per figure")
@@ -87,6 +88,7 @@ func main() {
 	}
 	s.Workload = *workload
 	s.WorkloadPath = *wpath
+	s.Faults = *faults
 
 	// One runner for every figure: its network/trace caches carry across
 	// figures (most share the base-case substrates), and its worker pool

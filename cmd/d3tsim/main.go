@@ -38,6 +38,9 @@ func main() {
 	flag.StringVar(&cfg.WorkloadPath, "workload-path", cfg.WorkloadPath, "trace CSV file for -workload=csv")
 	flag.Float64Var(&cfg.CompDelayMs, "comp", cfg.CompDelayMs, "computational delay per dissemination (ms; negative = zero)")
 	flag.Float64Var(&cfg.CommDelayMs, "comm", cfg.CommDelayMs, "uniform communication delay (ms; 0 = random topology)")
+	flag.StringVar(&cfg.Faults, "faults", cfg.Faults,
+		"failure injection: crash:<node|max>@<tick>[+<downticks>] or churn:<rate>[:<meandown>]")
+	flag.IntVar(&cfg.DetectTicks, "detect", cfg.DetectTicks, "failure-detection window in heartbeat intervals (0 = default 3)")
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
 	flag.Parse()
 
@@ -66,4 +69,14 @@ func main() {
 	fmt.Printf("deliveries          %d\n", out.Stats.Deliveries)
 	fmt.Printf("source utilization  %.1f%%\n", 100*out.SourceUtilization)
 	fmt.Printf("simulation events   %d\n", out.Stats.Events)
+	if r := out.Resilience; r != nil {
+		fmt.Printf("faults              %s (crashes %d, rejoins %d)\n", cfg.Faults, r.Crashes, r.Rejoins)
+		fmt.Printf("detections          %d parent, %d child drops\n", r.Detections, r.ChildDrops)
+		fmt.Printf("repairs             %d feeds re-homed, %d orphaned\n", r.Rehomed, r.Orphaned)
+		if r.RecoverySamples > 0 {
+			fmt.Printf("recovery latency    mean %v, max %v (%d samples)\n",
+				r.MeanRecovery, r.MaxRecovery, r.RecoverySamples)
+		}
+		fmt.Printf("heartbeats          %d\n", r.Heartbeats)
+	}
 }

@@ -31,6 +31,7 @@ import (
 	"d3t/internal/dissemination"
 	"d3t/internal/netsim"
 	"d3t/internal/repository"
+	"d3t/internal/resilience"
 	"d3t/internal/sim"
 	"d3t/internal/trace"
 	"d3t/internal/tree"
@@ -223,6 +224,41 @@ func RunLease(o *Overlay, traces []*Trace, cfg LeaseConfig) (*RunResult, error) 
 // ControlledCoopDegree computes the Eq. 2 "optimal" degree of cooperation.
 func ControlledCoopDegree(avgComm, avgComp Time, resources, k int) int {
 	return tree.ControlledCoopDegree(avgComm, avgComp, resources, k)
+}
+
+// Resilience layer ------------------------------------------------------
+
+type (
+	// FaultPlan is a deterministic failure schedule (crashes, rejoins,
+	// churn) injected into a resilient run.
+	FaultPlan = resilience.Plan
+	// Fault is one scheduled failure of a FaultPlan.
+	Fault = resilience.Fault
+	// ResilienceConfig parameterizes heartbeats, detection and repair.
+	ResilienceConfig = resilience.Config
+	// ResilienceStats counts crashes, detections, repairs and recovery
+	// latency.
+	ResilienceStats = resilience.Stats
+	// ResilienceResult extends a push run result with resilience stats.
+	ResilienceResult = resilience.Result
+)
+
+// ParseFaultPlan builds a failure schedule from a spec string such as
+// "crash:max@50", "crash:3@50+100" or "churn:2:30", sized to a run of the
+// given repositories/ticks. See resilience.ParsePlan for the grammar; the
+// same spec is accepted by Config.Faults and the -faults command flags.
+func ParseFaultPlan(spec string, repos, ticks int, interval Time, seed int64) (*FaultPlan, error) {
+	return resilience.ParsePlan(spec, repos, ticks, interval, seed)
+}
+
+// RunResilient pushes the traces through the overlay under a fault plan:
+// heartbeats between neighbors, silence-window failure detection, and
+// backup-parent repair via the builder's re-homing machinery
+// (LeLABuilder.BackupParents, Rehome, RemoveRepair). A nil plan runs
+// fault-free.
+func RunResilient(o *Overlay, lela *LeLABuilder, traces []*Trace, p Protocol,
+	cfg ResilienceConfig, plan *FaultPlan) (*ResilienceResult, error) {
+	return resilience.Run(o, lela, traces, p, cfg, plan)
 }
 
 // DeriveNeeds computes each repository's data and coherency needs from its

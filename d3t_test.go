@@ -158,3 +158,113 @@ func TestFacadePull(t *testing.T) {
 		t.Errorf("lease protocol %q", lease.Protocol)
 	}
 }
+
+// rampWorkload is a custom workload family registered through the public
+// API: every item ramps linearly, so any delivery gap shows up as
+// fidelity loss deterministically.
+type rampWorkload struct{}
+
+func (rampWorkload) Name() string     { return "test-ramp" }
+func (rampWorkload) Describe() string { return "linear ramps (root-package test fixture)" }
+func (rampWorkload) Generate(spec WorkloadSpec) ([]*Trace, error) {
+	interval := spec.Interval
+	if interval <= 0 {
+		interval = Second
+	}
+	traces := make([]*Trace, spec.Items)
+	for i := range traces {
+		tr := &Trace{Item: "RAMP" + string(rune('A'+i%26))}
+		for k := 0; k < spec.Ticks; k++ {
+			tr.Ticks = append(tr.Ticks, Tick{
+				At:    Time(k) * interval,
+				Value: 100 + float64(i) + float64(k)*0.05,
+			})
+		}
+		traces[i] = tr
+	}
+	return traces, nil
+}
+
+// TestFacadeResilienceSweep exercises the re-exported surface end to end:
+// a custom workload registered via RegisterWorkload, fault-plan configs
+// built from the public Config, and a batch run through NewSweepRunner —
+// so any re-export drift in these entry points fails tier-1.
+func TestFacadeResilienceSweep(t *testing.T) {
+	RegisterWorkload(rampWorkload{})
+	names := WorkloadNames()
+	found := false
+	for _, n := range names {
+		if n == "test-ramp" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("registered workload missing from %v", names)
+	}
+
+	base := DefaultConfig()
+	base.Repositories, base.Routers = 12, 36
+	base.Items, base.Ticks = 6, 200
+	base.Workload = "test-ramp"
+
+	faulty := base
+	faulty.Faults = "crash:max@30"
+
+	runner := NewSweepRunner(2)
+	outs, err := runner.RunAll([]Config{base, faulty})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].Resilience != nil {
+		t.Error("fault-free sweep point carries resilience stats")
+	}
+	r := outs[1].Resilience
+	if r == nil {
+		t.Fatal("faulty sweep point has no resilience stats")
+	}
+	if r.Crashes != 1 {
+		t.Errorf("crashes = %d, want 1", r.Crashes)
+	}
+	for i, out := range outs {
+		if out.Fidelity <= 0 || out.Fidelity > 1 {
+			t.Errorf("point %d fidelity %v out of range", i, out.Fidelity)
+		}
+	}
+}
+
+// TestFacadeRunResilient drives the resilient runner directly through the
+// re-exported building blocks.
+func TestFacadeRunResilient(t *testing.T) {
+	const repos = 8
+	net := UniformNetwork(repos, 0)
+	traces := GenerateTraces(4, 200, Second, 9)
+	members := make([]*Repository, repos)
+	for i := range members {
+		members[i] = NewRepository(RepositoryID(i+1), 2)
+		for j, tr := range traces {
+			if (i+j)%2 == 0 {
+				members[i].Needs[tr.Item] = 0.05
+				members[i].Serving[tr.Item] = 0.05
+			}
+		}
+	}
+	lela := NewLeLA(5, 1)
+	overlay, err := lela.Build(net, members, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := ParseFaultPlan("crash:max@20", repos, 200, Second, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunResilient(overlay, lela, traces, NewDistributed(), ResilienceConfig{}, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Resilience.Crashes != 1 {
+		t.Errorf("crashes = %d, want 1", res.Resilience.Crashes)
+	}
+	if f := res.Report.SystemFidelity(); f <= 0 || f > 1 {
+		t.Errorf("fidelity %v out of range", f)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"d3t/internal/dissemination"
 	"d3t/internal/netsim"
 	"d3t/internal/repository"
+	"d3t/internal/resilience"
 	"d3t/internal/sim"
 	"d3t/internal/trace"
 	"d3t/internal/tree"
@@ -75,6 +76,18 @@ type Config struct {
 	// paper's per-update latency model (see dissemination.Config).
 	Queueing bool
 
+	// Faults selects a failure-injection plan (see resilience.ParsePlan):
+	// "" or "none" runs fault-free through the plain dissemination runner,
+	// "crash:<node|max>@<tick>[+<downticks>]" injects one crash (with
+	// optional rejoin), "churn:<rate>[:<meandown>]" injects seeded Poisson
+	// churn. Any other value routes the run through the resilient runner,
+	// which adds heartbeats, failure detection and backup-parent repair.
+	Faults string
+	// DetectTicks overrides the failure-detection silence window, in
+	// heartbeat intervals (0 keeps the resilience default of 3). Only
+	// meaningful with Faults set.
+	DetectTicks int
+
 	// Seed makes the whole run deterministic.
 	Seed int64
 }
@@ -128,7 +141,25 @@ func (c Config) Validate() error {
 	if c.Workload == "csv" && c.WorkloadPath == "" {
 		return fmt.Errorf("core: csv workload needs WorkloadPath")
 	}
+	if _, err := c.faultPlan(); err != nil {
+		return err
+	}
 	return nil
+}
+
+// faultPlan parses the configured failure-injection plan (nil when faults
+// are disabled).
+func (c Config) faultPlan() (*resilience.Plan, error) {
+	interval := c.TickInterval
+	if interval <= 0 {
+		interval = sim.Second // the workload generators' default
+	}
+	return resilience.ParsePlan(c.Faults, c.Repositories, c.Ticks, interval, c.Seed+12)
+}
+
+// FaultsEnabled reports whether the run goes through the resilient runner.
+func (c Config) FaultsEnabled() bool {
+	return c.Faults != "" && c.Faults != "none"
 }
 
 // builder resolves the overlay construction algorithm.

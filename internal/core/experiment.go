@@ -5,6 +5,7 @@ import (
 
 	"d3t/internal/dissemination"
 	"d3t/internal/netsim"
+	"d3t/internal/resilience"
 	"d3t/internal/sim"
 	"d3t/internal/trace"
 	"d3t/internal/tree"
@@ -29,6 +30,9 @@ type Outcome struct {
 	Stats dissemination.Stats
 	// SourceUtilization is the busy fraction of the source's processor.
 	SourceUtilization float64
+	// Resilience carries fault-injection and repair counters; nil when the
+	// run had Faults disabled.
+	Resilience *resilience.Stats
 }
 
 // String renders the outcome as a one-line summary.
@@ -89,12 +93,33 @@ func runExperimentWith(cfg Config, net *netsim.Network, traces []*trace.Trace) (
 	if err != nil {
 		return nil, err
 	}
-	res, err := dissemination.Run(overlay, traces, protocol, dissemination.Config{
+	pushCfg := dissemination.Config{
 		CompDelay: cfg.compDelay(),
 		Queueing:  cfg.Queueing,
-	})
-	if err != nil {
-		return nil, err
+	}
+	var res *dissemination.Result
+	var resStats *resilience.Stats
+	if cfg.FaultsEnabled() {
+		// Route through the resilient runner: same fidelity machinery,
+		// plus fault injection, detection and backup-parent repair.
+		plan, err := cfg.faultPlan()
+		if err != nil {
+			return nil, err
+		}
+		lela, _ := builder.(*tree.LeLA) // non-LeLA builders repair with defaults
+		rr, err := resilience.Run(overlay, lela, traces, protocol, resilience.Config{
+			Push:    pushCfg,
+			DetectK: cfg.DetectTicks,
+		}, plan)
+		if err != nil {
+			return nil, err
+		}
+		res, resStats = rr.Result, &rr.Resilience
+	} else {
+		res, err = dissemination.Run(overlay, traces, protocol, pushCfg)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	return &Outcome{
@@ -106,5 +131,6 @@ func runExperimentWith(cfg Config, net *netsim.Network, traces []*trace.Trace) (
 		Tree:              overlay.ComputeMetrics(),
 		Stats:             res.Stats,
 		SourceUtilization: res.SourceUtilization,
+		Resilience:        resStats,
 	}, nil
 }

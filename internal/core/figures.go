@@ -50,6 +50,8 @@ func Figures() map[string]FigureFunc {
 		"ablation-k":        AblationK,
 		"ablation-queueing": AblationQueueing,
 		"ext-pull":          ExtensionPull,
+		"res-fidelity":      FigureFaultFidelity,
+		"res-recovery":      FigureRecoveryLatency,
 	}
 }
 

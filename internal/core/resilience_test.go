@@ -1,0 +1,74 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRunExperimentWithFaults(t *testing.T) {
+	cfg := tinyScale().base()
+	cfg.Faults = "crash:max@40"
+	out, err := RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Resilience == nil {
+		t.Fatal("faulty run returned no resilience stats")
+	}
+	if out.Resilience.Crashes != 1 {
+		t.Errorf("crashes = %d, want 1", out.Resilience.Crashes)
+	}
+	if out.Resilience.Rehomed == 0 {
+		t.Error("interior crash triggered no re-homing")
+	}
+	if out.Fidelity <= 0 || out.Fidelity > 1 {
+		t.Errorf("fidelity %v out of range", out.Fidelity)
+	}
+
+	// The fault-free path must not grow resilience machinery.
+	cfg.Faults = ""
+	base, err := RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Resilience != nil {
+		t.Error("fault-free run carries resilience stats")
+	}
+}
+
+func TestFaultRunsAreDeterministicThroughRunner(t *testing.T) {
+	cfg := tinyScale().base()
+	cfg.Faults = "churn:3"
+	r := NewRunner(2)
+	a, err := r.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fidelity != b.Fidelity || !reflect.DeepEqual(a.Resilience, b.Resilience) {
+		t.Errorf("identical fault runs diverged: %.6f/%+v vs %.6f/%+v",
+			a.Fidelity, a.Resilience, b.Fidelity, b.Resilience)
+	}
+	if a.Resilience == nil || a.Resilience.Crashes == 0 {
+		t.Errorf("churn run injected nothing: %+v", a.Resilience)
+	}
+}
+
+func TestConfigValidatesFaultSpecs(t *testing.T) {
+	cfg := tinyScale().base()
+	for _, good := range []string{"", "none", "crash:1@5", "crash:max@5+10", "churn:2", "churn:2:25"} {
+		cfg.Faults = good
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("Validate rejected faults %q: %v", good, err)
+		}
+	}
+	for _, bad := range []string{"crash", "crash:99@5", "churn:x", "meteor:3"} {
+		cfg.Faults = bad
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate accepted faults %q", bad)
+		}
+	}
+}

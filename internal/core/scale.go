@@ -23,6 +23,9 @@ type Scale struct {
 	// (default "stocks"); WorkloadPath feeds the "csv" family.
 	Workload     string
 	WorkloadPath string
+	// Faults applies a failure-injection spec (resilience.ParsePlan) to
+	// every sweep point; the resilience figures override it per point.
+	Faults string
 	// Workers bounds the sweep worker pool (<= 0 means GOMAXPROCS).
 	Workers int
 	// Runner, when set, executes the sweeps — sharing its substrate
@@ -71,6 +74,7 @@ func (s Scale) base() Config {
 	cfg.Seed = s.Seed
 	cfg.Workload = s.Workload
 	cfg.WorkloadPath = s.WorkloadPath
+	cfg.Faults = s.Faults
 	return cfg
 }
 

@@ -47,6 +47,16 @@ func (d *Distributed) AtSource(x string, v float64) ([]Forward, int) {
 	return d.decide(d.overlay.Source(), x, v, 0)
 }
 
+// ResetEdge re-seeds the per-edge filter state for item x after overlay
+// repair re-homes a dependent: the last value "sent" over the (possibly
+// brand-new, possibly re-adopted) edge is the value the parent just
+// synced. Without this, an edge revived after crash-and-rejoin would
+// filter against its pre-crash state and could withhold updates the
+// dependent needs.
+func (d *Distributed) ResetEdge(from, to repository.ID, x string, v float64) {
+	d.sent.set(from, to, x, v)
+}
+
 // AtRepo implements Protocol.
 func (d *Distributed) AtRepo(node *repository.Repository, x string, v float64, _ coherency.Requirement) ([]Forward, int) {
 	cSelf, ok := node.ServingTolerance(x)

@@ -72,5 +72,17 @@ func (ls lastSent) get(from, to repository.ID, x string) float64 {
 }
 
 func (ls lastSent) set(from, to repository.ID, x string, v float64) {
-	ls[from][to][x] = v
+	byDep := ls[from]
+	if byDep == nil {
+		byDep = make(map[repository.ID]map[string]float64)
+		ls[from] = byDep
+	}
+	m := byDep[to]
+	if m == nil {
+		// An edge established after Init — overlay repair re-homed this
+		// dependent mid-run.
+		m = make(map[string]float64)
+		byDep[to] = m
+	}
+	m[x] = v
 }

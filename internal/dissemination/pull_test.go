@@ -174,3 +174,70 @@ func TestPullModeString(t *testing.T) {
 		t.Error("unknown mode produced empty name")
 	}
 }
+
+// TestAdaptiveTTRPinsAtMinUnderFastChange drives the adaptive rule
+// directly: an item drifting far beyond the tolerance every window must
+// pin the polling interval at TTRMin and hold it there.
+func TestAdaptiveTTRPinsAtMinUnderFastChange(t *testing.T) {
+	cfg := PullConfig{Mode: AdaptiveTTR}.withDefaults()
+	p := &poller{cfg: cfg, c: 0.05, ttr: cfg.TTR}
+	now := sim.Time(0)
+	v := 100.0
+	for i := 0; i < 20; i++ {
+		now += p.ttr
+		v += 50 // enormous drift relative to c = 0.05
+		p.adapt(now, v)
+		p.lastVal, p.lastPoll = v, now
+	}
+	if p.ttr != cfg.TTRMin {
+		t.Errorf("ttr settled at %v under fast change, want TTRMin %v", p.ttr, cfg.TTRMin)
+	}
+	// It must stay clamped, not dip below the floor.
+	now += p.ttr
+	v += 50
+	p.adapt(now, v)
+	if p.ttr < cfg.TTRMin {
+		t.Errorf("ttr %v fell below TTRMin %v", p.ttr, cfg.TTRMin)
+	}
+}
+
+// TestAdaptiveTTRRelaxesToMaxWhenQuiescent: a value that never moves must
+// walk the interval up to TTRMax and stop there.
+func TestAdaptiveTTRRelaxesToMaxWhenQuiescent(t *testing.T) {
+	cfg := PullConfig{Mode: AdaptiveTTR}.withDefaults()
+	p := &poller{cfg: cfg, c: 0.05, ttr: cfg.TTRMin, lastVal: 100}
+	now := sim.Time(0)
+	prev := p.ttr
+	for i := 0; i < 50; i++ {
+		now += p.ttr
+		p.adapt(now, 100) // no change
+		if p.ttr < prev {
+			t.Fatalf("quiescent adapt shrank the interval: %v -> %v", prev, p.ttr)
+		}
+		prev = p.ttr
+		p.lastPoll = now
+	}
+	if p.ttr != cfg.TTRMax {
+		t.Errorf("ttr settled at %v while quiescent, want TTRMax %v", p.ttr, cfg.TTRMax)
+	}
+}
+
+// TestAdaptiveTTRRecoversFromQuiescence closes the loop: after relaxing
+// to TTRMax, renewed fast change must drive the interval back down to
+// TTRMin within a bounded number of polls.
+func TestAdaptiveTTRRecoversFromQuiescence(t *testing.T) {
+	cfg := PullConfig{Mode: AdaptiveTTR}.withDefaults()
+	p := &poller{cfg: cfg, c: 0.05, ttr: cfg.TTRMax, lastVal: 100}
+	now := sim.Time(0)
+	v := 100.0
+	for i := 0; i < 30; i++ {
+		now += p.ttr
+		v += 50
+		p.adapt(now, v)
+		p.lastVal, p.lastPoll = v, now
+		if p.ttr == cfg.TTRMin {
+			return
+		}
+	}
+	t.Errorf("ttr only reached %v after 30 fast polls, want TTRMin %v", p.ttr, cfg.TTRMin)
+}

@@ -34,13 +34,16 @@ type Config struct {
 	Queueing bool
 }
 
-func (c Config) withDefaults() Config {
+// WithDefaults resolves the config's delay conventions: zero CompDelay
+// means the paper's 12.5 ms; negative means "explicitly zero" (the
+// ideal-conditions runs that verify the 100%-fidelity guarantees use
+// it). Exported so alternative runners (resilience) share the exact same
+// defaulting.
+func (c Config) WithDefaults() Config {
 	switch {
 	case c.CompDelay == 0:
 		c.CompDelay = sim.Milliseconds(12.5)
 	case c.CompDelay < 0:
-		// Negative means "explicitly zero": the ideal-conditions runs that
-		// verify the 100%-fidelity guarantees use it.
 		c.CompDelay = 0
 	}
 	return c
@@ -89,7 +92,7 @@ type Result struct {
 // Time zero holds the initial value of every trace at every node; fidelity
 // is observed from time zero to the last trace tick.
 func Run(o *tree.Overlay, traces []*trace.Trace, p Protocol, cfg Config) (*Result, error) {
-	cfg = cfg.withDefaults()
+	cfg = cfg.WithDefaults()
 	if len(traces) == 0 {
 		return nil, fmt.Errorf("dissemination: no traces to run")
 	}

@@ -8,6 +8,7 @@ package live
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -28,6 +29,21 @@ type Options struct {
 	// Buffer is the per-node inbox size (default 256). A full inbox
 	// applies backpressure to the sender, mirroring a congested node.
 	Buffer int
+
+	// Heartbeat, when positive, makes every node send keep-alives to its
+	// current children on this interval, so dependents can tell a quiet
+	// parent from a dead one.
+	Heartbeat time.Duration
+	// FailWindow, when positive, arms failure detection: a node that has
+	// heard nothing (no update, no heartbeat) from a parent for this long
+	// declares it dead and re-homes onto its backup list. It should be a
+	// small multiple of Heartbeat.
+	FailWindow time.Duration
+	// Backups maps each repository to its ranked backup-parent list
+	// (tree.LeLA.BackupParents precomputes one). On detection the
+	// dependent re-homes each severed item to the first live backup that
+	// already serves it stringently enough and has a free connection slot.
+	Backups map[repository.ID][]repository.ID
 }
 
 // Cluster is a running set of node goroutines wired per an overlay.
@@ -38,12 +54,20 @@ type Cluster struct {
 	done    chan struct{}
 	wg      sync.WaitGroup
 
+	// topoMu guards the overlay wiring (Parents/Dependents/Serving) and
+	// each node's out-channel map: failure repair rewires them while node
+	// goroutines read them.
+	topoMu    sync.RWMutex
+	failovers int
+
 	closeOnce sync.Once
 }
 
 type update struct {
-	item  string
-	value float64
+	item      string
+	value     float64
+	from      repository.ID
+	heartbeat bool
 }
 
 type node struct {
@@ -51,18 +75,28 @@ type node struct {
 	in   chan update
 	// out holds one FIFO channel per dependent: a dedicated forwarder
 	// goroutine applies the wire delay, so updates on an edge can never
-	// overtake one another.
+	// overtake one another. Guarded by Cluster.topoMu (repair adds edges).
 	out map[repository.ID]chan update
 
-	mu       sync.Mutex
-	values   map[string]float64
-	lastSent map[repository.ID]map[string]float64
+	mu        sync.Mutex
+	values    map[string]float64
+	lastSent  map[repository.ID]map[string]float64
+	lastHeard map[repository.ID]time.Time
+	dead      bool
 }
 
 // NewCluster builds (but does not start) a live cluster over the overlay.
 func NewCluster(o *tree.Overlay, opts Options) *Cluster {
 	if opts.Buffer <= 0 {
 		opts.Buffer = 256
+	}
+	if opts.FailWindow > 0 && opts.Heartbeat <= 0 {
+		// Armed detection without keep-alives would declare every quiet
+		// parent dead; default to a few beats per window.
+		opts.Heartbeat = opts.FailWindow / 4
+		if opts.Heartbeat <= 0 {
+			opts.Heartbeat = time.Millisecond
+		}
 	}
 	c := &Cluster{
 		overlay: o,
@@ -72,11 +106,12 @@ func NewCluster(o *tree.Overlay, opts Options) *Cluster {
 	}
 	for _, r := range o.Nodes {
 		n := &node{
-			repo:     r,
-			in:       make(chan update, opts.Buffer),
-			out:      make(map[repository.ID]chan update),
-			values:   make(map[string]float64),
-			lastSent: make(map[repository.ID]map[string]float64),
+			repo:      r,
+			in:        make(chan update, opts.Buffer),
+			out:       make(map[repository.ID]chan update),
+			values:    make(map[string]float64),
+			lastSent:  make(map[repository.ID]map[string]float64),
+			lastHeard: make(map[repository.ID]time.Time),
 		}
 		for _, deps := range r.Dependents {
 			for _, dep := range deps {
@@ -91,10 +126,17 @@ func NewCluster(o *tree.Overlay, opts Options) *Cluster {
 }
 
 // Start launches one goroutine per node plus one forwarder per overlay
-// edge. It must be called once.
+// edge — and, when failure handling is armed, one heartbeater and one
+// watchdog per node. It must be called once.
 func (c *Cluster) Start() {
+	now := time.Now()
 	for _, n := range c.nodes {
 		n := n
+		n.mu.Lock()
+		for _, pid := range c.overlay.ParentsOf(n.repo.ID) {
+			n.lastHeard[pid] = now // grace period: silence counts from start
+		}
+		n.mu.Unlock()
 		c.wg.Add(1)
 		go func() {
 			defer c.wg.Done()
@@ -106,6 +148,20 @@ func (c *Cluster) Start() {
 			go func() {
 				defer c.wg.Done()
 				c.forwardLoop(ch, child)
+			}()
+		}
+		if c.opts.Heartbeat > 0 {
+			c.wg.Add(1)
+			go func() {
+				defer c.wg.Done()
+				c.heartbeatLoop(n)
+			}()
+		}
+		if c.opts.FailWindow > 0 && !n.repo.IsSource() {
+			c.wg.Add(1)
+			go func() {
+				defer c.wg.Done()
+				c.watchdogLoop(n)
 			}()
 		}
 	}
@@ -159,7 +215,7 @@ func (c *Cluster) Publish(item string, value float64) bool {
 	default:
 	}
 	select {
-	case c.nodes[repository.SourceID].in <- update{item, value}:
+	case c.nodes[repository.SourceID].in <- update{item: item, value: value}:
 		return true
 	case <-c.done:
 		return false
@@ -203,7 +259,9 @@ func hasItem(r *repository.Repository, item string) bool {
 	return ok
 }
 
-// run is the node goroutine body: receive, record, filter, forward.
+// run is the node goroutine body: receive, record, filter, forward. A
+// crashed node keeps draining its inbox — a dead process's peers are not
+// blocked by it — but drops everything on the floor.
 func (c *Cluster) run(n *node) {
 	for {
 		select {
@@ -216,17 +274,35 @@ func (c *Cluster) run(n *node) {
 }
 
 func (c *Cluster) handle(n *node, u update) {
+	c.topoMu.RLock()
 	n.mu.Lock()
+	if n.dead {
+		n.mu.Unlock()
+		c.topoMu.RUnlock()
+		return
+	}
+	n.lastHeard[u.from] = time.Now()
+	if u.heartbeat {
+		n.mu.Unlock()
+		c.topoMu.RUnlock()
+		return
+	}
 	n.values[u.item] = u.value
 	cSelf := coherency.Requirement(0)
 	if !n.repo.IsSource() {
 		cSelf, _ = n.repo.ServingTolerance(u.item)
 	}
-	// Decide forwards under the distributed algorithm (Eqs. 3 and 7).
-	var targets []repository.ID
+	// Decide forwards under the distributed algorithm (Eqs. 3 and 7),
+	// snapshotting the edge channels while the wiring is stable.
+	fwd := update{item: u.item, value: u.value, from: n.repo.ID}
+	var targets []chan update
 	for _, dep := range n.repo.Dependents[u.item] {
 		cDep, ok := c.overlay.Node(dep).ServingTolerance(u.item)
 		if !ok {
+			continue
+		}
+		ch := n.out[dep]
+		if ch == nil {
 			continue
 		}
 		m := n.lastSent[dep]
@@ -237,21 +313,217 @@ func (c *Cluster) handle(n *node, u update) {
 		last, seeded := m[u.item]
 		if !seeded || coherency.ShouldForward(u.value, last, cDep, cSelf) {
 			m[u.item] = u.value
-			targets = append(targets, dep)
+			targets = append(targets, ch)
 		}
 	}
 	n.mu.Unlock()
+	c.topoMu.RUnlock()
 
 	if !n.repo.IsSource() && c.opts.OnDeliver != nil {
 		c.opts.OnDeliver(n.repo.ID, u.item, u.value)
 	}
 
-	for _, dep := range targets {
+	for _, ch := range targets {
 		if c.opts.CompDelay > 0 {
 			time.Sleep(c.opts.CompDelay) // serial per-copy processing cost
 		}
 		select {
-		case n.out[dep] <- u:
+		case ch <- fwd:
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// Crash takes a repository down: it stops handling, forwarding and
+// heartbeating until the cluster is rebuilt (there is no live rejoin).
+// Crashing the source is rejected — the paper's source is the one node
+// the overlay cannot survive.
+func (c *Cluster) Crash(id repository.ID) bool {
+	n, ok := c.nodes[id]
+	if !ok || n.repo.IsSource() {
+		return false
+	}
+	n.mu.Lock()
+	n.dead = true
+	n.mu.Unlock()
+	return true
+}
+
+// Failovers reports how many parent-death repairs the cluster performed.
+func (c *Cluster) Failovers() int {
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	return c.failovers
+}
+
+// heartbeatLoop sends keep-alives to the node's current children.
+func (c *Cluster) heartbeatLoop(n *node) {
+	ticker := time.NewTicker(c.opts.Heartbeat)
+	defer ticker.Stop()
+	hb := update{from: n.repo.ID, heartbeat: true}
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-ticker.C:
+		}
+		n.mu.Lock()
+		dead := n.dead
+		n.mu.Unlock()
+		if dead {
+			continue
+		}
+		c.topoMu.RLock()
+		var chans []chan update
+		for _, dep := range c.overlay.ChildrenOf(n.repo.ID) {
+			n.mu.Lock()
+			ch := n.out[dep]
+			n.mu.Unlock()
+			if ch != nil {
+				chans = append(chans, ch)
+			}
+		}
+		c.topoMu.RUnlock()
+		for _, ch := range chans {
+			select {
+			case ch <- hb:
+			case <-c.done:
+				return
+			}
+		}
+	}
+}
+
+// watchdogLoop detects dead parents by silence and re-homes their feeds.
+func (c *Cluster) watchdogLoop(n *node) {
+	period := c.opts.FailWindow / 4
+	if period <= 0 {
+		period = time.Millisecond
+	}
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-ticker.C:
+		}
+		n.mu.Lock()
+		dead := n.dead
+		var stale []repository.ID
+		now := time.Now()
+		for pid, heard := range n.lastHeard {
+			if now.Sub(heard) >= c.opts.FailWindow {
+				stale = append(stale, pid)
+			}
+		}
+		n.mu.Unlock()
+		if dead {
+			continue
+		}
+		sort.Slice(stale, func(i, j int) bool { return stale[i] < stale[j] })
+		for _, pid := range stale {
+			c.failover(n, pid)
+		}
+	}
+}
+
+// failover re-homes every item n received from the silent parent onto the
+// first live backup that already serves it and has a free connection
+// slot. Items with no eligible backup stay orphaned; the watchdog retries
+// them on its next pass (the silent parent stays in lastHeard until every
+// item has moved).
+func (c *Cluster) failover(n *node, deadPID repository.ID) {
+	type syncSend struct {
+		ch chan update
+		u  update
+	}
+	var syncs []syncSend
+
+	c.topoMu.Lock()
+	var items []string
+	for x, pid := range n.repo.Parents {
+		if pid == deadPID {
+			items = append(items, x)
+		}
+	}
+	if len(items) == 0 {
+		// Nothing left to move: stop watching the silent parent.
+		n.mu.Lock()
+		delete(n.lastHeard, deadPID)
+		n.mu.Unlock()
+		c.topoMu.Unlock()
+		return
+	}
+	sort.Strings(items)
+	// Drop the dead edge wholesale (the process is gone); items that find
+	// no backup below keep their stale Parents entry, which is exactly the
+	// marker the next watchdog pass retries on.
+	c.overlay.Node(deadPID).DropDependent(n.repo.ID)
+	moved := false
+	for _, x := range items {
+		cDep, ok := n.repo.ServingTolerance(x)
+		if !ok {
+			continue
+		}
+		for _, b := range c.opts.Backups[n.repo.ID] {
+			if b == deadPID {
+				continue
+			}
+			bn := c.nodes[b]
+			if bn == nil {
+				continue
+			}
+			bn.mu.Lock()
+			bDead := bn.dead
+			bn.mu.Unlock()
+			bRepo := c.overlay.Node(b)
+			if bDead || !bRepo.CanServe(x, cDep) || !bRepo.HasCapacityFor(n.repo.ID) {
+				continue
+			}
+			// Adopt: rewire the overlay edge and make sure a forwarder
+			// exists for it, then queue a sync push of the backup's
+			// current copy so the dependent converges immediately.
+			bRepo.AddDependent(x, n.repo.ID)
+			n.repo.Parents[x] = b
+			moved = true
+			bn.mu.Lock()
+			ch := bn.out[n.repo.ID]
+			if ch == nil {
+				ch = make(chan update, c.opts.Buffer)
+				bn.out[n.repo.ID] = ch
+				c.wg.Add(1)
+				go func() {
+					defer c.wg.Done()
+					c.forwardLoop(ch, n)
+				}()
+			}
+			v, hasV := bn.values[x]
+			if hasV {
+				m := bn.lastSent[n.repo.ID]
+				if m == nil {
+					m = make(map[string]float64)
+					bn.lastSent[n.repo.ID] = m
+				}
+				m[x] = v
+				syncs = append(syncs, syncSend{ch, update{item: x, value: v, from: b}})
+			}
+			bn.mu.Unlock()
+			n.mu.Lock()
+			n.lastHeard[b] = time.Now()
+			n.mu.Unlock()
+			break
+		}
+	}
+	if moved {
+		c.failovers++
+	}
+	c.topoMu.Unlock()
+
+	for _, s := range syncs {
+		select {
+		case s.ch <- s.u:
 		case <-c.done:
 			return
 		}

@@ -160,3 +160,99 @@ func TestClusterLargerFanOut(t *testing.T) {
 		t.Fatalf("big jump did not reach every repository: %v", c.Snapshot("Y"))
 	}
 }
+
+// failoverOverlay hand-wires source(c=2) -> mid -> leaf for item X, with
+// the source holding a spare slot the leaf can re-home into.
+func failoverOverlay(t *testing.T) *tree.Overlay {
+	t.Helper()
+	source := repository.New(repository.SourceID, 2)
+	mid := repository.New(1, 1)
+	leaf := repository.New(2, 1)
+	mid.Needs["X"], mid.Serving["X"] = 10, 10
+	mid.Level = 1
+	leaf.Needs["X"], leaf.Serving["X"] = 20, 20
+	leaf.Level = 2
+	source.AddDependent("X", mid.ID)
+	mid.Parents["X"] = repository.SourceID
+	mid.AddDependent("X", leaf.ID)
+	leaf.Parents["X"] = mid.ID
+	o := &tree.Overlay{
+		Nodes: []*repository.Repository{source, mid, leaf},
+		Net:   netsim.Uniform(2, 0),
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestClusterFailoverToBackup(t *testing.T) {
+	o := failoverOverlay(t)
+	c := NewCluster(o, Options{
+		Heartbeat:  2 * time.Millisecond,
+		FailWindow: 20 * time.Millisecond,
+		Backups:    map[repository.ID][]repository.ID{2: {repository.SourceID}},
+	})
+	c.Seed("X", 100)
+	c.Start()
+	defer c.Stop()
+
+	// Healthy path: an update flows source -> mid -> leaf.
+	c.Publish("X", 150)
+	if !waitFor(t, time.Second, func() bool {
+		v, _ := c.Value(2, "X")
+		return v == 150
+	}) {
+		t.Fatal("update never reached the leaf through the chain")
+	}
+
+	if !c.Crash(1) {
+		t.Fatal("Crash(1) refused")
+	}
+	if c.Crash(repository.SourceID) {
+		t.Error("Crash accepted the source")
+	}
+
+	// The leaf must detect mid's silence and re-home onto the source.
+	if !waitFor(t, 5*time.Second, func() bool { return c.Failovers() > 0 }) {
+		t.Fatal("leaf never failed over")
+	}
+
+	// Updates now reach the leaf directly from the source.
+	c.Publish("X", 300)
+	if !waitFor(t, 5*time.Second, func() bool {
+		v, _ := c.Value(2, "X")
+		return v == 300
+	}) {
+		v, _ := c.Value(2, "X")
+		t.Fatalf("post-failover update never arrived: leaf holds %v", v)
+	}
+	// And the dead node stayed dead.
+	if v, _ := c.Value(1, "X"); v == 300 {
+		t.Error("crashed node kept receiving updates")
+	}
+}
+
+func TestClusterFailoverSyncsCurrentValue(t *testing.T) {
+	o := failoverOverlay(t)
+	c := NewCluster(o, Options{
+		Heartbeat:  2 * time.Millisecond,
+		FailWindow: 20 * time.Millisecond,
+		Backups:    map[repository.ID][]repository.ID{2: {repository.SourceID}},
+	})
+	c.Seed("X", 100)
+	c.Start()
+	defer c.Stop()
+
+	c.Crash(1)
+	// While the leaf is severed, the source moves far outside tolerance.
+	c.Publish("X", 500)
+	// After failover the sync push alone must converge the leaf.
+	if !waitFor(t, 5*time.Second, func() bool {
+		v, _ := c.Value(2, "X")
+		return v == 500
+	}) {
+		v, _ := c.Value(2, "X")
+		t.Fatalf("leaf never converged after failover sync: holds %v", v)
+	}
+}

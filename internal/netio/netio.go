@@ -16,7 +16,9 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
+	"time"
 
 	"d3t/internal/coherency"
 	"d3t/internal/repository"
@@ -28,6 +30,10 @@ type frame struct {
 	From  repository.ID
 	Item  string
 	Value float64
+	// Resync on a hello asks the parent to push its current copy of every
+	// item it serves this child — the catch-up a dependent needs after
+	// failing over to a backup parent.
+	Resync bool
 }
 
 type kind uint8
@@ -56,6 +62,12 @@ type NodeConfig struct {
 	// serving this node items (LeLA may split a repository's needs across
 	// several parents). Empty for the source.
 	Parents []string
+	// Backups are ranked backup-parent addresses. When a parent
+	// connection dies the node dials them in order (skipping unreachable
+	// ones) and resumes with a resync hello; the backup must already list
+	// this node in its Children (capacity is reserved up front, exactly
+	// like the precomputed backup lists of the simulation runner).
+	Backups []string
 	// Initial seeds the node's item values (and per-child filter state).
 	Initial map[string]float64
 }
@@ -76,6 +88,8 @@ type Node struct {
 	wg          sync.WaitGroup
 	// Delivered counts updates received from the parent.
 	delivered int
+	// failovers counts successful re-connections to a backup parent.
+	failovers int
 }
 
 // Start launches the node: listen for dependents, connect to the parent
@@ -121,7 +135,9 @@ func Start(cfg NodeConfig) (*Node, error) {
 			n.Close()
 			return nil, fmt.Errorf("netio: node %d dialing parent %s: %w", cfg.ID, parent, err)
 		}
+		n.mu.Lock()
 		n.parentConns = append(n.parentConns, conn)
+		n.mu.Unlock()
 		if err := gob.NewEncoder(conn).Encode(frame{Kind: kindHello, From: cfg.ID}); err != nil {
 			n.Close()
 			return nil, fmt.Errorf("netio: node %d hello: %w", cfg.ID, err)
@@ -148,9 +164,10 @@ func (n *Node) Close() error {
 	for conn := range n.conns {
 		conn.Close() // unblocks parked child readers
 	}
+	parents := append([]net.Conn(nil), n.parentConns...)
 	n.mu.Unlock()
 	err := n.ln.Close()
-	for _, conn := range n.parentConns {
+	for _, conn := range parents {
 		conn.Close()
 	}
 	n.wg.Wait()
@@ -181,6 +198,14 @@ func (n *Node) Delivered() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.delivered
+}
+
+// Failovers returns how many times the node re-homed onto a backup parent
+// after losing a parent connection.
+func (n *Node) Failovers() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.failovers
 }
 
 // ConnectedChildren reports how many dependents currently hold a live push
@@ -241,7 +266,33 @@ func (n *Node) handleChild(conn net.Conn) {
 		n.mu.Unlock()
 		return
 	}
-	n.childEnc[hello.From] = gob.NewEncoder(conn)
+	enc := gob.NewEncoder(conn)
+	n.childEnc[hello.From] = enc
+	if hello.Resync {
+		// A dependent that failed over to us catches up immediately: push
+		// the current copy of every item we serve it, unconditionally, and
+		// reset the edge filter state to match.
+		items := make([]string, 0, len(n.cfg.Children[hello.From]))
+		for item := range n.cfg.Children[hello.From] {
+			items = append(items, item)
+		}
+		sort.Strings(items)
+		m := n.lastSent[hello.From]
+		if m == nil {
+			m = make(map[string]float64)
+			n.lastSent[hello.From] = m
+		}
+		for _, item := range items {
+			v, ok := n.values[item]
+			if !ok {
+				continue
+			}
+			m[item] = v
+			if enc.Encode(frame{Kind: kindUpdate, Item: item, Value: v}) != nil {
+				break
+			}
+		}
+	}
 	n.mu.Unlock()
 
 	var discard frame
@@ -252,14 +303,37 @@ func (n *Node) handleChild(conn net.Conn) {
 	n.mu.Unlock()
 }
 
-// parentLoop applies pushes from the parent.
+// parentLoop applies pushes from the parent. When the connection dies —
+// the parent crashed or closed — it fails over to the configured backups:
+// real connection errors are the detection signal in the TCP runtime, the
+// counterpart of the simulator's modeled silence window.
+//
+// A backup that accepts the dial but drops the connection before sending
+// a frame (e.g. it does not actually list this node as a child) triggers
+// exponential backoff, so a misconfigured backup list degrades to slow
+// retries instead of a hot reconnect loop.
 func (n *Node) parentLoop(conn net.Conn) {
 	dec := gob.NewDecoder(conn)
+	backoff := 50 * time.Millisecond
+	framed := false // a frame arrived on the current connection
 	for {
 		var f frame
 		if err := dec.Decode(&f); err != nil {
-			return
+			conn.Close()
+			if !framed {
+				time.Sleep(backoff)
+				if backoff < 2*time.Second {
+					backoff *= 2
+				}
+			}
+			next, ok := n.failover()
+			if !ok {
+				return
+			}
+			conn, dec, framed = next, gob.NewDecoder(next), false
+			continue
 		}
+		framed, backoff = true, 50*time.Millisecond
 		if f.Kind != kindUpdate {
 			continue
 		}
@@ -268,6 +342,39 @@ func (n *Node) parentLoop(conn net.Conn) {
 		n.mu.Unlock()
 		n.apply(f.Item, f.Value)
 	}
+}
+
+// failover dials the backup parents in order and performs a resync hello
+// on the first that answers. It returns false when the node is shutting
+// down or no backup is reachable.
+func (n *Node) failover() (net.Conn, bool) {
+	n.mu.Lock()
+	closed := n.closed
+	n.mu.Unlock()
+	if closed || len(n.cfg.Backups) == 0 {
+		return nil, false
+	}
+	for _, addr := range n.cfg.Backups {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			continue // unreachable backup: try the next one
+		}
+		if err := gob.NewEncoder(conn).Encode(frame{Kind: kindHello, From: n.cfg.ID, Resync: true}); err != nil {
+			conn.Close()
+			continue
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			conn.Close()
+			return nil, false
+		}
+		n.parentConns = append(n.parentConns, conn)
+		n.failovers++
+		n.mu.Unlock()
+		return conn, true
+	}
+	return nil, false
 }
 
 // apply records the value locally and forwards it to every dependent the

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"d3t/internal/coherency"
 	"d3t/internal/netsim"
 	"d3t/internal/repository"
 	"d3t/internal/tree"
@@ -180,5 +181,134 @@ func TestNodeRejectsUnknownChild(t *testing.T) {
 	time.Sleep(30 * time.Millisecond)
 	if d := stranger.Delivered(); d != 0 {
 		t.Errorf("unknown child received %d updates", d)
+	}
+}
+
+func TestTCPFailoverToBackupParent(t *testing.T) {
+	// Hand-built chain source -> mid -> leaf for X; the source reserves a
+	// slot for the leaf so it can adopt it after mid dies.
+	tol := map[string]coherency.Requirement{"X": 20}
+	source, err := Start(NodeConfig{
+		ID: repository.SourceID,
+		Children: map[repository.ID]map[string]coherency.Requirement{
+			1: {"X": 10},
+			2: tol, // reserved for the leaf's failover
+		},
+		Initial: map[string]float64{"X": 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer source.Close()
+	mid, err := Start(NodeConfig{
+		ID:      1,
+		Serving: map[string]coherency.Requirement{"X": 10},
+		Children: map[repository.ID]map[string]coherency.Requirement{
+			2: tol,
+		},
+		Parents: []string{source.Addr()},
+		Initial: map[string]float64{"X": 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := Start(NodeConfig{
+		ID:      2,
+		Serving: tol,
+		Parents: []string{mid.Addr()},
+		Backups: []string{source.Addr()},
+		Initial: map[string]float64{"X": 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leaf.Close()
+
+	if !waitFor(t, 5*time.Second, func() bool {
+		return source.ConnectedChildren() == 1 && mid.ConnectedChildren() == 1
+	}) {
+		t.Fatal("chain never fully connected")
+	}
+
+	// Healthy path: the update flows through mid.
+	if err := source.Publish("X", 150); err != nil {
+		t.Fatal(err)
+	}
+	if !waitFor(t, 5*time.Second, func() bool {
+		v, _ := leaf.Value("X")
+		return v == 150
+	}) {
+		t.Fatal("update never reached the leaf through mid")
+	}
+
+	// Kill mid. While the leaf is severed, the source moves on; the
+	// resync after failover must deliver the missed value.
+	mid.Close()
+	if err := source.Publish("X", 400); err != nil {
+		t.Fatal(err)
+	}
+	if !waitFor(t, 5*time.Second, func() bool { return leaf.Failovers() == 1 }) {
+		t.Fatal("leaf never failed over to the source")
+	}
+	if !waitFor(t, 5*time.Second, func() bool {
+		v, _ := leaf.Value("X")
+		return v == 400
+	}) {
+		v, _ := leaf.Value("X")
+		t.Fatalf("leaf never resynced after failover: holds %v", v)
+	}
+
+	// New updates keep flowing over the backup connection.
+	if err := source.Publish("X", 800); err != nil {
+		t.Fatal(err)
+	}
+	if !waitFor(t, 5*time.Second, func() bool {
+		v, _ := leaf.Value("X")
+		return v == 800
+	}) {
+		t.Fatal("post-failover update never arrived")
+	}
+}
+
+func TestTCPFailoverExhaustedBackupsStops(t *testing.T) {
+	parent, err := Start(NodeConfig{
+		ID: repository.SourceID,
+		Children: map[repository.ID]map[string]coherency.Requirement{
+			1: {"X": 10},
+		},
+		Initial: map[string]float64{"X": 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	child, err := Start(NodeConfig{
+		ID:      1,
+		Serving: map[string]coherency.Requirement{"X": 10},
+		Parents: []string{parent.Addr()},
+		Backups: []string{"127.0.0.1:1"}, // nothing listens there
+		Initial: map[string]float64{"X": 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent.Close()
+	// Give the child's parent loop time to notice the broken connection
+	// and exhaust the unreachable backup; a dead-end dial must not count
+	// as a failover.
+	time.Sleep(200 * time.Millisecond)
+	if n := child.Failovers(); n != 0 {
+		t.Errorf("failovers = %d after dialing only unreachable backups, want 0", n)
+	}
+	// And the node must shut down cleanly — a parent loop stuck retrying
+	// would hang Close's WaitGroup.
+	closed := make(chan struct{})
+	go func() {
+		child.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung: parent loop did not give up after exhausting backups")
 	}
 }

@@ -1,0 +1,561 @@
+package resilience
+
+import (
+	"fmt"
+	"sort"
+
+	"d3t/internal/coherency"
+	"d3t/internal/dissemination"
+	"d3t/internal/repository"
+	"d3t/internal/sim"
+	"d3t/internal/trace"
+	"d3t/internal/tree"
+)
+
+// Config parameterizes the resilient simulation runner.
+type Config struct {
+	// Push is the delay model of the underlying push dissemination.
+	Push dissemination.Config
+	// Heartbeat is the keep-alive interval between overlay neighbors.
+	// Default 2 s.
+	Heartbeat sim.Time
+	// DetectK is the silence window in heartbeat intervals: a neighbor
+	// silent (no push, no heartbeat) for DetectK*Heartbeat is declared
+	// dead. Default 3.
+	DetectK int
+	// BackupK is the precomputed backup-parent list length. Default 5.
+	BackupK int
+}
+
+// WithDefaults resolves the zero values to the runner's defaults,
+// including the push delay conventions (dissemination.Config). Exported
+// so figures and tests can report the effective detection window.
+func (c Config) WithDefaults() Config {
+	if c.Heartbeat == 0 {
+		c.Heartbeat = 2 * sim.Second
+	}
+	if c.DetectK <= 0 {
+		c.DetectK = 3
+	}
+	if c.BackupK <= 0 {
+		c.BackupK = 5
+	}
+	c.Push = c.Push.WithDefaults()
+	return c
+}
+
+// Window returns the detection silence window.
+func (c Config) Window() sim.Time { return sim.Time(c.DetectK) * c.Heartbeat }
+
+// Stats counts the resilience machinery's work during one run.
+type Stats struct {
+	// Crashes and Rejoins count executed fault-plan events.
+	Crashes, Rejoins int
+	// Detections counts parent-death declarations by dependents.
+	Detections int
+	// ChildDrops counts dead-child edge removals by parents.
+	ChildDrops int
+	// Rehomed counts re-established (dependent, item) feeds; Orphaned
+	// counts feeds that found no live parent with capacity (retried on
+	// later watchdog passes until one succeeds).
+	Rehomed, Orphaned int
+	// Heartbeats counts keep-alive messages sent (kept out of
+	// Stats.Messages so data-path message counts stay comparable across
+	// fault-free and faulty runs).
+	Heartbeats uint64
+	// DroppedDeliveries counts update copies that arrived at a dead node.
+	DroppedDeliveries uint64
+	// RecoverySamples, MeanRecovery and MaxRecovery summarize the time
+	// from a crash to a dependent's re-homing onto a live parent.
+	RecoverySamples int
+	MeanRecovery    sim.Time
+	MaxRecovery     sim.Time
+}
+
+// Result extends the dissemination result with resilience statistics.
+type Result struct {
+	*dissemination.Result
+	// Resilience carries the fault/repair counters.
+	Resilience Stats
+}
+
+// Run simulates pushing the traces through the overlay under the fault
+// plan: nodes crash and rejoin per the plan, neighbors exchange
+// heartbeats, dependents detect dead parents after the silence window and
+// re-home to their precomputed backups, and fidelity is measured exactly
+// as in dissemination.Run. lela supplies the re-homing policy (preference
+// function and augmentation); a nil plan runs fault-free.
+//
+// The overlay is mutated by repairs, like it is by construction; callers
+// wanting the pre-fault overlay must rebuild it.
+func Run(o *tree.Overlay, lela *tree.LeLA, traces []*trace.Trace, p dissemination.Protocol, cfg Config, plan *Plan) (*Result, error) {
+	cfg = cfg.WithDefaults()
+	if lela == nil {
+		lela = &tree.LeLA{}
+	}
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("resilience: no traces to run")
+	}
+	initial := make(map[string]float64, len(traces))
+	var horizon sim.Time
+	for _, tr := range traces {
+		if tr.Len() == 0 {
+			return nil, fmt.Errorf("resilience: trace %s is empty", tr.Item)
+		}
+		if _, dup := initial[tr.Item]; dup {
+			return nil, fmt.Errorf("resilience: duplicate trace for item %s", tr.Item)
+		}
+		initial[tr.Item] = tr.Ticks[0].Value
+		if end := tr.Ticks[tr.Len()-1].At; end > horizon {
+			horizon = end
+		}
+	}
+	p.Init(o, initial)
+
+	n := len(o.Nodes)
+	r := &runner{
+		o: o, lela: lela, cfg: cfg,
+		engine:    sim.New(),
+		protocol:  p,
+		stations:  make([]sim.Station, n),
+		alive:     make([]bool, n),
+		dead:      make(map[repository.ID]bool),
+		crashedAt: make([]sim.Time, n),
+		values:    make([]map[string]float64, n),
+		lastHeard: make([][]sim.Time, n),
+		backups:   make([][]repository.ID, n),
+		orphans:   make(map[repository.ID]map[string]sim.Time),
+		byRepo:    make(map[string]map[repository.ID]*coherency.Tracker),
+		trackers:  make(map[string][]repoTracker),
+	}
+	for i := range r.alive {
+		r.alive[i] = true
+		r.lastHeard[i] = make([]sim.Time, n)
+		r.values[i] = make(map[string]float64)
+	}
+	for x, v := range initial {
+		r.values[repository.SourceID][x] = v
+	}
+	for _, node := range o.Repos() {
+		for _, x := range node.Items() {
+			if v, ok := initial[x]; ok {
+				r.values[node.ID][x] = v
+			}
+		}
+		r.backups[node.ID] = lela.BackupParents(o, node.ID, cfg.BackupK)
+		for _, x := range node.NeededItems() {
+			c := node.Needs[x]
+			v, ok := initial[x]
+			if !ok {
+				return nil, fmt.Errorf("resilience: repository %d needs item %s with no trace", node.ID, x)
+			}
+			t := coherency.NewTracker(c, 0, v)
+			r.trackers[x] = append(r.trackers[x], repoTracker{repo: node.ID, tr: t})
+			m := r.byRepo[x]
+			if m == nil {
+				m = make(map[repository.ID]*coherency.Tracker)
+				r.byRepo[x] = m
+			}
+			m[node.ID] = t
+		}
+	}
+
+	// Source-side trace ticks (quiet ticks cost nothing).
+	for _, tr := range traces {
+		last := tr.Ticks[0].Value
+		for _, tk := range tr.Ticks[1:] {
+			if tk.Value == last {
+				continue
+			}
+			last = tk.Value
+			item, v := tr.Item, tk.Value
+			r.engine.At(tk.At, func(now sim.Time) { r.sourceTick(now, item, v) })
+		}
+	}
+
+	// Fault-plan events. The victim of an AutoInterior fault is resolved
+	// now, against the built overlay.
+	if !plan.Empty() {
+		auto := busiestInterior(o)
+		for _, f := range plan.Faults {
+			node := f.Node
+			if node == AutoInterior {
+				node = auto
+			}
+			if node <= 0 || int(node) >= n {
+				return nil, fmt.Errorf("resilience: fault targets unknown repository %d", node)
+			}
+			id := node
+			r.engine.At(f.At, func(now sim.Time) { r.crash(now, id) })
+			if f.RejoinAt > 0 {
+				r.engine.At(f.RejoinAt, func(now sim.Time) { r.rejoin(now, id) })
+			}
+		}
+	}
+
+	// Heartbeats and watchdogs, staggered deterministically per node so
+	// the detection load does not arrive in lockstep.
+	// Every node — source included — runs both loops: the source has no
+	// parents to watch, but it must still drop dead children to free its
+	// connection slots for repairs.
+	for _, node := range o.Nodes {
+		id := node.ID
+		offset := sim.Time((int64(id)*7919 + 13) % int64(cfg.Heartbeat))
+		r.engine.At(offset, func(now sim.Time) { r.heartbeat(now, id) })
+		r.engine.At(offset+cfg.Heartbeat/2, func(now sim.Time) { r.watchdog(now, id) })
+	}
+
+	r.engine.RunUntil(horizon)
+
+	report := coherency.NewReport()
+	items := make([]string, 0, len(r.trackers))
+	for x := range r.trackers {
+		items = append(items, x)
+	}
+	sort.Strings(items)
+	for _, x := range items {
+		for _, rt := range r.trackers[x] {
+			report.Add(int(rt.repo), rt.tr.Fidelity(horizon))
+		}
+	}
+	r.stats.Events = r.engine.Processed()
+	if r.res.RecoverySamples > 0 {
+		r.res.MeanRecovery = r.recoverySum / sim.Time(r.res.RecoverySamples)
+	}
+	name := p.Name()
+	if !plan.Empty() {
+		name += "+faults"
+	}
+	return &Result{
+		Result: &dissemination.Result{
+			Protocol:          name,
+			Report:            report,
+			Stats:             r.stats,
+			Horizon:           horizon,
+			SourceUtilization: r.stations[repository.SourceID].Utilization(horizon),
+		},
+		Resilience: r.res,
+	}, nil
+}
+
+// busiestInterior returns the repository serving the most dependents (the
+// AutoInterior victim), preferring lower ids on ties; when no repository
+// serves anyone (a direct overlay) it falls back to repository 1.
+func busiestInterior(o *tree.Overlay) repository.ID {
+	best, bestChildren := repository.ID(1), 0
+	for _, n := range o.Repos() {
+		if c := n.NumChildren(); c > bestChildren {
+			best, bestChildren = n.ID, c
+		}
+	}
+	return best
+}
+
+type repoTracker struct {
+	repo repository.ID
+	tr   *coherency.Tracker
+}
+
+// runner is the per-run simulation state.
+type runner struct {
+	o        *tree.Overlay
+	lela     *tree.LeLA
+	cfg      Config
+	engine   *sim.Engine
+	protocol dissemination.Protocol
+	stations []sim.Station
+
+	alive     []bool
+	dead      map[repository.ID]bool // same fact as alive, shaped for tree.Rehome
+	crashedAt []sim.Time
+	values    []map[string]float64
+	lastHeard [][]sim.Time // lastHeard[a][b]: when a last heard from b
+	backups   [][]repository.ID
+	// orphans holds feeds awaiting a live parent, each carrying the
+	// causing crash's time (0 when unknown) so a later successful retry
+	// still reports the full severed duration as recovery latency.
+	orphans map[repository.ID]map[string]sim.Time
+
+	trackers map[string][]repoTracker
+	byRepo   map[string]map[repository.ID]*coherency.Tracker
+
+	stats       dissemination.Stats
+	res         Stats
+	recoverySum sim.Time
+}
+
+// sourceTick handles a changed value arriving at the source.
+func (r *runner) sourceTick(now sim.Time, item string, v float64) {
+	r.stats.SourceTicks++
+	r.values[repository.SourceID][item] = v
+	for _, rt := range r.trackers[item] {
+		rt.tr.SourceUpdate(now, v)
+	}
+	fwd, checks := r.protocol.AtSource(item, v)
+	r.stats.SourceChecks += uint64(checks)
+	r.dispatch(now, r.o.Source(), item, v, fwd, checks)
+}
+
+// deliver handles an update copy arriving at a repository. Copies arriving
+// at a dead node are dropped on the floor — exactly what a crashed process
+// does with packets addressed to it.
+func (r *runner) deliver(now sim.Time, node *repository.Repository, from repository.ID, item string, v float64, tag coherency.Requirement) {
+	if !r.alive[node.ID] {
+		r.res.DroppedDeliveries++
+		return
+	}
+	r.lastHeard[node.ID][from] = now
+	r.stats.Deliveries++
+	r.values[node.ID][item] = v
+	if t := r.byRepo[item][node.ID]; t != nil {
+		t.RepoUpdate(now, v)
+	}
+	fwd, checks := r.protocol.AtRepo(node, item, v, tag)
+	r.stats.RepoChecks += uint64(checks)
+	r.dispatch(now, node, item, v, fwd, checks)
+}
+
+// dispatch charges computational delays and schedules the sends, exactly
+// like the dissemination runner's latency/queueing models.
+func (r *runner) dispatch(now sim.Time, from *repository.Repository, item string, v float64, fwd []dissemination.Forward, checks int) {
+	st := &r.stations[from.ID]
+	var preamble sim.Time
+	if extra := checks - len(fwd); extra > 0 && r.cfg.Push.CheckFrac > 0 {
+		preamble = sim.Time(float64(r.cfg.Push.CompDelay) * r.cfg.Push.CheckFrac * float64(extra))
+	}
+	if r.cfg.Push.Queueing {
+		if preamble > 0 {
+			st.Acquire(now, preamble)
+		}
+		for _, f := range fwd {
+			done := st.Acquire(now, r.cfg.Push.CompDelay)
+			r.send(done, from.ID, item, v, f)
+		}
+		return
+	}
+	st.Busy += preamble + sim.Time(len(fwd))*r.cfg.Push.CompDelay
+	st.Jobs++
+	depart := now + preamble
+	for _, f := range fwd {
+		depart += r.cfg.Push.CompDelay
+		r.send(depart, from.ID, item, v, f)
+	}
+}
+
+// send emits one copy departing at the given time.
+func (r *runner) send(depart sim.Time, from repository.ID, item string, v float64, f dissemination.Forward) {
+	r.stats.Messages++
+	to := r.o.Node(f.To)
+	arrive := depart + r.o.Net.Delay[from][f.To]
+	tag := f.Tag
+	r.engine.At(arrive, func(t sim.Time) { r.deliver(t, to, from, item, v, tag) })
+}
+
+// crash takes a node down: it stops forwarding, heartbeating and
+// accepting deliveries. Its edges stay in place until neighbors detect
+// the silence.
+func (r *runner) crash(now sim.Time, id repository.ID) {
+	if !r.alive[id] {
+		return
+	}
+	r.alive[id] = false
+	r.dead[id] = true
+	r.crashedAt[id] = now
+	r.res.Crashes++
+}
+
+// rejoin warm-restarts a node: stale copies are kept (they were stale the
+// moment the process died), downstream edges survive for children that
+// never noticed the outage, and every upstream feed is re-established
+// through the backup machinery.
+func (r *runner) rejoin(now sim.Time, id repository.ID) {
+	if r.alive[id] {
+		return
+	}
+	r.alive[id] = true
+	delete(r.dead, id)
+	r.crashedAt[id] = 0
+	r.res.Rejoins++
+
+	q := r.o.Node(id)
+	// Detach cleanly from every old parent (some already dropped us as a
+	// dead child), then re-home every item the node still serves — its own
+	// needs plus anything held for surviving dependents.
+	for _, n := range r.o.Nodes {
+		if n.ID != id {
+			n.DropDependent(id)
+		}
+	}
+	q.Parents = map[string]repository.ID{}
+	q.Liaison = repository.NoID
+	for _, x := range q.Items() {
+		r.rehomeFeed(now, q, x, 0)
+	}
+	// Fresh silence clocks: the node should not instantly "detect" peers
+	// it simply was not listening to while down.
+	for i := range r.lastHeard[id] {
+		r.lastHeard[id][i] = now
+	}
+}
+
+// heartbeat sends keep-alives from id to its current overlay neighbors
+// (children and parents both, so each side can detect the other), then
+// reschedules itself.
+func (r *runner) heartbeat(now sim.Time, id repository.ID) {
+	r.engine.At(now+r.cfg.Heartbeat, func(t sim.Time) { r.heartbeat(t, id) })
+	if !r.alive[id] {
+		return
+	}
+	neighbors := append(r.o.ChildrenOf(id), r.o.ParentsOf(id)...)
+	seen := make(map[repository.ID]bool, len(neighbors))
+	for _, nb := range neighbors {
+		if seen[nb] {
+			continue
+		}
+		seen[nb] = true
+		r.res.Heartbeats++
+		arrive := now + r.o.Net.Delay[id][nb]
+		nb := nb
+		r.engine.At(arrive, func(t sim.Time) {
+			if r.alive[nb] {
+				r.lastHeard[nb][id] = t
+			}
+		})
+	}
+}
+
+// watchdog is the per-repository detection pass: declare silent parents
+// dead and re-home their feeds, drop silent children, retry orphaned
+// feeds. It reschedules itself every heartbeat interval.
+func (r *runner) watchdog(now sim.Time, id repository.ID) {
+	r.engine.At(now+r.cfg.Heartbeat, func(t sim.Time) { r.watchdog(t, id) })
+	if !r.alive[id] {
+		return
+	}
+	window := r.cfg.Window()
+	q := r.o.Node(id)
+
+	for _, pid := range r.o.ParentsOf(id) {
+		if now-r.lastHeard[id][pid] < window {
+			continue
+		}
+		r.res.Detections++
+		r.rehomeFrom(now, q, pid)
+	}
+	for _, cid := range r.o.ChildrenOf(id) {
+		if now-r.lastHeard[id][cid] < window {
+			continue
+		}
+		// A silent child gets its push connection dropped, freeing the
+		// slot for re-homing repairs elsewhere. If it was merely slow it
+		// re-homes itself onto a backup when it notices the silence.
+		q.DropDependent(cid)
+		r.res.ChildDrops++
+	}
+	if pending := r.orphans[id]; len(pending) > 0 {
+		items := make([]string, 0, len(pending))
+		for x := range pending {
+			items = append(items, x)
+		}
+		sort.Strings(items)
+		for _, x := range items {
+			r.rehomeFeed(now, q, x, pending[x])
+		}
+	}
+}
+
+// rehomeFrom re-homes every feed dependent q receives from the (detected
+// dead) parent pid. The parent's crash time rides along so recovery
+// latency is measured crash-to-re-home, however many retries that takes.
+func (r *runner) rehomeFrom(now sim.Time, q *repository.Repository, pid repository.ID) {
+	items := make([]string, 0, len(q.Parents))
+	for x, p := range q.Parents {
+		if p == pid {
+			items = append(items, x)
+		}
+	}
+	sort.Strings(items)
+	r.o.Node(pid).DropDependent(q.ID)
+	if q.Liaison == pid {
+		q.Liaison = repository.NoID
+	}
+	var crashed sim.Time
+	if !r.alive[pid] {
+		crashed = r.crashedAt[pid]
+	}
+	for _, x := range items {
+		delete(q.Parents, x)
+		r.rehomeFeed(now, q, x, crashed)
+	}
+}
+
+// rehomeFeed re-establishes q's feed for item x: first live precomputed
+// backup with capacity, then a full re-ranking, orphaning the feed for a
+// later watchdog retry when nothing has room. On success the new parent
+// immediately pushes its current copy so the dependent converges without
+// waiting for the next source tick. crashed is the causing crash's time
+// (0 when not crash-induced); a recovery-latency sample is recorded only
+// here, when the feed actually lands on a live parent.
+func (r *runner) rehomeFeed(now sim.Time, q *repository.Repository, x string, crashed sim.Time) {
+	var parent repository.ID = repository.NoID
+	var sub map[repository.ID]bool
+	for _, b := range r.backups[q.ID] {
+		if !r.alive[b] {
+			continue
+		}
+		if sub == nil {
+			sub = r.o.Subtree(q.ID) // once per repair; attempts don't rewire
+		}
+		if err := r.lela.AdoptFeed(r.o, r.o.Node(b), q, x, sub); err == nil {
+			parent = b
+			break
+		}
+	}
+	if parent == repository.NoID {
+		pid, err := r.lela.Rehome(r.o, q, x, r.dead)
+		if err != nil {
+			if r.orphans[q.ID] == nil {
+				r.orphans[q.ID] = make(map[string]sim.Time)
+			}
+			if _, seen := r.orphans[q.ID][x]; !seen {
+				r.orphans[q.ID][x] = crashed
+				r.res.Orphaned++
+			}
+			return
+		}
+		parent = pid
+	}
+	delete(r.orphans[q.ID], x)
+	r.res.Rehomed++
+	if crashed > 0 {
+		sample := now - crashed
+		r.recoverySum += sample
+		r.res.RecoverySamples++
+		if sample > r.res.MaxRecovery {
+			r.res.MaxRecovery = sample
+		}
+	}
+	// The adoption handshake counts as hearing from the new parent —
+	// without this the stale silence clock could instantly "detect" it.
+	r.lastHeard[q.ID][parent] = now
+	r.lastHeard[parent][q.ID] = now
+	// Sync push: the new parent ships its current copy through the normal
+	// cost model — it queues at the parent's station like any other copy.
+	v, ok := r.values[parent][x]
+	if !ok {
+		v = r.values[repository.SourceID][x]
+	}
+	// Re-seed the protocol's per-edge filter state to the synced value: a
+	// revived edge (crash-and-rejoin back onto the old parent) would
+	// otherwise filter against its pre-crash state and withhold updates.
+	if er, ok := r.protocol.(edgeResetter); ok {
+		er.ResetEdge(parent, q.ID, x, v)
+	}
+	r.dispatch(now, r.o.Node(parent), x, v, []dissemination.Forward{{To: q.ID}}, 0)
+}
+
+// edgeResetter is implemented by protocols with per-edge filter state
+// (Distributed and its naive variant); stateless protocols need nothing.
+type edgeResetter interface {
+	ResetEdge(from, to repository.ID, x string, v float64)
+}

@@ -144,16 +144,18 @@ func (l *LeLA) UpdateNeeds(o *Overlay, id repository.ID, needs map[string]cohere
 
 // Remove departs a leaf repository (one with no dependents): its parents
 // drop their push connections to it. Interior nodes are rejected — the
-// paper does not specify dependent re-homing and guessing here could
-// silently violate Eq. 1.
+// paper does not specify dependent re-homing, and guessing here could
+// silently violate Eq. 1; use LeLA.RemoveRepair (repair.go) for interior
+// departure with cascading re-homing, or re-home the named dependents
+// manually before retrying.
 func (o *Overlay) Remove(id repository.ID) error {
 	if id <= 0 || int(id) >= len(o.Nodes) {
 		return fmt.Errorf("tree: unknown repository %d", id)
 	}
 	q := o.Node(id)
 	if q.NumChildren() > 0 {
-		return fmt.Errorf("tree: repository %d still serves %d dependents; only leaves can depart",
-			id, q.NumChildren())
+		return fmt.Errorf("tree: repository %d still serves dependents %v; only leaves can depart (use RemoveRepair, or re-home them first)",
+			id, dependentsOf(o, q))
 	}
 	for _, n := range o.Nodes {
 		if n == nil || n.ID == id {
