@@ -35,6 +35,9 @@ func main() {
 		workload = flag.String("workload", "", "trace workload family (default stocks); see -list")
 		wpath    = flag.String("workload-path", "", "trace CSV file for -workload=csv")
 		faults   = flag.String("faults", "", "failure injection applied to every sweep point (resilience figures override it)")
+		clients  = flag.Int("clients", 0, "client sessions applied to every sweep point (client figures override the population)")
+		itemsPC  = flag.Int("items-per-client", 0, "mean watch-list size per client (default 3)")
+		cap      = flag.Int("session-cap", 0, "sessions per repository before overflow redirects (0 = unlimited)")
 		workers  = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 		progress = flag.Bool("progress", false, "report sweep progress to stderr")
 		timings  = flag.Bool("time", false, "print elapsed time per figure")
@@ -89,6 +92,9 @@ func main() {
 	s.Workload = *workload
 	s.WorkloadPath = *wpath
 	s.Faults = *faults
+	s.Clients = *clients
+	s.ItemsPerClient = *itemsPC
+	s.SessionCap = *cap
 
 	// One runner for every figure: its network/trace caches carry across
 	// figures (most share the base-case substrates), and its worker pool

@@ -41,6 +41,11 @@ func main() {
 	flag.StringVar(&cfg.Faults, "faults", cfg.Faults,
 		"failure injection: crash:<node|max>@<tick>[+<downticks>] or churn:<rate>[:<meandown>]")
 	flag.IntVar(&cfg.DetectTicks, "detect", cfg.DetectTicks, "failure-detection window in heartbeat intervals (0 = default 3)")
+	flag.IntVar(&cfg.Clients, "clients", cfg.Clients, "client sessions served by the repositories (0 = no client layer)")
+	flag.IntVar(&cfg.ItemsPerClient, "items-per-client", cfg.ItemsPerClient, "mean watch-list size per client (default 3)")
+	flag.IntVar(&cfg.SessionCap, "session-cap", cfg.SessionCap, "sessions per repository before overflow redirects (0 = unlimited)")
+	flag.StringVar(&cfg.SessionChurn, "session-churn", cfg.SessionChurn,
+		"session arrival/departure plan, same grammar as -faults over the client population")
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
 	flag.Parse()
 
@@ -78,5 +83,17 @@ func main() {
 				r.MeanRecovery, r.MaxRecovery, r.RecoverySamples)
 		}
 		fmt.Printf("heartbeats          %d\n", r.Heartbeats)
+	}
+	if c := out.Clients; c != nil {
+		fmt.Printf("client sessions     %d (cap %d, %d redirected at admission)\n",
+			c.Sessions, cfg.SessionCap, c.Redirects)
+		fmt.Printf("client fidelity     %.4f mean, %.4f worst (loss %.2f%%)\n",
+			c.MeanFidelity, c.WorstFidelity, c.LossPercent)
+		fmt.Printf("client fan-out      %d delivered, %d filtered at the leaf\n",
+			c.Delivered, c.Filtered)
+		if c.Departures+c.Arrivals+c.Migrations+c.Orphaned > 0 {
+			fmt.Printf("session churn       %d departures, %d arrivals, %d migrations, %d orphaned (%d resync values)\n",
+				c.Departures, c.Arrivals, c.Migrations, c.Orphaned, c.Resyncs)
+		}
 	}
 }

@@ -20,6 +20,11 @@
 //     RunPull, RunLease) for custom setups.
 //   - Live runtimes: the live subpackage runs the same algorithms on
 //     goroutines in real time, and netio serves them over TCP.
+//   - Client serving: ClientFleet (and Config.Clients) attaches end-user
+//     sessions with their own tolerances to repositories — load-aware
+//     placement, per-client filtered fan-out, churn/migration, and
+//     client-observed fidelity; live and netio serve sessions over
+//     channels and TCP subscriptions.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record.
@@ -32,6 +37,7 @@ import (
 	"d3t/internal/netsim"
 	"d3t/internal/repository"
 	"d3t/internal/resilience"
+	"d3t/internal/serve"
 	"d3t/internal/sim"
 	"d3t/internal/trace"
 	"d3t/internal/tree"
@@ -271,4 +277,47 @@ func DeriveNeeds(repos []*Repository, clients []*Client) error {
 // GenerateClients builds a random client population for a workload.
 func GenerateClients(w ClientWorkload) ([]*Client, error) {
 	return repository.GenerateClients(w)
+}
+
+// Serving layer ---------------------------------------------------------
+
+type (
+	// ClientFleet is a population of client sessions served by the
+	// repositories of one run: load-aware placement under a session cap,
+	// per-client coherency-filtered fan-out (Eq. 3 at the leaf), churn
+	// and crash-driven migration, and client-observed fidelity. It
+	// implements the run observers, so assign it to PushConfig.Observer
+	// (or ResilienceConfig.Observer) to serve a simulation's clients.
+	ClientFleet = serve.Fleet
+	// FleetOptions parameterizes a fleet (session cap, churn plan).
+	FleetOptions = serve.Options
+	// ClientStats is the serving layer's outcome: client-observed
+	// fidelity, redirect/migration counters, fan-out work.
+	ClientStats = serve.Stats
+	// ClientSession is one client's live subscription.
+	ClientSession = serve.Session
+	// RunObserver receives a simulation's source ticks and deliveries
+	// (PushConfig.Observer); ResilienceObserver additionally sees crashes
+	// and rejoins (ResilienceConfig.Observer).
+	RunObserver = dissemination.Observer
+	// ResilienceObserver extends RunObserver with fault events.
+	ResilienceObserver = resilience.Observer
+)
+
+// NewClientFleet builds an empty fleet over the repository population
+// (ids 1..n, matching the network's endpoints). Attach the clients, seed
+// the initial values once the overlay is built, run with the fleet as
+// the observer, then Finalize.
+func NewClientFleet(net *Network, repos []*Repository, opts FleetOptions) (*ClientFleet, error) {
+	return serve.NewFleet(net, repos, opts)
+}
+
+// ParseSessionPlan builds a session churn plan (arrivals/departures over
+// the session population) from a spec string such as "churn:5:40" or
+// "crash:3@100+50", sized to `sessions` clients over `ticks` trace
+// ticks. The same grammar as ParseFaultPlan, applied to sessions; the
+// result feeds FleetOptions.Plan and Config.SessionChurn accepts the
+// same specs.
+func ParseSessionPlan(spec string, sessions, ticks int, interval Time, seed int64) (*FaultPlan, error) {
+	return serve.ParseSessionPlan(spec, sessions, ticks, interval, seed)
 }

@@ -232,6 +232,112 @@ func TestFacadeResilienceSweep(t *testing.T) {
 	}
 }
 
+// TestFacadeClientServing exercises the serving layer end to end through
+// the public API: clients attach as sessions with their own tolerances,
+// drive repository needs, ride the run as its observer, and report
+// filtered delivery plus client-observed fidelity.
+func TestFacadeClientServing(t *testing.T) {
+	const repos = 6
+	net := UniformNetwork(repos, 0)
+	traces := GenerateTraces(5, 200, Second, 21)
+	items := make([]string, len(traces))
+	for i, tr := range traces {
+		items[i] = tr.Item
+	}
+	members := make([]*Repository, repos)
+	ids := make([]RepositoryID, repos)
+	for i := range members {
+		members[i] = NewRepository(RepositoryID(i+1), 3)
+		ids[i] = RepositoryID(i + 1)
+	}
+	clients, err := GenerateClients(ClientWorkload{
+		Clients: 24, Repos: ids, Items: items, StringentFrac: 0.5, Seed: 22,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := ParseSessionPlan("churn:10:20", len(clients), 200, Second, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No session cap: with one, a re-arriving session can find its home
+	// repository full and legitimately land somewhere that serves it less
+	// stringently — a real fidelity cost the capped tests accept. Uncapped
+	// and fault-free, the serving layer must be lossless.
+	fleet, err := NewClientFleet(net, members, FleetOptions{Plan: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attach before deriving needs: placement decides which repository
+	// each client's tolerance lands on.
+	if err := fleet.AttachAll(clients); err != nil {
+		t.Fatal(err)
+	}
+	if err := DeriveNeeds(members, clients); err != nil {
+		t.Fatal(err)
+	}
+	overlay, err := NewLeLA(5, 24).Build(net, members, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := make(map[string]float64, len(traces))
+	for _, tr := range traces {
+		initial[tr.Item] = tr.Ticks[0].Value
+	}
+	fleet.Seed(initial)
+	res, err := RunPush(overlay, traces, NewDistributed(), PushConfig{CompDelay: -1, Observer: fleet})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := res.Report.SystemFidelity(); f != 1 {
+		t.Errorf("repository fidelity %v under ideal conditions, want 1", f)
+	}
+	stats := fleet.Finalize(res.Horizon)
+	if stats.Sessions != 24 {
+		t.Errorf("sessions = %d, want 24", stats.Sessions)
+	}
+	if stats.Delivered == 0 {
+		t.Error("no update was delivered to any session")
+	}
+	// Under zero delays every delivered update reaches the client the
+	// instant the source moves, so client-observed fidelity is perfect
+	// too — the Eq. 3 leaf filter withholds only sub-tolerance moves.
+	if stats.MeanFidelity != 1 {
+		t.Errorf("client fidelity %v under ideal conditions, want 1", stats.MeanFidelity)
+	}
+	fid := fleet.ClientFidelity(res.Horizon)
+	if len(fid) != 24 {
+		t.Errorf("per-client fidelity has %d entries, want 24", len(fid))
+	}
+	for name, f := range fid {
+		if f != 1 {
+			t.Errorf("client %s fidelity %v, want 1", name, f)
+		}
+	}
+}
+
+// TestFacadeClientExperiment runs the serving layer through the
+// experiment path: Config.Clients populates Outcome.Clients.
+func TestFacadeClientExperiment(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Repositories, cfg.Routers = 10, 30
+	cfg.Items, cfg.Ticks = 8, 200
+	cfg.Clients, cfg.SessionCap = 30, 5
+	out, err := RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Clients == nil {
+		t.Fatal("client experiment carries no client stats")
+	}
+	if out.Clients.Sessions != 30 {
+		t.Errorf("sessions = %d, want 30", out.Clients.Sessions)
+	}
+	if out.Clients.MeanFidelity <= 0 || out.Clients.MeanFidelity > 1 {
+		t.Errorf("client fidelity %v out of range", out.Clients.MeanFidelity)
+	}
+}
+
 // TestFacadeRunResilient drives the resilient runner directly through the
 // re-exported building blocks.
 func TestFacadeRunResilient(t *testing.T) {

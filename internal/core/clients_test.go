@@ -1,0 +1,136 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRunExperimentWithClients(t *testing.T) {
+	cfg := tinyScale().base()
+	cfg.Clients = 40
+	cfg.SessionCap = 6
+	out, err := RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := out.Clients
+	if c == nil {
+		t.Fatal("client run carries no client stats")
+	}
+	if c.Sessions != 40 {
+		t.Errorf("sessions = %d, want 40", c.Sessions)
+	}
+	if c.MeanFidelity <= 0 || c.MeanFidelity > 1 {
+		t.Errorf("mean client fidelity %v out of range", c.MeanFidelity)
+	}
+	if c.Delivered == 0 {
+		t.Error("no updates were delivered to any session")
+	}
+	// The repository tolerance is the most stringent across its clients,
+	// so every looser client filters some of what its repository takes.
+	if c.Filtered == 0 {
+		t.Error("no per-client filtering happened")
+	}
+	// Client fidelity can never beat the source signal the repositories
+	// observe; it should track the repository-level outcome closely.
+	if c.MeanFidelity < out.Fidelity-0.25 {
+		t.Errorf("client fidelity %v implausibly far below repository fidelity %v",
+			c.MeanFidelity, out.Fidelity)
+	}
+}
+
+func TestClientRunsAreDeterministic(t *testing.T) {
+	cfg := tinyScale().base()
+	cfg.Clients = 30
+	cfg.SessionCap = 4
+	cfg.SessionChurn = "churn:10:20"
+	cfg.Faults = "churn:2"
+	a, err := RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Clients, b.Clients) {
+		t.Errorf("same config produced different client stats:\n%+v\n%+v", a.Clients, b.Clients)
+	}
+	if a.Fidelity != b.Fidelity {
+		t.Errorf("fidelity diverged: %v vs %v", a.Fidelity, b.Fidelity)
+	}
+}
+
+// TestClientsDisabledLeavesRunUntouched pins the byte-identical guarantee
+// the serving layer makes: with Clients unset the run must not differ in
+// any observable way from one that predates the layer — same derivation
+// path, no observer, no client stats.
+func TestClientsDisabledLeavesRunUntouched(t *testing.T) {
+	cfg := tinyScale().base()
+	plain, err := RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Clients != nil {
+		t.Error("clientless run carries client stats")
+	}
+	// A client run at the same seed must differ (needs derive from the
+	// population instead of the subscription workload) — catching a bug
+	// where Clients is silently ignored.
+	cfg.Clients = 40
+	served, err := RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served.Stats.Messages == plain.Stats.Messages && served.Fidelity == plain.Fidelity {
+		t.Error("enabling clients changed nothing about the run")
+	}
+}
+
+func TestConfigValidatesClientFields(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Clients = -1 },
+		func(c *Config) { c.SessionCap = -2 },
+		func(c *Config) { c.SessionChurn = "churn:5" }, // needs Clients > 0
+		func(c *Config) { c.Clients = 10; c.SessionChurn = "bogus" },
+	}
+	for i, mutate := range bad {
+		cfg := Default()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid client config accepted", i)
+		}
+	}
+	good := Default()
+	good.Clients, good.ItemsPerClient, good.SessionCap = 100, 4, 10
+	good.SessionChurn = "churn:2:30"
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid client config rejected: %v", err)
+	}
+}
+
+func TestClientFiguresDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweep in -short mode")
+	}
+	s := tinyScale()
+	for _, id := range []string{"clients-fidelity", "clients-churn"} {
+		fn := Figures()[id]
+		a, err := fn(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := fn(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: two identical sweeps diverged", id)
+		}
+		for _, se := range a.Series {
+			if len(se.X) == 0 {
+				t.Errorf("%s: empty series %q", id, se.Label)
+			}
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"d3t/internal/netsim"
 	"d3t/internal/repository"
 	"d3t/internal/resilience"
+	"d3t/internal/serve"
 	"d3t/internal/sim"
 	"d3t/internal/trace"
 	"d3t/internal/tree"
@@ -75,6 +76,24 @@ type Config struct {
 	// Queueing selects the strict serial-server node model instead of the
 	// paper's per-update latency model (see dissemination.Config).
 	Queueing bool
+
+	// Clients enables the client-serving layer: the number of end-user
+	// sessions attached to the repositories (0 disables it). With clients
+	// set, repository needs are derived from the placed client population
+	// (Section 1.2) instead of the per-repository subscription workload,
+	// updates fan out from repositories to sessions through per-client
+	// coherency filters, and the outcome carries client-observed fidelity
+	// plus redirect/migration counters.
+	Clients int
+	// ItemsPerClient is the mean watch-list size per client (default 3).
+	ItemsPerClient int
+	// SessionCap caps the sessions one repository serves (0 = unlimited);
+	// a client whose nearest repository is full redirects to the next
+	// candidate.
+	SessionCap int
+	// SessionChurn schedules session arrivals/departures (same grammar as
+	// Faults, over the session population — see serve.ParseSessionPlan).
+	SessionChurn string
 
 	// Faults selects a failure-injection plan (see resilience.ParsePlan):
 	// "" or "none" runs fault-free through the plain dissemination runner,
@@ -144,7 +163,53 @@ func (c Config) Validate() error {
 	if _, err := c.faultPlan(); err != nil {
 		return err
 	}
+	if c.Clients < 0 {
+		return fmt.Errorf("core: negative client count %d", c.Clients)
+	}
+	if c.SessionCap < 0 {
+		return fmt.Errorf("core: negative session cap %d", c.SessionCap)
+	}
+	if c.Clients == 0 && c.SessionChurn != "" && c.SessionChurn != "none" {
+		return fmt.Errorf("core: session churn %q needs Clients > 0", c.SessionChurn)
+	}
+	if _, err := c.sessionPlan(); err != nil {
+		return err
+	}
 	return nil
+}
+
+// ClientsEnabled reports whether the run serves a client population.
+func (c Config) ClientsEnabled() bool { return c.Clients > 0 }
+
+// sessionPlan parses the configured session-churn plan (nil when clients
+// are disabled or no churn is configured).
+func (c Config) sessionPlan() (*resilience.Plan, error) {
+	if !c.ClientsEnabled() {
+		return nil, nil
+	}
+	interval := c.TickInterval
+	if interval <= 0 {
+		interval = sim.Second
+	}
+	return serve.ParseSessionPlan(c.SessionChurn, c.Clients, c.Ticks, interval, c.Seed+15)
+}
+
+// clients generates the run's client population over the trace
+// catalogue. Each client's generated Repo is its *home* endpoint; the
+// serving fleet's placement decides which repository actually serves it.
+func (c Config) clients(catalogue []string) ([]*repository.Client, error) {
+	repos := make([]repository.ID, c.Repositories)
+	for i := range repos {
+		repos[i] = repository.ID(i + 1)
+	}
+	return repository.GenerateClients(repository.ClientWorkload{
+		Clients:        c.Clients,
+		Repos:          repos,
+		Items:          catalogue,
+		ItemsPerClient: c.ItemsPerClient,
+		StringentFrac:  c.StringentFrac,
+		Seed:           c.Seed + 13,
+	})
 }
 
 // faultPlan parses the configured failure-injection plan (nil when faults
@@ -250,24 +315,37 @@ func (c Config) traces() ([]*trace.Trace, error) {
 	})
 }
 
-// repositories builds the repository population and assigns each node's
-// data and coherency needs over the trace catalogue. Repositories are
-// mutated during overlay construction and dissemination, so unlike traces
-// and networks they are built fresh for every run.
-func (c Config) repositories(traces []*trace.Trace) []*repository.Repository {
-	catalogue := make([]string, len(traces))
-	for i, tr := range traces {
-		catalogue[i] = tr.Item
-	}
+// bareRepositories builds the repository population with empty needs.
+// Repositories are mutated during overlay construction and dissemination,
+// so unlike traces and networks they are built fresh for every run.
+func (c Config) bareRepositories() []*repository.Repository {
 	repos := make([]*repository.Repository, c.Repositories)
 	for i := range repos {
 		repos[i] = repository.New(repository.ID(i+1), 1) // limit set later
 	}
+	return repos
+}
+
+// repositories builds the repository population and assigns each node's
+// data and coherency needs over the trace catalogue — the paper's
+// per-repository subscription workload, used when no client population is
+// configured.
+func (c Config) repositories(traces []*trace.Trace) []*repository.Repository {
+	repos := c.bareRepositories()
 	repository.AssignNeeds(repos, repository.Workload{
-		Items:         catalogue,
+		Items:         itemCatalogue(traces),
 		SubscribeProb: c.SubscribeProb,
 		StringentFrac: c.StringentFrac,
 		Seed:          c.Seed + 11,
 	})
 	return repos
+}
+
+// itemCatalogue lists the trace set's item names in trace order.
+func itemCatalogue(traces []*trace.Trace) []string {
+	catalogue := make([]string, len(traces))
+	for i, tr := range traces {
+		catalogue[i] = tr.Item
+	}
+	return catalogue
 }

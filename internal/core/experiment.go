@@ -5,7 +5,9 @@ import (
 
 	"d3t/internal/dissemination"
 	"d3t/internal/netsim"
+	"d3t/internal/repository"
 	"d3t/internal/resilience"
+	"d3t/internal/serve"
 	"d3t/internal/sim"
 	"d3t/internal/trace"
 	"d3t/internal/tree"
@@ -33,6 +35,10 @@ type Outcome struct {
 	// Resilience carries fault-injection and repair counters; nil when the
 	// run had Faults disabled.
 	Resilience *resilience.Stats
+	// Clients carries the serving layer's outcome — client-observed
+	// fidelity, redirect/migration counters, per-session fan-out work;
+	// nil when the run had Clients disabled.
+	Clients *serve.Stats
 }
 
 // String renders the outcome as a one-line summary.
@@ -65,7 +71,36 @@ func RunExperiment(cfg Config) (*Outcome, error) {
 // shared across concurrent calls; everything mutable (repositories, the
 // overlay, trackers) is created here, per run.
 func runExperimentWith(cfg Config, net *netsim.Network, traces []*trace.Trace) (*Outcome, error) {
-	repos := cfg.repositories(traces)
+	// With a client population configured, repository needs come from the
+	// placed clients (Section 1.2) instead of the subscription workload:
+	// each client session attaches to the nearest repository under the
+	// session cap, and the repository's requirement for an item becomes
+	// the most stringent across its clients.
+	var repos []*repository.Repository
+	var fleet *serve.Fleet
+	if cfg.ClientsEnabled() {
+		repos = cfg.bareRepositories()
+		clients, err := cfg.clients(itemCatalogue(traces))
+		if err != nil {
+			return nil, err
+		}
+		plan, err := cfg.sessionPlan()
+		if err != nil {
+			return nil, err
+		}
+		fleet, err = serve.NewFleet(net, repos, serve.Options{Cap: cfg.SessionCap, Plan: plan})
+		if err != nil {
+			return nil, err
+		}
+		if err := fleet.AttachAll(clients); err != nil {
+			return nil, err
+		}
+		if err := repository.DeriveNeeds(repos, clients); err != nil {
+			return nil, err
+		}
+	} else {
+		repos = cfg.repositories(traces)
+	}
 
 	avgComm := net.AvgDelay()
 	coop := cfg.CoopDegree
@@ -97,6 +132,19 @@ func runExperimentWith(cfg Config, net *netsim.Network, traces []*trace.Trace) (
 		CompDelay: cfg.compDelay(),
 		Queueing:  cfg.Queueing,
 	}
+	if fleet != nil {
+		// The serving layer is fed by the initial values and the run's
+		// observable events; the overlay is built, so serving sets are
+		// final and admission checks see them.
+		initial := make(map[string]float64, len(traces))
+		for _, tr := range traces {
+			if tr.Len() > 0 {
+				initial[tr.Item] = tr.Ticks[0].Value
+			}
+		}
+		fleet.Seed(initial)
+		pushCfg.Observer = fleet
+	}
 	var res *dissemination.Result
 	var resStats *resilience.Stats
 	if cfg.FaultsEnabled() {
@@ -107,10 +155,14 @@ func runExperimentWith(cfg Config, net *netsim.Network, traces []*trace.Trace) (
 			return nil, err
 		}
 		lela, _ := builder.(*tree.LeLA) // non-LeLA builders repair with defaults
-		rr, err := resilience.Run(overlay, lela, traces, protocol, resilience.Config{
+		resCfg := resilience.Config{
 			Push:    pushCfg,
 			DetectK: cfg.DetectTicks,
-		}, plan)
+		}
+		if fleet != nil {
+			resCfg.Observer = fleet
+		}
+		rr, err := resilience.Run(overlay, lela, traces, protocol, resCfg, plan)
 		if err != nil {
 			return nil, err
 		}
@@ -120,6 +172,12 @@ func runExperimentWith(cfg Config, net *netsim.Network, traces []*trace.Trace) (
 		if err != nil {
 			return nil, err
 		}
+	}
+
+	var clientStats *serve.Stats
+	if fleet != nil {
+		st := fleet.Finalize(res.Horizon)
+		clientStats = &st
 	}
 
 	return &Outcome{
@@ -132,5 +190,6 @@ func runExperimentWith(cfg Config, net *netsim.Network, traces []*trace.Trace) (
 		Stats:             res.Stats,
 		SourceUtilization: res.SourceUtilization,
 		Resilience:        resStats,
+		Clients:           clientStats,
 	}, nil
 }

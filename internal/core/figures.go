@@ -52,6 +52,8 @@ func Figures() map[string]FigureFunc {
 		"ext-pull":          ExtensionPull,
 		"res-fidelity":      FigureFaultFidelity,
 		"res-recovery":      FigureRecoveryLatency,
+		"clients-fidelity":  FigureClientFidelity,
+		"clients-churn":     FigureClientChurn,
 	}
 }
 

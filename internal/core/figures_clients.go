@@ -1,0 +1,125 @@
+package core
+
+import "fmt"
+
+// This file holds the client-serving evaluation: the paper attaches end
+// users with their own tolerances to repositories (Section 1.2) but
+// evaluates fidelity at repositories; these two figures measure it where
+// it matters — at the client — under session load and churn. Both run
+// through the ordinary sweep runner, sharing substrate caches and the
+// worker pool with every other figure.
+
+// sessionLoadFactors scale the session population as multiples of the
+// repository count — the x-axis of the load figure.
+var sessionLoadFactors = []int{1, 2, 5, 10}
+
+// sessionCaps are the per-repository session caps plotted as separate
+// curves (0 = unlimited).
+var sessionCaps = []int{0, 4, 16}
+
+// FigureClientFidelity measures client-observed loss of fidelity as the
+// session population grows, one curve per session cap. Tighter caps
+// redirect overflow clients away from their nearest repository; larger
+// populations widen and tighten every repository's serving set.
+func FigureClientFidelity(s Scale) (*FigureResult, error) {
+	var cfgs []Config
+	for _, cap := range sessionCaps {
+		for _, factor := range sessionLoadFactors {
+			cfg := s.base()
+			cfg.CoopDegree = 0 // controlled cooperation
+			cfg.Clients = factor * cfg.Repositories
+			cfg.SessionCap = cap
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	outs, err := s.runAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	var series []Series
+	var redirects int
+	i := 0
+	for _, cap := range sessionCaps {
+		label := fmt.Sprintf("cap=%d", cap)
+		if cap == 0 {
+			label = "cap=unlimited"
+		}
+		se := Series{Label: label}
+		for range sessionLoadFactors {
+			c := outs[i].Clients
+			if c == nil {
+				return nil, fmt.Errorf("core: clients-fidelity point %d ran without client stats", i)
+			}
+			se.X = append(se.X, float64(c.Sessions))
+			se.Y = append(se.Y, c.LossPercent)
+			redirects += c.Redirects
+			i++
+		}
+		series = append(series, se)
+	}
+	return &FigureResult{
+		ID:     "clients-fidelity",
+		Title:  "Client-Observed Fidelity vs Session Load (one curve per session cap)",
+		XLabel: "Sessions",
+		YLabel: "Client Loss of Fidelity (%)",
+		Series: series,
+		Notes: []string{
+			"each client attaches to the nearest repository under the cap; overflow redirects to the next candidate",
+			fmt.Sprintf("%d admissions redirected across the sweep", redirects),
+		},
+	}, nil
+}
+
+// clientChurnGrid is the combined churn x-axis: expected events per 100
+// ticks, applied to the repository population (crashes, forcing session
+// migrations) and at 5x to the session population (arrivals/departures).
+var clientChurnGrid = []float64{0, 0.5, 1, 2, 4}
+
+// FigureClientChurn measures the serving layer under combined churn:
+// repositories crash and rejoin (sessions migrate with a resync) while
+// sessions themselves arrive and depart under a seeded plan. It plots
+// client-observed loss alongside the migration and redirect work per 100
+// sessions — the operational cost of keeping the population served.
+func FigureClientChurn(s Scale) (*FigureResult, error) {
+	var cfgs []Config
+	for _, rate := range clientChurnGrid {
+		cfg := s.base()
+		cfg.CoopDegree = 0 // controlled cooperation
+		cfg.Clients = 3 * cfg.Repositories
+		cfg.SessionCap = 8
+		cfg.Faults = fmt.Sprintf("churn:%g", rate)
+		cfg.SessionChurn = fmt.Sprintf("churn:%g", 5*rate)
+		cfgs = append(cfgs, cfg)
+	}
+	outs, err := s.runAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	loss := Series{Label: "client loss %"}
+	migrations := Series{Label: "migrations per 100 sessions"}
+	churn := Series{Label: "departures per 100 sessions"}
+	for i, rate := range clientChurnGrid {
+		c := outs[i].Clients
+		if c == nil {
+			return nil, fmt.Errorf("core: clients-churn point %d ran without client stats", i)
+		}
+		per100 := 100 / float64(c.Sessions)
+		loss.X = append(loss.X, rate)
+		loss.Y = append(loss.Y, c.LossPercent)
+		migrations.X = append(migrations.X, rate)
+		migrations.Y = append(migrations.Y, float64(c.Migrations)*per100)
+		churn.X = append(churn.X, rate)
+		churn.Y = append(churn.Y, float64(c.Departures)*per100)
+	}
+	return &FigureResult{
+		ID:     "clients-churn",
+		Title:  "Session Redirect/Migration Rate and Client Fidelity vs Churn",
+		XLabel: "Repository Churn Rate (crashes per 100 ticks; session churn at 5x)",
+		YLabel: "Client Loss of Fidelity (%) / Events per 100 Sessions",
+		Series: []Series{loss, migrations, churn},
+		Notes: []string{
+			"sessions migrate (with a resync to the new repository's copy) when their repository crashes",
+			"session arrivals/departures follow a seeded plan over the session population",
+		},
+	}, nil
+}

@@ -26,6 +26,12 @@ type Scale struct {
 	// Faults applies a failure-injection spec (resilience.ParsePlan) to
 	// every sweep point; the resilience figures override it per point.
 	Faults string
+	// Clients, ItemsPerClient and SessionCap apply a client-serving
+	// population to every sweep point; the client figures override the
+	// population and cap per point.
+	Clients        int
+	ItemsPerClient int
+	SessionCap     int
 	// Workers bounds the sweep worker pool (<= 0 means GOMAXPROCS).
 	Workers int
 	// Runner, when set, executes the sweeps — sharing its substrate
@@ -75,6 +81,9 @@ func (s Scale) base() Config {
 	cfg.Workload = s.Workload
 	cfg.WorkloadPath = s.WorkloadPath
 	cfg.Faults = s.Faults
+	cfg.Clients = s.Clients
+	cfg.ItemsPerClient = s.ItemsPerClient
+	cfg.SessionCap = s.SessionCap
 	return cfg
 }
 

@@ -32,6 +32,19 @@ type Config struct {
 	// grows an unbounded backlog — a harsher model useful for studying
 	// saturation (the ablation-queueing experiment).
 	Queueing bool
+	// Observer, when set, watches the run's source ticks and repository
+	// deliveries — the client-serving layer hangs sessions off it. A nil
+	// observer leaves the run byte-identical to one without the field.
+	Observer Observer
+}
+
+// Observer receives the run's observable events in simulation order. The
+// engine is single-threaded, so implementations need no locking.
+type Observer interface {
+	// ObserveSource fires when the source's value of item changes.
+	ObserveSource(now sim.Time, item string, v float64)
+	// ObserveDeliver fires when an update copy lands at a live repository.
+	ObserveDeliver(now sim.Time, repo repository.ID, item string, v float64)
 }
 
 // WithDefaults resolves the config's delay conventions: zero CompDelay
@@ -207,6 +220,9 @@ func (r *runner) sourceTick(now sim.Time, item string, v float64) {
 	for _, rt := range r.trackers[item] {
 		rt.tr.SourceUpdate(now, v)
 	}
+	if r.cfg.Observer != nil {
+		r.cfg.Observer.ObserveSource(now, item, v)
+	}
 	fwd, checks := r.protocol.AtSource(item, v)
 	r.stats.SourceChecks += uint64(checks)
 	r.dispatch(now, r.overlay.Source(), item, v, fwd, checks)
@@ -218,6 +234,9 @@ func (r *runner) deliver(now sim.Time, node *repository.Repository, item string,
 	r.stats.Deliveries++
 	if t := r.byRepo[item][node.ID]; t != nil {
 		t.RepoUpdate(now, v)
+	}
+	if r.cfg.Observer != nil {
+		r.cfg.Observer.ObserveDeliver(now, node.ID, item, v)
 	}
 	fwd, checks := r.protocol.AtRepo(node, item, v, tag)
 	r.stats.RepoChecks += uint64(checks)

@@ -44,6 +44,10 @@ type Options struct {
 	// dependent re-homes each severed item to the first live backup that
 	// already serves it stringently enough and has a free connection slot.
 	Backups map[repository.ID][]repository.ID
+
+	// SessionCap caps the client sessions one repository serves (0 =
+	// unlimited); Subscribe redirects overflow to the next candidate.
+	SessionCap int
 }
 
 // Cluster is a running set of node goroutines wired per an overlay.
@@ -56,9 +60,14 @@ type Cluster struct {
 
 	// topoMu guards the overlay wiring (Parents/Dependents/Serving) and
 	// each node's out-channel map: failure repair rewires them while node
-	// goroutines read them.
+	// goroutines read them. It also guards the session lists below.
 	topoMu    sync.RWMutex
 	failovers int
+
+	// sessions maps each repository to the client sessions it serves.
+	sessions          map[repository.ID][]*Session
+	sessionRedirects  int
+	sessionMigrations int
 
 	closeOnce sync.Once
 }
@@ -164,6 +173,15 @@ func (c *Cluster) Start() {
 				c.watchdogLoop(n)
 			}()
 		}
+	}
+	if c.opts.FailWindow > 0 {
+		// One watchdog for the serving layer: sessions whose repository
+		// has gone silent migrate to the next candidate.
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.sessionWatchdogLoop()
+		}()
 	}
 }
 
@@ -317,6 +335,11 @@ func (c *Cluster) handle(n *node, u update) {
 		}
 	}
 	n.mu.Unlock()
+	// Fan the delivery out to this repository's client sessions through
+	// their own tolerances (Eq. 3 at the leaf).
+	if !n.repo.IsSource() {
+		c.fanOutLocked(n.repo.ID, u.item, u.value)
+	}
 	c.topoMu.RUnlock()
 
 	if !n.repo.IsSource() && c.opts.OnDeliver != nil {
@@ -385,6 +408,8 @@ func (c *Cluster) heartbeatLoop(n *node) {
 			}
 		}
 		c.topoMu.RUnlock()
+		// A live repository's keep-alive also reassures its sessions.
+		c.touchSessions(n.repo.ID)
 		for _, ch := range chans {
 			select {
 			case ch <- hb:

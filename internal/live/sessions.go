@@ -1,0 +1,402 @@
+package live
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"d3t/internal/coherency"
+	"d3t/internal/repository"
+)
+
+// This file serves client sessions over channels: the serving-layer
+// counterpart of internal/serve for the goroutine runtime. A session
+// subscribes to items with its own tolerances, is admitted to a
+// repository under the session cap (overflow redirects to the next
+// candidate), receives only updates that exceed its tolerance — Eq. 3
+// applied once more at the leaf — and migrates to another repository,
+// with a resync, when heartbeat silence marks its repository dead.
+
+// ClientUpdate is one value pushed to a session.
+type ClientUpdate struct {
+	Item  string
+	Value float64
+	// Resync marks a catch-up push (admission or migration), as opposed
+	// to a tolerance-violating live update.
+	Resync bool
+}
+
+// Session is one client's subscription to a running cluster.
+type Session struct {
+	name string
+	c    *Cluster
+	ch   chan ClientUpdate
+
+	mu         sync.Mutex
+	repo       repository.ID
+	wants      map[string]coherency.Requirement
+	preferred  []repository.ID // admission preference order, reused on migration
+	last       map[string]float64
+	lastHeard  time.Time
+	redirected bool
+	migrations int
+	delivered  uint64
+	filtered   uint64
+	dropped    uint64
+	closed     bool
+}
+
+// Updates returns the session's delivery channel. A slow consumer does
+// not block the cluster: deliveries that find the channel full are
+// dropped and counted (Dropped).
+func (s *Session) Updates() <-chan ClientUpdate { return s.ch }
+
+// Name returns the client name the session was admitted under.
+func (s *Session) Name() string { return s.name }
+
+// Repo returns the repository currently serving the session.
+func (s *Session) Repo() repository.ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.repo
+}
+
+// Redirected reports whether admission skipped the preferred repository.
+func (s *Session) Redirected() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.redirected
+}
+
+// Migrations reports how many times the session re-homed after its
+// repository died.
+func (s *Session) Migrations() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.migrations
+}
+
+// Delivered, Filtered and Dropped report the session's fan-out counters.
+func (s *Session) Delivered() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.delivered
+}
+func (s *Session) Filtered() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.filtered
+}
+func (s *Session) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Value returns the session's current copy of item.
+func (s *Session) Value(item string) (float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.last[item]
+	return v, ok
+}
+
+// Close departs the session: it is removed from its repository and its
+// channel is closed, so ranging consumers terminate. Every writer holds
+// the locks taken here and checks closed first, so no send can follow.
+func (s *Session) Close() {
+	s.c.topoMu.Lock()
+	defer s.c.topoMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.c.dropSessionLocked(s)
+	close(s.ch)
+}
+
+// Subscribe admits a client session: it attaches to the first candidate
+// repository — the preferred ids in order, then every repository by id —
+// that is alive, already serves every watched item at least as
+// stringently as the client demands, and is under Options.SessionCap.
+// Landing on other than the first candidate counts as a redirect. The
+// session immediately receives a resync push of the repository's current
+// copies.
+func (c *Cluster) Subscribe(name string, wants map[string]coherency.Requirement, preferred ...repository.ID) (*Session, error) {
+	if len(wants) == 0 {
+		return nil, fmt.Errorf("live: session %q wants nothing", name)
+	}
+	s := &Session{
+		name:      name,
+		c:         c,
+		ch:        make(chan ClientUpdate, c.opts.Buffer),
+		wants:     wants,
+		preferred: append([]repository.ID(nil), preferred...),
+		last:      make(map[string]float64, len(wants)),
+	}
+	c.topoMu.Lock()
+	defer c.topoMu.Unlock()
+	target := c.placeSessionLocked(s, preferred, repository.NoID)
+	if target == repository.NoID {
+		return nil, fmt.Errorf("live: no repository can serve session %q under the cap", name)
+	}
+	c.attachSessionLocked(s, target)
+	if first := c.sessionCandidatesLocked(preferred, repository.NoID); len(first) > 0 && target != first[0] {
+		s.mu.Lock()
+		s.redirected = true
+		s.mu.Unlock()
+		c.sessionRedirects++
+	}
+	return s, nil
+}
+
+// SessionRedirects and SessionMigrations report the cluster-wide
+// admission and repair counters of the serving layer.
+func (c *Cluster) SessionRedirects() int {
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	return c.sessionRedirects
+}
+func (c *Cluster) SessionMigrations() int {
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	return c.sessionMigrations
+}
+
+// sessionCandidatesLocked returns the admission walk order: the preferred
+// ids first, then every repository ascending, without duplicates and
+// excluding the source and `skip`.
+func (c *Cluster) sessionCandidatesLocked(preferred []repository.ID, skip repository.ID) []repository.ID {
+	seen := make(map[repository.ID]bool, len(c.nodes))
+	var out []repository.ID
+	add := func(id repository.ID) {
+		if id == skip || id == repository.SourceID || seen[id] {
+			return
+		}
+		if _, ok := c.nodes[id]; !ok {
+			return
+		}
+		seen[id] = true
+		out = append(out, id)
+	}
+	for _, id := range preferred {
+		add(id)
+	}
+	rest := make([]repository.ID, 0, len(c.nodes))
+	for id := range c.nodes {
+		rest = append(rest, id)
+	}
+	sort.Slice(rest, func(i, j int) bool { return rest[i] < rest[j] })
+	for _, id := range rest {
+		add(id)
+	}
+	return out
+}
+
+// placeSessionLocked walks the candidates and returns the first that is
+// alive, serves the session's watch list stringently enough, and has
+// session capacity — or NoID.
+func (c *Cluster) placeSessionLocked(s *Session, preferred []repository.ID, skip repository.ID) repository.ID {
+	for _, id := range c.sessionCandidatesLocked(preferred, skip) {
+		n := c.nodes[id]
+		n.mu.Lock()
+		dead := n.dead
+		n.mu.Unlock()
+		if dead {
+			continue
+		}
+		if c.opts.SessionCap > 0 && len(c.sessions[id]) >= c.opts.SessionCap {
+			continue
+		}
+		serves := true
+		for x, tol := range s.wants {
+			if !n.repo.CanServe(x, tol) {
+				serves = false
+				break
+			}
+		}
+		if !serves {
+			continue
+		}
+		return id
+	}
+	return repository.NoID
+}
+
+// attachSessionLocked wires the session to the repository and queues the
+// resync push of the repository's current copies.
+func (c *Cluster) attachSessionLocked(s *Session, id repository.ID) {
+	if c.sessions == nil {
+		c.sessions = make(map[repository.ID][]*Session)
+	}
+	c.sessions[id] = append(c.sessions[id], s)
+	n := c.nodes[id]
+	items := make([]string, 0, len(s.wants))
+	for x := range s.wants {
+		items = append(items, x)
+	}
+	sort.Strings(items)
+	n.mu.Lock()
+	vals := make(map[string]float64, len(items))
+	for _, x := range items {
+		if v, ok := n.values[x]; ok {
+			vals[x] = v
+		}
+	}
+	n.mu.Unlock()
+	s.mu.Lock()
+	s.repo = id
+	s.lastHeard = time.Now()
+	for _, x := range items {
+		v, ok := vals[x]
+		if !ok {
+			continue
+		}
+		if had, seeded := s.last[x]; seeded && had == v {
+			continue // already converged; nothing to catch up on
+		}
+		s.last[x] = v
+		s.pushLocked(ClientUpdate{Item: x, Value: v, Resync: true})
+	}
+	s.mu.Unlock()
+}
+
+// dropSessionLocked removes the session from its repository's fan-out
+// list. Callers hold topoMu and s.mu as needed.
+func (c *Cluster) dropSessionLocked(s *Session) {
+	list := c.sessions[s.repo]
+	for i, other := range list {
+		if other == s {
+			c.sessions[s.repo] = append(list[:i:i], list[i+1:]...)
+			break
+		}
+	}
+	s.repo = repository.NoID
+}
+
+// pushLocked queues one update without blocking; a full channel drops
+// the update and counts it. Callers hold s.mu.
+func (s *Session) pushLocked(u ClientUpdate) {
+	select {
+	case s.ch <- u:
+	default:
+		s.dropped++
+	}
+}
+
+// fanOutLocked applies the per-client filter to one repository delivery:
+// Eqs. 3 and 7 with the repository's own serving tolerance as cSelf, the
+// same condition the overlay uses edge by edge — Eq. 3 alone would let a
+// client drift by its tolerance plus the repository's. The caller holds
+// topoMu (read) — the session lists are stable.
+func (c *Cluster) fanOutLocked(id repository.ID, item string, v float64) {
+	list := c.sessions[id]
+	if len(list) == 0 {
+		return
+	}
+	cSelf, _ := c.nodes[id].repo.ServingTolerance(item)
+	for _, s := range list {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			continue
+		}
+		tol, watching := s.wants[item]
+		if !watching {
+			s.mu.Unlock()
+			continue
+		}
+		s.lastHeard = time.Now()
+		if last, seeded := s.last[item]; seeded && !coherency.ShouldForward(v, last, tol, cSelf) {
+			s.filtered++
+			s.mu.Unlock()
+			continue
+		}
+		s.last[item] = v
+		s.delivered++
+		s.pushLocked(ClientUpdate{Item: item, Value: v})
+		s.mu.Unlock()
+	}
+}
+
+// touchSessions refreshes the silence clocks of a repository's sessions
+// when it heartbeats, so a quiet-but-alive repository is not abandoned.
+func (c *Cluster) touchSessions(id repository.ID) {
+	c.topoMu.RLock()
+	list := append([]*Session(nil), c.sessions[id]...)
+	c.topoMu.RUnlock()
+	now := time.Now()
+	for _, s := range list {
+		s.mu.Lock()
+		s.lastHeard = now
+		s.mu.Unlock()
+	}
+}
+
+// sessionWatchdogLoop migrates sessions away from silent repositories:
+// a session that has heard nothing — no update, no heartbeat — from its
+// repository for FailWindow re-homes onto the next candidate and resyncs
+// to its current copies, mirroring the repository-to-repository failover
+// of the overlay itself.
+func (c *Cluster) sessionWatchdogLoop() {
+	period := c.opts.FailWindow / 4
+	if period <= 0 {
+		period = time.Millisecond
+	}
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-ticker.C:
+		}
+		c.topoMu.RLock()
+		var stale []*Session
+		now := time.Now()
+		for _, list := range c.sessions {
+			for _, s := range list {
+				s.mu.Lock()
+				if !s.closed && s.repo != repository.NoID && now.Sub(s.lastHeard) >= c.opts.FailWindow {
+					stale = append(stale, s)
+				}
+				s.mu.Unlock()
+			}
+		}
+		c.topoMu.RUnlock()
+		sort.Slice(stale, func(i, j int) bool { return stale[i].name < stale[j].name })
+		for _, s := range stale {
+			c.migrateSession(s)
+		}
+	}
+}
+
+// migrateSession re-homes one session off its (presumed dead)
+// repository.
+func (c *Cluster) migrateSession(s *Session) {
+	c.topoMu.Lock()
+	defer c.topoMu.Unlock()
+	s.mu.Lock()
+	old := s.repo
+	closed := s.closed
+	s.mu.Unlock()
+	if closed || old == repository.NoID {
+		return
+	}
+	// Walk the session's own admission preference order again, so a
+	// migration lands on its designated nearby alternative when one was
+	// named — the same nearest-first policy the sim fleet applies.
+	target := c.placeSessionLocked(s, s.preferred, old)
+	if target == repository.NoID {
+		return // nothing can take it; the watchdog retries next pass
+	}
+	s.mu.Lock()
+	c.dropSessionLocked(s)
+	s.migrations++
+	s.mu.Unlock()
+	c.attachSessionLocked(s, target)
+	c.sessionMigrations++
+}

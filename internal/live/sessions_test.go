@@ -1,0 +1,189 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"d3t/internal/coherency"
+	"d3t/internal/repository"
+)
+
+// drain collects everything currently queued on a session channel.
+func drain(s *Session) []ClientUpdate {
+	var out []ClientUpdate
+	for {
+		select {
+		case u, ok := <-s.Updates():
+			if !ok {
+				return out
+			}
+			out = append(out, u)
+		default:
+			return out
+		}
+	}
+}
+
+func TestSessionFilteredDelivery(t *testing.T) {
+	o := chainOverlay(t) // source -> P(c=30) -> Q(c=50) for X
+	c := NewCluster(o, Options{})
+	c.Seed("X", 100)
+	c.Start()
+	defer c.Stop()
+
+	// A client on P with a much looser tolerance than P's own (100 vs
+	// 30): P takes every 30+ move, the client only ones that leave its
+	// Eq. 3+7 band (|Δ| > 100 − 30).
+	s, err := c.Subscribe("alice", map[string]coherency.Requirement{"X": 100}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Repo() != 1 || s.Redirected() {
+		t.Fatalf("session on repo %d (redirected=%v), want its preferred 1", s.Repo(), s.Redirected())
+	}
+
+	// 140 violates P (|Δ|=40 > 30) but is safe for the client
+	// (40 ≤ 100 − 30): filtered at the leaf.
+	c.Publish("X", 140)
+	if !waitFor(t, time.Second, func() bool {
+		v, _ := c.Value(1, "X")
+		return v == 140
+	}) {
+		t.Fatal("update never reached P")
+	}
+	if !waitFor(t, 100*time.Millisecond, func() bool { return s.Filtered() >= 1 }) {
+		t.Fatalf("client saw no filter decision (delivered=%d filtered=%d)", s.Delivered(), s.Filtered())
+	}
+	if s.Delivered() != 0 {
+		t.Errorf("sub-tolerance update delivered to the client: %v", drain(s))
+	}
+
+	// 240 violates the client too (|240-100| > 100): it must arrive.
+	c.Publish("X", 240)
+	if !waitFor(t, time.Second, func() bool { return s.Delivered() >= 1 }) {
+		t.Fatal("violating update never delivered to the session")
+	}
+	if v, ok := s.Value("X"); !ok || v != 240 {
+		t.Errorf("session copy %v, want 240", v)
+	}
+	got := drain(s)
+	if len(got) == 0 || got[len(got)-1].Value != 240 {
+		t.Errorf("channel contents %v, want the 240 update", got)
+	}
+}
+
+func TestSubscribeAdmissionAndRedirect(t *testing.T) {
+	o := chainOverlay(t)
+	c := NewCluster(o, Options{SessionCap: 1})
+	c.Seed("X", 100)
+	c.Start()
+	defer c.Stop()
+
+	wants := func(tol coherency.Requirement) map[string]coherency.Requirement {
+		return map[string]coherency.Requirement{"X": tol}
+	}
+	// First client fills repository 1's only slot.
+	if _, err := c.Subscribe("a", wants(100), 1); err != nil {
+		t.Fatal(err)
+	}
+	// The second prefers 1 too, but must redirect to 2 — whose serving
+	// tolerance (50) still satisfies the client's 100.
+	b, err := c.Subscribe("b", wants(100), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Repo() != 2 || !b.Redirected() {
+		t.Errorf("overflow session on repo %d (redirected=%v), want redirect to 2", b.Repo(), b.Redirected())
+	}
+	if c.SessionRedirects() != 1 {
+		t.Errorf("cluster redirects = %d, want 1", c.SessionRedirects())
+	}
+	// A third client demands tolerance 40: repository 2 serves X at 50,
+	// too loose — and repository 1 (tolerance 30) is full. No home.
+	if _, err := c.Subscribe("c", wants(40), 1); err == nil {
+		t.Error("session admitted with no repository able to serve it")
+	}
+	// Departing "a" frees the slot for a stringent client.
+	a := c.sessions[1][0]
+	a.Close()
+	d, err := c.Subscribe("d", wants(40), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Repo() != 1 {
+		t.Errorf("post-departure session on repo %d, want 1", d.Repo())
+	}
+	// Close terminates ranging consumers: once the queued resync drains,
+	// the channel must be closed.
+	d.Close()
+	drain(d)
+	if _, open := <-d.Updates(); open {
+		t.Error("Updates channel still open after Close")
+	}
+}
+
+func TestSessionResyncOnSubscribe(t *testing.T) {
+	o := chainOverlay(t)
+	c := NewCluster(o, Options{})
+	c.Seed("X", 100)
+	c.Start()
+	defer c.Stop()
+	c.Publish("X", 200)
+	if !waitFor(t, time.Second, func() bool {
+		v, _ := c.Value(1, "X")
+		return v == 200
+	}) {
+		t.Fatal("update never reached P")
+	}
+	// A late subscriber catches up immediately via the resync push.
+	s, err := c.Subscribe("late", map[string]coherency.Requirement{"X": 45}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := drain(s)
+	if len(got) != 1 || !got[0].Resync || got[0].Value != 200 {
+		t.Fatalf("resync push = %v, want one Resync update of 200", got)
+	}
+}
+
+func TestSessionMigratesOffDeadRepository(t *testing.T) {
+	o := failoverOverlay(t) // source(c=2 slots) -> mid(1) -> leaf(2)
+	c := NewCluster(o, Options{
+		Heartbeat:  2 * time.Millisecond,
+		FailWindow: 20 * time.Millisecond,
+		Backups:    map[repository.ID][]repository.ID{2: {repository.SourceID}},
+	})
+	c.Seed("X", 100)
+	c.Start()
+	defer c.Stop()
+
+	// The client's tolerance (25) is served by mid (10) and by leaf (20).
+	s, err := c.Subscribe("mobile", map[string]coherency.Requirement{"X": 25}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Repo() != 1 {
+		t.Fatalf("session on repo %d, want mid (1)", s.Repo())
+	}
+
+	if !c.Crash(1) {
+		t.Fatal("crash rejected")
+	}
+	// Heartbeat silence must push the session onto the surviving leaf.
+	if !waitFor(t, 2*time.Second, func() bool { return s.Repo() == 2 }) {
+		t.Fatalf("session still on repo %d after its repository died", s.Repo())
+	}
+	if s.Migrations() != 1 || c.SessionMigrations() != 1 {
+		t.Errorf("migrations = %d/%d, want 1/1", s.Migrations(), c.SessionMigrations())
+	}
+	// The migrated session still receives filtered updates: the leaf
+	// re-homed onto the source (overlay failover) and relays to it.
+	c.Publish("X", 400)
+	if !waitFor(t, 2*time.Second, func() bool {
+		v, _ := s.Value("X")
+		return v == 400
+	}) {
+		v, _ := s.Value("X")
+		t.Fatalf("migrated session holds %v, want 400", v)
+	}
+}

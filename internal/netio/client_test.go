@@ -1,0 +1,194 @@
+package netio
+
+import (
+	"testing"
+	"time"
+
+	"d3t/internal/coherency"
+	"d3t/internal/repository"
+)
+
+// sourceNode starts a stand-alone source serving item X to no children —
+// the minimal publisher for client-session tests.
+func sourceNode(t *testing.T, cfg NodeConfig) *Node {
+	t.Helper()
+	n, err := Start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	return n
+}
+
+// TestRemoteClientFilteredSubscribe is the wire-level acceptance test:
+// a remote client subscribes over TCP and receives exactly the updates
+// that exceed its own tolerance, starting with a resync of the current
+// value.
+func TestRemoteClientFilteredSubscribe(t *testing.T) {
+	src := sourceNode(t, NodeConfig{ID: 0, Initial: map[string]float64{"X": 100}})
+
+	c, err := Subscribe("alice", map[string]coherency.Requirement{"X": 50}, src.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Admission resyncs the current copy.
+	select {
+	case u := <-c.Updates():
+		if !u.Resync || u.Item != "X" || u.Value != 100 {
+			t.Fatalf("first push = %+v, want resync X=100", u)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no resync push after subscribe")
+	}
+
+	// 130 is within the client's tolerance 50 of 100: filtered out.
+	if err := src.Publish("X", 130); err != nil {
+		t.Fatal(err)
+	}
+	// 200 violates it: delivered.
+	if err := src.Publish("X", 200); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case u := <-c.Updates():
+		if u.Item != "X" || u.Value != 200 || u.Resync {
+			t.Fatalf("delivered %+v, want the violating update X=200", u)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("violating update never delivered")
+	}
+	select {
+	case u := <-c.Updates():
+		t.Fatalf("unexpected extra push %+v (the 130 move must be filtered)", u)
+	case <-time.After(50 * time.Millisecond):
+	}
+	if v, _ := c.Value("X"); v != 200 {
+		t.Errorf("client copy %v, want 200", v)
+	}
+	// Close terminates ranging consumers: the channel must be closed.
+	c.Close()
+	if _, open := <-c.Updates(); open {
+		t.Error("Updates channel still open after Close")
+	}
+}
+
+func TestSubscribeCapRedirects(t *testing.T) {
+	// Two equivalent nodes; node A caps sessions at 1 and names B as its
+	// session peer.
+	b := sourceNode(t, NodeConfig{ID: 0, Initial: map[string]float64{"X": 100}})
+	a := sourceNode(t, NodeConfig{
+		ID: 0, Initial: map[string]float64{"X": 100},
+		SessionCap: 1, SessionPeers: []string{b.Addr()},
+	})
+
+	first, err := Subscribe("one", map[string]coherency.Requirement{"X": 10}, a.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	if first.Serving() != a.Addr() || first.Redirects() != 0 {
+		t.Fatalf("first session serving=%s redirects=%d, want direct admission at A",
+			first.Serving(), first.Redirects())
+	}
+
+	// The second client overflows A's cap and must follow the redirect.
+	second, err := Subscribe("two", map[string]coherency.Requirement{"X": 10}, a.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	if second.Serving() != b.Addr() {
+		t.Errorf("overflow session served by %s, want the peer %s", second.Serving(), b.Addr())
+	}
+	if second.Redirects() != 1 {
+		t.Errorf("redirects = %d, want 1", second.Redirects())
+	}
+	if a.RedirectedSessions() != 1 {
+		t.Errorf("node A redirected %d sessions, want 1", a.RedirectedSessions())
+	}
+}
+
+func TestSubscribeRejectsUnservedTolerance(t *testing.T) {
+	// A repository serving X only at tolerance 30 must turn away a
+	// client demanding 10 (Eq. 1 at the leaf) but admit one demanding 40.
+	parent := sourceNode(t, NodeConfig{ID: 0, Initial: map[string]float64{"X": 100}})
+	repo, err := Start(NodeConfig{
+		ID:      1,
+		Serving: map[string]coherency.Requirement{"X": 30},
+		Parents: []string{parent.Addr()},
+		Initial: map[string]float64{"X": 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer repo.Close()
+	// Wait for the repo's hello to land so the parent knows it.
+	time.Sleep(20 * time.Millisecond)
+
+	if _, err := Subscribe("greedy", map[string]coherency.Requirement{"X": 10}, repo.Addr()); err == nil {
+		t.Error("session demanding 10 admitted by a repository serving at 30")
+	}
+	if c, err := Subscribe("fine", map[string]coherency.Requirement{"X": 40}, repo.Addr()); err != nil {
+		t.Errorf("session demanding 40 rejected: %v", err)
+	} else {
+		c.Close()
+	}
+}
+
+// TestRemoteClientMigratesAfterCrash is the acceptance scenario: the
+// serving node dies, the remote client re-subscribes to the backup and
+// keeps receiving filtered updates after a resync.
+func TestRemoteClientMigratesAfterCrash(t *testing.T) {
+	src := sourceNode(t, NodeConfig{ID: 0, Initial: map[string]float64{"X": 100}})
+	// Two repositories fed by the source, both serving X at 5.
+	mk := func(id int) *Node {
+		n, err := Start(NodeConfig{
+			ID:      repository.ID(id),
+			Serving: map[string]coherency.Requirement{"X": 5},
+			Parents: []string{src.Addr()},
+			Initial: map[string]float64{"X": 100},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	r1, r2 := mk(1), mk(2)
+	defer r2.Close()
+
+	c, err := Subscribe("mobile", map[string]coherency.Requirement{"X": 20}, r1.Addr(), r2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Serving() != r1.Addr() {
+		t.Fatalf("session served by %s, want r1", c.Serving())
+	}
+	drainResync(c)
+
+	// r1 crashes: the connection drops, the client must land on r2.
+	r1.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Serving() != r2.Addr() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if c.Serving() != r2.Addr() {
+		t.Fatalf("session still served by %s after r1 died", c.Serving())
+	}
+	if c.Migrations() != 1 {
+		t.Errorf("migrations = %d, want 1", c.Migrations())
+	}
+}
+
+// drainResync discards the admission resync pushes.
+func drainResync(c *Client) {
+	for {
+		select {
+		case <-c.Updates():
+		case <-time.After(50 * time.Millisecond):
+			return
+		}
+	}
+}

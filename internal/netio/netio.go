@@ -32,8 +32,17 @@ type frame struct {
 	Value float64
 	// Resync on a hello asks the parent to push its current copy of every
 	// item it serves this child — the catch-up a dependent needs after
-	// failing over to a backup parent.
+	// failing over to a backup parent. On an update it marks a catch-up
+	// push to a freshly admitted client session.
 	Resync bool
+	// Name and Wants carry a client session's identity and watch list on
+	// a subscribe frame.
+	Name  string
+	Wants map[string]coherency.Requirement
+	// Addrs carries alternative endpoints on a redirect frame: the
+	// session cap is reached (or an item is not served stringently
+	// enough), try these instead.
+	Addrs []string
 }
 
 type kind uint8
@@ -41,6 +50,11 @@ type kind uint8
 const (
 	kindHello kind = iota + 1
 	kindUpdate
+	// kindSubscribe opens a client session: the server answers with
+	// kindAccept followed by resync updates, or kindRedirect.
+	kindSubscribe
+	kindAccept
+	kindRedirect
 )
 
 // NodeConfig describes one dissemination node. It is self-contained: a
@@ -70,6 +84,13 @@ type NodeConfig struct {
 	Backups []string
 	// Initial seeds the node's item values (and per-child filter state).
 	Initial map[string]float64
+	// SessionCap caps the client sessions this node serves (0 =
+	// unlimited); an over-cap subscribe is answered with a redirect to
+	// SessionPeers.
+	SessionCap int
+	// SessionPeers are alternative node addresses offered to redirected
+	// clients — typically the node's overlay neighbors.
+	SessionPeers []string
 }
 
 // Node is a running dissemination server.
@@ -83,6 +104,15 @@ type Node struct {
 	childEnc map[repository.ID]*gob.Encoder
 	conns    map[net.Conn]bool
 	closed   bool
+
+	// Client sessions: per-name push encoder and last-delivered filter
+	// state, plus the admission counters. clientNames mirrors the map
+	// keys in sorted order so the per-update fan-out never re-sorts.
+	clientEnc   map[string]*gob.Encoder
+	clientLast  map[string]map[string]float64
+	clientTols  map[string]map[string]coherency.Requirement
+	clientNames []string
+	redirected  int
 
 	parentConns []net.Conn
 	wg          sync.WaitGroup
@@ -103,12 +133,15 @@ func Start(cfg NodeConfig) (*Node, error) {
 		return nil, fmt.Errorf("netio: node %d listen: %w", cfg.ID, err)
 	}
 	n := &Node{
-		cfg:      cfg,
-		ln:       ln,
-		values:   make(map[string]float64),
-		lastSent: make(map[repository.ID]map[string]float64),
-		childEnc: make(map[repository.ID]*gob.Encoder),
-		conns:    make(map[net.Conn]bool),
+		cfg:        cfg,
+		ln:         ln,
+		values:     make(map[string]float64),
+		lastSent:   make(map[repository.ID]map[string]float64),
+		childEnc:   make(map[repository.ID]*gob.Encoder),
+		conns:      make(map[net.Conn]bool),
+		clientEnc:  make(map[string]*gob.Encoder),
+		clientLast: make(map[string]map[string]float64),
+		clientTols: make(map[string]map[string]coherency.Requirement),
 	}
 	for item, v := range cfg.Initial {
 		n.values[item] = v
@@ -255,7 +288,14 @@ func (n *Node) handleChild(conn net.Conn) {
 	}()
 	dec := gob.NewDecoder(conn)
 	var hello frame
-	if err := dec.Decode(&hello); err != nil || hello.Kind != kindHello {
+	if err := dec.Decode(&hello); err != nil {
+		return
+	}
+	if hello.Kind == kindSubscribe {
+		n.handleClient(conn, dec, hello)
+		return
+	}
+	if hello.Kind != kindHello {
 		return
 	}
 	if _, ok := n.cfg.Children[hello.From]; !ok {
@@ -301,6 +341,105 @@ func (n *Node) handleChild(conn net.Conn) {
 	n.mu.Lock()
 	delete(n.childEnc, hello.From)
 	n.mu.Unlock()
+}
+
+// handleClient admits (or redirects) one client session: the TCP
+// counterpart of the serving layer's admission policy. An accepted
+// session gets an accept frame, a resync push of the current copies of
+// its watch list, and from then on only updates that exceed its own
+// tolerance — Eq. 3 applied at the leaf, per client.
+func (n *Node) handleClient(conn net.Conn, dec *gob.Decoder, sub frame) {
+	enc := gob.NewEncoder(conn)
+	if sub.Name == "" || len(sub.Wants) == 0 {
+		enc.Encode(frame{Kind: kindRedirect})
+		return
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	reject := n.cfg.SessionCap > 0 && len(n.clientEnc) >= n.cfg.SessionCap
+	if _, dup := n.clientEnc[sub.Name]; dup {
+		reject = true
+	}
+	if !reject && len(n.cfg.Parents) > 0 {
+		// A repository can admit only sessions it already serves
+		// stringently enough; the source holds exact values and serves
+		// any tolerance.
+		for x, tol := range sub.Wants {
+			own, ok := n.cfg.Serving[x]
+			if !ok || !own.AtLeastAsStringentAs(tol) {
+				reject = true
+				break
+			}
+		}
+	}
+	if reject {
+		n.redirected++
+		peers := append([]string(nil), n.cfg.SessionPeers...)
+		n.mu.Unlock()
+		enc.Encode(frame{Kind: kindRedirect, Addrs: peers})
+		return
+	}
+	if enc.Encode(frame{Kind: kindAccept}) != nil {
+		n.mu.Unlock()
+		return
+	}
+	n.clientEnc[sub.Name] = enc
+	n.clientTols[sub.Name] = sub.Wants
+	at := sort.SearchStrings(n.clientNames, sub.Name)
+	n.clientNames = append(n.clientNames, "")
+	copy(n.clientNames[at+1:], n.clientNames[at:])
+	n.clientNames[at] = sub.Name
+	last := make(map[string]float64, len(sub.Wants))
+	n.clientLast[sub.Name] = last
+	// Resync: the session converges to our current copies immediately.
+	items := make([]string, 0, len(sub.Wants))
+	for x := range sub.Wants {
+		items = append(items, x)
+	}
+	sort.Strings(items)
+	for _, x := range items {
+		v, ok := n.values[x]
+		if !ok {
+			continue
+		}
+		last[x] = v
+		if enc.Encode(frame{Kind: kindUpdate, Item: x, Value: v, Resync: true}) != nil {
+			break
+		}
+	}
+	n.mu.Unlock()
+
+	// Park until either side closes, then unregister the session.
+	var discard frame
+	for dec.Decode(&discard) == nil {
+	}
+	n.mu.Lock()
+	delete(n.clientEnc, sub.Name)
+	delete(n.clientLast, sub.Name)
+	delete(n.clientTols, sub.Name)
+	if at := sort.SearchStrings(n.clientNames, sub.Name); at < len(n.clientNames) && n.clientNames[at] == sub.Name {
+		n.clientNames = append(n.clientNames[:at], n.clientNames[at+1:]...)
+	}
+	n.mu.Unlock()
+}
+
+// Sessions reports how many client sessions the node currently serves;
+// RedirectedSessions counts subscribes it turned away.
+func (n *Node) Sessions() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.clientEnc)
+}
+
+// RedirectedSessions returns how many subscribe attempts this node
+// answered with a redirect.
+func (n *Node) RedirectedSessions() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.redirected
 }
 
 // parentLoop applies pushes from the parent. When the connection dies —
@@ -411,6 +550,22 @@ func (n *Node) apply(item string, value float64) error {
 		if err := enc.Encode(frame{Kind: kindUpdate, Item: item, Value: value}); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("netio: node %d pushing to %d: %w", n.cfg.ID, child, err)
 		}
+	}
+	// Fan out to client sessions through the per-client filter — Eqs. 3
+	// and 7 with our own serving tolerance as cSelf, like the overlay's
+	// edge filters — in sorted admission order for a deterministic wire
+	// sequence.
+	for _, name := range n.clientNames {
+		tol, watching := n.clientTols[name][item]
+		if !watching {
+			continue
+		}
+		last, seeded := n.clientLast[name][item]
+		if seeded && !coherency.ShouldForward(value, last, tol, cSelf) {
+			continue
+		}
+		n.clientLast[name][item] = value
+		n.clientEnc[name].Encode(frame{Kind: kindUpdate, Item: item, Value: value})
 	}
 	return firstErr
 }

@@ -1,6 +1,7 @@
 package repository
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -129,6 +130,88 @@ func TestDeriveNeedsProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestGenerateClientsDeterministic pins seed-reproducibility: the same
+// workload must yield byte-identical populations, and a different seed a
+// different one.
+func TestGenerateClientsDeterministic(t *testing.T) {
+	w := ClientWorkload{
+		Clients: 60, Repos: []ID{1, 2, 3, 4, 5}, Items: catalogue(15),
+		ItemsPerClient: 3, StringentFrac: 0.4, Seed: 11,
+	}
+	a, err := GenerateClients(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateClients(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same seed produced different client populations")
+	}
+	w.Seed = 12
+	c, err := GenerateClients(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Error("different seeds produced identical client populations")
+	}
+}
+
+// TestDeriveNeedsDeterministic: deriving twice from the same population
+// yields identical need maps (no map-iteration-order leakage).
+func TestDeriveNeedsDeterministic(t *testing.T) {
+	clients, err := GenerateClients(ClientWorkload{
+		Clients: 50, Repos: []ID{1, 2, 3}, Items: catalogue(12), Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	derive := func() []*Repository {
+		repos := []*Repository{New(1, 4), New(2, 4), New(3, 4)}
+		if err := DeriveNeeds(repos, clients); err != nil {
+			t.Fatal(err)
+		}
+		return repos
+	}
+	a, b := derive(), derive()
+	for i := range a {
+		if !reflect.DeepEqual(a[i].Needs, b[i].Needs) || !reflect.DeepEqual(a[i].Serving, b[i].Serving) {
+			t.Errorf("repository %d derived different needs across runs", a[i].ID)
+		}
+	}
+}
+
+func TestClientFidelityZeroClients(t *testing.T) {
+	got := ClientFidelity(nil, func(ID, string) (float64, bool) { return 1, true })
+	if len(got) != 0 {
+		t.Errorf("zero clients produced %d fidelity entries", len(got))
+	}
+}
+
+// TestClientFidelityUnservedItems: items the repository reports no
+// fidelity for are excluded from the client's mean, and a client none of
+// whose items are served is omitted entirely.
+func TestClientFidelityUnservedItems(t *testing.T) {
+	clients := []*Client{
+		{Name: "partial", Repo: 1, Wants: map[string]coherency.Requirement{"X": 0.5, "GONE": 0.5}},
+		{Name: "unserved", Repo: 2, Wants: map[string]coherency.Requirement{"GONE": 0.5}},
+	}
+	got := ClientFidelity(clients, func(repo ID, item string) (float64, bool) {
+		if repo == 1 && item == "X" {
+			return 0.8, true
+		}
+		return 0, false
+	})
+	if f, ok := got["partial"]; !ok || f != 0.8 {
+		t.Errorf("partial client fidelity = %v (ok=%v), want 0.8 over its one served item", f, ok)
+	}
+	if _, ok := got["unserved"]; ok {
+		t.Error("client with no served items reported a fidelity")
 	}
 }
 

@@ -25,6 +25,20 @@ type Config struct {
 	DetectK int
 	// BackupK is the precomputed backup-parent list length. Default 5.
 	BackupK int
+	// Observer, when set, watches the run's events — source ticks and
+	// deliveries like dissemination.Observer, plus crashes and rejoins so
+	// the client-serving layer can migrate sessions off dead repositories.
+	// Nil leaves the run byte-identical to one without the field.
+	Observer Observer
+}
+
+// Observer extends the dissemination observer with fault events.
+type Observer interface {
+	dissemination.Observer
+	// ObserveCrash fires when a repository goes down.
+	ObserveCrash(now sim.Time, id repository.ID)
+	// ObserveRejoin fires when a crashed repository comes back.
+	ObserveRejoin(now sim.Time, id repository.ID)
 }
 
 // WithDefaults resolves the zero values to the runner's defaults,
@@ -291,6 +305,9 @@ func (r *runner) sourceTick(now sim.Time, item string, v float64) {
 	for _, rt := range r.trackers[item] {
 		rt.tr.SourceUpdate(now, v)
 	}
+	if r.cfg.Observer != nil {
+		r.cfg.Observer.ObserveSource(now, item, v)
+	}
 	fwd, checks := r.protocol.AtSource(item, v)
 	r.stats.SourceChecks += uint64(checks)
 	r.dispatch(now, r.o.Source(), item, v, fwd, checks)
@@ -309,6 +326,9 @@ func (r *runner) deliver(now sim.Time, node *repository.Repository, from reposit
 	r.values[node.ID][item] = v
 	if t := r.byRepo[item][node.ID]; t != nil {
 		t.RepoUpdate(now, v)
+	}
+	if r.cfg.Observer != nil {
+		r.cfg.Observer.ObserveDeliver(now, node.ID, item, v)
 	}
 	fwd, checks := r.protocol.AtRepo(node, item, v, tag)
 	r.stats.RepoChecks += uint64(checks)
@@ -362,6 +382,9 @@ func (r *runner) crash(now sim.Time, id repository.ID) {
 	r.dead[id] = true
 	r.crashedAt[id] = now
 	r.res.Crashes++
+	if r.cfg.Observer != nil {
+		r.cfg.Observer.ObserveCrash(now, id)
+	}
 }
 
 // rejoin warm-restarts a node: stale copies are kept (they were stale the
@@ -376,6 +399,9 @@ func (r *runner) rejoin(now sim.Time, id repository.ID) {
 	delete(r.dead, id)
 	r.crashedAt[id] = 0
 	r.res.Rejoins++
+	if r.cfg.Observer != nil {
+		r.cfg.Observer.ObserveRejoin(now, id)
+	}
 
 	q := r.o.Node(id)
 	// Detach cleanly from every old parent (some already dropped us as a

@@ -1,0 +1,444 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"d3t/internal/coherency"
+	"d3t/internal/netsim"
+	"d3t/internal/repository"
+	"d3t/internal/resilience"
+	"d3t/internal/sim"
+)
+
+// Fleet is a population of client sessions served by the repositories of
+// one run. It implements the dissemination and resilience run observers:
+// source ticks keep every session's reference signal current, repository
+// deliveries fan out to that repository's sessions through per-client
+// Eq. 3 filters, crashes migrate the dead repository's sessions, and the
+// session-churn plan's departures and arrivals interleave with all of it
+// in simulation order.
+//
+// A Fleet is single-threaded, like the simulation engine driving it:
+// Attach the population, Seed the initial values once the overlay is
+// built, run the simulation with the fleet as its observer, then read
+// Finalize. The live and netio runtimes implement the same policy with
+// their own concurrency.
+type Fleet struct {
+	net   *netsim.Network
+	repos []*repository.Repository // indexed by id-1
+	opts  Options
+
+	sessions []*Session // plan order: session i is plan node i+1
+	byName   map[string]*Session
+	byRepo   map[repository.ID][]*Session
+	byItem   map[string][]*Session
+	load     map[repository.ID]int
+	alive    map[repository.ID]bool
+	orphans  map[*Session]bool // want to be attached, found no room
+
+	src     map[string]float64
+	vals    map[repository.ID]map[string]float64
+	initial map[string]float64
+
+	events []sessionEvent
+	next   int
+
+	stats Stats
+}
+
+// sessionEvent is one scheduled churn action.
+type sessionEvent struct {
+	at     sim.Time
+	idx    int
+	depart bool
+}
+
+// NewFleet builds an empty fleet over the repository population. The
+// repositories must have ids 1..n matching the physical network's
+// endpoints; the fleet keeps the pointers, so needs derived and serving
+// sets augmented later are visible to admission and migration.
+func NewFleet(net *netsim.Network, repos []*repository.Repository, opts Options) (*Fleet, error) {
+	f := &Fleet{
+		net:     net,
+		repos:   repos,
+		opts:    opts,
+		byName:  make(map[string]*Session),
+		byRepo:  make(map[repository.ID][]*Session),
+		byItem:  make(map[string][]*Session),
+		load:    make(map[repository.ID]int),
+		alive:   make(map[repository.ID]bool),
+		orphans: make(map[*Session]bool),
+		src:     make(map[string]float64),
+		vals:    make(map[repository.ID]map[string]float64),
+	}
+	for i, r := range repos {
+		if r.ID != repository.ID(i+1) {
+			return nil, fmt.Errorf("serve: repository %d at index %d (want contiguous ids from 1)", r.ID, i)
+		}
+		f.alive[r.ID] = true
+	}
+	if opts.Plan != nil {
+		for _, ft := range opts.Plan.Faults {
+			idx := int(ft.Node) - 1
+			f.events = append(f.events, sessionEvent{at: ft.At, idx: idx, depart: true})
+			if ft.RejoinAt > 0 {
+				f.events = append(f.events, sessionEvent{at: ft.RejoinAt, idx: idx})
+			}
+		}
+		sort.SliceStable(f.events, func(i, j int) bool { return f.events[i].at < f.events[j].at })
+	}
+	return f, nil
+}
+
+// Attach admits one client: it is placed on the nearest repository (by
+// delay from the client's home endpoint, Client.Repo as generated) that
+// is under the session cap, redirecting to the next candidate when full.
+// The client's Repo field is rewritten to the placement, so deriving
+// repository needs from the population after attachment reflects where
+// each client actually landed.
+func (f *Fleet) Attach(c *repository.Client) (*Session, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if int(c.Repo) > len(f.repos) {
+		return nil, fmt.Errorf("serve: client %q homed at unknown repository %d", c.Name, c.Repo)
+	}
+	if f.byName[c.Name] != nil {
+		return nil, fmt.Errorf("serve: duplicate session %q", c.Name)
+	}
+	s := &Session{
+		Name:       c.Name,
+		Home:       c.Repo,
+		Repo:       repository.NoID,
+		Wants:      c.Wants,
+		candidates: Candidates(f.net, c.Repo, len(f.repos)),
+		meters:     make(map[string]*meter, len(c.Wants)),
+	}
+	for x, tol := range c.Wants {
+		s.meters[x] = &meter{c: tol}
+	}
+	target := f.place(s, true)
+	if target == repository.NoID {
+		return nil, fmt.Errorf("serve: no repository to place client %q on", c.Name)
+	}
+	f.attach(s, target, 0)
+	if target != s.candidates[0] {
+		s.redirected = true
+		f.stats.Redirects++
+	}
+	c.Repo = target
+	f.sessions = append(f.sessions, s)
+	f.byName[c.Name] = s
+	for _, x := range sortedItems(c.Wants) {
+		f.byItem[x] = append(f.byItem[x], s)
+	}
+	f.stats.Sessions++
+	return s, nil
+}
+
+// AttachAll admits a whole population in order.
+func (f *Fleet) AttachAll(clients []*repository.Client) error {
+	for _, c := range clients {
+		if _, err := f.Attach(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// place walks the session's candidate order and returns the repository
+// to serve it, or NoID when none qualifies. Initial placement (before
+// repository needs exist) requires only liveness and cap room, falling
+// back to the least-loaded live repository when every one is full; later
+// placements (migration, re-arrival) first require the candidate to
+// serve every watched item at the client's tolerance, then drop that
+// requirement rather than strand the session.
+func (f *Fleet) place(s *Session, initialPlacement bool) repository.ID {
+	if !initialPlacement {
+		for _, cand := range s.candidates {
+			if cand == s.Repo || !f.alive[cand] || !f.hasRoom(cand) {
+				continue
+			}
+			if f.servesAll(cand, s) {
+				return cand
+			}
+		}
+	}
+	for _, cand := range s.candidates {
+		if cand == s.Repo || !f.alive[cand] || !f.hasRoom(cand) {
+			continue
+		}
+		return cand
+	}
+	if initialPlacement {
+		// Every live repository is at cap: overflow to the least loaded
+		// so the population always starts fully placed.
+		best := repository.NoID
+		for _, cand := range s.candidates {
+			if !f.alive[cand] {
+				continue
+			}
+			if best == repository.NoID || f.load[cand] < f.load[best] {
+				best = cand
+			}
+		}
+		return best
+	}
+	return repository.NoID
+}
+
+func (f *Fleet) hasRoom(id repository.ID) bool {
+	return f.opts.Cap <= 0 || f.load[id] < f.opts.Cap
+}
+
+// servesAll reports whether the repository already serves every item the
+// session watches, each at least as stringently as the client demands.
+func (f *Fleet) servesAll(id repository.ID, s *Session) bool {
+	r := f.repos[id-1]
+	for x, tol := range s.Wants {
+		if !r.CanServe(x, tol) {
+			return false
+		}
+	}
+	return true
+}
+
+// attach wires the session to the repository and starts its meters.
+func (f *Fleet) attach(s *Session, id repository.ID, now sim.Time) {
+	s.Repo = id
+	f.load[id]++
+	f.byRepo[id] = append(f.byRepo[id], s)
+	for _, x := range sortedItems(s.Wants) {
+		s.meters[x].attach(now)
+	}
+	delete(f.orphans, s)
+}
+
+// detach unwires the session from its repository and stops its meters.
+func (f *Fleet) detach(s *Session, now sim.Time) {
+	id := s.Repo
+	if id == repository.NoID {
+		return
+	}
+	f.load[id]--
+	list := f.byRepo[id]
+	for i, other := range list {
+		if other == s {
+			f.byRepo[id] = append(list[:i:i], list[i+1:]...)
+			break
+		}
+	}
+	s.Repo = repository.NoID
+	for _, x := range sortedItems(s.Wants) {
+		s.meters[x].detach(now)
+	}
+}
+
+// Seed initializes the source signal and every session's copy to the
+// items' initial values, as if all clients joined fully synchronized.
+// Call it after the overlay is built (serving sets are final) and before
+// the run.
+func (f *Fleet) Seed(initial map[string]float64) {
+	f.initial = initial
+	for x, v := range initial {
+		f.src[x] = v
+	}
+	for _, s := range f.sessions {
+		for x, m := range s.meters {
+			if v, ok := initial[x]; ok {
+				m.src, m.have = v, v
+				m.refresh()
+			}
+		}
+	}
+}
+
+// repoVal returns the repository's current copy of item: the latest
+// delivery the fleet observed, or the initial value when the repository
+// serves the item but has received nothing yet.
+func (f *Fleet) repoVal(id repository.ID, x string) (float64, bool) {
+	if v, ok := f.vals[id][x]; ok {
+		return v, true
+	}
+	if _, serves := f.repos[id-1].ServingTolerance(x); serves {
+		v, ok := f.initial[x]
+		return v, ok
+	}
+	return 0, false
+}
+
+// resync pushes the repository's current copies to a session that just
+// landed on it (migration or re-arrival), so the client converges
+// without waiting for the next qualifying update.
+func (f *Fleet) resync(s *Session, now sim.Time) {
+	for _, x := range sortedItems(s.Wants) {
+		v, ok := f.repoVal(s.Repo, x)
+		if !ok {
+			continue
+		}
+		m := s.meters[x]
+		if v == m.have {
+			continue
+		}
+		m.deliver(now, v)
+		f.stats.Resyncs++
+	}
+}
+
+// catchUp executes every scheduled churn event due at or before now.
+func (f *Fleet) catchUp(now sim.Time) {
+	for f.next < len(f.events) && f.events[f.next].at <= now {
+		e := f.events[f.next]
+		f.next++
+		if e.idx < 0 || e.idx >= len(f.sessions) {
+			continue // plan sized for a larger population than attached
+		}
+		s := f.sessions[e.idx]
+		if e.depart {
+			if !s.Attached() && !f.orphans[s] {
+				continue // already gone
+			}
+			f.detach(s, e.at)
+			delete(f.orphans, s)
+			f.stats.Departures++
+			continue
+		}
+		if s.Attached() || f.orphans[s] {
+			continue // already back (or waiting to be)
+		}
+		f.stats.Arrivals++
+		if target := f.place(s, false); target != repository.NoID {
+			f.attach(s, target, e.at)
+			f.resync(s, e.at)
+		} else {
+			f.orphans[s] = true
+			f.stats.Orphaned++
+		}
+	}
+}
+
+// ObserveSource keeps every watching session's reference signal current.
+func (f *Fleet) ObserveSource(now sim.Time, item string, v float64) {
+	f.catchUp(now)
+	f.src[item] = v
+	for _, s := range f.byItem[item] {
+		s.meters[item].srcUpdate(now, v)
+	}
+}
+
+// ObserveDeliver fans a repository's delivery out to its sessions
+// through the per-client coherency filter — the same Eqs. 3 and 7 test
+// the tree applies between repositories, applied once more at the leaf
+// with the repository's own serving tolerance as cSelf. Eq. 3 alone
+// would let a client silently drift by up to its tolerance *plus* the
+// repository's (the Section 5 missed-update problem, at the client);
+// Eq. 7 forwards the risky updates too, so a coherent repository always
+// implies coherent clients. Filtered decisions are counted; they are the
+// fan-out work the serving layer saves.
+func (f *Fleet) ObserveDeliver(now sim.Time, repo repository.ID, item string, v float64) {
+	f.catchUp(now)
+	m := f.vals[repo]
+	if m == nil {
+		m = make(map[string]float64)
+		f.vals[repo] = m
+	}
+	m[item] = v
+	cSelf, _ := f.repos[repo-1].ServingTolerance(item)
+	for _, s := range f.byRepo[repo] {
+		sm, watching := s.meters[item]
+		if !watching {
+			continue
+		}
+		if !coherency.ShouldForward(v, sm.have, s.Wants[item], cSelf) {
+			s.filtered++
+			f.stats.Filtered++
+			continue
+		}
+		sm.deliver(now, v)
+		s.delivered++
+		f.stats.Delivered++
+	}
+}
+
+// ObserveCrash migrates the dead repository's sessions onto the nearest
+// live alternative with room (preferring ones already serving their
+// items), resyncing each to its new repository's current copy. Sessions
+// that find no room are orphaned and retry when a repository rejoins.
+func (f *Fleet) ObserveCrash(now sim.Time, id repository.ID) {
+	f.catchUp(now)
+	f.alive[id] = false
+	stranded := append([]*Session(nil), f.byRepo[id]...)
+	for _, s := range stranded {
+		f.detach(s, now)
+		if target := f.place(s, false); target != repository.NoID {
+			f.attach(s, target, now)
+			f.resync(s, now)
+			f.stats.Migrations++
+		} else {
+			f.orphans[s] = true
+			f.stats.Orphaned++
+		}
+	}
+}
+
+// ObserveRejoin marks the repository live again and retries orphaned
+// sessions (in admission order) against the enlarged candidate set.
+func (f *Fleet) ObserveRejoin(now sim.Time, id repository.ID) {
+	f.catchUp(now)
+	f.alive[id] = true
+	for _, s := range f.sessions {
+		if !f.orphans[s] {
+			continue
+		}
+		if target := f.place(s, false); target != repository.NoID {
+			f.attach(s, target, now)
+			f.resync(s, now)
+			f.stats.Migrations++
+		}
+	}
+}
+
+// Session returns a session by client name.
+func (f *Fleet) Session(name string) *Session { return f.byName[name] }
+
+// Sessions returns the population in admission order.
+func (f *Fleet) Sessions() []*Session { return f.sessions }
+
+// ClientFidelity returns every session's observed fidelity at the
+// horizon, keyed by client name.
+func (f *Fleet) ClientFidelity(horizon sim.Time) map[string]float64 {
+	out := make(map[string]float64, len(f.sessions))
+	for _, s := range f.sessions {
+		out[s.Name] = s.Fidelity(horizon)
+	}
+	return out
+}
+
+// Finalize flushes churn events through the horizon and returns the
+// run's serving-layer statistics, including the client-observed fidelity
+// aggregates.
+func (f *Fleet) Finalize(horizon sim.Time) Stats {
+	f.catchUp(horizon)
+	st := f.stats
+	st.MeanFidelity, st.WorstFidelity = 1, 1
+	if len(f.sessions) > 0 {
+		var sum float64
+		worst := 1.0
+		for _, s := range f.sessions {
+			fid := s.Fidelity(horizon)
+			sum += fid
+			if fid < worst {
+				worst = fid
+			}
+		}
+		st.MeanFidelity = sum / float64(len(f.sessions))
+		st.WorstFidelity = worst
+	}
+	st.LossPercent = 100 * (1 - st.MeanFidelity)
+	return st
+}
+
+// Interface conformance: the fleet observes both the plain and the
+// resilient runners.
+var _ resilience.Observer = (*Fleet)(nil)

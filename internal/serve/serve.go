@@ -1,0 +1,137 @@
+// Package serve closes the loop from dissemination tree to end users: it
+// makes every client of Section 1.2 a first-class *session* that
+// subscribes to items with its own coherency tolerance, and fans updates
+// out from repositories to sessions through per-client coherency filters
+// — the same Eqs. 3 and 7 test the tree applies between repositories,
+// applied once more at the leaves, where fan-out cost concentrates.
+// (Eq. 3 alone would reintroduce the Section 5 missed-update problem at
+// the client: its copy could silently drift by its own tolerance plus
+// the repository's.)
+//
+// The package supplies four pieces, wired through every layer:
+//
+//   - Sessions: per-client state (watch list, last-delivered values,
+//     fidelity meters that integrate |source − client copy| ≤ c over the
+//     session's attached lifetime) plus delivery/filter counters.
+//   - Load-aware placement: each client attaches to the nearest
+//     repository (by physical-network delay from its home point) that is
+//     under the configurable session cap; overflow redirects to the next
+//     candidate, and redirects are counted as a first-class outcome.
+//   - Churn and migration: sessions arrive and depart under a seeded
+//     plan (the resilience package's fault-plan machinery, reused with
+//     sessions as the population), and migrate — with a resync to the
+//     new repository's current copy — when their repository crashes.
+//   - Client-observed fidelity: the paper's metric, measured at the true
+//     consumer rather than the repository, reported per client and as a
+//     population mean.
+//
+// The simulation entry point is Fleet, which implements the run
+// observers of the dissemination and resilience runners; the live and
+// netio runtimes serve sessions over channels and TCP respectively with
+// the same admission/filter/migration policy.
+package serve
+
+import (
+	"fmt"
+	"sort"
+
+	"d3t/internal/coherency"
+	"d3t/internal/netsim"
+	"d3t/internal/repository"
+	"d3t/internal/resilience"
+	"d3t/internal/sim"
+)
+
+// Options parameterizes a client fleet.
+type Options struct {
+	// Cap is the per-repository session cap (0 = unlimited). A client
+	// whose nearest repository is full redirects to the next candidate.
+	Cap int
+	// Plan schedules session churn: a fault plan over the *session*
+	// population (Fault.Node is a 1-based session index) where At is the
+	// session's departure and RejoinAt its re-arrival. Nil means every
+	// session stays for the whole run. See ParseSessionPlan.
+	Plan *resilience.Plan
+}
+
+// Stats counts the serving layer's work and outcomes during one run.
+type Stats struct {
+	// Sessions is the session population size.
+	Sessions int
+	// Redirects counts admissions that landed on other than the nearest
+	// repository because of the session cap.
+	Redirects int
+	// Migrations counts sessions moved to another repository after their
+	// repository crashed; Resyncs counts the catch-up values pushed to
+	// migrated or re-arriving sessions.
+	Migrations int
+	Resyncs    int
+	// Orphaned counts sessions that found no live repository with
+	// capacity at migration time (they retry when a repository rejoins).
+	Orphaned int
+	// Departures and Arrivals count executed session-churn events.
+	Departures, Arrivals int
+	// Delivered and Filtered count per-session update decisions: an
+	// update a session's repository received is delivered when it exceeds
+	// the client's own tolerance and filtered otherwise.
+	Delivered, Filtered uint64
+	// MeanFidelity is the mean client-observed fidelity over sessions;
+	// LossPercent is 100*(1-MeanFidelity), matching the paper's y-axis.
+	// WorstFidelity is the worst single session's fidelity.
+	MeanFidelity  float64
+	LossPercent   float64
+	WorstFidelity float64
+}
+
+// String renders the stats as a one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("sessions=%d clientLoss=%.2f%% redirects=%d migrations=%d delivered=%d filtered=%d",
+		s.Sessions, s.LossPercent, s.Redirects, s.Migrations, s.Delivered, s.Filtered)
+}
+
+// ParseSessionPlan builds a session churn plan from a spec string, sized
+// to a population of `sessions` clients over `ticks` trace ticks. It
+// reuses the resilience fault-plan grammar with sessions standing in for
+// repositories:
+//
+//	"" | "none"                no churn
+//	crash:<i>@<tick>[+<down>]  session i departs at the tick (and
+//	                           re-arrives <down> ticks later)
+//	churn:<rate>[:<meandown>]  seeded Poisson churn: <rate> expected
+//	                           departures per 100 ticks across the
+//	                           population, each away for an exponential
+//	                           time with mean <meandown> ticks
+//
+// The same spec, sizes and seed always yield the same plan.
+func ParseSessionPlan(spec string, sessions, ticks int, interval sim.Time, seed int64) (*resilience.Plan, error) {
+	return resilience.ParsePlan(spec, sessions, ticks, interval, seed)
+}
+
+// Candidates ranks every repository by physical-network delay from the
+// given home endpoint (nearest first, ties by id) — the order placement
+// walks for admission and migration. Home is itself an endpoint id; a
+// client is modeled as co-located with its home repository.
+func Candidates(net *netsim.Network, home repository.ID, repos int) []repository.ID {
+	out := make([]repository.ID, repos)
+	for i := range out {
+		out[i] = repository.ID(i + 1)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		di, dj := net.Delay[home][out[i]], net.Delay[home][out[j]]
+		if di != dj {
+			return di < dj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// sortedItems returns the watch list's items in deterministic order.
+func sortedItems(wants map[string]coherency.Requirement) []string {
+	items := make([]string, 0, len(wants))
+	for x := range wants {
+		items = append(items, x)
+	}
+	sort.Strings(items)
+	return items
+}

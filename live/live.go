@@ -10,10 +10,18 @@ import (
 )
 
 type (
-	// Options configures a live cluster (delays, observation hook).
+	// Options configures a live cluster (delays, observation hook,
+	// failure detection, session cap).
 	Options = ilive.Options
 	// Cluster is a running set of node goroutines.
 	Cluster = ilive.Cluster
+	// Session is one client's channel subscription to a cluster
+	// (Cluster.Subscribe): admission under the session cap with overflow
+	// redirect, per-client filtered delivery, and silence-driven
+	// migration to another repository when the serving one dies.
+	Session = ilive.Session
+	// ClientUpdate is one value pushed to a session.
+	ClientUpdate = ilive.ClientUpdate
 )
 
 // NewCluster builds (but does not start) a live cluster over the overlay.

@@ -13,14 +13,28 @@ type (
 	// Node is one running dissemination server.
 	Node = inetio.Node
 	// NodeConfig describes a node: its serving set, dependents, listen
-	// address and parents.
+	// address, parents and client-session policy (cap, redirect peers).
 	NodeConfig = inetio.NodeConfig
 	// Cluster runs a whole overlay on localhost.
 	Cluster = inetio.Cluster
+	// Client is a remote client session subscribed to a node over TCP:
+	// it receives only the gob-encoded updates that exceed its own
+	// tolerances, follows cap redirects, and migrates to the next known
+	// address when the serving node dies.
+	Client = inetio.Client
+	// ClientUpdate is one value pushed to a remote client session.
+	ClientUpdate = inetio.ClientUpdate
 )
 
 // Start launches a single node.
 func Start(cfg NodeConfig) (*Node, error) { return inetio.Start(cfg) }
+
+// Subscribe opens a remote client session against the given node
+// addresses: the first that accepts (following redirects) serves it, the
+// rest are failover candidates.
+func Subscribe(name string, wants map[string]d3t.Requirement, addrs ...string) (*Client, error) {
+	return inetio.Subscribe(name, wants, addrs...)
+}
 
 // StartCluster brings up every node of the overlay on localhost, parents
 // before children, seeded with the initial values.
