@@ -35,6 +35,7 @@ import (
 	"d3t/internal/core"
 	"d3t/internal/dissemination"
 	"d3t/internal/netsim"
+	"d3t/internal/node"
 	"d3t/internal/repository"
 	"d3t/internal/resilience"
 	"d3t/internal/serve"
@@ -230,6 +231,42 @@ func RunLease(o *Overlay, traces []*Trace, cfg LeaseConfig) (*RunResult, error) 
 // ControlledCoopDegree computes the Eq. 2 "optimal" degree of cooperation.
 func ControlledCoopDegree(avgComm, avgComp Time, resources, k int) int {
 	return tree.ControlledCoopDegree(avgComm, avgComp, resources, k)
+}
+
+// Node core --------------------------------------------------------------
+
+type (
+	// NodeCore is the transport-agnostic repository state machine every
+	// runtime shares: per-update receive/filter/forward decisions
+	// (Eqs. 3 and 7) over precomputed dependent plans, last-pushed-value
+	// tracking, session admission/redirect/resync, and failover resync.
+	// The simulator, the goroutine cluster and the TCP cluster are thin
+	// transports around it; custom runtimes can be too.
+	NodeCore = node.Core
+	// NodeTransport is the backend half of a node: the core decides,
+	// the transport moves bytes and time.
+	NodeTransport = node.Transport
+	// NodeOptions configures a NodeCore (source semantics, session cap,
+	// naive Eq.3-only ablation, serve-only mode).
+	NodeOptions = node.Options
+	// NodeSession is one client's subscription state as its serving
+	// node core tracks it; it survives migration between cores.
+	NodeSession = node.Session
+	// NodeDecisions tallies a core's forward/suppress filter decisions
+	// (the cross-backend parity instrumentation).
+	NodeDecisions = node.Decisions
+)
+
+// NewNodeCore builds a repository core around the repository's wiring;
+// peers resolves dependent ids to their repositories.
+func NewNodeCore(self *Repository, peers func(RepositoryID) *Repository, opts NodeOptions) *NodeCore {
+	return node.New(self, peers, opts)
+}
+
+// NewNodeSession builds a detached client session for admission into a
+// NodeCore.
+func NewNodeSession(name string, wants map[string]Requirement) *NodeSession {
+	return node.NewSession(name, wants)
 }
 
 // Resilience layer ------------------------------------------------------

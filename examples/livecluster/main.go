@@ -50,7 +50,7 @@ func main() {
 
 	fmt.Printf("6 repository servers listening on localhost:\n")
 	for i := 1; i < len(cluster.Nodes); i++ {
-		fmt.Printf("  repo %d @ %s\n", i, cluster.Nodes[i].Addr())
+		fmt.Printf("  %v @ %s\n", cluster.Nodes[i].ID(), cluster.Nodes[i].Addr())
 	}
 
 	published := 0
@@ -70,7 +70,7 @@ func main() {
 
 	src := tr.Ticks[len(tr.Ticks)-1].Value
 	fmt.Printf("\npublished %d updates of %s; final source value %.4f\n\n", published, item, src)
-	fmt.Println("repo  tier  tolerance  deliveries  view     |view-src|")
+	fmt.Println("repo    tier  tolerance  deliveries  view     |view-src|")
 	for i := 1; i < len(cluster.Nodes); i++ {
 		n := cluster.Nodes[i]
 		tier := "hub "
@@ -87,8 +87,8 @@ func main() {
 		if d3t.Requirement(diff) > tol {
 			status = "VIOLATED"
 		}
-		fmt.Printf("%4d  %s  %9.4f  %10d  %.4f  %.4f %s\n",
-			i, tier, float64(tol), n.Delivered(), v, diff, status)
+		fmt.Printf("%6v  %s  %9.4f  %10d  %.4f  %.4f %s\n",
+			n.ID(), tier, float64(tol), n.Delivered(), v, diff, status)
 	}
 	fmt.Println("\nhubs track the source tightly; edges received far fewer pushes")
 	fmt.Println("yet stayed within their own (looser) tolerance.")

@@ -2,24 +2,45 @@ package dissemination
 
 import (
 	"d3t/internal/coherency"
+	"d3t/internal/node"
 	"d3t/internal/repository"
+	"d3t/internal/sim"
 	"d3t/internal/tree"
 )
 
 // Distributed is the repository-based dissemination algorithm of Section
-// 5.1: each node forwards an update to a dependent when Eq. (3) — the
-// dependent's tolerance is violated — or Eq. (7) — withholding it risks a
-// missed update — holds. With UseEq7 false it degrades to the naive
-// Eq.3-only filter, which cannot guarantee fidelity even with zero delays
-// (Figure 4); that variant exists for the ablation and the tests.
+// 5.1, re-seated on the transport-agnostic repository core: every overlay
+// node owns a node.Core holding its per-edge filter state, and this
+// adapter translates core decisions into the simulator's Forward lists.
+// With UseEq7 false it degrades to the naive Eq.3-only filter, which
+// cannot guarantee fidelity even with zero delays (Figure 4); that
+// variant exists for the ablation and the tests.
 type Distributed struct {
 	// UseEq7 enables the missed-update guard. The real algorithm has it
 	// on; turning it off yields the naive baseline.
 	UseEq7 bool
 
 	overlay *tree.Overlay
-	sent    lastSent
+	cores   []*node.Core // indexed by overlay id
+	col     collector
 }
+
+// collector is the simulator-side Transport: it accumulates dependent
+// decisions into a reused Forward buffer (the runner schedules the sends
+// itself, with the delay model applied), so the steady-state pipeline
+// performs no allocations. Simulated cores serve no client sessions.
+type collector struct {
+	buf []Forward
+}
+
+func (c *collector) Now() sim.Time { return 0 }
+
+func (c *collector) SendToDependent(dep repository.ID, item string, v float64, resync bool) bool {
+	c.buf = append(c.buf, Forward{To: dep})
+	return true
+}
+
+func (c *collector) SendToClient(s *node.Session, item string, v float64, resync bool) {}
 
 // NewDistributed returns the paper's distributed algorithm.
 func NewDistributed() *Distributed { return &Distributed{UseEq7: true} }
@@ -35,17 +56,21 @@ func (d *Distributed) Name() string {
 	return "naive-eq3"
 }
 
-// Init implements Protocol.
+// Init implements Protocol: build one core per overlay node and seed
+// every existing edge's filter state with the initial values.
 func (d *Distributed) Init(o *tree.Overlay, initial map[string]float64) {
 	d.overlay = o
-	d.sent = initLastSent(o, initial)
+	d.cores = make([]*node.Core, len(o.Nodes))
+	for _, n := range o.Nodes {
+		d.cores[n.ID] = node.New(n, o.Node, node.Options{Eq3Only: !d.UseEq7})
+		for x := range n.Dependents {
+			d.cores[n.ID].Seed(x, initial[x])
+		}
+	}
 }
 
-// AtSource implements Protocol. The source holds the exact value, so its
-// own tolerance in Eq. (7) is zero and the filter reduces to Eq. (3).
-func (d *Distributed) AtSource(x string, v float64) ([]Forward, int) {
-	return d.decide(d.overlay.Source(), x, v, 0)
-}
+// Core exposes the per-node state machine (for parity instrumentation).
+func (d *Distributed) Core(id repository.ID) *node.Core { return d.cores[id] }
 
 // ResetEdge re-seeds the per-edge filter state for item x after overlay
 // repair re-homes a dependent: the last value "sent" over the (possibly
@@ -54,37 +79,31 @@ func (d *Distributed) AtSource(x string, v float64) ([]Forward, int) {
 // filter against its pre-crash state and could withhold updates the
 // dependent needs.
 func (d *Distributed) ResetEdge(from, to repository.ID, x string, v float64) {
-	d.sent.set(from, to, x, v)
+	d.cores[from].ResetEdge(to, x, v)
+}
+
+// AtSource implements Protocol. The source holds the exact value, so its
+// own tolerance in Eq. (7) is zero and the filter reduces to Eq. (3).
+func (d *Distributed) AtSource(x string, v float64) ([]Forward, int) {
+	return d.at(repository.SourceID, x, v)
 }
 
 // AtRepo implements Protocol.
-func (d *Distributed) AtRepo(node *repository.Repository, x string, v float64, _ coherency.Requirement) ([]Forward, int) {
-	cSelf, ok := node.ServingTolerance(x)
-	if !ok {
-		return nil, 0
-	}
-	return d.decide(node, x, v, cSelf)
+func (d *Distributed) AtRepo(n *repository.Repository, x string, v float64, _ coherency.Requirement) ([]Forward, int) {
+	return d.at(n.ID, x, v)
 }
 
-func (d *Distributed) decide(node *repository.Repository, x string, v float64, cSelf coherency.Requirement) ([]Forward, int) {
-	deps := node.Dependents[x]
-	var fwd []Forward
-	for _, dep := range deps {
-		cDep, ok := d.overlay.Node(dep).ServingTolerance(x)
-		if !ok {
-			continue // should not happen in a validated overlay
-		}
-		last := d.sent.get(node.ID, dep, x)
-		forward := coherency.NeedsUpdate(v, last, cDep)
-		if !forward && d.UseEq7 {
-			forward = coherency.RisksMissedUpdate(v, last, cDep, cSelf)
-		}
-		if forward {
-			fwd = append(fwd, Forward{To: dep})
-			d.sent.set(node.ID, dep, x, v)
-		}
+// at runs the core pipeline and hands back the collected decisions. The
+// returned slice is reused across calls; the runner consumes it before
+// the next protocol call, like every Protocol implementation's caller
+// must.
+func (d *Distributed) at(id repository.ID, x string, v float64) ([]Forward, int) {
+	d.col.buf = d.col.buf[:0]
+	_, checks := d.cores[id].Apply(x, v, &d.col)
+	if len(d.col.buf) == 0 {
+		return nil, checks
 	}
-	return fwd, len(deps)
+	return d.col.buf, checks
 }
 
 // AllPush is the Figure 8 baseline: no filtering at all; every update of

@@ -35,54 +35,20 @@ type Protocol interface {
 	Init(o *tree.Overlay, initial map[string]float64)
 	// AtSource reports which direct dependents must receive the new value
 	// v of item x, and how many filtering checks the source performed.
+	//
+	// The returned slice is valid only until the next call on the same
+	// protocol — implementations may reuse one backing buffer across
+	// calls (Distributed does, keeping the hot path allocation-free).
+	// Callers must consume or copy it before deciding the next update.
 	AtSource(x string, v float64) (fwd []Forward, checks int)
 	// AtRepo reports which of node's dependents must receive the update
 	// (x, v, tag) that node just received, and how many checks node
-	// performed.
+	// performed. The returned slice has the same single-call lifetime as
+	// AtSource's.
 	AtRepo(node *repository.Repository, x string, v float64, tag coherency.Requirement) (fwd []Forward, checks int)
 }
 
-// lastSent tracks, per (parent, dependent, item), the last value the
-// parent pushed to the dependent — the state behind Eqs. 3 and 7.
-type lastSent map[repository.ID]map[repository.ID]map[string]float64
-
-// initLastSent seeds every overlay edge with the initial item values.
-func initLastSent(o *tree.Overlay, initial map[string]float64) lastSent {
-	ls := make(lastSent, len(o.Nodes))
-	for _, n := range o.Nodes {
-		byDep := make(map[repository.ID]map[string]float64)
-		for x, deps := range n.Dependents {
-			v := initial[x]
-			for _, d := range deps {
-				m := byDep[d]
-				if m == nil {
-					m = make(map[string]float64)
-					byDep[d] = m
-				}
-				m[x] = v
-			}
-		}
-		ls[n.ID] = byDep
-	}
-	return ls
-}
-
-func (ls lastSent) get(from, to repository.ID, x string) float64 {
-	return ls[from][to][x]
-}
-
-func (ls lastSent) set(from, to repository.ID, x string, v float64) {
-	byDep := ls[from]
-	if byDep == nil {
-		byDep = make(map[repository.ID]map[string]float64)
-		ls[from] = byDep
-	}
-	m := byDep[to]
-	if m == nil {
-		// An edge established after Init — overlay repair re-homed this
-		// dependent mid-run.
-		m = make(map[string]float64)
-		byDep[to] = m
-	}
-	m[x] = v
-}
+// The per-(parent, dependent, item) last-pushed-value state behind Eqs. 3
+// and 7 lives in the transport-agnostic repository core (internal/node):
+// Distributed owns one node.Core per overlay node and translates its
+// decisions into Forward lists.

@@ -4,6 +4,12 @@
 // (scaled) durations. It demonstrates the same filtering logic as the
 // discrete-event simulator outside simulated time — the "evaluation in a
 // real setting" the paper leaves as future work — on a single machine.
+//
+// The protocol state machine itself — last-pushed-value tracking, the
+// Eq. 3+7 filters for dependents and client sessions, resync after
+// failover — lives in the transport-agnostic core (internal/node); this
+// package is the channel transport around it: goroutines, inbox/outbox
+// channels, real-time heartbeats and silence watchdogs.
 package live
 
 import (
@@ -12,8 +18,9 @@ import (
 	"sync"
 	"time"
 
-	"d3t/internal/coherency"
+	dnode "d3t/internal/node"
 	"d3t/internal/repository"
+	"d3t/internal/sim"
 	"d3t/internal/tree"
 )
 
@@ -55,17 +62,18 @@ type Cluster struct {
 	overlay *tree.Overlay
 	opts    Options
 	nodes   map[repository.ID]*node
+	start   time.Time
 	done    chan struct{}
 	wg      sync.WaitGroup
 
 	// topoMu guards the overlay wiring (Parents/Dependents/Serving) and
-	// each node's out-channel map: failure repair rewires them while node
-	// goroutines read them. It also guards the session lists below.
+	// session placement: failure repair rewires the overlay while node
+	// goroutines read it, and migration moves sessions between node
+	// cores. Lock order is topoMu, then a node's mu, then a session's mu;
+	// no path may acquire a node mutex while holding a session's.
 	topoMu    sync.RWMutex
 	failovers int
 
-	// sessions maps each repository to the client sessions it serves.
-	sessions          map[repository.ID][]*Session
 	sessionRedirects  int
 	sessionMigrations int
 
@@ -81,17 +89,67 @@ type update struct {
 
 type node struct {
 	repo *repository.Repository
-	in   chan update
+
+	mu sync.Mutex
+	// core is the transport-agnostic state machine: values, per-edge
+	// filter state, admitted sessions. Guarded by mu.
+	core *dnode.Core
+	// sess maps admitted session names to their channel-side handles.
+	sess map[string]*Session
+	// tr is the node's reusable transport (guarded by mu; the flush of
+	// its collected sends happens on the node's own goroutine).
+	tr transport
+
+	in chan update
 	// out holds one FIFO channel per dependent: a dedicated forwarder
 	// goroutine applies the wire delay, so updates on an edge can never
-	// overtake one another. Guarded by Cluster.topoMu (repair adds edges).
+	// overtake one another. Guarded by mu (repair adds edges).
 	out map[repository.ID]chan update
 
-	mu        sync.Mutex
-	values    map[string]float64
-	lastSent  map[repository.ID]map[string]float64
 	lastHeard map[repository.ID]time.Time
 	dead      bool
+}
+
+// transport adapts one node's core decisions to channels. Dependent sends
+// are collected and flushed after the locks drop (a full peer inbox
+// applies backpressure and must not be awaited under a mutex); session
+// pushes are non-blocking and happen inline.
+type transport struct {
+	c       *Cluster
+	n       *node
+	targets []chan update
+}
+
+func (t *transport) Now() sim.Time { return t.c.now() }
+
+func (t *transport) SendToDependent(dep repository.ID, item string, v float64, resync bool) bool {
+	if resync {
+		// The collected-targets flush carries only the one triggering
+		// update, so it cannot ship arbitrary (item, value) resync pairs.
+		// Refuse — the edge state stays untouched — and let failover do
+		// its own paired sync sends (Cluster.failover), which is the only
+		// resync path this runtime uses.
+		return false
+	}
+	ch := t.n.out[dep]
+	if ch == nil {
+		return false
+	}
+	t.targets = append(t.targets, ch)
+	return true
+}
+
+func (t *transport) SendToClient(ns *dnode.Session, item string, v float64, resync bool) {
+	if s, ok := ns.Tag().(*Session); ok {
+		s.push(ClientUpdate{Item: item, Value: v, Resync: resync})
+	}
+}
+
+// now is the cluster's single time base: microseconds since creation,
+// as sim.Time. Session service clocks are stamped with it (the
+// transport's Now) and the session watchdog compares against it.
+func (c *Cluster) now() sim.Time {
+	return sim.Time(time.Since(c.start) / time.Microsecond)
 }
 
 // NewCluster builds (but does not start) a live cluster over the overlay.
@@ -111,17 +169,19 @@ func NewCluster(o *tree.Overlay, opts Options) *Cluster {
 		overlay: o,
 		opts:    opts,
 		nodes:   make(map[repository.ID]*node, len(o.Nodes)),
+		start:   time.Now(),
 		done:    make(chan struct{}),
 	}
 	for _, r := range o.Nodes {
 		n := &node{
 			repo:      r,
+			core:      dnode.New(r, o.Node, dnode.Options{SessionCap: opts.SessionCap}),
+			sess:      make(map[string]*Session),
 			in:        make(chan update, opts.Buffer),
 			out:       make(map[repository.ID]chan update),
-			values:    make(map[string]float64),
-			lastSent:  make(map[repository.ID]map[string]float64),
 			lastHeard: make(map[repository.ID]time.Time),
 		}
+		n.tr.c, n.tr.n = c, n
 		for _, deps := range r.Dependents {
 			for _, dep := range deps {
 				if _, ok := n.out[dep]; !ok {
@@ -248,8 +308,7 @@ func (c *Cluster) Value(id repository.ID, item string) (float64, bool) {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	v, ok := n.values[item]
-	return v, ok
+	return n.core.Value(item)
 }
 
 // Seed initializes every node's copy of item (and the edge filter state)
@@ -257,24 +316,9 @@ func (c *Cluster) Value(id repository.ID, item string) (float64, bool) {
 func (c *Cluster) Seed(item string, value float64) {
 	for _, n := range c.nodes {
 		n.mu.Lock()
-		if n.repo.IsSource() || hasItem(n.repo, item) {
-			n.values[item] = value
-		}
-		for _, dep := range n.repo.Dependents[item] {
-			m := n.lastSent[dep]
-			if m == nil {
-				m = make(map[string]float64)
-				n.lastSent[dep] = m
-			}
-			m[item] = value
-		}
+		n.core.Seed(item, value)
 		n.mu.Unlock()
 	}
-}
-
-func hasItem(r *repository.Repository, item string) bool {
-	_, ok := r.Serving[item]
-	return ok
 }
 
 // run is the node goroutine body: receive, record, filter, forward. A
@@ -291,6 +335,11 @@ func (c *Cluster) run(n *node) {
 	}
 }
 
+// handle runs one received update through the node core and flushes the
+// resulting sends. The core decides — dependents through the per-edge
+// filters, sessions through the per-client ones — while the wiring is
+// stable under the locks; the (blocking) channel sends to dependents
+// happen after both drop.
 func (c *Cluster) handle(n *node, u update) {
 	c.topoMu.RLock()
 	n.mu.Lock()
@@ -305,47 +354,17 @@ func (c *Cluster) handle(n *node, u update) {
 		c.topoMu.RUnlock()
 		return
 	}
-	n.values[u.item] = u.value
-	cSelf := coherency.Requirement(0)
-	if !n.repo.IsSource() {
-		cSelf, _ = n.repo.ServingTolerance(u.item)
-	}
-	// Decide forwards under the distributed algorithm (Eqs. 3 and 7),
-	// snapshotting the edge channels while the wiring is stable.
-	fwd := update{item: u.item, value: u.value, from: n.repo.ID}
-	var targets []chan update
-	for _, dep := range n.repo.Dependents[u.item] {
-		cDep, ok := c.overlay.Node(dep).ServingTolerance(u.item)
-		if !ok {
-			continue
-		}
-		ch := n.out[dep]
-		if ch == nil {
-			continue
-		}
-		m := n.lastSent[dep]
-		if m == nil {
-			m = make(map[string]float64)
-			n.lastSent[dep] = m
-		}
-		last, seeded := m[u.item]
-		if !seeded || coherency.ShouldForward(u.value, last, cDep, cSelf) {
-			m[u.item] = u.value
-			targets = append(targets, ch)
-		}
-	}
+	n.tr.targets = n.tr.targets[:0]
+	n.core.Apply(u.item, u.value, &n.tr)
+	targets := n.tr.targets // flushed below, before this goroutine's next handle
 	n.mu.Unlock()
-	// Fan the delivery out to this repository's client sessions through
-	// their own tolerances (Eq. 3 at the leaf).
-	if !n.repo.IsSource() {
-		c.fanOutLocked(n.repo.ID, u.item, u.value)
-	}
 	c.topoMu.RUnlock()
 
 	if !n.repo.IsSource() && c.opts.OnDeliver != nil {
 		c.opts.OnDeliver(n.repo.ID, u.item, u.value)
 	}
 
+	fwd := update{item: u.item, value: u.value, from: n.repo.ID}
 	for _, ch := range targets {
 		if c.opts.CompDelay > 0 {
 			time.Sleep(c.opts.CompDelay) // serial per-copy processing cost
@@ -407,9 +426,13 @@ func (c *Cluster) heartbeatLoop(n *node) {
 				chans = append(chans, ch)
 			}
 		}
+		// A live repository's keep-alive also reassures its sessions:
+		// refresh their service clocks so the session watchdog does not
+		// abandon a quiet-but-alive node.
+		n.mu.Lock()
+		n.core.TouchSessions(n.tr.Now())
+		n.mu.Unlock()
 		c.topoMu.RUnlock()
-		// A live repository's keep-alive also reassures its sessions.
-		c.touchSessions(n.repo.ID)
 		for _, ch := range chans {
 			select {
 			case ch <- hb:
@@ -458,7 +481,8 @@ func (c *Cluster) watchdogLoop(n *node) {
 // first live backup that already serves it and has a free connection
 // slot. Items with no eligible backup stay orphaned; the watchdog retries
 // them on its next pass (the silent parent stays in lastHeard until every
-// item has moved).
+// item has moved). The backup's core seeds the revived edge with the
+// synced value, so the first post-resync update filters correctly.
 func (c *Cluster) failover(n *node, deadPID repository.ID) {
 	type syncSend struct {
 		ch chan update
@@ -524,14 +548,8 @@ func (c *Cluster) failover(n *node, deadPID repository.ID) {
 					c.forwardLoop(ch, n)
 				}()
 			}
-			v, hasV := bn.values[x]
-			if hasV {
-				m := bn.lastSent[n.repo.ID]
-				if m == nil {
-					m = make(map[string]float64)
-					bn.lastSent[n.repo.ID] = m
-				}
-				m[x] = v
+			if v, hasV := bn.core.Value(x); hasV {
+				bn.core.ResetEdge(n.repo.ID, x, v)
 				syncs = append(syncs, syncSend{ch, update{item: x, value: v, from: b}})
 			}
 			bn.mu.Unlock()
@@ -555,12 +573,26 @@ func (c *Cluster) failover(n *node, deadPID repository.ID) {
 	}
 }
 
+// Decisions reports a node's per-item forward/suppress decision totals
+// about its dependents — the cross-backend parity instrumentation.
+func (c *Cluster) Decisions(id repository.ID) map[string]dnode.Decisions {
+	n, ok := c.nodes[id]
+	if !ok {
+		return nil
+	}
+	c.topoMu.RLock()
+	defer c.topoMu.RUnlock()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.core.EdgeDecisions()
+}
+
 // Snapshot returns every repository's copy of item, for observation.
 func (c *Cluster) Snapshot(item string) map[repository.ID]float64 {
 	out := make(map[repository.ID]float64)
 	for id, n := range c.nodes {
 		n.mu.Lock()
-		if v, ok := n.values[item]; ok {
+		if v, ok := n.core.Value(item); ok {
 			out[id] = v
 		}
 		n.mu.Unlock()

@@ -7,16 +7,20 @@ import (
 	"time"
 
 	"d3t/internal/coherency"
+	dnode "d3t/internal/node"
 	"d3t/internal/repository"
+	"d3t/internal/sim"
 )
 
-// This file serves client sessions over channels: the serving-layer
-// counterpart of internal/serve for the goroutine runtime. A session
-// subscribes to items with its own tolerances, is admitted to a
-// repository under the session cap (overflow redirects to the next
-// candidate), receives only updates that exceed its tolerance — Eq. 3
-// applied once more at the leaf — and migrates to another repository,
-// with a resync, when heartbeat silence marks its repository dead.
+// This file serves client sessions over channels: the channel transport
+// of the node core's serving layer. A session subscribes to items with
+// its own tolerances, is admitted to a repository under the session cap
+// (overflow redirects to the next candidate), receives only updates its
+// serving core's per-client filter forwards, and migrates to another
+// repository, with a resync, when heartbeat silence marks its repository
+// dead. The filter state and decision counters live in the core
+// (node.Session); this side owns the delivery channel, placement
+// preferences, and the silence clock.
 
 // ClientUpdate is one value pushed to a session.
 type ClientUpdate struct {
@@ -32,17 +36,13 @@ type Session struct {
 	name string
 	c    *Cluster
 	ch   chan ClientUpdate
+	ns   *dnode.Session
 
 	mu         sync.Mutex
 	repo       repository.ID
-	wants      map[string]coherency.Requirement
 	preferred  []repository.ID // admission preference order, reused on migration
-	last       map[string]float64
-	lastHeard  time.Time
 	redirected bool
 	migrations int
-	delivered  uint64
-	filtered   uint64
 	dropped    uint64
 	closed     bool
 }
@@ -77,16 +77,36 @@ func (s *Session) Migrations() int {
 	return s.migrations
 }
 
+// withCore runs fn with the session's core-side state serialized against
+// the serving node (lock order: topoMu, node mu; the session mutex is
+// never held across either).
+func (s *Session) withCore(fn func(ns *dnode.Session)) {
+	s.c.topoMu.RLock()
+	defer s.c.topoMu.RUnlock()
+	s.mu.Lock()
+	id := s.repo
+	s.mu.Unlock()
+	if n, ok := s.c.nodes[id]; ok {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		fn(s.ns)
+		return
+	}
+	// Detached (departed or mid-migration): nothing else touches the
+	// node session while topoMu is held shared.
+	fn(s.ns)
+}
+
 // Delivered, Filtered and Dropped report the session's fan-out counters.
 func (s *Session) Delivered() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.delivered
+	var out uint64
+	s.withCore(func(ns *dnode.Session) { out = ns.Delivered() })
+	return out
 }
 func (s *Session) Filtered() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.filtered
+	var out uint64
+	s.withCore(func(ns *dnode.Session) { out = ns.Filtered() })
+	return out
 }
 func (s *Session) Dropped() uint64 {
 	s.mu.Lock()
@@ -96,25 +116,53 @@ func (s *Session) Dropped() uint64 {
 
 // Value returns the session's current copy of item.
 func (s *Session) Value(item string) (float64, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	v, ok := s.last[item]
+	var (
+		v  float64
+		ok bool
+	)
+	s.withCore(func(ns *dnode.Session) { v, ok = ns.Value(item) })
 	return v, ok
 }
 
+// push queues one update without blocking; a full channel drops the
+// update and counts it. Callers hold the serving node's mutex (or the
+// cluster's write lock), which is what excludes a concurrent Close.
+func (s *Session) push(u ClientUpdate) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	select {
+	case s.ch <- u:
+	default:
+		s.dropped++
+	}
+	s.mu.Unlock()
+}
+
 // Close departs the session: it is removed from its repository and its
-// channel is closed, so ranging consumers terminate. Every writer holds
-// the locks taken here and checks closed first, so no send can follow.
+// channel is closed, so ranging consumers terminate. Every push happens
+// under topoMu (read) plus the serving node's mutex; Close holds the
+// write lock and detaches first, so no send can follow the close.
 func (s *Session) Close() {
 	s.c.topoMu.Lock()
 	defer s.c.topoMu.Unlock()
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.closed {
+		s.mu.Unlock()
 		return
 	}
 	s.closed = true
-	s.c.dropSessionLocked(s)
+	id := s.repo
+	s.repo = repository.NoID
+	s.mu.Unlock()
+	if n, ok := s.c.nodes[id]; ok {
+		n.mu.Lock()
+		n.core.DropSession(s.name)
+		delete(n.sess, s.name)
+		n.mu.Unlock()
+	}
 	close(s.ch)
 }
 
@@ -133,10 +181,11 @@ func (c *Cluster) Subscribe(name string, wants map[string]coherency.Requirement,
 		name:      name,
 		c:         c,
 		ch:        make(chan ClientUpdate, c.opts.Buffer),
-		wants:     wants,
+		ns:        dnode.NewSession(name, wants),
 		preferred: append([]repository.ID(nil), preferred...),
-		last:      make(map[string]float64, len(wants)),
+		repo:      repository.NoID,
 	}
+	s.ns.SetTag(s)
 	c.topoMu.Lock()
 	defer c.topoMu.Unlock()
 	target := c.placeSessionLocked(s, preferred, repository.NoID)
@@ -198,154 +247,49 @@ func (c *Cluster) sessionCandidatesLocked(preferred []repository.ID, skip reposi
 
 // placeSessionLocked walks the candidates and returns the first that is
 // alive, serves the session's watch list stringently enough, and has
-// session capacity — or NoID.
+// session capacity — or NoID. The per-candidate policy (cap, serving
+// stringency) is the core's admission rule.
 func (c *Cluster) placeSessionLocked(s *Session, preferred []repository.ID, skip repository.ID) repository.ID {
 	for _, id := range c.sessionCandidatesLocked(preferred, skip) {
 		n := c.nodes[id]
 		n.mu.Lock()
-		dead := n.dead
+		ok := !n.dead && n.core.Session(s.name) == nil &&
+			n.core.HasSessionRoom() && n.core.CanServeSession(s.ns.Wants())
 		n.mu.Unlock()
-		if dead {
-			continue
+		if ok {
+			return id
 		}
-		if c.opts.SessionCap > 0 && len(c.sessions[id]) >= c.opts.SessionCap {
-			continue
-		}
-		serves := true
-		for x, tol := range s.wants {
-			if !n.repo.CanServe(x, tol) {
-				serves = false
-				break
-			}
-		}
-		if !serves {
-			continue
-		}
-		return id
 	}
 	return repository.NoID
 }
 
-// attachSessionLocked wires the session to the repository and queues the
-// resync push of the repository's current copies.
+// attachSessionLocked wires the session into the repository's core,
+// which resyncs it to the repository's current copies and stamps its
+// service clock. The caller holds topoMu (write).
 func (c *Cluster) attachSessionLocked(s *Session, id repository.ID) {
-	if c.sessions == nil {
-		c.sessions = make(map[repository.ID][]*Session)
-	}
-	c.sessions[id] = append(c.sessions[id], s)
 	n := c.nodes[id]
-	items := make([]string, 0, len(s.wants))
-	for x := range s.wants {
-		items = append(items, x)
-	}
-	sort.Strings(items)
-	n.mu.Lock()
-	vals := make(map[string]float64, len(items))
-	for _, x := range items {
-		if v, ok := n.values[x]; ok {
-			vals[x] = v
-		}
-	}
-	n.mu.Unlock()
 	s.mu.Lock()
 	s.repo = id
-	s.lastHeard = time.Now()
-	for _, x := range items {
-		v, ok := vals[x]
-		if !ok {
-			continue
-		}
-		if had, seeded := s.last[x]; seeded && had == v {
-			continue // already converged; nothing to catch up on
-		}
-		s.last[x] = v
-		s.pushLocked(ClientUpdate{Item: x, Value: v, Resync: true})
-	}
 	s.mu.Unlock()
-}
-
-// dropSessionLocked removes the session from its repository's fan-out
-// list. Callers hold topoMu and s.mu as needed.
-func (c *Cluster) dropSessionLocked(s *Session) {
-	list := c.sessions[s.repo]
-	for i, other := range list {
-		if other == s {
-			c.sessions[s.repo] = append(list[:i:i], list[i+1:]...)
-			break
-		}
-	}
-	s.repo = repository.NoID
-}
-
-// pushLocked queues one update without blocking; a full channel drops
-// the update and counts it. Callers hold s.mu.
-func (s *Session) pushLocked(u ClientUpdate) {
-	select {
-	case s.ch <- u:
-	default:
-		s.dropped++
-	}
-}
-
-// fanOutLocked applies the per-client filter to one repository delivery:
-// Eqs. 3 and 7 with the repository's own serving tolerance as cSelf, the
-// same condition the overlay uses edge by edge — Eq. 3 alone would let a
-// client drift by its tolerance plus the repository's. The caller holds
-// topoMu (read) — the session lists are stable.
-func (c *Cluster) fanOutLocked(id repository.ID, item string, v float64) {
-	list := c.sessions[id]
-	if len(list) == 0 {
-		return
-	}
-	cSelf, _ := c.nodes[id].repo.ServingTolerance(item)
-	for _, s := range list {
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			continue
-		}
-		tol, watching := s.wants[item]
-		if !watching {
-			s.mu.Unlock()
-			continue
-		}
-		s.lastHeard = time.Now()
-		if last, seeded := s.last[item]; seeded && !coherency.ShouldForward(v, last, tol, cSelf) {
-			s.filtered++
-			s.mu.Unlock()
-			continue
-		}
-		s.last[item] = v
-		s.delivered++
-		s.pushLocked(ClientUpdate{Item: item, Value: v})
-		s.mu.Unlock()
-	}
-}
-
-// touchSessions refreshes the silence clocks of a repository's sessions
-// when it heartbeats, so a quiet-but-alive repository is not abandoned.
-func (c *Cluster) touchSessions(id repository.ID) {
-	c.topoMu.RLock()
-	list := append([]*Session(nil), c.sessions[id]...)
-	c.topoMu.RUnlock()
-	now := time.Now()
-	for _, s := range list {
-		s.mu.Lock()
-		s.lastHeard = now
-		s.mu.Unlock()
-	}
+	n.mu.Lock()
+	n.sess[s.name] = s
+	n.core.ForceAdmit(s.ns, &n.tr)
+	n.mu.Unlock()
 }
 
 // sessionWatchdogLoop migrates sessions away from silent repositories:
-// a session that has heard nothing — no update, no heartbeat — from its
-// repository for FailWindow re-homes onto the next candidate and resyncs
-// to its current copies, mirroring the repository-to-repository failover
-// of the overlay itself.
+// a session whose core records no service — no delivery, no resync, no
+// heartbeat touch — for FailWindow re-homes onto the next candidate and
+// resyncs to its current copies, mirroring the repository-to-repository
+// failover of the overlay itself. The silence clock is the core's
+// (Session.LastServed, refreshed by heartbeats via TouchSessions), on
+// the cluster transport's time base.
 func (c *Cluster) sessionWatchdogLoop() {
 	period := c.opts.FailWindow / 4
 	if period <= 0 {
 		period = time.Millisecond
 	}
+	window := sim.Time(c.opts.FailWindow / time.Microsecond)
 	ticker := time.NewTicker(period)
 	defer ticker.Stop()
 	for {
@@ -354,17 +298,17 @@ func (c *Cluster) sessionWatchdogLoop() {
 			return
 		case <-ticker.C:
 		}
+		now := c.now()
 		c.topoMu.RLock()
 		var stale []*Session
-		now := time.Now()
-		for _, list := range c.sessions {
-			for _, s := range list {
-				s.mu.Lock()
-				if !s.closed && s.repo != repository.NoID && now.Sub(s.lastHeard) >= c.opts.FailWindow {
+		for _, n := range c.nodes {
+			n.mu.Lock()
+			for _, ns := range n.core.StaleSessions(now, window) {
+				if s, ok := ns.Tag().(*Session); ok {
 					stale = append(stale, s)
 				}
-				s.mu.Unlock()
 			}
+			n.mu.Unlock()
 		}
 		c.topoMu.RUnlock()
 		sort.Slice(stale, func(i, j int) bool { return stale[i].name < stale[j].name })
@@ -375,7 +319,8 @@ func (c *Cluster) sessionWatchdogLoop() {
 }
 
 // migrateSession re-homes one session off its (presumed dead)
-// repository.
+// repository. The node.Session object carries the client's current
+// copies along, so the new core resyncs only values that differ.
 func (c *Cluster) migrateSession(s *Session) {
 	c.topoMu.Lock()
 	defer c.topoMu.Unlock()
@@ -393,8 +338,13 @@ func (c *Cluster) migrateSession(s *Session) {
 	if target == repository.NoID {
 		return // nothing can take it; the watchdog retries next pass
 	}
+	if n, ok := c.nodes[old]; ok {
+		n.mu.Lock()
+		n.core.DropSession(s.name)
+		delete(n.sess, s.name)
+		n.mu.Unlock()
+	}
 	s.mu.Lock()
-	c.dropSessionLocked(s)
 	s.migrations++
 	s.mu.Unlock()
 	c.attachSessionLocked(s, target)

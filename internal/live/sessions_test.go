@@ -83,7 +83,8 @@ func TestSubscribeAdmissionAndRedirect(t *testing.T) {
 		return map[string]coherency.Requirement{"X": tol}
 	}
 	// First client fills repository 1's only slot.
-	if _, err := c.Subscribe("a", wants(100), 1); err != nil {
+	a, err := c.Subscribe("a", wants(100), 1)
+	if err != nil {
 		t.Fatal(err)
 	}
 	// The second prefers 1 too, but must redirect to 2 — whose serving
@@ -104,7 +105,6 @@ func TestSubscribeAdmissionAndRedirect(t *testing.T) {
 		t.Error("session admitted with no repository able to serve it")
 	}
 	// Departing "a" frees the slot for a stringent client.
-	a := c.sessions[1][0]
 	a.Close()
 	d, err := c.Subscribe("d", wants(40), 1)
 	if err != nil {

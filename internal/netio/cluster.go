@@ -47,7 +47,7 @@ func StartCluster(o *tree.Overlay, initial map[string]float64) (*Cluster, error)
 				c, ok := o.Node(dep).ServingTolerance(item)
 				if !ok {
 					shutdown()
-					return nil, fmt.Errorf("netio: dependent %d lacks tolerance for %s", dep, item)
+					return nil, fmt.Errorf("netio: dependent %v lacks tolerance for %s", dep, item)
 				}
 				if children[dep] == nil {
 					children[dep] = make(map[string]coherency.Requirement)
@@ -60,12 +60,12 @@ func StartCluster(o *tree.Overlay, initial map[string]float64) (*Cluster, error)
 			pids := parentsOf(r)
 			if len(pids) == 0 {
 				shutdown()
-				return nil, fmt.Errorf("netio: repository %d has no parent", r.ID)
+				return nil, fmt.Errorf("netio: %v has no parent", r.ID)
 			}
 			for _, pid := range pids {
 				if addr[pid] == "" {
 					shutdown()
-					return nil, fmt.Errorf("netio: parent %d of %d not started yet", pid, r.ID)
+					return nil, fmt.Errorf("netio: parent %v of %v not started yet", pid, r.ID)
 				}
 				parentAddrs = append(parentAddrs, addr[pid])
 			}
@@ -99,7 +99,7 @@ func StartCluster(o *tree.Overlay, initial map[string]float64) (*Cluster, error)
 				for _, m := range nodes {
 					m.Close()
 				}
-				return nil, fmt.Errorf("netio: node %d has %d of %d children connected after 10s",
+				return nil, fmt.Errorf("netio: %v has %d of %d children connected after 10s",
 					n.ID(), n.ConnectedChildren(), n.ExpectedChildren())
 			}
 			time.Sleep(time.Millisecond)

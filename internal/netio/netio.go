@@ -9,6 +9,11 @@
 // dependent dials its parent and sends a hello frame identifying itself;
 // the parent then pushes update frames for the items it serves that
 // dependent, filtered by Eqs. 3 and 7.
+//
+// The filtering, last-pushed-value tracking, session admission and
+// resync rules live in the transport-agnostic core (internal/node),
+// built here from the node's self-contained config: this package owns
+// only the sockets, the frames, and the connection-error failover.
 package netio
 
 import (
@@ -21,7 +26,9 @@ import (
 	"time"
 
 	"d3t/internal/coherency"
+	dnode "d3t/internal/node"
 	"d3t/internal/repository"
+	"d3t/internal/sim"
 )
 
 // frame is the single wire message type; Kind discriminates.
@@ -95,24 +102,21 @@ type NodeConfig struct {
 
 // Node is a running dissemination server.
 type Node struct {
-	cfg NodeConfig
-	ln  net.Listener
+	cfg   NodeConfig
+	ln    net.Listener
+	start time.Time
 
-	mu       sync.Mutex
-	values   map[string]float64
-	lastSent map[repository.ID]map[string]float64
+	mu sync.Mutex
+	// core owns values, per-child filter state and client sessions;
+	// guarded by mu.
+	core     *dnode.Core
+	tr       transport
 	childEnc map[repository.ID]*gob.Encoder
-	conns    map[net.Conn]bool
-	closed   bool
-
-	// Client sessions: per-name push encoder and last-delivered filter
-	// state, plus the admission counters. clientNames mirrors the map
-	// keys in sorted order so the per-update fan-out never re-sorts.
-	clientEnc   map[string]*gob.Encoder
-	clientLast  map[string]map[string]float64
-	clientTols  map[string]map[string]coherency.Requirement
-	clientNames []string
-	redirected  int
+	// clientEnc maps admitted session names to their push encoders —
+	// the wire half of the core's session registry.
+	clientEnc map[string]*gob.Encoder
+	conns     map[net.Conn]bool
+	closed    bool
 
 	parentConns []net.Conn
 	wg          sync.WaitGroup
@@ -120,6 +124,82 @@ type Node struct {
 	delivered int
 	// failovers counts successful re-connections to a backup parent.
 	failovers int
+}
+
+// transport adapts the core's decisions to gob frames. Every call
+// happens under Node.mu; gob encoders write to TCP sockets, whose
+// buffers apply backpressure naturally.
+type transport struct {
+	n *Node
+	// err records the first child-push encode failure of an apply pass.
+	err error
+}
+
+func (t *transport) Now() sim.Time {
+	return sim.Time(time.Since(t.n.start) / time.Microsecond)
+}
+
+func (t *transport) SendToDependent(dep repository.ID, item string, v float64, resync bool) bool {
+	enc := t.n.childEnc[dep]
+	if enc == nil {
+		// Child not dialed in yet: report no path so the core leaves the
+		// filter state untouched and the child catches up on the next
+		// qualifying update after it joins.
+		return false
+	}
+	if err := enc.Encode(frame{Kind: kindUpdate, Item: item, Value: v}); err != nil && t.err == nil {
+		t.err = fmt.Errorf("netio: %v pushing to %v: %w", t.n.cfg.ID, dep, err)
+	}
+	return true
+}
+
+func (t *transport) SendToClient(s *dnode.Session, item string, v float64, resync bool) {
+	if enc, ok := s.Tag().(*gob.Encoder); ok {
+		enc.Encode(frame{Kind: kindUpdate, Item: item, Value: v, Resync: resync})
+	}
+}
+
+// buildCore assembles the transport-agnostic core from the self-contained
+// config: a stub repository for the node itself and one per dependent
+// (carrying its tolerances), wired in sorted order so the fan-out plan —
+// and hence the wire traffic — is deterministic.
+func buildCore(cfg NodeConfig) *dnode.Core {
+	self := repository.New(cfg.ID, len(cfg.Children))
+	for x, c := range cfg.Serving {
+		self.Serving[x] = c
+	}
+	peers := make(map[repository.ID]*repository.Repository, len(cfg.Children))
+	children := make([]repository.ID, 0, len(cfg.Children))
+	for child := range cfg.Children {
+		children = append(children, child)
+	}
+	sort.Slice(children, func(i, j int) bool { return children[i] < children[j] })
+	for _, child := range children {
+		stub := repository.New(child, 0)
+		items := make([]string, 0, len(cfg.Children[child]))
+		for x, tol := range cfg.Children[child] {
+			stub.Serving[x] = tol
+			items = append(items, x)
+		}
+		sort.Strings(items)
+		peers[child] = stub
+		for _, x := range items {
+			self.AddDependent(x, child)
+		}
+	}
+	core := dnode.New(self, func(id repository.ID) *repository.Repository { return peers[id] },
+		dnode.Options{Source: len(cfg.Parents) == 0, SessionCap: cfg.SessionCap})
+	for item, v := range cfg.Initial {
+		core.SetValue(item, v)
+	}
+	for _, child := range children {
+		for item := range cfg.Children[child] {
+			if v, ok := cfg.Initial[item]; ok {
+				core.ResetEdge(child, item, v)
+			}
+		}
+	}
+	return core
 }
 
 // Start launches the node: listen for dependents, connect to the parent
@@ -130,31 +210,18 @@ func Start(cfg NodeConfig) (*Node, error) {
 	}
 	ln, err := net.Listen("tcp", cfg.Listen)
 	if err != nil {
-		return nil, fmt.Errorf("netio: node %d listen: %w", cfg.ID, err)
+		return nil, fmt.Errorf("netio: %v listen: %w", cfg.ID, err)
 	}
 	n := &Node{
-		cfg:        cfg,
-		ln:         ln,
-		values:     make(map[string]float64),
-		lastSent:   make(map[repository.ID]map[string]float64),
-		childEnc:   make(map[repository.ID]*gob.Encoder),
-		conns:      make(map[net.Conn]bool),
-		clientEnc:  make(map[string]*gob.Encoder),
-		clientLast: make(map[string]map[string]float64),
-		clientTols: make(map[string]map[string]coherency.Requirement),
+		cfg:       cfg,
+		ln:        ln,
+		start:     time.Now(),
+		core:      buildCore(cfg),
+		childEnc:  make(map[repository.ID]*gob.Encoder),
+		clientEnc: make(map[string]*gob.Encoder),
+		conns:     make(map[net.Conn]bool),
 	}
-	for item, v := range cfg.Initial {
-		n.values[item] = v
-	}
-	for child, items := range cfg.Children {
-		m := make(map[string]float64, len(items))
-		for item := range items {
-			if v, ok := cfg.Initial[item]; ok {
-				m[item] = v
-			}
-		}
-		n.lastSent[child] = m
-	}
+	n.tr.n = n
 
 	n.wg.Add(1)
 	go func() {
@@ -166,14 +233,14 @@ func Start(cfg NodeConfig) (*Node, error) {
 		conn, err := net.Dial("tcp", parent)
 		if err != nil {
 			n.Close()
-			return nil, fmt.Errorf("netio: node %d dialing parent %s: %w", cfg.ID, parent, err)
+			return nil, fmt.Errorf("netio: %v dialing parent %s: %w", cfg.ID, parent, err)
 		}
 		n.mu.Lock()
 		n.parentConns = append(n.parentConns, conn)
 		n.mu.Unlock()
 		if err := gob.NewEncoder(conn).Encode(frame{Kind: kindHello, From: cfg.ID}); err != nil {
 			n.Close()
-			return nil, fmt.Errorf("netio: node %d hello: %w", cfg.ID, err)
+			return nil, fmt.Errorf("netio: %v hello: %w", cfg.ID, err)
 		}
 		n.wg.Add(1)
 		go func() {
@@ -221,8 +288,7 @@ func (n *Node) Publish(item string, value float64) error {
 func (n *Node) Value(item string) (float64, bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	v, ok := n.values[item]
-	return v, ok
+	return n.core.Value(item)
 }
 
 // Delivered returns how many updates this node has received from its
@@ -252,6 +318,14 @@ func (n *Node) ConnectedChildren() int {
 // ExpectedChildren reports how many dependents the node is configured to
 // serve.
 func (n *Node) ExpectedChildren() int { return len(n.cfg.Children) }
+
+// Decisions reports the node's per-item forward/suppress decision totals
+// about its dependents — the cross-backend parity instrumentation.
+func (n *Node) Decisions() map[string]dnode.Decisions {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.core.EdgeDecisions()
+}
 
 // acceptLoop registers dependents as they dial in.
 func (n *Node) acceptLoop() {
@@ -306,32 +380,12 @@ func (n *Node) handleChild(conn net.Conn) {
 		n.mu.Unlock()
 		return
 	}
-	enc := gob.NewEncoder(conn)
-	n.childEnc[hello.From] = enc
+	n.childEnc[hello.From] = gob.NewEncoder(conn)
 	if hello.Resync {
-		// A dependent that failed over to us catches up immediately: push
-		// the current copy of every item we serve it, unconditionally, and
-		// reset the edge filter state to match.
-		items := make([]string, 0, len(n.cfg.Children[hello.From]))
-		for item := range n.cfg.Children[hello.From] {
-			items = append(items, item)
-		}
-		sort.Strings(items)
-		m := n.lastSent[hello.From]
-		if m == nil {
-			m = make(map[string]float64)
-			n.lastSent[hello.From] = m
-		}
-		for _, item := range items {
-			v, ok := n.values[item]
-			if !ok {
-				continue
-			}
-			m[item] = v
-			if enc.Encode(frame{Kind: kindUpdate, Item: item, Value: v}) != nil {
-				break
-			}
-		}
+		// A dependent that failed over to us catches up immediately: the
+		// core pushes the current copy of every item we serve it,
+		// unconditionally, and seeds the edge filter state to match.
+		n.core.ResyncDependent(hello.From, &n.tr)
 	}
 	n.mu.Unlock()
 
@@ -344,10 +398,10 @@ func (n *Node) handleChild(conn net.Conn) {
 }
 
 // handleClient admits (or redirects) one client session: the TCP
-// counterpart of the serving layer's admission policy. An accepted
-// session gets an accept frame, a resync push of the current copies of
-// its watch list, and from then on only updates that exceed its own
-// tolerance — Eq. 3 applied at the leaf, per client.
+// transport of the core's admission policy. An accepted session gets an
+// accept frame, a resync push of the current copies of its watch list,
+// and from then on only updates the core's per-client filter forwards —
+// Eqs. 3 and 7 applied at the leaf with this node's serving tolerance.
 func (n *Node) handleClient(conn net.Conn, dec *gob.Decoder, sub frame) {
 	enc := gob.NewEncoder(conn)
 	if sub.Name == "" || len(sub.Wants) == 0 {
@@ -359,24 +413,8 @@ func (n *Node) handleClient(conn net.Conn, dec *gob.Decoder, sub frame) {
 		n.mu.Unlock()
 		return
 	}
-	reject := n.cfg.SessionCap > 0 && len(n.clientEnc) >= n.cfg.SessionCap
-	if _, dup := n.clientEnc[sub.Name]; dup {
-		reject = true
-	}
-	if !reject && len(n.cfg.Parents) > 0 {
-		// A repository can admit only sessions it already serves
-		// stringently enough; the source holds exact values and serves
-		// any tolerance.
-		for x, tol := range sub.Wants {
-			own, ok := n.cfg.Serving[x]
-			if !ok || !own.AtLeastAsStringentAs(tol) {
-				reject = true
-				break
-			}
-		}
-	}
-	if reject {
-		n.redirected++
+	if reason := n.core.CanAdmit(sub.Name, sub.Wants); reason != dnode.RejectNone {
+		n.core.NoteRedirect()
 		peers := append([]string(nil), n.cfg.SessionPeers...)
 		n.mu.Unlock()
 		enc.Encode(frame{Kind: kindRedirect, Addrs: peers})
@@ -387,29 +425,10 @@ func (n *Node) handleClient(conn net.Conn, dec *gob.Decoder, sub frame) {
 		return
 	}
 	n.clientEnc[sub.Name] = enc
-	n.clientTols[sub.Name] = sub.Wants
-	at := sort.SearchStrings(n.clientNames, sub.Name)
-	n.clientNames = append(n.clientNames, "")
-	copy(n.clientNames[at+1:], n.clientNames[at:])
-	n.clientNames[at] = sub.Name
-	last := make(map[string]float64, len(sub.Wants))
-	n.clientLast[sub.Name] = last
-	// Resync: the session converges to our current copies immediately.
-	items := make([]string, 0, len(sub.Wants))
-	for x := range sub.Wants {
-		items = append(items, x)
-	}
-	sort.Strings(items)
-	for _, x := range items {
-		v, ok := n.values[x]
-		if !ok {
-			continue
-		}
-		last[x] = v
-		if enc.Encode(frame{Kind: kindUpdate, Item: x, Value: v, Resync: true}) != nil {
-			break
-		}
-	}
+	// Admission resyncs the session to our current copies immediately.
+	ns := dnode.NewSession(sub.Name, sub.Wants)
+	ns.SetTag(enc)
+	n.core.ForceAdmit(ns, &n.tr)
 	n.mu.Unlock()
 
 	// Park until either side closes, then unregister the session.
@@ -418,20 +437,15 @@ func (n *Node) handleClient(conn net.Conn, dec *gob.Decoder, sub frame) {
 	}
 	n.mu.Lock()
 	delete(n.clientEnc, sub.Name)
-	delete(n.clientLast, sub.Name)
-	delete(n.clientTols, sub.Name)
-	if at := sort.SearchStrings(n.clientNames, sub.Name); at < len(n.clientNames) && n.clientNames[at] == sub.Name {
-		n.clientNames = append(n.clientNames[:at], n.clientNames[at+1:]...)
-	}
+	n.core.DropSession(sub.Name)
 	n.mu.Unlock()
 }
 
-// Sessions reports how many client sessions the node currently serves;
-// RedirectedSessions counts subscribes it turned away.
+// Sessions reports how many client sessions the node currently serves.
 func (n *Node) Sessions() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return len(n.clientEnc)
+	return n.core.SessionCount()
 }
 
 // RedirectedSessions returns how many subscribe attempts this node
@@ -439,7 +453,7 @@ func (n *Node) Sessions() int {
 func (n *Node) RedirectedSessions() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.redirected
+	return n.core.Redirected()
 }
 
 // parentLoop applies pushes from the parent. When the connection dies —
@@ -516,56 +530,12 @@ func (n *Node) failover() (net.Conn, bool) {
 	return nil, false
 }
 
-// apply records the value locally and forwards it to every dependent the
-// distributed algorithm selects.
+// apply records the value locally and forwards it — to dependents and
+// client sessions both — through the core's filter pipeline.
 func (n *Node) apply(item string, value float64) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.values[item] = value
-
-	cSelf := coherency.Requirement(0)
-	if len(n.cfg.Parents) > 0 {
-		if c, ok := n.cfg.Serving[item]; ok {
-			cSelf = c
-		}
-	}
-	var firstErr error
-	for child, items := range n.cfg.Children {
-		cDep, ok := items[item]
-		if !ok {
-			continue
-		}
-		enc, connected := n.childEnc[child]
-		if !connected {
-			// Child not dialed in yet: leave the filter state untouched so
-			// it catches up on the next qualifying update after it joins.
-			continue
-		}
-		m := n.lastSent[child]
-		last, seeded := m[item]
-		if seeded && !coherency.ShouldForward(value, last, cDep, cSelf) {
-			continue
-		}
-		m[item] = value
-		if err := enc.Encode(frame{Kind: kindUpdate, Item: item, Value: value}); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("netio: node %d pushing to %d: %w", n.cfg.ID, child, err)
-		}
-	}
-	// Fan out to client sessions through the per-client filter — Eqs. 3
-	// and 7 with our own serving tolerance as cSelf, like the overlay's
-	// edge filters — in sorted admission order for a deterministic wire
-	// sequence.
-	for _, name := range n.clientNames {
-		tol, watching := n.clientTols[name][item]
-		if !watching {
-			continue
-		}
-		last, seeded := n.clientLast[name][item]
-		if seeded && !coherency.ShouldForward(value, last, tol, cSelf) {
-			continue
-		}
-		n.clientLast[name][item] = value
-		n.clientEnc[name].Encode(frame{Kind: kindUpdate, Item: item, Value: value})
-	}
-	return firstErr
+	n.tr.err = nil
+	n.core.Apply(item, value, &n.tr)
+	return n.tr.err
 }

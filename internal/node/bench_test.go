@@ -1,0 +1,110 @@
+package node
+
+import (
+	"fmt"
+	"testing"
+
+	"d3t/internal/coherency"
+	"d3t/internal/repository"
+	"d3t/internal/sim"
+)
+
+// benchTransport swallows decisions at zero cost.
+type benchTransport struct {
+	deps, clients int
+}
+
+func (t *benchTransport) Now() sim.Time { return 0 }
+func (t *benchTransport) SendToDependent(repository.ID, string, float64, bool) bool {
+	t.deps++
+	return true
+}
+func (t *benchTransport) SendToClient(*Session, string, float64, bool) { t.clients++ }
+
+// fanoutCore builds one node serving `deps` dependents and `sessions`
+// client sessions for item X, tolerances alternating loose/tight so the
+// benchmark exercises both filter outcomes.
+func fanoutCore(b testing.TB, deps, sessions int) *Core {
+	parent := repository.New(1, deps)
+	parent.Serving["X"] = 0.01
+	peers := make(map[repository.ID]*repository.Repository, deps)
+	for i := 0; i < deps; i++ {
+		id := repository.ID(i + 2)
+		dep := repository.New(id, 1)
+		if i%2 == 0 {
+			dep.Serving["X"] = 5 // loose: usually suppressed
+		} else {
+			dep.Serving["X"] = 0.5 // tight: usually forwarded
+		}
+		peers[id] = dep
+		parent.AddDependent("X", id)
+	}
+	core := New(parent, func(id repository.ID) *repository.Repository { return peers[id] }, Options{})
+	core.Seed("X", 100)
+	tr := &benchTransport{}
+	for i := 0; i < sessions; i++ {
+		tol := coherency.Requirement(0.5)
+		if i%2 == 0 {
+			tol = 5
+		}
+		s := NewSession(fmt.Sprintf("c%05d", i), map[string]coherency.Requirement{"X": tol})
+		if _, err := core.Admit(s, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return core
+}
+
+// BenchmarkFanout measures the per-update cost of the dependent fan-out
+// decision loop — the hot path every transport shares. The precomputed
+// plan makes the steady state a flat slice walk; the benchmark asserts
+// it allocates nothing (see also TestFanoutAllocFree, which enforces the
+// invariant as a test).
+func BenchmarkFanout(b *testing.B) {
+	for _, deps := range []int{4, 32, 256} {
+		b.Run(fmt.Sprintf("deps=%d", deps), func(b *testing.B) {
+			core := fanoutCore(b, deps, 0)
+			tr := &benchTransport{}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.Apply("X", 100+float64(i%3), tr)
+			}
+			b.ReportMetric(float64(tr.deps)/float64(b.N), "fwd/op")
+		})
+	}
+}
+
+// BenchmarkFanoutSessions adds the client-session half: one delivery
+// fanning out to many admitted sessions through the per-client filter.
+func BenchmarkFanoutSessions(b *testing.B) {
+	for _, sessions := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("sessions=%d", sessions), func(b *testing.B) {
+			core := fanoutCore(b, 4, sessions)
+			tr := &benchTransport{}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.Apply("X", 100+float64(i%3), tr)
+			}
+			b.ReportMetric(float64(tr.clients)/float64(b.N), "delivered/op")
+		})
+	}
+}
+
+// TestFanoutAllocFree enforces the acceptance bar as a regression test:
+// the steady-state Apply pipeline — dependent fan-out and session
+// fan-out both — allocates zero bytes per update.
+func TestFanoutAllocFree(t *testing.T) {
+	core := fanoutCore(t, 64, 64)
+	tr := &benchTransport{}
+	core.Apply("X", 101, tr) // warm-up: plans built, maps sized
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		core.Apply("X", 100+float64(i%3), tr)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("Apply allocates %.1f objects per update, want 0", allocs)
+	}
+}

@@ -18,6 +18,19 @@ import (
 // ids are repositories.
 type ID int
 
+// String renders the id in the canonical user-visible form: "source" for
+// the data source, "repo<id>" for repositories, "none" for NoID. Every
+// layer that names a node in errors, counters or reports uses this form.
+func (id ID) String() string {
+	switch id {
+	case SourceID:
+		return "source"
+	case NoID:
+		return "none"
+	}
+	return fmt.Sprintf("repo%d", int(id))
+}
+
 // SourceID is the overlay id of the single data source.
 const SourceID ID = 0
 
@@ -53,6 +66,12 @@ type Repository struct {
 	Liaison ID
 
 	children map[ID]bool // distinct dependents; len counts against CoopLimit
+
+	// gen counts wiring mutations (dependents added or dropped, serving
+	// tolerances tightened). Precomputed fan-out plans (internal/node)
+	// record the generation they were resolved against and rebuild only
+	// when it moves, so the per-update hot path never re-reads the maps.
+	gen uint64
 }
 
 // New returns an empty repository with the given id and cooperation limit.
@@ -71,6 +90,12 @@ func New(id ID, coopLimit int) *Repository {
 
 // IsSource reports whether the node is the data source.
 func (r *Repository) IsSource() bool { return r.ID == SourceID }
+
+// Gen returns the wiring generation: a counter bumped by every mutation
+// that can invalidate a precomputed fan-out plan (AddDependent,
+// DropDependent, Attach, Tighten). Plans cache the generation of every
+// repository they resolved tolerances from and re-resolve when it moves.
+func (r *Repository) Gen() uint64 { return r.gen }
 
 // NumChildren returns the number of distinct dependent repositories. One
 // push connection is used per child irrespective of how many items flow
@@ -124,6 +149,7 @@ func (r *Repository) AddDependent(x string, dep ID) {
 	}
 	r.Dependents[x] = append(r.Dependents[x], dep)
 	r.children[dep] = true
+	r.gen++
 }
 
 // DropDependent removes every push edge from r to dep, releasing the
@@ -147,6 +173,7 @@ func (r *Repository) DropDependent(dep ID) {
 		}
 	}
 	delete(r.children, dep)
+	r.gen++
 }
 
 // Attach registers dep as a child without serving it any item yet: the
@@ -158,6 +185,7 @@ func (r *Repository) Attach(dep ID) {
 			r.ID, dep, r.CoopLimit))
 	}
 	r.children[dep] = true
+	r.gen++
 }
 
 // Tighten ensures the node maintains item x at a tolerance at least as
@@ -172,6 +200,7 @@ func (r *Repository) Tighten(x string, c coherency.Requirement) bool {
 		return false
 	}
 	r.Serving[x] = c
+	r.gen++
 	return true
 }
 

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"sort"
 
-	"d3t/internal/coherency"
 	"d3t/internal/netsim"
+	"d3t/internal/node"
 	"d3t/internal/repository"
 	"d3t/internal/resilience"
 	"d3t/internal/sim"
@@ -14,37 +14,69 @@ import (
 // Fleet is a population of client sessions served by the repositories of
 // one run. It implements the dissemination and resilience run observers:
 // source ticks keep every session's reference signal current, repository
-// deliveries fan out to that repository's sessions through per-client
-// Eq. 3 filters, crashes migrate the dead repository's sessions, and the
-// session-churn plan's departures and arrivals interleave with all of it
-// in simulation order.
+// deliveries fan out to that repository's sessions through the node
+// core's per-client filters, crashes migrate the dead repository's
+// sessions, and the session-churn plan's departures and arrivals
+// interleave with all of it in simulation order.
+//
+// Each repository gets a serve-only node.Core (the overlay dissemination
+// between repositories is simulated by the protocol's own cores): the
+// fleet is the simulator-side transport of the serving layer, exactly as
+// live and netio are its channel and TCP transports. The fleet itself
+// keeps what a transport keeps — placement candidates, fidelity meters,
+// churn schedule; the filter state and decision counters live in the
+// core sessions.
 //
 // A Fleet is single-threaded, like the simulation engine driving it:
 // Attach the population, Seed the initial values once the overlay is
 // built, run the simulation with the fleet as its observer, then read
-// Finalize. The live and netio runtimes implement the same policy with
-// their own concurrency.
+// Finalize.
 type Fleet struct {
 	net   *netsim.Network
 	repos []*repository.Repository // indexed by id-1
+	cores []*node.Core             // indexed by id-1, serve-only
 	opts  Options
+	tr    fleetTransport
 
 	sessions []*Session // plan order: session i is plan node i+1
 	byName   map[string]*Session
-	byRepo   map[repository.ID][]*Session
 	byItem   map[string][]*Session
-	load     map[repository.ID]int
 	alive    map[repository.ID]bool
 	orphans  map[*Session]bool // want to be attached, found no room
 
 	src     map[string]float64
-	vals    map[repository.ID]map[string]float64
 	initial map[string]float64
 
 	events []sessionEvent
 	next   int
 
 	stats Stats
+}
+
+// fleetTransport receives the cores' client-side decisions and applies
+// them to the sessions' fidelity meters.
+type fleetTransport struct {
+	f   *Fleet
+	now sim.Time
+}
+
+func (t *fleetTransport) Now() sim.Time { return t.now }
+
+func (t *fleetTransport) SendToDependent(repository.ID, string, float64, bool) bool {
+	return false // serve-only cores never fan to dependents
+}
+
+func (t *fleetTransport) SendToClient(ns *node.Session, item string, v float64, resync bool) {
+	s, ok := ns.Tag().(*Session)
+	if !ok {
+		return
+	}
+	s.meters[item].deliver(t.now, v)
+	if resync {
+		t.f.stats.Resyncs++
+	} else {
+		t.f.stats.Delivered++
+	}
 }
 
 // sessionEvent is one scheduled churn action.
@@ -62,21 +94,21 @@ func NewFleet(net *netsim.Network, repos []*repository.Repository, opts Options)
 	f := &Fleet{
 		net:     net,
 		repos:   repos,
+		cores:   make([]*node.Core, len(repos)),
 		opts:    opts,
 		byName:  make(map[string]*Session),
-		byRepo:  make(map[repository.ID][]*Session),
 		byItem:  make(map[string][]*Session),
-		load:    make(map[repository.ID]int),
 		alive:   make(map[repository.ID]bool),
 		orphans: make(map[*Session]bool),
 		src:     make(map[string]float64),
-		vals:    make(map[repository.ID]map[string]float64),
 	}
+	f.tr.f = f
 	for i, r := range repos {
 		if r.ID != repository.ID(i+1) {
 			return nil, fmt.Errorf("serve: repository %d at index %d (want contiguous ids from 1)", r.ID, i)
 		}
 		f.alive[r.ID] = true
+		f.cores[i] = node.New(r, nil, node.Options{ServeOnly: true, SessionCap: opts.Cap})
 	}
 	if opts.Plan != nil {
 		for _, ft := range opts.Plan.Faults {
@@ -90,6 +122,9 @@ func NewFleet(net *netsim.Network, repos []*repository.Repository, opts Options)
 	}
 	return f, nil
 }
+
+// core returns the serving core of repository id.
+func (f *Fleet) core(id repository.ID) *node.Core { return f.cores[id-1] }
 
 // Attach admits one client: it is placed on the nearest repository (by
 // delay from the client's home endpoint, Client.Repo as generated) that
@@ -112,14 +147,18 @@ func (f *Fleet) Attach(c *repository.Client) (*Session, error) {
 		Home:       c.Repo,
 		Repo:       repository.NoID,
 		Wants:      c.Wants,
+		ns:         node.NewSession(c.Name, c.Wants),
 		candidates: Candidates(f.net, c.Repo, len(f.repos)),
 		meters:     make(map[string]*meter, len(c.Wants)),
 	}
 	for x, tol := range c.Wants {
 		s.meters[x] = &meter{c: tol}
 	}
+	s.ns.SetTag(s)
+	f.byName[c.Name] = s
 	target := f.place(s, true)
 	if target == repository.NoID {
+		delete(f.byName, c.Name)
 		return nil, fmt.Errorf("serve: no repository to place client %q on", c.Name)
 	}
 	f.attach(s, target, 0)
@@ -129,7 +168,6 @@ func (f *Fleet) Attach(c *repository.Client) (*Session, error) {
 	}
 	c.Repo = target
 	f.sessions = append(f.sessions, s)
-	f.byName[c.Name] = s
 	for _, x := range sortedItems(c.Wants) {
 		f.byItem[x] = append(f.byItem[x], s)
 	}
@@ -160,7 +198,7 @@ func (f *Fleet) place(s *Session, initialPlacement bool) repository.ID {
 			if cand == s.Repo || !f.alive[cand] || !f.hasRoom(cand) {
 				continue
 			}
-			if f.servesAll(cand, s) {
+			if f.core(cand).CanServeSession(s.Wants) {
 				return cand
 			}
 		}
@@ -179,7 +217,7 @@ func (f *Fleet) place(s *Session, initialPlacement bool) repository.ID {
 			if !f.alive[cand] {
 				continue
 			}
-			if best == repository.NoID || f.load[cand] < f.load[best] {
+			if best == repository.NoID || f.core(cand).SessionCount() < f.core(best).SessionCount() {
 				best = cand
 			}
 		}
@@ -189,30 +227,20 @@ func (f *Fleet) place(s *Session, initialPlacement bool) repository.ID {
 }
 
 func (f *Fleet) hasRoom(id repository.ID) bool {
-	return f.opts.Cap <= 0 || f.load[id] < f.opts.Cap
+	return f.core(id).HasSessionRoom()
 }
 
-// servesAll reports whether the repository already serves every item the
-// session watches, each at least as stringently as the client demands.
-func (f *Fleet) servesAll(id repository.ID, s *Session) bool {
-	r := f.repos[id-1]
-	for x, tol := range s.Wants {
-		if !r.CanServe(x, tol) {
-			return false
-		}
-	}
-	return true
-}
-
-// attach wires the session to the repository and starts its meters.
+// attach wires the session into the repository's core and starts its
+// meters; the core resyncs it to the repository's current copies (a
+// no-op at initial attachment, before Seed).
 func (f *Fleet) attach(s *Session, id repository.ID, now sim.Time) {
 	s.Repo = id
-	f.load[id]++
-	f.byRepo[id] = append(f.byRepo[id], s)
 	for _, x := range sortedItems(s.Wants) {
 		s.meters[x].attach(now)
 	}
 	delete(f.orphans, s)
+	f.tr.now = now
+	f.core(id).ForceAdmit(s.ns, &f.tr)
 }
 
 // detach unwires the session from its repository and stops its meters.
@@ -221,68 +249,35 @@ func (f *Fleet) detach(s *Session, now sim.Time) {
 	if id == repository.NoID {
 		return
 	}
-	f.load[id]--
-	list := f.byRepo[id]
-	for i, other := range list {
-		if other == s {
-			f.byRepo[id] = append(list[:i:i], list[i+1:]...)
-			break
-		}
-	}
+	f.core(id).DropSession(s.Name)
 	s.Repo = repository.NoID
 	for _, x := range sortedItems(s.Wants) {
 		s.meters[x].detach(now)
 	}
 }
 
-// Seed initializes the source signal and every session's copy to the
-// items' initial values, as if all clients joined fully synchronized.
-// Call it after the overlay is built (serving sets are final) and before
-// the run.
+// Seed initializes the source signal, every repository core's copy, and
+// every session's copy to the items' initial values, as if all clients
+// joined fully synchronized. Call it after the overlay is built (serving
+// sets are final) and before the run.
 func (f *Fleet) Seed(initial map[string]float64) {
 	f.initial = initial
 	for x, v := range initial {
 		f.src[x] = v
+	}
+	for _, core := range f.cores {
+		for x, v := range initial {
+			core.Seed(x, v)
+		}
 	}
 	for _, s := range f.sessions {
 		for x, m := range s.meters {
 			if v, ok := initial[x]; ok {
 				m.src, m.have = v, v
 				m.refresh()
+				s.ns.SeedValue(x, v)
 			}
 		}
-	}
-}
-
-// repoVal returns the repository's current copy of item: the latest
-// delivery the fleet observed, or the initial value when the repository
-// serves the item but has received nothing yet.
-func (f *Fleet) repoVal(id repository.ID, x string) (float64, bool) {
-	if v, ok := f.vals[id][x]; ok {
-		return v, true
-	}
-	if _, serves := f.repos[id-1].ServingTolerance(x); serves {
-		v, ok := f.initial[x]
-		return v, ok
-	}
-	return 0, false
-}
-
-// resync pushes the repository's current copies to a session that just
-// landed on it (migration or re-arrival), so the client converges
-// without waiting for the next qualifying update.
-func (f *Fleet) resync(s *Session, now sim.Time) {
-	for _, x := range sortedItems(s.Wants) {
-		v, ok := f.repoVal(s.Repo, x)
-		if !ok {
-			continue
-		}
-		m := s.meters[x]
-		if v == m.have {
-			continue
-		}
-		m.deliver(now, v)
-		f.stats.Resyncs++
 	}
 }
 
@@ -310,7 +305,6 @@ func (f *Fleet) catchUp(now sim.Time) {
 		f.stats.Arrivals++
 		if target := f.place(s, false); target != repository.NoID {
 			f.attach(s, target, e.at)
-			f.resync(s, e.at)
 		} else {
 			f.orphans[s] = true
 			f.stats.Orphaned++
@@ -327,38 +321,20 @@ func (f *Fleet) ObserveSource(now sim.Time, item string, v float64) {
 	}
 }
 
-// ObserveDeliver fans a repository's delivery out to its sessions
-// through the per-client coherency filter — the same Eqs. 3 and 7 test
-// the tree applies between repositories, applied once more at the leaf
-// with the repository's own serving tolerance as cSelf. Eq. 3 alone
+// ObserveDeliver runs a repository's delivery through its serving core:
+// the core records the value and fans it out to the repository's
+// sessions through the per-client coherency filter — the same Eqs. 3 and
+// 7 test the tree applies between repositories, applied once more at the
+// leaf with the repository's own serving tolerance as cSelf. Eq. 3 alone
 // would let a client silently drift by up to its tolerance *plus* the
 // repository's (the Section 5 missed-update problem, at the client);
 // Eq. 7 forwards the risky updates too, so a coherent repository always
-// implies coherent clients. Filtered decisions are counted; they are the
-// fan-out work the serving layer saves.
+// implies coherent clients. Filtered decisions are counted in the core
+// sessions; they are the fan-out work the serving layer saves.
 func (f *Fleet) ObserveDeliver(now sim.Time, repo repository.ID, item string, v float64) {
 	f.catchUp(now)
-	m := f.vals[repo]
-	if m == nil {
-		m = make(map[string]float64)
-		f.vals[repo] = m
-	}
-	m[item] = v
-	cSelf, _ := f.repos[repo-1].ServingTolerance(item)
-	for _, s := range f.byRepo[repo] {
-		sm, watching := s.meters[item]
-		if !watching {
-			continue
-		}
-		if !coherency.ShouldForward(v, sm.have, s.Wants[item], cSelf) {
-			s.filtered++
-			f.stats.Filtered++
-			continue
-		}
-		sm.deliver(now, v)
-		s.delivered++
-		f.stats.Delivered++
-	}
+	f.tr.now = now
+	f.core(repo).Apply(item, v, &f.tr)
 }
 
 // ObserveCrash migrates the dead repository's sessions onto the nearest
@@ -368,12 +344,18 @@ func (f *Fleet) ObserveDeliver(now sim.Time, repo repository.ID, item string, v 
 func (f *Fleet) ObserveCrash(now sim.Time, id repository.ID) {
 	f.catchUp(now)
 	f.alive[id] = false
-	stranded := append([]*Session(nil), f.byRepo[id]...)
+	core := f.core(id)
+	var stranded []*Session
+	for _, name := range core.SessionNames() {
+		stranded = append(stranded, f.byName[name])
+	}
+	// Migrate in the order the sessions attached to the dead repository,
+	// so capacity contention resolves exactly as it arrived.
+	sort.Slice(stranded, func(i, j int) bool { return stranded[i].ns.AttachSeq() < stranded[j].ns.AttachSeq() })
 	for _, s := range stranded {
 		f.detach(s, now)
 		if target := f.place(s, false); target != repository.NoID {
 			f.attach(s, target, now)
-			f.resync(s, now)
 			f.stats.Migrations++
 		} else {
 			f.orphans[s] = true
@@ -393,7 +375,6 @@ func (f *Fleet) ObserveRejoin(now sim.Time, id repository.ID) {
 		}
 		if target := f.place(s, false); target != repository.NoID {
 			f.attach(s, target, now)
-			f.resync(s, now)
 			f.stats.Migrations++
 		}
 	}
@@ -421,6 +402,9 @@ func (f *Fleet) ClientFidelity(horizon sim.Time) map[string]float64 {
 func (f *Fleet) Finalize(horizon sim.Time) Stats {
 	f.catchUp(horizon)
 	st := f.stats
+	for _, s := range f.sessions {
+		st.Filtered += s.Filtered()
+	}
 	st.MeanFidelity, st.WorstFidelity = 1, 1
 	if len(f.sessions) > 0 {
 		var sum float64

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"d3t/internal/coherency"
+	"d3t/internal/node"
 	"d3t/internal/repository"
 	"d3t/internal/sim"
 )
@@ -23,13 +24,15 @@ type Session struct {
 	// Wants maps item -> the client's own coherency tolerance.
 	Wants map[string]coherency.Requirement
 
+	// ns is the session's core-side state: the watch-list filter state
+	// and decision counters, shared with whichever node.Core currently
+	// serves the session.
+	ns *node.Session
 	// candidates is the placement order: every repository, nearest first.
 	candidates []repository.ID
 	// meters measures client-observed coherency per item over the
 	// session's attached lifetime.
 	meters map[string]*meter
-	// delivered/filtered count this session's fan-out decisions.
-	delivered, filtered uint64
 	// redirected records whether admission skipped the nearest candidate.
 	redirected bool
 }
@@ -46,9 +49,10 @@ func (s *Session) Value(item string) (float64, bool) {
 // Attached reports whether the session is currently served.
 func (s *Session) Attached() bool { return s.Repo != repository.NoID }
 
-// Delivered and Filtered report the session's per-update decisions.
-func (s *Session) Delivered() uint64 { return s.delivered }
-func (s *Session) Filtered() uint64  { return s.filtered }
+// Delivered and Filtered report the session's per-update decisions, as
+// counted by the serving core.
+func (s *Session) Delivered() uint64 { return s.ns.Delivered() }
+func (s *Session) Filtered() uint64  { return s.ns.Filtered() }
 
 // Redirected reports whether admission placed the session on other than
 // its nearest repository.

@@ -109,7 +109,9 @@ func (l *LeLA) UpdateNeeds(o *Overlay, id repository.ID, needs map[string]cohere
 			if cur.AtLeastAsStringentAs(c) {
 				continue // already maintained stringently enough
 			}
-			q.Serving[x] = c
+			// Tighten (not a raw map write) so the wiring generation moves
+			// and any live fan-out plan re-resolves this tolerance.
+			q.Tighten(x, c)
 			// Tighten the feed chain so every ancestor satisfies Eq. 1.
 			if pid, ok := q.Parents[x]; ok {
 				parent := o.Node(pid)
@@ -154,7 +156,9 @@ func (o *Overlay) Remove(id repository.ID) error {
 	}
 	q := o.Node(id)
 	if q.NumChildren() > 0 {
-		return fmt.Errorf("tree: repository %d still serves dependents %v; only leaves can depart (use RemoveRepair, or re-home them first)",
+		// Dependents are named in the canonical repo<id> form
+		// (repository.ID.String), like every user-visible report.
+		return fmt.Errorf("tree: %v still serves dependents %v; only leaves can depart (use RemoveRepair, or re-home them first)",
 			id, dependentsOf(o, q))
 	}
 	for _, n := range o.Nodes {

@@ -1,0 +1,214 @@
+package d3t
+
+// The cross-backend parity test: one mid-size configuration pushed
+// through all three runtimes — the discrete-event simulator, the
+// goroutine cluster, and the TCP cluster — must produce identical
+// per-(repository, item) forward/suppress decision counts.
+//
+// This is the observable guarantee of the shared repository core
+// (internal/node): per (repo, item), the delivered sequence is a
+// deterministic function of the filter chain from the source — every
+// edge is FIFO in all three transports and every filter decision is a
+// pure function of the per-item edge state — so however the transports
+// schedule, delay or interleave across items, the decisions must agree
+// exactly. A divergence means a transport grew its own filter semantics
+// again, which is precisely the drift this test exists to catch.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"d3t/internal/dissemination"
+	"d3t/internal/netio"
+	"d3t/internal/netsim"
+	"d3t/internal/node"
+	"d3t/internal/repository"
+	"d3t/internal/sim"
+	"d3t/internal/trace"
+	"d3t/internal/tree"
+
+	ilive "d3t/internal/live"
+)
+
+const (
+	parityRepos = 10
+	parityItems = 6
+	parityTicks = 250
+	paritySeed  = 42
+	parityCoop  = 4
+)
+
+// parityWorld builds one deterministic overlay + trace set. Each backend
+// builds its own copy (the overlay is mutated by running), from identical
+// inputs.
+func parityWorld(t *testing.T) (*tree.Overlay, []*trace.Trace, map[string]float64) {
+	t.Helper()
+	traces := trace.GenerateSet(parityItems, parityTicks, sim.Second, paritySeed)
+	items := make([]string, len(traces))
+	initial := make(map[string]float64, len(traces))
+	for i, tr := range traces {
+		items[i] = tr.Item
+		initial[tr.Item] = tr.Ticks[0].Value
+	}
+	repos := make([]*repository.Repository, parityRepos)
+	for i := range repos {
+		repos[i] = repository.New(repository.ID(i+1), parityCoop)
+	}
+	repository.AssignNeeds(repos, repository.Workload{
+		Items:         items,
+		SubscribeProb: 0.6,
+		StringentFrac: 0.4,
+		Seed:          paritySeed,
+	})
+	net := netsim.Uniform(parityRepos, sim.Millisecond)
+	o, err := (&tree.LeLA{Seed: paritySeed}).Build(net, repos, parityCoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o, traces, initial
+}
+
+// decisionKey flattens (repo, item) for comparison.
+func decisionKey(id repository.ID, item string) string {
+	return fmt.Sprintf("%v/%s", id, item)
+}
+
+// flatten renders a full decision map as sorted-comparable content.
+func flattenDecisions(per map[repository.ID]map[string]node.Decisions) map[string]node.Decisions {
+	out := make(map[string]node.Decisions)
+	for id, m := range per {
+		for item, d := range m {
+			out[decisionKey(id, item)] = d
+		}
+	}
+	return out
+}
+
+// publishAll feeds every value-changing tick (the same set the simulator
+// schedules) through publish, per item in trace order.
+func publishAll(t *testing.T, traces []*trace.Trace, publish func(item string, v float64) error) {
+	t.Helper()
+	for _, tr := range traces {
+		last := tr.Ticks[0].Value
+		for _, tk := range tr.Ticks[1:] {
+			if tk.Value == last {
+				continue
+			}
+			last = tk.Value
+			if err := publish(tr.Item, tk.Value); err != nil {
+				t.Fatalf("publish %s=%v: %v", tr.Item, tk.Value, err)
+			}
+		}
+	}
+}
+
+// waitForDecisions polls until collect equals want or the deadline
+// passes, returning the final observation.
+func waitForDecisions(want map[string]node.Decisions, collect func() map[string]node.Decisions) map[string]node.Decisions {
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		got := collect()
+		if decisionsEqual(want, got) || time.Now().After(deadline) {
+			return got
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func decisionsEqual(a, b map[string]node.Decisions) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func diffDecisions(t *testing.T, backend string, want, got map[string]node.Decisions) {
+	t.Helper()
+	for k, w := range want {
+		if g, ok := got[k]; !ok || g != w {
+			t.Errorf("%s: %s = %+v, want %+v", backend, k, got[k], w)
+		}
+	}
+	for k, g := range got {
+		if _, ok := want[k]; !ok {
+			t.Errorf("%s: unexpected decisions %s = %+v", backend, k, g)
+		}
+	}
+}
+
+// TestCrossBackendParity runs the same configuration through sim, live
+// and netio and requires identical per-(repo, item) decision counts.
+func TestCrossBackendParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three full backends; skipped in -short")
+	}
+
+	// --- Simulator: the reference decisions. ---
+	o, traces, _ := parityWorld(t)
+	p := dissemination.NewDistributed()
+	if _, err := dissemination.Run(o, traces, p, dissemination.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	simPer := make(map[repository.ID]map[string]node.Decisions)
+	for _, n := range o.Nodes {
+		if d := p.Core(n.ID).EdgeDecisions(); len(d) > 0 {
+			simPer[n.ID] = d
+		}
+	}
+	want := flattenDecisions(simPer)
+	if len(want) == 0 {
+		t.Fatal("simulator produced no decisions; the parity test is vacuous")
+	}
+
+	// --- Goroutine cluster. ---
+	o2, traces2, initial2 := parityWorld(t)
+	cluster := ilive.NewCluster(o2, ilive.Options{Buffer: 1024})
+	for item, v := range initial2 {
+		cluster.Seed(item, v)
+	}
+	cluster.Start()
+	publishAll(t, traces2, func(item string, v float64) error {
+		if !cluster.Publish(item, v) {
+			return fmt.Errorf("live cluster stopped")
+		}
+		return nil
+	})
+	liveGot := waitForDecisions(want, func() map[string]node.Decisions {
+		per := make(map[repository.ID]map[string]node.Decisions)
+		for _, n := range o2.Nodes {
+			if d := cluster.Decisions(n.ID); len(d) > 0 {
+				per[n.ID] = d
+			}
+		}
+		return flattenDecisions(per)
+	})
+	cluster.Stop()
+	diffDecisions(t, "live", want, liveGot)
+
+	// --- TCP cluster. ---
+	o3, traces3, initial3 := parityWorld(t)
+	tcp, err := netio.StartCluster(o3, initial3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tcp.Close()
+	publishAll(t, traces3, func(item string, v float64) error {
+		return tcp.Source().Publish(item, v)
+	})
+	netGot := waitForDecisions(want, func() map[string]node.Decisions {
+		per := make(map[repository.ID]map[string]node.Decisions)
+		for _, n := range tcp.Nodes {
+			if d := n.Decisions(); len(d) > 0 {
+				per[n.ID()] = d
+			}
+		}
+		return flattenDecisions(per)
+	})
+	diffDecisions(t, "netio", want, netGot)
+}
