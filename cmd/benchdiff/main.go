@@ -1,0 +1,230 @@
+// Command benchdiff compares two `go test -bench -json` result files and
+// trips when any benchmark's timing moved more than a tolerance — the
+// CI guardrail that keeps the committed BENCH_latest.json baseline
+// honest.
+//
+// Raw ns/op is machine-dependent: a faster CI runner shifts every
+// benchmark by the same factor. benchdiff therefore normalizes by
+// default: it computes each shared benchmark's current/baseline ratio,
+// divides by the median ratio across all shared benchmarks (the
+// machine-speed factor), and applies the tolerance to the normalized
+// ratio — catching the benchmark that regressed relative to its peers
+// while tolerating uniformly faster or slower hardware. -no-normalize
+// compares raw ratios instead.
+//
+// Benchmarks faster than -min-ns in the baseline are reported but never
+// trip: at smoke benchtimes their single-iteration timings are noise.
+//
+// Usage:
+//
+//	benchdiff [-tolerance 0.30] [-min-ns 1000000] [-no-normalize] baseline.json current.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// event is the subset of test2json lines benchdiff reads.
+type event struct {
+	Action string
+	Output string
+}
+
+// The bench runner may emit a result on one line
+// ("BenchmarkX-8  1234  5678 ns/op") or split the name and the
+// measurement across two output events ("BenchmarkX  \t" then
+// "  1\t 242859 ns/op ..."), which is how `go test -json` usually
+// flushes them.
+var (
+	benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.eE+]+) ns/op`)
+	nameLine  = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?[ \t]*$`)
+	measLine  = regexp.MustCompile(`^\s*\d+\s+([0-9.eE+]+) ns/op`)
+)
+
+// parseBench extracts benchmark name -> ns/op from a test2json stream.
+// Sub-benchmark names keep their full path; the trailing -GOMAXPROCS
+// suffix is stripped so runs from different machines align.
+func parseBench(r *bufio.Scanner) (map[string]float64, error) {
+	out := make(map[string]float64)
+	pending := "" // a name-only line awaiting its measurement line
+	for r.Scan() {
+		line := strings.TrimSpace(r.Text())
+		if line == "" {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			// Tolerate non-JSON lines (plain -bench output pasted in).
+			ev = event{Action: "output", Output: line}
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		text := strings.TrimRight(ev.Output, "\n")
+		if m := benchLine.FindStringSubmatch(strings.TrimSpace(text)); m != nil {
+			ns, err := strconv.ParseFloat(m[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchdiff: bad ns/op %q in %q", m[2], ev.Output)
+			}
+			out[m[1]] = ns
+			pending = ""
+			continue
+		}
+		if m := nameLine.FindStringSubmatch(text); m != nil {
+			pending = m[1]
+			continue
+		}
+		if m := measLine.FindStringSubmatch(text); m != nil && pending != "" {
+			ns, err := strconv.ParseFloat(m[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchdiff: bad ns/op %q in %q", m[1], ev.Output)
+			}
+			out[pending] = ns
+			pending = ""
+		}
+	}
+	return out, r.Err()
+}
+
+func parseFile(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	return parseBench(sc)
+}
+
+// verdict is one benchmark's comparison.
+type verdict struct {
+	name              string
+	base, cur         float64
+	ratio, normalized float64
+	tripped, tooSmall bool
+}
+
+// compare evaluates every benchmark present in both runs.
+func compare(base, cur map[string]float64, tolerance, minNs float64, normalize bool) []verdict {
+	var names []string
+	for name := range base {
+		if _, ok := cur[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil
+	}
+	ratios := make([]float64, 0, len(names))
+	for _, name := range names {
+		ratios = append(ratios, cur[name]/base[name])
+	}
+	scale := 1.0
+	if normalize {
+		// The machine-speed factor is the median ratio over the
+		// benchmarks large enough to time meaningfully; noisy sub-min-ns
+		// ones would skew it.
+		var sorted []float64
+		for i, name := range names {
+			if base[name] >= minNs {
+				sorted = append(sorted, ratios[i])
+			}
+		}
+		if len(sorted) == 0 {
+			sorted = append(sorted, ratios...)
+		}
+		sort.Float64s(sorted)
+		if n := len(sorted); n%2 == 1 {
+			scale = sorted[n/2]
+		} else {
+			scale = (sorted[n/2-1] + sorted[n/2]) / 2
+		}
+		if scale <= 0 {
+			scale = 1
+		}
+	}
+	out := make([]verdict, 0, len(names))
+	for i, name := range names {
+		v := verdict{name: name, base: base[name], cur: cur[name], ratio: ratios[i]}
+		v.normalized = v.ratio / scale
+		v.tooSmall = base[name] < minNs
+		if !v.tooSmall && (v.normalized > 1+tolerance || v.normalized < 1/(1+tolerance)) {
+			v.tripped = true
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// dropMatching removes benchmarks whose name matches the skip pattern.
+func dropMatching(m map[string]float64, re *regexp.Regexp) {
+	for name := range m {
+		if re.MatchString(name) {
+			delete(m, name)
+		}
+	}
+}
+
+func main() {
+	tolerance := flag.Float64("tolerance", 0.30, "allowed fractional drift per benchmark after normalization")
+	minNs := flag.Float64("min-ns", 1e6, "baseline ns/op below which a benchmark is too noisy to trip")
+	noNormalize := flag.Bool("no-normalize", false, "compare raw ratios instead of median-normalized ones")
+	skip := flag.String("skip", "", "regexp of benchmark names excluded from comparison (e.g. parallelism-shaped benchmarks whose ratio depends on the baseline machine's core count, which median normalization cannot correct)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] baseline.json current.json")
+		os.Exit(2)
+	}
+	base, err := parseFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := parseFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	if *skip != "" {
+		re, err := regexp.Compile(*skip)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: bad -skip pattern: %v\n", err)
+			os.Exit(2)
+		}
+		dropMatching(base, re)
+		dropMatching(cur, re)
+	}
+	verdicts := compare(base, cur, *tolerance, *minNs, !*noNormalize)
+	if len(verdicts) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no shared benchmarks between the two files")
+		os.Exit(2)
+	}
+	tripped := 0
+	for _, v := range verdicts {
+		status := "ok"
+		switch {
+		case v.tripped:
+			status = "TRIPPED"
+			tripped++
+		case v.tooSmall:
+			status = "noisy (under min-ns)"
+		}
+		fmt.Printf("%-60s %12.0f -> %12.0f ns/op  x%.2f (norm x%.2f)  %s\n",
+			v.name, v.base, v.cur, v.ratio, v.normalized, status)
+	}
+	fmt.Printf("benchdiff: %d shared benchmarks, %d tripped (tolerance ±%.0f%%)\n",
+		len(verdicts), tripped, *tolerance*100)
+	if tripped > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bufio"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sampleJSON = `{"Action":"output","Package":"d3t","Output":"goos: linux\n"}
+{"Action":"output","Package":"d3t","Test":"BenchmarkFanout","Output":"BenchmarkFanout-8        \t  100000\t     12345 ns/op\t       0 B/op\n"}
+{"Action":"output","Package":"d3t","Test":"BenchmarkShardedIngest/shards=8,batch=1","Output":"BenchmarkShardedIngest/shards=8,batch=1-8 \t 1\t 2000000 ns/op\t 55 updates/s\n"}
+{"Action":"run","Package":"d3t","Test":"BenchmarkOther"}
+{"Action":"output","Package":"d3t","Test":"BenchmarkSplit","Output":"BenchmarkSplit\n"}
+{"Action":"output","Package":"d3t","Test":"BenchmarkSplit","Output":"BenchmarkSplit        \t"}
+{"Action":"output","Package":"d3t","Test":"BenchmarkSplit","Output":"       1\t    242859 ns/op\t   74448 B/op\t      93 allocs/op\n"}
+not json at all
+BenchmarkPlain 	 50 	 99000.5 ns/op
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(bufio.NewScanner(strings.NewReader(sampleJSON)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkFanout":                         12345,
+		"BenchmarkShardedIngest/shards=8,batch=1": 2000000,
+		"BenchmarkSplit":                          242859,
+		"BenchmarkPlain":                          99000.5,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks (%v), want %d", len(got), got, len(want))
+	}
+	for name, ns := range want {
+		if got[name] != ns {
+			t.Errorf("%s = %v, want %v", name, got[name], ns)
+		}
+	}
+}
+
+func TestCompareNormalizes(t *testing.T) {
+	base := map[string]float64{"A": 10e6, "B": 20e6, "C": 30e6, "D": 5e3, "onlyBase": 1e6}
+	// Everything uniformly 2x slower (a slower machine) except C, which
+	// regressed 4x — and D, which is below min-ns and must never trip.
+	cur := map[string]float64{"A": 20e6, "B": 40e6, "C": 120e6, "D": 50e3, "onlyCur": 1e6}
+	vs := compare(base, cur, 0.30, 1e6, true)
+	if len(vs) != 4 {
+		t.Fatalf("compared %d benchmarks, want 4 shared", len(vs))
+	}
+	byName := map[string]verdict{}
+	for _, v := range vs {
+		byName[v.name] = v
+	}
+	if byName["A"].tripped || byName["B"].tripped {
+		t.Errorf("uniform machine slowdown tripped: A=%+v B=%+v", byName["A"], byName["B"])
+	}
+	if !byName["C"].tripped {
+		t.Errorf("relative 2x regression did not trip: %+v", byName["C"])
+	}
+	if byName["D"].tripped || !byName["D"].tooSmall {
+		t.Errorf("sub-min-ns benchmark handled wrong: %+v", byName["D"])
+	}
+}
+
+func TestDropMatching(t *testing.T) {
+	m := map[string]float64{
+		"BenchmarkShardedIngest/shards=1,batch=1": 1,
+		"BenchmarkShardedIngest/shards=8,batch=1": 2,
+		"BenchmarkShardedIngest/shards=8,batch=5": 3,
+		"BenchmarkFanout":                         4,
+	}
+	dropMatching(m, regexp.MustCompile(`ShardedIngest/shards=(2|4|8)`))
+	if len(m) != 2 {
+		t.Fatalf("kept %d benchmarks (%v), want the single-shard and unrelated ones", len(m), m)
+	}
+	for _, keep := range []string{"BenchmarkShardedIngest/shards=1,batch=1", "BenchmarkFanout"} {
+		if _, ok := m[keep]; !ok {
+			t.Errorf("%s was dropped", keep)
+		}
+	}
+}
+
+func TestCompareRaw(t *testing.T) {
+	base := map[string]float64{"A": 10e6, "B": 10e6}
+	cur := map[string]float64{"A": 10.1e6, "B": 14e6}
+	vs := compare(base, cur, 0.30, 1e6, false)
+	byName := map[string]verdict{}
+	for _, v := range vs {
+		byName[v.name] = v
+	}
+	if byName["A"].tripped {
+		t.Errorf("1%% drift tripped raw compare: %+v", byName["A"])
+	}
+	if !byName["B"].tripped {
+		t.Errorf("40%% drift did not trip raw compare: %+v", byName["B"])
+	}
+}

@@ -38,6 +38,8 @@ func main() {
 		clients  = flag.Int("clients", 0, "client sessions applied to every sweep point (client figures override the population)")
 		itemsPC  = flag.Int("items-per-client", 0, "mean watch-list size per client (default 3)")
 		cap      = flag.Int("session-cap", 0, "sessions per repository before overflow redirects (0 = unlimited)")
+		shards   = flag.Int("shards", 0, "ingest worker shards applied to every plain sweep point (<=1 = sequential)")
+		batch    = flag.Int("batch", 0, "ingest batch window in ticks applied to every plain sweep point (<=1 = off)")
 		workers  = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 		progress = flag.Bool("progress", false, "report sweep progress to stderr")
 		timings  = flag.Bool("time", false, "print elapsed time per figure")
@@ -95,6 +97,8 @@ func main() {
 	s.Clients = *clients
 	s.ItemsPerClient = *itemsPC
 	s.SessionCap = *cap
+	s.Shards = *shards
+	s.BatchTicks = *batch
 
 	// One runner for every figure: its network/trace caches carry across
 	// figures (most share the base-case substrates), and its worker pool

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"d3t/internal/core"
 	"d3t/internal/trace"
@@ -33,6 +34,8 @@ func main() {
 	flag.Float64Var(&cfg.PPercent, "p", cfg.PPercent, "LeLA load-controller admission band (%)")
 	flag.StringVar(&cfg.Preference, "pref", cfg.Preference, "LeLA preference function: P1 or P2")
 	flag.StringVar(&cfg.Protocol, "protocol", cfg.Protocol, "dissemination: distributed, centralized, naive-eq3, all-push")
+	flag.IntVar(&cfg.Shards, "shards", cfg.Shards, "ingest worker shards items hash-partition across (<=1 = sequential; plain runs only)")
+	flag.IntVar(&cfg.BatchTicks, "batch", cfg.BatchTicks, "coalesce each item's updates over windows of this many ticks (<=1 = off; plain runs only)")
 	flag.StringVar(&cfg.Workload, "workload", cfg.Workload,
 		"trace workload family: "+strings.Join(trace.WorkloadNames(), ", "))
 	flag.StringVar(&cfg.WorkloadPath, "workload-path", cfg.WorkloadPath, "trace CSV file for -workload=csv")
@@ -74,6 +77,14 @@ func main() {
 	fmt.Printf("deliveries          %d\n", out.Stats.Deliveries)
 	fmt.Printf("source utilization  %.1f%%\n", 100*out.SourceUtilization)
 	fmt.Printf("simulation events   %d\n", out.Stats.Events)
+	if (cfg.Shards > 1 || cfg.BatchTicks > 1) && out.Ingest == nil {
+		fmt.Printf("ingest              sequential (-shards/-batch apply to plain runs only)\n")
+	}
+	if ing := out.Ingest; ing != nil {
+		fmt.Printf("ingest              %d shards, batch window %d ticks\n", ing.Shards, ing.BatchTicks)
+		fmt.Printf("ingest updates      %d disseminated, %d coalesced away\n", ing.Updates, ing.Coalesced)
+		fmt.Printf("ingest throughput   %.0f updates/s (%v wall)\n", ing.UpdatesPerSec, ing.Elapsed.Round(time.Millisecond))
+	}
 	if r := out.Resilience; r != nil {
 		fmt.Printf("faults              %s (crashes %d, rejoins %d)\n", cfg.Faults, r.Crashes, r.Rejoins)
 		fmt.Printf("detections          %d parent, %d child drops\n", r.Detections, r.ChildDrops)

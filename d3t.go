@@ -25,6 +25,11 @@
 //     placement, per-client filtered fan-out, churn/migration, and
 //     client-observed fidelity; live and netio serve sessions over
 //     channels and TCP subscriptions.
+//   - Sharded ingest: Config.Shards/Config.BatchTicks (and the
+//     IngestPipeline building block) hash-partition independent items
+//     across parallel workers and coalesce update bursts into batches —
+//     the same partition drives the simulator, live's per-shard batch
+//     channels, and netio's multi-update frames.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record.
@@ -34,6 +39,7 @@ import (
 	"d3t/internal/coherency"
 	"d3t/internal/core"
 	"d3t/internal/dissemination"
+	"d3t/internal/ingest"
 	"d3t/internal/netsim"
 	"d3t/internal/node"
 	"d3t/internal/repository"
@@ -267,6 +273,40 @@ func NewNodeCore(self *Repository, peers func(RepositoryID) *Repository, opts No
 // NodeCore.
 func NewNodeSession(name string, wants map[string]Requirement) *NodeSession {
 	return node.NewSession(name, wants)
+}
+
+// Ingest layer -----------------------------------------------------------
+
+type (
+	// IngestConfig parameterizes the sharded batched ingest pipeline
+	// (Config.Shards / Config.BatchTicks select it for experiments).
+	IngestConfig = ingest.Config
+	// IngestStats reports an ingest run's throughput and coalescing work
+	// (Outcome.Ingest carries one for sharded/batched runs).
+	IngestStats = ingest.Stats
+	// IngestPipeline is the transport-free sharded ingest engine: items
+	// hash-partition across shard workers, each draining its batches'
+	// fan-out plans through its own set of repository cores at full
+	// speed.
+	IngestPipeline = ingest.Pipeline
+)
+
+// NewIngestPipeline builds and starts an ingest pipeline over a built
+// overlay, seeded with the items' initial values.
+func NewIngestPipeline(o *Overlay, initial map[string]float64, cfg IngestConfig) *IngestPipeline {
+	return ingest.NewPipeline(o, initial, cfg)
+}
+
+// ShardOf maps an item to its ingest shard — the one hash every sharded
+// layer (pipeline workers, the sharded simulator, live's per-shard
+// channels) shares.
+func ShardOf(item string, shards int) int { return ingest.ShardOf(item, shards) }
+
+// CoalesceTraces folds each trace's updates through batch windows of
+// batchTicks ticks (only the newest value per window survives; horizons
+// are preserved), returning the coalesced set and the folded count.
+func CoalesceTraces(traces []*Trace, batchTicks int) ([]*Trace, uint64) {
+	return ingest.CoalesceTraces(traces, batchTicks)
 }
 
 // Resilience layer ------------------------------------------------------

@@ -22,6 +22,15 @@ func (r *Report) Add(repo int, fidelity float64) {
 	r.perRepo[repo] = append(r.perRepo[repo], fidelity)
 }
 
+// Merge folds another report's per-(repository, item) entries into this
+// one, in the other report's sorted-repository order. Sharded runs track
+// disjoint item partitions per shard and merge them into one report.
+func (r *Report) Merge(o *Report) {
+	for _, id := range o.Repositories() {
+		r.perRepo[id] = append(r.perRepo[id], o.perRepo[id]...)
+	}
+}
+
 // RepoFidelity returns the mean fidelity of one repository, and false if
 // the repository recorded no items.
 func (r *Report) RepoFidelity(repo int) (float64, bool) {

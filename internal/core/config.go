@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"d3t/internal/dissemination"
+	"d3t/internal/ingest"
 	"d3t/internal/netsim"
 	"d3t/internal/repository"
 	"d3t/internal/resilience"
@@ -95,6 +96,20 @@ type Config struct {
 	// Faults, over the session population — see serve.ParseSessionPlan).
 	SessionChurn string
 
+	// Shards hash-partitions the data items across a parallel ingest
+	// worker pool (internal/ingest): each shard runs the disjoint item
+	// partition's dissemination independently, which the paper's per-item
+	// trees make exact. Values <= 1 keep the sequential path (and its
+	// byte-identical figures). Sharding applies to plain runs only: the
+	// queueing node model, fault injection and the client-serving layer
+	// couple items through shared state, so those runs ignore it.
+	Shards int
+	// BatchTicks coalesces each item's updates over windows of this many
+	// source ticks before dissemination: within a window only the newest
+	// value moves. Values <= 1 disable batching. Like Shards it applies
+	// to plain runs only.
+	BatchTicks int
+
 	// Faults selects a failure-injection plan (see resilience.ParsePlan):
 	// "" or "none" runs fault-free through the plain dissemination runner,
 	// "crash:<node|max>@<tick>[+<downticks>]" injects one crash (with
@@ -147,6 +162,10 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: stringent fraction %v outside [0,1]", c.StringentFrac)
 	case c.CoopDegree < 0:
 		return fmt.Errorf("core: negative cooperation degree %d", c.CoopDegree)
+	case c.Shards < 0:
+		return fmt.Errorf("core: negative shard count %d", c.Shards)
+	case c.BatchTicks < 0:
+		return fmt.Errorf("core: negative batch window %d", c.BatchTicks)
 	}
 	if _, err := c.builder(); err != nil {
 		return err
@@ -180,6 +199,21 @@ func (c Config) Validate() error {
 
 // ClientsEnabled reports whether the run serves a client population.
 func (c Config) ClientsEnabled() bool { return c.Clients > 0 }
+
+// ingestConfig converts the sharding/batching fields.
+func (c Config) ingestConfig() ingest.Config {
+	return ingest.Config{Shards: c.Shards, BatchTicks: c.BatchTicks}
+}
+
+// IngestEnabled reports whether the run goes through the sharded/batched
+// ingest runner: the config asks for it and the run is plain — the
+// queueing model, fault injection and the client-serving layer couple
+// items through shared state (serial stations, overlay rewires, the
+// single-threaded fleet observer), so those runs keep the sequential
+// path and ignore the ingest fields.
+func (c Config) IngestEnabled() bool {
+	return c.ingestConfig().Enabled() && !c.Queueing && !c.FaultsEnabled() && !c.ClientsEnabled()
+}
 
 // sessionPlan parses the configured session-churn plan (nil when clients
 // are disabled or no churn is configured).

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"d3t/internal/dissemination"
+	"d3t/internal/ingest"
 	"d3t/internal/netsim"
 	"d3t/internal/repository"
 	"d3t/internal/resilience"
@@ -39,6 +40,11 @@ type Outcome struct {
 	// fidelity, redirect/migration counters, per-session fan-out work;
 	// nil when the run had Clients disabled.
 	Clients *serve.Stats
+	// Ingest carries the sharded/batched ingest pipeline's throughput and
+	// coalescing stats; nil when the run used the plain sequential path
+	// (Shards <= 1 and BatchTicks <= 1, or a run the ingest layer does
+	// not apply to).
+	Ingest *ingest.Stats
 }
 
 // String renders the outcome as a one-line summary.
@@ -147,7 +153,23 @@ func runExperimentWith(cfg Config, net *netsim.Network, traces []*trace.Trace) (
 	}
 	var res *dissemination.Result
 	var resStats *resilience.Stats
-	if cfg.FaultsEnabled() {
+	var ingestStats *ingest.Stats
+	if cfg.IngestEnabled() {
+		// The sharded/batched ingest runner: coalesce the trace set,
+		// partition the items across parallel sub-simulations, merge. The
+		// plain path below stays untouched so Shards <= 1 && BatchTicks
+		// <= 1 remains byte-identical to it.
+		res, ingestStats, _, err = ingest.RunSim(overlay, traces, func() dissemination.Protocol {
+			p, perr := cfg.protocol()
+			if perr != nil {
+				panic(perr) // cfg.Validate() vetted the name above
+			}
+			return p
+		}, pushCfg, cfg.ingestConfig())
+		if err != nil {
+			return nil, err
+		}
+	} else if cfg.FaultsEnabled() {
 		// Route through the resilient runner: same fidelity machinery,
 		// plus fault injection, detection and backup-parent repair.
 		plan, err := cfg.faultPlan()
@@ -191,5 +213,6 @@ func runExperimentWith(cfg Config, net *netsim.Network, traces []*trace.Trace) (
 		SourceUtilization: res.SourceUtilization,
 		Resilience:        resStats,
 		Clients:           clientStats,
+		Ingest:            ingestStats,
 	}, nil
 }

@@ -32,6 +32,11 @@ type Scale struct {
 	Clients        int
 	ItemsPerClient int
 	SessionCap     int
+	// Shards and BatchTicks apply the ingest pipeline's sharding and
+	// coalescing to every sweep point (plain runs only; see
+	// Config.Shards).
+	Shards     int
+	BatchTicks int
 	// Workers bounds the sweep worker pool (<= 0 means GOMAXPROCS).
 	Workers int
 	// Runner, when set, executes the sweeps — sharing its substrate
@@ -84,6 +89,8 @@ func (s Scale) base() Config {
 	cfg.Clients = s.Clients
 	cfg.ItemsPerClient = s.ItemsPerClient
 	cfg.SessionCap = s.SessionCap
+	cfg.Shards = s.Shards
+	cfg.BatchTicks = s.BatchTicks
 	return cfg
 }
 

@@ -36,6 +36,20 @@ type Config struct {
 	// deliveries — the client-serving layer hangs sessions off it. A nil
 	// observer leaves the run byte-identical to one without the field.
 	Observer Observer
+	// ItemFilter, when set, restricts the run to the items it accepts:
+	// only their source ticks are scheduled and only their fidelity is
+	// tracked, while the full trace set still supplies initial values and
+	// the observation horizon. The sharded ingest runner uses it to give
+	// each shard the same overlay and time base but a disjoint item
+	// partition; per-item independence (each item's dissemination tree and
+	// filter state never touches another's) is what makes the partition
+	// exact. A nil filter accepts everything.
+	ItemFilter func(item string) bool
+}
+
+// accepts reports whether the configured item filter admits the item.
+func (c Config) accepts(item string) bool {
+	return c.ItemFilter == nil || c.ItemFilter(item)
 }
 
 // Observer receives the run's observable events in simulation order. The
@@ -134,6 +148,9 @@ func Run(o *tree.Overlay, traces []*trace.Trace, p Protocol, cfg Config) (*Resul
 	byRepo := make(map[string]map[repository.ID]*coherency.Tracker)
 	for _, n := range o.Repos() {
 		for _, x := range n.NeededItems() {
+			if !cfg.accepts(x) {
+				continue
+			}
 			c := n.Needs[x]
 			v, ok := initial[x]
 			if !ok {
@@ -163,6 +180,9 @@ func Run(o *tree.Overlay, traces []*trace.Trace, p Protocol, cfg Config) (*Resul
 	// Schedule the source-side trace ticks. Quiet ticks (no value change)
 	// cost nothing: the paper's sources react to new data values.
 	for _, tr := range traces {
+		if !cfg.accepts(tr.Item) {
+			continue
+		}
 		last := tr.Ticks[0].Value
 		for _, tk := range tr.Ticks[1:] {
 			if tk.Value == last {

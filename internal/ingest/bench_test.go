@@ -1,0 +1,47 @@
+package ingest
+
+import (
+	"fmt"
+	"testing"
+
+	"d3t/internal/sim"
+	"d3t/internal/trace"
+)
+
+// BenchmarkShardedIngest measures the pipeline's ingest throughput on the
+// bursty workload across shard counts — the tentpole claim is that 8
+// shards sustain at least 2x single-shard throughput on a machine with
+// cores to run them (items are hash-partitioned, workers share nothing).
+// The batch=5 variants add window coalescing, which also lifts offered
+// throughput on a single core by shrinking the applied update stream.
+func BenchmarkShardedIngest(b *testing.B) {
+	const items, repos, ticks = 64, 40, 1200
+	gen, err := trace.LookupWorkload("bursty")
+	if err != nil {
+		b.Fatal(err)
+	}
+	traces, err := gen.Generate(trace.WorkloadSpec{Items: items, Ticks: ticks, Interval: sim.Second, Seed: 55})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cfg := range []Config{
+		{Shards: 1},
+		{Shards: 2},
+		{Shards: 4},
+		{Shards: 8},
+		{Shards: 1, BatchTicks: 5},
+		{Shards: 8, BatchTicks: 5},
+	} {
+		name := fmt.Sprintf("shards=%d,batch=%d", cfg.ShardCount(), cfg.Window())
+		b.Run(name, func(b *testing.B) {
+			var st Stats
+			for i := 0; i < b.N; i++ {
+				o, initial := worldOver(b, traces, repos, 55)
+				p := NewPipeline(o, initial, cfg)
+				st = feedPipeline(p, traces, ticks)
+			}
+			b.ReportMetric(float64(st.Updates)/st.Elapsed.Seconds(), "updates/s")
+			b.ReportMetric(float64(st.Coalesced), "coalesced")
+		})
+	}
+}

@@ -1,0 +1,188 @@
+// Package ingest is the sharded, batched update pipeline: the scaling
+// layer between a source's raw update stream and the per-repository node
+// cores every runtime shares.
+//
+// The paper's dissemination trees are strictly per-item — an update of
+// item X touches only X's parent chain, X's filter state, X's trackers —
+// so independent items never contend. The single-threaded Apply path of
+// the node core wastes that independence; this package exploits it with
+// three mechanisms, each usable alone:
+//
+//   - Sharding: items are hash-partitioned (ShardOf, FNV-1a) across a
+//     configurable worker pool. Every (repository, item) state lives in
+//     exactly one shard, so workers proceed without locks and the
+//     per-item forward/suppress decision sequence — the parity guarantee
+//     of internal/node — is bit-identical for any shard count.
+//   - Batching: updates arriving within a window of BatchTicks source
+//     ticks move as one batch — one channel send, one lock acquisition,
+//     one wire frame — instead of per-update operations.
+//   - Coalescing: same-item updates within one batch window collapse to
+//     the newest value (CoalesceTrace). A superseded intermediate value
+//     is never disseminated; the survivor is filtered exactly as if it
+//     arrived alone.
+//
+// Three consumers re-seat on it: the simulator partitions a run's items
+// across parallel sub-simulations (RunSim), the goroutine runtime splits
+// each node into per-shard cores fed by batch channels (live.Options.
+// Shards), and the TCP runtime carries a whole batch in one frame
+// (netio's multi-update frame kind). The Pipeline type in this package is
+// the transport-free embodiment used by benchmarks and property tests.
+package ingest
+
+import (
+	"time"
+
+	"d3t/internal/trace"
+)
+
+// Config parameterizes the ingest pipeline.
+type Config struct {
+	// Shards is the worker-pool width items are hash-partitioned across.
+	// Values <= 1 mean one shard — the exact sequential behavior every
+	// registry figure is pinned to.
+	Shards int
+	// BatchTicks is the coalescing window in source ticks: updates of the
+	// same item within one window collapse to the newest value, and a
+	// window's survivors move as one batch. Values <= 1 disable batching
+	// (every update moves alone).
+	BatchTicks int
+}
+
+// ShardCount normalizes Config.Shards to the effective worker count.
+func (c Config) ShardCount() int {
+	if c.Shards <= 1 {
+		return 1
+	}
+	return c.Shards
+}
+
+// Window normalizes Config.BatchTicks to the effective window length.
+func (c Config) Window() int {
+	if c.BatchTicks <= 1 {
+		return 1
+	}
+	return c.BatchTicks
+}
+
+// Enabled reports whether the config asks for anything beyond the plain
+// sequential per-update path.
+func (c Config) Enabled() bool { return c.ShardCount() > 1 || c.Window() > 1 }
+
+// Stats counts the work an ingest run performed.
+type Stats struct {
+	// Shards and BatchTicks echo the effective configuration.
+	Shards     int
+	BatchTicks int
+	// Updates is the number of value-changing source updates offered to
+	// the pipeline (after coalescing, the survivors; Coalesced counts the
+	// folded ones, so Updates+Coalesced is the raw change count).
+	Updates uint64
+	// Coalesced counts updates folded into a newer same-item update
+	// within one batch window.
+	Coalesced uint64
+	// Batches counts batch flushes drained by shard workers.
+	Batches uint64
+	// Applies counts node-core Apply calls executed across the overlay.
+	Applies uint64
+	// Forwards counts update copies pushed over overlay edges; Checks
+	// counts per-dependent filter decisions.
+	Forwards uint64
+	Checks   uint64
+	// Elapsed is the wall-clock span of the run; UpdatesPerSec is
+	// Updates/Elapsed — the pipeline's measured ingest throughput. Both
+	// are wall-clock observations, not simulation results: deterministic
+	// outputs never derive from them.
+	Elapsed       time.Duration
+	UpdatesPerSec float64
+}
+
+// finish stamps the wall-clock aggregates.
+func (s *Stats) finish(elapsed time.Duration) {
+	s.Elapsed = elapsed
+	if secs := elapsed.Seconds(); secs > 0 {
+		s.UpdatesPerSec = float64(s.Updates) / secs
+	}
+}
+
+// ShardOf maps an item to its shard: FNV-1a over the item name, mod the
+// shard count. Every layer — pipeline workers, the sharded simulator,
+// live's per-shard channels — must use this one mapping, so a batch
+// produced by a parent shard lands in the same shard at the child.
+func ShardOf(item string, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	h := uint32(2166136261)
+	for i := 0; i < len(item); i++ {
+		h = (h ^ uint32(item[i])) * 16777619
+	}
+	return int(h % uint32(shards))
+}
+
+// CoalesceTrace folds a trace's value changes through batch windows of
+// batchTicks ticks: within each window only the last value survives, at
+// the time it appeared; changes it superseded are counted as coalesced.
+// A window whose net change is zero (the value returned to its pre-window
+// level) emits nothing. The trace's observation horizon is preserved by a
+// final no-change guard tick at the original end time, so fidelity
+// denominators match the uncoalesced run. With batchTicks <= 1 (or a
+// trivial trace) the input is returned unchanged.
+//
+// The result is a pure function of the inputs: every backend that feeds
+// from a coalesced trace set disseminates the identical update sequence,
+// which is what keeps cross-backend decision parity intact under
+// batching.
+func CoalesceTrace(tr *trace.Trace, batchTicks int) (*trace.Trace, uint64) {
+	if batchTicks <= 1 || tr.Len() <= 1 {
+		return tr, 0
+	}
+	out := &trace.Trace{Item: tr.Item, Ticks: []trace.Tick{tr.Ticks[0]}}
+	last := tr.Ticks[0].Value
+	var folded uint64
+	for w := 1; w < tr.Len(); w += batchTicks {
+		end := w + batchTicks
+		if end > tr.Len() {
+			end = tr.Len()
+		}
+		changes, lastChange := 0, -1
+		cur := last
+		for i := w; i < end; i++ {
+			if tr.Ticks[i].Value != cur {
+				cur = tr.Ticks[i].Value
+				lastChange = i
+				changes++
+			}
+		}
+		if lastChange < 0 {
+			continue // quiet window
+		}
+		if cur == last {
+			folded += uint64(changes) // net-zero window: all folded
+			continue
+		}
+		out.Ticks = append(out.Ticks, tr.Ticks[lastChange])
+		last = cur
+		folded += uint64(changes - 1)
+	}
+	if endAt := tr.Ticks[tr.Len()-1].At; out.Ticks[len(out.Ticks)-1].At != endAt {
+		out.Ticks = append(out.Ticks, trace.Tick{At: endAt, Value: last})
+	}
+	return out, folded
+}
+
+// CoalesceTraces applies CoalesceTrace to a whole trace set, returning
+// the coalesced set (the input itself when batchTicks <= 1) and the total
+// folded-update count.
+func CoalesceTraces(traces []*trace.Trace, batchTicks int) ([]*trace.Trace, uint64) {
+	if batchTicks <= 1 {
+		return traces, 0
+	}
+	out := make([]*trace.Trace, len(traces))
+	var folded uint64
+	for i, tr := range traces {
+		c, n := CoalesceTrace(tr, batchTicks)
+		out[i] = c
+		folded += n
+	}
+	return out, folded
+}

@@ -1,0 +1,227 @@
+package ingest
+
+import (
+	"math"
+	"testing"
+
+	"d3t/internal/dissemination"
+	"d3t/internal/netsim"
+	"d3t/internal/node"
+	"d3t/internal/repository"
+	"d3t/internal/sim"
+	"d3t/internal/trace"
+	"d3t/internal/tree"
+)
+
+// world builds one deterministic mid-size overlay + stock trace set.
+func world(t testing.TB, items, repos, ticks int, seed int64) (*tree.Overlay, []*trace.Trace, map[string]float64) {
+	t.Helper()
+	traces := trace.GenerateSet(items, ticks, sim.Second, seed)
+	o, initial := worldOver(t, traces, repos, seed)
+	return o, traces, initial
+}
+
+// worldOver builds a deterministic overlay interested in the given trace
+// set's items.
+func worldOver(t testing.TB, traces []*trace.Trace, repos int, seed int64) (*tree.Overlay, map[string]float64) {
+	t.Helper()
+	names := make([]string, len(traces))
+	initial := make(map[string]float64, len(traces))
+	for i, tr := range traces {
+		names[i] = tr.Item
+		initial[tr.Item] = tr.Ticks[0].Value
+	}
+	rs := make([]*repository.Repository, repos)
+	for i := range rs {
+		rs[i] = repository.New(repository.ID(i+1), 4)
+	}
+	repository.AssignNeeds(rs, repository.Workload{
+		Items:         names,
+		SubscribeProb: 0.6,
+		StringentFrac: 0.4,
+		Seed:          seed,
+	})
+	o, err := (&tree.LeLA{Seed: seed}).Build(netsim.Uniform(repos, sim.Millisecond), rs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o, initial
+}
+
+func TestShardOf(t *testing.T) {
+	if got := ShardOf("anything", 1); got != 0 {
+		t.Fatalf("ShardOf(_, 1) = %d, want 0", got)
+	}
+	if got := ShardOf("anything", 0); got != 0 {
+		t.Fatalf("ShardOf(_, 0) = %d, want 0", got)
+	}
+	// Stable and in range.
+	for _, shards := range []int{2, 4, 8} {
+		seen := make(map[int]bool)
+		for _, item := range []string{"I0", "I1", "I2", "I3", "I4", "I5", "I6", "I7", "I8", "I9"} {
+			s := ShardOf(item, shards)
+			if s < 0 || s >= shards {
+				t.Fatalf("ShardOf(%q, %d) = %d out of range", item, shards, s)
+			}
+			if s != ShardOf(item, shards) {
+				t.Fatalf("ShardOf(%q, %d) unstable", item, shards)
+			}
+			seen[s] = true
+		}
+		if len(seen) < 2 {
+			t.Errorf("ShardOf over 10 items used %d of %d shards; the hash does not spread", len(seen), shards)
+		}
+	}
+}
+
+func TestCoalesceTrace(t *testing.T) {
+	tr := &trace.Trace{Item: "X", Ticks: []trace.Tick{
+		{At: 0, Value: 10},
+		{At: 1, Value: 11}, // window 1: superseded
+		{At: 2, Value: 12}, // window 1: survivor
+		{At: 3, Value: 12}, // window 2: quiet
+		{At: 4, Value: 12},
+		{At: 5, Value: 15}, // window 3: up...
+		{At: 6, Value: 12}, // ...and back: net-zero window, all folded
+		{At: 7, Value: 20}, // window 4: survivor
+		{At: 8, Value: 20}, // quiet tail preserves the horizon via a guard
+	}}
+	got, folded := CoalesceTrace(tr, 2)
+	want := []trace.Tick{{At: 0, Value: 10}, {At: 2, Value: 12}, {At: 7, Value: 20}, {At: 8, Value: 20}}
+	if folded != 3 {
+		t.Errorf("folded = %d, want 3 (the 11, and the 15/12 round trip)", folded)
+	}
+	if len(got.Ticks) != len(want) {
+		t.Fatalf("coalesced ticks = %v, want %v", got.Ticks, want)
+	}
+	for i := range want {
+		if got.Ticks[i] != want[i] {
+			t.Errorf("tick %d = %v, want %v", i, got.Ticks[i], want[i])
+		}
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("coalesced trace invalid: %v", err)
+	}
+	if got.Duration() != tr.Duration() {
+		t.Errorf("horizon moved: %v, want %v", got.Duration(), tr.Duration())
+	}
+
+	// Window <= 1 is the identity.
+	if same, n := CoalesceTrace(tr, 1); same != tr || n != 0 {
+		t.Errorf("CoalesceTrace(_, 1) did not return the input unchanged")
+	}
+}
+
+// TestRunSimShardedMatchesSequential is the partition-exactness guarantee:
+// the sharded runner must reproduce the sequential run's per-(repo, item)
+// decisions exactly and its aggregates within floating-point summation
+// order.
+func TestRunSimShardedMatchesSequential(t *testing.T) {
+	o, traces, _ := world(t, 8, 12, 300, 7)
+	seq, seqStats, seqProtos, err := RunSim(o, traces, func() dissemination.Protocol { return dissemination.NewDistributed() },
+		dissemination.Config{}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, traces2, _ := world(t, 8, 12, 300, 7)
+	sh, shStats, shProtos, err := RunSim(o2, traces2, func() dissemination.Protocol { return dissemination.NewDistributed() },
+		dissemination.Config{}, Config{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqProtos) != 1 || len(shProtos) != 4 {
+		t.Fatalf("protocol instances = %d/%d, want 1/4", len(seqProtos), len(shProtos))
+	}
+	if seq.Stats != sh.Stats {
+		t.Errorf("work stats diverge: sequential %+v, sharded %+v", seq.Stats, sh.Stats)
+	}
+	if seq.Horizon != sh.Horizon {
+		t.Errorf("horizon %v vs %v", seq.Horizon, sh.Horizon)
+	}
+	if d := math.Abs(seq.Report.SystemFidelity() - sh.Report.SystemFidelity()); d > 1e-12 {
+		t.Errorf("fidelity diverges by %g: %v vs %v", d, seq.Report.SystemFidelity(), sh.Report.SystemFidelity())
+	}
+	if d := math.Abs(seq.SourceUtilization - sh.SourceUtilization); d > 1e-9 {
+		t.Errorf("source utilization diverges: %v vs %v", seq.SourceUtilization, sh.SourceUtilization)
+	}
+	if seqStats.Updates != shStats.Updates || seqStats.Forwards != shStats.Forwards {
+		t.Errorf("ingest stats diverge: %+v vs %+v", seqStats, shStats)
+	}
+
+	// Decision-level parity: union the sharded cores' decisions and
+	// compare with the sequential ones per (repo, item).
+	want := decisionsOf(o, seqProtos)
+	got := decisionsOf(o2, shProtos)
+	if len(want) == 0 {
+		t.Fatal("sequential run made no decisions; the test is vacuous")
+	}
+	if len(want) != len(got) {
+		t.Fatalf("decision sets differ in size: %d vs %d", len(want), len(got))
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("decisions[%s] = %+v, want %+v", k, got[k], w)
+		}
+	}
+}
+
+// TestRunSimBatchCoalesces checks that batching reduces disseminated
+// updates on a volatile workload and still ends every repository at the
+// final source value.
+func TestRunSimBatchCoalesces(t *testing.T) {
+	o, traces, _ := world(t, 6, 10, 400, 11)
+	plain, _, _, err := RunSim(o, traces, func() dissemination.Protocol { return dissemination.NewDistributed() },
+		dissemination.Config{}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, traces2, _ := world(t, 6, 10, 400, 11)
+	batched, st, _, err := RunSim(o2, traces2, func() dissemination.Protocol { return dissemination.NewDistributed() },
+		dissemination.Config{}, Config{BatchTicks: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Coalesced == 0 {
+		t.Error("a 5-tick window over a random walk coalesced nothing")
+	}
+	if batched.Stats.SourceTicks >= plain.Stats.SourceTicks {
+		t.Errorf("batched run disseminated %d source ticks, plain %d; batching should shrink it",
+			batched.Stats.SourceTicks, plain.Stats.SourceTicks)
+	}
+	if batched.Horizon != plain.Horizon {
+		t.Errorf("batching moved the horizon: %v vs %v", batched.Horizon, plain.Horizon)
+	}
+	if st.Updates != batched.Stats.SourceTicks {
+		t.Errorf("ingest Updates = %d, want the run's %d source ticks", st.Updates, batched.Stats.SourceTicks)
+	}
+}
+
+func TestRunSimRejectsUnshardableModels(t *testing.T) {
+	o, traces, _ := world(t, 4, 6, 50, 3)
+	if _, _, _, err := RunSim(o, traces, func() dissemination.Protocol { return dissemination.NewDistributed() },
+		dissemination.Config{Queueing: true}, Config{Shards: 2}); err == nil {
+		t.Error("sharded queueing run accepted; the serial-server station couples items")
+	}
+}
+
+// decisionsOf flattens the protocols' per-(repo, item) decision tallies,
+// keyed by "repo/item".
+func decisionsOf(o *tree.Overlay, protos []dissemination.Protocol) map[string]node.Decisions {
+	out := make(map[string]node.Decisions)
+	for _, p := range protos {
+		d, ok := p.(*dissemination.Distributed)
+		if !ok {
+			continue
+		}
+		for _, n := range o.Nodes {
+			for item, dec := range d.Core(n.ID).EdgeDecisions() {
+				k := n.ID.String() + "/" + item
+				cur := out[k]
+				cur.Forwarded += dec.Forwarded
+				cur.Suppressed += dec.Suppressed
+				out[k] = cur
+			}
+		}
+	}
+	return out
+}

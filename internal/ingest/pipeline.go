@@ -1,0 +1,229 @@
+package ingest
+
+import (
+	"sort"
+	"time"
+
+	"d3t/internal/dissemination"
+	"d3t/internal/node"
+	"d3t/internal/repository"
+	"d3t/internal/tree"
+)
+
+// Update is the pipeline's unit of work, re-exported from the protocol
+// layer so callers build batches without importing both packages.
+type Update = dissemination.Update
+
+// Pipeline is the transport-free sharded ingest engine: a single producer
+// offers source updates tick by tick, items hash-partition across shard
+// workers, each worker owns a full per-shard set of repository cores (a
+// dissemination.Distributed instance) and drains every batch's fan-out
+// plan in one zero-delay pass — level by level from the source, one
+// ApplyBatch per touched (repository, batch).
+//
+// The pipeline measures what the hardware can ingest: no delay model, no
+// event queue, just the filter pipeline at full speed. Benchmarks and the
+// node property tests drive it; the simulator's delay-faithful
+// counterpart is RunSim.
+//
+// The producer side (Offer, Tick, Close) is single-goroutine; the shard
+// workers run concurrently behind their batch channels.
+type Pipeline struct {
+	cfg     Config
+	overlay *tree.Overlay
+	shards  []*pipeShard
+	tick    int
+	start   time.Time
+	closed  bool
+}
+
+// pipeShard is one worker: its own protocol instance (hence its own set
+// of repository cores), its batch inbox, and the producer-side pending
+// window. Worker-local counters are read only after done closes.
+type pipeShard struct {
+	proto *dissemination.Distributed
+	in    chan []Update
+	done  chan struct{}
+
+	// pend is the producer's open batch window; pendIdx coalesces
+	// same-item updates within it (last value wins, first-arrival order).
+	// lastOut tracks the last value flushed per item so a net-zero window
+	// (the value returned to its pre-window level) folds away entirely —
+	// the same rule CoalesceTrace applies to recorded traces.
+	pend    []Update
+	pendIdx map[string]int
+	lastOut map[string]float64
+
+	updates, coalesced, batches uint64
+	applies, forwards, checks   uint64
+}
+
+// NewPipeline builds and starts a pipeline over the overlay. Every shard
+// seeds its cores from the initial values, as if the overlay started
+// fully synchronized.
+func NewPipeline(o *tree.Overlay, initial map[string]float64, cfg Config) *Pipeline {
+	p := &Pipeline{
+		cfg:     cfg,
+		overlay: o,
+		shards:  make([]*pipeShard, cfg.ShardCount()),
+		start:   time.Now(),
+	}
+	for i := range p.shards {
+		s := &pipeShard{
+			proto:   dissemination.NewDistributed(),
+			in:      make(chan []Update, 64),
+			done:    make(chan struct{}),
+			pendIdx: make(map[string]int),
+			lastOut: make(map[string]float64, len(initial)),
+		}
+		s.proto.Init(o, initial)
+		for item, v := range initial {
+			s.lastOut[item] = v
+		}
+		p.shards[i] = s
+		go s.run()
+	}
+	return p
+}
+
+// run is the worker loop: drain batches until the inbox closes.
+func (s *pipeShard) run() {
+	defer close(s.done)
+	for b := range s.in {
+		s.drain(b)
+	}
+}
+
+// drain pushes one batch through the shard's overlay cores, level by
+// level: apply at the source, collect the item-tagged forwards, group
+// them per dependent, and repeat until the fan-out plan is exhausted.
+func (s *pipeShard) drain(b []Update) {
+	s.batches++
+	s.updates += uint64(len(b))
+	cur := map[repository.ID][]Update{repository.SourceID: b}
+	var ids []repository.ID
+	for len(cur) > 0 {
+		ids = ids[:0]
+		for id := range cur {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		next := make(map[repository.ID][]Update)
+		for _, id := range ids {
+			batch := cur[id]
+			s.applies += uint64(len(batch))
+			fwds, checks := s.proto.ApplyBatch(id, batch)
+			s.checks += uint64(checks)
+			s.forwards += uint64(len(fwds))
+			for _, f := range fwds {
+				next[f.To] = append(next[f.To], Update{Item: f.Item, Value: f.Value})
+			}
+		}
+		cur = next
+	}
+}
+
+// Offer stages one source update into its shard's open batch window,
+// coalescing over an earlier same-item update in the window.
+func (p *Pipeline) Offer(item string, v float64) {
+	s := p.shards[ShardOf(item, len(p.shards))]
+	if i, ok := s.pendIdx[item]; ok {
+		s.pend[i].Value = v
+		s.coalesced++
+		return
+	}
+	s.pendIdx[item] = len(s.pend)
+	s.pend = append(s.pend, Update{Item: item, Value: v})
+}
+
+// Tick advances the batch clock by one source tick; when a window of
+// BatchTicks completes, every shard's staged batch flushes to its worker.
+func (p *Pipeline) Tick() {
+	p.tick++
+	if p.tick%p.cfg.Window() == 0 {
+		p.Flush()
+	}
+}
+
+// Flush sends every shard's staged batch to its worker, regardless of
+// window position.
+func (p *Pipeline) Flush() {
+	for _, s := range p.shards {
+		if len(s.pend) == 0 {
+			continue
+		}
+		b := make([]Update, 0, len(s.pend))
+		for _, u := range s.pend {
+			if last, ok := s.lastOut[u.Item]; ok && last == u.Value {
+				s.coalesced++ // net-zero window: nothing to disseminate
+				continue
+			}
+			s.lastOut[u.Item] = u.Value
+			b = append(b, u)
+		}
+		s.pend = s.pend[:0]
+		for item := range s.pendIdx {
+			delete(s.pendIdx, item)
+		}
+		if len(b) > 0 {
+			s.in <- b
+		}
+	}
+}
+
+// Close flushes the open window, stops the workers, waits for them to
+// drain, and returns the merged run statistics. The pipeline must not be
+// offered to afterwards.
+func (p *Pipeline) Close() Stats {
+	if p.closed {
+		return p.statsLocked()
+	}
+	p.Flush()
+	p.closed = true
+	for _, s := range p.shards {
+		close(s.in)
+	}
+	for _, s := range p.shards {
+		<-s.done
+	}
+	return p.statsLocked()
+}
+
+// statsLocked merges the worker counters; valid once every worker is
+// done.
+func (p *Pipeline) statsLocked() Stats {
+	st := Stats{Shards: p.cfg.ShardCount(), BatchTicks: p.cfg.Window()}
+	for _, s := range p.shards {
+		st.Updates += s.updates
+		st.Coalesced += s.coalesced
+		st.Batches += s.batches
+		st.Applies += s.applies
+		st.Forwards += s.forwards
+		st.Checks += s.checks
+	}
+	st.finish(time.Since(p.start))
+	return st
+}
+
+// Decisions reports every overlay node's per-item forward/suppress
+// decision totals, merged across shards (whose item partitions are
+// disjoint). Call it after Close; nodes with no decisions are omitted.
+func (p *Pipeline) Decisions() map[repository.ID]map[string]node.Decisions {
+	out := make(map[repository.ID]map[string]node.Decisions)
+	for _, n := range p.overlay.Nodes {
+		for _, s := range p.shards {
+			for item, d := range s.proto.Core(n.ID).EdgeDecisions() {
+				m := out[n.ID]
+				if m == nil {
+					m = make(map[string]node.Decisions)
+					out[n.ID] = m
+				}
+				md := m[item]
+				md.Forwarded += d.Forwarded
+				md.Suppressed += d.Suppressed
+				m[item] = md
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package ingest
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"d3t/internal/sim"
+	"d3t/internal/trace"
+)
+
+// feedPipeline pushes every value-changing tick of the trace set through
+// the pipeline in tick order and closes it.
+func feedPipeline(p *Pipeline, traces []*trace.Trace, ticks int) Stats {
+	last := make(map[string]float64, len(traces))
+	for _, tr := range traces {
+		last[tr.Item] = tr.Ticks[0].Value
+	}
+	for i := 1; i < ticks; i++ {
+		for _, tr := range traces {
+			if i >= tr.Len() {
+				continue
+			}
+			v := tr.Ticks[i].Value
+			if v == last[tr.Item] {
+				continue
+			}
+			last[tr.Item] = v
+			p.Offer(tr.Item, v)
+		}
+		p.Tick()
+	}
+	return p.Close()
+}
+
+// TestPipelineShardDecisionParity: the sharded pipeline must make exactly
+// the decision set of the single-shard pipeline — the per-item purity of
+// the filter chain, exercised through concurrent workers.
+func TestPipelineShardDecisionParity(t *testing.T) {
+	o, traces, initial := world(t, 10, 12, 300, 21)
+	p1 := NewPipeline(o, initial, Config{Shards: 1})
+	st1 := feedPipeline(p1, traces, 300)
+
+	o2, traces2, initial2 := world(t, 10, 12, 300, 21)
+	p8 := NewPipeline(o2, initial2, Config{Shards: 8})
+	st8 := feedPipeline(p8, traces2, 300)
+
+	if st1.Updates == 0 {
+		t.Fatal("pipeline saw no updates; the test is vacuous")
+	}
+	if st1.Updates != st8.Updates || st1.Applies != st8.Applies || st1.Forwards != st8.Forwards || st1.Checks != st8.Checks {
+		t.Errorf("work diverges across shard counts: %+v vs %+v", st1, st8)
+	}
+
+	d1, d8 := p1.Decisions(), p8.Decisions()
+	if len(d1) == 0 {
+		t.Fatal("no decisions recorded")
+	}
+	if len(d1) != len(d8) {
+		t.Fatalf("decision node sets differ: %d vs %d", len(d1), len(d8))
+	}
+	for id, items := range d1 {
+		for item, want := range items {
+			if got := d8[id][item]; got != want {
+				t.Errorf("node %v item %s: shards=8 decided %+v, shards=1 decided %+v", id, item, got, want)
+			}
+		}
+	}
+}
+
+// TestPipelineCoalesces: a batched window folds same-item updates and
+// the survivors equal the coalesced-trace schedule.
+func TestPipelineCoalesces(t *testing.T) {
+	o, traces, initial := world(t, 6, 10, 200, 31)
+	p := NewPipeline(o, initial, Config{BatchTicks: 5})
+	st := feedPipeline(p, traces, 200)
+	if st.Coalesced == 0 {
+		t.Fatal("5-tick windows over random walks coalesced nothing")
+	}
+
+	// The pipeline's survivor count matches CoalesceTraces' schedule.
+	feed, folded := CoalesceTraces(traces, 5)
+	var want uint64
+	for _, tr := range feed {
+		last := tr.Ticks[0].Value
+		for _, tk := range tr.Ticks[1:] {
+			if tk.Value != last {
+				want++
+				last = tk.Value
+			}
+		}
+	}
+	if st.Updates != want {
+		t.Errorf("pipeline disseminated %d updates, coalesced schedule has %d", st.Updates, want)
+	}
+	if st.Coalesced != folded {
+		t.Errorf("pipeline coalesced %d, CoalesceTraces folded %d", st.Coalesced, folded)
+	}
+}
+
+// TestShardedIngestSpeedup asserts the tentpole's throughput claim where
+// the hardware can express it: with enough cores, 8 shards must ingest at
+// least twice as fast as one. On narrow machines parallel shards cannot
+// beat a single core, so the test skips rather than measure noise.
+func TestShardedIngestSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput measurement; skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("race-detector instrumentation inflates the synchronization cost being measured")
+	}
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("GOMAXPROCS=%d; parallel speedup needs >= 4 cores", runtime.GOMAXPROCS(0))
+	}
+	const items, repos, ticks = 64, 40, 1500
+	gen, err := trace.LookupWorkload("bursty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	traces, err := gen.Generate(trace.WorkloadSpec{Items: items, Ticks: ticks, Interval: sim.Second, Seed: 55})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(shards int) float64 {
+		o, initial := worldOver(t, traces, repos, 55)
+		p := NewPipeline(o, initial, Config{Shards: shards})
+		start := time.Now()
+		st := feedPipeline(p, traces, ticks)
+		if st.Updates == 0 {
+			t.Fatal("no updates ingested")
+		}
+		return float64(st.Updates) / time.Since(start).Seconds()
+	}
+	single := run(1)
+	sharded := run(8)
+	t.Logf("throughput: 1 shard %.0f updates/s, 8 shards %.0f updates/s (%.2fx)", single, sharded, sharded/single)
+	if sharded < 2*single {
+		t.Errorf("8 shards = %.2fx single-shard throughput, want >= 2x", sharded/single)
+	}
+}

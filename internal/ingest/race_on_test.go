@@ -1,0 +1,8 @@
+//go:build race
+
+package ingest
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose instrumentation inflates channel/mutex costs and makes
+// wall-clock speedup assertions meaningless.
+const raceEnabled = true

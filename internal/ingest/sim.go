@@ -1,0 +1,109 @@
+package ingest
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"d3t/internal/coherency"
+	"d3t/internal/dissemination"
+	"d3t/internal/trace"
+	"d3t/internal/tree"
+)
+
+// RunSim is the delay-faithful sharded run: it coalesces the trace set
+// through the batch window, hash-partitions the items across shards, and
+// runs one sub-simulation per shard in parallel — each over the full
+// overlay and the full time base but a disjoint item partition
+// (dissemination.Config.ItemFilter). Because the paper's dissemination is
+// strictly per-item in the latency delay model, the partition is exact:
+// every per-(repository, item) fidelity, delivery time and filter
+// decision is identical to the sequential run's, and the merged
+// aggregates differ from it by at most floating-point summation order.
+//
+// newProtocol builds one protocol instance per shard (instances hold
+// per-run core state and must not be shared). The instances are returned
+// for decision-level instrumentation; with one shard the plain
+// dissemination.Run path is used unchanged.
+//
+// The queueing node model shares a serial-server station across items, so
+// it cannot be partitioned; RunSim rejects it with more than one shard.
+func RunSim(o *tree.Overlay, traces []*trace.Trace, newProtocol func() dissemination.Protocol,
+	cfg dissemination.Config, icfg Config) (*dissemination.Result, *Stats, []dissemination.Protocol, error) {
+
+	shards := icfg.ShardCount()
+	if cfg.Queueing && shards > 1 {
+		return nil, nil, nil, fmt.Errorf("ingest: the queueing node model couples items through shared stations and cannot be sharded")
+	}
+	if cfg.Observer != nil && shards > 1 {
+		return nil, nil, nil, fmt.Errorf("ingest: run observers see events in global time order and cannot be sharded")
+	}
+
+	start := time.Now()
+	feed, folded := CoalesceTraces(traces, icfg.BatchTicks)
+	stats := &Stats{Shards: shards, BatchTicks: icfg.Window(), Coalesced: folded}
+
+	if shards == 1 {
+		p := newProtocol()
+		res, err := dissemination.Run(o, feed, p, cfg)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		stats.Updates = res.Stats.SourceTicks
+		stats.Forwards = res.Stats.Messages
+		stats.Checks = res.Stats.SourceChecks + res.Stats.RepoChecks
+		stats.Applies = res.Stats.SourceTicks + res.Stats.Deliveries
+		stats.finish(time.Since(start))
+		return res, stats, []dissemination.Protocol{p}, nil
+	}
+
+	protos := make([]dissemination.Protocol, shards)
+	results := make([]*dissemination.Result, shards)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		protos[s] = newProtocol()
+		shardCfg := cfg
+		shard := s
+		shardCfg.ItemFilter = func(item string) bool { return ShardOf(item, shards) == shard }
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[shard], errs[shard] = dissemination.Run(o, feed, protos[shard], shardCfg)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+
+	merged := &dissemination.Result{
+		Protocol: protos[0].Name(),
+		Report:   coherency.NewReport(),
+	}
+	for _, r := range results {
+		merged.Report.Merge(r.Report)
+		merged.Stats.Messages += r.Stats.Messages
+		merged.Stats.SourceChecks += r.Stats.SourceChecks
+		merged.Stats.RepoChecks += r.Stats.RepoChecks
+		merged.Stats.Deliveries += r.Stats.Deliveries
+		merged.Stats.SourceTicks += r.Stats.SourceTicks
+		merged.Stats.Events += r.Stats.Events
+		if r.Horizon > merged.Horizon {
+			merged.Horizon = r.Horizon
+		}
+	}
+	// Per-shard utilization shares one horizon (it derives from the full
+	// trace set in every shard), so the source's busy fractions add.
+	for _, r := range results {
+		merged.SourceUtilization += r.SourceUtilization
+	}
+	stats.Updates = merged.Stats.SourceTicks
+	stats.Forwards = merged.Stats.Messages
+	stats.Checks = merged.Stats.SourceChecks + merged.Stats.RepoChecks
+	stats.Applies = merged.Stats.SourceTicks + merged.Stats.Deliveries
+	stats.finish(time.Since(start))
+	return merged, stats, protos, nil
+}

@@ -1,5 +1,5 @@
 // Package live runs the paper's distributed dissemination algorithm in
-// real time on goroutines: every overlay node is a goroutine, push
+// real time on goroutines: every overlay node is a goroutine pool, push
 // connections are channels, and communication/computation delays are real
 // (scaled) durations. It demonstrates the same filtering logic as the
 // discrete-event simulator outside simulated time — the "evaluation in a
@@ -10,6 +10,22 @@
 // failover — lives in the transport-agnostic core (internal/node); this
 // package is the channel transport around it: goroutines, inbox/outbox
 // channels, real-time heartbeats and silence watchdogs.
+//
+// # Sharded batched ingest
+//
+// With Options.Shards > 1 the cluster re-seats on the ingest layer's
+// item partition (internal/ingest.ShardOf): every node splits into one
+// core per shard, each fed by its own batch channel and drained by its
+// own worker goroutine, so independent items flow through a node in
+// parallel. Edges carry batches — one channel send moves every update a
+// fan-out pass produced for a dependent's shard — replacing the
+// per-update sends of the unsharded path. The item→shard mapping is
+// global, so a batch a parent shard emits lands in the same shard at the
+// child and per-item FIFO order (the basis of cross-backend decision
+// parity) is preserved. Client sessions watch items across shards, so
+// with sharding enabled they are served by a dedicated serve-only core
+// fed after each shard's dependent pass; with one shard the single core
+// serves both, exactly as before.
 package live
 
 import (
@@ -18,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"d3t/internal/ingest"
 	dnode "d3t/internal/node"
 	"d3t/internal/repository"
 	"d3t/internal/sim"
@@ -37,6 +54,11 @@ type Options struct {
 	// applies backpressure to the sender, mirroring a congested node.
 	Buffer int
 
+	// Shards splits every node into per-item-shard cores fed by batch
+	// channels (<= 1 keeps the single-core node). See the package
+	// comment.
+	Shards int
+
 	// Heartbeat, when positive, makes every node send keep-alives to its
 	// current children on this interval, so dependents can tell a quiet
 	// parent from a dead one.
@@ -52,15 +74,28 @@ type Options struct {
 	// already serves it stringently enough and has a free connection slot.
 	Backups map[repository.ID][]repository.ID
 
+	// Clock overrides the cluster's time source (default time.Now). All
+	// silence measurement — parent liveness, session staleness — reads
+	// it, so tests drive failure detection by advancing an injected clock
+	// instead of sleeping through real windows.
+	Clock func() time.Time
+
 	// SessionCap caps the client sessions one repository serves (0 =
 	// unlimited); Subscribe redirects overflow to the next candidate.
 	SessionCap int
+}
+
+// Update is one (item, value) pair of a published batch.
+type Update struct {
+	Item  string
+	Value float64
 }
 
 // Cluster is a running set of node goroutines wired per an overlay.
 type Cluster struct {
 	overlay *tree.Overlay
 	opts    Options
+	nshards int
 	nodes   map[repository.ID]*node
 	start   time.Time
 	done    chan struct{}
@@ -69,8 +104,9 @@ type Cluster struct {
 	// topoMu guards the overlay wiring (Parents/Dependents/Serving) and
 	// session placement: failure repair rewires the overlay while node
 	// goroutines read it, and migration moves sessions between node
-	// cores. Lock order is topoMu, then a node's mu, then a session's mu;
-	// no path may acquire a node mutex while holding a session's.
+	// cores. Lock order is topoMu, then a node's mu, then a shard's mu,
+	// then a session's mu; no path may acquire an earlier mutex while
+	// holding a later one.
 	topoMu    sync.RWMutex
 	failovers int
 
@@ -80,62 +116,115 @@ type Cluster struct {
 	closeOnce sync.Once
 }
 
-type update struct {
-	item      string
-	value     float64
-	from      repository.ID
-	heartbeat bool
+// upd is one in-flight update copy.
+type upd struct {
+	item  string
+	value float64
 }
 
+// batch is the unit every channel carries: all the updates one fan-out
+// pass produced for one (dependent, shard) edge, or a keep-alive.
+type batch struct {
+	from      repository.ID
+	heartbeat bool
+	ups       []upd
+}
+
+// node is one overlay repository: per-shard cores and channels, plus the
+// node-level failure-detection and session state.
 type node struct {
 	repo *repository.Repository
 
-	mu sync.Mutex
-	// core is the transport-agnostic state machine: values, per-edge
-	// filter state, admitted sessions. Guarded by mu.
-	core *dnode.Core
-	// sess maps admitted session names to their channel-side handles.
-	sess map[string]*Session
-	// tr is the node's reusable transport (guarded by mu; the flush of
-	// its collected sends happens on the node's own goroutine).
-	tr transport
-
-	in chan update
-	// out holds one FIFO channel per dependent: a dedicated forwarder
-	// goroutine applies the wire delay, so updates on an edge can never
-	// overtake one another. Guarded by mu (repair adds edges).
-	out map[repository.ID]chan update
-
-	lastHeard map[repository.ID]time.Time
+	// mu guards dead and lastHeard — and, with sharding enabled, the
+	// dedicated session core. With one shard, session state is guarded
+	// by the single shard's mutex instead (one lock per node, exactly
+	// the pre-sharding discipline).
+	mu        sync.Mutex
 	dead      bool
+	lastHeard map[repository.ID]time.Time
+
+	shards []*nodeShard
+
+	// sessCore serves client sessions when sharding splits the node
+	// (nil with one shard: shards[0].core serves both roles). sess maps
+	// admitted session names to their channel-side handles; it is
+	// guarded by the session core's mutex.
+	sessCore *dnode.Core
+	sessTr   transport
+	sess     map[string]*Session
 }
 
-// transport adapts one node's core decisions to channels. Dependent sends
-// are collected and flushed after the locks drop (a full peer inbox
-// applies backpressure and must not be awaited under a mutex); session
-// pushes are non-blocking and happen inline.
+// nodeShard is one item partition of a node: its own core (values,
+// per-edge filter state for the shard's items), batch inbox, and batch
+// out channels (one per dependent).
+type nodeShard struct {
+	mu   sync.Mutex
+	core *dnode.Core
+	in   chan batch
+	out  map[repository.ID]chan batch
+	tr   transport
+	// sends is the worker's per-dependent grouping scratch, reused across
+	// handleBatch passes (only the shard's own worker touches it). The
+	// ups slices inside are NOT reused: ownership transfers to the
+	// receiving shard on send.
+	sends []depSend
+}
+
+// sessionCore returns the mutex and core that own the node's client
+// sessions.
+func (n *node) sessionCore() (*sync.Mutex, *dnode.Core) {
+	if n.sessCore != nil {
+		return &n.mu, n.sessCore
+	}
+	return &n.shards[0].mu, n.shards[0].core
+}
+
+// shardOf returns the shard owning the item.
+func (n *node) shardOf(item string) *nodeShard {
+	return n.shards[ingest.ShardOf(item, len(n.shards))]
+}
+
+// pendSend is one collected dependent copy awaiting the post-lock flush.
+type pendSend struct {
+	ch chan batch
+	u  upd
+}
+
+// depSend is one flushed per-dependent batch.
+type depSend struct {
+	ch  chan batch
+	ups []upd
+}
+
+// transport adapts one core's decisions to channels. Dependent sends are
+// collected and flushed after the locks drop (a full peer inbox applies
+// backpressure and must not be awaited under a mutex); session pushes
+// are non-blocking and happen inline.
 type transport struct {
 	c       *Cluster
-	n       *node
-	targets []chan update
+	sh      *nodeShard // nil for the dedicated session core
+	pending []pendSend
 }
 
 func (t *transport) Now() sim.Time { return t.c.now() }
 
 func (t *transport) SendToDependent(dep repository.ID, item string, v float64, resync bool) bool {
 	if resync {
-		// The collected-targets flush carries only the one triggering
-		// update, so it cannot ship arbitrary (item, value) resync pairs.
-		// Refuse — the edge state stays untouched — and let failover do
-		// its own paired sync sends (Cluster.failover), which is the only
-		// resync path this runtime uses.
+		// The collected flush ships the pass's own updates, so it cannot
+		// carry arbitrary (item, value) resync pairs. Refuse — the edge
+		// state stays untouched — and let failover do its own paired sync
+		// sends (Cluster.failover), the only resync path this runtime
+		// uses.
 		return false
 	}
-	ch := t.n.out[dep]
+	if t.sh == nil {
+		return false // serve-only session core never fans to dependents
+	}
+	ch := t.sh.out[dep]
 	if ch == nil {
 		return false
 	}
-	t.targets = append(t.targets, ch)
+	t.pending = append(t.pending, pendSend{ch, upd{item, v}})
 	return true
 }
 
@@ -145,11 +234,31 @@ func (t *transport) SendToClient(ns *dnode.Session, item string, v float64, resy
 	}
 }
 
-// now is the cluster's single time base: microseconds since creation,
-// as sim.Time. Session service clocks are stamped with it (the
-// transport's Now) and the session watchdog compares against it.
+// clock is the cluster's wall source (injectable for tests).
+func (c *Cluster) clock() time.Time {
+	if c.opts.Clock != nil {
+		return c.opts.Clock()
+	}
+	return time.Now()
+}
+
+// now is the cluster's single time base: microseconds since creation, as
+// sim.Time. Session service clocks are stamped with it (the transport's
+// Now) and the session watchdog compares against it.
 func (c *Cluster) now() sim.Time {
-	return sim.Time(time.Since(c.start) / time.Microsecond)
+	return sim.Time(c.clock().Sub(c.start) / time.Microsecond)
+}
+
+// tickerPeriod paces a detection loop: a quarter of the window in real
+// time, but never slower than a millisecond when a test clock drives the
+// window (the injected clock may jump a whole window in one step and the
+// loop must notice promptly).
+func (c *Cluster) tickerPeriod() time.Duration {
+	period := c.opts.FailWindow / 4
+	if c.opts.Clock != nil || period <= 0 {
+		period = time.Millisecond
+	}
+	return period
 }
 
 // NewCluster builds (but does not start) a live cluster over the overlay.
@@ -165,40 +274,60 @@ func NewCluster(o *tree.Overlay, opts Options) *Cluster {
 			opts.Heartbeat = time.Millisecond
 		}
 	}
+	nshards := opts.Shards
+	if nshards < 1 {
+		nshards = 1
+	}
 	c := &Cluster{
 		overlay: o,
 		opts:    opts,
+		nshards: nshards,
 		nodes:   make(map[repository.ID]*node, len(o.Nodes)),
-		start:   time.Now(),
 		done:    make(chan struct{}),
 	}
+	c.start = c.clock()
 	for _, r := range o.Nodes {
 		n := &node{
 			repo:      r,
-			core:      dnode.New(r, o.Node, dnode.Options{SessionCap: opts.SessionCap}),
 			sess:      make(map[string]*Session),
-			in:        make(chan update, opts.Buffer),
-			out:       make(map[repository.ID]chan update),
 			lastHeard: make(map[repository.ID]time.Time),
+			shards:    make([]*nodeShard, nshards),
 		}
-		n.tr.c, n.tr.n = c, n
-		for _, deps := range r.Dependents {
-			for _, dep := range deps {
-				if _, ok := n.out[dep]; !ok {
-					n.out[dep] = make(chan update, opts.Buffer)
+		for s := range n.shards {
+			shOpts := dnode.Options{}
+			if nshards == 1 {
+				shOpts.SessionCap = opts.SessionCap
+			}
+			sh := &nodeShard{
+				core: dnode.New(r, o.Node, shOpts),
+				in:   make(chan batch, opts.Buffer),
+				out:  make(map[repository.ID]chan batch),
+			}
+			sh.tr.c, sh.tr.sh = c, sh
+			for _, deps := range r.Dependents {
+				for _, dep := range deps {
+					if _, ok := sh.out[dep]; !ok {
+						sh.out[dep] = make(chan batch, opts.Buffer)
+					}
 				}
 			}
+			n.shards[s] = sh
+		}
+		if nshards > 1 {
+			n.sessCore = dnode.New(r, o.Node, dnode.Options{ServeOnly: true, SessionCap: opts.SessionCap})
+			n.sessTr.c = c
 		}
 		c.nodes[r.ID] = n
 	}
 	return c
 }
 
-// Start launches one goroutine per node plus one forwarder per overlay
-// edge — and, when failure handling is armed, one heartbeater and one
-// watchdog per node. It must be called once.
+// Start launches one worker goroutine per (node, shard) plus one
+// forwarder per (overlay edge, shard) — and, when failure handling is
+// armed, one heartbeater and one watchdog per node. It must be called
+// once.
 func (c *Cluster) Start() {
-	now := time.Now()
+	now := c.clock()
 	for _, n := range c.nodes {
 		n := n
 		n.mu.Lock()
@@ -206,18 +335,21 @@ func (c *Cluster) Start() {
 			n.lastHeard[pid] = now // grace period: silence counts from start
 		}
 		n.mu.Unlock()
-		c.wg.Add(1)
-		go func() {
-			defer c.wg.Done()
-			c.run(n)
-		}()
-		for dep, ch := range n.out {
-			child, ch := c.nodes[dep], ch
+		for si, sh := range n.shards {
+			sh := sh
 			c.wg.Add(1)
 			go func() {
 				defer c.wg.Done()
-				c.forwardLoop(ch, child)
+				c.runShard(n, sh)
 			}()
+			for dep, ch := range sh.out {
+				child, ch, si := c.nodes[dep], ch, si
+				c.wg.Add(1)
+				go func() {
+					defer c.wg.Done()
+					c.forwardLoop(ch, child, si)
+				}()
+			}
 		}
 		if c.opts.Heartbeat > 0 {
 			c.wg.Add(1)
@@ -245,15 +377,15 @@ func (c *Cluster) Start() {
 	}
 }
 
-// forwardLoop ships updates over one edge in FIFO order, applying the
-// wire delay per message.
-func (c *Cluster) forwardLoop(ch chan update, child *node) {
+// forwardLoop ships batches over one (edge, shard) in FIFO order,
+// applying the wire delay per batch.
+func (c *Cluster) forwardLoop(ch chan batch, child *node, shard int) {
 	var timer *time.Timer
 	for {
 		select {
 		case <-c.done:
 			return
-		case u := <-ch:
+		case b := <-ch:
 			if c.opts.CommDelay > 0 {
 				if timer == nil {
 					timer = time.NewTimer(c.opts.CommDelay)
@@ -268,7 +400,7 @@ func (c *Cluster) forwardLoop(ch chan update, child *node) {
 				}
 			}
 			select {
-			case child.in <- u:
+			case child.shards[shard].in <- b:
 			case <-c.done:
 				return
 			}
@@ -285,19 +417,38 @@ func (c *Cluster) Stop() {
 // Publish injects a new value of item at the source. It blocks only if
 // the source inbox is full, and returns false if the cluster is stopped.
 func (c *Cluster) Publish(item string, value float64) bool {
-	// Check shutdown first: when the inbox also has room, a single select
+	return c.PublishBatch([]Update{{Item: item, Value: value}})
+}
+
+// PublishBatch injects one tick's worth of source updates as batches:
+// same-item updates coalesce to the newest value, and each shard
+// receives its partition as a single batch (in shard order). It returns
+// false if the cluster is stopped.
+func (c *Cluster) PublishBatch(ups []Update) bool {
+	// Check shutdown first: when an inbox also has room, a single select
 	// would pick between the two ready cases at random.
 	select {
 	case <-c.done:
 		return false
 	default:
 	}
-	select {
-	case c.nodes[repository.SourceID].in <- update{item: item, value: value}:
-		return true
-	case <-c.done:
-		return false
+	src := c.nodes[repository.SourceID]
+	perShard := make([][]upd, len(src.shards))
+	for _, i := range dnode.CoalesceBatch(len(ups), func(i int) string { return ups[i].Item }) {
+		s := ingest.ShardOf(ups[i].Item, len(src.shards))
+		perShard[s] = append(perShard[s], upd{ups[i].Item, ups[i].Value})
 	}
+	for s, b := range perShard {
+		if len(b) == 0 {
+			continue
+		}
+		select {
+		case src.shards[s].in <- batch{ups: b}:
+		case <-c.done:
+			return false
+		}
+	}
+	return true
 }
 
 // Value returns a node's current copy of item.
@@ -306,75 +457,116 @@ func (c *Cluster) Value(id repository.ID, item string) (float64, bool) {
 	if !ok {
 		return 0, false
 	}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.core.Value(item)
+	sh := n.shardOf(item)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.core.Value(item)
 }
 
 // Seed initializes every node's copy of item (and the edge filter state)
 // to value, as if all repositories joined fully synchronized.
 func (c *Cluster) Seed(item string, value float64) {
 	for _, n := range c.nodes {
-		n.mu.Lock()
-		n.core.Seed(item, value)
-		n.mu.Unlock()
+		sh := n.shardOf(item)
+		sh.mu.Lock()
+		sh.core.Seed(item, value)
+		sh.mu.Unlock()
+		if n.sessCore != nil {
+			n.mu.Lock()
+			n.sessCore.Seed(item, value)
+			n.mu.Unlock()
+		}
 	}
 }
 
-// run is the node goroutine body: receive, record, filter, forward. A
-// crashed node keeps draining its inbox — a dead process's peers are not
-// blocked by it — but drops everything on the floor.
-func (c *Cluster) run(n *node) {
+// runShard is the per-(node, shard) worker body: receive a batch,
+// record, filter, forward. A crashed node keeps draining its inboxes —
+// a dead process's peers are not blocked by it — but drops everything on
+// the floor.
+func (c *Cluster) runShard(n *node, sh *nodeShard) {
 	for {
 		select {
 		case <-c.done:
 			return
-		case u := <-n.in:
-			c.handle(n, u)
+		case b := <-sh.in:
+			c.handleBatch(n, sh, b)
 		}
 	}
 }
 
-// handle runs one received update through the node core and flushes the
-// resulting sends. The core decides — dependents through the per-edge
-// filters, sessions through the per-client ones — while the wiring is
-// stable under the locks; the (blocking) channel sends to dependents
-// happen after both drop.
-func (c *Cluster) handle(n *node, u update) {
+// handleBatch runs one received batch through the shard's core and
+// flushes the resulting per-dependent batches. The core decides —
+// dependents through the per-edge filters, sessions through the
+// per-client ones — while the wiring is stable under the locks; the
+// (blocking) channel sends to dependents happen after they drop.
+func (c *Cluster) handleBatch(n *node, sh *nodeShard, b batch) {
 	c.topoMu.RLock()
 	n.mu.Lock()
-	if n.dead {
-		n.mu.Unlock()
-		c.topoMu.RUnlock()
-		return
+	dead := n.dead
+	if !dead {
+		n.lastHeard[b.from] = c.clock()
 	}
-	n.lastHeard[u.from] = time.Now()
-	if u.heartbeat {
-		n.mu.Unlock()
-		c.topoMu.RUnlock()
-		return
-	}
-	n.tr.targets = n.tr.targets[:0]
-	n.core.Apply(u.item, u.value, &n.tr)
-	targets := n.tr.targets // flushed below, before this goroutine's next handle
 	n.mu.Unlock()
+	if dead || b.heartbeat {
+		c.topoMu.RUnlock()
+		return
+	}
+	sh.mu.Lock()
+	sh.tr.pending = sh.tr.pending[:0]
+	for _, u := range b.ups {
+		sh.core.Apply(u.item, u.value, &sh.tr)
+	}
+	sends := sh.groupSends()
+	sh.mu.Unlock()
+	if n.sessCore != nil {
+		// Sharded nodes fan the batch to client sessions through the
+		// dedicated serve-only core.
+		n.mu.Lock()
+		for _, u := range b.ups {
+			n.sessCore.Apply(u.item, u.value, &n.sessTr)
+		}
+		n.mu.Unlock()
+	}
 	c.topoMu.RUnlock()
 
 	if !n.repo.IsSource() && c.opts.OnDeliver != nil {
-		c.opts.OnDeliver(n.repo.ID, u.item, u.value)
+		for _, u := range b.ups {
+			c.opts.OnDeliver(n.repo.ID, u.item, u.value)
+		}
 	}
 
-	fwd := update{item: u.item, value: u.value, from: n.repo.ID}
-	for _, ch := range targets {
+	for _, s := range sends {
 		if c.opts.CompDelay > 0 {
-			time.Sleep(c.opts.CompDelay) // serial per-copy processing cost
+			// Serial per-copy processing cost, charged per update in the
+			// batch.
+			time.Sleep(time.Duration(len(s.ups)) * c.opts.CompDelay)
 		}
 		select {
-		case ch <- fwd:
+		case s.ch <- batch{from: n.repo.ID, ups: s.ups}:
 		case <-c.done:
 			return
 		}
 	}
+}
+
+// groupSends folds the pass's collected copies into one batch per
+// dependent channel, in first-forward order, reusing the shard's scratch
+// slice. The per-dependent ups slices are freshly allocated because the
+// receiving shard owns them after the send; the returned slice is valid
+// until the worker's next pass (only the shard's own worker calls this).
+func (sh *nodeShard) groupSends() []depSend {
+	sh.sends = sh.sends[:0]
+outer:
+	for _, p := range sh.tr.pending {
+		for i := range sh.sends {
+			if sh.sends[i].ch == p.ch {
+				sh.sends[i].ups = append(sh.sends[i].ups, p.u)
+				continue outer
+			}
+		}
+		sh.sends = append(sh.sends, depSend{ch: p.ch, ups: append(make([]upd, 0, 4), p.u)})
+	}
+	return sh.sends
 }
 
 // Crash takes a repository down: it stops handling, forwarding and
@@ -403,7 +595,7 @@ func (c *Cluster) Failovers() int {
 func (c *Cluster) heartbeatLoop(n *node) {
 	ticker := time.NewTicker(c.opts.Heartbeat)
 	defer ticker.Stop()
-	hb := update{from: n.repo.ID, heartbeat: true}
+	hb := batch{from: n.repo.ID, heartbeat: true}
 	for {
 		select {
 		case <-c.done:
@@ -417,11 +609,14 @@ func (c *Cluster) heartbeatLoop(n *node) {
 			continue
 		}
 		c.topoMu.RLock()
-		var chans []chan update
+		// Keep-alives ride shard 0: parent liveness is node-level state,
+		// so one shard's channel suffices.
+		sh0 := n.shards[0]
+		var chans []chan batch
 		for _, dep := range c.overlay.ChildrenOf(n.repo.ID) {
-			n.mu.Lock()
-			ch := n.out[dep]
-			n.mu.Unlock()
+			sh0.mu.Lock()
+			ch := sh0.out[dep]
+			sh0.mu.Unlock()
 			if ch != nil {
 				chans = append(chans, ch)
 			}
@@ -429,9 +624,10 @@ func (c *Cluster) heartbeatLoop(n *node) {
 		// A live repository's keep-alive also reassures its sessions:
 		// refresh their service clocks so the session watchdog does not
 		// abandon a quiet-but-alive node.
-		n.mu.Lock()
-		n.core.TouchSessions(n.tr.Now())
-		n.mu.Unlock()
+		smu, score := n.sessionCore()
+		smu.Lock()
+		score.TouchSessions(c.now())
+		smu.Unlock()
 		c.topoMu.RUnlock()
 		for _, ch := range chans {
 			select {
@@ -445,11 +641,7 @@ func (c *Cluster) heartbeatLoop(n *node) {
 
 // watchdogLoop detects dead parents by silence and re-homes their feeds.
 func (c *Cluster) watchdogLoop(n *node) {
-	period := c.opts.FailWindow / 4
-	if period <= 0 {
-		period = time.Millisecond
-	}
-	ticker := time.NewTicker(period)
+	ticker := time.NewTicker(c.tickerPeriod())
 	defer ticker.Stop()
 	for {
 		select {
@@ -460,7 +652,7 @@ func (c *Cluster) watchdogLoop(n *node) {
 		n.mu.Lock()
 		dead := n.dead
 		var stale []repository.ID
-		now := time.Now()
+		now := c.clock()
 		for pid, heard := range n.lastHeard {
 			if now.Sub(heard) >= c.opts.FailWindow {
 				stale = append(stale, pid)
@@ -485,8 +677,8 @@ func (c *Cluster) watchdogLoop(n *node) {
 // synced value, so the first post-resync update filters correctly.
 func (c *Cluster) failover(n *node, deadPID repository.ID) {
 	type syncSend struct {
-		ch chan update
-		u  update
+		ch chan batch
+		b  batch
 	}
 	var syncs []syncSend
 
@@ -531,30 +723,36 @@ func (c *Cluster) failover(n *node, deadPID repository.ID) {
 			if bDead || !bRepo.CanServe(x, cDep) || !bRepo.HasCapacityFor(n.repo.ID) {
 				continue
 			}
-			// Adopt: rewire the overlay edge and make sure a forwarder
-			// exists for it, then queue a sync push of the backup's
-			// current copy so the dependent converges immediately.
+			// Adopt: rewire the overlay edge and make sure forwarders
+			// exist for it on every shard (updates ride the item's shard,
+			// keep-alives ride shard 0), then queue a sync push of the
+			// backup's current copy so the dependent converges
+			// immediately.
 			bRepo.AddDependent(x, n.repo.ID)
 			n.repo.Parents[x] = b
 			moved = true
-			bn.mu.Lock()
-			ch := bn.out[n.repo.ID]
-			if ch == nil {
-				ch = make(chan update, c.opts.Buffer)
-				bn.out[n.repo.ID] = ch
-				c.wg.Add(1)
-				go func() {
-					defer c.wg.Done()
-					c.forwardLoop(ch, n)
-				}()
+			for si, bsh := range bn.shards {
+				bsh.mu.Lock()
+				if bsh.out[n.repo.ID] == nil {
+					ch := make(chan batch, c.opts.Buffer)
+					bsh.out[n.repo.ID] = ch
+					c.wg.Add(1)
+					go func(si int) {
+						defer c.wg.Done()
+						c.forwardLoop(ch, n, si)
+					}(si)
+				}
+				bsh.mu.Unlock()
 			}
-			if v, hasV := bn.core.Value(x); hasV {
-				bn.core.ResetEdge(n.repo.ID, x, v)
-				syncs = append(syncs, syncSend{ch, update{item: x, value: v, from: b}})
+			bsh := bn.shardOf(x)
+			bsh.mu.Lock()
+			if v, hasV := bsh.core.Value(x); hasV {
+				bsh.core.ResetEdge(n.repo.ID, x, v)
+				syncs = append(syncs, syncSend{bsh.out[n.repo.ID], batch{from: b, ups: []upd{{x, v}}}})
 			}
-			bn.mu.Unlock()
+			bsh.mu.Unlock()
 			n.mu.Lock()
-			n.lastHeard[b] = time.Now()
+			n.lastHeard[b] = c.clock()
 			n.mu.Unlock()
 			break
 		}
@@ -566,7 +764,7 @@ func (c *Cluster) failover(n *node, deadPID repository.ID) {
 
 	for _, s := range syncs {
 		select {
-		case s.ch <- s.u:
+		case s.ch <- s.b:
 		case <-c.done:
 			return
 		}
@@ -574,7 +772,8 @@ func (c *Cluster) failover(n *node, deadPID repository.ID) {
 }
 
 // Decisions reports a node's per-item forward/suppress decision totals
-// about its dependents — the cross-backend parity instrumentation.
+// about its dependents — the cross-backend parity instrumentation —
+// merged across its shards (whose item partitions are disjoint).
 func (c *Cluster) Decisions(id repository.ID) map[string]dnode.Decisions {
 	n, ok := c.nodes[id]
 	if !ok {
@@ -582,26 +781,39 @@ func (c *Cluster) Decisions(id repository.ID) map[string]dnode.Decisions {
 	}
 	c.topoMu.RLock()
 	defer c.topoMu.RUnlock()
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.core.EdgeDecisions()
+	out := make(map[string]dnode.Decisions)
+	for _, sh := range n.shards {
+		sh.mu.Lock()
+		for item, d := range sh.core.EdgeDecisions() {
+			cur := out[item]
+			cur.Forwarded += d.Forwarded
+			cur.Suppressed += d.Suppressed
+			out[item] = cur
+		}
+		sh.mu.Unlock()
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // Snapshot returns every repository's copy of item, for observation.
 func (c *Cluster) Snapshot(item string) map[repository.ID]float64 {
 	out := make(map[repository.ID]float64)
 	for id, n := range c.nodes {
-		n.mu.Lock()
-		if v, ok := n.core.Value(item); ok {
+		sh := n.shardOf(item)
+		sh.mu.Lock()
+		if v, ok := sh.core.Value(item); ok {
 			out[id] = v
 		}
-		n.mu.Unlock()
+		sh.mu.Unlock()
 	}
 	return out
 }
 
 // String describes the cluster.
 func (c *Cluster) String() string {
-	return fmt.Sprintf("live cluster: %d nodes, comm %v, comp %v",
-		len(c.nodes), c.opts.CommDelay, c.opts.CompDelay)
+	return fmt.Sprintf("live cluster: %d nodes, %d shards, comm %v, comp %v",
+		len(c.nodes), c.nshards, c.opts.CommDelay, c.opts.CompDelay)
 }

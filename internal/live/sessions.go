@@ -78,8 +78,8 @@ func (s *Session) Migrations() int {
 }
 
 // withCore runs fn with the session's core-side state serialized against
-// the serving node (lock order: topoMu, node mu; the session mutex is
-// never held across either).
+// the serving node (lock order: topoMu, session-core mu; the session
+// mutex is never held across either).
 func (s *Session) withCore(fn func(ns *dnode.Session)) {
 	s.c.topoMu.RLock()
 	defer s.c.topoMu.RUnlock()
@@ -87,8 +87,9 @@ func (s *Session) withCore(fn func(ns *dnode.Session)) {
 	id := s.repo
 	s.mu.Unlock()
 	if n, ok := s.c.nodes[id]; ok {
-		n.mu.Lock()
-		defer n.mu.Unlock()
+		mu, _ := n.sessionCore()
+		mu.Lock()
+		defer mu.Unlock()
 		fn(s.ns)
 		return
 	}
@@ -158,10 +159,11 @@ func (s *Session) Close() {
 	s.repo = repository.NoID
 	s.mu.Unlock()
 	if n, ok := s.c.nodes[id]; ok {
-		n.mu.Lock()
-		n.core.DropSession(s.name)
+		mu, core := n.sessionCore()
+		mu.Lock()
+		core.DropSession(s.name)
 		delete(n.sess, s.name)
-		n.mu.Unlock()
+		mu.Unlock()
 	}
 	close(s.ch)
 }
@@ -253,9 +255,16 @@ func (c *Cluster) placeSessionLocked(s *Session, preferred []repository.ID, skip
 	for _, id := range c.sessionCandidatesLocked(preferred, skip) {
 		n := c.nodes[id]
 		n.mu.Lock()
-		ok := !n.dead && n.core.Session(s.name) == nil &&
-			n.core.HasSessionRoom() && n.core.CanServeSession(s.ns.Wants())
+		dead := n.dead
 		n.mu.Unlock()
+		if dead {
+			continue
+		}
+		mu, core := n.sessionCore()
+		mu.Lock()
+		ok := core.Session(s.name) == nil &&
+			core.HasSessionRoom() && core.CanServeSession(s.ns.Wants())
+		mu.Unlock()
 		if ok {
 			return id
 		}
@@ -271,10 +280,15 @@ func (c *Cluster) attachSessionLocked(s *Session, id repository.ID) {
 	s.mu.Lock()
 	s.repo = id
 	s.mu.Unlock()
-	n.mu.Lock()
+	mu, core := n.sessionCore()
+	tr := &n.shards[0].tr
+	if n.sessCore != nil {
+		tr = &n.sessTr
+	}
+	mu.Lock()
 	n.sess[s.name] = s
-	n.core.ForceAdmit(s.ns, &n.tr)
-	n.mu.Unlock()
+	core.ForceAdmit(s.ns, tr)
+	mu.Unlock()
 }
 
 // sessionWatchdogLoop migrates sessions away from silent repositories:
@@ -285,12 +299,8 @@ func (c *Cluster) attachSessionLocked(s *Session, id repository.ID) {
 // (Session.LastServed, refreshed by heartbeats via TouchSessions), on
 // the cluster transport's time base.
 func (c *Cluster) sessionWatchdogLoop() {
-	period := c.opts.FailWindow / 4
-	if period <= 0 {
-		period = time.Millisecond
-	}
 	window := sim.Time(c.opts.FailWindow / time.Microsecond)
-	ticker := time.NewTicker(period)
+	ticker := time.NewTicker(c.tickerPeriod())
 	defer ticker.Stop()
 	for {
 		select {
@@ -302,13 +312,14 @@ func (c *Cluster) sessionWatchdogLoop() {
 		c.topoMu.RLock()
 		var stale []*Session
 		for _, n := range c.nodes {
-			n.mu.Lock()
-			for _, ns := range n.core.StaleSessions(now, window) {
+			mu, core := n.sessionCore()
+			mu.Lock()
+			for _, ns := range core.StaleSessions(now, window) {
 				if s, ok := ns.Tag().(*Session); ok {
 					stale = append(stale, s)
 				}
 			}
-			n.mu.Unlock()
+			mu.Unlock()
 		}
 		c.topoMu.RUnlock()
 		sort.Slice(stale, func(i, j int) bool { return stale[i].name < stale[j].name })
@@ -339,10 +350,11 @@ func (c *Cluster) migrateSession(s *Session) {
 		return // nothing can take it; the watchdog retries next pass
 	}
 	if n, ok := c.nodes[old]; ok {
-		n.mu.Lock()
-		n.core.DropSession(s.name)
+		mu, core := n.sessionCore()
+		mu.Lock()
+		core.DropSession(s.name)
 		delete(n.sess, s.name)
-		n.mu.Unlock()
+		mu.Unlock()
 	}
 	s.mu.Lock()
 	s.migrations++

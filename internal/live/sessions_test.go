@@ -148,9 +148,11 @@ func TestSessionResyncOnSubscribe(t *testing.T) {
 
 func TestSessionMigratesOffDeadRepository(t *testing.T) {
 	o := failoverOverlay(t) // source(c=2 slots) -> mid(1) -> leaf(2)
+	clk := newTestClock()
 	c := NewCluster(o, Options{
 		Heartbeat:  2 * time.Millisecond,
-		FailWindow: 20 * time.Millisecond,
+		FailWindow: time.Hour, // trips only when the test advances the clock
+		Clock:      clk.Now,
 		Backups:    map[repository.ID][]repository.ID{2: {repository.SourceID}},
 	})
 	c.Seed("X", 100)
@@ -169,6 +171,7 @@ func TestSessionMigratesOffDeadRepository(t *testing.T) {
 	if !c.Crash(1) {
 		t.Fatal("crash rejected")
 	}
+	clk.Advance(2 * time.Hour)
 	// Heartbeat silence must push the session onto the surviving leaf.
 	if !waitFor(t, 2*time.Second, func() bool { return s.Repo() == 2 }) {
 		t.Fatalf("session still on repo %d after its repository died", s.Repo())

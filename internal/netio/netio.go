@@ -50,6 +50,15 @@ type frame struct {
 	// session cap is reached (or an item is not served stringently
 	// enough), try these instead.
 	Addrs []string
+	// Ups carries a multi-update batch on a kindBatch frame: every copy
+	// one fan-out pass produced for this dependent, in one TCP write.
+	Ups []Update
+}
+
+// Update is one (item, value) pair of a multi-update batch frame.
+type Update struct {
+	Item  string
+	Value float64
 }
 
 type kind uint8
@@ -62,6 +71,11 @@ const (
 	kindSubscribe
 	kindAccept
 	kindRedirect
+	// kindBatch is the multi-update frame: one write carries every copy a
+	// batched apply pass produced for the dependent (see Ups). A node
+	// that receives one applies it as a batch too, so batches stay
+	// batches all the way down the tree.
+	kindBatch
 )
 
 // NodeConfig describes one dissemination node. It is self-contained: a
@@ -128,11 +142,23 @@ type Node struct {
 
 // transport adapts the core's decisions to gob frames. Every call
 // happens under Node.mu; gob encoders write to TCP sockets, whose
-// buffers apply backpressure naturally.
+// buffers apply backpressure naturally. Dependent copies are collected
+// per apply pass and flushed as one frame per dependent — the plain
+// update frame when the pass produced a single copy, the multi-update
+// batch frame when it produced several, so one TCP write carries the
+// whole batch.
 type transport struct {
 	n *Node
+	// pend collects the apply pass's dependent copies in decision order.
+	pend []depSend
 	// err records the first child-push encode failure of an apply pass.
 	err error
+}
+
+// depSend is one collected dependent copy awaiting the pass's flush.
+type depSend struct {
+	dep repository.ID
+	up  Update
 }
 
 func (t *transport) Now() sim.Time {
@@ -140,17 +166,57 @@ func (t *transport) Now() sim.Time {
 }
 
 func (t *transport) SendToDependent(dep repository.ID, item string, v float64, resync bool) bool {
-	enc := t.n.childEnc[dep]
-	if enc == nil {
+	if t.n.childEnc[dep] == nil {
 		// Child not dialed in yet: report no path so the core leaves the
 		// filter state untouched and the child catches up on the next
 		// qualifying update after it joins.
 		return false
 	}
-	if err := enc.Encode(frame{Kind: kindUpdate, Item: item, Value: v}); err != nil && t.err == nil {
-		t.err = fmt.Errorf("netio: %v pushing to %v: %w", t.n.cfg.ID, dep, err)
-	}
+	t.pend = append(t.pend, depSend{dep, Update{Item: item, Value: v}})
 	return true
+}
+
+// begin opens an apply pass.
+func (t *transport) begin() {
+	t.pend = t.pend[:0]
+	t.err = nil
+}
+
+// flush writes the pass's collected copies: per dependent (in
+// first-decision order), a single update frame or one batch frame.
+func (t *transport) flush() {
+	for i := range t.pend {
+		dep := t.pend[i].dep
+		dup := false
+		for j := 0; j < i; j++ {
+			if t.pend[j].dep == dep {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		var ups []Update
+		for j := i; j < len(t.pend); j++ {
+			if t.pend[j].dep == dep {
+				ups = append(ups, t.pend[j].up)
+			}
+		}
+		enc := t.n.childEnc[dep]
+		if enc == nil {
+			continue // unreachable: registration is stable under Node.mu
+		}
+		var err error
+		if len(ups) == 1 {
+			err = enc.Encode(frame{Kind: kindUpdate, Item: ups[0].Item, Value: ups[0].Value})
+		} else {
+			err = enc.Encode(frame{Kind: kindBatch, Ups: ups})
+		}
+		if err != nil && t.err == nil {
+			t.err = fmt.Errorf("netio: %v pushing to %v: %w", t.n.cfg.ID, dep, err)
+		}
+	}
 }
 
 func (t *transport) SendToClient(s *dnode.Session, item string, v float64, resync bool) {
@@ -284,6 +350,18 @@ func (n *Node) Publish(item string, value float64) error {
 	return n.apply(item, value)
 }
 
+// PublishBatch injects one tick's worth of source updates as a batch:
+// same-item updates coalesce to the newest value, the whole batch runs
+// through the filter pipeline in one pass, and each dependent receives
+// its share in a single multi-update frame — one TCP write per child per
+// batch. Calling it on a non-source node is an error.
+func (n *Node) PublishBatch(ups []Update) error {
+	if len(n.cfg.Parents) > 0 {
+		return errors.New("netio: PublishBatch on a non-source node")
+	}
+	return n.applyBatch(ups)
+}
+
 // Value returns the node's current copy of item.
 func (n *Node) Value(item string) (float64, bool) {
 	n.mu.Lock()
@@ -384,8 +462,11 @@ func (n *Node) handleChild(conn net.Conn) {
 	if hello.Resync {
 		// A dependent that failed over to us catches up immediately: the
 		// core pushes the current copy of every item we serve it,
-		// unconditionally, and seeds the edge filter state to match.
+		// unconditionally, and seeds the edge filter state to match. The
+		// flush ships the whole catch-up as one batch frame.
+		n.tr.begin()
 		n.core.ResyncDependent(hello.From, &n.tr)
+		n.tr.flush()
 	}
 	n.mu.Unlock()
 
@@ -487,13 +568,20 @@ func (n *Node) parentLoop(conn net.Conn) {
 			continue
 		}
 		framed, backoff = true, 50*time.Millisecond
-		if f.Kind != kindUpdate {
-			continue
+		switch f.Kind {
+		case kindUpdate:
+			n.mu.Lock()
+			n.delivered++
+			n.mu.Unlock()
+			n.apply(f.Item, f.Value)
+		case kindBatch:
+			// A batch stays a batch downstream: one apply pass, one frame
+			// per child.
+			n.mu.Lock()
+			n.delivered += len(f.Ups)
+			n.mu.Unlock()
+			n.applyBatch(f.Ups)
 		}
-		n.mu.Lock()
-		n.delivered++
-		n.mu.Unlock()
-		n.apply(f.Item, f.Value)
 	}
 }
 
@@ -535,7 +623,24 @@ func (n *Node) failover() (net.Conn, bool) {
 func (n *Node) apply(item string, value float64) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.tr.err = nil
+	n.tr.begin()
 	n.core.Apply(item, value, &n.tr)
+	n.tr.flush()
+	return n.tr.err
+}
+
+// applyBatch runs a whole batch through the pipeline in one pass:
+// same-item updates coalesce to the newest value (a value superseded
+// within its own batch is never disseminated), each survivor applies
+// through the core, and the collected copies flush as one frame per
+// dependent.
+func (n *Node) applyBatch(ups []Update) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.tr.begin()
+	for _, i := range dnode.CoalesceBatch(len(ups), func(i int) string { return ups[i].Item }) {
+		n.core.Apply(ups[i].Item, ups[i].Value, &n.tr)
+	}
+	n.tr.flush()
 	return n.tr.err
 }

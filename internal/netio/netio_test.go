@@ -72,6 +72,53 @@ func TestTCPChainPropagation(t *testing.T) {
 	}
 }
 
+// TestTCPPublishBatch drives the multi-update frame kind: one batched
+// publish must reach the child as a batch (one write, every violating
+// item), with same-item updates coalesced to the newest value.
+func TestTCPPublishBatch(t *testing.T) {
+	net := netsim.Uniform(1, 0)
+	p := repository.New(1, 1)
+	p.Needs["X"], p.Serving["X"] = 30, 30
+	p.Needs["Y"], p.Serving["Y"] = 10, 10
+	o, err := (&tree.LeLA{}).Build(net, []*repository.Repository{p}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := StartCluster(o, map[string]float64{"X": 100, "Y": 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// X moves twice within the batch (140 superseded by 200), Y once, and
+	// a third item the child never subscribed to is filtered by wiring.
+	err = cl.Source().PublishBatch([]Update{
+		{Item: "X", Value: 140},
+		{Item: "Y", Value: 90},
+		{Item: "X", Value: 200},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !waitFor(t, 2*time.Second, func() bool {
+		x, _ := cl.Nodes[1].Value("X")
+		y, _ := cl.Nodes[1].Value("Y")
+		return x == 200 && y == 90
+	}) {
+		x, _ := cl.Nodes[1].Value("X")
+		y, _ := cl.Nodes[1].Value("Y")
+		t.Fatalf("batch did not land: X=%v Y=%v", x, y)
+	}
+	// The superseded X=140 must never have been disseminated: exactly two
+	// updates (one batch frame) delivered.
+	if d := cl.Nodes[1].Delivered(); d != 2 {
+		t.Errorf("delivered %d updates, want 2 (the superseded one coalesced away)", d)
+	}
+	if err := cl.Nodes[1].PublishBatch([]Update{{Item: "X", Value: 1}}); err == nil {
+		t.Error("PublishBatch on a non-source node succeeded")
+	}
+}
+
 func TestTCPPublishOnRepositoryFails(t *testing.T) {
 	o := chain(t)
 	cl, err := StartCluster(o, map[string]float64{"X": 100})

@@ -484,3 +484,43 @@ type Decisions struct {
 	Forwarded  uint64
 	Suppressed uint64
 }
+
+// CoalesceBatch is the one statement of the in-batch coalescing rule
+// every batched transport shares: within a multi-update batch, only an
+// item's newest (last) occurrence is applied — a value superseded inside
+// its own batch is never disseminated. It returns the surviving indexes
+// in ascending batch position. itemAt indexes the batch's item names.
+//
+// Stating the rule once matters for the same reason the first-push rule
+// is stated once in this package: three transports re-deriving "last
+// value wins" independently is exactly the kind of drift the
+// cross-backend parity test exists to catch.
+func CoalesceBatch(n int, itemAt func(int) string) []int {
+	out := make([]int, 0, n)
+	if n > 16 {
+		// Large batch: one map pass instead of the quadratic scan.
+		last := make(map[string]int, n)
+		for i := 0; i < n; i++ {
+			last[itemAt(i)] = i
+		}
+		for i := 0; i < n; i++ {
+			if last[itemAt(i)] == i {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	for i := 0; i < n; i++ {
+		superseded := false
+		for j := i + 1; j < n; j++ {
+			if itemAt(j) == itemAt(i) {
+				superseded = true
+				break
+			}
+		}
+		if !superseded {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,305 @@
+// Property-based test of the repository core: on randomly generated
+// overlays, tolerances and traces, (1) no repository's copy ever deviates
+// from the source by more than its serving tolerance — the paper's
+// zero-delay 100%-fidelity guarantee, which only holds if Eqs. 3 and 7
+// fire exactly when they must — and (2) every forward and every
+// suppression the core decides matches a straightforward shadow model
+// that re-derives the decision from the raw equations and its own
+// last-pushed bookkeeping, so a suppressed push is always justified.
+// Finally the same feed runs through the ingest pipeline at Shards=1 and
+// Shards=8, which must produce identical forward/suppress decision sets
+// (and the same set the model-checked run produced).
+//
+// The test lives in package node_test so it can drive the core through
+// the ingest pipeline without an import cycle.
+package node_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"d3t/internal/coherency"
+	"d3t/internal/ingest"
+	"d3t/internal/netsim"
+	"d3t/internal/node"
+	"d3t/internal/repository"
+	"d3t/internal/sim"
+	"d3t/internal/trace"
+	"d3t/internal/tree"
+)
+
+// propScenario is one randomly drawn world.
+type propScenario struct {
+	seed  int64
+	items int
+	repos int
+	ticks int
+	prob  float64
+	frac  float64
+}
+
+func drawScenario(rng *rand.Rand) propScenario {
+	return propScenario{
+		seed:  rng.Int63n(1 << 30),
+		items: 3 + rng.Intn(6),
+		repos: 6 + rng.Intn(9),
+		ticks: 80 + rng.Intn(150),
+		prob:  0.4 + 0.5*rng.Float64(),
+		frac:  rng.Float64(),
+	}
+}
+
+// buildWorld constructs the scenario's overlay and traces.
+func buildWorld(t *testing.T, sc propScenario) (*tree.Overlay, []*trace.Trace, map[string]float64) {
+	t.Helper()
+	traces := trace.GenerateSet(sc.items, sc.ticks, sim.Second, sc.seed)
+	names := make([]string, len(traces))
+	initial := make(map[string]float64, len(traces))
+	for i, tr := range traces {
+		names[i] = tr.Item
+		initial[tr.Item] = tr.Ticks[0].Value
+	}
+	repos := make([]*repository.Repository, sc.repos)
+	for i := range repos {
+		repos[i] = repository.New(repository.ID(i+1), 3)
+	}
+	repository.AssignNeeds(repos, repository.Workload{
+		Items:         names,
+		SubscribeProb: sc.prob,
+		StringentFrac: sc.frac,
+		Seed:          sc.seed + 1,
+	})
+	o, err := (&tree.LeLA{Seed: sc.seed + 2}).Build(netsim.Uniform(sc.repos, sim.Millisecond), repos, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o, traces, initial
+}
+
+// recordTransport captures one apply pass's dependent sends.
+type recordTransport struct{ sent []repository.ID }
+
+func (t *recordTransport) Now() sim.Time { return 0 }
+func (t *recordTransport) SendToDependent(dep repository.ID, item string, v float64, resync bool) bool {
+	t.sent = append(t.sent, dep)
+	return true
+}
+func (t *recordTransport) SendToClient(s *node.Session, item string, v float64, resync bool) {}
+
+// edgeKey identifies one (parent, dependent, item) push edge.
+type edgeKey struct {
+	from, to repository.ID
+	item     string
+}
+
+// edgeState is the shadow model's last-pushed bookkeeping.
+type edgeState struct {
+	v      float64
+	seeded bool
+}
+
+func TestCoreProperties(t *testing.T) {
+	scenarios := 12
+	if testing.Short() {
+		scenarios = 4
+	}
+	rng := rand.New(rand.NewSource(20260729))
+	for i := 0; i < scenarios; i++ {
+		sc := drawScenario(rng)
+		t.Run(fmt.Sprintf("seed=%d", sc.seed), func(t *testing.T) {
+			runPropScenario(t, sc)
+		})
+	}
+}
+
+func runPropScenario(t *testing.T, sc propScenario) {
+	o, traces, initial := buildWorld(t, sc)
+
+	// The model-checked direct run: one core per overlay node, zero
+	// delay, synchronous BFS per source update.
+	cores := make([]*node.Core, len(o.Nodes))
+	for _, n := range o.Nodes {
+		cores[n.ID] = node.New(n, o.Node, node.Options{})
+		for x := range n.Dependents {
+			cores[n.ID].Seed(x, initial[x])
+		}
+	}
+	model := make(map[edgeKey]edgeState)
+	copies := make(map[repository.ID]map[string]float64)
+	for _, n := range o.Nodes {
+		copies[n.ID] = make(map[string]float64)
+		for x := range n.Serving {
+			if v, ok := initial[x]; ok {
+				copies[n.ID][x] = v
+			}
+		}
+		for x, deps := range n.Dependents {
+			for _, dep := range deps {
+				model[edgeKey{n.ID, dep, x}] = edgeState{v: initial[x], seeded: true}
+			}
+		}
+	}
+	var tr recordTransport
+
+	// expectedForwards re-derives the fan-out from the raw equations and
+	// the shadow state: the first-push rule for unseeded edges, then
+	// Eqs. 3 and 7.
+	expectedForwards := func(r *repository.Repository, item string, v float64) []repository.ID {
+		var cSelf coherency.Requirement
+		if !r.IsSource() {
+			var holds bool
+			cSelf, holds = r.ServingTolerance(item)
+			if !holds {
+				return nil // a repository that does not maintain the item serves it to no one
+			}
+		}
+		var out []repository.ID
+		for _, dep := range r.Dependents[item] {
+			cDep, ok := o.Node(dep).ServingTolerance(item)
+			if !ok {
+				continue
+			}
+			st := model[edgeKey{r.ID, dep, item}]
+			if !st.seeded || coherency.ShouldForward(v, st.v, cDep, cSelf) {
+				out = append(out, dep)
+			}
+		}
+		return out
+	}
+
+	apply := func(item string, srcVal float64) {
+		type hop struct {
+			id repository.ID
+			v  float64
+		}
+		queue := []hop{{repository.SourceID, srcVal}}
+		for len(queue) > 0 {
+			h := queue[0]
+			queue = queue[1:]
+			r := o.Node(h.id)
+			want := expectedForwards(r, item, h.v)
+			tr.sent = tr.sent[:0]
+			cores[h.id].Apply(item, h.v, &tr)
+			got := append([]repository.ID(nil), tr.sent...)
+			if len(got) != len(want) {
+				t.Fatalf("node %v item %s value %v: core forwarded to %v, equations say %v",
+					h.id, item, h.v, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("node %v item %s value %v: core forwarded to %v, equations say %v",
+						h.id, item, h.v, got, want)
+				}
+			}
+			if _, holds := copies[h.id][item]; holds || r.IsSource() {
+				copies[h.id][item] = h.v
+			}
+			for _, dep := range want {
+				model[edgeKey{h.id, dep, item}] = edgeState{v: h.v, seeded: true}
+				queue = append(queue, hop{dep, h.v})
+			}
+		}
+	}
+
+	// checkInvariant: with zero delays, every repository serving the item
+	// is within its own tolerance of the source — the fidelity guarantee
+	// Eqs. 3+7 exist to uphold.
+	checkInvariant := func(item string, srcVal float64) {
+		for _, r := range o.Repos() {
+			tol, ok := r.ServingTolerance(item)
+			if !ok {
+				continue
+			}
+			have, ok := copies[r.ID][item]
+			if !ok {
+				continue
+			}
+			if dev := math.Abs(srcVal - have); dev > float64(tol)+1e-9 {
+				t.Fatalf("repo %v item %s: |source %v - copy %v| = %v exceeds tolerance %v",
+					r.ID, item, srcVal, have, dev, tol)
+			}
+		}
+	}
+
+	// Feed every value-changing tick, in tick order across traces —
+	// checking the fan-out equations at every hop and the fidelity
+	// invariant after every update.
+	last := make(map[string]float64, len(traces))
+	for _, tc := range traces {
+		last[tc.Item] = tc.Ticks[0].Value
+	}
+	maxTicks := 0
+	for _, tc := range traces {
+		if tc.Len() > maxTicks {
+			maxTicks = tc.Len()
+		}
+	}
+	for i := 1; i < maxTicks; i++ {
+		for _, tc := range traces {
+			if i >= tc.Len() || tc.Ticks[i].Value == last[tc.Item] {
+				continue
+			}
+			v := tc.Ticks[i].Value
+			last[tc.Item] = v
+			apply(tc.Item, v)
+			checkInvariant(tc.Item, v)
+		}
+	}
+
+	// Decision-set parity: the model-checked cores, the single-shard
+	// pipeline and the 8-shard pipeline must have made exactly the same
+	// forward/suppress decisions per (repository, item).
+	direct := make(map[string]node.Decisions)
+	for _, n := range o.Nodes {
+		for item, d := range cores[n.ID].EdgeDecisions() {
+			direct[n.ID.String()+"/"+item] = d
+		}
+	}
+	if len(direct) == 0 {
+		t.Fatal("no decisions made; the scenario is vacuous")
+	}
+	for _, shards := range []int{1, 8} {
+		p := ingest.NewPipeline(o, initial, ingest.Config{Shards: shards})
+		feedTraces(p, traces)
+		p.Close()
+		got := make(map[string]node.Decisions)
+		for id, items := range p.Decisions() {
+			for item, d := range items {
+				got[id.String()+"/"+item] = d
+			}
+		}
+		if len(got) != len(direct) {
+			t.Fatalf("shards=%d: decision set size %d, want %d", shards, len(got), len(direct))
+		}
+		for k, w := range direct {
+			if got[k] != w {
+				t.Errorf("shards=%d: decisions[%s] = %+v, want %+v", shards, k, got[k], w)
+			}
+		}
+	}
+}
+
+// feedTraces pushes every value-changing tick through the pipeline in
+// tick order.
+func feedTraces(p *ingest.Pipeline, traces []*trace.Trace) {
+	last := make(map[string]float64, len(traces))
+	maxTicks := 0
+	for _, tc := range traces {
+		last[tc.Item] = tc.Ticks[0].Value
+		if tc.Len() > maxTicks {
+			maxTicks = tc.Len()
+		}
+	}
+	for i := 1; i < maxTicks; i++ {
+		for _, tc := range traces {
+			if i >= tc.Len() || tc.Ticks[i].Value == last[tc.Item] {
+				continue
+			}
+			last[tc.Item] = tc.Ticks[i].Value
+			p.Offer(tc.Item, tc.Ticks[i].Value)
+		}
+		p.Tick()
+	}
+}

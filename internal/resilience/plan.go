@@ -25,6 +25,7 @@ package resilience
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"strconv"
@@ -126,14 +127,25 @@ func parseCrash(spec, rest string, repos, ticks int, interval sim.Time) (*Plan, 
 func parseChurn(spec, rest string, repos, ticks int, interval sim.Time, seed int64) (*Plan, error) {
 	ratePart, downPart, hasDown := strings.Cut(rest, ":")
 	rate, err := strconv.ParseFloat(ratePart, 64)
-	if err != nil || rate < 0 {
-		return nil, fmt.Errorf("resilience: churn rate %q not a non-negative number", ratePart)
+	if err != nil || rate < 0 || math.IsNaN(rate) || math.IsInf(rate, 0) {
+		// Non-finite rates must be rejected up front: an infinite rate
+		// makes the exponential arrival step zero and the generator loop
+		// below would never advance (found by FuzzParsePlan).
+		return nil, fmt.Errorf("resilience: churn rate %q not a finite non-negative number", ratePart)
+	}
+	// Cap the expected fault volume: rate is crashes per 100 ticks, so a
+	// pathological rate would materialize an unbounded schedule (also a
+	// FuzzParsePlan find). A million scheduled faults is far beyond any
+	// meaningful run.
+	if expected := rate / 100 * float64(ticks); expected > 1e6 {
+		return nil, fmt.Errorf("resilience: churn rate %q schedules ~%.0f faults over %d ticks; the cap is 1e6",
+			ratePart, expected, ticks)
 	}
 	meanDown := 50.0
 	if hasDown {
 		meanDown, err = strconv.ParseFloat(downPart, 64)
-		if err != nil || meanDown <= 0 {
-			return nil, fmt.Errorf("resilience: churn mean downtime %q not a positive tick count", downPart)
+		if err != nil || meanDown <= 0 || math.IsNaN(meanDown) || math.IsInf(meanDown, 0) {
+			return nil, fmt.Errorf("resilience: churn mean downtime %q not a finite positive tick count", downPart)
 		}
 	}
 	plan := &Plan{Spec: spec}

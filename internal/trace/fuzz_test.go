@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV fuzzes the trace CSV parser with arbitrary byte streams.
+// The parser must never panic, and anything it accepts must be
+// well-formed (Validate passes: finite values, strictly increasing
+// timestamps) and stable through a write/read round trip — after one
+// normalizing pass, WriteCSV(ReadCSV(x)) re-reads to the same traces.
+// (A byte-exact round trip is deliberately not asserted: encoding/csv
+// normalizes CRLF inside quoted fields on first read.)
+func FuzzReadCSV(f *testing.F) {
+	f.Add([]byte("item,usec,value\n"))
+	f.Add([]byte("item,usec,value\nAAPL,0,10\nAAPL,1000000,10.5\n"))
+	f.Add([]byte("item,usec,value\nA,0,1\nB,0,2\nB,5,3\n"))
+	f.Add([]byte("item,usec,value\nA,5,1\nA,5,2\n"))     // non-increasing time
+	f.Add([]byte("item,usec,value\nA,0,NaN\n"))          // non-finite value
+	f.Add([]byte("item,usec,value\nA,0,Inf\n"))          // non-finite value
+	f.Add([]byte("item,usec,value\n,0,1\n"))             // empty item
+	f.Add([]byte("item,usec,value\nA,x,1\n"))            // bad time
+	f.Add([]byte("item,usec,value\nA,0\n"))              // short row
+	f.Add([]byte("wrong,header,here\nA,0,1\n"))          // bad header
+	f.Add([]byte("item,usec,value\n\"a,b\",0,1\n"))      // quoted item
+	f.Add([]byte("item,usec,value\n\"a\nb\",0,1\n"))     // newline in item
+	f.Add([]byte("item,usec,value\nA,-5,1\nA,0,2\n"))    // negative time
+	f.Add([]byte("item,usec,value\nA,0,1e308\nA,1,2\n")) // huge value
+	f.Fuzz(func(t *testing.T, data []byte) {
+		traces, err := ReadCSV(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, tr := range traces {
+			if verr := tr.Validate(); verr != nil {
+				t.Fatalf("ReadCSV accepted an invalid trace: %v", verr)
+			}
+		}
+		// Round trip: what we write back must re-read identically.
+		var buf strings.Builder
+		if err := WriteCSV(&buf, traces...); err != nil {
+			t.Fatalf("WriteCSV failed on accepted traces: %v", err)
+		}
+		again, err := ReadCSV(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("round trip rejected: %v\ncsv:\n%s", err, buf.String())
+		}
+		if len(again) != len(traces) {
+			t.Fatalf("round trip changed trace count: %d -> %d", len(traces), len(again))
+		}
+		for i, tr := range traces {
+			if again[i].Item != tr.Item || again[i].Len() != tr.Len() {
+				t.Fatalf("round trip changed trace %d: %q/%d -> %q/%d",
+					i, tr.Item, tr.Len(), again[i].Item, again[i].Len())
+			}
+			for j, tk := range tr.Ticks {
+				if again[i].Ticks[j] != tk {
+					t.Fatalf("round trip changed %s tick %d: %v -> %v", tr.Item, j, tk, again[i].Ticks[j])
+				}
+			}
+		}
+	})
+}

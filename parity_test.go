@@ -13,6 +13,12 @@ package d3t
 // schedule, delay or interleave across items, the decisions must agree
 // exactly. A divergence means a transport grew its own filter semantics
 // again, which is precisely the drift this test exists to catch.
+//
+// The sweep extends the guarantee across the ingest layer: sharding
+// (items partitioned across parallel workers/sub-simulations) must not
+// change a single decision, and batching (window coalescing) must change
+// them identically everywhere, because every backend feeds from the same
+// coalesced schedule (ingest.CoalesceTraces).
 
 import (
 	"fmt"
@@ -20,6 +26,7 @@ import (
 	"time"
 
 	"d3t/internal/dissemination"
+	"d3t/internal/ingest"
 	"d3t/internal/netio"
 	"d3t/internal/netsim"
 	"d3t/internal/node"
@@ -74,33 +81,61 @@ func decisionKey(id repository.ID, item string) string {
 	return fmt.Sprintf("%v/%s", id, item)
 }
 
-// flatten renders a full decision map as sorted-comparable content.
-func flattenDecisions(per map[repository.ID]map[string]node.Decisions) map[string]node.Decisions {
+// srcTick is one value change of the source feed.
+type srcTick struct {
+	item  string
+	value float64
+}
+
+// tickFeed groups the trace set's value changes by tick index — the
+// batched publish schedule every concurrent backend replays.
+func tickFeed(traces []*trace.Trace) [][]srcTick {
+	maxLen := 0
+	for _, tr := range traces {
+		if tr.Len() > maxLen {
+			maxLen = tr.Len()
+		}
+	}
+	feed := make([][]srcTick, 0, maxLen)
+	last := make(map[string]float64, len(traces))
+	for _, tr := range traces {
+		last[tr.Item] = tr.Ticks[0].Value
+	}
+	for i := 1; i < maxLen; i++ {
+		var batch []srcTick
+		for _, tr := range traces {
+			if i >= tr.Len() || tr.Ticks[i].Value == last[tr.Item] {
+				continue
+			}
+			last[tr.Item] = tr.Ticks[i].Value
+			batch = append(batch, srcTick{tr.Item, tr.Ticks[i].Value})
+		}
+		if len(batch) > 0 {
+			feed = append(feed, batch)
+		}
+	}
+	return feed
+}
+
+// protoDecisions flattens the decisions of a sharded simulator run.
+func protoDecisions(o *tree.Overlay, protos []dissemination.Protocol) map[string]node.Decisions {
 	out := make(map[string]node.Decisions)
-	for id, m := range per {
-		for item, d := range m {
-			out[decisionKey(id, item)] = d
+	for _, p := range protos {
+		d, ok := p.(*dissemination.Distributed)
+		if !ok {
+			continue
+		}
+		for _, n := range o.Nodes {
+			for item, dec := range d.Core(n.ID).EdgeDecisions() {
+				k := decisionKey(n.ID, item)
+				cur := out[k]
+				cur.Forwarded += dec.Forwarded
+				cur.Suppressed += dec.Suppressed
+				out[k] = cur
+			}
 		}
 	}
 	return out
-}
-
-// publishAll feeds every value-changing tick (the same set the simulator
-// schedules) through publish, per item in trace order.
-func publishAll(t *testing.T, traces []*trace.Trace, publish func(item string, v float64) error) {
-	t.Helper()
-	for _, tr := range traces {
-		last := tr.Ticks[0].Value
-		for _, tk := range tr.Ticks[1:] {
-			if tk.Value == last {
-				continue
-			}
-			last = tk.Value
-			if err := publish(tr.Item, tk.Value); err != nil {
-				t.Fatalf("publish %s=%v: %v", tr.Item, tk.Value, err)
-			}
-		}
-	}
 }
 
 // waitForDecisions polls until collect equals want or the deadline
@@ -142,73 +177,102 @@ func diffDecisions(t *testing.T, backend string, want, got map[string]node.Decis
 	}
 }
 
-// TestCrossBackendParity runs the same configuration through sim, live
-// and netio and requires identical per-(repo, item) decision counts.
+// TestCrossBackendParity sweeps the ingest configuration over
+// {Shards: 1, 4} x {BatchTicks: 0, 5} and, for every combination, runs
+// the same configuration through sim, live and netio, requiring
+// identical per-(repo, item) decision counts across all three.
 func TestCrossBackendParity(t *testing.T) {
 	if testing.Short() {
-		t.Skip("three full backends; skipped in -short")
+		t.Skip("three full backends per sweep point; skipped in -short")
 	}
+	for _, tc := range []struct{ shards, batch int }{
+		{1, 0},
+		{4, 0},
+		{1, 5},
+		{4, 5},
+	} {
+		t.Run(fmt.Sprintf("shards=%d,batch=%d", tc.shards, tc.batch), func(t *testing.T) {
+			parityCase(t, tc.shards, tc.batch)
+		})
+	}
+}
 
-	// --- Simulator: the reference decisions. ---
+func parityCase(t *testing.T, shards, batch int) {
+	icfg := ingest.Config{Shards: shards, BatchTicks: batch}
+
+	// --- Simulator (sharded ingest runner): the reference decisions. ---
 	o, traces, _ := parityWorld(t)
-	p := dissemination.NewDistributed()
-	if _, err := dissemination.Run(o, traces, p, dissemination.Config{}); err != nil {
+	res, _, protos, err := ingest.RunSim(o, traces,
+		func() dissemination.Protocol { return dissemination.NewDistributed() },
+		dissemination.Config{}, icfg)
+	if err != nil {
 		t.Fatal(err)
 	}
-	simPer := make(map[repository.ID]map[string]node.Decisions)
-	for _, n := range o.Nodes {
-		if d := p.Core(n.ID).EdgeDecisions(); len(d) > 0 {
-			simPer[n.ID] = d
-		}
+	if res.Stats.SourceTicks == 0 {
+		t.Fatal("simulator disseminated nothing")
 	}
-	want := flattenDecisions(simPer)
+	want := protoDecisions(o, protos)
 	if len(want) == 0 {
 		t.Fatal("simulator produced no decisions; the parity test is vacuous")
 	}
 
-	// --- Goroutine cluster. ---
-	o2, traces2, initial2 := parityWorld(t)
-	cluster := ilive.NewCluster(o2, ilive.Options{Buffer: 1024})
-	for item, v := range initial2 {
+	// Every concurrent backend replays the identical coalesced schedule.
+	_, freshTraces, initial := parityWorld(t)
+	coalesced, _ := ingest.CoalesceTraces(freshTraces, icfg.Window())
+	feed := tickFeed(coalesced)
+
+	// --- Goroutine cluster, sharded per the same item partition. ---
+	o2, _, _ := parityWorld(t)
+	cluster := ilive.NewCluster(o2, ilive.Options{Buffer: 1024, Shards: shards})
+	for item, v := range initial {
 		cluster.Seed(item, v)
 	}
 	cluster.Start()
-	publishAll(t, traces2, func(item string, v float64) error {
-		if !cluster.Publish(item, v) {
-			return fmt.Errorf("live cluster stopped")
+	for _, batchTicks := range feed {
+		ups := make([]ilive.Update, len(batchTicks))
+		for i, u := range batchTicks {
+			ups[i] = ilive.Update{Item: u.item, Value: u.value}
 		}
-		return nil
-	})
+		if !cluster.PublishBatch(ups) {
+			t.Fatal("live cluster stopped")
+		}
+	}
 	liveGot := waitForDecisions(want, func() map[string]node.Decisions {
-		per := make(map[repository.ID]map[string]node.Decisions)
+		out := make(map[string]node.Decisions)
 		for _, n := range o2.Nodes {
-			if d := cluster.Decisions(n.ID); len(d) > 0 {
-				per[n.ID] = d
+			for item, d := range cluster.Decisions(n.ID) {
+				out[decisionKey(n.ID, item)] = d
 			}
 		}
-		return flattenDecisions(per)
+		return out
 	})
 	cluster.Stop()
 	diffDecisions(t, "live", want, liveGot)
 
-	// --- TCP cluster. ---
-	o3, traces3, initial3 := parityWorld(t)
+	// --- TCP cluster: batches ride multi-update frames. ---
+	o3, _, initial3 := parityWorld(t)
 	tcp, err := netio.StartCluster(o3, initial3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer tcp.Close()
-	publishAll(t, traces3, func(item string, v float64) error {
-		return tcp.Source().Publish(item, v)
-	})
+	for _, batchTicks := range feed {
+		ups := make([]netio.Update, len(batchTicks))
+		for i, u := range batchTicks {
+			ups[i] = netio.Update{Item: u.item, Value: u.value}
+		}
+		if err := tcp.Source().PublishBatch(ups); err != nil {
+			t.Fatalf("publish batch: %v", err)
+		}
+	}
 	netGot := waitForDecisions(want, func() map[string]node.Decisions {
-		per := make(map[repository.ID]map[string]node.Decisions)
+		out := make(map[string]node.Decisions)
 		for _, n := range tcp.Nodes {
-			if d := n.Decisions(); len(d) > 0 {
-				per[n.ID()] = d
+			for item, d := range n.Decisions() {
+				out[decisionKey(n.ID(), item)] = d
 			}
 		}
-		return flattenDecisions(per)
+		return out
 	})
 	diffDecisions(t, "netio", want, netGot)
 }
