@@ -1,13 +1,13 @@
 package netio
 
 import (
-	"encoding/gob"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 
 	"d3t/internal/coherency"
+	"d3t/internal/wire"
 )
 
 // ClientUpdate is one value pushed to a remote client session.
@@ -21,7 +21,7 @@ type ClientUpdate struct {
 
 // Client is a remote client session: it subscribes to a dissemination
 // node over TCP with its own per-item tolerances and receives the
-// gob-encoded updates that violate them. When the serving node dies (the
+// wire-encoded updates that violate them. When the serving node dies (the
 // connection drops) the client re-subscribes to the next known address —
 // session migration, detected the way everything is detected in the TCP
 // runtime: by connection error. Redirect answers (session cap reached,
@@ -134,7 +134,7 @@ func (c *Client) Close() {
 // connect walks the known addresses (skipping the one that just died)
 // and returns the first accepted subscription, following redirects —
 // redirect-offered addresses join the candidate list.
-func (c *Client) connect(skip string) (net.Conn, *gob.Decoder, error) {
+func (c *Client) connect(skip string) (net.Conn, *wire.Decoder, error) {
 	tried := make(map[string]bool)
 	for i := 0; ; i++ {
 		c.mu.Lock()
@@ -158,23 +158,23 @@ func (c *Client) connect(skip string) (net.Conn, *gob.Decoder, error) {
 		if err != nil {
 			continue
 		}
-		if gob.NewEncoder(conn).Encode(frame{Kind: kindSubscribe, Name: c.name, Wants: c.wants}) != nil {
+		if wire.NewEncoder(conn).Encode(&wire.Frame{Kind: wire.KindSubscribe, Name: c.name, Wants: c.wants}) != nil {
 			conn.Close()
 			continue
 		}
-		dec := gob.NewDecoder(conn)
-		var answer frame
+		dec := wire.NewDecoder(conn)
+		var answer wire.Frame
 		if dec.Decode(&answer) != nil {
 			conn.Close()
 			continue
 		}
 		switch answer.Kind {
-		case kindAccept:
+		case wire.KindAccept:
 			c.mu.Lock()
 			c.current = addr
 			c.mu.Unlock()
 			return conn, dec, nil
-		case kindRedirect:
+		case wire.KindRedirect:
 			conn.Close()
 			c.mu.Lock()
 			c.redirects++
@@ -194,12 +194,13 @@ func (c *Client) connect(skip string) (net.Conn, *gob.Decoder, error) {
 	}
 }
 
-// readLoop applies pushes; on connection death it migrates the session
-// to the next candidate address, with backoff between full sweeps.
-func (c *Client) readLoop(conn net.Conn, dec *gob.Decoder) {
+// readLoop applies pushes; on connection death — or a corrupt stream
+// failing the strict decoder — it migrates the session to the next
+// candidate address, with backoff between full sweeps.
+func (c *Client) readLoop(conn net.Conn, dec *wire.Decoder) {
 	backoff := 50 * time.Millisecond
+	var f wire.Frame
 	for {
-		var f frame
 		if err := dec.Decode(&f); err != nil {
 			conn.Close()
 			c.mu.Lock()
@@ -241,7 +242,7 @@ func (c *Client) readLoop(conn net.Conn, dec *gob.Decoder) {
 			continue
 		}
 		backoff = 50 * time.Millisecond
-		if f.Kind != kindUpdate {
+		if f.Kind != wire.KindUpdate {
 			continue
 		}
 		c.mu.Lock()

@@ -5,10 +5,14 @@
 // nodes could run in separate processes or on separate hosts; the tests
 // and the livecluster example run them on localhost.
 //
-// Wire format: gob-encoded frames on long-lived TCP connections. A
-// dependent dials its parent and sends a hello frame identifying itself;
-// the parent then pushes update frames for the items it serves that
-// dependent, filtered by Eqs. 3 and 7.
+// Wire format: length-prefixed fixed-layout binary frames
+// (internal/wire) on long-lived TCP connections — hand-rolled
+// little-endian encoding into pooled buffers, no per-frame reflection.
+// A dependent dials its parent and sends a hello frame identifying
+// itself; the parent then pushes update frames for the items it serves
+// that dependent, filtered by Eqs. 3 and 7. A corrupt or truncated
+// stream fails the strict decoder and tears that connection down, which
+// feeds the same connection-error machinery as a crash.
 //
 // The filtering, last-pushed-value tracking, session admission and
 // resync rules live in the transport-agnostic core (internal/node),
@@ -17,7 +21,6 @@
 package netio
 
 import (
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
@@ -29,54 +32,11 @@ import (
 	dnode "d3t/internal/node"
 	"d3t/internal/repository"
 	"d3t/internal/sim"
+	"d3t/internal/wire"
 )
-
-// frame is the single wire message type; Kind discriminates.
-type frame struct {
-	Kind  kind
-	From  repository.ID
-	Item  string
-	Value float64
-	// Resync on a hello asks the parent to push its current copy of every
-	// item it serves this child — the catch-up a dependent needs after
-	// failing over to a backup parent. On an update it marks a catch-up
-	// push to a freshly admitted client session.
-	Resync bool
-	// Name and Wants carry a client session's identity and watch list on
-	// a subscribe frame.
-	Name  string
-	Wants map[string]coherency.Requirement
-	// Addrs carries alternative endpoints on a redirect frame: the
-	// session cap is reached (or an item is not served stringently
-	// enough), try these instead.
-	Addrs []string
-	// Ups carries a multi-update batch on a kindBatch frame: every copy
-	// one fan-out pass produced for this dependent, in one TCP write.
-	Ups []Update
-}
 
 // Update is one (item, value) pair of a multi-update batch frame.
-type Update struct {
-	Item  string
-	Value float64
-}
-
-type kind uint8
-
-const (
-	kindHello kind = iota + 1
-	kindUpdate
-	// kindSubscribe opens a client session: the server answers with
-	// kindAccept followed by resync updates, or kindRedirect.
-	kindSubscribe
-	kindAccept
-	kindRedirect
-	// kindBatch is the multi-update frame: one write carries every copy a
-	// batched apply pass produced for the dependent (see Ups). A node
-	// that receives one applies it as a batch too, so batches stay
-	// batches all the way down the tree.
-	kindBatch
-)
+type Update = wire.Update
 
 // NodeConfig describes one dissemination node. It is self-contained: a
 // node needs no global overlay view, only its own serving set and its
@@ -125,10 +85,10 @@ type Node struct {
 	// guarded by mu.
 	core     *dnode.Core
 	tr       transport
-	childEnc map[repository.ID]*gob.Encoder
+	childEnc map[repository.ID]*wire.Encoder
 	// clientEnc maps admitted session names to their push encoders —
 	// the wire half of the core's session registry.
-	clientEnc map[string]*gob.Encoder
+	clientEnc map[string]*wire.Encoder
 	conns     map[net.Conn]bool
 	closed    bool
 
@@ -140,8 +100,8 @@ type Node struct {
 	failovers int
 }
 
-// transport adapts the core's decisions to gob frames. Every call
-// happens under Node.mu; gob encoders write to TCP sockets, whose
+// transport adapts the core's decisions to wire frames. Every call
+// happens under Node.mu; wire encoders write to TCP sockets, whose
 // buffers apply backpressure naturally. Dependent copies are collected
 // per apply pass and flushed as one frame per dependent — the plain
 // update frame when the pass produced a single copy, the multi-update
@@ -209,9 +169,9 @@ func (t *transport) flush() {
 		}
 		var err error
 		if len(ups) == 1 {
-			err = enc.Encode(frame{Kind: kindUpdate, Item: ups[0].Item, Value: ups[0].Value})
+			err = enc.Encode(&wire.Frame{Kind: wire.KindUpdate, Item: ups[0].Item, Value: ups[0].Value})
 		} else {
-			err = enc.Encode(frame{Kind: kindBatch, Ups: ups})
+			err = enc.Encode(&wire.Frame{Kind: wire.KindBatch, Ups: ups})
 		}
 		if err != nil && t.err == nil {
 			t.err = fmt.Errorf("netio: %v pushing to %v: %w", t.n.cfg.ID, dep, err)
@@ -220,8 +180,8 @@ func (t *transport) flush() {
 }
 
 func (t *transport) SendToClient(s *dnode.Session, item string, v float64, resync bool) {
-	if enc, ok := s.Tag().(*gob.Encoder); ok {
-		enc.Encode(frame{Kind: kindUpdate, Item: item, Value: v, Resync: resync})
+	if enc, ok := s.Tag().(*wire.Encoder); ok {
+		enc.Encode(&wire.Frame{Kind: wire.KindUpdate, Item: item, Value: v, Resync: resync})
 	}
 }
 
@@ -283,8 +243,8 @@ func Start(cfg NodeConfig) (*Node, error) {
 		ln:        ln,
 		start:     time.Now(),
 		core:      buildCore(cfg),
-		childEnc:  make(map[repository.ID]*gob.Encoder),
-		clientEnc: make(map[string]*gob.Encoder),
+		childEnc:  make(map[repository.ID]*wire.Encoder),
+		clientEnc: make(map[string]*wire.Encoder),
 		conns:     make(map[net.Conn]bool),
 	}
 	n.tr.n = n
@@ -304,7 +264,7 @@ func Start(cfg NodeConfig) (*Node, error) {
 		n.mu.Lock()
 		n.parentConns = append(n.parentConns, conn)
 		n.mu.Unlock()
-		if err := gob.NewEncoder(conn).Encode(frame{Kind: kindHello, From: cfg.ID}); err != nil {
+		if err := wire.NewEncoder(conn).Encode(&wire.Frame{Kind: wire.KindHello, From: cfg.ID}); err != nil {
 			n.Close()
 			return nil, fmt.Errorf("netio: %v hello: %w", cfg.ID, err)
 		}
@@ -438,16 +398,16 @@ func (n *Node) handleChild(conn net.Conn) {
 		delete(n.conns, conn)
 		n.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(conn)
-	var hello frame
+	dec := wire.NewDecoder(conn)
+	var hello wire.Frame
 	if err := dec.Decode(&hello); err != nil {
 		return
 	}
-	if hello.Kind == kindSubscribe {
+	if hello.Kind == wire.KindSubscribe {
 		n.handleClient(conn, dec, hello)
 		return
 	}
-	if hello.Kind != kindHello {
+	if hello.Kind != wire.KindHello {
 		return
 	}
 	if _, ok := n.cfg.Children[hello.From]; !ok {
@@ -458,7 +418,7 @@ func (n *Node) handleChild(conn net.Conn) {
 		n.mu.Unlock()
 		return
 	}
-	n.childEnc[hello.From] = gob.NewEncoder(conn)
+	n.childEnc[hello.From] = wire.NewEncoder(conn)
 	if hello.Resync {
 		// A dependent that failed over to us catches up immediately: the
 		// core pushes the current copy of every item we serve it,
@@ -470,7 +430,10 @@ func (n *Node) handleChild(conn net.Conn) {
 	}
 	n.mu.Unlock()
 
-	var discard frame
+	// The child never sends further frames; the read blocks until either
+	// side closes. Any byte it does send must be a well-formed frame — a
+	// corrupt stream fails the strict decoder and drops the registration.
+	var discard wire.Frame
 	for dec.Decode(&discard) == nil {
 	}
 	n.mu.Lock()
@@ -483,10 +446,10 @@ func (n *Node) handleChild(conn net.Conn) {
 // accept frame, a resync push of the current copies of its watch list,
 // and from then on only updates the core's per-client filter forwards —
 // Eqs. 3 and 7 applied at the leaf with this node's serving tolerance.
-func (n *Node) handleClient(conn net.Conn, dec *gob.Decoder, sub frame) {
-	enc := gob.NewEncoder(conn)
+func (n *Node) handleClient(conn net.Conn, dec *wire.Decoder, sub wire.Frame) {
+	enc := wire.NewEncoder(conn)
 	if sub.Name == "" || len(sub.Wants) == 0 {
-		enc.Encode(frame{Kind: kindRedirect})
+		enc.Encode(&wire.Frame{Kind: wire.KindRedirect})
 		return
 	}
 	n.mu.Lock()
@@ -498,10 +461,10 @@ func (n *Node) handleClient(conn net.Conn, dec *gob.Decoder, sub frame) {
 		n.core.NoteRedirect()
 		peers := append([]string(nil), n.cfg.SessionPeers...)
 		n.mu.Unlock()
-		enc.Encode(frame{Kind: kindRedirect, Addrs: peers})
+		enc.Encode(&wire.Frame{Kind: wire.KindRedirect, Addrs: peers})
 		return
 	}
-	if enc.Encode(frame{Kind: kindAccept}) != nil {
+	if enc.Encode(&wire.Frame{Kind: wire.KindAccept}) != nil {
 		n.mu.Unlock()
 		return
 	}
@@ -512,8 +475,9 @@ func (n *Node) handleClient(conn net.Conn, dec *gob.Decoder, sub frame) {
 	n.core.ForceAdmit(ns, &n.tr)
 	n.mu.Unlock()
 
-	// Park until either side closes, then unregister the session.
-	var discard frame
+	// Park until either side closes (a client sending garbage fails the
+	// strict decoder the same way), then unregister the session.
+	var discard wire.Frame
 	for dec.Decode(&discard) == nil {
 	}
 	n.mu.Lock()
@@ -547,11 +511,11 @@ func (n *Node) RedirectedSessions() int {
 // exponential backoff, so a misconfigured backup list degrades to slow
 // retries instead of a hot reconnect loop.
 func (n *Node) parentLoop(conn net.Conn) {
-	dec := gob.NewDecoder(conn)
+	dec := wire.NewDecoder(conn)
 	backoff := 50 * time.Millisecond
 	framed := false // a frame arrived on the current connection
+	var f wire.Frame
 	for {
-		var f frame
 		if err := dec.Decode(&f); err != nil {
 			conn.Close()
 			if !framed {
@@ -564,17 +528,17 @@ func (n *Node) parentLoop(conn net.Conn) {
 			if !ok {
 				return
 			}
-			conn, dec, framed = next, gob.NewDecoder(next), false
+			conn, dec, framed = next, wire.NewDecoder(next), false
 			continue
 		}
 		framed, backoff = true, 50*time.Millisecond
 		switch f.Kind {
-		case kindUpdate:
+		case wire.KindUpdate:
 			n.mu.Lock()
 			n.delivered++
 			n.mu.Unlock()
 			n.apply(f.Item, f.Value)
-		case kindBatch:
+		case wire.KindBatch:
 			// A batch stays a batch downstream: one apply pass, one frame
 			// per child.
 			n.mu.Lock()
@@ -600,7 +564,7 @@ func (n *Node) failover() (net.Conn, bool) {
 		if err != nil {
 			continue // unreachable backup: try the next one
 		}
-		if err := gob.NewEncoder(conn).Encode(frame{Kind: kindHello, From: n.cfg.ID, Resync: true}); err != nil {
+		if err := wire.NewEncoder(conn).Encode(&wire.Frame{Kind: wire.KindHello, From: n.cfg.ID, Resync: true}); err != nil {
 			conn.Close()
 			continue
 		}

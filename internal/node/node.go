@@ -13,7 +13,7 @@
 //   - the goroutine runtime (internal/live) drives them from channel
 //     receives and turns decisions into channel sends;
 //   - the TCP runtime (internal/netio) drives them from decoded frames
-//     and turns decisions into gob-encoded frames.
+//     and turns decisions into wire-encoded binary frames.
 //
 // A Core is deliberately single-goroutine-safe and nothing more: the
 // simulator is single-threaded, and the concurrent runtimes already

@@ -1,0 +1,126 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Encoder serializes frames onto w: one pooled buffer and one Write per
+// frame, so TCP socket buffers apply backpressure exactly as they did
+// under gob but without reflection or per-field allocations.
+type Encoder struct {
+	w io.Writer
+}
+
+// NewEncoder returns an encoder writing frames to w.
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
+
+// encBuf wraps the pooled append buffer; the pointer indirection keeps
+// Pool.Get/Put free of interface-conversion allocations.
+type encBuf struct{ b []byte }
+
+var encPool = sync.Pool{New: func() any { return &encBuf{b: make([]byte, 0, 512)} }}
+
+// maxPooledBuf bounds what a drained encode returns to the pool, so one
+// huge batch frame does not pin megabytes for the process lifetime.
+const maxPooledBuf = 64 << 10
+
+// Encode writes f as one frame. Buffers come from a pool shared across
+// encoders, so steady-state encoding of update and batch frames
+// allocates nothing (TestEncodeAllocFree enforces it).
+func (e *Encoder) Encode(f *Frame) error {
+	eb := encPool.Get().(*encBuf)
+	b, err := AppendFrame(eb.b[:0], f)
+	if err == nil {
+		_, err = e.w.Write(b)
+	}
+	if cap(b) <= maxPooledBuf {
+		eb.b = b
+		encPool.Put(eb)
+	}
+	return err
+}
+
+// AppendFrame appends f's canonical serialization — header and body —
+// to b and returns the extended slice.
+func AppendFrame(b []byte, f *Frame) ([]byte, error) {
+	var flags byte
+	if f.Resync {
+		if f.Kind != KindHello && f.Kind != KindUpdate {
+			return b, fmt.Errorf("wire: resync flag on a %v frame: %w", f.Kind, ErrMalformed)
+		}
+		flags = flagResync
+	}
+	start := len(b)
+	b = append(b, 0, 0, 0, 0, Version, byte(f.Kind), flags, 0)
+	var err error
+	switch f.Kind {
+	case KindHello:
+		b = binary.LittleEndian.AppendUint64(b, uint64(int64(f.From)))
+	case KindUpdate:
+		if b, err = appendString(b, f.Item); err != nil {
+			return b, err
+		}
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f.Value))
+	case KindBatch:
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(f.Ups)))
+		for i := range f.Ups {
+			if b, err = appendString(b, f.Ups[i].Item); err != nil {
+				return b, err
+			}
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f.Ups[i].Value))
+		}
+	case KindSubscribe:
+		if b, err = appendString(b, f.Name); err != nil {
+			return b, err
+		}
+		// Canonical order: strictly increasing item names. Sorting
+		// allocates, but subscribe is a once-per-session handshake, not
+		// the push hot path.
+		items := make([]string, 0, len(f.Wants))
+		for item := range f.Wants {
+			items = append(items, item)
+		}
+		sort.Strings(items)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(items)))
+		for _, item := range items {
+			if b, err = appendString(b, item); err != nil {
+				return b, err
+			}
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(float64(f.Wants[item])))
+		}
+	case KindAccept:
+		// Empty body.
+	case KindRedirect:
+		if len(f.Addrs) > math.MaxUint16 {
+			return b, fmt.Errorf("wire: %d redirect addresses exceed the uint16 count field: %w", len(f.Addrs), ErrMalformed)
+		}
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(f.Addrs)))
+		for _, a := range f.Addrs {
+			if b, err = appendString(b, a); err != nil {
+				return b, err
+			}
+		}
+	default:
+		return b, fmt.Errorf("wire: cannot encode frame kind %d: %w", uint8(f.Kind), ErrMalformed)
+	}
+	n := len(b) - start - headerSize
+	if n > MaxFrameBytes {
+		return b, fmt.Errorf("wire: %v body is %d bytes, cap %d: %w", f.Kind, n, MaxFrameBytes, ErrFrameTooLarge)
+	}
+	binary.LittleEndian.PutUint32(b[start:start+4], uint32(n))
+	return b, nil
+}
+
+// appendString appends the uint16 length prefix and bytes of s.
+func appendString(b []byte, s string) ([]byte, error) {
+	if len(s) > math.MaxUint16 {
+		return b, fmt.Errorf("wire: %d-byte string exceeds the 64 KiB field cap: %w", len(s), ErrMalformed)
+	}
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...), nil
+}

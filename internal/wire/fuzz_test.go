@@ -1,0 +1,137 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	"d3t/internal/coherency"
+	"d3t/internal/repository"
+)
+
+// FuzzDecodeFrame fuzzes the decoder with arbitrary byte streams — the
+// exact threat model of a byte-level attacker on a netio listener. The
+// decoder must never panic, must never build structures that outrun the
+// bytes actually received (the over-allocation guard), and anything it
+// accepts must re-encode canonically: encode(decode(b)) reproduces the
+// consumed prefix of b byte for byte and decodes again to the same
+// frame.
+func FuzzDecodeFrame(f *testing.F) {
+	// Seed corpus: every golden frame, plus targeted malformed inputs so
+	// coverage starts at each rejection path.
+	for _, g := range goldenFrames() {
+		b, err := AppendFrame(nil, &g.f)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+		f.Add(b[:len(b)-1])     // truncated body
+		f.Add(b[:headerSize-2]) // truncated header
+		bad := append([]byte(nil), b...)
+		bad[4] = Version + 1 // wrong version
+		f.Add(bad)
+		bad = append([]byte(nil), b...)
+		bad[5] = 0x7f // unknown kind
+		f.Add(bad)
+		bad = append([]byte(nil), b...)
+		bad[6] = 0xff // undefined flags
+		f.Add(bad)
+		f.Add(append(append([]byte(nil), b...), b...)) // two frames back to back
+	}
+	f.Add(header(0xffffffff, Version, byte(KindBatch), 0, 0)) // lying length prefix
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewDecoder(bytes.NewReader(data))
+		var fr Frame
+		if err := dec.Decode(&fr); err != nil {
+			return // rejected: the only other acceptable outcome
+		}
+		// Over-allocation guard: every decoded entry is backed by at
+		// least its minimum wire size in actually-received bytes.
+		if len(fr.Ups) > len(data)/10 || len(fr.Wants) > len(data)/10 || len(fr.Addrs) > len(data)/2 {
+			t.Fatalf("decoded %d ups / %d wants / %d addrs from %d input bytes",
+				len(fr.Ups), len(fr.Wants), len(fr.Addrs), len(data))
+		}
+		// Canonical re-encode: byte identity with the consumed prefix.
+		out, err := AppendFrame(nil, &fr)
+		if err != nil {
+			t.Fatalf("accepted frame %+v failed to re-encode: %v", fr, err)
+		}
+		if len(out) > len(data) || !bytes.Equal(out, data[:len(out)]) {
+			t.Fatalf("re-encode diverged\n got: %x\nfrom: %x", out, data)
+		}
+		var again Frame
+		if err := NewDecoder(bytes.NewReader(out)).Decode(&again); err != nil {
+			t.Fatalf("re-encoded frame rejected: %v", err)
+		}
+		if !frameEqual(&fr, &again) {
+			t.Fatalf("re-decode drifted: %+v vs %+v", fr, again)
+		}
+	})
+}
+
+// FuzzRoundTrip fuzzes the codec from the frame side: any frame the
+// encoder accepts must decode back bit-identically (NaN values and
+// negative ids included) and re-encode to the same bytes — encode is
+// injective and decode is its exact inverse on the valid domain.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint8(0), int64(7), "AAPL", uint64(0), true, "alice", "10.0.0.2:7070", uint8(3))
+	f.Add(uint8(1), int64(-1), "X", math.Float64bits(142.25), false, "", "", uint8(0))
+	f.Add(uint8(2), int64(0), "item", math.Float64bits(0.5), false, "bob", "peer:1", uint8(7))
+	f.Add(uint8(3), int64(1), "", uint64(0), false, "", "", uint8(0))
+	f.Add(uint8(4), int64(2), "", uint64(0), false, "", "addr", uint8(4))
+	f.Add(uint8(5), int64(3), "T", ^uint64(0), false, "", "", uint8(15)) // NaN batch
+	f.Fuzz(func(t *testing.T, kindSel uint8, id int64, item string, bits uint64, resync bool, name, addr string, n uint8) {
+		var fr Frame
+		switch Kind(kindSel%uint8(kindMax)) + 1 {
+		case KindHello:
+			fr = Frame{Kind: KindHello, From: repository.ID(id), Resync: resync}
+		case KindUpdate:
+			fr = Frame{Kind: KindUpdate, Item: item, Value: math.Float64frombits(bits), Resync: resync}
+		case KindSubscribe:
+			wants := make(map[string]coherency.Requirement)
+			for i := 0; i < int(n%8); i++ {
+				wants[fmt.Sprintf("%s#%d", item, i)] = coherency.Requirement(math.Float64frombits(bits ^ uint64(i)))
+			}
+			fr = Frame{Kind: KindSubscribe, Name: name, Wants: wants}
+		case KindAccept:
+			fr = Frame{Kind: KindAccept}
+		case KindRedirect:
+			var addrs []string
+			for i := 0; i < int(n%5); i++ {
+				addrs = append(addrs, fmt.Sprintf("%s:%d", addr, i))
+			}
+			fr = Frame{Kind: KindRedirect, Addrs: addrs}
+		case KindBatch:
+			var ups []Update
+			for i := 0; i < int(n%16); i++ {
+				ups = append(ups, Update{Item: fmt.Sprintf("%s/%d", item, i), Value: math.Float64frombits(bits ^ uint64(i))})
+			}
+			fr = Frame{Kind: KindBatch, Ups: ups}
+		}
+		b, err := AppendFrame(nil, &fr)
+		if err != nil {
+			// The only legal refusal for generated frames is an oversized
+			// string field.
+			if len(item) < 60000 && len(name) < 60000 && len(addr) < 60000 {
+				t.Fatalf("encoder refused %+v: %v", fr, err)
+			}
+			return
+		}
+		var got Frame
+		if err := NewDecoder(bytes.NewReader(b)).Decode(&got); err != nil {
+			t.Fatalf("round trip rejected: %v\nframe: %+v\nbytes: %x", err, fr, b)
+		}
+		if !frameEqual(&fr, &got) {
+			t.Fatalf("round trip drifted:\nsent: %+v\n got: %+v", fr, got)
+		}
+		b2, err := AppendFrame(nil, &got)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(b, b2) {
+			t.Fatalf("encoding not canonical:\nfirst:  %x\nsecond: %x", b, b2)
+		}
+	})
+}

@@ -1,0 +1,165 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"d3t/internal/coherency"
+)
+
+// -update rewrites testdata/*.bin from the golden frame set. Run it
+// after any deliberate layout change (with Version bumped); the diff in
+// testdata is the reviewable record of the new format.
+var update = flag.Bool("update", false, "rewrite testdata golden wire vectors")
+
+// goldenFrames is one representative frame per kind (plus the resync
+// variants), shared by the golden-vector test and the fuzz seed corpus.
+func goldenFrames() []struct {
+	name string
+	f    Frame
+} {
+	return []struct {
+		name string
+		f    Frame
+	}{
+		{"hello", Frame{Kind: KindHello, From: 7}},
+		{"hello_resync", Frame{Kind: KindHello, From: 3, Resync: true}},
+		{"update", Frame{Kind: KindUpdate, Item: "AAPL", Value: 142.25}},
+		{"update_resync", Frame{Kind: KindUpdate, Item: "MSFT", Value: 27.5, Resync: true}},
+		{"batch", Frame{Kind: KindBatch, Ups: []Update{
+			{Item: "AAPL", Value: 142.25},
+			{Item: "MSFT", Value: 27.5},
+			{Item: "AAPL", Value: 143},
+		}}},
+		{"subscribe", Frame{Kind: KindSubscribe, Name: "alice", Wants: map[string]coherency.Requirement{
+			"AAPL": 0.5,
+			"MSFT": 2,
+		}}},
+		{"accept", Frame{Kind: KindAccept}},
+		{"redirect", Frame{Kind: KindRedirect, Addrs: []string{"10.0.0.2:7070", "10.0.0.3:7070"}}},
+	}
+}
+
+// frameEqual compares frames with bit-exact float comparison (so NaN
+// payloads survive fuzz round trips) and without distinguishing nil
+// from empty collections — the wire cannot carry that distinction.
+func frameEqual(a, b *Frame) bool {
+	if a.Kind != b.Kind || a.From != b.From || a.Item != b.Item ||
+		math.Float64bits(a.Value) != math.Float64bits(b.Value) ||
+		a.Resync != b.Resync || a.Name != b.Name ||
+		len(a.Wants) != len(b.Wants) || len(a.Addrs) != len(b.Addrs) || len(a.Ups) != len(b.Ups) {
+		return false
+	}
+	for k, v := range a.Wants {
+		w, ok := b.Wants[k]
+		if !ok || math.Float64bits(float64(v)) != math.Float64bits(float64(w)) {
+			return false
+		}
+	}
+	for i := range a.Addrs {
+		if a.Addrs[i] != b.Addrs[i] {
+			return false
+		}
+	}
+	for i := range a.Ups {
+		if a.Ups[i].Item != b.Ups[i].Item ||
+			math.Float64bits(a.Ups[i].Value) != math.Float64bits(b.Ups[i].Value) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestGoldenVectors pins the byte layout: every frame kind must encode
+// byte-exactly to its committed testdata vector, and the vector must
+// decode back to the frame and re-encode to itself. Any layout change
+// shows up as a testdata diff (regenerate deliberately with -update,
+// bumping Version per the package comment's rule).
+func TestGoldenVectors(t *testing.T) {
+	for _, g := range goldenFrames() {
+		t.Run(g.name, func(t *testing.T) {
+			path := filepath.Join("testdata", g.name+".bin")
+			got, err := AppendFrame(nil, &g.f)
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			if *update {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden vector (run with -update to generate): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("encoding drifted from the committed vector\n got: %x\nwant: %x", got, want)
+			}
+			var dec Frame
+			if err := NewDecoder(bytes.NewReader(want)).Decode(&dec); err != nil {
+				t.Fatalf("golden vector does not decode: %v", err)
+			}
+			if !frameEqual(&g.f, &dec) {
+				t.Fatalf("golden vector decoded to %+v, want %+v", dec, g.f)
+			}
+			again, err := AppendFrame(nil, &dec)
+			if err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			if !bytes.Equal(again, want) {
+				t.Fatalf("decode→encode is not the identity on the golden vector")
+			}
+		})
+	}
+}
+
+// TestVersionCompatRule documents and enforces the versioning contract:
+// every frame carries Version at byte 4, a frame stamped with any other
+// version is rejected with ErrVersion, and bumping Version invalidates
+// the committed vectors (TestGoldenVectors fails) until they are
+// deliberately regenerated — so a layout change can never slip through
+// as an invisible diff.
+func TestVersionCompatRule(t *testing.T) {
+	if Version != 1 {
+		t.Fatalf("Version = %d; if this bump is deliberate, regenerate testdata with -update and update this pin", Version)
+	}
+	b, err := AppendFrame(nil, &Frame{Kind: KindAccept})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[4] != Version {
+		t.Fatalf("header byte 4 = %d, want Version %d", b[4], Version)
+	}
+	for _, v := range []byte{0, Version + 1, 0xff} {
+		bad := append([]byte(nil), b...)
+		bad[4] = v
+		var f Frame
+		err := NewDecoder(bytes.NewReader(bad)).Decode(&f)
+		if !errors.Is(err, ErrVersion) {
+			t.Errorf("version %d accepted (err=%v), want ErrVersion", v, err)
+		}
+	}
+}
+
+// TestGoldenVectorsCoverEveryKind keeps the golden set honest: adding a
+// frame kind without a committed vector fails here.
+func TestGoldenVectorsCoverEveryKind(t *testing.T) {
+	seen := make(map[Kind]bool)
+	for _, g := range goldenFrames() {
+		seen[g.f.Kind] = true
+	}
+	for k := KindHello; k <= kindMax; k++ {
+		if !seen[k] {
+			t.Errorf("no golden vector for frame kind %v", k)
+		}
+	}
+	if fmt.Sprint(Kind(0)) != "unknown" || fmt.Sprint(kindMax+1) != "unknown" {
+		t.Errorf("Kind.String names an out-of-range kind")
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package wire
+
+// raceEnabled gates allocation assertions; see race_on_test.go.
+const raceEnabled = false

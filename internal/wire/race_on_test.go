@@ -1,0 +1,8 @@
+//go:build race
+
+package wire
+
+// raceEnabled gates allocation assertions: the race detector makes
+// sync.Pool randomly drop items (its poolRaceHack), so pooled-buffer
+// alloc-free invariants cannot hold under -race.
+const raceEnabled = true

@@ -1,0 +1,168 @@
+// Package wire implements the netio backend's binary wire format: a
+// length-prefixed, fixed-layout little-endian codec for the closed set
+// of dissemination frames (hello, update, batch, subscribe, accept,
+// redirect). It replaces encoding/gob on the TCP hot path: no per-frame
+// reflection, one contiguous buffer and one write per frame, pooled
+// encode buffers, and decode allocation hard-capped so a malformed
+// length prefix cannot be used to exhaust memory.
+//
+// # Frame layout
+//
+// Every frame is an 8-byte header followed by a body:
+//
+//	offset  size  field
+//	0       4     body length n (uint32, little-endian)
+//	4       1     version (currently 1)
+//	5       1     kind
+//	6       1     flags (bit 0 = resync; all other bits must be 0)
+//	7       1     reserved (must be 0)
+//	8       n     body (per-kind layout below)
+//
+// A string field is a uint16 little-endian byte length followed by that
+// many bytes (no terminator, 64 KiB cap). A float64 field is its IEEE
+// 754 bits, little-endian. Per-kind bodies:
+//
+//	hello      From (int64)
+//	update     Item (string) · Value (float64)
+//	batch      count (uint32) · count × (Item (string) · Value (float64))
+//	subscribe  Name (string) · count (uint32) · count × (Item (string) ·
+//	           Requirement (float64)), entries in strictly increasing
+//	           item order
+//	accept     (empty)
+//	redirect   count (uint16) · count × (Addr (string)), preference order
+//
+// A batch body is the vectored form of PR 5's one-write-per-child
+// batches: every update of a fan-out pass serializes into one
+// contiguous region under a single length prefix, so the whole batch
+// costs one buffer and one TCP write however many updates it carries.
+//
+// The resync flag is meaningful on hello (a failed-over dependent asks
+// its new parent for a full catch-up push) and on update (a catch-up
+// push to a freshly admitted or migrated client session); it must be 0
+// on every other kind.
+//
+// Decoding is strict: unknown versions, unknown kinds, non-zero
+// reserved bits, out-of-order subscribe entries, truncated fields and
+// trailing body bytes are all errors. Strictness buys a canonical
+// format — every valid byte sequence has exactly one decoding, and
+// every decoded frame re-encodes to exactly the bytes it came from —
+// which is what the fuzz harnesses and golden vectors in this package's
+// tests pin down.
+//
+// # Versioning rule
+//
+// Any change to the layout above — a new field, a new kind, a moved
+// byte — must increment Version, regenerate testdata/*.bin with
+// `go test ./internal/wire -run TestGoldenVectors -update`, and update
+// the byte-layout table in DESIGN.md's "Wire format" section. Version
+// is checked on every frame header, so peers built at different
+// versions fail fast with ErrVersion instead of misparsing each other;
+// there is deliberately no in-band negotiation — the overlay is
+// deployed as a unit.
+package wire
+
+import (
+	"errors"
+
+	"d3t/internal/coherency"
+	"d3t/internal/repository"
+)
+
+// Version is the wire-format version stamped into and required of every
+// frame header. Bump it on any layout change (see the package comment's
+// versioning rule).
+const Version = 1
+
+// MaxFrameBytes caps a frame's declared body length. A peer announcing
+// a larger body is malformed (or hostile) and its connection is torn
+// down before any allocation happens.
+const MaxFrameBytes = 16 << 20
+
+// headerSize is the fixed frame header: 4-byte length, version, kind,
+// flags, reserved.
+const headerSize = 8
+
+// flagResync is the one defined flag bit; all others must be zero.
+const flagResync = 1 << 0
+
+// Kind discriminates the frame set.
+type Kind uint8
+
+const (
+	// KindHello registers a dependent on its parent's push path.
+	KindHello Kind = iota + 1
+	// KindUpdate pushes one (item, value) copy.
+	KindUpdate
+	// KindSubscribe opens a client session; answered with KindAccept
+	// followed by resync updates, or KindRedirect.
+	KindSubscribe
+	KindAccept
+	KindRedirect
+	// KindBatch pushes every copy one fan-out pass produced for the
+	// receiver, as one contiguous frame.
+	KindBatch
+
+	kindMax = KindBatch
+)
+
+// String names the kind for error messages.
+func (k Kind) String() string {
+	switch k {
+	case KindHello:
+		return "hello"
+	case KindUpdate:
+		return "update"
+	case KindSubscribe:
+		return "subscribe"
+	case KindAccept:
+		return "accept"
+	case KindRedirect:
+		return "redirect"
+	case KindBatch:
+		return "batch"
+	}
+	return "unknown"
+}
+
+// Frame is the decoded form of one wire message; Kind discriminates
+// which fields are meaningful (the same field set the gob codec
+// carried, so the netio protocol logic is untouched by the codec swap).
+type Frame struct {
+	Kind Kind
+	// From identifies the dependent on a hello frame.
+	From repository.ID
+	// Item and Value carry a single-update push.
+	Item  string
+	Value float64
+	// Resync mirrors the header flag: a catch-up request on a hello, a
+	// catch-up push on an update.
+	Resync bool
+	// Name and Wants carry a client session's identity and watch list on
+	// a subscribe frame.
+	Name  string
+	Wants map[string]coherency.Requirement
+	// Addrs carries alternative endpoints on a redirect frame.
+	Addrs []string
+	// Ups carries a multi-update batch on a batch frame.
+	Ups []Update
+}
+
+// Update is one (item, value) pair of a batch frame.
+type Update struct {
+	Item  string
+	Value float64
+}
+
+// Sentinel errors, wrapped with context by Encoder/Decoder; match with
+// errors.Is.
+var (
+	// ErrVersion marks a frame stamped with a version this build does
+	// not speak.
+	ErrVersion = errors.New("wire: version mismatch")
+	// ErrFrameTooLarge marks a declared body length over MaxFrameBytes.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds size cap")
+	// ErrMalformed marks every other structural violation: unknown kind,
+	// bad flags, truncated fields, trailing bytes, out-of-order
+	// subscribe entries, oversized strings.
+	ErrMalformed = errors.New("wire: malformed frame")
+)

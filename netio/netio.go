@@ -1,7 +1,7 @@
 // Package netio exposes the TCP deployment runtime: every overlay node is
-// a network server pushing filtered updates to its dependents over
-// gob-encoded TCP connections. See d3t/internal/netio for the
-// implementation.
+// a network server pushing filtered updates to its dependents over TCP
+// using the d3t/internal/wire binary frame format. See d3t/internal/netio
+// for the implementation.
 package netio
 
 import (
@@ -18,7 +18,7 @@ type (
 	// Cluster runs a whole overlay on localhost.
 	Cluster = inetio.Cluster
 	// Client is a remote client session subscribed to a node over TCP:
-	// it receives only the gob-encoded updates that exceed its own
+	// it receives only the wire-encoded updates that exceed its own
 	// tolerances, follows cap redirects, and migrates to the next known
 	// address when the serving node dies.
 	Client = inetio.Client
