@@ -15,6 +15,12 @@
 // Benchmarks faster than -min-ns in the baseline are reported but never
 // trip: at smoke benchtimes their single-iteration timings are noise.
 //
+// Every run prints a per-benchmark delta table (name, old, new,
+// normalized delta %). Exit status distinguishes the outcomes: 0 when
+// everything is within tolerance, 1 when any benchmark regressed beyond
+// it, 3 when benchmarks only *improved* beyond it (the baseline is stale
+// — refresh BENCH_latest.json), 2 on usage errors.
+//
 // Usage:
 //
 //	benchdiff [-tolerance 0.30] [-min-ns 1000000] [-no-normalize] baseline.json current.json
@@ -105,12 +111,15 @@ func parseFile(path string) (map[string]float64, error) {
 	return parseBench(sc)
 }
 
-// verdict is one benchmark's comparison.
+// verdict is one benchmark's comparison. tripped means the normalized
+// ratio left the tolerance band in either direction; regressed and
+// improved record which.
 type verdict struct {
-	name              string
-	base, cur         float64
-	ratio, normalized float64
-	tripped, tooSmall bool
+	name                string
+	base, cur           float64
+	ratio, normalized   float64
+	tripped, tooSmall   bool
+	regressed, improved bool
 }
 
 // compare evaluates every benchmark present in both runs.
@@ -158,8 +167,10 @@ func compare(base, cur map[string]float64, tolerance, minNs float64, normalize b
 		v := verdict{name: name, base: base[name], cur: cur[name], ratio: ratios[i]}
 		v.normalized = v.ratio / scale
 		v.tooSmall = base[name] < minNs
-		if !v.tooSmall && (v.normalized > 1+tolerance || v.normalized < 1/(1+tolerance)) {
-			v.tripped = true
+		if !v.tooSmall {
+			v.regressed = v.normalized > 1+tolerance
+			v.improved = v.normalized < 1/(1+tolerance)
+			v.tripped = v.regressed || v.improved
 		}
 		out = append(out, v)
 	}
@@ -209,22 +220,29 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdiff: no shared benchmarks between the two files")
 		os.Exit(2)
 	}
-	tripped := 0
+	regressed, improved := 0, 0
+	fmt.Printf("%-60s %12s %12s %8s  %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "status")
 	for _, v := range verdicts {
 		status := "ok"
 		switch {
-		case v.tripped:
-			status = "TRIPPED"
-			tripped++
+		case v.regressed:
+			status = "REGRESSED"
+			regressed++
+		case v.improved:
+			status = "IMPROVED"
+			improved++
 		case v.tooSmall:
 			status = "noisy (under min-ns)"
 		}
-		fmt.Printf("%-60s %12.0f -> %12.0f ns/op  x%.2f (norm x%.2f)  %s\n",
-			v.name, v.base, v.cur, v.ratio, v.normalized, status)
+		fmt.Printf("%-60s %12.0f %12.0f %+7.1f%%  %s\n",
+			v.name, v.base, v.cur, (v.normalized-1)*100, status)
 	}
-	fmt.Printf("benchdiff: %d shared benchmarks, %d tripped (tolerance ±%.0f%%)\n",
-		len(verdicts), tripped, *tolerance*100)
-	if tripped > 0 {
-		os.Exit(1)
+	fmt.Printf("benchdiff: %d shared benchmarks, %d regressed, %d improved beyond ±%.0f%% (normalized delta shown)\n",
+		len(verdicts), regressed, improved, *tolerance*100)
+	switch {
+	case regressed > 0:
+		os.Exit(1) // regressions dominate: fail the guardrail
+	case improved > 0:
+		os.Exit(3) // all trips are improvements: refresh the baseline
 	}
 }

@@ -63,6 +63,26 @@ func TestCompareNormalizes(t *testing.T) {
 	}
 }
 
+func TestCompareDirection(t *testing.T) {
+	// Many stable anchors pin the median ratio at 1, so C's regression
+	// and I's improvement are judged against an honest machine factor.
+	base := map[string]float64{"A": 10e6, "B": 20e6, "E": 15e6, "F": 25e6, "C": 30e6, "I": 40e6}
+	cur := map[string]float64{"A": 10e6, "B": 20e6, "E": 15e6, "F": 25e6, "C": 60e6, "I": 20e6}
+	byName := map[string]verdict{}
+	for _, v := range compare(base, cur, 0.30, 1e6, true) {
+		byName[v.name] = v
+	}
+	if c := byName["C"]; !c.tripped || !c.regressed || c.improved {
+		t.Errorf("2x slowdown not classified as regression: %+v", c)
+	}
+	if i := byName["I"]; !i.tripped || !i.improved || i.regressed {
+		t.Errorf("2x speedup not classified as improvement: %+v", i)
+	}
+	if a := byName["A"]; a.tripped || a.regressed || a.improved {
+		t.Errorf("stable benchmark tripped: %+v", a)
+	}
+}
+
 func TestDropMatching(t *testing.T) {
 	m := map[string]float64{
 		"BenchmarkShardedIngest/shards=1,batch=1": 1,

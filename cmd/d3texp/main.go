@@ -9,7 +9,7 @@
 //	d3texp -fig fig3                  # one figure at the default (small) scale
 //	d3texp -fig all -scale paper      # the full evaluation at paper scale
 //	d3texp -fig fig3 -workload bursty # the same sweep over a bursty feed
-//	d3texp -workers 4 -progress       # bound the pool, watch points complete
+//	d3texp -workers 4 -v              # bound the pool, watch points complete
 //	d3texp -list                      # available figure ids and workloads
 package main
 
@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"d3t/internal/core"
+	"d3t/internal/obs"
 	"d3t/internal/trace"
 )
 
@@ -41,11 +42,23 @@ func main() {
 		shards   = flag.Int("shards", 0, "ingest worker shards applied to every plain sweep point (<=1 = sequential)")
 		batch    = flag.Int("batch", 0, "ingest batch window in ticks applied to every plain sweep point (<=1 = off)")
 		workers  = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
-		progress = flag.Bool("progress", false, "report sweep progress to stderr")
+		progress = flag.Bool("progress", false, "deprecated alias for -v")
+		verbose  = flag.Bool("v", false, "debug logging on stderr (per-point sweep progress, cache stats)")
+		quiet    = flag.Bool("quiet", false, "suppress informational logging")
+		obsIv    = flag.Duration("obs-interval", 0, "period between aggregate obs summary lines on stderr while sweeps run")
 		timings  = flag.Bool("time", false, "print elapsed time per figure")
 		asCSV    = flag.Bool("csv", false, "emit machine-readable CSV instead of tables")
 	)
 	flag.Parse()
+
+	level := obs.LevelInfo
+	if *verbose || *progress {
+		level = obs.LevelDebug
+	}
+	if *quiet {
+		level = obs.LevelQuiet
+	}
+	logger := obs.NewLogger(os.Stderr, level)
 
 	if *list {
 		fmt.Println("figures:")
@@ -104,17 +117,30 @@ func main() {
 	// figures (most share the base-case substrates), and its worker pool
 	// bounds the whole run.
 	runner := core.NewRunner(*workers)
-	current := ""
-	if *progress {
-		runner.OnProgress = func(p core.Progress) {
-			status := "ok"
-			if p.Err != nil {
-				status = "FAILED"
-			}
-			fmt.Fprintf(os.Stderr, "d3texp: %s: point %d/%d %s\n", current, p.Done, p.Total, status)
-		}
-	}
+	runner.Log = logger
 	s.Runner = runner
+
+	start := time.Now()
+	if *obsIv > 0 {
+		// A single shared tree aggregates every sweep point in flight; the
+		// ticker reports the rolled-up view. (The obs-* figures still use
+		// their own per-point trees.)
+		s.ObsTree = obs.NewTree()
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			tick := time.NewTicker(*obsIv)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					logger.Infof("%s", s.ObsTree.Summary(time.Since(start).Microseconds()))
+				}
+			}
+		}()
+	}
 
 	registry := core.Figures()
 	var ids []string
@@ -129,8 +155,8 @@ func main() {
 	}
 
 	for _, id := range ids {
-		start := time.Now()
-		current = id
+		figStart := time.Now()
+		logger.Debugf("figure %s: starting", id)
 		result, err := registry[id](s)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "d3texp: %s: %v\n", id, err)
@@ -145,12 +171,15 @@ func main() {
 			os.Exit(1)
 		}
 		if *timings {
-			fmt.Printf("(%s took %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+			fmt.Printf("(%s took %v)\n\n", id, time.Since(figStart).Round(time.Millisecond))
 		}
 	}
-	if *progress {
+	if s.ObsTree != nil {
+		logger.Infof("final %s", s.ObsTree.Summary(time.Since(start).Microseconds()))
+	}
+	if logger.Enabled(obs.LevelDebug) {
 		st := runner.CacheStats()
-		fmt.Fprintf(os.Stderr, "d3texp: cache: %d networks built (%d reused), %d trace sets built (%d reused)\n",
+		logger.Debugf("cache: %d networks built (%d reused), %d trace sets built (%d reused)",
 			st.NetworkBuilds, st.NetworkHits, st.TraceBuilds, st.TraceHits)
 	}
 }

@@ -17,11 +17,18 @@ import (
 	"time"
 
 	"d3t/internal/core"
+	"d3t/internal/obs"
 	"d3t/internal/trace"
 )
 
 func main() {
 	cfg := core.Default()
+	var (
+		verbose     = flag.Bool("v", false, "debug logging on stderr")
+		quiet       = flag.Bool("quiet", false, "suppress informational logging")
+		obsOn       = flag.Bool("obs", false, "record per-node observability and print a final latency/load summary")
+		obsInterval = flag.Duration("obs-interval", 0, "period between obs summary lines on stderr while the run disseminates (implies -obs)")
+	)
 	flag.IntVar(&cfg.Repositories, "repos", cfg.Repositories, "number of repositories")
 	flag.IntVar(&cfg.Routers, "routers", cfg.Routers, "number of routers in the physical network")
 	flag.IntVar(&cfg.Items, "items", cfg.Items, "number of data items")
@@ -52,6 +59,37 @@ func main() {
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
 	flag.Parse()
 
+	level := obs.LevelInfo
+	if *verbose {
+		level = obs.LevelDebug
+	}
+	if *quiet {
+		level = obs.LevelQuiet
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+
+	if *obsOn || *obsInterval > 0 {
+		cfg.Obs = obs.NewTree()
+	}
+	start := time.Now()
+	if *obsInterval > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			tick := time.NewTicker(*obsInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					logger.Infof("%s", cfg.Obs.Summary(time.Since(start).Microseconds()))
+				}
+			}
+		}()
+	}
+
+	logger.Debugf("d3tsim: running %d repositories, %d items x %d ticks", cfg.Repositories, cfg.Items, cfg.Ticks)
 	out, err := core.RunExperiment(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "d3tsim: %v\n", err)
@@ -105,6 +143,31 @@ func main() {
 		if c.Departures+c.Arrivals+c.Migrations+c.Orphaned > 0 {
 			fmt.Printf("session churn       %d departures, %d arrivals, %d migrations, %d orphaned (%d resync values)\n",
 				c.Departures, c.Arrivals, c.Migrations, c.Orphaned, c.Resyncs)
+		}
+	}
+	if snap := out.Obs; snap != nil {
+		hop, src, red, viol := cfg.Obs.Merged()
+		fmt.Printf("obs hop delay       p50 %.1f ms, p95 %.1f ms, p99 %.1f ms (%d samples)\n",
+			hop.P50Ms, hop.P95Ms, hop.P99Ms, hop.Count)
+		fmt.Printf("obs source latency  p50 %.1f ms, p95 %.1f ms, p99 %.1f ms\n",
+			src.P50Ms, src.P95Ms, src.P99Ms)
+		if red.Count > 0 {
+			fmt.Printf("obs redirect wait   p50 %.1f ms, p99 %.1f ms (%d redirects)\n",
+				red.P50Ms, red.P99Ms, red.Count)
+		}
+		if viol.Count > 0 {
+			fmt.Printf("obs violations      %d closed, p95 %.1f ms\n", viol.Count, viol.P95Ms)
+		}
+		var busy *obs.NodeSnapshot
+		for i := range snap.Nodes {
+			n := &snap.Nodes[i]
+			if busy == nil || n.Counters.Received > busy.Counters.Received {
+				busy = n
+			}
+		}
+		if busy != nil && busy.Counters.Received > 0 {
+			fmt.Printf("obs busiest node    %v: %d received, %d forwarded, load %.1f updates/s\n",
+				busy.ID, busy.Counters.Received, busy.Counters.DepForwarded, busy.LoadEWMA)
 		}
 	}
 }

@@ -4,18 +4,28 @@
 // the example reports what reached each tier.
 //
 //	go run ./examples/livecluster
+//	go run ./examples/livecluster -metrics-addr localhost:6060
+//
+// With -metrics-addr set, the cluster serves live per-node counters and
+// latency histograms as JSON on /metrics (plus expvar and pprof) while
+// it disseminates, and the final report includes sampled update traces.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"time"
 
 	"d3t"
 	"d3t/netio"
+	"d3t/obs"
 )
 
 func main() {
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address")
+	traceEvery := flag.Int("trace-every", 25, "sample every nth published update into a hop-by-hop trace (0 = off)")
+	flag.Parse()
 	// A small two-tier deployment: 2 regional hubs (tight tolerance)
 	// feeding 4 edge caches (loose tolerance).
 	const item = "EURUSD"
@@ -42,7 +52,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	cluster, err := netio.StartCluster(overlay, map[string]float64{item: tr.Ticks[0].Value})
+	tree := obs.NewTree()
+	cluster, err := netio.StartClusterWith(overlay, map[string]float64{item: tr.Ticks[0].Value},
+		netio.ClusterOptions{Obs: tree, TraceEvery: *traceEvery, MetricsAddr: *metricsAddr})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,6 +63,9 @@ func main() {
 	fmt.Printf("6 repository servers listening on localhost:\n")
 	for i := 1; i < len(cluster.Nodes); i++ {
 		fmt.Printf("  %v @ %s\n", cluster.Nodes[i].ID(), cluster.Nodes[i].Addr())
+	}
+	if addr := cluster.MetricsAddr(); addr != "" {
+		fmt.Printf("metrics at http://%s/metrics (pprof under /debug/pprof/)\n", addr)
 	}
 
 	published := 0
@@ -92,4 +107,16 @@ func main() {
 	}
 	fmt.Println("\nhubs track the source tightly; edges received far fewer pushes")
 	fmt.Println("yet stayed within their own (looser) tolerance.")
+
+	if hop, _, _, _ := tree.Merged(); hop.Count > 0 {
+		fmt.Printf("\nobserved %d hops over TCP: p50 %.2f ms, p99 %.2f ms\n", hop.Count, hop.P50Ms, hop.P99Ms)
+	}
+	if traces := tree.TracerOrNil().Traces(); len(traces) > 0 {
+		t0 := traces[0]
+		fmt.Printf("sampled trace %d of %s:", t0.ID, t0.Item)
+		for _, h := range t0.Hops {
+			fmt.Printf(" %v", h.Node)
+		}
+		fmt.Printf(" (%d traces collected)\n", len(traces))
+	}
 }

@@ -22,8 +22,16 @@ type Tracker struct {
 	start      sim.Time
 	last       sim.Time // time of the most recent state change
 	inViol     bool
+	violStart  sim.Time // when the current violation interval opened
 	violation  sim.Time
 	violations int // number of violation intervals entered
+
+	// OnViolationEnd, when set, fires each time a violation interval
+	// closes, with the interval's bounds. Observation only — it must not
+	// touch the tracker. The observability layer hangs its per-node
+	// violation-duration histograms off it; coherency itself stays free
+	// of any obs dependency.
+	OnViolationEnd func(start, end sim.Time)
 }
 
 // NewTracker starts measuring at time start with both source and
@@ -50,8 +58,14 @@ func (t *Tracker) advance(now sim.Time) {
 // now.
 func (t *Tracker) refresh() {
 	v := math.Abs(t.src-t.rep) > float64(t.c)
-	if v && !t.inViol {
+	switch {
+	case v && !t.inViol:
 		t.violations++
+		t.violStart = t.last
+	case !v && t.inViol:
+		if t.OnViolationEnd != nil {
+			t.OnViolationEnd(t.violStart, t.last)
+		}
 	}
 	t.inViol = v
 }

@@ -10,6 +10,7 @@ import (
 	"d3t/internal/dissemination"
 	"d3t/internal/ingest"
 	"d3t/internal/netsim"
+	"d3t/internal/obs"
 	"d3t/internal/repository"
 	"d3t/internal/resilience"
 	"d3t/internal/serve"
@@ -122,6 +123,14 @@ type Config struct {
 	// meaningful with Faults set.
 	DetectTicks int
 
+	// Obs, when set, collects per-node observability — decision counters,
+	// latency histograms, load/edge-delay EWMAs and sampled update traces
+	// — across every layer the run touches (dissemination, ingest,
+	// serving). Observation is passive: a run produces byte-identical
+	// results with or without it (TestObsDisabledByteIdentical). The
+	// tree's snapshot at the run's horizon lands in Outcome.Obs.
+	Obs *obs.Tree `json:"-"`
+
 	// Seed makes the whole run deterministic.
 	Seed int64
 }
@@ -202,7 +211,7 @@ func (c Config) ClientsEnabled() bool { return c.Clients > 0 }
 
 // ingestConfig converts the sharding/batching fields.
 func (c Config) ingestConfig() ingest.Config {
-	return ingest.Config{Shards: c.Shards, BatchTicks: c.BatchTicks}
+	return ingest.Config{Shards: c.Shards, BatchTicks: c.BatchTicks, Obs: c.Obs}
 }
 
 // IngestEnabled reports whether the run goes through the sharded/batched

@@ -6,6 +6,7 @@ import (
 	"d3t/internal/dissemination"
 	"d3t/internal/ingest"
 	"d3t/internal/netsim"
+	"d3t/internal/obs"
 	"d3t/internal/repository"
 	"d3t/internal/resilience"
 	"d3t/internal/serve"
@@ -45,6 +46,9 @@ type Outcome struct {
 	// (Shards <= 1 and BatchTicks <= 1, or a run the ingest layer does
 	// not apply to).
 	Ingest *ingest.Stats
+	// Obs is the observability tree's snapshot at the run's horizon; nil
+	// when the run had Config.Obs unset.
+	Obs *obs.TreeSnapshot
 }
 
 // String renders the outcome as a one-line summary.
@@ -94,7 +98,7 @@ func runExperimentWith(cfg Config, net *netsim.Network, traces []*trace.Trace) (
 		if err != nil {
 			return nil, err
 		}
-		fleet, err = serve.NewFleet(net, repos, serve.Options{Cap: cfg.SessionCap, Plan: plan})
+		fleet, err = serve.NewFleet(net, repos, serve.Options{Cap: cfg.SessionCap, Plan: plan, Obs: cfg.Obs})
 		if err != nil {
 			return nil, err
 		}
@@ -137,6 +141,7 @@ func runExperimentWith(cfg Config, net *netsim.Network, traces []*trace.Trace) (
 	pushCfg := dissemination.Config{
 		CompDelay: cfg.compDelay(),
 		Queueing:  cfg.Queueing,
+		Obs:       cfg.Obs,
 	}
 	if fleet != nil {
 		// The serving layer is fed by the initial values and the run's
@@ -202,6 +207,12 @@ func runExperimentWith(cfg Config, net *netsim.Network, traces []*trace.Trace) (
 		clientStats = &st
 	}
 
+	var obsSnap *obs.TreeSnapshot
+	if cfg.Obs != nil {
+		s := cfg.Obs.Snapshot(int64(res.Horizon))
+		obsSnap = &s
+	}
+
 	return &Outcome{
 		Config:            cfg,
 		Fidelity:          res.Report.SystemFidelity(),
@@ -214,5 +225,6 @@ func runExperimentWith(cfg Config, net *netsim.Network, traces []*trace.Trace) (
 		Resilience:        resStats,
 		Clients:           clientStats,
 		Ingest:            ingestStats,
+		Obs:               obsSnap,
 	}, nil
 }

@@ -54,6 +54,8 @@ func Figures() map[string]FigureFunc {
 		"res-recovery":      FigureRecoveryLatency,
 		"clients-fidelity":  FigureClientFidelity,
 		"clients-churn":     FigureClientChurn,
+		"obs-latency":       FigureObsLatency,
+		"obs-load":          FigureObsLoad,
 	}
 }
 

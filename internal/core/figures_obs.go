@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"d3t/internal/obs"
+	"d3t/internal/repository"
+)
+
+// obsFigureRows caps the per-node tables at a readable size; a note
+// records how many active nodes the cap dropped.
+const obsFigureRows = 20
+
+// obsActiveNodes returns the snapshot's nodes that recorded any activity,
+// ordered by the given less function, capped at max. The second result is
+// the uncapped active count.
+func obsActiveNodes(snap *obs.TreeSnapshot, max int, less func(a, b obs.NodeSnapshot) bool) ([]obs.NodeSnapshot, int) {
+	nodes := make([]obs.NodeSnapshot, 0, len(snap.Nodes))
+	for _, n := range snap.Nodes {
+		if n.Counters.Received > 0 || n.Hop.Count > 0 {
+			nodes = append(nodes, n)
+		}
+	}
+	sort.SliceStable(nodes, func(i, j int) bool { return less(nodes[i], nodes[j]) })
+	total := len(nodes)
+	if len(nodes) > max {
+		nodes = nodes[:max]
+	}
+	return nodes, total
+}
+
+// worstInEdge returns a node's slowest in-edge EWMA (peer and delay in
+// milliseconds), or NoID when the node has no sampled in-edges.
+func worstInEdge(n obs.NodeSnapshot) (repository.ID, float64) {
+	peer, worst := repository.NoID, 0.0
+	for id, ms := range n.EdgeDelayMs {
+		if peer == repository.NoID || ms > worst || (ms == worst && id < peer) {
+			peer, worst = id, ms
+		}
+	}
+	return peer, worst
+}
+
+// FigureObsLatency runs the base case with the observability layer armed
+// and tabulates where propagation time goes: each repository's per-hop
+// delay and source→node dissemination-latency quantiles, plus its
+// fidelity-violation durations. It is not a figure of the paper — it is
+// the diagnostic view behind the fidelity curves, answering *where* in
+// the tree latency accumulates and fidelity is lost.
+func FigureObsLatency(s Scale) (*FigureResult, error) {
+	s.Obs, s.ObsTree = true, nil
+	cfg := s.base()
+	outs, err := s.runAll([]Config{cfg})
+	if err != nil {
+		return nil, err
+	}
+	out := outs[0]
+	nodes, total := obsActiveNodes(out.Obs, obsFigureRows, func(a, b obs.NodeSnapshot) bool {
+		if a.SourceLat.P99Ms != b.SourceLat.P99Ms {
+			return a.SourceLat.P99Ms > b.SourceLat.P99Ms
+		}
+		return a.ID < b.ID
+	})
+	rows := make([][]string, 0, len(nodes))
+	for _, n := range nodes {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", n.ID),
+			fmt.Sprintf("%d", n.Hop.Count),
+			fmt.Sprintf("%.2f", n.Hop.P50Ms),
+			fmt.Sprintf("%.2f", n.Hop.P99Ms),
+			fmt.Sprintf("%.2f", n.SourceLat.P50Ms),
+			fmt.Sprintf("%.2f", n.SourceLat.P95Ms),
+			fmt.Sprintf("%.2f", n.SourceLat.P99Ms),
+			fmt.Sprintf("%d", n.Violation.Count),
+			fmt.Sprintf("%.1f", n.Violation.P95Ms),
+		})
+	}
+	notes := []string{fmt.Sprintf("system loss %.2f%% at controlled degree %d", out.LossPercent, out.CoopDegreeUsed)}
+	if total > len(nodes) {
+		notes = append(notes, fmt.Sprintf("showing the %d highest-latency nodes of %d active", len(nodes), total))
+	}
+	return &FigureResult{
+		ID:     "obs-latency",
+		Title:  "Observability: per-node propagation latency and violation durations (base case)",
+		Header: []string{"node", "hops", "hop p50 ms", "hop p99 ms", "src p50 ms", "src p95 ms", "src p99 ms", "violations", "viol p95 ms"},
+		Rows:   rows,
+		Notes:  notes,
+	}, nil
+}
+
+// FigureObsLoad runs the base case with the observability layer armed and
+// tabulates where the work goes: each repository's decision counters, its
+// load EWMA (updates/second of simulation time) and its slowest in-edge —
+// the per-node load and per-edge delay signals a future online Eq. 2
+// re-optimization controller would consume.
+func FigureObsLoad(s Scale) (*FigureResult, error) {
+	s.Obs, s.ObsTree = true, nil
+	cfg := s.base()
+	outs, err := s.runAll([]Config{cfg})
+	if err != nil {
+		return nil, err
+	}
+	out := outs[0]
+	nodes, total := obsActiveNodes(out.Obs, obsFigureRows, func(a, b obs.NodeSnapshot) bool {
+		if a.Counters.Received != b.Counters.Received {
+			return a.Counters.Received > b.Counters.Received
+		}
+		return a.ID < b.ID
+	})
+	rows := make([][]string, 0, len(nodes))
+	for _, n := range nodes {
+		peer, worst := worstInEdge(n)
+		edge := "-"
+		if peer != repository.NoID {
+			edge = fmt.Sprintf("%.2f (from %d)", worst, peer)
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", n.ID),
+			fmt.Sprintf("%d", n.Counters.Received),
+			fmt.Sprintf("%d", n.Counters.DepForwarded),
+			fmt.Sprintf("%d", n.Counters.DepSuppressed),
+			fmt.Sprintf("%d", n.Counters.DepChecks),
+			fmt.Sprintf("%.1f", n.LoadEWMA),
+			edge,
+		})
+	}
+	notes := []string{fmt.Sprintf("load EWMA is updates/s of simulation time, folded at the run horizon (alpha %.2f)", obs.Alpha)}
+	if total > len(nodes) {
+		notes = append(notes, fmt.Sprintf("showing the %d busiest nodes of %d active", len(nodes), total))
+	}
+	return &FigureResult{
+		ID:     "obs-load",
+		Title:  "Observability: per-node load and filter-decision counters (base case)",
+		Header: []string{"node", "received", "forwarded", "suppressed", "checks", "load ups/s", "worst in-edge ms"},
+		Rows:   rows,
+		Notes:  notes,
+	}, nil
+}

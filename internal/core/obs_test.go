@@ -1,0 +1,74 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestObsDisabledByteIdentical pins the observability layer's passivity
+// contract at the top of the stack: every registry figure renders
+// byte-identically whether or not each sweep point carries an
+// observability tree. Observation must never influence a decision, a
+// delay, or an iteration order.
+func TestObsDisabledByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweep in -short mode")
+	}
+	for id, fn := range Figures() {
+		id, fn := id, fn
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			render := func(obsOn bool) []byte {
+				s := tinyScale()
+				s.Obs = obsOn
+				fig, err := fn(s)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := fig.Fprint(&buf); err != nil {
+					t.Fatal(err)
+				}
+				return buf.Bytes()
+			}
+			off, on := render(false), render(true)
+			if !bytes.Equal(off, on) {
+				t.Errorf("figure %s differs with obs enabled:\n--- obs off ---\n%s\n--- obs on ---\n%s", id, off, on)
+			}
+		})
+	}
+}
+
+// TestOutcomeObsSnapshot checks the plumbing from Config.Obs to
+// Outcome.Obs: an armed run returns the tree's horizon snapshot with the
+// dissemination layer's counters populated, and an unarmed run returns
+// nil.
+func TestOutcomeObsSnapshot(t *testing.T) {
+	s := tinyScale()
+	s.Obs = true
+	out, err := RunExperiment(s.base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Obs == nil {
+		t.Fatal("armed run returned no obs snapshot")
+	}
+	if out.Obs.NowMicros == 0 {
+		t.Error("snapshot not taken at the run horizon")
+	}
+	var received uint64
+	for _, n := range out.Obs.Nodes {
+		received += n.Counters.Received
+	}
+	if received == 0 {
+		t.Error("no updates recorded across the overlay")
+	}
+
+	plain, err := RunExperiment(tinyScale().base())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Obs != nil {
+		t.Errorf("unarmed run returned an obs snapshot: %+v", plain.Obs)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"d3t/internal/netsim"
+	"d3t/internal/obs"
 	"d3t/internal/trace"
 	"d3t/internal/tree"
 )
@@ -48,6 +49,11 @@ type Runner struct {
 	// OnProgress, when set, is called after every completed point. Calls
 	// are serialized; Done is monotone within one RunAll batch.
 	OnProgress func(Progress)
+	// Log, when set, reports sweep progress through the shared leveled
+	// logger: per-point completions at debug level, per-point failures at
+	// info level. It replaces the CLIs' ad-hoc progress printing; a nil
+	// logger is silent.
+	Log *obs.Logger
 
 	mu     sync.Mutex
 	nets   map[netKey]*memoEntry[*netsim.Network]
@@ -208,13 +214,21 @@ func (r *Runner) RunAll(cfgs []Config) ([]*Outcome, error) {
 		done       int
 	)
 	report := func(i int, err error) {
-		if r.OnProgress == nil {
+		if r.OnProgress == nil && r.Log == nil {
 			return
 		}
 		progressMu.Lock()
 		done++
-		r.OnProgress(Progress{Done: done, Total: len(cfgs), Index: i, Err: err})
+		d := done
+		if r.OnProgress != nil {
+			r.OnProgress(Progress{Done: d, Total: len(cfgs), Index: i, Err: err})
+		}
 		progressMu.Unlock()
+		if err != nil {
+			r.Log.Infof("sweep point %d/%d FAILED: %v", d, len(cfgs), err)
+		} else {
+			r.Log.Debugf("sweep point %d/%d ok", d, len(cfgs))
+		}
 	}
 
 	jobs := make(chan int)

@@ -1,5 +1,7 @@
 package core
 
+import "d3t/internal/obs"
+
 // Scale sizes an experiment sweep. The paper's evaluation runs at
 // PaperScale (100 repositories, 700 network nodes, 100 traces of 10000
 // ticks); tests and benchmarks use SmallScale, which preserves every
@@ -37,6 +39,16 @@ type Scale struct {
 	// Config.Shards).
 	Shards     int
 	BatchTicks int
+	// Obs attaches a fresh observability tree to every sweep point, so
+	// each Outcome carries its per-node counter/latency snapshot.
+	// Observation is passive: figures render byte-identically either way
+	// (TestObsDisabledByteIdentical). The obs-* figures force it on.
+	Obs bool
+	// ObsTree, when set, makes every sweep point record into this one
+	// shared tree instead of per-point trees — the live aggregate view
+	// d3texp's -obs-interval monitors while a sweep runs. It overrides
+	// Obs; the obs-* figures ignore it (they need per-point isolation).
+	ObsTree *obs.Tree
 	// Workers bounds the sweep worker pool (<= 0 means GOMAXPROCS).
 	Workers int
 	// Runner, when set, executes the sweeps — sharing its substrate
@@ -91,6 +103,11 @@ func (s Scale) base() Config {
 	cfg.SessionCap = s.SessionCap
 	cfg.Shards = s.Shards
 	cfg.BatchTicks = s.BatchTicks
+	if s.ObsTree != nil {
+		cfg.Obs = s.ObsTree
+	} else if s.Obs {
+		cfg.Obs = obs.NewTree()
+	}
 	return cfg
 }
 

@@ -3,6 +3,7 @@ package dissemination
 import (
 	"d3t/internal/coherency"
 	"d3t/internal/node"
+	"d3t/internal/obs"
 	"d3t/internal/repository"
 	"d3t/internal/sim"
 	"d3t/internal/tree"
@@ -72,6 +73,15 @@ func (d *Distributed) Init(o *tree.Overlay, initial map[string]float64) {
 
 // Core exposes the per-node state machine (for parity instrumentation).
 func (d *Distributed) Core(id repository.ID) *node.Core { return d.cores[id] }
+
+// SetObs attaches one observer per node core, so the decision counters
+// (received/forwarded/suppressed, checks) land in the observability
+// tree. Run calls it after Init when the config carries an obs tree.
+func (d *Distributed) SetObs(t *obs.Tree) {
+	for _, c := range d.cores {
+		c.SetObs(t.Node(c.ID()))
+	}
+}
 
 // Update is one (item, value) pair of a multi-update batch — the unit the
 // sharded ingest pipeline moves between nodes.

@@ -1,0 +1,106 @@
+package dissemination
+
+import (
+	"fmt"
+	"testing"
+
+	"d3t/internal/netsim"
+	"d3t/internal/obs"
+	"d3t/internal/sim"
+)
+
+// TestObsPassive pins the observability contract at the sim backend: a
+// run with an obs tree attached produces exactly the same result as a
+// run without one.
+func TestObsPassive(t *testing.T) {
+	fx := buildFixture(t, 20, 12, 3, 0.6, netsim.Uniform(21, sim.Milliseconds(40)), 400, 3)
+	plain, err := Run(fx.overlay, fx.traces, NewDistributed(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fx2 := buildFixture(t, 20, 12, 3, 0.6, netsim.Uniform(21, sim.Milliseconds(40)), 400, 3)
+	tree := obs.NewTree()
+	tree.Tracer = obs.NewTracer(5)
+	observed, err := Run(fx2.overlay, fx2.traces, NewDistributed(), Config{Obs: tree})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if fmt.Sprintf("%+v", plain.Stats) != fmt.Sprintf("%+v", observed.Stats) {
+		t.Fatalf("obs changed run stats:\nplain:    %+v\nobserved: %+v", plain.Stats, observed.Stats)
+	}
+	if plain.Report.SystemFidelity() != observed.Report.SystemFidelity() {
+		t.Fatalf("obs changed fidelity: %v vs %v", plain.Report.SystemFidelity(), observed.Report.SystemFidelity())
+	}
+}
+
+// TestObsSimBackend checks what the sim backend feeds the layer: core
+// decision counters, per-hop and source-latency histograms on
+// repositories, per-edge delay EWMAs keyed by the upstream parent, and
+// sampled traces with monotone hop stamps.
+func TestObsSimBackend(t *testing.T) {
+	fx := buildFixture(t, 20, 12, 3, 0.6, netsim.Uniform(21, sim.Milliseconds(40)), 400, 4)
+	tree := obs.NewTree()
+	tree.Tracer = obs.NewTracer(3)
+	res, err := Run(fx.overlay, fx.traces, NewDistributed(), Config{Obs: tree})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := tree.Snapshot(int64(res.Horizon))
+	var received, forwarded, hops, edges uint64
+	for _, n := range snap.Nodes {
+		received += n.Counters.Received
+		forwarded += n.Counters.DepForwarded
+		hops += n.Hop.Count
+		edges += uint64(len(n.EdgeDelayMs))
+		if n.ID != 0 && n.Hop.Count > 0 && n.Hop.P50Ms <= 0 {
+			t.Errorf("node %v: %d hop samples but p50 = %v", n.ID, n.Hop.Count, n.Hop.P50Ms)
+		}
+		for peer, d := range n.EdgeDelayMs {
+			if d < 40 { // every hop includes ≥ the 40ms wire delay
+				t.Errorf("node %v edge from %v: delay EWMA %vms below the wire delay", n.ID, peer, d)
+			}
+		}
+	}
+	if received == 0 || forwarded == 0 {
+		t.Fatalf("core counters did not reach obs: received=%d forwarded=%d", received, forwarded)
+	}
+	if hops != res.Stats.Deliveries {
+		t.Fatalf("hop samples %d != deliveries %d", hops, res.Stats.Deliveries)
+	}
+	if edges == 0 {
+		t.Fatalf("no per-edge delay EWMAs recorded")
+	}
+
+	if len(snap.Traces) == 0 {
+		t.Fatalf("tracer armed but no traces collected")
+	}
+	multi := false
+	for _, tr := range snap.Traces {
+		if len(tr.Hops) == 0 {
+			t.Fatalf("trace %d has no hops", tr.ID)
+		}
+		if tr.Hops[0].Node != 0 {
+			t.Errorf("trace %d does not start at the source: %+v", tr.ID, tr.Hops[0])
+		}
+		for i := 1; i < len(tr.Hops); i++ {
+			if tr.Hops[i].At < tr.Hops[0].At {
+				t.Errorf("trace %d hop %d precedes its source stamp", tr.ID, i)
+			}
+		}
+		if len(tr.Hops) > 2 {
+			multi = true
+		}
+	}
+	if !multi {
+		t.Errorf("no trace crossed more than one edge — fixture too shallow for the tracer test")
+	}
+
+	// Violation durations: with 40ms delays some violations must close.
+	_, _, _, viol := tree.Merged()
+	if viol.Count == 0 {
+		t.Errorf("no fidelity-violation intervals recorded despite 40ms delays")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"d3t/internal/coherency"
+	"d3t/internal/obs"
 	"d3t/internal/repository"
 	"d3t/internal/sim"
 	"d3t/internal/trace"
@@ -45,6 +46,13 @@ type Config struct {
 	// filter state never touches another's) is what makes the partition
 	// exact. A nil filter accepts everything.
 	ItemFilter func(item string) bool
+	// Obs, when set, attaches the observability layer: per-node counters
+	// (through the protocol's node cores, where it has them), per-hop and
+	// source→node latency histograms, per-edge delay EWMAs,
+	// fidelity-violation durations, and — when Obs.Tracer is armed —
+	// sampled update traces. Observation is passive: a run with Obs set
+	// produces byte-identical results to one without.
+	Obs *obs.Tree
 }
 
 // accepts reports whether the configured item filter admits the item.
@@ -141,6 +149,13 @@ func Run(o *tree.Overlay, traces []*trace.Trace, p Protocol, cfg Config) (*Resul
 	}
 
 	p.Init(o, initial)
+	if cfg.Obs != nil {
+		// Protocols carrying node cores (the distributed algorithm) attach
+		// per-node observers so the decision counters land in obs too.
+		if po, ok := p.(interface{ SetObs(*obs.Tree) }); ok {
+			po.SetObs(cfg.Obs)
+		}
+	}
 
 	// Fidelity trackers for every (repository, needed item) pair, at the
 	// repository's own client-facing tolerance.
@@ -157,6 +172,12 @@ func Run(o *tree.Overlay, traces []*trace.Trace, p Protocol, cfg Config) (*Resul
 				return nil, fmt.Errorf("dissemination: repository %d needs item %s with no trace", n.ID, x)
 			}
 			t := coherency.NewTracker(c, 0, v)
+			if cfg.Obs != nil {
+				on := cfg.Obs.Node(n.ID)
+				t.OnViolationEnd = func(start, end sim.Time) {
+					on.ObserveViolation(int64(end - start))
+				}
+			}
 			trackers[x] = append(trackers[x], repoTracker{repo: n.ID, tr: t})
 			m := byRepo[x]
 			if m == nil {
@@ -175,6 +196,15 @@ func Run(o *tree.Overlay, traces []*trace.Trace, p Protocol, cfg Config) (*Resul
 		stations: make([]sim.Station, len(o.Nodes)),
 		trackers: trackers,
 		byRepo:   byRepo,
+	}
+	if cfg.Obs != nil {
+		// Node ids are dense (stations are indexed by them), so the per-id
+		// observer lookup on the delivery path is a slice read.
+		r.obsNodes = make([]*obs.Node, len(o.Nodes))
+		for id := range r.obsNodes {
+			r.obsNodes[id] = cfg.Obs.Node(repository.ID(id))
+		}
+		r.tracer = cfg.Obs.TracerOrNil()
 	}
 
 	// Schedule the source-side trace ticks. Quiet ticks (no value change)
@@ -232,6 +262,18 @@ type runner struct {
 	trackers map[string][]repoTracker
 	byRepo   map[string]map[repository.ID]*coherency.Tracker
 	stats    Stats
+	// obsNodes (indexed by node id) and tracer are non-nil only when
+	// cfg.Obs is set; the delivery path guards with one nil check.
+	obsNodes []*obs.Node
+	tracer   *obs.Tracer
+}
+
+// emeta is the observability context riding alongside an update through
+// the event graph: when it left the source, and its trace id (0 when
+// the update is not sampled).
+type emeta struct {
+	born sim.Time
+	tid  uint64
 }
 
 // sourceTick handles a changed value arriving at the source.
@@ -243,24 +285,37 @@ func (r *runner) sourceTick(now sim.Time, item string, v float64) {
 	if r.cfg.Observer != nil {
 		r.cfg.Observer.ObserveSource(now, item, v)
 	}
+	m := emeta{born: now}
+	if r.tracer != nil {
+		m.tid = r.tracer.Sample(item, repository.SourceID, int64(now))
+	}
 	fwd, checks := r.protocol.AtSource(item, v)
 	r.stats.SourceChecks += uint64(checks)
-	r.dispatch(now, r.overlay.Source(), item, v, fwd, checks)
+	r.dispatch(now, r.overlay.Source(), item, v, fwd, checks, m)
 }
 
 // deliver handles an update copy arriving at a repository: record it for
-// fidelity, then let the protocol fan it out further.
-func (r *runner) deliver(now sim.Time, node *repository.Repository, item string, v float64, tag coherency.Requirement) {
+// fidelity, then let the protocol fan it out further. hop is the
+// propagation delay since the copy's sender received (or sourced) the
+// update, from is the sender — the edge the copy arrived over.
+func (r *runner) deliver(now sim.Time, node *repository.Repository, item string, v float64, tag coherency.Requirement, from repository.ID, hop sim.Time, m emeta) {
 	r.stats.Deliveries++
 	if t := r.byRepo[item][node.ID]; t != nil {
 		t.RepoUpdate(now, v)
+	}
+	if r.obsNodes != nil {
+		on := r.obsNodes[node.ID]
+		on.ObserveHop(int64(hop))
+		on.ObserveSourceLatency(int64(now - m.born))
+		on.ObserveEdgeDelay(from, int64(hop))
+		r.tracer.Hop(m.tid, node.ID, int64(now))
 	}
 	if r.cfg.Observer != nil {
 		r.cfg.Observer.ObserveDeliver(now, node.ID, item, v)
 	}
 	fwd, checks := r.protocol.AtRepo(node, item, v, tag)
 	r.stats.RepoChecks += uint64(checks)
-	r.dispatch(now, node, item, v, fwd, checks)
+	r.dispatch(now, node, item, v, fwd, checks, m)
 }
 
 // dispatch charges the node's computational delays for the checks and
@@ -273,7 +328,7 @@ func (r *runner) deliver(now sim.Time, node *repository.Repository, item string,
 // effect of Section 3 — without successive updates queueing. In the
 // queueing model the node is a strict serial server and backlog carries
 // across updates.
-func (r *runner) dispatch(now sim.Time, from *repository.Repository, item string, v float64, fwd []Forward, checks int) {
+func (r *runner) dispatch(now sim.Time, from *repository.Repository, item string, v float64, fwd []Forward, checks int, m emeta) {
 	st := &r.stations[from.ID]
 	var preamble sim.Time
 	if extra := checks - len(fwd); extra > 0 && r.cfg.CheckFrac > 0 {
@@ -285,7 +340,7 @@ func (r *runner) dispatch(now sim.Time, from *repository.Repository, item string
 		}
 		for _, f := range fwd {
 			done := st.Acquire(now, r.cfg.CompDelay)
-			r.send(done, from, item, v, f)
+			r.send(done, now, from, item, v, f, m)
 		}
 		return
 	}
@@ -296,16 +351,28 @@ func (r *runner) dispatch(now sim.Time, from *repository.Repository, item string
 	depart := now + preamble
 	for _, f := range fwd {
 		depart += r.cfg.CompDelay
-		r.send(depart, from, item, v, f)
+		r.send(depart, now, from, item, v, f, m)
 	}
 }
 
 // send emits one copy departing at the given time and schedules its
-// delivery after the wire delay.
-func (r *runner) send(depart sim.Time, from *repository.Repository, item string, v float64, f Forward) {
+// delivery after the wire delay. recvAt is when the sender received the
+// update — the anchor of the hop-delay measurement, so a hop includes
+// the sender's computational delay exactly as a wall-clock backend
+// would observe it.
+func (r *runner) send(depart, recvAt sim.Time, from *repository.Repository, item string, v float64, f Forward, m emeta) {
 	r.stats.Messages++
 	to := r.overlay.Node(f.To)
 	arrive := depart + r.overlay.Net.Delay[from.ID][f.To]
 	tag := f.Tag
-	r.engine.At(arrive, func(t sim.Time) { r.deliver(t, to, item, v, tag) })
+	if r.obsNodes == nil {
+		// Without obs the delivery closure must not grow: every in-flight
+		// copy is one of these, and capturing the hop metadata here costs
+		// ~32 B per message across the whole simulation.
+		r.engine.At(arrive, func(t sim.Time) { r.deliver(t, to, item, v, tag, 0, 0, emeta{}) })
+		return
+	}
+	fromID := from.ID
+	hop := arrive - recvAt
+	r.engine.At(arrive, func(t sim.Time) { r.deliver(t, to, item, v, tag, fromID, hop, m) })
 }

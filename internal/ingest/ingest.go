@@ -32,6 +32,7 @@ package ingest
 import (
 	"time"
 
+	"d3t/internal/obs"
 	"d3t/internal/trace"
 )
 
@@ -46,6 +47,10 @@ type Config struct {
 	// window's survivors move as one batch. Values <= 1 disable batching
 	// (every update moves alone).
 	BatchTicks int
+	// Obs, when set, records per-node batch sizes as the pipeline drains
+	// (the delay-faithful RunSim path instead takes the tree through
+	// dissemination.Config.Obs). Observation is passive.
+	Obs *obs.Tree
 }
 
 // ShardCount normalizes Config.Shards to the effective worker count.

@@ -6,6 +6,7 @@ import (
 
 	"d3t/internal/dissemination"
 	"d3t/internal/node"
+	"d3t/internal/obs"
 	"d3t/internal/repository"
 	"d3t/internal/tree"
 )
@@ -42,6 +43,7 @@ type Pipeline struct {
 // window. Worker-local counters are read only after done closes.
 type pipeShard struct {
 	proto *dissemination.Distributed
+	obs   *obs.Tree
 	in    chan []Update
 	done  chan struct{}
 
@@ -71,12 +73,16 @@ func NewPipeline(o *tree.Overlay, initial map[string]float64, cfg Config) *Pipel
 	for i := range p.shards {
 		s := &pipeShard{
 			proto:   dissemination.NewDistributed(),
+			obs:     cfg.Obs,
 			in:      make(chan []Update, 64),
 			done:    make(chan struct{}),
 			pendIdx: make(map[string]int),
 			lastOut: make(map[string]float64, len(initial)),
 		}
 		s.proto.Init(o, initial)
+		if cfg.Obs != nil {
+			s.proto.SetObs(cfg.Obs)
+		}
 		for item, v := range initial {
 			s.lastOut[item] = v
 		}
@@ -112,6 +118,7 @@ func (s *pipeShard) drain(b []Update) {
 		for _, id := range ids {
 			batch := cur[id]
 			s.applies += uint64(len(batch))
+			s.obs.Node(id).Batch(len(batch))
 			fwds, checks := s.proto.ApplyBatch(id, batch)
 			s.checks += uint64(checks)
 			s.forwards += uint64(len(fwds))

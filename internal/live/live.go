@@ -36,6 +36,7 @@ import (
 
 	"d3t/internal/ingest"
 	dnode "d3t/internal/node"
+	"d3t/internal/obs"
 	"d3t/internal/repository"
 	"d3t/internal/sim"
 	"d3t/internal/tree"
@@ -83,6 +84,12 @@ type Options struct {
 	// SessionCap caps the client sessions one repository serves (0 =
 	// unlimited); Subscribe redirects overflow to the next candidate.
 	SessionCap int
+
+	// Obs, when set, collects per-node counters, latency histograms,
+	// per-edge delay EWMAs and (when Obs.Tracer is armed) sampled update
+	// traces from the running cluster. Observation is passive: a cluster
+	// with Obs attached makes exactly the decisions it makes without.
+	Obs *obs.Tree
 }
 
 // Update is one (item, value) pair of a published batch.
@@ -123,11 +130,18 @@ type upd struct {
 }
 
 // batch is the unit every channel carries: all the updates one fan-out
-// pass produced for one (dependent, shard) edge, or a keep-alive.
+// pass produced for one (dependent, shard) edge, or a keep-alive. The
+// observability stamps (sent, born, tid) are zero unless an obs tree is
+// attached; failover sync sends leave them zero so repair pushes never
+// pollute the hop histograms.
 type batch struct {
 	from      repository.ID
 	heartbeat bool
 	ups       []upd
+
+	sent sim.Time // cluster time the sender handed the batch to the edge
+	born sim.Time // cluster time the batch's tick entered at the source
+	tid  uint64   // sampled trace id (0 = untraced)
 }
 
 // node is one overlay repository: per-shard cores and channels, plus the
@@ -142,6 +156,11 @@ type node struct {
 	mu        sync.Mutex
 	dead      bool
 	lastHeard map[repository.ID]time.Time
+
+	// obs is the node's observer (nil when Options.Obs is unset); the
+	// shard cores and the session core share it — its record paths are
+	// atomic, so cross-shard concurrency is safe.
+	obs *obs.Node
 
 	shards []*nodeShard
 
@@ -317,6 +336,15 @@ func NewCluster(o *tree.Overlay, opts Options) *Cluster {
 			n.sessCore = dnode.New(r, o.Node, dnode.Options{ServeOnly: true, SessionCap: opts.SessionCap})
 			n.sessTr.c = c
 		}
+		if opts.Obs != nil {
+			n.obs = opts.Obs.Node(r.ID)
+			for _, sh := range n.shards {
+				sh.core.SetObs(n.obs)
+			}
+			if n.sessCore != nil {
+				n.sessCore.SetObs(n.obs)
+			}
+		}
 		c.nodes[r.ID] = n
 	}
 	return c
@@ -442,8 +470,17 @@ func (c *Cluster) PublishBatch(ups []Update) bool {
 		if len(b) == 0 {
 			continue
 		}
+		out := batch{ups: b}
+		if src.obs != nil {
+			// Stamp the tick's birth time and maybe sample a trace; the
+			// source "hop" (publish to source receipt) is skipped by
+			// handleBatch because from == the source's own id.
+			now := c.now()
+			out.sent, out.born = now, now
+			out.tid = c.opts.Obs.TracerOrNil().Sample(b[0].item, repository.SourceID, int64(now))
+		}
 		select {
-		case src.shards[s].in <- batch{ups: b}:
+		case src.shards[s].in <- out:
 		case <-c.done:
 			return false
 		}
@@ -511,6 +548,20 @@ func (c *Cluster) handleBatch(n *node, sh *nodeShard, b batch) {
 		c.topoMu.RUnlock()
 		return
 	}
+	if n.obs != nil {
+		now := c.now()
+		n.obs.Batch(len(b.ups))
+		if b.sent != 0 && b.from != n.repo.ID {
+			// A stamped batch from an upstream peer: record the hop
+			// (sender's flush to our receipt, the Eq. 2 edge-delay input)
+			// and how far this tick already is from its source birth.
+			hop := int64(now - b.sent)
+			n.obs.ObserveHop(hop)
+			n.obs.ObserveEdgeDelay(b.from, hop)
+			n.obs.ObserveSourceLatency(int64(now - b.born))
+			c.opts.Obs.TracerOrNil().Hop(b.tid, n.repo.ID, int64(now))
+		}
+	}
 	sh.mu.Lock()
 	sh.tr.pending = sh.tr.pending[:0]
 	for _, u := range b.ups {
@@ -541,8 +592,15 @@ func (c *Cluster) handleBatch(n *node, sh *nodeShard, b batch) {
 			// batch.
 			time.Sleep(time.Duration(len(s.ups)) * c.opts.CompDelay)
 		}
+		out := batch{from: n.repo.ID, ups: s.ups}
+		if n.obs != nil {
+			// Restamp the flush time (the hop downstream measures) and
+			// carry the tick's birth stamp and trace id along, so a
+			// sampled trace accumulates the whole fan-out tree.
+			out.sent, out.born, out.tid = c.now(), b.born, b.tid
+		}
 		select {
-		case s.ch <- batch{from: n.repo.ID, ups: s.ups}:
+		case s.ch <- out:
 		case <-c.done:
 			return
 		}
@@ -810,6 +868,13 @@ func (c *Cluster) Snapshot(item string) map[repository.ID]float64 {
 		sh.mu.Unlock()
 	}
 	return out
+}
+
+// ObsSnapshot folds and returns the attached observability tree's state
+// on the cluster's own time base (zero-valued when Options.Obs is nil).
+// The metrics endpoint of a live deployment serves this.
+func (c *Cluster) ObsSnapshot() obs.TreeSnapshot {
+	return c.opts.Obs.Snapshot(int64(c.now()))
 }
 
 // String describes the cluster.

@@ -188,6 +188,7 @@ func (c *Cluster) Subscribe(name string, wants map[string]coherency.Requirement,
 		repo:      repository.NoID,
 	}
 	s.ns.SetTag(s)
+	start := c.now()
 	c.topoMu.Lock()
 	defer c.topoMu.Unlock()
 	target := c.placeSessionLocked(s, preferred, repository.NoID)
@@ -200,6 +201,10 @@ func (c *Cluster) Subscribe(name string, wants map[string]coherency.Requirement,
 		s.redirected = true
 		s.mu.Unlock()
 		c.sessionRedirects++
+		// The redirect is charged to the repository that turned the
+		// client away, with the whole admission walk as its latency.
+		c.nodes[first[0]].obs.Redirect1()
+		c.nodes[first[0]].obs.ObserveRedirectLatency(int64(c.now() - start))
 	}
 	return s, nil
 }
@@ -361,4 +366,5 @@ func (c *Cluster) migrateSession(s *Session) {
 	s.mu.Unlock()
 	c.attachSessionLocked(s, target)
 	c.sessionMigrations++
+	c.nodes[target].obs.Migrate1()
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"d3t/internal/coherency"
+	"d3t/internal/obs"
 	"d3t/internal/repository"
 	"d3t/internal/tree"
 )
@@ -15,11 +16,36 @@ type Cluster struct {
 	// Nodes holds the running nodes, indexed like the overlay (0 is the
 	// source).
 	Nodes []*Node
+
+	opts    ClusterOptions
+	start   time.Time
+	metrics *obs.MetricsServer
+}
+
+// ClusterOptions configures the cluster-wide observability surfaces.
+type ClusterOptions struct {
+	// Obs collects every node's counters, histograms and traces into one
+	// tree (the nodes share the process). Nil disables observation.
+	Obs *obs.Tree
+	// TraceEvery arms Obs.Tracer to sample every Nth source publish when
+	// the tree does not already carry a tracer (0 leaves tracing off).
+	TraceEvery int
+	// MetricsAddr, when non-empty, serves the whole tree's snapshot over
+	// HTTP (/metrics, /debug/vars, /debug/pprof/).
+	MetricsAddr string
 }
 
 // StartCluster brings up the whole overlay: parents before children so
 // every dependent can dial in immediately. Initial seeds every node.
 func StartCluster(o *tree.Overlay, initial map[string]float64) (*Cluster, error) {
+	return StartClusterWith(o, initial, ClusterOptions{})
+}
+
+// StartClusterWith is StartCluster plus the observability options.
+func StartClusterWith(o *tree.Overlay, initial map[string]float64, opts ClusterOptions) (*Cluster, error) {
+	if opts.Obs != nil && opts.Obs.Tracer == nil && opts.TraceEvery > 0 {
+		opts.Obs.Tracer = obs.NewTracer(opts.TraceEvery)
+	}
 	nodes := make([]*Node, len(o.Nodes))
 	addr := make([]string, len(o.Nodes))
 
@@ -82,6 +108,8 @@ func StartCluster(o *tree.Overlay, initial map[string]float64) (*Cluster, error)
 			Children: children,
 			Parents:  parentAddrs,
 			Initial:  seed,
+			Obs:      opts.Obs.Node(r.ID),
+			Tracer:   opts.Obs.TracerOrNil(),
 		})
 		if err != nil {
 			shutdown()
@@ -105,7 +133,16 @@ func StartCluster(o *tree.Overlay, initial map[string]float64) (*Cluster, error)
 			time.Sleep(time.Millisecond)
 		}
 	}
-	return &Cluster{Nodes: nodes}, nil
+	c := &Cluster{Nodes: nodes, opts: opts, start: time.Now()}
+	if opts.MetricsAddr != "" {
+		ms, err := obs.ServeMetrics(opts.MetricsAddr, func() any { return c.ObsSnapshot() })
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("netio: cluster metrics: %w", err)
+		}
+		c.metrics = ms
+	}
+	return c, nil
 }
 
 // parentsOf lists the repository's distinct parents (falling back to the
@@ -133,6 +170,21 @@ func parentsOf(r *repository.Repository) []repository.ID {
 // Source returns the source node.
 func (c *Cluster) Source() *Node { return c.Nodes[repository.SourceID] }
 
+// ObsSnapshot folds and returns the whole cluster's observability state
+// (zero-valued when ClusterOptions.Obs is unset).
+func (c *Cluster) ObsSnapshot() obs.TreeSnapshot {
+	return c.opts.Obs.Snapshot(time.Since(c.start).Microseconds())
+}
+
+// MetricsAddr returns the cluster metrics listener's address, or "" when
+// no metrics endpoint is configured.
+func (c *Cluster) MetricsAddr() string {
+	if c.metrics == nil {
+		return ""
+	}
+	return c.metrics.Addr()
+}
+
 // Close shuts every node down.
 func (c *Cluster) Close() {
 	for _, n := range c.Nodes {
@@ -140,4 +192,5 @@ func (c *Cluster) Close() {
 			n.Close()
 		}
 	}
+	c.metrics.Close()
 }

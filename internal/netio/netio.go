@@ -30,6 +30,7 @@ import (
 
 	"d3t/internal/coherency"
 	dnode "d3t/internal/node"
+	"d3t/internal/obs"
 	"d3t/internal/repository"
 	"d3t/internal/sim"
 	"d3t/internal/wire"
@@ -72,13 +73,29 @@ type NodeConfig struct {
 	// SessionPeers are alternative node addresses offered to redirected
 	// clients — typically the node's overlay neighbors.
 	SessionPeers []string
+
+	// Obs, when set, collects this node's counters and latency
+	// histograms. Hop, source-latency and edge-delay samples come only
+	// from traced updates (see Tracer): untraced frames carry no
+	// timestamps, by the wire format's compatibility rule.
+	Obs *obs.Node
+	// Tracer arms update tracing. The source samples every Nth publish,
+	// stamps the frame (wire trace flag), and every relay appends its
+	// receipt stamp and records the trace seen so far. A single-process
+	// cluster shares one tracer; separate processes each collect the
+	// prefixes that pass through them.
+	Tracer *obs.Tracer
+	// MetricsAddr, when non-empty, serves the node's observability
+	// snapshot over HTTP (/metrics, /debug/vars, /debug/pprof/).
+	MetricsAddr string
 }
 
 // Node is a running dissemination server.
 type Node struct {
-	cfg   NodeConfig
-	ln    net.Listener
-	start time.Time
+	cfg     NodeConfig
+	ln      net.Listener
+	start   time.Time
+	metrics *obs.MetricsServer
 
 	mu sync.Mutex
 	// core owns values, per-child filter state and client sessions;
@@ -113,6 +130,12 @@ type transport struct {
 	pend []depSend
 	// err records the first child-push encode failure of an apply pass.
 	err error
+	// tid/hops are the pass's trace context: the sampled id and the hop
+	// stamps accumulated so far (ending with this node's own receipt).
+	// Zero for an untraced pass; only single-update frames carry them —
+	// a pass that batches drops the trace there.
+	tid  uint64
+	hops []obs.Hop
 }
 
 // depSend is one collected dependent copy awaiting the pass's flush.
@@ -140,6 +163,7 @@ func (t *transport) SendToDependent(dep repository.ID, item string, v float64, r
 func (t *transport) begin() {
 	t.pend = t.pend[:0]
 	t.err = nil
+	t.tid, t.hops = 0, nil
 }
 
 // flush writes the pass's collected copies: per dependent (in
@@ -169,7 +193,8 @@ func (t *transport) flush() {
 		}
 		var err error
 		if len(ups) == 1 {
-			err = enc.Encode(&wire.Frame{Kind: wire.KindUpdate, Item: ups[0].Item, Value: ups[0].Value})
+			err = enc.Encode(&wire.Frame{Kind: wire.KindUpdate, Item: ups[0].Item, Value: ups[0].Value,
+				TraceID: t.tid, Hops: t.hops})
 		} else {
 			err = enc.Encode(&wire.Frame{Kind: wire.KindBatch, Ups: ups})
 		}
@@ -248,6 +273,15 @@ func Start(cfg NodeConfig) (*Node, error) {
 		conns:     make(map[net.Conn]bool),
 	}
 	n.tr.n = n
+	n.core.SetObs(cfg.Obs)
+	if cfg.MetricsAddr != "" {
+		ms, err := obs.ServeMetrics(cfg.MetricsAddr, func() any { return n.ObsSnapshot() })
+		if err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("netio: %v metrics: %w", cfg.ID, err)
+		}
+		n.metrics = ms
+	}
 
 	n.wg.Add(1)
 	go func() {
@@ -296,6 +330,7 @@ func (n *Node) Close() error {
 	for _, conn := range parents {
 		conn.Close()
 	}
+	n.metrics.Close()
 	n.wg.Wait()
 	return err
 }
@@ -307,7 +342,24 @@ func (n *Node) Publish(item string, value float64) error {
 	if len(n.cfg.Parents) > 0 {
 		return errors.New("netio: Publish on a non-source node")
 	}
-	return n.apply(item, value)
+	tid, hops := n.sampleTrace(item)
+	return n.apply(item, value, tid, hops)
+}
+
+// sampleTrace asks the tracer whether this publish rides a trace; a
+// sampled one opens with the source's own wall-clock stamp. Batched
+// publishes never trace (batch frames carry no trailer).
+func (n *Node) sampleTrace(item string) (uint64, []obs.Hop) {
+	tr := n.cfg.Tracer
+	if tr == nil {
+		return 0, nil
+	}
+	at := time.Now().UnixMicro()
+	tid := tr.Sample(item, n.cfg.ID, at)
+	if tid == 0 {
+		return 0, nil
+	}
+	return tid, []obs.Hop{{Node: n.cfg.ID, At: at}}
 }
 
 // PublishBatch injects one tick's worth of source updates as a batch:
@@ -537,7 +589,8 @@ func (n *Node) parentLoop(conn net.Conn) {
 			n.mu.Lock()
 			n.delivered++
 			n.mu.Unlock()
-			n.apply(f.Item, f.Value)
+			tid, hops := n.noteArrival(&f)
+			n.apply(f.Item, f.Value, tid, hops)
 		case wire.KindBatch:
 			// A batch stays a batch downstream: one apply pass, one frame
 			// per child.
@@ -582,12 +635,51 @@ func (n *Node) failover() (net.Conn, bool) {
 	return nil, false
 }
 
+// noteArrival records the receipt side of one traced parent push — the
+// hop and source-to-here latencies and the edge-delay EWMA keyed by the
+// stamping peer, all from the wall-clock stamps the frame carries — and
+// extends the hop list with this node's own stamp, returning the trace
+// context the forwarded copies ride on. Untraced frames record nothing
+// here (their receipt still counts through the core).
+func (n *Node) noteArrival(f *wire.Frame) (uint64, []obs.Hop) {
+	if f.TraceID == 0 {
+		return 0, nil
+	}
+	at := time.Now().UnixMicro()
+	if len(f.Hops) > 0 {
+		prev := f.Hops[len(f.Hops)-1]
+		n.cfg.Obs.ObserveHop(at - prev.At)
+		n.cfg.Obs.ObserveEdgeDelay(prev.Node, at-prev.At)
+		n.cfg.Obs.ObserveSourceLatency(at - f.Hops[0].At)
+	}
+	hops := append(f.Hops, obs.Hop{Node: n.cfg.ID, At: at})
+	n.cfg.Tracer.Record(obs.Trace{ID: f.TraceID, Item: f.Item, Hops: hops})
+	return f.TraceID, hops
+}
+
+// ObsSnapshot folds and returns the node's observer state (zero-valued
+// when NodeConfig.Obs is unset). The metrics endpoint serves this.
+func (n *Node) ObsSnapshot() obs.NodeSnapshot {
+	return n.cfg.Obs.Snapshot(time.Since(n.start).Microseconds())
+}
+
+// MetricsAddr returns the metrics listener's address, or "" when no
+// metrics endpoint is configured.
+func (n *Node) MetricsAddr() string {
+	if n.metrics == nil {
+		return ""
+	}
+	return n.metrics.Addr()
+}
+
 // apply records the value locally and forwards it — to dependents and
-// client sessions both — through the core's filter pipeline.
-func (n *Node) apply(item string, value float64) error {
+// client sessions both — through the core's filter pipeline. tid/hops
+// carry the update's trace context (zero when untraced).
+func (n *Node) apply(item string, value float64, tid uint64, hops []obs.Hop) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.tr.begin()
+	n.tr.tid, n.tr.hops = tid, hops
 	n.core.Apply(item, value, &n.tr)
 	n.tr.flush()
 	return n.tr.err
@@ -599,6 +691,7 @@ func (n *Node) apply(item string, value float64) error {
 // through the core, and the collected copies flush as one frame per
 // dependent.
 func (n *Node) applyBatch(ups []Update) error {
+	n.cfg.Obs.Batch(len(ups))
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.tr.begin()

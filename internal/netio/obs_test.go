@@ -1,0 +1,120 @@
+package netio
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"d3t/internal/obs"
+)
+
+// TestTCPObsTracedChain drives traced publishes down a real TCP chain
+// and checks the netio half of the observability layer: the trace flag
+// rides the wire, every relay appends a monotone wall-clock stamp, and
+// the sampled stamps feed the hop/source-latency histograms and the
+// per-edge delay EWMAs.
+func TestTCPObsTracedChain(t *testing.T) {
+	o := chain(t)
+	tree := obs.NewTree()
+	cl, err := StartClusterWith(o, map[string]float64{"X": 100},
+		ClusterOptions{Obs: tree, TraceEvery: 1, MetricsAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Each jump violates both tolerances, so every traced publish
+	// crosses both TCP hops.
+	for _, v := range []float64{200, 300, 400} {
+		if err := cl.Source().Publish("X", v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !waitFor(t, 2*time.Second, func() bool {
+		q, _ := cl.Nodes[2].Value("X")
+		return q == 400
+	}) {
+		t.Fatalf("traced updates did not propagate")
+	}
+
+	snap := cl.ObsSnapshot()
+	for _, id := range []int{1, 2} {
+		n := snap.Nodes[id]
+		if n.Counters.Received == 0 {
+			t.Errorf("node %v: no receipts counted", n.ID)
+		}
+		if n.Hop.Count == 0 || n.SourceLat.Count == 0 {
+			t.Errorf("node %v: traced frames fed no latency samples: hop %+v src %+v", n.ID, n.Hop, n.SourceLat)
+		}
+		if len(n.EdgeDelayMs) != 1 {
+			t.Errorf("node %v: edge EWMAs %+v, want exactly the parent edge", n.ID, n.EdgeDelayMs)
+		}
+	}
+
+	// The leaf's recording of each trace holds all three stamps —
+	// source publish, P receipt, Q receipt — monotone in wall time.
+	full := false
+	for _, tr := range snap.Traces {
+		if len(tr.Hops) == 0 || tr.Hops[0].Node != 0 {
+			t.Fatalf("trace %d does not start at the source: %+v", tr.ID, tr.Hops)
+		}
+		for i := 1; i < len(tr.Hops); i++ {
+			if tr.Hops[i].At < tr.Hops[i-1].At {
+				t.Fatalf("trace %d: non-monotone wall stamps %+v", tr.ID, tr.Hops)
+			}
+		}
+		if len(tr.Hops) == 3 {
+			full = true
+		}
+	}
+	if !full {
+		t.Errorf("no trace shows the full source->P->Q path: %+v", snap.Traces)
+	}
+
+	// The cluster metrics endpoint serves the same snapshot as JSON.
+	resp, err := http.Get("http://" + cl.MetricsAddr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var served obs.TreeSnapshot
+	if err := json.Unmarshal(body, &served); err != nil {
+		t.Fatalf("metrics endpoint served invalid JSON: %v\n%s", err, body)
+	}
+	if len(served.Nodes) != len(snap.Nodes) {
+		t.Errorf("metrics endpoint served %d nodes, want %d", len(served.Nodes), len(snap.Nodes))
+	}
+}
+
+// TestTCPObsUntracedOff pins that a cluster without observability runs
+// exactly as before: no tracer, no stamps, and frames stay the pre-trace
+// bytes (covered at the wire layer by TestTraceFlagUntracedUnchanged).
+func TestTCPObsUntracedOff(t *testing.T) {
+	o := chain(t)
+	cl, err := StartCluster(o, map[string]float64{"X": 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Source().Publish("X", 200); err != nil {
+		t.Fatal(err)
+	}
+	if !waitFor(t, 2*time.Second, func() bool {
+		q, _ := cl.Nodes[2].Value("X")
+		return q == 200
+	}) {
+		t.Fatalf("propagation failed without obs")
+	}
+	if got := cl.Nodes[1].ObsSnapshot(); got.Counters.Received != 0 {
+		t.Errorf("unobserved node reports counters: %+v", got.Counters)
+	}
+	if addr := cl.MetricsAddr(); addr != "" {
+		t.Errorf("metrics endpoint started without being asked: %s", addr)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"d3t/internal/coherency"
+	"d3t/internal/obs"
 	"d3t/internal/repository"
 	"d3t/internal/sim"
 )
@@ -106,5 +107,28 @@ func TestFanoutAllocFree(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("Apply allocates %.1f objects per update, want 0", allocs)
+	}
+}
+
+// TestFanoutAllocFreeWithObs pins the same invariant with an observer
+// attached: the obs record path (counters, histograms) must stay off
+// the heap, so enabling observability never costs an allocation per
+// update.
+func TestFanoutAllocFreeWithObs(t *testing.T) {
+	core := fanoutCore(t, 64, 64)
+	core.SetObs(obs.NewTree().Node(core.ID()))
+	tr := &benchTransport{}
+	core.Apply("X", 101, tr)
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		core.Apply("X", 100+float64(i%3), tr)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("Apply with obs allocates %.1f objects per update, want 0", allocs)
+	}
+	snap := core.Obs().Snapshot(1_000_000)
+	if snap.Counters.Received == 0 || snap.Counters.DepChecks == 0 {
+		t.Fatalf("observer recorded nothing: %+v", snap.Counters)
 	}
 }

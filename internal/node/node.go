@@ -54,6 +54,7 @@ import (
 	"sort"
 
 	"d3t/internal/coherency"
+	"d3t/internal/obs"
 	"d3t/internal/repository"
 	"d3t/internal/sim"
 )
@@ -125,6 +126,11 @@ type Core struct {
 	// delivery order; rebuilt only on session churn.
 	watchers   map[string][]watcher
 	redirected int
+
+	// obs is the node's observer, nil when observability is disabled.
+	// Every hook below is nil-safe, so the disabled path costs one
+	// predictable branch per Apply stage and never allocates.
+	obs *obs.Node
 }
 
 // plan is the precomputed dependent fan-out for one item.
@@ -195,6 +201,13 @@ func New(self *repository.Repository, peers func(repository.ID) *repository.Repo
 // ID returns the node's overlay id.
 func (c *Core) ID() repository.ID { return c.self.ID }
 
+// SetObs attaches an observer (nil detaches). Observation is passive:
+// it never changes a forward/suppress/admit decision.
+func (c *Core) SetObs(o *obs.Node) { c.obs = o }
+
+// Obs returns the attached observer, nil when observability is off.
+func (c *Core) Obs() *obs.Node { return c.obs }
+
 // IsSource reports whether the core has data-source semantics.
 func (c *Core) IsSource() bool { return c.opts.Source }
 
@@ -246,6 +259,7 @@ func (c *Core) holds(item string) bool {
 // precomputed slice revalidated by generation counters, and the session
 // watcher list is rebuilt only on churn.
 func (c *Core) Apply(item string, v float64, t Transport) (forwards, checks int) {
+	c.obs.Apply1()
 	c.values[item] = v
 	if !c.opts.ServeOnly {
 		forwards, checks = c.fanToDependents(item, v, t)
@@ -268,6 +282,7 @@ func (c *Core) fanToDependents(item string, v float64, t Transport) (forwards, c
 		return 0, 0
 	}
 	cSelf := p.cSelf
+	suppressed := 0
 	for i := range p.deps {
 		e := &p.deps[i]
 		if e.gen != e.to.Gen() {
@@ -282,6 +297,7 @@ func (c *Core) fanToDependents(item string, v float64, t Transport) (forwards, c
 		}
 		if e.seeded && !c.shouldForward(v, e.last, e.cDep, cSelf) {
 			e.suppressed++
+			suppressed++
 			continue
 		}
 		if !t.SendToDependent(e.id, item, v, false) {
@@ -293,6 +309,7 @@ func (c *Core) fanToDependents(item string, v float64, t Transport) (forwards, c
 		e.forwarded++
 		forwards++
 	}
+	c.obs.DepPass(forwards, suppressed, checks)
 	return forwards, checks
 }
 
@@ -308,18 +325,22 @@ func (c *Core) fanToSessions(item string, v float64, t Transport) {
 		cSelf, _ = c.self.ServingTolerance(item)
 	}
 	now := t.Now()
+	delivered, filtered := 0, 0
 	for i := range ws {
 		w := &ws[i]
 		s := w.s
 		if w.st.seeded && !c.shouldForward(v, w.st.v, w.tol, cSelf) {
 			s.filtered++
+			filtered++
 			continue
 		}
 		w.st.v, w.st.seeded = v, true
 		s.delivered++
+		delivered++
 		s.lastServed = now
 		t.SendToClient(s, item, v, false)
 	}
+	c.obs.SessPass(delivered, filtered)
 }
 
 // shouldForward is the configured filter: Eqs. 3 and 7, or Eq. 3 alone in

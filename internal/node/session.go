@@ -188,7 +188,10 @@ func (c *Core) CanAdmit(name string, wants map[string]coherency.Requirement) Rej
 // interleave their own wire traffic between the admission decision and
 // the resync (a TCP accept frame) use CanAdmit + NoteRedirect/ForceAdmit
 // instead of Admit.
-func (c *Core) NoteRedirect() { c.redirected++ }
+func (c *Core) NoteRedirect() {
+	c.redirected++
+	c.obs.Redirect1()
+}
 
 // Admit applies the full admission policy and on success registers the
 // session and resyncs it. A rejection is counted against Redirected and
@@ -197,6 +200,7 @@ func (c *Core) NoteRedirect() { c.redirected++ }
 func (c *Core) Admit(s *Session, t Transport) (RejectReason, error) {
 	if reason := c.CanAdmit(s.name, s.wants); reason != RejectNone {
 		c.redirected++
+		c.obs.Redirect1()
 		return reason, fmt.Errorf("node: %v rejects session %q: %v", c.self.ID, s.name, reason)
 	}
 	c.ForceAdmit(s, t)
@@ -232,6 +236,7 @@ func (c *Core) ForceAdmit(s *Session, t Transport) {
 	// Admission counts as service: a session on a quiet node must not be
 	// born stale (transport watchdogs migrate on LastServed silence).
 	s.lastServed = now
+	resyncs := 0
 	for _, x := range items {
 		v, ok := c.values[x]
 		if !ok {
@@ -243,9 +248,12 @@ func (c *Core) ForceAdmit(s *Session, t Transport) {
 		}
 		st.v, st.seeded = v, true
 		s.resyncs++
+		resyncs++
 		s.lastServed = now
 		t.SendToClient(s, x, v, true)
 	}
+	c.obs.Admit1()
+	c.obs.Resync(resyncs)
 }
 
 // DropSession unregisters the named session and returns it (with its

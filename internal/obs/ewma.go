@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Alpha is the smoothing factor of every EWMA in the layer. 0.25 gives
+// a time constant of ~4 samples — reactive enough to surface a flash
+// crowd within a few batches, smooth enough that one queueing spike
+// does not trigger a (future) re-optimization pass.
+const Alpha = 0.25
+
+// EWMA is an exponentially weighted moving average updated by a CAS
+// loop over the float64 bit pattern: lock-free, allocation-free, and
+// safe for concurrent observers. The first sample seeds the average
+// directly so early values are not dragged toward zero. The zero value
+// is ready to use; a nil *EWMA is a no-op that reads as 0.
+type EWMA struct {
+	bits atomic.Uint64
+	n    atomic.Uint64
+}
+
+// Observe folds one sample into the average.
+func (e *EWMA) Observe(x float64) {
+	if e == nil {
+		return
+	}
+	if e.n.Add(1) == 1 {
+		e.bits.Store(math.Float64bits(x))
+		return
+	}
+	for {
+		old := e.bits.Load()
+		next := math.Float64frombits(old) + Alpha*(x-math.Float64frombits(old))
+		if e.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// Value returns the current average, or 0 before any sample. Nil-safe.
+func (e *EWMA) Value() float64 {
+	if e == nil || e.n.Load() == 0 {
+		return 0
+	}
+	return math.Float64frombits(e.bits.Load())
+}
+
+// Count returns the number of samples folded in; nil-safe.
+func (e *EWMA) Count() uint64 {
+	if e == nil {
+		return 0
+	}
+	return e.n.Load()
+}

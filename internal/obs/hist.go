@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// HistBuckets is the fixed bucket count of every latency histogram.
+// Bucket 0 holds exact zeros; bucket b (1 ≤ b < HistBuckets-1) holds
+// samples in [2^(b-1), 2^b) microseconds; the last bucket is the
+// overflow bucket for everything at or above 2^(HistBuckets-2) µs
+// (≈ 2.3 days — nothing this system measures gets there honestly).
+// Power-of-two edges make the index a single bits.Len64, and 40 fixed
+// buckets make the whole histogram a flat 328-byte array with no
+// configuration to drift between nodes.
+const HistBuckets = 40
+
+// Histogram is a fixed-bucket log-spaced latency histogram over
+// microsecond samples. Observe is lock-free (one atomic add per
+// sample), allocation-free, and nil-safe; quantiles are computed on
+// demand from the bucket counts. The zero value is ready to use.
+type Histogram struct {
+	n       atomic.Uint64
+	buckets [HistBuckets]atomic.Uint64
+}
+
+// Observe records one sample in microseconds. Negative samples (clock
+// skew on a wall-clock backend) clamp to zero rather than corrupting a
+// bucket index.
+func (h *Histogram) Observe(micros int64) {
+	if h == nil {
+		return
+	}
+	var b int
+	if micros > 0 {
+		b = bits.Len64(uint64(micros))
+		if b > HistBuckets-1 {
+			b = HistBuckets - 1
+		}
+	}
+	h.buckets[b].Add(1)
+	h.n.Add(1)
+}
+
+// Count returns the number of recorded samples; nil-safe.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Merge adds src's buckets into h (both may be receiving samples
+// concurrently; the merge is a consistent-enough snapshot for
+// reporting). Nil-safe on either side.
+func (h *Histogram) Merge(src *Histogram) {
+	if h == nil || src == nil {
+		return
+	}
+	for i := range src.buckets {
+		if c := src.buckets[i].Load(); c != 0 {
+			h.buckets[i].Add(c)
+			h.n.Add(c)
+		}
+	}
+}
+
+// Quantile returns the q-quantile (0 < q ≤ 1) in microseconds,
+// estimated as the midpoint of the bucket holding the rank-q sample
+// (the lower bound for the overflow bucket, since it has no upper
+// edge). An empty histogram returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(n))
+	if rank == 0 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	var seen uint64
+	for b := 0; b < HistBuckets; b++ {
+		seen += h.buckets[b].Load()
+		if seen >= rank {
+			return bucketMid(b)
+		}
+	}
+	return bucketMid(HistBuckets - 1)
+}
+
+// bucketMid is the representative value (µs) reported for bucket b.
+func bucketMid(b int) float64 {
+	switch {
+	case b == 0:
+		return 0
+	case b == HistBuckets-1:
+		// Overflow bucket: report the lower bound — any midpoint would
+		// invent an upper edge that does not exist.
+		return float64(uint64(1) << (HistBuckets - 2))
+	default:
+		lo := uint64(1) << (b - 1)
+		hi := uint64(1) << b
+		return float64(lo+hi) / 2
+	}
+}
+
+// HistSnapshot is the reporting view of a histogram: sample count and
+// the three paper-relevant quantiles, in milliseconds.
+type HistSnapshot struct {
+	Count uint64  `json:"count"`
+	P50Ms float64 `json:"p50Ms"`
+	P95Ms float64 `json:"p95Ms"`
+	P99Ms float64 `json:"p99Ms"`
+}
+
+// Snapshot computes the quantile view; nil-safe (zero snapshot).
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	return HistSnapshot{
+		Count: h.Count(),
+		P50Ms: h.Quantile(0.50) / 1000,
+		P95Ms: h.Quantile(0.95) / 1000,
+		P99Ms: h.Quantile(0.99) / 1000,
+	}
+}

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// MetricsServer is the per-process HTTP export surface behind the
+// `-metrics-addr` flags: /metrics serves the caller's snapshot as
+// JSON, /debug/vars is the standard expvar page, and /debug/pprof/*
+// exposes the runtime profiles (CPU, heap, goroutine, …) so a
+// paper-scale run can be profiled while it disseminates.
+type MetricsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeMetrics binds addr (e.g. "localhost:6060" or ":0") and serves
+// the export surface in a background goroutine. snapshot is called per
+// /metrics request; it must be safe for concurrent use (obs snapshots
+// are). Close releases the listener.
+func ServeMetrics(addr string, snapshot func() any) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &MetricsServer{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *MetricsServer) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the server and releases the listener. Nil-safe.
+func (s *MetricsServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

@@ -1,0 +1,473 @@
+// Package obs is the observability layer every backend shares: per-node
+// counters, fixed-bucket latency histograms, per-edge delay and per-node
+// load EWMAs, sampled update traces, a leveled logger, and an HTTP
+// export surface (expvar + pprof + a JSON snapshot).
+//
+// The package exists to answer the questions the end-of-run aggregates
+// cannot: *where* in the tree fidelity is lost (per-node violation
+// durations), how propagation latency is distributed (per-hop and
+// source→node histograms with p50/p95/p99), and which node is hot right
+// now (load EWMAs, live counters). The per-edge delay and per-node load
+// EWMAs are deliberately the exact inputs the Eq. 2 degree-adaptation
+// controller of the paper's §8 open problem needs, so the future online
+// re-optimization work plugs into signals that already exist.
+//
+// # Design rules
+//
+// Everything on a record path is nil-safe and allocation-free:
+//
+//   - A nil *Tree hands out nil *Node observers; every method on a nil
+//     *Node (or nil *Histogram, *EWMA, *Tracer, *Logger) is a no-op, so
+//     call sites never guard. Disabled observability costs one
+//     predictable branch per call site and changes no observable
+//     behavior — the registry figures are byte-identical with obs on or
+//     off (TestObsDisabledByteIdentical), and decisions never read obs
+//     state.
+//   - Counters are cache-line-padded atomics (one line each, so two hot
+//     counters on concurrent shard workers never false-share), histogram
+//     buckets are atomic adds into fixed arrays, and EWMAs are CAS loops
+//     over float64 bits. The record path performs zero heap allocations
+//     (TestObsAllocFree) and the node core's fan-out stays 0 B/update
+//     with obs enabled (TestFanoutAllocFreeWithObs).
+//
+// Snapshots are the cold path: Snapshot() allocates freely, folds the
+// load EWMA (rate since the previous snapshot, blended at Alpha), and
+// returns plain structs that marshal directly to JSON for the /metrics
+// endpoint.
+//
+// All latencies are recorded in integer microseconds — sim.Time's unit,
+// and what the wall-clock backends derive from time.Time — and reported
+// in float64 milliseconds, the paper's axis unit.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"d3t/internal/repository"
+)
+
+// Counter is one cache-line-padded atomic counter. The padding keeps
+// adjacent counters updated by different shard workers off each other's
+// cache lines.
+type Counter struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// Add adds n; nil-safe.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count; nil-safe.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Node is one repository's observer: decision counters, latency
+// histograms, the load EWMA and the per-edge delay EWMAs. All methods
+// are safe for concurrent use (a sharded node's workers share one
+// observer) and all record methods are nil-safe no-ops on a nil *Node.
+type Node struct {
+	id repository.ID
+
+	// Decision counters, fed by the node core's Apply pipeline.
+	received    Counter // updates applied (received or published)
+	depForward  Counter // dependent copies forwarded
+	depSuppress Counter // dependent copies suppressed by Eqs. 3+7
+	depChecks   Counter // dependent filter checks performed
+	delivered   Counter // client-session deliveries
+	filtered    Counter // client-session suppressions
+	admits      Counter // sessions admitted
+	redirects   Counter // subscribes answered with a redirect
+	migrations  Counter // sessions migrated onto this node
+	resyncs     Counter // catch-up values pushed (admission, failover)
+	batches     Counter // multi-update batches received
+	batchUps    Counter // updates carried by those batches
+
+	// Latency histograms (microsecond samples).
+	hop       Histogram // per-hop propagation delay (parent apply → arrival here)
+	srcLat    Histogram // source→this-node dissemination latency
+	redirect  Histogram // client redirect latency until admission here
+	violation Histogram // fidelity-violation durations at this node
+
+	// load is the updates/second EWMA, folded at snapshot time from the
+	// received counter (see Snapshot).
+	load         EWMA
+	lastSnapAt   atomic.Int64
+	lastSnapRecv atomic.Uint64
+
+	// edges holds the delay EWMA of every in-edge, keyed by the upstream
+	// peer it arrives over — the dependent-side delay view an Eq. 2
+	// re-optimization controller compares across candidate parents.
+	// Reads (the record path) take the RLock; inserts are cold.
+	edgeMu sync.RWMutex
+	edges  map[repository.ID]*EWMA
+}
+
+// ID returns the observed node's overlay id; nil-safe (NoID when nil).
+func (o *Node) ID() repository.ID {
+	if o == nil {
+		return repository.NoID
+	}
+	return o.id
+}
+
+// Apply1 counts one update applied at the node.
+func (o *Node) Apply1() {
+	if o == nil {
+		return
+	}
+	o.received.Add(1)
+}
+
+// DepPass counts one dependent fan-out pass: copies forwarded, copies
+// suppressed by the filter, and filter checks performed.
+func (o *Node) DepPass(forwarded, suppressed, checks int) {
+	if o == nil {
+		return
+	}
+	o.depForward.Add(uint64(forwarded))
+	o.depSuppress.Add(uint64(suppressed))
+	o.depChecks.Add(uint64(checks))
+}
+
+// SessPass counts one client-session fan-out pass.
+func (o *Node) SessPass(delivered, filtered int) {
+	if o == nil {
+		return
+	}
+	o.delivered.Add(uint64(delivered))
+	o.filtered.Add(uint64(filtered))
+}
+
+// Admit1 counts one admitted session; Redirect1 one redirected
+// subscribe; Migrate1 one session migrated onto the node; Resync counts
+// catch-up values pushed.
+func (o *Node) Admit1() {
+	if o == nil {
+		return
+	}
+	o.admits.Add(1)
+}
+
+func (o *Node) Redirect1() {
+	if o == nil {
+		return
+	}
+	o.redirects.Add(1)
+}
+
+func (o *Node) Migrate1() {
+	if o == nil {
+		return
+	}
+	o.migrations.Add(1)
+}
+
+func (o *Node) Resync(n int) {
+	if o == nil {
+		return
+	}
+	o.resyncs.Add(uint64(n))
+}
+
+// Batch counts one received multi-update batch of n updates.
+func (o *Node) Batch(n int) {
+	if o == nil {
+		return
+	}
+	o.batches.Add(1)
+	o.batchUps.Add(uint64(n))
+}
+
+// ObserveHop records one per-hop propagation delay sample (µs).
+func (o *Node) ObserveHop(micros int64) {
+	if o == nil {
+		return
+	}
+	o.hop.Observe(micros)
+}
+
+// ObserveSourceLatency records one source→node dissemination latency
+// sample (µs).
+func (o *Node) ObserveSourceLatency(micros int64) {
+	if o == nil {
+		return
+	}
+	o.srcLat.Observe(micros)
+}
+
+// ObserveRedirectLatency records the latency a client spent being
+// redirected before this node admitted it (µs).
+func (o *Node) ObserveRedirectLatency(micros int64) {
+	if o == nil {
+		return
+	}
+	o.redirect.Observe(micros)
+}
+
+// ObserveViolation records one closed fidelity-violation interval (µs).
+func (o *Node) ObserveViolation(micros int64) {
+	if o == nil {
+		return
+	}
+	o.violation.Observe(micros)
+}
+
+// ObserveEdgeDelay folds one delay sample (µs) into the EWMA of the
+// in-edge from peer. The steady state is an RLock + map read + CAS —
+// allocation-free; the first sample per edge inserts the slot.
+func (o *Node) ObserveEdgeDelay(peer repository.ID, micros int64) {
+	if o == nil {
+		return
+	}
+	o.edgeMu.RLock()
+	e := o.edges[peer]
+	o.edgeMu.RUnlock()
+	if e == nil {
+		o.edgeMu.Lock()
+		if e = o.edges[peer]; e == nil {
+			if o.edges == nil {
+				o.edges = make(map[repository.ID]*EWMA)
+			}
+			e = &EWMA{}
+			o.edges[peer] = e
+		}
+		o.edgeMu.Unlock()
+	}
+	e.Observe(float64(micros))
+}
+
+// EdgeDelay returns the in-edge delay EWMA (µs) from peer, or 0 if the
+// edge has never carried a sample.
+func (o *Node) EdgeDelay(peer repository.ID) float64 {
+	if o == nil {
+		return 0
+	}
+	o.edgeMu.RLock()
+	e := o.edges[peer]
+	o.edgeMu.RUnlock()
+	return e.Value()
+}
+
+// Counters is the plain-struct snapshot of a node's decision counters.
+type Counters struct {
+	Received      uint64 `json:"received"`
+	DepForwarded  uint64 `json:"depForwarded"`
+	DepSuppressed uint64 `json:"depSuppressed"`
+	DepChecks     uint64 `json:"depChecks"`
+	Delivered     uint64 `json:"clientDelivered"`
+	Filtered      uint64 `json:"clientFiltered"`
+	Admits        uint64 `json:"sessionAdmits"`
+	Redirects     uint64 `json:"sessionRedirects"`
+	Migrations    uint64 `json:"sessionMigrations"`
+	Resyncs       uint64 `json:"sessionResyncs"`
+	Batches       uint64 `json:"batches"`
+	BatchUpdates  uint64 `json:"batchUpdates"`
+}
+
+// NodeSnapshot is one node's state at a point in time; every latency is
+// in milliseconds.
+type NodeSnapshot struct {
+	ID       repository.ID `json:"id"`
+	Counters Counters      `json:"counters"`
+
+	Hop       HistSnapshot `json:"hopDelay"`
+	SourceLat HistSnapshot `json:"sourceLatency"`
+	Redirect  HistSnapshot `json:"redirectLatency"`
+	Violation HistSnapshot `json:"violation"`
+
+	// LoadEWMA is the exponentially weighted updates/second rate, folded
+	// once per snapshot.
+	LoadEWMA float64 `json:"loadEWMA"`
+	// EdgeDelayMs maps each upstream peer to the EWMA delay (ms) of the
+	// edge arriving from it.
+	EdgeDelayMs map[repository.ID]float64 `json:"edgeDelayMs,omitempty"`
+}
+
+// Snapshot captures the node's state. now is the caller's clock in
+// microseconds (sim time or wall micros since start — any monotone base
+// works); it drives the load-EWMA fold: the update rate since the
+// previous snapshot is blended at Alpha. Nil-safe (zero snapshot).
+func (o *Node) Snapshot(now int64) NodeSnapshot {
+	if o == nil {
+		return NodeSnapshot{ID: repository.NoID}
+	}
+	s := NodeSnapshot{
+		ID: o.id,
+		Counters: Counters{
+			Received:      o.received.Value(),
+			DepForwarded:  o.depForward.Value(),
+			DepSuppressed: o.depSuppress.Value(),
+			DepChecks:     o.depChecks.Value(),
+			Delivered:     o.delivered.Value(),
+			Filtered:      o.filtered.Value(),
+			Admits:        o.admits.Value(),
+			Redirects:     o.redirects.Value(),
+			Migrations:    o.migrations.Value(),
+			Resyncs:       o.resyncs.Value(),
+			Batches:       o.batches.Value(),
+			BatchUpdates:  o.batchUps.Value(),
+		},
+		Hop:       o.hop.Snapshot(),
+		SourceLat: o.srcLat.Snapshot(),
+		Redirect:  o.redirect.Snapshot(),
+		Violation: o.violation.Snapshot(),
+	}
+	// Fold the load EWMA: rate over the window since the last snapshot.
+	prevAt := o.lastSnapAt.Swap(now)
+	prevRecv := o.lastSnapRecv.Swap(s.Counters.Received)
+	if dt := now - prevAt; dt > 0 && s.Counters.Received >= prevRecv {
+		rate := float64(s.Counters.Received-prevRecv) / (float64(dt) / 1e6)
+		o.load.Observe(rate)
+	}
+	s.LoadEWMA = o.load.Value()
+	o.edgeMu.RLock()
+	if len(o.edges) > 0 {
+		s.EdgeDelayMs = make(map[repository.ID]float64, len(o.edges))
+		for id, e := range o.edges {
+			s.EdgeDelayMs[id] = e.Value() / 1000
+		}
+	}
+	o.edgeMu.RUnlock()
+	return s
+}
+
+// Tree is the per-overlay observer registry: one *Node per repository,
+// handed out lazily, plus the optional update tracer. A nil *Tree hands
+// out nil *Nodes, so a disabled layer needs no guards anywhere.
+type Tree struct {
+	// Tracer, when set, samples update traces (see NewTracer). Record
+	// paths read it through Tree.TracerOrNil, which is nil-safe.
+	Tracer *Tracer
+
+	mu    sync.RWMutex
+	nodes map[repository.ID]*Node
+}
+
+// NewTree returns an empty observer registry.
+func NewTree() *Tree {
+	return &Tree{nodes: make(map[repository.ID]*Node)}
+}
+
+// Node returns the observer for id, creating it on first use. Nil-safe:
+// a nil tree returns a nil observer.
+func (t *Tree) Node(id repository.ID) *Node {
+	if t == nil {
+		return nil
+	}
+	t.mu.RLock()
+	o := t.nodes[id]
+	t.mu.RUnlock()
+	if o != nil {
+		return o
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if o = t.nodes[id]; o == nil {
+		o = &Node{id: id}
+		t.nodes[id] = o
+	}
+	return o
+}
+
+// TracerOrNil returns the tree's tracer; nil-safe.
+func (t *Tree) TracerOrNil() *Tracer {
+	if t == nil {
+		return nil
+	}
+	return t.Tracer
+}
+
+// TreeSnapshot is the whole overlay's state at a point in time.
+type TreeSnapshot struct {
+	// NowMicros is the clock value the snapshot was taken at (the
+	// caller's time base).
+	NowMicros int64 `json:"nowMicros"`
+	// Nodes is sorted by id.
+	Nodes []NodeSnapshot `json:"nodes"`
+	// Traces carries the completed sampled update traces, if tracing is
+	// armed.
+	Traces []Trace `json:"traces,omitempty"`
+}
+
+// Snapshot captures every node (sorted by id) plus the sampled traces.
+// Nil-safe (empty snapshot).
+func (t *Tree) Snapshot(now int64) TreeSnapshot {
+	if t == nil {
+		return TreeSnapshot{NowMicros: now}
+	}
+	t.mu.RLock()
+	nodes := make([]*Node, 0, len(t.nodes))
+	for _, o := range t.nodes {
+		nodes = append(nodes, o)
+	}
+	t.mu.RUnlock()
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].id < nodes[j].id })
+	s := TreeSnapshot{NowMicros: now, Nodes: make([]NodeSnapshot, 0, len(nodes))}
+	for _, o := range nodes {
+		s.Nodes = append(s.Nodes, o.Snapshot(now))
+	}
+	if t.Tracer != nil {
+		s.Traces = t.Tracer.Traces()
+	}
+	return s
+}
+
+// Summary renders a one-line overview of the whole tree — totals across
+// every node plus the merged latency quantiles — for the CLIs' periodic
+// -obs-interval lines. now is the caller's clock in microseconds (it
+// drives the per-node load-EWMA folds, like Snapshot). Nil-safe.
+func (t *Tree) Summary(now int64) string {
+	if t == nil {
+		return "obs disabled"
+	}
+	snap := t.Snapshot(now)
+	var c Counters
+	for _, n := range snap.Nodes {
+		c.Received += n.Counters.Received
+		c.DepForwarded += n.Counters.DepForwarded
+		c.DepSuppressed += n.Counters.DepSuppressed
+		c.Redirects += n.Counters.Redirects
+		c.Migrations += n.Counters.Migrations
+	}
+	hop, src, _, viol := t.Merged()
+	s := fmt.Sprintf("obs: nodes=%d recv=%d fwd=%d supp=%d hop p50/p95/p99=%.1f/%.1f/%.1f ms src p99=%.1f ms",
+		len(snap.Nodes), c.Received, c.DepForwarded, c.DepSuppressed,
+		hop.P50Ms, hop.P95Ms, hop.P99Ms, src.P99Ms)
+	if c.Redirects+c.Migrations > 0 {
+		s += fmt.Sprintf(" redirects=%d migrations=%d", c.Redirects, c.Migrations)
+	}
+	if viol.Count > 0 {
+		s += fmt.Sprintf(" violations=%d (p95 %.1f ms)", viol.Count, viol.P95Ms)
+	}
+	return s
+}
+
+// Merged folds every node's histograms into overlay-wide aggregates —
+// the figure-level view (per-hop delay and source latency across the
+// whole tree). Nil-safe.
+func (t *Tree) Merged() (hop, srcLat, redirect, violation HistSnapshot) {
+	if t == nil {
+		return
+	}
+	var h, s, r, v Histogram
+	t.mu.RLock()
+	for _, o := range t.nodes {
+		h.Merge(&o.hop)
+		s.Merge(&o.srcLat)
+		r.Merge(&o.redirect)
+		v.Merge(&o.violation)
+	}
+	t.mu.RUnlock()
+	return h.Snapshot(), s.Snapshot(), r.Snapshot(), v.Snapshot()
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"d3t/internal/repository"
+)
+
+// Hop is one stamp on an update's path: the node it reached and the
+// clock reading there, in microseconds. All hops of one trace share a
+// time base — sim time on the simulated backends, wall-clock micros on
+// netio (one machine in tests, so stamps stay monotone along a path).
+type Hop struct {
+	Node repository.ID `json:"node"`
+	At   int64         `json:"atMicros"`
+}
+
+// Trace is one sampled update followed from the source through every
+// hop. On a fan-out tree the hop list is a preorder walk: each branch
+// appends below its parent's stamps, and timestamps are monotone along
+// every root-to-leaf path (not necessarily across branches).
+type Trace struct {
+	ID   uint64 `json:"id"`
+	Item string `json:"item"`
+	Hops []Hop  `json:"hops"`
+}
+
+// maxTraces bounds the completed-trace ring; maxOpen bounds the
+// in-flight table so an abandoned trace (a hop that never lands) cannot
+// grow memory without bound.
+const (
+	maxTraces = 256
+	maxOpen   = 1024
+)
+
+// Tracer samples every Nth published update and collects its per-hop
+// stamps. Sampling (Sample) and stamping (Hop) are cheap; completed
+// traces live in a bounded ring read by Traces. A nil *Tracer is a
+// no-op everywhere, so backends thread it unconditionally.
+type Tracer struct {
+	every uint64
+	seq   atomic.Uint64
+	ids   atomic.Uint64
+
+	mu   sync.Mutex
+	open map[uint64]*Trace
+	done []Trace // ring of completed/evicted traces, newest last
+}
+
+// NewTracer samples one update out of every `every` published (1 =
+// every update). every < 1 disables sampling (returns nil).
+func NewTracer(every int) *Tracer {
+	if every < 1 {
+		return nil
+	}
+	return &Tracer{every: uint64(every), open: make(map[uint64]*Trace)}
+}
+
+// Sample decides whether the next published update is traced. It
+// returns 0 (not sampled) or a fresh nonzero trace id whose first hop
+// is (node, at) — the stamp at the point of publication.
+func (t *Tracer) Sample(item string, node repository.ID, at int64) uint64 {
+	if t == nil {
+		return 0
+	}
+	if (t.seq.Add(1)-1)%t.every != 0 {
+		return 0
+	}
+	id := t.ids.Add(1)
+	tr := &Trace{ID: id, Item: item, Hops: []Hop{{Node: node, At: at}}}
+	t.mu.Lock()
+	if len(t.open) >= maxOpen {
+		// Evict everything in flight to the done ring rather than drop:
+		// partial traces still show where an update stalled.
+		for _, o := range t.open {
+			t.push(*o)
+		}
+		clear(t.open)
+	}
+	t.open[id] = tr
+	t.mu.Unlock()
+	return id
+}
+
+// Hop appends a stamp to an in-flight trace. Unknown ids (already
+// evicted, or recorded wholesale via Record) are ignored.
+func (t *Tracer) Hop(id uint64, node repository.ID, at int64) {
+	if t == nil || id == 0 {
+		return
+	}
+	t.mu.Lock()
+	if tr := t.open[id]; tr != nil {
+		tr.Hops = append(tr.Hops, Hop{Node: node, At: at})
+	}
+	t.mu.Unlock()
+}
+
+// Record stores a complete trace wholesale — the netio path, where each
+// node reconstructs the trace from the hop list carried on the wire
+// frame rather than stamping a shared in-memory object.
+func (t *Tracer) Record(tr Trace) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.push(tr)
+	t.mu.Unlock()
+}
+
+// push appends to the done ring, evicting the oldest past maxTraces.
+// Caller holds t.mu.
+func (t *Tracer) push(tr Trace) {
+	if len(t.done) >= maxTraces {
+		copy(t.done, t.done[1:])
+		t.done = t.done[:len(t.done)-1]
+	}
+	t.done = append(t.done, tr)
+}
+
+// Traces returns every collected trace — completed first (oldest to
+// newest), then the in-flight ones — with hop slices copied so callers
+// can hold them across further stamping. Nil-safe.
+func (t *Tracer) Traces() []Trace {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Trace, 0, len(t.done)+len(t.open))
+	for _, tr := range t.done {
+		out = append(out, Trace{ID: tr.ID, Item: tr.Item, Hops: append([]Hop(nil), tr.Hops...)})
+	}
+	for _, tr := range t.open {
+		out = append(out, Trace{ID: tr.ID, Item: tr.Item, Hops: append([]Hop(nil), tr.Hops...)})
+	}
+	inflight := out[len(out)-len(t.open):]
+	sort.Slice(inflight, func(i, j int) bool { return inflight[i].ID < inflight[j].ID })
+	return out
+}

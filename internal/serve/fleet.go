@@ -109,6 +109,10 @@ func NewFleet(net *netsim.Network, repos []*repository.Repository, opts Options)
 		}
 		f.alive[r.ID] = true
 		f.cores[i] = node.New(r, nil, node.Options{ServeOnly: true, SessionCap: opts.Cap})
+		// The serving core shares the repository's observer with the
+		// dissemination core of the same run (record paths are atomic),
+		// so one snapshot covers both roles of a repository.
+		f.cores[i].SetObs(opts.Obs.Node(r.ID))
 	}
 	if opts.Plan != nil {
 		for _, ft := range opts.Plan.Faults {
@@ -165,6 +169,21 @@ func (f *Fleet) Attach(c *repository.Client) (*Session, error) {
 	if target != s.candidates[0] {
 		s.redirected = true
 		f.stats.Redirects++
+		// The redirect is charged to the nearest repository (the one
+		// that turned the client away); its latency is the admission
+		// walk's cost — a round trip to every candidate tried, the
+		// target included.
+		if on := f.opts.Obs.Node(s.candidates[0]); on != nil {
+			var lat sim.Time
+			for _, cand := range s.candidates {
+				lat += 2 * f.net.Delay[s.Home][cand]
+				if cand == target {
+					break
+				}
+			}
+			on.Redirect1()
+			on.ObserveRedirectLatency(int64(lat))
+		}
 	}
 	c.Repo = target
 	f.sessions = append(f.sessions, s)
@@ -357,6 +376,7 @@ func (f *Fleet) ObserveCrash(now sim.Time, id repository.ID) {
 		if target := f.place(s, false); target != repository.NoID {
 			f.attach(s, target, now)
 			f.stats.Migrations++
+			f.opts.Obs.Node(target).Migrate1()
 		} else {
 			f.orphans[s] = true
 			f.stats.Orphaned++
@@ -376,6 +396,7 @@ func (f *Fleet) ObserveRejoin(now sim.Time, id repository.ID) {
 		if target := f.place(s, false); target != repository.NoID {
 			f.attach(s, target, now)
 			f.stats.Migrations++
+			f.opts.Obs.Node(target).Migrate1()
 		}
 	}
 }

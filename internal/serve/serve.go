@@ -37,6 +37,7 @@ import (
 
 	"d3t/internal/coherency"
 	"d3t/internal/netsim"
+	"d3t/internal/obs"
 	"d3t/internal/repository"
 	"d3t/internal/resilience"
 	"d3t/internal/sim"
@@ -52,6 +53,12 @@ type Options struct {
 	// session's departure and RejoinAt its re-arrival. Nil means every
 	// session stays for the whole run. See ParseSessionPlan.
 	Plan *resilience.Plan
+
+	// Obs, when set, collects the serving layer's per-repository
+	// counters (admits, redirects, migrations, resyncs, per-session
+	// deliver/filter decisions) and the redirect-latency histogram.
+	// Observation is passive.
+	Obs *obs.Tree
 }
 
 // Stats counts the serving layer's work and outcomes during one run.

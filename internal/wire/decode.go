@@ -7,6 +7,7 @@ import (
 	"math"
 
 	"d3t/internal/coherency"
+	"d3t/internal/obs"
 	"d3t/internal/repository"
 )
 
@@ -68,12 +69,16 @@ func (d *Decoder) Decode(f *Frame) error {
 		return fmt.Errorf("wire: unknown frame kind %d: %w", d.hdr[5], ErrMalformed)
 	}
 	flags := d.hdr[6]
-	if flags&^byte(flagResync) != 0 {
+	if flags&^byte(flagResync|flagTrace) != 0 {
 		return fmt.Errorf("wire: undefined flag bits %#x: %w", flags, ErrMalformed)
 	}
 	resync := flags&flagResync != 0
 	if resync && kind != KindHello && kind != KindUpdate {
 		return fmt.Errorf("wire: resync flag on a %v frame: %w", kind, ErrMalformed)
+	}
+	traced := flags&flagTrace != 0
+	if traced && (kind != KindUpdate || resync) {
+		return fmt.Errorf("wire: trace flag on a %s%v frame: %w", resyncPrefix(resync), kind, ErrMalformed)
 	}
 	if d.hdr[7] != 0 {
 		return fmt.Errorf("wire: non-zero reserved header byte %#x: %w", d.hdr[7], ErrMalformed)
@@ -99,6 +104,37 @@ func (d *Decoder) Decode(f *Frame) error {
 		f.Item = d.intern(raw)
 		if f.Value, err = c.f64(); err != nil {
 			return err
+		}
+		if traced {
+			if f.TraceID, err = c.u64(); err != nil {
+				return err
+			}
+			if f.TraceID == 0 {
+				return fmt.Errorf("wire: traced update with zero trace id: %w", ErrMalformed)
+			}
+			count, err := c.u16()
+			if err != nil {
+				return err
+			}
+			if int(count)*16 > c.remaining() {
+				return fmt.Errorf("wire: trace hop count %d outruns the %d body bytes: %w", count, c.remaining(), ErrMalformed)
+			}
+			// A fresh slice per traced frame: traces are sampled (rare) and
+			// their hop lists are retained by the tracer.
+			if count > 0 {
+				f.Hops = make([]obs.Hop, 0, count)
+			}
+			for i := 0; i < int(count); i++ {
+				node, err := c.u64()
+				if err != nil {
+					return err
+				}
+				at, err := c.u64()
+				if err != nil {
+					return err
+				}
+				f.Hops = append(f.Hops, obs.Hop{Node: repository.ID(int64(node)), At: int64(at)})
+			}
 		}
 	case KindBatch:
 		count, err := c.u32()

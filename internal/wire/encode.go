@@ -55,6 +55,17 @@ func AppendFrame(b []byte, f *Frame) ([]byte, error) {
 		}
 		flags = flagResync
 	}
+	if f.TraceID != 0 {
+		if f.Kind != KindUpdate || f.Resync {
+			return b, fmt.Errorf("wire: trace on a %s%v frame: %w", resyncPrefix(f.Resync), f.Kind, ErrMalformed)
+		}
+		if len(f.Hops) > math.MaxUint16 {
+			return b, fmt.Errorf("wire: %d trace hops exceed the uint16 count field: %w", len(f.Hops), ErrMalformed)
+		}
+		flags |= flagTrace
+	} else if len(f.Hops) != 0 {
+		return b, fmt.Errorf("wire: trace hops without a trace id: %w", ErrMalformed)
+	}
 	start := len(b)
 	b = append(b, 0, 0, 0, 0, Version, byte(f.Kind), flags, 0)
 	var err error
@@ -66,6 +77,14 @@ func AppendFrame(b []byte, f *Frame) ([]byte, error) {
 			return b, err
 		}
 		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f.Value))
+		if f.TraceID != 0 {
+			b = binary.LittleEndian.AppendUint64(b, f.TraceID)
+			b = binary.LittleEndian.AppendUint16(b, uint16(len(f.Hops)))
+			for i := range f.Hops {
+				b = binary.LittleEndian.AppendUint64(b, uint64(int64(f.Hops[i].Node)))
+				b = binary.LittleEndian.AppendUint64(b, uint64(f.Hops[i].At))
+			}
+		}
 	case KindBatch:
 		b = binary.LittleEndian.AppendUint32(b, uint32(len(f.Ups)))
 		for i := range f.Ups {
@@ -114,6 +133,14 @@ func AppendFrame(b []byte, f *Frame) ([]byte, error) {
 	}
 	binary.LittleEndian.PutUint32(b[start:start+4], uint32(n))
 	return b, nil
+}
+
+// resyncPrefix labels a frame kind in trace-misuse errors.
+func resyncPrefix(resync bool) string {
+	if resync {
+		return "resync "
+	}
+	return ""
 }
 
 // appendString appends the uint16 length prefix and bytes of s.

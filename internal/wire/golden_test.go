@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"d3t/internal/coherency"
+	"d3t/internal/obs"
 )
 
 // -update rewrites testdata/*.bin from the golden frame set. Run it
@@ -32,6 +33,10 @@ func goldenFrames() []struct {
 		{"hello_resync", Frame{Kind: KindHello, From: 3, Resync: true}},
 		{"update", Frame{Kind: KindUpdate, Item: "AAPL", Value: 142.25}},
 		{"update_resync", Frame{Kind: KindUpdate, Item: "MSFT", Value: 27.5, Resync: true}},
+		{"update_traced", Frame{Kind: KindUpdate, Item: "AAPL", Value: 142.25, TraceID: 9, Hops: []obs.Hop{
+			{Node: 0, At: 1_000_000},
+			{Node: 2, At: 1_004_500},
+		}}},
 		{"batch", Frame{Kind: KindBatch, Ups: []Update{
 			{Item: "AAPL", Value: 142.25},
 			{Item: "MSFT", Value: 27.5},
@@ -52,9 +57,15 @@ func goldenFrames() []struct {
 func frameEqual(a, b *Frame) bool {
 	if a.Kind != b.Kind || a.From != b.From || a.Item != b.Item ||
 		math.Float64bits(a.Value) != math.Float64bits(b.Value) ||
-		a.Resync != b.Resync || a.Name != b.Name ||
-		len(a.Wants) != len(b.Wants) || len(a.Addrs) != len(b.Addrs) || len(a.Ups) != len(b.Ups) {
+		a.Resync != b.Resync || a.Name != b.Name || a.TraceID != b.TraceID ||
+		len(a.Wants) != len(b.Wants) || len(a.Addrs) != len(b.Addrs) ||
+		len(a.Ups) != len(b.Ups) || len(a.Hops) != len(b.Hops) {
 		return false
+	}
+	for i := range a.Hops {
+		if a.Hops[i] != b.Hops[i] {
+			return false
+		}
 	}
 	for k, v := range a.Wants {
 		w, ok := b.Wants[k]

@@ -1,0 +1,138 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"d3t/internal/obs"
+)
+
+// TestTraceFlagRoundTrip exercises the flag-gated trace trailer: a
+// traced update survives encode→decode with id and hop stamps intact,
+// growing by one hop per simulated forwarding node, exactly as the
+// netio path relays it.
+func TestTraceFlagRoundTrip(t *testing.T) {
+	f := Frame{Kind: KindUpdate, Item: "AAPL", Value: 142.25, TraceID: 31, Hops: []obs.Hop{
+		{Node: 0, At: 100},
+	}}
+	for hop := 1; hop <= 4; hop++ {
+		b, err := AppendFrame(nil, &f)
+		if err != nil {
+			t.Fatalf("hop %d encode: %v", hop, err)
+		}
+		var dec Frame
+		if err := NewDecoder(bytes.NewReader(b)).Decode(&dec); err != nil {
+			t.Fatalf("hop %d decode: %v", hop, err)
+		}
+		if !frameEqual(&f, &dec) {
+			t.Fatalf("hop %d: decoded %+v, want %+v", hop, dec, f)
+		}
+		// The receiving node appends its stamp and forwards.
+		dec.Hops = append(dec.Hops, obs.Hop{Node: 2, At: dec.Hops[len(dec.Hops)-1].At + 50})
+		f = dec
+	}
+	if len(f.Hops) != 5 {
+		t.Fatalf("trace did not accumulate hops: %+v", f.Hops)
+	}
+	for i := 1; i < len(f.Hops); i++ {
+		if f.Hops[i].At < f.Hops[i-1].At {
+			t.Fatalf("non-monotone hop stamps: %+v", f.Hops)
+		}
+	}
+}
+
+// TestTraceFlagUntracedUnchanged pins the compat half of the flag-gated
+// extension rule: an untraced update must encode to exactly the bytes
+// it produced before the trace feature existed (the committed golden
+// vector), so pre-trace and post-trace peers interoperate as long as
+// tracing stays off.
+func TestTraceFlagUntracedUnchanged(t *testing.T) {
+	plain := Frame{Kind: KindUpdate, Item: "AAPL", Value: 142.25}
+	b, err := AppendFrame(nil, &plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[6] != 0 {
+		t.Fatalf("untraced update carries flags %#x", b[6])
+	}
+	traced := plain
+	traced.TraceID = 1
+	tb, err := AppendFrame(nil, &traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb[6]&flagTrace == 0 {
+		t.Fatalf("traced update lost its flag: %#x", tb[6])
+	}
+	// Body prefix (item + value) is identical; only the trailer differs.
+	if !bytes.Equal(tb[8:8+len(b)-8], b[8:]) {
+		t.Fatalf("trace trailer changed the update body prefix\nplain:  %x\ntraced: %x", b, tb)
+	}
+}
+
+// TestTraceFlagRejections pins every malformed combination around the
+// trace flag.
+func TestTraceFlagRejections(t *testing.T) {
+	// Encoding: trace on a non-update, on a resync update, hops without
+	// an id.
+	for _, f := range []Frame{
+		{Kind: KindBatch, TraceID: 5, Ups: []Update{{Item: "X", Value: 1}}},
+		{Kind: KindHello, From: 3, TraceID: 5},
+		{Kind: KindUpdate, Item: "X", Value: 1, Resync: true, TraceID: 5},
+		{Kind: KindUpdate, Item: "X", Value: 1, Hops: []obs.Hop{{Node: 1, At: 2}}},
+	} {
+		if _, err := AppendFrame(nil, &f); !errors.Is(err, ErrMalformed) {
+			t.Errorf("encode %+v: err=%v, want ErrMalformed", f, err)
+		}
+	}
+
+	good, err := AppendFrame(nil, &Frame{Kind: KindUpdate, Item: "X", Value: 1, TraceID: 7, Hops: []obs.Hop{{Node: 0, At: 9}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode := func(b []byte) error {
+		var f Frame
+		return NewDecoder(bytes.NewReader(b)).Decode(&f)
+	}
+
+	// Trace flag on a kind that cannot carry it.
+	hello, err := AppendFrame(nil, &Frame{Kind: KindHello, From: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), hello...)
+	bad[6] |= flagTrace
+	if err := decode(bad); !errors.Is(err, ErrMalformed) {
+		t.Errorf("trace flag on hello: err=%v, want ErrMalformed", err)
+	}
+
+	// Trace + resync on an update.
+	bad = append([]byte(nil), good...)
+	bad[6] |= flagResync
+	if err := decode(bad); !errors.Is(err, ErrMalformed) {
+		t.Errorf("trace+resync update: err=%v, want ErrMalformed", err)
+	}
+
+	// Zero trace id under the flag (non-canonical).
+	bad = append([]byte(nil), good...)
+	for i := 0; i < 8; i++ {
+		bad[8+2+1+8+i] = 0 // body: item len(2) + "X"(1) + value(8), then the id
+	}
+	if err := decode(bad); !errors.Is(err, ErrMalformed) {
+		t.Errorf("zero trace id: err=%v, want ErrMalformed", err)
+	}
+
+	// Hop count outrunning the body.
+	bad = append([]byte(nil), good...)
+	bad[8+2+1+8+8] = 0xff // hop count low byte
+	if err := decode(bad); !errors.Is(err, ErrMalformed) {
+		t.Errorf("hop count overrun: err=%v, want ErrMalformed", err)
+	}
+
+	// A truncated hop list (header promises more body than sent).
+	bad = append([]byte(nil), good...)
+	if err := decode(bad[:len(bad)-4]); err == nil {
+		t.Errorf("truncated trace decoded cleanly")
+	}
+}

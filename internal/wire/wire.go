@@ -14,7 +14,7 @@
 //	0       4     body length n (uint32, little-endian)
 //	4       1     version (currently 1)
 //	5       1     kind
-//	6       1     flags (bit 0 = resync; all other bits must be 0)
+//	6       1     flags (bit 0 = resync, bit 1 = trace; others must be 0)
 //	7       1     reserved (must be 0)
 //	8       n     body (per-kind layout below)
 //
@@ -41,6 +41,19 @@
 // push to a freshly admitted or migrated client session); it must be 0
 // on every other kind.
 //
+// The trace flag is meaningful only on a live (non-resync) update: it
+// marks a sampled update carrying its observability trace, and appends
+// a trace section after the update body:
+//
+//	update+trace  Item (string) · Value (float64) · TraceID (uint64,
+//	              nonzero) · count (uint16) · count × (Node (int64) ·
+//	              At (int64, microseconds))
+//
+// Each (Node, At) pair is one hop stamp accumulated upstream; the
+// receiver appends its own stamp before forwarding, so the hop list
+// down any root-to-leaf path is monotone in At. Untraced updates are
+// byte-identical with and without the feature compiled in.
+//
 // Decoding is strict: unknown versions, unknown kinds, non-zero
 // reserved bits, out-of-order subscribe entries, truncated fields and
 // trailing body bytes are all errors. Strictness buys a canonical
@@ -59,12 +72,20 @@
 // versions fail fast with ErrVersion instead of misparsing each other;
 // there is deliberately no in-band negotiation — the overlay is
 // deployed as a unit.
+//
+// One carve-out: a flag-gated trailer (like the trace section) does not
+// bump Version, because the byte stream of every frame not carrying the
+// flag is unchanged. A pre-trace peer receiving a traced frame rejects
+// it cleanly as an undefined flag bit (ErrMalformed) rather than
+// misparsing it — so tracing, like any future flag-gated extension, may
+// only be switched on once the whole overlay is upgraded.
 package wire
 
 import (
 	"errors"
 
 	"d3t/internal/coherency"
+	"d3t/internal/obs"
 	"d3t/internal/repository"
 )
 
@@ -82,8 +103,12 @@ const MaxFrameBytes = 16 << 20
 // flags, reserved.
 const headerSize = 8
 
-// flagResync is the one defined flag bit; all others must be zero.
-const flagResync = 1 << 0
+// The defined flag bits; all others must be zero. flagTrace is valid
+// only on a live (non-resync) update frame.
+const (
+	flagResync = 1 << 0
+	flagTrace  = 1 << 1
+)
 
 // Kind discriminates the frame set.
 type Kind uint8
@@ -145,6 +170,11 @@ type Frame struct {
 	Addrs []string
 	// Ups carries a multi-update batch on a batch frame.
 	Ups []Update
+	// TraceID and Hops carry the observability trace of a sampled
+	// update. A nonzero TraceID marks the frame traced (the trace flag
+	// on the wire); Hops are the per-hop stamps accumulated so far.
+	TraceID uint64
+	Hops    []obs.Hop
 }
 
 // Update is one (item, value) pair of a batch frame.

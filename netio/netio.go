@@ -24,6 +24,11 @@ type (
 	Client = inetio.Client
 	// ClientUpdate is one value pushed to a remote client session.
 	ClientUpdate = inetio.ClientUpdate
+	// ClusterOptions configures a cluster start's observability: the
+	// obs tree, the update-trace sampling rate, and the HTTP metrics
+	// address. The zero value disables all three (StartCluster's
+	// behavior).
+	ClusterOptions = inetio.ClusterOptions
 )
 
 // Start launches a single node.
@@ -40,4 +45,12 @@ func Subscribe(name string, wants map[string]d3t.Requirement, addrs ...string) (
 // before children, seeded with the initial values.
 func StartCluster(o *d3t.Overlay, initial map[string]float64) (*Cluster, error) {
 	return inetio.StartCluster(o, initial)
+}
+
+// StartClusterWith is StartCluster with observability armed: per-node
+// counters and latency histograms in opts.Obs, sampled update traces
+// every opts.TraceEvery publishes, and a cluster-wide HTTP metrics
+// endpoint on opts.MetricsAddr.
+func StartClusterWith(o *d3t.Overlay, initial map[string]float64, opts ClusterOptions) (*Cluster, error) {
+	return inetio.StartClusterWith(o, initial, opts)
 }

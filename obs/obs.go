@@ -1,0 +1,64 @@
+// Package obs exposes the observability layer shared by every runtime:
+// per-node decision counters, fixed-bucket latency histograms with
+// p50/p95/p99, per-edge delay and per-node load EWMAs, sampled update
+// traces, a leveled logger, and the HTTP metrics surface (/metrics JSON,
+// expvar, pprof). Observation is passive — a disabled (nil) tree is a
+// zero-allocation no-op on every record path. See d3t/internal/obs for
+// the implementation.
+package obs
+
+import (
+	"io"
+
+	iobs "d3t/internal/obs"
+)
+
+type (
+	// Tree is the per-overlay observer registry, handing out one Node
+	// observer per repository. A nil *Tree disables observation.
+	Tree = iobs.Tree
+	// Node is one repository's observer.
+	Node = iobs.Node
+	// TreeSnapshot and NodeSnapshot are the point-in-time JSON-friendly
+	// views Snapshot() returns; latencies are in milliseconds.
+	TreeSnapshot = iobs.TreeSnapshot
+	NodeSnapshot = iobs.NodeSnapshot
+	// Counters is a node's decision-counter snapshot.
+	Counters = iobs.Counters
+	// HistSnapshot is a histogram's quantile view.
+	HistSnapshot = iobs.HistSnapshot
+	// Tracer samples update traces; Trace is one sampled update's journey
+	// and Hop one stamped arrival on it.
+	Tracer = iobs.Tracer
+	Trace  = iobs.Trace
+	Hop    = iobs.Hop
+	// Logger is the leveled logger the CLIs and sweep runner share.
+	Logger = iobs.Logger
+	// Level selects how much a Logger emits.
+	Level = iobs.Level
+	// MetricsServer is the HTTP export surface behind -metrics-addr.
+	MetricsServer = iobs.MetricsServer
+)
+
+// Logging levels.
+const (
+	LevelQuiet = iobs.LevelQuiet
+	LevelInfo  = iobs.LevelInfo
+	LevelDebug = iobs.LevelDebug
+)
+
+// NewTree returns an empty observer registry.
+func NewTree() *Tree { return iobs.NewTree() }
+
+// NewTracer samples every nth published update (n < 1 disables tracing).
+func NewTracer(every int) *Tracer { return iobs.NewTracer(every) }
+
+// NewLogger writes lines at or below level to w; a LevelQuiet logger is
+// the nil discard logger.
+func NewLogger(w io.Writer, level Level) *Logger { return iobs.NewLogger(w, level) }
+
+// ServeMetrics binds addr and serves /metrics (the caller's snapshot as
+// JSON), /debug/vars and /debug/pprof/* in the background.
+func ServeMetrics(addr string, snapshot func() any) (*MetricsServer, error) {
+	return iobs.ServeMetrics(addr, snapshot)
+}
