@@ -14,6 +14,10 @@
 //
 // Benchmarks faster than -min-ns in the baseline are reported but never
 // trip: at smoke benchtimes their single-iteration timings are noise.
+// Benchmarks present only in the current run — freshly added, not yet in
+// the committed baseline — are reported as "new (no baseline)" and
+// excluded from the verdict, so adding a benchmark never trips the
+// guardrail before the baseline is refreshed.
 //
 // Every run prints a per-benchmark delta table (name, old, new,
 // normalized delta %). Exit status distinguishes the outcomes: 0 when
@@ -113,26 +117,45 @@ func parseFile(path string) (map[string]float64, error) {
 
 // verdict is one benchmark's comparison. tripped means the normalized
 // ratio left the tolerance band in either direction; regressed and
-// improved record which.
+// improved record which. isNew marks a benchmark present in the current
+// run but absent from the baseline: it is reported but carries no
+// verdict — a freshly added benchmark has nothing to regress against,
+// and must not distort the comparison of the shared set.
 type verdict struct {
 	name                string
 	base, cur           float64
 	ratio, normalized   float64
 	tripped, tooSmall   bool
 	regressed, improved bool
+	isNew               bool
 }
 
-// compare evaluates every benchmark present in both runs.
+// compare evaluates every benchmark present in both runs, and appends
+// verdict-free "new (no baseline)" rows for benchmarks only the current
+// run has.
 func compare(base, cur map[string]float64, tolerance, minNs float64, normalize bool) []verdict {
-	var names []string
+	var names, fresh []string
 	for name := range base {
 		if _, ok := cur[name]; ok {
 			names = append(names, name)
 		}
 	}
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			fresh = append(fresh, name)
+		}
+	}
 	sort.Strings(names)
-	if len(names) == 0 {
+	sort.Strings(fresh)
+	if len(names) == 0 && len(fresh) == 0 {
 		return nil
+	}
+	if len(names) == 0 {
+		out := make([]verdict, 0, len(fresh))
+		for _, name := range fresh {
+			out = append(out, verdict{name: name, cur: cur[name], isNew: true})
+		}
+		return out
 	}
 	ratios := make([]float64, 0, len(names))
 	for _, name := range names {
@@ -173,6 +196,9 @@ func compare(base, cur map[string]float64, tolerance, minNs float64, normalize b
 			v.tripped = v.regressed || v.improved
 		}
 		out = append(out, v)
+	}
+	for _, name := range fresh {
+		out = append(out, verdict{name: name, cur: cur[name], isNew: true})
 	}
 	return out
 }
@@ -216,13 +242,26 @@ func main() {
 		dropMatching(cur, re)
 	}
 	verdicts := compare(base, cur, *tolerance, *minNs, !*noNormalize)
-	if len(verdicts) == 0 {
+	shared, added := 0, 0
+	for _, v := range verdicts {
+		if v.isNew {
+			added++
+		} else {
+			shared++
+		}
+	}
+	if shared == 0 {
 		fmt.Fprintln(os.Stderr, "benchdiff: no shared benchmarks between the two files")
 		os.Exit(2)
 	}
 	regressed, improved := 0, 0
 	fmt.Printf("%-60s %12s %12s %8s  %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "status")
 	for _, v := range verdicts {
+		if v.isNew {
+			fmt.Printf("%-60s %12s %12.0f %8s  %s\n",
+				v.name, "-", v.cur, "-", "new (no baseline)")
+			continue
+		}
 		status := "ok"
 		switch {
 		case v.regressed:
@@ -237,8 +276,8 @@ func main() {
 		fmt.Printf("%-60s %12.0f %12.0f %+7.1f%%  %s\n",
 			v.name, v.base, v.cur, (v.normalized-1)*100, status)
 	}
-	fmt.Printf("benchdiff: %d shared benchmarks, %d regressed, %d improved beyond ±%.0f%% (normalized delta shown)\n",
-		len(verdicts), regressed, improved, *tolerance*100)
+	fmt.Printf("benchdiff: %d shared benchmarks (%d new, excluded), %d regressed, %d improved beyond ±%.0f%% (normalized delta shown)\n",
+		shared, added, regressed, improved, *tolerance*100)
 	switch {
 	case regressed > 0:
 		os.Exit(1) // regressions dominate: fail the guardrail

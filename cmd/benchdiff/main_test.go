@@ -45,8 +45,8 @@ func TestCompareNormalizes(t *testing.T) {
 	// regressed 4x — and D, which is below min-ns and must never trip.
 	cur := map[string]float64{"A": 20e6, "B": 40e6, "C": 120e6, "D": 50e3, "onlyCur": 1e6}
 	vs := compare(base, cur, 0.30, 1e6, true)
-	if len(vs) != 4 {
-		t.Fatalf("compared %d benchmarks, want 4 shared", len(vs))
+	if len(vs) != 5 {
+		t.Fatalf("compared %d benchmarks, want 4 shared + 1 new", len(vs))
 	}
 	byName := map[string]verdict{}
 	for _, v := range vs {
@@ -60,6 +60,48 @@ func TestCompareNormalizes(t *testing.T) {
 	}
 	if byName["D"].tripped || !byName["D"].tooSmall {
 		t.Errorf("sub-min-ns benchmark handled wrong: %+v", byName["D"])
+	}
+	if v := byName["onlyCur"]; !v.isNew || v.tripped {
+		t.Errorf("baseline-less benchmark not reported as new: %+v", v)
+	}
+	if v, ok := byName["onlyBase"]; ok {
+		t.Errorf("baseline-only benchmark reported: %+v", v)
+	}
+}
+
+func TestCompareNewExcludedFromVerdict(t *testing.T) {
+	// A freshly added benchmark — present only in the current run — is
+	// reported as new and must neither trip nor skew the shared set's
+	// median normalization, even at an extreme timing.
+	base := map[string]float64{"A": 10e6, "B": 20e6, "C": 30e6}
+	cur := map[string]float64{"A": 10e6, "B": 20e6, "C": 30e6, "BenchmarkQueryEval": 900e6}
+	byName := map[string]verdict{}
+	for _, v := range compare(base, cur, 0.30, 1e6, true) {
+		byName[v.name] = v
+	}
+	q, ok := byName["BenchmarkQueryEval"]
+	if !ok {
+		t.Fatal("new benchmark missing from report")
+	}
+	if !q.isNew || q.tripped || q.regressed || q.improved {
+		t.Errorf("new benchmark carries a verdict: %+v", q)
+	}
+	if q.cur != 900e6 || q.base != 0 {
+		t.Errorf("new benchmark row mangled: %+v", q)
+	}
+	for _, name := range []string{"A", "B", "C"} {
+		if v := byName[name]; v.tripped || v.isNew {
+			t.Errorf("shared benchmark %s disturbed by new row: %+v", name, v)
+		}
+	}
+}
+
+func TestCompareOnlyNew(t *testing.T) {
+	// No shared benchmarks at all: every row is new, none trips — main
+	// still refuses the comparison (exit 2) but compare must not panic.
+	vs := compare(map[string]float64{"gone": 1e6}, map[string]float64{"fresh": 2e6}, 0.30, 1e6, true)
+	if len(vs) != 1 || !vs[0].isNew || vs[0].tripped || vs[0].name != "fresh" {
+		t.Fatalf("disjoint runs compared wrong: %+v", vs)
 	}
 }
 

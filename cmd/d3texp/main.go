@@ -21,10 +21,18 @@ import (
 
 	"d3t/internal/core"
 	"d3t/internal/obs"
+	"d3t/internal/query"
 	"d3t/internal/trace"
 )
 
+// querySpecs collects the repeatable -query flag.
+type querySpecs []string
+
+func (q *querySpecs) String() string     { return fmt.Sprint([]string(*q)) }
+func (q *querySpecs) Set(s string) error { *q = append(*q, s); return nil }
+
 func main() {
+	var queries querySpecs
 	var (
 		fig      = flag.String("fig", "all", "figure id to regenerate, or 'all'")
 		scale    = flag.String("scale", "small", "experiment scale: 'small' or 'paper'")
@@ -49,7 +57,14 @@ func main() {
 		timings  = flag.Bool("time", false, "print elapsed time per figure")
 		asCSV    = flag.Bool("csv", false, "emit machine-readable CSV instead of tables")
 	)
+	flag.Var(&queries, "query", "derived-data query spec applied to every sweep point, repeatable (the query figures override it per point) — e.g. 'avg(w=5;ITEM000,ITEM001)@0.05'")
 	flag.Parse()
+	if len(queries) > 0 {
+		if _, err := query.ParseList(queries); err != nil {
+			fmt.Fprintf(os.Stderr, "d3texp: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	level := obs.LevelInfo
 	if *verbose || *progress {
@@ -112,6 +127,7 @@ func main() {
 	s.SessionCap = *cap
 	s.Shards = *shards
 	s.BatchTicks = *batch
+	s.Queries = queries
 
 	// One runner for every figure: its network/trace caches carry across
 	// figures (most share the base-case substrates), and its worker pool

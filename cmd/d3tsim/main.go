@@ -18,11 +18,19 @@ import (
 
 	"d3t/internal/core"
 	"d3t/internal/obs"
+	"d3t/internal/query"
 	"d3t/internal/trace"
 )
 
+// querySpecs collects the repeatable -query flag.
+type querySpecs []string
+
+func (q *querySpecs) String() string     { return strings.Join(*q, " ") }
+func (q *querySpecs) Set(s string) error { *q = append(*q, s); return nil }
+
 func main() {
 	cfg := core.Default()
+	var queries querySpecs
 	var (
 		verbose     = flag.Bool("v", false, "debug logging on stderr")
 		quiet       = flag.Bool("quiet", false, "suppress informational logging")
@@ -56,8 +64,16 @@ func main() {
 	flag.IntVar(&cfg.SessionCap, "session-cap", cfg.SessionCap, "sessions per repository before overflow redirects (0 = unlimited)")
 	flag.StringVar(&cfg.SessionChurn, "session-churn", cfg.SessionChurn,
 		"session arrival/departure plan, same grammar as -faults over the client population")
+	flag.Var(&queries, "query", "derived-data query spec, repeatable — e.g. 'avg(w=5;ITEM000,ITEM001,ITEM002)@0.05' or 'diff(ITEM000,ITEM001)@0.1!client'")
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
 	flag.Parse()
+	if len(queries) > 0 {
+		if _, err := query.ParseList(queries); err != nil {
+			fmt.Fprintf(os.Stderr, "d3tsim: %v\n", err)
+			os.Exit(2)
+		}
+		cfg.Queries = append(cfg.Queries, queries...)
+	}
 
 	level := obs.LevelInfo
 	if *verbose {
@@ -144,6 +160,14 @@ func main() {
 			fmt.Printf("session churn       %d departures, %d arrivals, %d migrations, %d orphaned (%d resync values)\n",
 				c.Departures, c.Arrivals, c.Migrations, c.Orphaned, c.Resyncs)
 		}
+	}
+	if qs := out.Queries; qs != nil {
+		fmt.Printf("query sessions      %d\n", qs.Queries)
+		fmt.Printf("query fidelity      %.4f mean, %.4f worst (loss %.2f%%, input floor %.4f)\n",
+			qs.MeanFidelity, qs.WorstFidelity, qs.LossPercent, qs.MeanInputFloor)
+		fmt.Printf("query work          %d evals, %d recomputes\n", qs.Evals, qs.Recomputes)
+		fmt.Printf("query messages      %d placement-charged (%d input pushes, %d result pushes, %d resyncs)\n",
+			qs.Messages, qs.InputPushes, qs.ResultPushes, qs.Resyncs)
 	}
 	if snap := out.Obs; snap != nil {
 		hop, src, red, viol := cfg.Obs.Merged()

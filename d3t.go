@@ -30,6 +30,14 @@
 //     across parallel workers and coalesce update bursts into batches —
 //     the same partition drives the simulator, live's per-shard batch
 //     channels, and netio's multi-update frames.
+//   - Derived-data queries: Config.Queries (and the Query building
+//     blocks) subscribe clients to *derived* values — windowed
+//     aggregates, joins, filters — with a tolerance cQ on the result;
+//     tolerance allocation translates cQ into per-input tolerances the
+//     Eq. 3+7 machinery enforces, so coherent inputs provably imply a
+//     coherent result. All three runtimes serve query sessions
+//     (ClientFleet.AttachQueries, live SubscribeQuery, netio
+//     SubscribeQuery).
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // paper-versus-measured record.
@@ -42,6 +50,7 @@ import (
 	"d3t/internal/ingest"
 	"d3t/internal/netsim"
 	"d3t/internal/node"
+	"d3t/internal/query"
 	"d3t/internal/repository"
 	"d3t/internal/resilience"
 	"d3t/internal/serve"
@@ -398,3 +407,63 @@ func NewClientFleet(net *Network, repos []*Repository, opts FleetOptions) (*Clie
 func ParseSessionPlan(spec string, sessions, ticks int, interval Time, seed int64) (*FaultPlan, error) {
 	return serve.ParseSessionPlan(spec, sessions, ticks, interval, seed)
 }
+
+// Query layer -----------------------------------------------------------
+
+type (
+	// Query is one continuous derived-data query: an operator (windowed
+	// sum/avg/min/max aggregate, diff/ratio join, optional filter
+	// predicate) over input items, with a client tolerance cQ on the
+	// result. Query.Wants() is the tolerance allocation: the per-input
+	// subscription that makes coherent inputs imply a coherent result.
+	Query = query.Query
+	// QueryKind is the query's combining operator.
+	QueryKind = query.Kind
+	// QueryPred is the optional Filter(pred) stage gating publication.
+	QueryPred = query.Pred
+	// QueryPlacement selects repository-side (default) or client-side
+	// evaluation.
+	QueryPlacement = query.Placement
+	// QueryEval is a query's incremental evaluator: current input copies,
+	// the window ring of per-tick aggregates, and eval/recompute counters.
+	QueryEval = query.Eval
+	// QueryServed is one query session served by a ClientFleet
+	// (ClientFleet.AttachQueries / QuerySession / QuerySessions).
+	QueryServed = serve.QuerySession
+	// QueryOutcome is one query's measured result (fidelity, input floor,
+	// message tallies); QueryServingStats aggregates the catalogue
+	// (Outcome.Queries carries one when Config.Queries is set).
+	QueryOutcome      = serve.QueryOutcome
+	QueryServingStats = serve.QueryStats
+)
+
+// Query operators.
+const (
+	QuerySum   = query.Sum
+	QueryAvg   = query.Avg
+	QueryMin   = query.Min
+	QueryMax   = query.Max
+	QueryDiff  = query.Diff
+	QueryRatio = query.Ratio
+)
+
+// Query placements.
+const (
+	QueryPlaceRepo   = query.PlaceRepo
+	QueryPlaceClient = query.PlaceClient
+)
+
+// ParseQuery builds a query from its spec string, e.g.
+// "avg(w=5;ITEM000,ITEM001,ITEM002)@0.05" or
+// "diff(ITEM000,ITEM001)>0@0.1!client". The returned query has no Name;
+// callers assign one. The same grammar feeds Config.Queries and the
+// -query command flags.
+func ParseQuery(spec string) (Query, error) { return query.Parse(spec) }
+
+// ParseQueryList parses a list of specs and names them q0, q1, ...
+func ParseQueryList(specs []string) ([]Query, error) { return query.ParseList(specs) }
+
+// NewQueryEval builds the incremental evaluator for a validated query —
+// the building block for custom runtimes; the live and netio runtimes
+// embed one per query session (SubscribeQuery).
+func NewQueryEval(q Query) *QueryEval { return query.NewEval(q) }

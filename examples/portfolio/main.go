@@ -1,0 +1,75 @@
+// Portfolio: the derived-data query layer end to end. A client watching
+// a portfolio does not care whether MSFT's cached copy is within a cent
+// — it cares that the *portfolio average* is, and that the MSFT−SUNW
+// spread it trades on is. Each query here carries a tolerance cQ on its
+// result; tolerance allocation (Lipschitz sensitivity per operator)
+// translates cQ into per-input tolerances the ordinary Eq. 3+7 pipeline
+// enforces, so coherent inputs provably imply a coherent result — the
+// union-bound floor printed next to each measured fidelity. (The floor
+// argument is per-tick, so it is airtight for window-1 queries; a
+// windowed extremum carries slots a window's worth of ticks old and can
+// dip below it transiently, as the w=10 max row shows.)
+//
+// The second run re-places the same catalogue at the client (the
+// "!client" suffix): instead of the serving repository evaluating and
+// pushing only result changes, every input delivery travels the last hop
+// and the client recombines. Same result stream, different message cost
+// — the trade the placement column shows.
+//
+//	go run ./examples/portfolio
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"d3t"
+)
+
+func main() {
+	catalogue := []string{
+		"avg(w=5;ITEM000,ITEM001,ITEM002)@0.05", // portfolio average, 5-tick window
+		"sum(ITEM000,ITEM001,ITEM002)@0.15",     // portfolio value
+		"diff(ITEM003,ITEM004)@0.04",            // a spread between two tickers
+		"max(w=10;ITEM005,ITEM006,ITEM007)@0.1", // windowed high across a group
+		"diff(ITEM003,ITEM004)>0@0.04",          // the spread, filtered: publish only while positive
+	}
+
+	base := d3t.DefaultConfig()
+	base.Repositories, base.Routers = 30, 90
+	base.Items, base.Ticks = 10, 900
+	base.Seed = 7
+	base.Queries = catalogue
+
+	clientSide := base
+	clientSide.Queries = make([]string, len(catalogue))
+	for i, spec := range catalogue {
+		clientSide.Queries[i] = spec + "!client"
+	}
+
+	runner := d3t.NewSweepRunner(0)
+	outs, err := runner.RunAll([]d3t.Config{base, clientSide})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("query                                     placement  fidelity  floor   msgs (in/res/resync)")
+	for run, placement := range []string{"repo", "client"} {
+		for _, q := range outs[run].Queries.PerQuery {
+			cost := q.ResultPushes
+			if placement == "client" {
+				cost = q.InputPushes + q.Resyncs
+			}
+			fmt.Printf("%-41s %-10s %.4f    %.4f  %-4d (%d/%d/%d)\n",
+				q.Spec, placement, q.Fidelity, q.InputFloor,
+				cost, q.InputPushes, q.ResultPushes, q.Resyncs)
+		}
+	}
+
+	repo, client := outs[0].Queries, outs[1].Queries
+	fmt.Printf("\nboth placements run the identical evaluation (%d evals, %d recomputes each);\n",
+		repo.Evals, repo.Recomputes)
+	fmt.Printf("repository-side evaluation shipped %d result changes over the last hop where\n", repo.Messages)
+	fmt.Printf("client-side recombination shipped %d raw input deliveries — the inputs already\n", client.Messages)
+	fmt.Printf("flow to the serving repository, so evaluating there is the cheap default.\n")
+}

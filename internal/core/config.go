@@ -11,6 +11,7 @@ import (
 	"d3t/internal/ingest"
 	"d3t/internal/netsim"
 	"d3t/internal/obs"
+	"d3t/internal/query"
 	"d3t/internal/repository"
 	"d3t/internal/resilience"
 	"d3t/internal/serve"
@@ -96,6 +97,15 @@ type Config struct {
 	// SessionChurn schedules session arrivals/departures (same grammar as
 	// Faults, over the session population — see serve.ParseSessionPlan).
 	SessionChurn string
+
+	// Queries is the continuous derived-data query catalogue: each spec
+	// (see query.Parse; e.g. "avg(w=5;ITEM000,ITEM001)@0.05") becomes a
+	// query session evaluated at its serving repository, its per-input
+	// tolerances derived from the result tolerance by the allocation
+	// rules and folded into DeriveNeeds alongside any client population.
+	// The outcome then carries Outcome.Queries. Empty disables the layer
+	// (and leaves every figure byte-identical to a build without it).
+	Queries []string
 
 	// Shards hash-partitions the data items across a parallel ingest
 	// worker pool (internal/ingest): each shard runs the disjoint item
@@ -203,11 +213,22 @@ func (c Config) Validate() error {
 	if _, err := c.sessionPlan(); err != nil {
 		return err
 	}
+	if _, err := c.queries(); err != nil {
+		return err
+	}
 	return nil
 }
 
 // ClientsEnabled reports whether the run serves a client population.
 func (c Config) ClientsEnabled() bool { return c.Clients > 0 }
+
+// QueriesEnabled reports whether the run serves derived-data queries.
+func (c Config) QueriesEnabled() bool { return len(c.Queries) > 0 }
+
+// queries parses the configured query catalogue (named q0, q1, ...).
+func (c Config) queries() ([]query.Query, error) {
+	return query.ParseList(c.Queries)
+}
 
 // ingestConfig converts the sharding/batching fields.
 func (c Config) ingestConfig() ingest.Config {
@@ -221,7 +242,8 @@ func (c Config) ingestConfig() ingest.Config {
 // single-threaded fleet observer), so those runs keep the sequential
 // path and ignore the ingest fields.
 func (c Config) IngestEnabled() bool {
-	return c.ingestConfig().Enabled() && !c.Queueing && !c.FaultsEnabled() && !c.ClientsEnabled()
+	return c.ingestConfig().Enabled() && !c.Queueing && !c.FaultsEnabled() &&
+		!c.ClientsEnabled() && !c.QueriesEnabled()
 }
 
 // sessionPlan parses the configured session-churn plan (nil when clients

@@ -41,6 +41,11 @@ type Outcome struct {
 	// fidelity, redirect/migration counters, per-session fan-out work;
 	// nil when the run had Clients disabled.
 	Clients *serve.Stats
+	// Queries carries the derived-data query layer's outcome —
+	// result-level fidelity against the allocation's union-bound floor,
+	// eval/recompute counters and per-placement message costs; nil when
+	// the run had Queries disabled.
+	Queries *serve.QueryStats
 	// Ingest carries the sharded/batched ingest pipeline's throughput and
 	// coalescing stats; nil when the run used the plain sequential path
 	// (Shards <= 1 and BatchTicks <= 1, or a run the ingest layer does
@@ -88,24 +93,58 @@ func runExperimentWith(cfg Config, net *netsim.Network, traces []*trace.Trace) (
 	// the most stringent across its clients.
 	var repos []*repository.Repository
 	var fleet *serve.Fleet
-	if cfg.ClientsEnabled() {
+	if cfg.ClientsEnabled() || cfg.QueriesEnabled() {
 		repos = cfg.bareRepositories()
-		clients, err := cfg.clients(itemCatalogue(traces))
-		if err != nil {
-			return nil, err
+		catalogue := itemCatalogue(traces)
+		var clients []*repository.Client
+		if cfg.ClientsEnabled() {
+			var err error
+			clients, err = cfg.clients(catalogue)
+			if err != nil {
+				return nil, err
+			}
 		}
 		plan, err := cfg.sessionPlan()
 		if err != nil {
 			return nil, err
 		}
-		fleet, err = serve.NewFleet(net, repos, serve.Options{Cap: cfg.SessionCap, Plan: plan, Obs: cfg.Obs})
+		queries, err := cfg.queries()
+		if err != nil {
+			return nil, err
+		}
+		known := make(map[string]bool, len(catalogue))
+		for _, x := range catalogue {
+			known[x] = true
+		}
+		for _, q := range queries {
+			for _, x := range q.Items {
+				if !known[x] {
+					return nil, fmt.Errorf("core: query %q watches unknown item %q", q.Name, x)
+				}
+			}
+		}
+		interval := cfg.TickInterval
+		if interval <= 0 {
+			interval = sim.Second
+		}
+		fleet, err = serve.NewFleet(net, repos, serve.Options{
+			Cap: cfg.SessionCap, Plan: plan, Obs: cfg.Obs,
+			Queries: queries, Interval: interval,
+		})
 		if err != nil {
 			return nil, err
 		}
 		if err := fleet.AttachAll(clients); err != nil {
 			return nil, err
 		}
-		if err := repository.DeriveNeeds(repos, clients); err != nil {
+		// Query sessions fold into need derivation as synthetic clients:
+		// the overlay then provably serves every query input at least as
+		// stringently as the tolerance allocation demands.
+		qclients, err := fleet.AttachQueries()
+		if err != nil {
+			return nil, err
+		}
+		if err := repository.DeriveNeeds(repos, append(append([]*repository.Client(nil), clients...), qclients...)); err != nil {
 			return nil, err
 		}
 	} else {
@@ -202,9 +241,16 @@ func runExperimentWith(cfg Config, net *netsim.Network, traces []*trace.Trace) (
 	}
 
 	var clientStats *serve.Stats
+	var queryStats *serve.QueryStats
 	if fleet != nil {
 		st := fleet.Finalize(res.Horizon)
-		clientStats = &st
+		if cfg.ClientsEnabled() {
+			clientStats = &st
+		}
+		if cfg.QueriesEnabled() {
+			qst := fleet.FinalizeQueries(res.Horizon)
+			queryStats = &qst
+		}
 	}
 
 	var obsSnap *obs.TreeSnapshot
@@ -224,6 +270,7 @@ func runExperimentWith(cfg Config, net *netsim.Network, traces []*trace.Trace) (
 		SourceUtilization: res.SourceUtilization,
 		Resilience:        resStats,
 		Clients:           clientStats,
+		Queries:           queryStats,
 		Ingest:            ingestStats,
 		Obs:               obsSnap,
 	}, nil

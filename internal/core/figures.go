@@ -56,6 +56,8 @@ func Figures() map[string]FigureFunc {
 		"clients-churn":     FigureClientChurn,
 		"obs-latency":       FigureObsLatency,
 		"obs-load":          FigureObsLoad,
+		"query-fidelity":    FigureQueryFidelity,
+		"query-cost":        FigureQueryCost,
 	}
 }
 

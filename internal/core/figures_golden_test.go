@@ -1,0 +1,91 @@
+package core
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The goldens under testdata/figures were rendered before the query
+// layer existed; regenerate with -update-figure-goldens only for an
+// intentional, reviewed output change.
+var updateFigureGoldens = flag.Bool("update-figure-goldens", false,
+	"rewrite testdata/figures/*.golden from the current figure output")
+
+// TestQueryDisabledByteIdentical pins the passive contract of the query
+// layer: with Config.Queries unset (the default — tinyScale sets no
+// query specs), every pre-existing registry figure renders byte-identical
+// to the goldens captured before the query subsystem landed. Attaching
+// derived-data queries reshapes repository needs and the overlay, so the
+// layer must be provably inert when unused — the same contract
+// TestObsDisabledByteIdentical enforces for observability.
+func TestQueryDisabledByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweeps are slow")
+	}
+	registry := Figures()
+	goldens, err := filepath.Glob(filepath.Join("testdata", "figures", "*.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !*updateFigureGoldens && len(goldens) == 0 {
+		t.Fatal("no figure goldens; run with -update-figure-goldens first")
+	}
+	covered := make(map[string]bool)
+	for _, path := range goldens {
+		covered[figureIDFromGolden(path)] = true
+	}
+	for id, fn := range registry {
+		if isQueryFigure(id) {
+			continue // born with the query layer: no pre-query golden exists
+		}
+		if !*updateFigureGoldens && !covered[id] {
+			t.Errorf("figure %s has no golden; run with -update-figure-goldens", id)
+			continue
+		}
+		id, fn := id, fn
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			fig, err := fn(tinyScale())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := fig.Fprint(&buf); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "figures", id+".golden")
+			if *updateFigureGoldens {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("figure %s output drifted from its pre-query golden:\n--- golden ---\n%s\n--- got ---\n%s",
+					id, want, buf.Bytes())
+			}
+		})
+	}
+}
+
+// figureIDFromGolden maps testdata/figures/<id>.golden back to the id.
+func figureIDFromGolden(path string) string {
+	base := filepath.Base(path)
+	return base[:len(base)-len(".golden")]
+}
+
+// isQueryFigure reports whether the figure id belongs to the query layer
+// itself (those figures require Queries set and have no pre-query form).
+func isQueryFigure(id string) bool {
+	return id == "query-fidelity" || id == "query-cost"
+}

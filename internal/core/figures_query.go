@@ -1,0 +1,123 @@
+package core
+
+import "fmt"
+
+// This file holds the derived-data query evaluation: continuous queries
+// (internal/query) subscribe to *derived* values — portfolio averages,
+// spreads, windowed extrema — with a tolerance cQ on the result, and the
+// allocation rules translate cQ into per-input tolerances the ordinary
+// DeriveNeeds/Eq. 3+7 pipeline enforces. The fidelity figure checks the
+// guarantee that buys (result fidelity never below the union-bound floor
+// the input fidelities imply); the cost figure measures the message-cost
+// trade between repository-side and client-side evaluation.
+
+// queryToleranceGrid is the cQ sweep — the result-tolerance x-axis of
+// both query figures. The stocks traces walk a $1 band in cent steps, so
+// the grid spans "almost exact" to "most updates filtered".
+var queryToleranceGrid = []float64{0.02, 0.05, 0.1, 0.2, 0.4}
+
+// queryCatalogue builds the sweep's query set over the stocks items at
+// result tolerance cQ: one of each aggregate family, all window 1, so
+// the union-bound floor argument is airtight per tick (windowed results
+// inherit it through the 1-Lipschitz combiners). Item indices wrap so
+// tiny scales still resolve every input.
+func queryCatalogue(items int, cq float64) []string {
+	it := func(i int) string { return fmt.Sprintf("ITEM%03d", i%items) }
+	return []string{
+		fmt.Sprintf("avg(%s,%s,%s)@%g", it(0), it(1), it(2), cq),
+		fmt.Sprintf("sum(%s,%s)@%g", it(3), it(4), cq),
+		fmt.Sprintf("min(%s,%s,%s)@%g", it(5), it(6), it(7), cq),
+		fmt.Sprintf("max(%s,%s,%s)@%g", it(5), it(6), it(7), cq),
+		fmt.Sprintf("diff(%s,%s)@%g", it(8), it(9), cq),
+	}
+}
+
+// FigureQueryFidelity sweeps the result tolerance cQ and plots the mean
+// result-level fidelity against the mean union-bound floor the measured
+// input fidelities imply (result fidelity ≥ 1 − Σᵢ(1 − fᵢ)): the
+// allocation rules are doing their job exactly when the result curve
+// stays on or above the floor curve.
+func FigureQueryFidelity(s Scale) (*FigureResult, error) {
+	var cfgs []Config
+	for _, cq := range queryToleranceGrid {
+		cfg := s.base()
+		cfg.CoopDegree = 0 // controlled cooperation
+		cfg.Workload = "stocks"
+		cfg.Queries = queryCatalogue(cfg.Items, cq)
+		cfgs = append(cfgs, cfg)
+	}
+	outs, err := s.runAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	result := Series{Label: "result fidelity (mean)"}
+	floor := Series{Label: "input union-bound floor (mean)"}
+	worst := Series{Label: "result fidelity (worst)"}
+	for i, cq := range queryToleranceGrid {
+		q := outs[i].Queries
+		if q == nil {
+			return nil, fmt.Errorf("core: query-fidelity point %d ran without query stats", i)
+		}
+		result.X = append(result.X, cq)
+		result.Y = append(result.Y, q.MeanFidelity)
+		floor.X = append(floor.X, cq)
+		floor.Y = append(floor.Y, q.MeanInputFloor)
+		worst.X = append(worst.X, cq)
+		worst.Y = append(worst.Y, q.WorstFidelity)
+	}
+	return &FigureResult{
+		ID:     "query-fidelity",
+		Title:  "Derived-Query Result Fidelity vs Result Tolerance (against the allocation's floor)",
+		XLabel: "Result Tolerance cQ ($)",
+		YLabel: "Fidelity",
+		Series: []Series{result, floor, worst},
+		Notes: []string{
+			"per-input tolerances derive from cQ by operator sensitivity (sum cQ/n, avg/min/max cQ, diff cQ/2)",
+			"result fidelity on or above the input union-bound floor means coherent inputs bought a coherent result",
+		},
+	}, nil
+}
+
+// FigureQueryCost sweeps cQ and plots the last-hop message cost per
+// query under the two evaluation placements. Repository-side evaluation
+// ships only published result changes; client-side evaluation ships
+// every input delivery (and resync). One run yields both curves: the
+// fleet tallies both costs for the same delivery stream.
+func FigureQueryCost(s Scale) (*FigureResult, error) {
+	var cfgs []Config
+	for _, cq := range queryToleranceGrid {
+		cfg := s.base()
+		cfg.CoopDegree = 0 // controlled cooperation
+		cfg.Workload = "stocks"
+		cfg.Queries = queryCatalogue(cfg.Items, cq)
+		cfgs = append(cfgs, cfg)
+	}
+	outs, err := s.runAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	repo := Series{Label: "repo placement (result pushes/query)"}
+	client := Series{Label: "client placement (input pushes/query)"}
+	for i, cq := range queryToleranceGrid {
+		q := outs[i].Queries
+		if q == nil {
+			return nil, fmt.Errorf("core: query-cost point %d ran without query stats", i)
+		}
+		n := float64(q.Queries)
+		repo.X = append(repo.X, cq)
+		repo.Y = append(repo.Y, float64(q.ResultPushes)/n)
+		client.X = append(client.X, cq)
+		client.Y = append(client.Y, float64(q.InputPushes+q.Resyncs)/n)
+	}
+	return &FigureResult{
+		ID:     "query-cost",
+		Title:  "Derived-Query Message Cost vs Result Tolerance (evaluation placement)",
+		XLabel: "Result Tolerance cQ ($)",
+		YLabel: "Last-Hop Messages per Query",
+		Series: []Series{repo, client},
+		Notes: []string{
+			"both placements see the same filtered delivery stream, so the result streams are identical",
+			"repository-side evaluation collapses each query's inputs into one result stream on the last hop",
+		},
+	}, nil
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"d3t/internal/query"
+)
+
+// TestRunExperimentWithQueries runs a base case with a query catalogue
+// and sanity-checks the query outcome end to end.
+func TestRunExperimentWithQueries(t *testing.T) {
+	s := tinyScale()
+	cfg := s.base()
+	cfg.Queries = []string{
+		"avg(ITEM000,ITEM001,ITEM002)@0.1",
+		"sum(ITEM003,ITEM004)@0.1",
+		"diff(w=3;ITEM005,ITEM006)@0.2",
+		"max(ITEM007,ITEM008)>20@0.1",
+		"min(ITEM000,ITEM003)@0.2!client",
+	}
+	out, err := RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := out.Queries
+	if q == nil {
+		t.Fatal("Outcome.Queries nil with Queries configured")
+	}
+	if q.Queries != len(cfg.Queries) || len(q.PerQuery) != len(cfg.Queries) {
+		t.Fatalf("query count %d/%d, want %d", q.Queries, len(q.PerQuery), len(cfg.Queries))
+	}
+	if q.Evals == 0 || q.Recomputes == 0 {
+		t.Errorf("no evaluation work recorded: evals=%d recomputes=%d", q.Evals, q.Recomputes)
+	}
+	if q.Recomputes > q.Evals {
+		t.Errorf("recomputes %d exceed evals %d", q.Recomputes, q.Evals)
+	}
+	if q.MeanFidelity < 0 || q.MeanFidelity > 1 || q.WorstFidelity > q.MeanFidelity {
+		t.Errorf("fidelity aggregates inconsistent: mean=%v worst=%v", q.MeanFidelity, q.WorstFidelity)
+	}
+	for _, pq := range q.PerQuery {
+		spec, err := query.Parse(pq.Spec)
+		if err != nil {
+			t.Fatalf("query %s: unparseable spec %q: %v", pq.Name, pq.Spec, err)
+		}
+		// The union-bound floor is instant-wise airtight only for window-1
+		// predicate-less queries: a window carries a past slot's error up
+		// to w−1 ticks beyond the input violation that caused it, and a
+		// predicate gates the result meter onto a subspan the input
+		// fidelities are not measured over.
+		if spec.Window == 1 && spec.Pred == nil && pq.Fidelity+1e-9 < pq.InputFloor {
+			t.Errorf("query %s (%s): result fidelity %v below input floor %v",
+				pq.Name, pq.Spec, pq.Fidelity, pq.InputFloor)
+		}
+		if pq.Repo == 0 {
+			t.Errorf("query %s detached at horizon", pq.Name)
+		}
+	}
+	// Clients stay disabled: the query layer must not fabricate a client
+	// population.
+	if out.Clients != nil {
+		t.Error("Outcome.Clients set without Clients configured")
+	}
+}
+
+// TestQueryFidelityFloor is the acceptance criterion of the query layer:
+// across the cQ sweep of the query-fidelity figure, the mean result
+// fidelity stays on or above the union-bound floor the measured input
+// fidelities imply — the tolerance allocation provably converted
+// coherent inputs into a coherent result.
+func TestQueryFidelityFloor(t *testing.T) {
+	fig, err := FigureQueryFidelity(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) < 2 {
+		t.Fatalf("query-fidelity has %d series, want result + floor", len(fig.Series))
+	}
+	result, floor := fig.Series[0], fig.Series[1]
+	if len(result.Y) != len(queryToleranceGrid) || len(floor.Y) != len(result.Y) {
+		t.Fatalf("series lengths %d/%d, want %d", len(result.Y), len(floor.Y), len(queryToleranceGrid))
+	}
+	for j, cq := range queryToleranceGrid {
+		if result.Y[j]+1e-9 < floor.Y[j] {
+			t.Errorf("cQ=%v: result fidelity %v below input floor %v", cq, result.Y[j], floor.Y[j])
+		}
+	}
+}
+
+// TestQueryCostPlacement checks the cost figure's defining shape: the
+// repository-side placement never ships more last-hop messages than the
+// client-side placement — a query's result stream is a (predicate- and
+// change-gated) function of its input stream, so it can only be smaller.
+func TestQueryCostPlacement(t *testing.T) {
+	fig, err := FigureQueryCost(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("query-cost has %d series, want 2", len(fig.Series))
+	}
+	repo, client := fig.Series[0], fig.Series[1]
+	for j := range repo.Y {
+		if repo.Y[j] > client.Y[j] {
+			t.Errorf("cQ=%v: repo placement cost %v exceeds client placement %v",
+				repo.X[j], repo.Y[j], client.Y[j])
+		}
+	}
+}

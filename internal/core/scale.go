@@ -34,6 +34,9 @@ type Scale struct {
 	Clients        int
 	ItemsPerClient int
 	SessionCap     int
+	// Queries applies a derived-data query catalogue to every sweep point
+	// (see Config.Queries); the query figures override it per point.
+	Queries []string
 	// Shards and BatchTicks apply the ingest pipeline's sharding and
 	// coalescing to every sweep point (plain runs only; see
 	// Config.Shards).
@@ -101,6 +104,7 @@ func (s Scale) base() Config {
 	cfg.Clients = s.Clients
 	cfg.ItemsPerClient = s.ItemsPerClient
 	cfg.SessionCap = s.SessionCap
+	cfg.Queries = s.Queries
 	cfg.Shards = s.Shards
 	cfg.BatchTicks = s.BatchTicks
 	if s.ObsTree != nil {

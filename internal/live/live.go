@@ -37,6 +37,7 @@ import (
 	"d3t/internal/ingest"
 	dnode "d3t/internal/node"
 	"d3t/internal/obs"
+	"d3t/internal/query"
 	"d3t/internal/repository"
 	"d3t/internal/sim"
 	"d3t/internal/tree"
@@ -84,6 +85,12 @@ type Options struct {
 	// SessionCap caps the client sessions one repository serves (0 =
 	// unlimited); Subscribe redirects overflow to the next candidate.
 	SessionCap int
+
+	// QueryInterval is the query clock's tick length (on the cluster's
+	// microsecond time base) for query sessions (SubscribeQuery); it
+	// defaults to sim.Second. Eval/recompute counts are independent of
+	// it; only windowed result values depend on the tick width.
+	QueryInterval sim.Time
 
 	// Obs, when set, collects per-node counters, latency histograms,
 	// per-edge delay EWMAs and (when Obs.Tracer is armed) sampled update
@@ -248,9 +255,33 @@ func (t *transport) SendToDependent(dep repository.ID, item string, v float64, r
 }
 
 func (t *transport) SendToClient(ns *dnode.Session, item string, v float64, resync bool) {
-	if s, ok := ns.Tag().(*Session); ok {
-		s.push(ClientUpdate{Item: item, Value: v, Resync: resync})
+	s, ok := ns.Tag().(*Session)
+	if !ok {
+		return
 	}
+	if s.qeval != nil {
+		// A query session: recombine under the serving core's mutex (the
+		// push path already holds it). Repository-side placement ships
+		// only published result changes down the channel; client-side
+		// placement ships the raw input too, same counts either way.
+		interval := t.c.opts.QueryInterval
+		if interval <= 0 {
+			interval = sim.Second
+		}
+		res, evalOK, changed := s.qeval.Observe(item, v, int64(t.c.now()/interval))
+		recomputed := 0
+		if evalOK {
+			recomputed = 1
+		}
+		s.qobs.QueryPass(1, recomputed)
+		if s.q.Placement != query.PlaceClient {
+			if evalOK && changed && (s.q.Pred == nil || s.q.Pred.Holds(res)) {
+				s.push(ClientUpdate{Item: s.q.ResultItem(), Value: res, Resync: resync})
+			}
+			return
+		}
+	}
+	s.push(ClientUpdate{Item: item, Value: v, Resync: resync})
 }
 
 // clock is the cluster's wall source (injectable for tests).

@@ -8,6 +8,8 @@ import (
 
 	"d3t/internal/coherency"
 	dnode "d3t/internal/node"
+	"d3t/internal/obs"
+	"d3t/internal/query"
 	"d3t/internal/repository"
 	"d3t/internal/sim"
 )
@@ -37,6 +39,15 @@ type Session struct {
 	c    *Cluster
 	ch   chan ClientUpdate
 	ns   *dnode.Session
+
+	// q and qeval make the session a derived-data query (SubscribeQuery):
+	// the evaluator is fed by every filtered input delivery, under the
+	// serving core's mutex. Both are set before admission and immutable
+	// after; qobs tracks the serving node's observer (written at attach
+	// under topoMu write, read on the push path under topoMu read).
+	q     *query.Query
+	qeval *query.Eval
+	qobs  *obs.Node
 
 	mu         sync.Mutex
 	repo       repository.ID
@@ -115,6 +126,33 @@ func (s *Session) Dropped() uint64 {
 	return s.dropped
 }
 
+// QueryCounts reports a query session's eval/recompute counters: input
+// deliveries evaluated, and result recomputations (one per delivery once
+// every input has a value). Zeros for plain sessions. Counts depend only
+// on the delivery sequence the per-client filter produced, so they must
+// agree with every other backend serving the same stream.
+func (s *Session) QueryCounts() (evals, recomputes uint64) {
+	if s.qeval == nil {
+		return 0, 0
+	}
+	s.withCore(func(*dnode.Session) { evals, recomputes = s.qeval.Evals(), s.qeval.Recomputes() })
+	return evals, recomputes
+}
+
+// QueryResult returns a query session's current evaluator result (false
+// for plain sessions and before every input has a value).
+func (s *Session) QueryResult() (float64, bool) {
+	var (
+		v  float64
+		ok bool
+	)
+	if s.qeval == nil {
+		return 0, false
+	}
+	s.withCore(func(*dnode.Session) { v, ok = s.qeval.Result() })
+	return v, ok
+}
+
 // Value returns the session's current copy of item.
 func (s *Session) Value(item string) (float64, bool) {
 	var (
@@ -176,6 +214,29 @@ func (s *Session) Close() {
 // session immediately receives a resync push of the repository's current
 // copies.
 func (c *Cluster) Subscribe(name string, wants map[string]coherency.Requirement, preferred ...repository.ID) (*Session, error) {
+	return c.subscribe(name, wants, nil, preferred)
+}
+
+// SubscribeQuery admits a derived-data query session (internal/query):
+// an input subscription to the query's items at their allocated
+// tolerances, recombined by an incremental evaluator fed by every
+// filtered delivery. With the default repository-side placement the
+// Updates channel carries only published result changes, under the
+// query's result pseudo-item (Query.ResultItem); with PlaceClient it
+// carries the raw inputs (the evaluator still runs, exposed via
+// QueryResult/QueryCounts). Placement trades last-hop message cost; the
+// evaluation counts are identical either way.
+func (c *Cluster) SubscribeQuery(q query.Query, preferred ...repository.ID) (*Session, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if q.Name == "" {
+		return nil, fmt.Errorf("live: query session needs a name")
+	}
+	return c.subscribe(q.Name, q.Wants(), &q, preferred)
+}
+
+func (c *Cluster) subscribe(name string, wants map[string]coherency.Requirement, q *query.Query, preferred []repository.ID) (*Session, error) {
 	if len(wants) == 0 {
 		return nil, fmt.Errorf("live: session %q wants nothing", name)
 	}
@@ -186,6 +247,10 @@ func (c *Cluster) Subscribe(name string, wants map[string]coherency.Requirement,
 		ns:        dnode.NewSession(name, wants),
 		preferred: append([]repository.ID(nil), preferred...),
 		repo:      repository.NoID,
+	}
+	if q != nil {
+		s.q = q
+		s.qeval = query.NewEval(*q)
 	}
 	s.ns.SetTag(s)
 	start := c.now()
@@ -285,6 +350,7 @@ func (c *Cluster) attachSessionLocked(s *Session, id repository.ID) {
 	s.mu.Lock()
 	s.repo = id
 	s.mu.Unlock()
+	s.qobs = n.obs // query passes are charged to the serving node
 	mu, core := n.sessionCore()
 	tr := &n.shards[0].tr
 	if n.sessCore != nil {

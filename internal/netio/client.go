@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"d3t/internal/coherency"
+	"d3t/internal/query"
+	"d3t/internal/sim"
 	"d3t/internal/wire"
 )
 
@@ -30,6 +32,15 @@ type Client struct {
 	name  string
 	wants map[string]coherency.Requirement
 	ch    chan ClientUpdate
+	// qspec rides every subscribe frame when the session is a
+	// repository-evaluated query (SubscribeQuery, PlaceRepo): the serving
+	// node evaluates and pushes only result changes. Empty otherwise.
+	qspec string
+	// qeval is the client-local evaluator of a client-placed query
+	// (SubscribeQuery, PlaceClient): raw inputs arrive and are recombined
+	// here, on the client's own query clock (qstart). Nil otherwise.
+	qeval  *query.Eval
+	qstart time.Time
 
 	mu         sync.Mutex
 	conn       net.Conn
@@ -50,6 +61,33 @@ type Client struct {
 // failover candidates. The returned client's Updates channel carries the
 // filtered pushes.
 func Subscribe(name string, wants map[string]coherency.Requirement, addrs ...string) (*Client, error) {
+	return subscribe(name, wants, "", nil, addrs)
+}
+
+// SubscribeQuery opens a derived-data query session (internal/query)
+// against the given node addresses. With the default repository-side
+// placement the subscribe frame carries the query spec — the serving
+// node evaluates and the Updates channel delivers only result changes,
+// under the query's result pseudo-item (Query.ResultItem). With
+// PlaceClient the session is a plain subscription to the inputs at their
+// allocated tolerances and the client recombines locally: Updates
+// carries the raw inputs and QueryResult/QueryCounts expose the local
+// evaluator. Both placements see the same filtered input stream, so
+// their evaluation counts agree; they trade last-hop message cost.
+func SubscribeQuery(q query.Query, addrs ...string) (*Client, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if q.Name == "" {
+		return nil, fmt.Errorf("netio: query session needs a name")
+	}
+	if q.Placement == query.PlaceClient {
+		return subscribe(q.Name, q.Wants(), "", query.NewEval(q), addrs)
+	}
+	return subscribe(q.Name, q.Wants(), q.String(), nil, addrs)
+}
+
+func subscribe(name string, wants map[string]coherency.Requirement, qspec string, qeval *query.Eval, addrs []string) (*Client, error) {
 	if name == "" || len(wants) == 0 {
 		return nil, fmt.Errorf("netio: subscription needs a name and a watch list")
 	}
@@ -60,6 +98,9 @@ func Subscribe(name string, wants map[string]coherency.Requirement, addrs ...str
 		name:   name,
 		wants:  wants,
 		ch:     make(chan ClientUpdate, 256),
+		qspec:  qspec,
+		qeval:  qeval,
+		qstart: time.Now(),
 		addrs:  append([]string(nil), addrs...),
 		values: make(map[string]float64),
 	}
@@ -113,6 +154,35 @@ func (c *Client) Migrations() int {
 	return c.migrations
 }
 
+// QueryResult returns the session's current copy of the query result:
+// the local evaluator's result for a client-placed query, the last
+// received result push for a repository-placed one. It reports false for
+// plain (non-query) sessions and before the first defined result.
+func (c *Client) QueryResult() (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.qeval != nil {
+		return c.qeval.Result()
+	}
+	if c.qspec != "" {
+		v, ok := c.values[(&query.Query{Name: c.name}).ResultItem()]
+		return v, ok
+	}
+	return 0, false
+}
+
+// QueryCounts reports the client-local evaluator's counters (zeros for a
+// repository-placed query, whose counts live on the serving node — see
+// Node.QueryCounts — and for plain sessions).
+func (c *Client) QueryCounts() (evals, recomputes uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.qeval != nil {
+		return c.qeval.Evals(), c.qeval.Recomputes()
+	}
+	return 0, 0
+}
+
 // Close ends the session, waits for its reader, and closes the Updates
 // channel so ranging consumers terminate.
 func (c *Client) Close() {
@@ -158,7 +228,7 @@ func (c *Client) connect(skip string) (net.Conn, *wire.Decoder, error) {
 		if err != nil {
 			continue
 		}
-		if wire.NewEncoder(conn).Encode(&wire.Frame{Kind: wire.KindSubscribe, Name: c.name, Wants: c.wants}) != nil {
+		if wire.NewEncoder(conn).Encode(&wire.Frame{Kind: wire.KindSubscribe, Name: c.name, Wants: c.wants, Query: c.qspec}) != nil {
 			conn.Close()
 			continue
 		}
@@ -248,6 +318,12 @@ func (c *Client) readLoop(conn net.Conn, dec *wire.Decoder) {
 		c.mu.Lock()
 		c.values[f.Item] = f.Value
 		c.delivered++
+		if c.qeval != nil {
+			// Client-side placement: recombine the raw input locally, on
+			// the client's own query clock. Counts depend only on the
+			// delivery sequence, not on the tick width.
+			c.qeval.Observe(f.Item, f.Value, int64(sim.Time(time.Since(c.qstart)/time.Microsecond)/sim.Second))
+		}
 		closed := c.closed
 		c.mu.Unlock()
 		if closed {

@@ -31,6 +31,7 @@ import (
 	"d3t/internal/coherency"
 	dnode "d3t/internal/node"
 	"d3t/internal/obs"
+	"d3t/internal/query"
 	"d3t/internal/repository"
 	"d3t/internal/sim"
 	"d3t/internal/wire"
@@ -73,6 +74,12 @@ type NodeConfig struct {
 	// SessionPeers are alternative node addresses offered to redirected
 	// clients — typically the node's overlay neighbors.
 	SessionPeers []string
+	// QueryInterval is the query clock's tick length (wall time, in
+	// sim.Time microseconds) for repository-side query evaluation; it
+	// defaults to sim.Second. Eval/recompute counts — the cross-backend
+	// parity observable — are independent of it; only windowed result
+	// values depend on the tick width.
+	QueryInterval sim.Time
 
 	// Obs, when set, collects this node's counters and latency
 	// histograms. Hop, source-latency and edge-delay samples come only
@@ -106,6 +113,9 @@ type Node struct {
 	// clientEnc maps admitted session names to their push encoders —
 	// the wire half of the core's session registry.
 	clientEnc map[string]*wire.Encoder
+	// querySubs maps admitted query-session names to their server-side
+	// evaluation state (sessions whose subscribe frame carried a spec).
+	querySubs map[string]*querySub
 	conns     map[net.Conn]bool
 	closed    bool
 
@@ -205,9 +215,62 @@ func (t *transport) flush() {
 }
 
 func (t *transport) SendToClient(s *dnode.Session, item string, v float64, resync bool) {
-	if enc, ok := s.Tag().(*wire.Encoder); ok {
-		enc.Encode(&wire.Frame{Kind: wire.KindUpdate, Item: item, Value: v, Resync: resync})
+	switch tag := s.Tag().(type) {
+	case *wire.Encoder:
+		tag.Encode(&wire.Frame{Kind: wire.KindUpdate, Item: item, Value: v, Resync: resync})
+	case *querySub:
+		t.n.queryDeliver(tag, t.Now(), item, v, resync)
 	}
+}
+
+// querySub is the server half of one repository-evaluated query session
+// (a subscribe frame carrying a query spec): the wire encoder pushing
+// result frames plus the incremental evaluator fed by the deliveries the
+// per-client filter forwards. All access happens under Node.mu — the
+// session push path already runs there.
+type querySub struct {
+	q    query.Query
+	eval *query.Eval
+	enc  *wire.Encoder
+}
+
+// queryDeliver runs one filtered input delivery through a query session:
+// the evaluator recomputes, and a changed result that passes the
+// predicate is pushed as an update frame under the query's result
+// pseudo-item — only result changes travel the last hop, which is the
+// point of repository-side placement. Caller holds Node.mu.
+func (n *Node) queryDeliver(qs *querySub, now sim.Time, item string, v float64, resync bool) {
+	interval := n.cfg.QueryInterval
+	if interval <= 0 {
+		interval = sim.Second
+	}
+	res, ok, changed := qs.eval.Observe(item, v, int64(now/interval))
+	recomputed := 0
+	if ok {
+		recomputed = 1
+	}
+	n.cfg.Obs.QueryPass(1, recomputed)
+	if !ok || !changed {
+		return
+	}
+	if qs.q.Pred != nil && !qs.q.Pred.Holds(res) {
+		return
+	}
+	qs.enc.Encode(&wire.Frame{Kind: wire.KindUpdate, Item: qs.q.ResultItem(), Value: res, Resync: resync})
+}
+
+// QueryCounts reports the eval/recompute counters of a repository-side
+// query session by name (zeros if no such session is admitted). Counts
+// depend only on the delivery sequence the per-client filter produced,
+// so they must agree with every other backend serving the same stream —
+// the cross-backend parity observable of the query layer.
+func (n *Node) QueryCounts(name string) (evals, recomputes uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if qs := n.querySubs[name]; qs != nil {
+		return qs.eval.Evals(), qs.eval.Recomputes()
+	}
+	return 0, 0
 }
 
 // buildCore assembles the transport-agnostic core from the self-contained
@@ -270,6 +333,7 @@ func Start(cfg NodeConfig) (*Node, error) {
 		core:      buildCore(cfg),
 		childEnc:  make(map[repository.ID]*wire.Encoder),
 		clientEnc: make(map[string]*wire.Encoder),
+		querySubs: make(map[string]*querySub),
 		conns:     make(map[net.Conn]bool),
 	}
 	n.tr.n = n
@@ -504,6 +568,21 @@ func (n *Node) handleClient(conn net.Conn, dec *wire.Decoder, sub wire.Frame) {
 		enc.Encode(&wire.Frame{Kind: wire.KindRedirect})
 		return
 	}
+	// A subscribe frame carrying a query spec asks for repository-side
+	// evaluation: parse it here so a malformed spec is turned away before
+	// any session state exists. The frame's wants are the query's inputs
+	// at their allocated tolerances, so the admission check below covers
+	// the query's coherency needs too.
+	var qs *querySub
+	if sub.Query != "" {
+		q, err := query.Parse(sub.Query)
+		if err != nil {
+			enc.Encode(&wire.Frame{Kind: wire.KindRedirect})
+			return
+		}
+		q.Name = sub.Name
+		qs = &querySub{q: q, eval: query.NewEval(q), enc: enc}
+	}
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
@@ -521,9 +600,16 @@ func (n *Node) handleClient(conn net.Conn, dec *wire.Decoder, sub wire.Frame) {
 		return
 	}
 	n.clientEnc[sub.Name] = enc
-	// Admission resyncs the session to our current copies immediately.
+	// Admission resyncs the session to our current copies immediately. A
+	// query session's resync feeds the evaluator (counted, like every
+	// delivery) instead of shipping raw inputs.
 	ns := dnode.NewSession(sub.Name, sub.Wants)
-	ns.SetTag(enc)
+	if qs != nil {
+		n.querySubs[sub.Name] = qs
+		ns.SetTag(qs)
+	} else {
+		ns.SetTag(enc)
+	}
 	n.core.ForceAdmit(ns, &n.tr)
 	n.mu.Unlock()
 
@@ -534,6 +620,7 @@ func (n *Node) handleClient(conn net.Conn, dec *wire.Decoder, sub wire.Frame) {
 	}
 	n.mu.Lock()
 	delete(n.clientEnc, sub.Name)
+	delete(n.querySubs, sub.Name)
 	n.core.DropSession(sub.Name)
 	n.mu.Unlock()
 }

@@ -24,6 +24,7 @@ import (
 	"d3t/internal/ingest"
 	"d3t/internal/netsim"
 	"d3t/internal/node"
+	"d3t/internal/query"
 	"d3t/internal/repository"
 	"d3t/internal/sim"
 	"d3t/internal/trace"
@@ -278,6 +279,161 @@ func runPropScenario(t *testing.T, sc propScenario) {
 				t.Errorf("shards=%d: decisions[%s] = %+v, want %+v", shards, k, got[k], w)
 			}
 		}
+	}
+}
+
+// TestQueryToleranceInvariant is the query layer's analogue of the core
+// fidelity property: on randomly drawn queries, whenever every delivered
+// input is within its allocated per-input tolerance of the true value,
+// the recomputed windowed result stays within cQ of the true result. Two
+// evaluators run in lockstep on the identical delivery/tick sequence —
+// one fed true values, one fed adversarially perturbed ones — and a
+// per-operator shadow model (direct formula over the recorded per-tick
+// aggregates) independently re-derives what the true result must be, so
+// the evaluator itself is model-checked at the same time.
+//
+// Ratio's allocation is first-order (see internal/query doc comment), so
+// its draws keep the preconditions the bound needs: |numerator| ≤
+// denominator and the perturbed denominator ≥ 1.
+func TestQueryToleranceInvariant(t *testing.T) {
+	kinds := []query.Kind{query.Sum, query.Avg, query.Min, query.Max, query.Diff, query.Ratio}
+	pool := []string{"i0", "i1", "i2", "i3", "i4", "i5", "i6", "i7"}
+	rng := rand.New(rand.NewSource(20260807))
+	scenarios := 48
+	if testing.Short() {
+		scenarios = 12
+	}
+	for i := 0; i < scenarios; i++ {
+		kind := kinds[i%len(kinds)]
+		items := append([]string(nil), pool...)
+		rng.Shuffle(len(items), func(a, b int) { items[a], items[b] = items[b], items[a] })
+		n := 1 + rng.Intn(5)
+		if kind.IsJoin() {
+			n = 2
+		}
+		q := query.Query{
+			Name:      fmt.Sprintf("prop%d", i),
+			Kind:      kind,
+			Items:     items[:n],
+			Window:    1 + rng.Intn(4),
+			Tolerance: 0.5 + 4.5*rng.Float64(),
+		}
+		if kind == query.Ratio {
+			q.Tolerance = 0.2 + 0.8*rng.Float64()
+		}
+		t.Run(fmt.Sprintf("%d-%s-w%d-n%d", i, kind, q.Window, n), func(t *testing.T) {
+			runQueryToleranceScenario(t, q, rand.New(rand.NewSource(int64(7919*i+13))))
+		})
+	}
+}
+
+// shadowAggregate re-derives the instantaneous cross-item aggregate from
+// the raw per-operator formula.
+func shadowAggregate(q query.Query, vals map[string]float64) float64 {
+	switch q.Kind {
+	case query.Sum, query.Avg:
+		var s float64
+		for _, x := range q.Items {
+			s += vals[x]
+		}
+		if q.Kind == query.Avg {
+			s /= float64(len(q.Items))
+		}
+		return s
+	case query.Min, query.Max:
+		out := vals[q.Items[0]]
+		for _, x := range q.Items[1:] {
+			if v := vals[x]; (q.Kind == query.Min && v < out) || (q.Kind == query.Max && v > out) {
+				out = v
+			}
+		}
+		return out
+	case query.Diff:
+		return vals[q.Items[0]] - vals[q.Items[1]]
+	case query.Ratio:
+		return vals[q.Items[0]] / vals[q.Items[1]]
+	}
+	return 0
+}
+
+// shadowCombine folds the last Window per-tick aggregates the way the
+// documented combiner does: min/max for min/max, the mean otherwise.
+func shadowCombine(q query.Query, hist []float64) float64 {
+	w := q.Window
+	if len(hist) < w {
+		w = len(hist)
+	}
+	slots := hist[len(hist)-w:]
+	switch q.Kind {
+	case query.Min, query.Max:
+		out := slots[0]
+		for _, v := range slots[1:] {
+			if (q.Kind == query.Min && v < out) || (q.Kind == query.Max && v > out) {
+				out = v
+			}
+		}
+		return out
+	default:
+		var s float64
+		for _, v := range slots {
+			s += v
+		}
+		return s / float64(len(slots))
+	}
+}
+
+func runQueryToleranceScenario(t *testing.T, q query.Query, rng *rand.Rand) {
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	draw := func(x string) float64 {
+		if q.Kind == query.Ratio {
+			if x == q.Items[1] {
+				return 2 + 8*rng.Float64() // denominator bounded away from zero
+			}
+			return -2 + 4*rng.Float64() // |numerator| ≤ denominator
+		}
+		return 100 * rng.Float64()
+	}
+	tol := float64(q.InputTolerance())
+	trueEval, servedEval := query.NewEval(q), query.NewEval(q)
+	truth := make(map[string]float64, len(q.Items))
+	var hist []float64
+	for tick := int64(0); tick < 60; tick++ {
+		// Redraw every input, then deliver the tick's values to both
+		// evaluators in a random order — identical sequence and ticks, so
+		// their windows stay slot-aligned.
+		order := append([]string(nil), q.Items...)
+		rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+		for _, x := range order {
+			truth[x] = draw(x)
+			trueEval.Observe(x, truth[x], tick)
+			pert := (2*rng.Float64() - 1) * tol
+			servedEval.Observe(x, truth[x]+pert, tick)
+		}
+		hist = append(hist, shadowAggregate(q, truth))
+		want := shadowCombine(q, hist)
+		got, ok := trueEval.Result()
+		if !ok {
+			t.Fatalf("tick %d: result undefined after all inputs delivered", tick)
+		}
+		if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("tick %d: evaluator result %v disagrees with shadow model %v", tick, got, want)
+		}
+		served, ok := servedEval.Result()
+		if !ok {
+			t.Fatalf("tick %d: served result undefined", tick)
+		}
+		if dev := math.Abs(served - want); dev > q.Tolerance+1e-9 {
+			t.Fatalf("tick %d: |served %v - true %v| = %v exceeds cQ %v (per-input tol %v)",
+				tick, served, want, dev, q.Tolerance, tol)
+		}
+	}
+	wantDeliveries := uint64(60 * len(q.Items))
+	wantRecomputes := wantDeliveries - uint64(len(q.Items)-1) // pre-first-full-set deliveries don't recompute
+	if trueEval.Evals() != wantDeliveries || trueEval.Recomputes() != wantRecomputes {
+		t.Errorf("counts: evals=%d recomputes=%d, want %d/%d (every delivery recomputes once all inputs are present)",
+			trueEval.Evals(), trueEval.Recomputes(), wantDeliveries, wantRecomputes)
 	}
 }
 

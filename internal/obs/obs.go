@@ -92,6 +92,8 @@ type Node struct {
 	resyncs     Counter // catch-up values pushed (admission, failover)
 	batches     Counter // multi-update batches received
 	batchUps    Counter // updates carried by those batches
+	qEvals      Counter // query-input deliveries evaluated
+	qRecomputes Counter // query results recomputed
 
 	// Latency histograms (microsecond samples).
 	hop       Histogram // per-hop propagation delay (parent apply → arrival here)
@@ -178,6 +180,16 @@ func (o *Node) Resync(n int) {
 		return
 	}
 	o.resyncs.Add(uint64(n))
+}
+
+// QueryPass counts one derived-query evaluation pass at the node:
+// input deliveries evaluated and results recomputed.
+func (o *Node) QueryPass(evals, recomputes int) {
+	if o == nil {
+		return
+	}
+	o.qEvals.Add(uint64(evals))
+	o.qRecomputes.Add(uint64(recomputes))
 }
 
 // Batch counts one received multi-update batch of n updates.
@@ -273,6 +285,8 @@ type Counters struct {
 	Resyncs       uint64 `json:"sessionResyncs"`
 	Batches       uint64 `json:"batches"`
 	BatchUpdates  uint64 `json:"batchUpdates"`
+	QueryEvals    uint64 `json:"queryEvals,omitempty"`
+	QueryRecomps  uint64 `json:"queryRecomputes,omitempty"`
 }
 
 // NodeSnapshot is one node's state at a point in time; every latency is
@@ -317,6 +331,8 @@ func (o *Node) Snapshot(now int64) NodeSnapshot {
 			Resyncs:       o.resyncs.Value(),
 			Batches:       o.batches.Value(),
 			BatchUpdates:  o.batchUps.Value(),
+			QueryEvals:    o.qEvals.Value(),
+			QueryRecomps:  o.qRecomputes.Value(),
 		},
 		Hop:       o.hop.Snapshot(),
 		SourceLat: o.srcLat.Snapshot(),

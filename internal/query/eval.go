@@ -1,0 +1,209 @@
+package query
+
+// Eval is one query's incremental evaluator: it holds the current copy
+// of every input, the window ring of per-tick aggregates, and the
+// eval/recompute counters the observability layer and the cross-backend
+// parity test read. It is not safe for concurrent use; every transport
+// drives it under the serving core's lock (sim fleet, live node mutex,
+// netio handler goroutine).
+//
+// The query clock is whatever tick stream the caller supplies — the
+// simulator uses trace time over the tick interval, the live runtimes
+// use wall time over the same interval. Ticks only place aggregates into
+// window slots; the eval/recompute counts depend solely on the delivery
+// sequence, which is what makes them comparable across backends.
+type Eval struct {
+	q Query
+
+	vals    map[string]float64
+	missing int
+
+	// win is the ring of per-tick aggregates; win[pos] is the current
+	// tick's slot, updated in place as observations arrive. winSum keeps
+	// the running slot sum incrementally for the mean-combined kinds;
+	// min/max scan the ring (at most Window slots) per recompute.
+	win    []float64
+	pos    int
+	fill   int
+	tick   int64
+	winSum float64
+
+	instant float64 // the current tick's aggregate (win[pos])
+	result  float64
+	ok      bool
+
+	evals      uint64
+	recomputes uint64
+}
+
+// NewEval builds the evaluator for a validated query.
+func NewEval(q Query) *Eval {
+	e := &Eval{
+		q:       q,
+		vals:    make(map[string]float64, len(q.Items)),
+		missing: len(q.Items),
+		win:     make([]float64, q.Window),
+	}
+	return e
+}
+
+// Query returns the query the evaluator runs.
+func (e *Eval) Query() Query { return e.q }
+
+// Evals returns how many input deliveries the evaluator processed;
+// Recomputes how many times the result was recomputed (one per delivery
+// once every input has a value).
+func (e *Eval) Evals() uint64      { return e.evals }
+func (e *Eval) Recomputes() uint64 { return e.recomputes }
+
+// Result returns the current windowed result, and false while any input
+// is still unseeded.
+func (e *Eval) Result() (float64, bool) { return e.result, e.ok }
+
+// Seed installs an initial input value without counting an eval or a
+// recompute — the "all repositories join synchronized" path of the
+// simulator, which seeds copies outside the delivery stream.
+func (e *Eval) Seed(item string, v float64, tick int64) {
+	if !e.set(item, v) {
+		return
+	}
+	if e.missing == 0 {
+		e.recompute(tick)
+	}
+}
+
+// Observe processes one delivered input value at the given query tick.
+// It returns the windowed result, whether the result is defined (every
+// input seen at least once — which also means a recompute happened), and
+// whether the defined result changed from the previous defined one.
+func (e *Eval) Observe(item string, v float64, tick int64) (res float64, ok, changed bool) {
+	if !e.set(item, v) {
+		return e.result, false, false
+	}
+	e.evals++
+	if e.missing > 0 {
+		return e.result, false, false
+	}
+	prev, had := e.result, e.ok
+	e.recompute(tick)
+	e.recomputes++
+	return e.result, true, !had || e.result != prev
+}
+
+// set records the value, returning false for items outside the query.
+func (e *Eval) set(item string, v float64) bool {
+	if _, watched := e.vals[item]; !watched {
+		member := false
+		for _, x := range e.q.Items {
+			if x == item {
+				member = true
+				break
+			}
+		}
+		if !member {
+			return false
+		}
+		e.missing--
+	}
+	e.vals[item] = v
+	return true
+}
+
+// recompute advances the window to tick, refreshes the current slot with
+// the instantaneous aggregate, and recombines the window.
+func (e *Eval) recompute(tick int64) {
+	inst := e.aggregate()
+	e.advanceTo(tick)
+	// Refresh the current slot in place.
+	e.winSum += inst - e.win[e.pos]
+	e.win[e.pos] = inst
+	e.instant = inst
+	e.result = e.combine()
+	e.ok = true
+}
+
+// advanceTo moves the window forward to tick, carrying the last
+// aggregate through empty ticks (both signals are piecewise constant).
+// The first recompute pins the clock without rotating.
+func (e *Eval) advanceTo(tick int64) {
+	if e.fill == 0 {
+		e.tick, e.fill = tick, 1
+		return
+	}
+	if tick <= e.tick {
+		return // same tick (or a late delivery): refresh the current slot
+	}
+	steps := tick - e.tick
+	if steps > int64(len(e.win)) {
+		steps = int64(len(e.win)) // a long gap fills the whole ring
+	}
+	for i := int64(0); i < steps; i++ {
+		carry := e.win[e.pos]
+		e.pos = (e.pos + 1) % len(e.win)
+		e.winSum += carry - e.win[e.pos]
+		e.win[e.pos] = carry
+		if e.fill < len(e.win) {
+			e.fill++
+		}
+	}
+	e.tick = tick
+}
+
+// aggregate computes the instantaneous cross-item aggregate.
+func (e *Eval) aggregate() float64 {
+	switch e.q.Kind {
+	case Sum, Avg:
+		var s float64
+		for _, x := range e.q.Items {
+			s += e.vals[x]
+		}
+		if e.q.Kind == Avg {
+			s /= float64(len(e.q.Items))
+		}
+		return s
+	case Min, Max:
+		out := e.vals[e.q.Items[0]]
+		for _, x := range e.q.Items[1:] {
+			v := e.vals[x]
+			if (e.q.Kind == Min && v < out) || (e.q.Kind == Max && v > out) {
+				out = v
+			}
+		}
+		return out
+	case Diff:
+		return e.vals[e.q.Items[0]] - e.vals[e.q.Items[1]]
+	case Ratio:
+		b := e.vals[e.q.Items[1]]
+		if b == 0 {
+			// An undefined ratio holds the last aggregate rather than
+			// poisoning the window with an infinity.
+			return e.instant
+		}
+		return e.vals[e.q.Items[0]] / b
+	}
+	return 0
+}
+
+// combine folds the filled window slots into the windowed result: the
+// mean for sum/avg/diff/ratio (error-averaging), min/max for min/max.
+// Every combiner is 1-Lipschitz in the sup norm over its slots, which is
+// what lets the per-tick coherency bound survive windowing.
+func (e *Eval) combine() float64 {
+	if e.fill <= 1 {
+		return e.win[e.pos]
+	}
+	switch e.q.Kind {
+	case Min, Max:
+		// The filled slots are the pos-anchored last `fill` entries.
+		out := e.win[e.pos]
+		for i := 1; i < e.fill; i++ {
+			v := e.win[(e.pos-i+len(e.win))%len(e.win)]
+			if (e.q.Kind == Min && v < out) || (e.q.Kind == Max && v > out) {
+				out = v
+			}
+		}
+		return out
+	default:
+		return e.winSum / float64(e.fill)
+	}
+}

@@ -1,0 +1,58 @@
+package query
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseQuery hammers the -query spec grammar: any input must either
+// be rejected or yield a query that validates, allocates a positive
+// per-input budget no larger than mandated by its operator's
+// sensitivity, and survives a canonical-form round trip.
+func FuzzParseQuery(f *testing.F) {
+	seeds := []string{
+		"avg(w=5;ITEM000,ITEM001,ITEM002)@0.05",
+		"sum(A,B)@1",
+		"min(w=2;A)@0.5",
+		"max(A,B,C,D)@2",
+		"diff(A,B)>0@0.1!client",
+		"ratio(A,B)<1.5@0.2",
+		"sum(w=100;A)@0.001",
+		// Malformed shapes steer the fuzzer toward the edges.
+		"", "avg", "avg()@0.1", "avg(A)@", "avg(A)@0", "avg(A)@-1",
+		"mean(A)@0.1", "avg(w=0;A)@0.1", "avg(A,A)@0.1", "diff(A)@0.1",
+		"diff(A,B,C)@0.1", "avg(A)>@0.1", "avg(A@0.1", "avg(A))@0.1",
+		"avg(w=;A)@0.1", "sum(A)@1e309", "sum(A)@NaN", "avg(A)@0.1!client!client",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		q, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		if verr := q.Validate(); verr != nil {
+			t.Fatalf("Parse(%q) accepted an invalid query: %v", spec, verr)
+		}
+		alloc := float64(q.InputTolerance())
+		if !(alloc > 0) || alloc > q.Tolerance+1e-12 {
+			t.Fatalf("Parse(%q): allocation %v outside (0, cQ=%v]", spec, alloc, q.Tolerance)
+		}
+		if q.Kind == Sum && alloc*float64(len(q.Items)) > q.Tolerance*(1+1e-12) {
+			t.Fatalf("Parse(%q): sum allocation %v x %d inputs exceeds cQ=%v",
+				spec, alloc, len(q.Items), q.Tolerance)
+		}
+		canon := q.String()
+		back, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, spec, err)
+		}
+		if back.String() != canon {
+			t.Fatalf("canonical form not a fixed point: %q -> %q", canon, back.String())
+		}
+		if strings.Contains(canon, "\n") {
+			t.Fatalf("canonical form %q contains a newline", canon)
+		}
+	})
+}

@@ -1,0 +1,122 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse builds a query from its spec string. The grammar, by example:
+//
+//	avg(w=5;ITEM000,ITEM001,ITEM002)@0.05
+//	diff(ITEM000,ITEM001)>0@0.1!client
+//
+// formally:
+//
+//	spec  := kind '(' [ 'w=' INT ';' ] item { ',' item } ')'
+//	         [ pred ] '@' FLOAT [ '!client' ]
+//	kind  := 'sum' | 'avg' | 'min' | 'max' | 'diff' | 'ratio'
+//	pred  := ( '>' | '<' ) FLOAT
+//
+// The window defaults to 1 (the instantaneous aggregate); diff and ratio
+// take exactly two items (Items[0]−Items[1], Items[0]/Items[1]). The
+// float after '@' is cQ, the client's tolerance on the result. The
+// returned query has no Name; callers assign one (ParseList uses q0,
+// q1, ...).
+func Parse(spec string) (Query, error) {
+	var q Query
+	q.Window = 1
+	s := strings.TrimSpace(spec)
+
+	open := strings.IndexByte(s, '(')
+	if open < 0 {
+		return q, fmt.Errorf("query: %q: missing '('", spec)
+	}
+	kind, ok := parseKind(s[:open])
+	if !ok {
+		return q, fmt.Errorf("query: %q: unknown kind %q", spec, s[:open])
+	}
+	q.Kind = kind
+	s = s[open+1:]
+
+	close := strings.IndexByte(s, ')')
+	if close < 0 {
+		return q, fmt.Errorf("query: %q: missing ')'", spec)
+	}
+	body, rest := s[:close], s[close+1:]
+
+	if w, items, found := strings.Cut(body, ";"); found {
+		n, ok := strings.CutPrefix(strings.TrimSpace(w), "w=")
+		if !ok {
+			return q, fmt.Errorf("query: %q: window clause %q (want w=<ticks>;...)", spec, w)
+		}
+		win, err := strconv.Atoi(n)
+		if err != nil || win < 1 {
+			return q, fmt.Errorf("query: %q: bad window %q", spec, n)
+		}
+		q.Window = win
+		body = items
+	}
+	for _, item := range strings.Split(body, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			return q, fmt.Errorf("query: %q: empty item name", spec)
+		}
+		q.Items = append(q.Items, item)
+	}
+
+	if place, ok := strings.CutSuffix(rest, "!client"); ok {
+		q.Placement = PlaceClient
+		rest = place
+	}
+	pred, tol, found := strings.Cut(rest, "@")
+	if !found {
+		return q, fmt.Errorf("query: %q: missing @tolerance", spec)
+	}
+	cq, err := strconv.ParseFloat(strings.TrimSpace(tol), 64)
+	if err != nil || !(cq > 0) {
+		return q, fmt.Errorf("query: %q: bad tolerance %q", spec, tol)
+	}
+	q.Tolerance = cq
+
+	if pred = strings.TrimSpace(pred); pred != "" {
+		op := pred[0]
+		if op != '>' && op != '<' {
+			return q, fmt.Errorf("query: %q: bad predicate %q (want >x or <x)", spec, pred)
+		}
+		x, err := strconv.ParseFloat(strings.TrimSpace(pred[1:]), 64)
+		if err != nil {
+			return q, fmt.Errorf("query: %q: bad predicate threshold %q", spec, pred[1:])
+		}
+		q.Pred = &Pred{Op: op, X: x}
+	}
+
+	if err := q.Validate(); err != nil {
+		return q, fmt.Errorf("%w (in %q)", err, spec)
+	}
+	return q, nil
+}
+
+// ParseList parses a list of specs and names them q0, q1, ... in order.
+func ParseList(specs []string) ([]Query, error) {
+	out := make([]Query, 0, len(specs))
+	for i, spec := range specs {
+		q, err := Parse(spec)
+		if err != nil {
+			return nil, err
+		}
+		q.Name = fmt.Sprintf("q%d", i)
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+// parseKind resolves a kind's grammar spelling.
+func parseKind(s string) (Kind, bool) {
+	for k, name := range kindNames {
+		if name == strings.TrimSpace(s) {
+			return k, true
+		}
+	}
+	return 0, false
+}

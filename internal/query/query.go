@@ -1,0 +1,232 @@
+// Package query adds continuous derived-data queries on top of the
+// coherency machinery: a client no longer has to watch raw items and
+// recombine them — it subscribes to a *derived* value (a portfolio
+// average, a spread between two tickers, a windowed max over a sensor
+// group) with a tolerance cQ on the result, and the system bounds the
+// result's error the same way Eqs. 3 and 7 bound a raw copy's.
+//
+// The algebra is deliberately small: a windowed aggregate (sum, avg,
+// min, max) over an item set, a join (difference or ratio) over an item
+// pair, and an optional filter predicate gating the result. What makes
+// it compose with the paper's machinery is **tolerance allocation**:
+// each operator is Lipschitz in its inputs under the sup norm, so a
+// result tolerance cQ translates into per-input tolerances that the
+// existing DeriveNeeds/Eq. 3+7 pipeline can enforce — and a coherent
+// set of inputs then provably implies a coherent result:
+//
+//	sum   error ≤ Σ|eᵢ|      → allocate cQ/n per input (n·cQ/n = cQ)
+//	avg   error ≤ (1/n)Σ|eᵢ| → allocate cQ per input (n·(1/n)·cQ = cQ)
+//	min   |min u − min v| ≤ maxᵢ|uᵢ−vᵢ| → allocate cQ (1-Lipschitz)
+//	max   symmetric to min              → allocate cQ
+//	diff  |（a−b)−(a'−b')| ≤ |eₐ|+|e_b| → allocate cQ/2 per side
+//	ratio first-order: allocate cQ/2 per side (exact only when the
+//	      denominator is bounded away from zero; see DESIGN.md)
+//	filter: the identity on the value — tolerances pass through
+//
+// Windows follow the same discipline. The window combiner is the mean
+// of the per-tick aggregates for sum/avg/diff/ratio and the min/max of
+// them for min/max — every combiner is 1-Lipschitz in the sup norm over
+// its slots, so per-tick aggregates within cQ keep the windowed result
+// within cQ.
+//
+// Evaluation happens at the serving repository by default — the inputs
+// already flow there, so only *result* changes travel the last hop to
+// the client — or at the client (Placement PlaceClient), where every
+// input delivery travels instead. The two placements produce the same
+// result stream; they trade message cost, which the query-cost figure
+// measures.
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"d3t/internal/coherency"
+)
+
+// Kind is the query's combining operator.
+type Kind int
+
+const (
+	// Sum, Avg, Min and Max aggregate over the whole item set.
+	Sum Kind = iota
+	Avg
+	Min
+	Max
+	// Diff and Ratio join an item pair: Items[0]−Items[1] and
+	// Items[0]/Items[1] respectively.
+	Diff
+	Ratio
+)
+
+// kindNames is the canonical spelling of each kind in the spec grammar.
+var kindNames = map[Kind]string{
+	Sum: "sum", Avg: "avg", Min: "min", Max: "max", Diff: "diff", Ratio: "ratio",
+}
+
+// String returns the kind's grammar spelling.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// IsJoin reports whether the kind pairs exactly two items.
+func (k Kind) IsJoin() bool { return k == Diff || k == Ratio }
+
+// Placement selects where the query plan is evaluated.
+type Placement int
+
+const (
+	// PlaceRepo evaluates at the serving repository: the inputs already
+	// flow there, and only result changes travel to the client.
+	PlaceRepo Placement = iota
+	// PlaceClient evaluates at the client: every input delivery travels,
+	// the client recombines locally. Same result stream, different
+	// message cost.
+	PlaceClient
+)
+
+// Pred is the optional Filter(pred) stage: the result is published only
+// while the predicate holds. The predicate is the identity on the value
+// (|x − y| unchanged), so tolerance allocation passes through it.
+type Pred struct {
+	// Op is '>' or '<'.
+	Op byte
+	// X is the threshold the result is compared against.
+	X float64
+}
+
+// Holds evaluates the predicate.
+func (p *Pred) Holds(v float64) bool {
+	if p.Op == '<' {
+		return v < p.X
+	}
+	return v > p.X
+}
+
+// Query is one continuous derived-data query: the operator, its input
+// items, the tick window, the client's tolerance on the result, and the
+// optional filter and placement.
+type Query struct {
+	// Name identifies the query session (callers assign it; Parse leaves
+	// it empty and ParseList fills q0, q1, ...).
+	Name string
+	// Kind is the combining operator.
+	Kind Kind
+	// Items are the input items, in spec order (order matters for joins:
+	// Diff is Items[0]−Items[1]).
+	Items []string
+	// Window is the aggregation window in query ticks (>= 1; 1 means
+	// the instantaneous aggregate).
+	Window int
+	// Tolerance is cQ: the client's coherency tolerance on the result.
+	Tolerance float64
+	// Pred, when set, gates result publication (Filter(pred)).
+	Pred *Pred
+	// Placement selects repository-side (default) or client-side
+	// evaluation.
+	Placement Placement
+}
+
+// Validate reports the first problem with the query.
+func (q *Query) Validate() error {
+	if _, ok := kindNames[q.Kind]; !ok {
+		return fmt.Errorf("query: unknown kind %d", int(q.Kind))
+	}
+	if len(q.Items) == 0 {
+		return fmt.Errorf("query: no input items")
+	}
+	if q.Kind.IsJoin() && len(q.Items) != 2 {
+		return fmt.Errorf("query: %s joins exactly two items, got %d", q.Kind, len(q.Items))
+	}
+	seen := make(map[string]bool, len(q.Items))
+	for _, x := range q.Items {
+		if x == "" {
+			return fmt.Errorf("query: empty item name")
+		}
+		if seen[x] {
+			return fmt.Errorf("query: duplicate item %q", x)
+		}
+		seen[x] = true
+	}
+	if q.Window < 1 {
+		return fmt.Errorf("query: window %d < 1", q.Window)
+	}
+	if !(q.Tolerance > 0) {
+		return fmt.Errorf("query: tolerance %v must be positive", q.Tolerance)
+	}
+	if q.Pred != nil && q.Pred.Op != '>' && q.Pred.Op != '<' {
+		return fmt.Errorf("query: unknown predicate op %q", string(q.Pred.Op))
+	}
+	return nil
+}
+
+// InputTolerance returns the per-input tolerance the allocation rules
+// derive from cQ — the budget each input must be served within so the
+// operator's Lipschitz bound keeps the result within cQ.
+func (q *Query) InputTolerance() coherency.Requirement {
+	switch q.Kind {
+	case Sum:
+		return coherency.Requirement(q.Tolerance / float64(len(q.Items)))
+	case Avg:
+		// Per-input sensitivity is 1/n, so each input may use the whole
+		// budget: n · (1/n) · cQ = cQ.
+		return coherency.Requirement(q.Tolerance)
+	case Min, Max:
+		// 1-Lipschitz in the sup norm: the budget passes through.
+		return coherency.Requirement(q.Tolerance)
+	case Diff, Ratio:
+		return coherency.Requirement(q.Tolerance / 2)
+	}
+	return coherency.Requirement(q.Tolerance)
+}
+
+// Wants returns the query session's input subscription: every input item
+// at the allocated tolerance, ready for node.NewSession / DeriveNeeds.
+func (q *Query) Wants() map[string]coherency.Requirement {
+	tol := q.InputTolerance()
+	out := make(map[string]coherency.Requirement, len(q.Items))
+	for _, x := range q.Items {
+		out[x] = tol
+	}
+	return out
+}
+
+// SortedItems returns the input items in deterministic order.
+func (q *Query) SortedItems() []string {
+	items := append([]string(nil), q.Items...)
+	sort.Strings(items)
+	return items
+}
+
+// ResultItem is the pseudo-item name result pushes travel under on the
+// client-facing transports (live channel updates, netio update frames).
+// The "query:" prefix cannot collide with trace items, whose names never
+// contain a colon.
+func (q *Query) ResultItem() string { return "query:" + q.Name }
+
+// String renders the canonical spec — Parse(q.String()) reproduces the
+// query (modulo Name, which the grammar does not carry).
+func (q *Query) String() string {
+	s := q.Kind.String() + "("
+	if q.Window > 1 {
+		s += fmt.Sprintf("w=%d;", q.Window)
+	}
+	for i, x := range q.Items {
+		if i > 0 {
+			s += ","
+		}
+		s += x
+	}
+	s += ")"
+	if q.Pred != nil {
+		s += fmt.Sprintf("%c%g", q.Pred.Op, q.Pred.X)
+	}
+	s += fmt.Sprintf("@%g", q.Tolerance)
+	if q.Placement == PlaceClient {
+		s += "!client"
+	}
+	return s
+}

@@ -1,0 +1,250 @@
+package query
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Query
+	}{
+		{"avg(w=5;A,B,C)@0.05", Query{Kind: Avg, Items: []string{"A", "B", "C"}, Window: 5, Tolerance: 0.05}},
+		{"sum(A,B)@1", Query{Kind: Sum, Items: []string{"A", "B"}, Window: 1, Tolerance: 1}},
+		{"min(w=2;A)@0.5", Query{Kind: Min, Items: []string{"A"}, Window: 2, Tolerance: 0.5}},
+		{"max(A,B,C,D)@2", Query{Kind: Max, Items: []string{"A", "B", "C", "D"}, Window: 1, Tolerance: 2}},
+		{"diff(A,B)>0@0.1!client", Query{Kind: Diff, Items: []string{"A", "B"}, Window: 1, Tolerance: 0.1,
+			Pred: &Pred{Op: '>', X: 0}, Placement: PlaceClient}},
+		{"ratio(A,B)<1.5@0.2", Query{Kind: Ratio, Items: []string{"A", "B"}, Window: 1, Tolerance: 0.2,
+			Pred: &Pred{Op: '<', X: 1.5}}},
+	}
+	for _, c := range cases {
+		q, err := Parse(c.spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", c.spec, err)
+		}
+		if q.Kind != c.want.Kind || q.Window != c.want.Window || q.Tolerance != c.want.Tolerance ||
+			q.Placement != c.want.Placement || len(q.Items) != len(c.want.Items) {
+			t.Errorf("Parse(%q) = %+v, want %+v", c.spec, q, c.want)
+		}
+		for i := range c.want.Items {
+			if q.Items[i] != c.want.Items[i] {
+				t.Errorf("Parse(%q) items = %v, want %v", c.spec, q.Items, c.want.Items)
+			}
+		}
+		if (q.Pred == nil) != (c.want.Pred == nil) {
+			t.Errorf("Parse(%q) pred = %v, want %v", c.spec, q.Pred, c.want.Pred)
+		} else if q.Pred != nil && (q.Pred.Op != c.want.Pred.Op || q.Pred.X != c.want.Pred.X) {
+			t.Errorf("Parse(%q) pred = %+v, want %+v", c.spec, *q.Pred, *c.want.Pred)
+		}
+		// The canonical rendering re-parses to the same query.
+		back, err := Parse(q.String())
+		if err != nil {
+			t.Fatalf("Parse(String(%q)) = %q: %v", c.spec, q.String(), err)
+		}
+		if back.String() != q.String() {
+			t.Errorf("round trip %q -> %q -> %q", c.spec, q.String(), back.String())
+		}
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	bad := []string{
+		"", "avg", "avg()@0.1", "avg(A)@", "avg(A)@0", "avg(A)@-1", "avg(A)",
+		"mean(A)@0.1", "avg(w=0;A)@0.1", "avg(w=x;A)@0.1", "avg(A,,B)@0.1",
+		"avg(A,A)@0.1", "diff(A)@0.1", "diff(A,B,C)@0.1", "avg(A)=3@0.1",
+		"avg(A)>@0.1", "avg(A@0.1",
+	}
+	for _, spec := range bad {
+		if q, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) accepted: %+v", spec, q)
+		}
+	}
+}
+
+func TestAllocation(t *testing.T) {
+	cases := []struct {
+		spec string
+		want float64
+	}{
+		{"sum(A,B,C,D)@1", 0.25},
+		{"avg(A,B,C,D)@1", 1},
+		{"min(A,B)@0.5", 0.5},
+		{"max(A,B)@0.5", 0.5},
+		{"diff(A,B)@1", 0.5},
+		{"ratio(A,B)@1", 0.5},
+	}
+	for _, c := range cases {
+		q, err := Parse(c.spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := float64(q.InputTolerance()); got != c.want {
+			t.Errorf("%s: allocated %v, want %v", c.spec, got, c.want)
+		}
+		for x, tol := range q.Wants() {
+			if float64(tol) != c.want {
+				t.Errorf("%s: Wants[%s] = %v, want %v", c.spec, x, tol, c.want)
+			}
+		}
+	}
+}
+
+func TestEvalInstantKinds(t *testing.T) {
+	feed := func(spec string, vals map[string]float64) float64 {
+		q, err := Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e := NewEval(q)
+		for _, x := range q.Items {
+			e.Observe(x, vals[x], 0)
+		}
+		r, ok := e.Result()
+		if !ok {
+			t.Fatalf("%s: result undefined after all inputs", spec)
+		}
+		return r
+	}
+	vals := map[string]float64{"A": 4, "B": 2, "C": 6}
+	if r := feed("sum(A,B,C)@1", vals); r != 12 {
+		t.Errorf("sum = %v", r)
+	}
+	if r := feed("avg(A,B,C)@1", vals); r != 4 {
+		t.Errorf("avg = %v", r)
+	}
+	if r := feed("min(A,B,C)@1", vals); r != 2 {
+		t.Errorf("min = %v", r)
+	}
+	if r := feed("max(A,B,C)@1", vals); r != 6 {
+		t.Errorf("max = %v", r)
+	}
+	if r := feed("diff(A,B)@1", vals); r != 2 {
+		t.Errorf("diff = %v", r)
+	}
+	if r := feed("ratio(A,B)@1", vals); r != 2 {
+		t.Errorf("ratio = %v", r)
+	}
+}
+
+func TestEvalCounters(t *testing.T) {
+	q, _ := Parse("sum(A,B)@1")
+	e := NewEval(q)
+	if _, ok, _ := e.Observe("A", 1, 0); ok {
+		t.Error("result defined with B missing")
+	}
+	if _, ok, changed := e.Observe("B", 2, 0); !ok || !changed {
+		t.Error("first complete observation should define and change the result")
+	}
+	if _, ok, changed := e.Observe("A", 1, 1); !ok || changed {
+		t.Error("same value should recompute without changing the result")
+	}
+	e.Observe("ZZZ", 9, 1) // not a member: ignored entirely
+	if e.Evals() != 3 || e.Recomputes() != 2 {
+		t.Errorf("counters evals=%d recomputes=%d, want 3 and 2", e.Evals(), e.Recomputes())
+	}
+	// Seeding counts neither.
+	e2 := NewEval(q)
+	e2.Seed("A", 1, 0)
+	e2.Seed("B", 2, 0)
+	if r, ok := e2.Result(); !ok || r != 3 {
+		t.Errorf("seeded result = %v, %v", r, ok)
+	}
+	if e2.Evals() != 0 || e2.Recomputes() != 0 {
+		t.Error("seeding counted as evaluation")
+	}
+}
+
+func TestEvalWindow(t *testing.T) {
+	// avg over one item with w=3 is a moving average of the item itself.
+	q, _ := Parse("avg(w=3;A)@1")
+	e := NewEval(q)
+	e.Observe("A", 3, 0) // window [3]
+	if r, _ := e.Result(); r != 3 {
+		t.Errorf("tick 0: %v", r)
+	}
+	e.Observe("A", 6, 1) // window [3 6]
+	if r, _ := e.Result(); r != 4.5 {
+		t.Errorf("tick 1: %v", r)
+	}
+	e.Observe("A", 9, 2) // window [3 6 9]
+	if r, _ := e.Result(); r != 6 {
+		t.Errorf("tick 2: %v", r)
+	}
+	e.Observe("A", 0, 3) // window [6 9 0]
+	if r, _ := e.Result(); r != 5 {
+		t.Errorf("tick 3: %v", r)
+	}
+	// A gap carries the last aggregate: ticks 4,5 hold 0.
+	e.Observe("A", 12, 5) // window [0 0 12]
+	if r, _ := e.Result(); r != 4 {
+		t.Errorf("tick 5: %v", r)
+	}
+	// Windowed max keeps the peak in view.
+	qm, _ := Parse("max(w=3;A)@1")
+	em := NewEval(qm)
+	em.Observe("A", 9, 0)
+	em.Observe("A", 1, 1)
+	em.Observe("A", 2, 2)
+	if r, _ := em.Result(); r != 9 {
+		t.Errorf("windowed max = %v, want 9", r)
+	}
+	em.Observe("A", 3, 3) // the 9 fell out
+	if r, _ := em.Result(); r != 3 {
+		t.Errorf("windowed max after eviction = %v, want 3", r)
+	}
+}
+
+// TestToleranceGuarantee is the allocation soundness check at the eval
+// level: drive a truth eval and a view eval with the same tick stream,
+// the view's inputs perturbed within the allocated tolerance, and demand
+// the results stay within cQ. The node prop test replays the same
+// invariant against delivered scenarios.
+func TestToleranceGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	specs := []string{
+		"sum(A,B,C)@0.6", "avg(A,B,C)@0.3", "min(A,B,C)@0.25",
+		"max(A,B,C)@0.25", "diff(A,B)@0.4",
+		"sum(w=4;A,B,C)@0.6", "avg(w=3;A,B,C)@0.3", "min(w=5;A,B,C)@0.25",
+		"max(w=2;A,B,C)@0.25", "diff(w=3;A,B)@0.4",
+	}
+	for _, spec := range specs {
+		q, err := Parse(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alloc := float64(q.InputTolerance())
+		truth, view := NewEval(q), NewEval(q)
+		vals := make(map[string]float64)
+		for _, x := range q.Items {
+			vals[x] = 10 + rng.Float64()
+		}
+		for tick := int64(0); tick < 200; tick++ {
+			for _, x := range q.Items {
+				vals[x] += rng.NormFloat64() * 0.5
+				truth.Observe(x, vals[x], tick)
+				view.Observe(x, vals[x]+(2*rng.Float64()-1)*alloc, tick)
+			}
+			rt, okT := truth.Result()
+			rv, okV := view.Result()
+			if !okT || !okV {
+				t.Fatalf("%s: undefined result at tick %d", spec, tick)
+			}
+			if d := math.Abs(rt - rv); d > q.Tolerance+1e-9 {
+				t.Fatalf("%s: result drift %v exceeds cQ=%v at tick %d", spec, d, q.Tolerance, tick)
+			}
+		}
+	}
+}
+
+func BenchmarkEvalObserve(b *testing.B) {
+	q, _ := Parse("avg(w=8;A,B,C,D)@0.1")
+	e := NewEval(q)
+	items := q.Items
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Observe(items[i%len(items)], float64(i%97), int64(i/4))
+	}
+}

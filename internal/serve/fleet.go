@@ -44,6 +44,16 @@ type Fleet struct {
 	alive    map[repository.ID]bool
 	orphans  map[*Session]bool // want to be attached, found no room
 
+	// Query catalogue (see queries.go). Query sessions live in byName and
+	// byItem — admission, filtering, migration and source metering treat
+	// them exactly like clients — but not in sessions, so client-facing
+	// stats and the churn plan's indexing stay client-only.
+	queries   []*QuerySession
+	qByName   map[string]*QuerySession
+	qByItem   map[string][]*QuerySession
+	qOf       map[*Session]*QuerySession
+	qInterval sim.Time
+
 	src     map[string]float64
 	initial map[string]float64
 
@@ -67,15 +77,16 @@ func (t *fleetTransport) SendToDependent(repository.ID, string, float64, bool) b
 }
 
 func (t *fleetTransport) SendToClient(ns *node.Session, item string, v float64, resync bool) {
-	s, ok := ns.Tag().(*Session)
-	if !ok {
-		return
-	}
-	s.meters[item].deliver(t.now, v)
-	if resync {
-		t.f.stats.Resyncs++
-	} else {
-		t.f.stats.Delivered++
+	switch s := ns.Tag().(type) {
+	case *Session:
+		s.meters[item].deliver(t.now, v)
+		if resync {
+			t.f.stats.Resyncs++
+		} else {
+			t.f.stats.Delivered++
+		}
+	case *QuerySession:
+		t.f.queryDeliver(s, t.now, item, v, resync)
 	}
 }
 
@@ -101,6 +112,13 @@ func NewFleet(net *netsim.Network, repos []*repository.Repository, opts Options)
 		alive:   make(map[repository.ID]bool),
 		orphans: make(map[*Session]bool),
 		src:     make(map[string]float64),
+		qByName: make(map[string]*QuerySession),
+		qByItem: make(map[string][]*QuerySession),
+		qOf:     make(map[*Session]*QuerySession),
+	}
+	f.qInterval = opts.Interval
+	if f.qInterval <= 0 {
+		f.qInterval = 1
 	}
 	f.tr.f = f
 	for i, r := range repos {
@@ -257,6 +275,10 @@ func (f *Fleet) attach(s *Session, id repository.ID, now sim.Time) {
 	for _, x := range sortedItems(s.Wants) {
 		s.meters[x].attach(now)
 	}
+	if qs := f.qOf[s]; qs != nil {
+		qs.attached = true
+		qs.gate(now)
+	}
 	delete(f.orphans, s)
 	f.tr.now = now
 	f.core(id).ForceAdmit(s.ns, &f.tr)
@@ -272,6 +294,10 @@ func (f *Fleet) detach(s *Session, now sim.Time) {
 	s.Repo = repository.NoID
 	for _, x := range sortedItems(s.Wants) {
 		s.meters[x].detach(now)
+	}
+	if qs := f.qOf[s]; qs != nil {
+		qs.attached = false
+		qs.gate(now)
 	}
 }
 
@@ -298,6 +324,16 @@ func (f *Fleet) Seed(initial map[string]float64) {
 			}
 		}
 	}
+	for _, qs := range f.queries {
+		for x, m := range qs.s.meters {
+			if v, ok := initial[x]; ok {
+				m.src, m.have = v, v
+				m.refresh()
+				qs.s.ns.SeedValue(x, v)
+			}
+		}
+	}
+	f.seedQueries(initial)
 }
 
 // catchUp executes every scheduled churn event due at or before now.
@@ -338,6 +374,7 @@ func (f *Fleet) ObserveSource(now sim.Time, item string, v float64) {
 	for _, s := range f.byItem[item] {
 		s.meters[item].srcUpdate(now, v)
 	}
+	f.observeQuerySource(now, item, v)
 }
 
 // ObserveDeliver runs a repository's delivery through its serving core:
@@ -395,6 +432,16 @@ func (f *Fleet) ObserveRejoin(now sim.Time, id repository.ID) {
 		}
 		if target := f.place(s, false); target != repository.NoID {
 			f.attach(s, target, now)
+			f.stats.Migrations++
+			f.opts.Obs.Node(target).Migrate1()
+		}
+	}
+	for _, qs := range f.queries {
+		if !f.orphans[qs.s] {
+			continue
+		}
+		if target := f.place(qs.s, false); target != repository.NoID {
+			f.attach(qs.s, target, now)
 			f.stats.Migrations++
 			f.opts.Obs.Node(target).Migrate1()
 		}

@@ -1,0 +1,343 @@
+package serve
+
+import (
+	"fmt"
+
+	"d3t/internal/coherency"
+	"d3t/internal/node"
+	"d3t/internal/query"
+	"d3t/internal/repository"
+	"d3t/internal/sim"
+)
+
+// QuerySession is one continuous derived-data query served by the fleet:
+// an ordinary input session (the query's items at the allocated per-input
+// tolerance, placed/filtered/migrated exactly like a client) plus two
+// incremental evaluators and a result fidelity meter.
+//
+// The *view* evaluator is fed by the deliveries the serving repository's
+// per-client filter lets through — it is the result the client actually
+// sees, and its eval/recompute counts are the numbers the cross-backend
+// parity test compares. The *truth* evaluator is fed by the source signal
+// directly; the result meter integrates |truth − published view| ≤ cQ
+// over the session's attached lifetime, which is the end-to-end guarantee
+// the tolerance allocation is supposed to buy.
+type QuerySession struct {
+	// Query is the query being served.
+	Query query.Query
+
+	s     *Session
+	truth *query.Eval
+	view  *query.Eval
+	rm    meter // result meter, c = cQ
+
+	// attached mirrors the input session; predOpen tracks the filter
+	// predicate against the truth result. The result meter observes only
+	// while both hold — a departed client (or one whose predicate gates
+	// the result off) is not owed the result.
+	attached bool
+	predOpen bool
+
+	// have is the client's copy of the result: the last *published* view
+	// result (publication is gated by the predicate on the view result).
+	have   float64
+	hasPub bool
+
+	inputPushes  uint64 // input deliveries (client-side placement cost)
+	resyncPushes uint64 // catch-up input deliveries
+	resultPushes uint64 // published result changes (repo-side placement cost)
+}
+
+// Session returns the query's underlying input session.
+func (qs *QuerySession) Session() *Session { return qs.s }
+
+// Evals and Recomputes report the view evaluator's counters: input
+// deliveries evaluated, and result recomputations (one per delivery once
+// every input has a value). They depend only on the delivery sequence,
+// so every backend serving the same update stream reports the same
+// counts.
+func (qs *QuerySession) Evals() uint64      { return qs.view.Evals() }
+func (qs *QuerySession) Recomputes() uint64 { return qs.view.Recomputes() }
+
+// Result returns the client's current copy of the result (the last
+// published view result).
+func (qs *QuerySession) Result() (float64, bool) { return qs.have, qs.hasPub }
+
+// Fidelity returns the result-level fidelity up to now: the fraction of
+// observed time the published result was within cQ of the truth result.
+func (qs *QuerySession) Fidelity(now sim.Time) float64 {
+	f, _ := qs.rm.fidelity(now)
+	return f
+}
+
+// InputFloor returns the union-bound fidelity floor the inputs imply:
+// the result can only be out of tolerance while some input is out of
+// its allocated tolerance, so result fidelity ≥ 1 − Σᵢ(1 − fᵢ)
+// (clamped at 0). This is the provable side of the allocation argument,
+// measured: the query-fidelity figure checks the result stays above it.
+func (qs *QuerySession) InputFloor(now sim.Time) float64 {
+	floor := 1.0
+	for _, x := range sortedItems(qs.s.Wants) {
+		f, ok := qs.s.meters[x].fidelity(now)
+		if !ok {
+			continue
+		}
+		floor -= 1 - f
+	}
+	if floor < 0 {
+		return 0
+	}
+	return floor
+}
+
+// gate reconciles the result meter with the session/predicate state.
+func (qs *QuerySession) gate(now sim.Time) {
+	want := qs.attached && qs.predOpen
+	if want && !qs.rm.attached {
+		qs.rm.attach(now)
+	} else if !want && qs.rm.attached {
+		qs.rm.detach(now)
+	}
+}
+
+// QueryOutcome is one query's end-of-run summary.
+type QueryOutcome struct {
+	Name string
+	Spec string
+	// Repo is the repository serving the query at the horizon (NoID if
+	// detached).
+	Repo repository.ID
+	// Fidelity is the result-level fidelity; InputFloor the union-bound
+	// floor the input fidelities imply (see QuerySession.InputFloor).
+	Fidelity   float64
+	InputFloor float64
+	// Evals and Recomputes are the view evaluator's counters.
+	Evals, Recomputes uint64
+	// InputPushes and ResultPushes are the per-placement last-hop message
+	// costs: client-side evaluation ships every input delivery,
+	// repository-side evaluation ships only published result changes.
+	// Resyncs counts catch-up input deliveries (admission, migration).
+	InputPushes, ResultPushes, Resyncs uint64
+}
+
+// QueryStats aggregates the query layer's end-of-run outcomes.
+type QueryStats struct {
+	// Queries is the catalogue size.
+	Queries int
+	// Evals and Recomputes sum the view evaluators' counters.
+	Evals, Recomputes uint64
+	// InputPushes, ResultPushes and Resyncs sum the per-query message
+	// tallies; Messages is the realized last-hop cost, charging each
+	// query by its declared placement (repo: result pushes; client: input
+	// pushes + resyncs).
+	InputPushes, ResultPushes, Resyncs uint64
+	Messages                           uint64
+	// MeanFidelity and WorstFidelity aggregate result-level fidelity;
+	// LossPercent is 100*(1-MeanFidelity). MeanInputFloor is the mean
+	// union-bound floor — the provable guarantee the allocation bought.
+	MeanFidelity   float64
+	WorstFidelity  float64
+	LossPercent    float64
+	MeanInputFloor float64
+	// PerQuery is the per-query detail, in catalogue order.
+	PerQuery []QueryOutcome
+}
+
+// String renders the stats as a one-line summary.
+func (s QueryStats) String() string {
+	return fmt.Sprintf("queries=%d queryLoss=%.2f%% floor=%.4f evals=%d recomputes=%d msgs=%d",
+		s.Queries, s.LossPercent, s.MeanInputFloor, s.Evals, s.Recomputes, s.Messages)
+}
+
+// qTick maps simulation time onto the query clock.
+func (f *Fleet) qTick(now sim.Time) int64 { return int64(now / f.qInterval) }
+
+// AttachQueries admits the fleet's query catalogue (Options.Queries):
+// each query becomes an input session subscribed to its items at the
+// allocated per-input tolerance, placed like a client homed at a
+// repository chosen round-robin. It returns one synthetic client per
+// query — already homed at its placement — for the caller to fold into
+// DeriveNeeds, so the overlay provably serves every input at least as
+// stringently as the allocation demands.
+func (f *Fleet) AttachQueries() ([]*repository.Client, error) {
+	out := make([]*repository.Client, 0, len(f.opts.Queries))
+	for i, q := range f.opts.Queries {
+		if err := q.Validate(); err != nil {
+			return nil, err
+		}
+		if q.Name == "" {
+			return nil, fmt.Errorf("serve: query %d has no name", i)
+		}
+		if f.byName[q.Name] != nil {
+			return nil, fmt.Errorf("serve: duplicate session %q", q.Name)
+		}
+		home := repository.ID(1 + i%len(f.repos))
+		wants := q.Wants()
+		s := &Session{
+			Name:       q.Name,
+			Home:       home,
+			Repo:       repository.NoID,
+			Wants:      wants,
+			ns:         node.NewSession(q.Name, wants),
+			candidates: Candidates(f.net, home, len(f.repos)),
+			meters:     make(map[string]*meter, len(wants)),
+		}
+		for x, tol := range wants {
+			s.meters[x] = &meter{c: tol}
+		}
+		qs := &QuerySession{
+			Query:    q,
+			s:        s,
+			truth:    query.NewEval(q),
+			view:     query.NewEval(q),
+			rm:       meter{c: coherency.Requirement(q.Tolerance)},
+			predOpen: q.Pred == nil,
+		}
+		s.ns.SetTag(qs)
+		f.byName[q.Name] = s
+		f.qByName[q.Name] = qs
+		f.qOf[s] = qs
+		target := f.place(s, true)
+		if target == repository.NoID {
+			delete(f.byName, q.Name)
+			delete(f.qByName, q.Name)
+			delete(f.qOf, s)
+			return nil, fmt.Errorf("serve: no repository to place query %q on", q.Name)
+		}
+		f.attach(s, target, 0)
+		for _, x := range sortedItems(wants) {
+			f.byItem[x] = append(f.byItem[x], s)
+			f.qByItem[x] = append(f.qByItem[x], qs)
+		}
+		f.queries = append(f.queries, qs)
+		out = append(out, &repository.Client{Name: q.Name, Repo: target, Wants: wants})
+	}
+	return out, nil
+}
+
+// QuerySession returns a query session by query name.
+func (f *Fleet) QuerySession(name string) *QuerySession { return f.qByName[name] }
+
+// QuerySessions returns the query catalogue in attachment order.
+func (f *Fleet) QuerySessions() []*QuerySession { return f.queries }
+
+// seedQueries installs the initial values into both evaluators and
+// primes the result meter — the synchronized-join path, outside the
+// delivery stream (no eval/recompute counted).
+func (f *Fleet) seedQueries(initial map[string]float64) {
+	for _, qs := range f.queries {
+		for _, x := range qs.Query.Items {
+			if v, ok := initial[x]; ok {
+				qs.truth.Seed(x, v, 0)
+				qs.view.Seed(x, v, 0)
+			}
+		}
+		if rt, ok := qs.truth.Result(); ok {
+			qs.rm.src = rt
+			if qs.Query.Pred != nil {
+				qs.predOpen = qs.Query.Pred.Holds(rt)
+				qs.gate(0)
+			}
+		}
+		if rv, ok := qs.view.Result(); ok {
+			if qs.Query.Pred == nil || qs.Query.Pred.Holds(rv) {
+				qs.have, qs.hasPub = rv, true
+				qs.rm.have = rv
+			}
+		}
+		qs.rm.refresh()
+	}
+}
+
+// observeQuerySource feeds one source-signal change into every query
+// watching the item: the truth evaluator recomputes, the result meter's
+// reference moves, and the predicate gate follows the truth result.
+func (f *Fleet) observeQuerySource(now sim.Time, item string, v float64) {
+	for _, qs := range f.qByItem[item] {
+		rt, ok, _ := qs.truth.Observe(item, v, f.qTick(now))
+		if !ok {
+			continue
+		}
+		qs.rm.srcUpdate(now, rt)
+		if qs.Query.Pred != nil {
+			qs.predOpen = qs.Query.Pred.Holds(rt)
+			qs.gate(now)
+		}
+	}
+}
+
+// queryDeliver runs one filtered input delivery through a query session:
+// the input meter and push tallies move, the view evaluator recomputes,
+// and a changed result that passes the predicate is published to the
+// client's copy.
+func (f *Fleet) queryDeliver(qs *QuerySession, now sim.Time, item string, v float64, resync bool) {
+	qs.s.meters[item].deliver(now, v)
+	if resync {
+		qs.resyncPushes++
+	} else {
+		qs.inputPushes++
+	}
+	res, ok, changed := qs.view.Observe(item, v, f.qTick(now))
+	recomputed := 0
+	if ok {
+		recomputed = 1
+	}
+	f.opts.Obs.Node(qs.s.Repo).QueryPass(1, recomputed)
+	if !ok || !changed {
+		return
+	}
+	if qs.Query.Pred != nil && !qs.Query.Pred.Holds(res) {
+		return
+	}
+	qs.resultPushes++
+	qs.have, qs.hasPub = res, true
+	qs.rm.deliver(now, res)
+}
+
+// FinalizeQueries flushes churn through the horizon and returns the
+// query layer's end-of-run statistics. Call it alongside Finalize.
+func (f *Fleet) FinalizeQueries(horizon sim.Time) QueryStats {
+	f.catchUp(horizon)
+	st := QueryStats{Queries: len(f.queries), MeanFidelity: 1, WorstFidelity: 1, MeanInputFloor: 1}
+	if len(f.queries) == 0 {
+		return st
+	}
+	var fidSum, floorSum float64
+	worst := 1.0
+	for _, qs := range f.queries {
+		fid := qs.Fidelity(horizon)
+		floor := qs.InputFloor(horizon)
+		fidSum += fid
+		floorSum += floor
+		if fid < worst {
+			worst = fid
+		}
+		st.Evals += qs.view.Evals()
+		st.Recomputes += qs.view.Recomputes()
+		st.InputPushes += qs.inputPushes
+		st.ResultPushes += qs.resultPushes
+		st.Resyncs += qs.resyncPushes
+		if qs.Query.Placement == query.PlaceClient {
+			st.Messages += qs.inputPushes + qs.resyncPushes
+		} else {
+			st.Messages += qs.resultPushes
+		}
+		st.PerQuery = append(st.PerQuery, QueryOutcome{
+			Name:         qs.Query.Name,
+			Spec:         qs.Query.String(),
+			Repo:         qs.s.Repo,
+			Fidelity:     fid,
+			InputFloor:   floor,
+			Evals:        qs.view.Evals(),
+			Recomputes:   qs.view.Recomputes(),
+			InputPushes:  qs.inputPushes,
+			ResultPushes: qs.resultPushes,
+			Resyncs:      qs.resyncPushes,
+		})
+	}
+	st.MeanFidelity = fidSum / float64(len(f.queries))
+	st.WorstFidelity = worst
+	st.LossPercent = 100 * (1 - st.MeanFidelity)
+	st.MeanInputFloor = floorSum / float64(len(f.queries))
+	return st
+}

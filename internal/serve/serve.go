@@ -38,6 +38,7 @@ import (
 	"d3t/internal/coherency"
 	"d3t/internal/netsim"
 	"d3t/internal/obs"
+	"d3t/internal/query"
 	"d3t/internal/repository"
 	"d3t/internal/resilience"
 	"d3t/internal/sim"
@@ -59,6 +60,14 @@ type Options struct {
 	// deliver/filter decisions) and the redirect-latency histogram.
 	// Observation is passive.
 	Obs *obs.Tree
+
+	// Queries is the continuous derived-data query catalogue; each entry
+	// becomes a query session attached by AttachQueries (see queries.go).
+	// Interval is the query clock's tick length in sim time (the trace
+	// tick interval; defaults to 1 when unset), which places windowed
+	// aggregates into their window slots.
+	Queries  []query.Query
+	Interval sim.Time
 }
 
 // Stats counts the serving layer's work and outcomes during one run.

@@ -69,7 +69,7 @@ func (d *Decoder) Decode(f *Frame) error {
 		return fmt.Errorf("wire: unknown frame kind %d: %w", d.hdr[5], ErrMalformed)
 	}
 	flags := d.hdr[6]
-	if flags&^byte(flagResync|flagTrace) != 0 {
+	if flags&^byte(flagResync|flagTrace|flagQuery) != 0 {
 		return fmt.Errorf("wire: undefined flag bits %#x: %w", flags, ErrMalformed)
 	}
 	resync := flags&flagResync != 0
@@ -79,6 +79,10 @@ func (d *Decoder) Decode(f *Frame) error {
 	traced := flags&flagTrace != 0
 	if traced && (kind != KindUpdate || resync) {
 		return fmt.Errorf("wire: trace flag on a %s%v frame: %w", resyncPrefix(resync), kind, ErrMalformed)
+	}
+	queried := flags&flagQuery != 0
+	if queried && kind != KindSubscribe {
+		return fmt.Errorf("wire: query flag on a %v frame: %w", kind, ErrMalformed)
 	}
 	if d.hdr[7] != 0 {
 		return fmt.Errorf("wire: non-zero reserved header byte %#x: %w", d.hdr[7], ErrMalformed)
@@ -199,6 +203,17 @@ func (d *Decoder) Decode(f *Frame) error {
 				return err
 			}
 			f.Wants[item] = coherency.Requirement(tol)
+		}
+		if queried {
+			raw, err := c.str()
+			if err != nil {
+				return err
+			}
+			if len(raw) == 0 {
+				// Canonical form: an empty spec encodes as no flag at all.
+				return fmt.Errorf("wire: query flag with empty spec: %w", ErrMalformed)
+			}
+			f.Query = string(raw)
 		}
 	case KindAccept:
 		// Empty body.

@@ -66,6 +66,12 @@ func AppendFrame(b []byte, f *Frame) ([]byte, error) {
 	} else if len(f.Hops) != 0 {
 		return b, fmt.Errorf("wire: trace hops without a trace id: %w", ErrMalformed)
 	}
+	if f.Query != "" {
+		if f.Kind != KindSubscribe {
+			return b, fmt.Errorf("wire: query spec on a %v frame: %w", f.Kind, ErrMalformed)
+		}
+		flags |= flagQuery
+	}
 	start := len(b)
 	b = append(b, 0, 0, 0, 0, Version, byte(f.Kind), flags, 0)
 	var err error
@@ -111,6 +117,11 @@ func AppendFrame(b []byte, f *Frame) ([]byte, error) {
 				return b, err
 			}
 			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(float64(f.Wants[item])))
+		}
+		if f.Query != "" {
+			if b, err = appendString(b, f.Query); err != nil {
+				return b, err
+			}
 		}
 	case KindAccept:
 		// Empty body.

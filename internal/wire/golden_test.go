@@ -46,6 +46,10 @@ func goldenFrames() []struct {
 			"AAPL": 0.5,
 			"MSFT": 2,
 		}}},
+		{"subscribe_query", Frame{Kind: KindSubscribe, Name: "q0", Wants: map[string]coherency.Requirement{
+			"AAPL": 0.05,
+			"MSFT": 0.05,
+		}, Query: "diff(AAPL,MSFT)@0.1"}},
 		{"accept", Frame{Kind: KindAccept}},
 		{"redirect", Frame{Kind: KindRedirect, Addrs: []string{"10.0.0.2:7070", "10.0.0.3:7070"}}},
 	}
@@ -57,7 +61,8 @@ func goldenFrames() []struct {
 func frameEqual(a, b *Frame) bool {
 	if a.Kind != b.Kind || a.From != b.From || a.Item != b.Item ||
 		math.Float64bits(a.Value) != math.Float64bits(b.Value) ||
-		a.Resync != b.Resync || a.Name != b.Name || a.TraceID != b.TraceID ||
+		a.Resync != b.Resync || a.Name != b.Name || a.Query != b.Query ||
+		a.TraceID != b.TraceID ||
 		len(a.Wants) != len(b.Wants) || len(a.Addrs) != len(b.Addrs) ||
 		len(a.Ups) != len(b.Ups) || len(a.Hops) != len(b.Hops) {
 		return false

@@ -1,0 +1,104 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"d3t/internal/coherency"
+)
+
+// TestQueryFlagPlainUnchanged pins the compat half of the flag-gated
+// extension rule for the query trailer: a plain subscribe must encode to
+// exactly the bytes it produced before the query feature existed, so
+// pre-query and post-query peers interoperate as long as no session
+// subscribes to a derived value.
+func TestQueryFlagPlainUnchanged(t *testing.T) {
+	plain := Frame{Kind: KindSubscribe, Name: "alice", Wants: map[string]coherency.Requirement{
+		"AAPL": 0.5,
+		"MSFT": 2,
+	}}
+	b, err := AppendFrame(nil, &plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b[6] != 0 {
+		t.Fatalf("plain subscribe carries flags %#x", b[6])
+	}
+	queried := plain
+	queried.Query = "diff(AAPL,MSFT)@0.1"
+	qb, err := AppendFrame(nil, &queried)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qb[6]&flagQuery == 0 {
+		t.Fatalf("query subscribe lost its flag: %#x", qb[6])
+	}
+	// Body prefix (name + wants) is identical; only the spec trailer
+	// differs.
+	if !bytes.Equal(qb[8:8+len(b)-8], b[8:]) {
+		t.Fatalf("query trailer changed the subscribe body prefix\nplain:   %x\nqueried: %x", b, qb)
+	}
+}
+
+// TestQueryFlagRejections pins every malformed combination around the
+// query flag: flag and trailer are an all-or-nothing pair, on subscribe
+// frames only.
+func TestQueryFlagRejections(t *testing.T) {
+	// Encoding: a query spec on a kind that cannot carry it.
+	for _, f := range []Frame{
+		{Kind: KindUpdate, Item: "X", Value: 1, Query: "avg(X)@1"},
+		{Kind: KindHello, From: 3, Query: "avg(X)@1"},
+		{Kind: KindBatch, Ups: []Update{{Item: "X", Value: 1}}, Query: "avg(X)@1"},
+	} {
+		if _, err := AppendFrame(nil, &f); !errors.Is(err, ErrMalformed) {
+			t.Errorf("encode %+v: err=%v, want ErrMalformed", f, err)
+		}
+	}
+
+	decode := func(b []byte) error {
+		var f Frame
+		return NewDecoder(bytes.NewReader(b)).Decode(&f)
+	}
+	sub, err := AppendFrame(nil, &Frame{Kind: KindSubscribe, Name: "a",
+		Wants: map[string]coherency.Requirement{"X": 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Query flag on a kind that cannot carry it.
+	hello, err := AppendFrame(nil, &Frame{Kind: KindHello, From: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]byte(nil), hello...)
+	bad[6] |= flagQuery
+	if err := decode(bad); !errors.Is(err, ErrMalformed) {
+		t.Errorf("query flag on hello: err=%v, want ErrMalformed", err)
+	}
+
+	// Flag set with no spec trailer: the body ends at the wants list.
+	bad = append([]byte(nil), sub...)
+	bad[6] |= flagQuery
+	if err := decode(bad); err == nil {
+		t.Errorf("query flag without a spec decoded cleanly")
+	}
+
+	// Flag set with an empty spec string (non-canonical).
+	bad = append([]byte(nil), sub...)
+	bad[6] |= flagQuery
+	bad = append(bad, 0, 0) // zero-length string
+	binary.LittleEndian.PutUint32(bad[0:4], uint32(len(bad)-8))
+	if err := decode(bad); !errors.Is(err, ErrMalformed) {
+		t.Errorf("query flag with empty spec: err=%v, want ErrMalformed", err)
+	}
+
+	// A spec trailer without the flag: trailing body bytes.
+	bad = append([]byte(nil), sub...)
+	bad = append(bad, 1, 0, 'x') // one-byte string, flag clear
+	binary.LittleEndian.PutUint32(bad[0:4], uint32(len(bad)-8))
+	if err := decode(bad); !errors.Is(err, ErrMalformed) {
+		t.Errorf("spec trailer without the flag: err=%v, want ErrMalformed", err)
+	}
+}

@@ -54,6 +54,21 @@
 // down any root-to-leaf path is monotone in At. Untraced updates are
 // byte-identical with and without the feature compiled in.
 //
+// The query flag is meaningful only on a subscribe frame: it marks a
+// derived-data query subscription (internal/query) and appends the
+// query's spec string after the wants entries:
+//
+//	subscribe+query  Name (string) · count (uint32) · count × (Item
+//	                 (string) · Requirement (float64)) · Query (string,
+//	                 non-empty; the query spec grammar of query.Parse)
+//
+// The wants entries are the query's inputs at their allocated per-input
+// tolerances, so a pre-query server that ignored the flag would still
+// serve the inputs coherently; rejecting the undefined bit cleanly (as
+// pre-query builds do) is strictly safer, and the same upgrade rule as
+// the trace flag applies. Plain subscribes are byte-identical with and
+// without the extension compiled in.
+//
 // Decoding is strict: unknown versions, unknown kinds, non-zero
 // reserved bits, out-of-order subscribe entries, truncated fields and
 // trailing body bytes are all errors. Strictness buys a canonical
@@ -104,10 +119,12 @@ const MaxFrameBytes = 16 << 20
 const headerSize = 8
 
 // The defined flag bits; all others must be zero. flagTrace is valid
-// only on a live (non-resync) update frame.
+// only on a live (non-resync) update frame; flagQuery only on a
+// subscribe frame.
 const (
 	flagResync = 1 << 0
 	flagTrace  = 1 << 1
+	flagQuery  = 1 << 2
 )
 
 // Kind discriminates the frame set.
@@ -166,6 +183,10 @@ type Frame struct {
 	// a subscribe frame.
 	Name  string
 	Wants map[string]coherency.Requirement
+	// Query carries a derived-data query spec on a subscribe frame (the
+	// query flag on the wire); empty on a plain subscribe. The wants are
+	// then the query's inputs at their allocated tolerances.
+	Query string
 	// Addrs carries alternative endpoints on a redirect frame.
 	Addrs []string
 	// Ups carries a multi-update batch on a batch frame.

@@ -22,6 +22,7 @@ package d3t
 
 import (
 	"fmt"
+	"sort"
 	"testing"
 	"time"
 
@@ -30,7 +31,9 @@ import (
 	"d3t/internal/netio"
 	"d3t/internal/netsim"
 	"d3t/internal/node"
+	"d3t/internal/query"
 	"d3t/internal/repository"
+	"d3t/internal/serve"
 	"d3t/internal/sim"
 	"d3t/internal/trace"
 	"d3t/internal/tree"
@@ -194,6 +197,139 @@ func TestCrossBackendParity(t *testing.T) {
 		t.Run(fmt.Sprintf("shards=%d,batch=%d", tc.shards, tc.batch), func(t *testing.T) {
 			parityCase(t, tc.shards, tc.batch)
 		})
+	}
+}
+
+// TestCrossBackendQueryParity extends the parity guarantee to the query
+// layer: one query session, subscribed at the same repository in all
+// three backends, must report identical view-evaluator eval/recompute
+// counts. The counts depend only on the delivery sequence the serving
+// repository's per-client filter produces — resync deliveries at
+// admission plus every forwarded input update — so however the backends
+// schedule, the evaluation work must agree exactly. A divergence means a
+// transport grew its own query semantics.
+func TestCrossBackendQueryParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three full backends; skipped in -short")
+	}
+	// The query's inputs must come from repository 1's serving set (the
+	// session is homed there in every backend and live/netio admission
+	// requires the items to be served stringently enough).
+	o, traces, initial := parityWorld(t)
+	r1 := o.Node(1)
+	var served []string
+	for x := range r1.Serving {
+		served = append(served, x)
+	}
+	sort.Strings(served)
+	if len(served) < 2 {
+		t.Fatalf("repository 1 serves %d items; the query parity case needs 2", len(served))
+	}
+	a, b := served[0], served[1]
+	// cQ = 2x the looser serving tolerance: loose enough that the avg
+	// allocation (= cQ per input) passes admission at repository 1, tight
+	// enough that the per-client filter still forwards real updates.
+	tolA, _ := r1.ServingTolerance(a)
+	tolB, _ := r1.ServingTolerance(b)
+	cq := 2 * float64(max(tolA, tolB))
+	q := query.Query{Name: "qparity", Kind: query.Avg, Items: []string{a, b}, Window: 1, Tolerance: cq}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// --- Simulator: a serving fleet observing the run is the reference.
+	// Seed BEFORE attaching the query, so the admission resync delivers
+	// the seeded copies through the counted path — exactly what a
+	// live/netio subscribe against a seeded cluster does.
+	fleet, err := serve.NewFleet(o.Net, o.Repos(), serve.Options{Queries: []query.Query{q}, Interval: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet.Seed(initial)
+	if _, err := fleet.AttachQueries(); err != nil {
+		t.Fatal(err)
+	}
+	qs := fleet.QuerySession(q.Name)
+	if qs.Session().Repo != 1 {
+		t.Fatalf("sim query landed at %v, want repository 1", qs.Session().Repo)
+	}
+	if _, err := dissemination.Run(o, traces, dissemination.NewDistributed(), dissemination.Config{Observer: fleet}); err != nil {
+		t.Fatal(err)
+	}
+	wantEvals, wantRecs := qs.Evals(), qs.Recomputes()
+	if wantEvals <= 2 {
+		t.Fatalf("sim query saw only the %d resync deliveries (cq=%v too loose); the parity case is vacuous", wantEvals, cq)
+	}
+
+	// Every concurrent backend replays the identical coalesced schedule.
+	icfg := ingest.Config{Shards: 1, BatchTicks: 0}
+	_, freshTraces, _ := parityWorld(t)
+	coalesced, _ := ingest.CoalesceTraces(freshTraces, icfg.Window())
+	feed := tickFeed(coalesced)
+	waitCounts := func(get func() (uint64, uint64)) (uint64, uint64) {
+		deadline := time.Now().Add(20 * time.Second)
+		for {
+			evals, recs := get()
+			if (evals == wantEvals && recs == wantRecs) || time.Now().After(deadline) {
+				return evals, recs
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// --- Goroutine cluster: subscribe after seeding, before the feed. ---
+	o2, _, _ := parityWorld(t)
+	cluster := ilive.NewCluster(o2, ilive.Options{Buffer: 1024, QueryInterval: 1})
+	for item, v := range initial {
+		cluster.Seed(item, v)
+	}
+	sess, err := cluster.SubscribeQuery(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Repo() != 1 {
+		t.Fatalf("live query landed at %v, want repository 1", sess.Repo())
+	}
+	cluster.Start()
+	for _, batchTicks := range feed {
+		ups := make([]ilive.Update, len(batchTicks))
+		for i, u := range batchTicks {
+			ups[i] = ilive.Update{Item: u.item, Value: u.value}
+		}
+		if !cluster.PublishBatch(ups) {
+			t.Fatal("live cluster stopped")
+		}
+	}
+	liveEvals, liveRecs := waitCounts(sess.QueryCounts)
+	cluster.Stop()
+	if liveEvals != wantEvals || liveRecs != wantRecs {
+		t.Errorf("live: evals/recomputes = %d/%d, want %d/%d", liveEvals, liveRecs, wantEvals, wantRecs)
+	}
+
+	// --- TCP cluster: the subscribe frame carries the query spec. ---
+	o3, _, initial3 := parityWorld(t)
+	tcp, err := netio.StartCluster(o3, initial3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tcp.Close()
+	qc, err := netio.SubscribeQuery(q, tcp.Nodes[1].Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qc.Close()
+	for _, batchTicks := range feed {
+		ups := make([]netio.Update, len(batchTicks))
+		for i, u := range batchTicks {
+			ups[i] = netio.Update{Item: u.item, Value: u.value}
+		}
+		if err := tcp.Source().PublishBatch(ups); err != nil {
+			t.Fatalf("publish batch: %v", err)
+		}
+	}
+	netEvals, netRecs := waitCounts(func() (uint64, uint64) { return tcp.Nodes[1].QueryCounts(q.Name) })
+	if netEvals != wantEvals || netRecs != wantRecs {
+		t.Errorf("netio: evals/recomputes = %d/%d, want %d/%d", netEvals, netRecs, wantEvals, wantRecs)
 	}
 }
 
