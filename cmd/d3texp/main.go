@@ -47,6 +47,8 @@ func main() {
 		clients  = flag.Int("clients", 0, "client sessions applied to every sweep point (client figures override the population)")
 		itemsPC  = flag.Int("items-per-client", 0, "mean watch-list size per client (default 3)")
 		cap      = flag.Int("session-cap", 0, "sessions per repository before overflow redirects (0 = unlimited)")
+		virtual  = flag.Int("virtual-sessions", 0, "virtual sessions applied to every sweep point (the client/query/vserve figures override the population)")
+		scenario = flag.String("scenario", "", "scenario over the virtual population applied to every sweep point, e.g. flash:at=0.3,frac=0.5")
 		shards   = flag.Int("shards", 0, "ingest worker shards applied to every plain sweep point (<=1 = sequential)")
 		batch    = flag.Int("batch", 0, "ingest batch window in ticks applied to every plain sweep point (<=1 = off)")
 		workers  = flag.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
@@ -128,6 +130,14 @@ func main() {
 	s.Shards = *shards
 	s.BatchTicks = *batch
 	s.Queries = queries
+	s.VirtualSessions = *virtual
+	s.Scenario = *scenario
+	if *scenario != "" {
+		if _, err := trace.ParseScenario(*scenario); err != nil {
+			fmt.Fprintf(os.Stderr, "d3texp: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	// One runner for every figure: its network/trace caches carry across
 	// figures (most share the base-case substrates), and its worker pool

@@ -64,6 +64,10 @@ func main() {
 	flag.IntVar(&cfg.SessionCap, "session-cap", cfg.SessionCap, "sessions per repository before overflow redirects (0 = unlimited)")
 	flag.StringVar(&cfg.SessionChurn, "session-churn", cfg.SessionChurn,
 		"session arrival/departure plan, same grammar as -faults over the client population")
+	flag.IntVar(&cfg.VirtualSessions, "virtual-sessions", cfg.VirtualSessions,
+		"virtual sessions served as compact per-shard state (0 = off; mutually exclusive with -clients/-query)")
+	flag.StringVar(&cfg.Scenario, "scenario", cfg.Scenario,
+		"scenario over the virtual population: flash:at=0.3,frac=0.5,burst=0.2 | regional:at=0.4,frac=0.25,rejoin=0.7 | diurnal:waves=2,low=0.3")
 	flag.Var(&queries, "query", "derived-data query spec, repeatable — e.g. 'avg(w=5;ITEM000,ITEM001,ITEM002)@0.05' or 'diff(ITEM000,ITEM001)@0.1!client'")
 	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "random seed")
 	flag.Parse()
@@ -159,6 +163,21 @@ func main() {
 		if c.Departures+c.Arrivals+c.Migrations+c.Orphaned > 0 {
 			fmt.Printf("session churn       %d departures, %d arrivals, %d migrations, %d orphaned (%d resync values)\n",
 				c.Departures, c.Arrivals, c.Migrations, c.Orphaned, c.Resyncs)
+		}
+	}
+	if v := out.VServe; v != nil {
+		fmt.Printf("virtual sessions    %d in %d shards (%.0f bytes/session resident)\n",
+			v.Sessions, v.Shards, v.BytesPerSession)
+		fmt.Printf("virtual fidelity    %.4f mean, %.4f worst (loss %.2f%%)\n",
+			v.MeanFidelity, v.WorstFidelity, v.LossPercent)
+		fmt.Printf("virtual fan-out     %d delivered, %d filtered at the leaf (%d redirected at admission)\n",
+			v.Delivered, v.Filtered, v.Redirects)
+		if v.Departures+v.Arrivals+v.Migrations+v.Orphaned > 0 {
+			fmt.Printf("virtual churn       %d departures, %d arrivals, %d migrations, %d orphaned (%d resync values)\n",
+				v.Departures, v.Arrivals, v.Migrations, v.Orphaned, v.Resyncs)
+		}
+		if cfg.Scenario != "" && cfg.Scenario != "none" {
+			fmt.Printf("scenario            %s\n", cfg.Scenario)
 		}
 	}
 	if qs := out.Queries; qs != nil {

@@ -30,6 +30,14 @@
 //     across parallel workers and coalesce update bursts into batches —
 //     the same partition drives the simulator, live's per-shard batch
 //     channels, and netio's multi-update frames.
+//   - Virtual serving: VirtualFleet (and Config.VirtualSessions) serves
+//     sessions as compact per-shard array state instead of one object
+//     each — millions of sessions in one process with the exact serving
+//     semantics of ClientFleet (the two are parity-tested). Placement
+//     goes through a shared nearest-k index with a consistent-hash
+//     overflow ring, and Config.Scenario schedules flash crowds,
+//     correlated regional failures and diurnal load waves over the
+//     population.
 //   - Derived-data queries: Config.Queries (and the Query building
 //     blocks) subscribe clients to *derived* values — windowed
 //     aggregates, joins, filters — with a tolerance cQ on the result;
@@ -50,6 +58,7 @@ import (
 	"d3t/internal/ingest"
 	"d3t/internal/netsim"
 	"d3t/internal/node"
+	"d3t/internal/place"
 	"d3t/internal/query"
 	"d3t/internal/repository"
 	"d3t/internal/resilience"
@@ -57,6 +66,7 @@ import (
 	"d3t/internal/sim"
 	"d3t/internal/trace"
 	"d3t/internal/tree"
+	"d3t/internal/vserve"
 )
 
 // Experiment layer -----------------------------------------------------
@@ -407,6 +417,78 @@ func NewClientFleet(net *Network, repos []*Repository, opts FleetOptions) (*Clie
 func ParseSessionPlan(spec string, sessions, ticks int, interval Time, seed int64) (*FaultPlan, error) {
 	return serve.ParseSessionPlan(spec, sessions, ticks, interval, seed)
 }
+
+// Virtual serving layer -------------------------------------------------
+
+type (
+	// VirtualFleet serves sessions as compact per-shard struct-of-arrays
+	// state — no per-session object, no goroutine — with the exact
+	// serving semantics of ClientFleet (filtering, resync, redirect,
+	// migration, fidelity; the two are parity-tested). It implements the
+	// run observers, so assign it to PushConfig.Observer (or
+	// ResilienceConfig.Observer) like a ClientFleet. Populate admits a
+	// synthetic population of millions without materializing clients;
+	// AttachAll admits a concrete Client slice.
+	VirtualFleet = vserve.Fleet
+	// VirtualFleetOptions parameterizes a virtual fleet (cap, churn plan,
+	// scenario, shard count, overflow ring, parallel delivery workers).
+	VirtualFleetOptions = vserve.Options
+	// VirtualStats extends ClientStats with shard count and measured
+	// resident bytes per session (Outcome.VServe carries one).
+	VirtualStats = vserve.Stats
+	// VirtualSynthetic parameterizes a compact synthetic population —
+	// the GenerateClients distribution without per-client objects.
+	VirtualSynthetic = vserve.Synthetic
+	// ScenarioSpec is a parsed scenario: flash crowds, correlated
+	// regional failures, diurnal load waves (Config.Scenario grammar).
+	ScenarioSpec = trace.ScenarioSpec
+	// ScenarioPlan is a scenario scheduled over a concrete population:
+	// per-session arrival/departure events plus repository faults.
+	ScenarioPlan = trace.ScenarioPlan
+	// ScenarioEvent is one session arrival or departure of a plan.
+	ScenarioEvent = trace.ScenarioEvent
+	// ScenarioFault is one scenario-driven repository failure.
+	ScenarioFault = trace.ScenarioFault
+	// PlacementIndex is the shared sharded nearest-k session placement
+	// index: delay-bucketed candidate orders per home endpoint with an
+	// optional consistent-hash overflow ring, making admission O(k)
+	// instead of a linear scan. Both fleets place through it.
+	PlacementIndex = place.Index
+	// PlacementOptions parameterizes the index's overflow ring.
+	PlacementOptions = place.Options
+	// PlacementState is the live cluster view a placement consults.
+	PlacementState = place.State
+)
+
+// NewVirtualFleet builds an empty virtual fleet over the repository
+// population (ids 1..n, matching the network's endpoints). Populate or
+// AttachAll the sessions, DeriveNeeds, build the overlay, Seed, run with
+// the fleet as the observer, then Finalize.
+func NewVirtualFleet(net *Network, repos []*Repository, opts VirtualFleetOptions) (*VirtualFleet, error) {
+	return vserve.NewFleet(net, repos, opts)
+}
+
+// ParseScenario parses a scenario spec such as
+// "flash:at=0.3,frac=0.5,burst=0.2", "regional:at=0.4,frac=0.25,rejoin=0.7"
+// or "diurnal:waves=2,low=0.3". Empty and "none" return nil. The same
+// grammar feeds Config.Scenario and the -scenario command flags.
+func ParseScenario(spec string) (*ScenarioSpec, error) { return trace.ParseScenario(spec) }
+
+// BuildScenario schedules a parsed scenario over a concrete population:
+// deterministic per-session arrival/departure events (Pareto bursts,
+// cosine waves) and correlated repository faults.
+func BuildScenario(spec *ScenarioSpec, sessions, repos, ticks int, seed int64) (*ScenarioPlan, error) {
+	return trace.BuildScenario(spec, sessions, repos, ticks, seed)
+}
+
+// NewPlacementIndex builds a placement index over the network's first
+// `repos` endpoints.
+func NewPlacementIndex(net *Network, repos int, opts PlacementOptions) *PlacementIndex {
+	return place.New(net, repos, opts)
+}
+
+// PlacementKey hashes a session name to its stable placement key (FNV-1a).
+func PlacementKey(name string) uint32 { return place.Key(name) }
 
 // Query layer -----------------------------------------------------------
 

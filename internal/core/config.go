@@ -98,6 +98,25 @@ type Config struct {
 	// Faults, over the session population — see serve.ParseSessionPlan).
 	SessionChurn string
 
+	// VirtualSessions enables the virtual serving fleet (internal/vserve):
+	// the number of synthetic end-user sessions kept as compact per-shard
+	// struct-of-arrays state instead of one Session object each, sharing
+	// the concrete fleet's placement, filtering and fidelity semantics
+	// (the two are parity-tested). Use it to push the serving layer to
+	// populations the concrete fleet cannot hold — millions of sessions
+	// in one process. Mutually exclusive with Clients and Queries; reuses
+	// ItemsPerClient, StringentFrac, SessionCap and SessionChurn. With a
+	// SessionCap set, overflow placement goes through the index's
+	// consistent-hash ring instead of long nearest-first walks.
+	VirtualSessions int
+	// Scenario schedules scenario-driven churn over the virtual
+	// population (see trace.ParseScenario): "flash:at=0.3,frac=0.5,..."
+	// creates a crowd detached and bursts it onto the hottest item,
+	// "regional:..." fails a contiguous repository region (routing the
+	// run through the resilient runner), "diurnal:..." runs load waves.
+	// Empty or "none" disables it. Requires VirtualSessions > 0.
+	Scenario string
+
 	// Queries is the continuous derived-data query catalogue: each spec
 	// (see query.Parse; e.g. "avg(w=5;ITEM000,ITEM001)@0.05") becomes a
 	// query session evaluated at its serving repository, its per-input
@@ -207,8 +226,20 @@ func (c Config) Validate() error {
 	if c.SessionCap < 0 {
 		return fmt.Errorf("core: negative session cap %d", c.SessionCap)
 	}
-	if c.Clients == 0 && c.SessionChurn != "" && c.SessionChurn != "none" {
-		return fmt.Errorf("core: session churn %q needs Clients > 0", c.SessionChurn)
+	if c.Clients == 0 && c.VirtualSessions == 0 && c.SessionChurn != "" && c.SessionChurn != "none" {
+		return fmt.Errorf("core: session churn %q needs Clients or VirtualSessions > 0", c.SessionChurn)
+	}
+	if c.VirtualSessions < 0 {
+		return fmt.Errorf("core: negative virtual session count %d", c.VirtualSessions)
+	}
+	if c.VirtualSessions > 0 && (c.ClientsEnabled() || c.QueriesEnabled()) {
+		return fmt.Errorf("core: VirtualSessions is mutually exclusive with Clients and Queries")
+	}
+	if c.Scenario != "" && c.Scenario != "none" && c.VirtualSessions == 0 {
+		return fmt.Errorf("core: scenario %q needs VirtualSessions > 0", c.Scenario)
+	}
+	if _, err := c.scenarioPlan(); err != nil {
+		return err
 	}
 	if _, err := c.sessionPlan(); err != nil {
 		return err
@@ -221,6 +252,19 @@ func (c Config) Validate() error {
 
 // ClientsEnabled reports whether the run serves a client population.
 func (c Config) ClientsEnabled() bool { return c.Clients > 0 }
+
+// VirtualEnabled reports whether the run serves a virtual session fleet.
+func (c Config) VirtualEnabled() bool { return c.VirtualSessions > 0 }
+
+// scenarioPlan parses and schedules the configured scenario over the
+// virtual population (nil when no scenario is configured).
+func (c Config) scenarioPlan() (*trace.ScenarioPlan, error) {
+	spec, err := trace.ParseScenario(c.Scenario)
+	if err != nil || spec == nil {
+		return nil, err
+	}
+	return trace.BuildScenario(spec, c.VirtualSessions, c.Repositories, c.Ticks, c.Seed+16)
+}
 
 // QueriesEnabled reports whether the run serves derived-data queries.
 func (c Config) QueriesEnabled() bool { return len(c.Queries) > 0 }
@@ -243,20 +287,25 @@ func (c Config) ingestConfig() ingest.Config {
 // path and ignore the ingest fields.
 func (c Config) IngestEnabled() bool {
 	return c.ingestConfig().Enabled() && !c.Queueing && !c.FaultsEnabled() &&
-		!c.ClientsEnabled() && !c.QueriesEnabled()
+		!c.ClientsEnabled() && !c.QueriesEnabled() && !c.VirtualEnabled()
 }
 
-// sessionPlan parses the configured session-churn plan (nil when clients
-// are disabled or no churn is configured).
+// sessionPlan parses the configured session-churn plan over whichever
+// session population the run serves — concrete clients or virtual
+// sessions (nil when neither is enabled or no churn is configured).
 func (c Config) sessionPlan() (*resilience.Plan, error) {
-	if !c.ClientsEnabled() {
+	n := c.Clients
+	if c.VirtualEnabled() {
+		n = c.VirtualSessions
+	}
+	if n == 0 {
 		return nil, nil
 	}
 	interval := c.TickInterval
 	if interval <= 0 {
 		interval = sim.Second
 	}
-	return serve.ParseSessionPlan(c.SessionChurn, c.Clients, c.Ticks, interval, c.Seed+15)
+	return serve.ParseSessionPlan(c.SessionChurn, n, c.Ticks, interval, c.Seed+15)
 }
 
 // clients generates the run's client population over the trace

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"d3t/internal/dissemination"
 	"d3t/internal/ingest"
@@ -13,6 +14,7 @@ import (
 	"d3t/internal/sim"
 	"d3t/internal/trace"
 	"d3t/internal/tree"
+	"d3t/internal/vserve"
 )
 
 // Outcome is the measured result of one simulation run.
@@ -41,6 +43,11 @@ type Outcome struct {
 	// fidelity, redirect/migration counters, per-session fan-out work;
 	// nil when the run had Clients disabled.
 	Clients *serve.Stats
+	// VServe carries the virtual serving fleet's outcome — the same
+	// serving-layer stats as Clients plus shard count and the measured
+	// resident bytes per session; nil when the run had VirtualSessions
+	// disabled.
+	VServe *vserve.Stats
 	// Queries carries the derived-data query layer's outcome —
 	// result-level fidelity against the allocation's union-bound floor,
 	// eval/recompute counters and per-placement message costs; nil when
@@ -93,7 +100,62 @@ func runExperimentWith(cfg Config, net *netsim.Network, traces []*trace.Trace) (
 	// the most stringent across its clients.
 	var repos []*repository.Repository
 	var fleet *serve.Fleet
-	if cfg.ClientsEnabled() || cfg.QueriesEnabled() {
+	var vfleet *vserve.Fleet
+	var scenFaults *resilience.Plan
+	if cfg.VirtualEnabled() {
+		// The virtual serving fleet: the same serving semantics as the
+		// concrete fleet below over compact per-shard session state, for
+		// populations the concrete fleet cannot hold. Needs derive from
+		// the registered virtual population; scenario repository faults
+		// route the run through the resilient runner.
+		repos = cfg.bareRepositories()
+		plan, err := cfg.sessionPlan()
+		if err != nil {
+			return nil, err
+		}
+		scen, err := cfg.scenarioPlan()
+		if err != nil {
+			return nil, err
+		}
+		interval := cfg.TickInterval
+		if interval <= 0 {
+			interval = sim.Second
+		}
+		vopts := vserve.Options{
+			Cap: cfg.SessionCap, Plan: plan, Scenario: scen,
+			Interval: interval, Obs: cfg.Obs,
+		}
+		if cfg.SessionCap > 0 {
+			// Under a cap, overflow placement hashes onto the consistent
+			// ring instead of walking ever-longer nearest-first prefixes.
+			vopts.RingSlots = 16
+		}
+		vfleet, err = vserve.NewFleet(net, repos, vopts)
+		if err != nil {
+			return nil, err
+		}
+		if err := vfleet.Populate(vserve.Synthetic{
+			Sessions:       cfg.VirtualSessions,
+			Items:          itemCatalogue(traces),
+			ItemsPerClient: cfg.ItemsPerClient,
+			StringentFrac:  cfg.StringentFrac,
+			Seed:           cfg.Seed + 13,
+		}); err != nil {
+			return nil, err
+		}
+		vfleet.DeriveNeeds()
+		if scen != nil && len(scen.Faults) > 0 {
+			p := &resilience.Plan{Spec: scen.Spec}
+			for _, ft := range scen.Faults {
+				rf := resilience.Fault{Node: repository.ID(ft.Repo), At: sim.Time(ft.Tick) * interval}
+				if ft.RejoinTick >= 0 {
+					rf.RejoinAt = sim.Time(ft.RejoinTick) * interval
+				}
+				p.Faults = append(p.Faults, rf)
+			}
+			scenFaults = p
+		}
+	} else if cfg.ClientsEnabled() || cfg.QueriesEnabled() {
 		repos = cfg.bareRepositories()
 		catalogue := itemCatalogue(traces)
 		var clients []*repository.Client
@@ -182,7 +244,7 @@ func runExperimentWith(cfg Config, net *netsim.Network, traces []*trace.Trace) (
 		Queueing:  cfg.Queueing,
 		Obs:       cfg.Obs,
 	}
-	if fleet != nil {
+	if fleet != nil || vfleet != nil {
 		// The serving layer is fed by the initial values and the run's
 		// observable events; the overlay is built, so serving sets are
 		// final and admission checks see them.
@@ -192,8 +254,13 @@ func runExperimentWith(cfg Config, net *netsim.Network, traces []*trace.Trace) (
 				initial[tr.Item] = tr.Ticks[0].Value
 			}
 		}
-		fleet.Seed(initial)
-		pushCfg.Observer = fleet
+		if fleet != nil {
+			fleet.Seed(initial)
+			pushCfg.Observer = fleet
+		} else {
+			vfleet.Seed(initial)
+			pushCfg.Observer = vfleet
+		}
 	}
 	var res *dissemination.Result
 	var resStats *resilience.Stats
@@ -213,12 +280,26 @@ func runExperimentWith(cfg Config, net *netsim.Network, traces []*trace.Trace) (
 		if err != nil {
 			return nil, err
 		}
-	} else if cfg.FaultsEnabled() {
+	} else if cfg.FaultsEnabled() || !scenFaults.Empty() {
 		// Route through the resilient runner: same fidelity machinery,
 		// plus fault injection, detection and backup-parent repair.
+		// Scenario repository faults (regional failures) fold into the
+		// configured fault plan.
 		plan, err := cfg.faultPlan()
 		if err != nil {
 			return nil, err
+		}
+		if !scenFaults.Empty() {
+			if plan.Empty() {
+				plan = scenFaults
+			} else {
+				merged := &resilience.Plan{Spec: plan.Spec + "+" + scenFaults.Spec}
+				merged.Faults = append(append(merged.Faults, plan.Faults...), scenFaults.Faults...)
+				sort.SliceStable(merged.Faults, func(i, j int) bool {
+					return merged.Faults[i].At < merged.Faults[j].At
+				})
+				plan = merged
+			}
 		}
 		lela, _ := builder.(*tree.LeLA) // non-LeLA builders repair with defaults
 		resCfg := resilience.Config{
@@ -227,6 +308,8 @@ func runExperimentWith(cfg Config, net *netsim.Network, traces []*trace.Trace) (
 		}
 		if fleet != nil {
 			resCfg.Observer = fleet
+		} else if vfleet != nil {
+			resCfg.Observer = vfleet
 		}
 		rr, err := resilience.Run(overlay, lela, traces, protocol, resCfg, plan)
 		if err != nil {
@@ -242,6 +325,7 @@ func runExperimentWith(cfg Config, net *netsim.Network, traces []*trace.Trace) (
 
 	var clientStats *serve.Stats
 	var queryStats *serve.QueryStats
+	var vserveStats *vserve.Stats
 	if fleet != nil {
 		st := fleet.Finalize(res.Horizon)
 		if cfg.ClientsEnabled() {
@@ -251,6 +335,10 @@ func runExperimentWith(cfg Config, net *netsim.Network, traces []*trace.Trace) (
 			qst := fleet.FinalizeQueries(res.Horizon)
 			queryStats = &qst
 		}
+	}
+	if vfleet != nil {
+		st := vfleet.Finalize(res.Horizon)
+		vserveStats = &st
 	}
 
 	var obsSnap *obs.TreeSnapshot
@@ -270,6 +358,7 @@ func runExperimentWith(cfg Config, net *netsim.Network, traces []*trace.Trace) (
 		SourceUtilization: res.SourceUtilization,
 		Resilience:        resStats,
 		Clients:           clientStats,
+		VServe:            vserveStats,
 		Queries:           queryStats,
 		Ingest:            ingestStats,
 		Obs:               obsSnap,

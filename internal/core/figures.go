@@ -58,6 +58,8 @@ func Figures() map[string]FigureFunc {
 		"obs-load":          FigureObsLoad,
 		"query-fidelity":    FigureQueryFidelity,
 		"query-cost":        FigureQueryCost,
+		"vserve-scale":      FigureVServeScale,
+		"vserve-flash":      FigureVServeFlash,
 	}
 }
 

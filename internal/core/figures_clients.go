@@ -26,7 +26,8 @@ func FigureClientFidelity(s Scale) (*FigureResult, error) {
 	for _, cap := range sessionCaps {
 		for _, factor := range sessionLoadFactors {
 			cfg := s.base()
-			cfg.CoopDegree = 0 // controlled cooperation
+			cfg.CoopDegree = 0                        // controlled cooperation
+			cfg.VirtualSessions, cfg.Scenario = 0, "" // this figure owns the population
 			cfg.Clients = factor * cfg.Repositories
 			cfg.SessionCap = cap
 			cfgs = append(cfgs, cfg)
@@ -84,7 +85,8 @@ func FigureClientChurn(s Scale) (*FigureResult, error) {
 	var cfgs []Config
 	for _, rate := range clientChurnGrid {
 		cfg := s.base()
-		cfg.CoopDegree = 0 // controlled cooperation
+		cfg.CoopDegree = 0                        // controlled cooperation
+		cfg.VirtualSessions, cfg.Scenario = 0, "" // this figure owns the population
 		cfg.Clients = 3 * cfg.Repositories
 		cfg.SessionCap = 8
 		cfg.Faults = fmt.Sprintf("churn:%g", rate)

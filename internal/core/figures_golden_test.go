@@ -38,8 +38,8 @@ func TestQueryDisabledByteIdentical(t *testing.T) {
 		covered[figureIDFromGolden(path)] = true
 	}
 	for id, fn := range registry {
-		if isQueryFigure(id) {
-			continue // born with the query layer: no pre-query golden exists
+		if bornAfterGoldens(id) {
+			continue // born after the goldens were captured: no pre-existing form
 		}
 		if !*updateFigureGoldens && !covered[id] {
 			t.Errorf("figure %s has no golden; run with -update-figure-goldens", id)
@@ -84,8 +84,15 @@ func figureIDFromGolden(path string) string {
 	return base[:len(base)-len(".golden")]
 }
 
-// isQueryFigure reports whether the figure id belongs to the query layer
-// itself (those figures require Queries set and have no pre-query form).
-func isQueryFigure(id string) bool {
-	return id == "query-fidelity" || id == "query-cost"
+// bornAfterGoldens reports whether the figure id belongs to a layer that
+// landed after the goldens were captured (query figures require Queries
+// set; vserve figures require VirtualSessions set) — those have no
+// pre-existing form to compare against. Every other figure must stay
+// byte-identical with both layers disabled.
+func bornAfterGoldens(id string) bool {
+	switch id {
+	case "query-fidelity", "query-cost", "vserve-scale", "vserve-flash":
+		return true
+	}
+	return false
 }

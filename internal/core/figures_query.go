@@ -43,6 +43,7 @@ func FigureQueryFidelity(s Scale) (*FigureResult, error) {
 		cfg := s.base()
 		cfg.CoopDegree = 0 // controlled cooperation
 		cfg.Workload = "stocks"
+		cfg.VirtualSessions, cfg.Scenario = 0, "" // this figure owns the population
 		cfg.Queries = queryCatalogue(cfg.Items, cq)
 		cfgs = append(cfgs, cfg)
 	}
@@ -89,6 +90,7 @@ func FigureQueryCost(s Scale) (*FigureResult, error) {
 		cfg := s.base()
 		cfg.CoopDegree = 0 // controlled cooperation
 		cfg.Workload = "stocks"
+		cfg.VirtualSessions, cfg.Scenario = 0, "" // this figure owns the population
 		cfg.Queries = queryCatalogue(cfg.Items, cq)
 		cfgs = append(cfgs, cfg)
 	}

@@ -37,6 +37,12 @@ type Scale struct {
 	// Queries applies a derived-data query catalogue to every sweep point
 	// (see Config.Queries); the query figures override it per point.
 	Queries []string
+	// VirtualSessions and Scenario apply a virtual session fleet to every
+	// sweep point (see Config.VirtualSessions; mutually exclusive with
+	// Clients and Queries); the client, query and vserve figures override
+	// the population per point.
+	VirtualSessions int
+	Scenario        string
 	// Shards and BatchTicks apply the ingest pipeline's sharding and
 	// coalescing to every sweep point (plain runs only; see
 	// Config.Shards).
@@ -105,6 +111,8 @@ func (s Scale) base() Config {
 	cfg.ItemsPerClient = s.ItemsPerClient
 	cfg.SessionCap = s.SessionCap
 	cfg.Queries = s.Queries
+	cfg.VirtualSessions = s.VirtualSessions
+	cfg.Scenario = s.Scenario
 	cfg.Shards = s.Shards
 	cfg.BatchTicks = s.BatchTicks
 	if s.ObsTree != nil {

@@ -1,0 +1,217 @@
+package place
+
+import (
+	"sort"
+	"testing"
+
+	"d3t/internal/netsim"
+	"d3t/internal/repository"
+	"d3t/internal/sim"
+)
+
+// testNet builds a network whose endpoint-to-endpoint delays are given
+// directly: delay[i][j] for endpoints 1..n (row/column 0 unused).
+func testNet(delays [][]int64) *netsim.Network {
+	n := len(delays) - 1
+	net := &netsim.Network{Repositories: n}
+	net.Delay = make([][]sim.Time, len(delays))
+	for i := range delays {
+		net.Delay[i] = make([]sim.Time, len(delays[i]))
+		for j := range delays[i] {
+			net.Delay[i][j] = sim.Time(delays[i][j])
+		}
+	}
+	return net
+}
+
+// fakeState is a hand-driven placement state.
+type fakeState struct {
+	dead map[repository.ID]bool
+	full map[repository.ID]bool
+	load map[repository.ID]int
+}
+
+func (st *fakeState) Alive(id repository.ID) bool   { return !st.dead[id] }
+func (st *fakeState) HasRoom(id repository.ID) bool { return !st.full[id] }
+func (st *fakeState) Load(id repository.ID) int     { return st.load[id] }
+
+func grid5() *netsim.Network {
+	// 5 endpoints; from home 1 the (delay, id) order is 1,3,2,5,4 —
+	// including an equal-delay tie between 2 and 5 broken by id.
+	return testNet([][]int64{
+		{0, 0, 0, 0, 0, 0},
+		{0, 0, 7, 3, 9, 7},
+		{0, 7, 0, 5, 2, 8},
+		{0, 3, 5, 0, 6, 4},
+		{0, 9, 2, 6, 0, 1},
+		{0, 7, 8, 4, 1, 0},
+	})
+}
+
+func TestOrderNearestFirst(t *testing.T) {
+	net := grid5()
+	ix := New(net, 5, Options{})
+	got := ix.Order(1)
+	want := []repository.ID{1, 3, 2, 5, 4}
+	if len(got) != len(want) {
+		t.Fatalf("order length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+	// The order must equal the brute-force stable (delay, id) sort from
+	// every home.
+	for home := repository.ID(1); home <= 5; home++ {
+		brute := make([]repository.ID, 5)
+		for i := range brute {
+			brute[i] = repository.ID(i + 1)
+		}
+		sort.SliceStable(brute, func(i, j int) bool {
+			di, dj := net.Delay[home][brute[i]], net.Delay[home][brute[j]]
+			if di != dj {
+				return di < dj
+			}
+			return brute[i] < brute[j]
+		})
+		got := ix.Order(home)
+		for i := range brute {
+			if got[i] != brute[i] {
+				t.Fatalf("home %d: order %v, want %v", home, got, brute)
+			}
+		}
+	}
+	// Bucket boundaries group equal delays: from home 1 delays are
+	// 0,3,7,7,9 -> buckets end at 1,2,4,5.
+	b := ix.Buckets(1)
+	wantB := []int{1, 2, 4, 5}
+	if len(b) != len(wantB) {
+		t.Fatalf("buckets %v, want %v", b, wantB)
+	}
+	for i := range wantB {
+		if b[i] != wantB[i] {
+			t.Fatalf("buckets %v, want %v", b, wantB)
+		}
+	}
+}
+
+// TestPlaceEnumeratesNearestOnly is the O(k) contract: admitting many
+// sessions from one home builds the candidate order exactly once, and
+// each admission whose nearest repository has room enumerates exactly
+// one candidate — not all of them.
+func TestPlaceEnumeratesNearestOnly(t *testing.T) {
+	ix := New(grid5(), 5, Options{})
+	st := &fakeState{}
+	const admissions = 1000
+	for i := 0; i < admissions; i++ {
+		id, pos := ix.Place(st, 1, repository.NoID, uint32(i), nil, true)
+		if id != 1 || pos != 0 {
+			t.Fatalf("admission %d placed on %d at pos %d, want repo 1 pos 0", i, id, pos)
+		}
+	}
+	if ix.Builds() != 1 {
+		t.Fatalf("built %d candidate orders for one home, want 1", ix.Builds())
+	}
+	if ix.Walked() != admissions {
+		t.Fatalf("walked %d candidates over %d admissions, want one each", ix.Walked(), admissions)
+	}
+}
+
+func TestPlaceSkipsFullAndDead(t *testing.T) {
+	ix := New(grid5(), 5, Options{})
+	st := &fakeState{
+		dead: map[repository.ID]bool{1: true},
+		full: map[repository.ID]bool{3: true},
+	}
+	// Order from home 1 is 1,3,2,5,4: 1 dead, 3 full -> 2.
+	id, pos := ix.Place(st, 1, repository.NoID, 0, nil, true)
+	if id != 2 || pos != 2 {
+		t.Fatalf("placed on %d at pos %d, want repo 2 pos 2", id, pos)
+	}
+	// Excluding the current repository (migration) skips it too.
+	id, _ = ix.Place(st, 1, 2, 0, nil, false)
+	if id != 5 {
+		t.Fatalf("migration placed on %d, want repo 5", id)
+	}
+}
+
+func TestPlaceServingPreference(t *testing.T) {
+	ix := New(grid5(), 5, Options{})
+	st := &fakeState{}
+	serves := func(id repository.ID) bool { return id == 5 }
+	// Non-initial placement prefers a candidate already serving the
+	// items even when nearer ones have room.
+	id, pos := ix.Place(st, 1, repository.NoID, 0, serves, false)
+	if id != 5 || pos != 3 {
+		t.Fatalf("placed on %d at pos %d, want repo 5 pos 3", id, pos)
+	}
+	// When no candidate serves, the second pass takes the nearest with
+	// room rather than stranding the session.
+	none := func(repository.ID) bool { return false }
+	id, pos = ix.Place(st, 1, repository.NoID, 0, none, false)
+	if id != 1 || pos != 0 {
+		t.Fatalf("placed on %d at pos %d, want repo 1 pos 0", id, pos)
+	}
+}
+
+func TestPlaceLeastLoadedFallback(t *testing.T) {
+	ix := New(grid5(), 5, Options{})
+	st := &fakeState{
+		full: map[repository.ID]bool{1: true, 2: true, 3: true, 4: true, 5: true},
+		load: map[repository.ID]int{1: 9, 2: 4, 3: 7, 4: 6, 5: 4},
+	}
+	// Initial placement with every repository at cap overflows to the
+	// least loaded; the tie between 2 and 5 resolves to the nearer (5
+	// precedes 2 in home 1's order? no: order is 1,3,2,5,4, so 2 wins).
+	id, pos := ix.Place(st, 1, repository.NoID, 0, nil, true)
+	if id != 2 || pos != NoPos {
+		t.Fatalf("fallback placed on %d at pos %d, want repo 2 (least loaded, nearest tie) NoPos", id, pos)
+	}
+	// Non-initial placement orphans instead.
+	id, _ = ix.Place(st, 1, repository.NoID, 0, nil, false)
+	if id != repository.NoID {
+		t.Fatalf("non-initial fallback placed on %d, want NoID", id)
+	}
+}
+
+func TestOverflowRing(t *testing.T) {
+	ix := New(grid5(), 5, Options{RingSlots: 16, RingAfter: 2})
+	// Nearest two candidates (1 and 3) are full: the walk abandons
+	// locality after RingAfter tries and lands by hash on one of the
+	// repositories with room.
+	st := &fakeState{full: map[repository.ID]bool{1: true, 3: true}}
+	counts := map[repository.ID]int{}
+	for i := 0; i < 300; i++ {
+		key := Key(string(rune('a'+i%26)) + string(rune('0'+i%10)) + string(rune(i)))
+		id, pos := ix.Place(st, 1, repository.NoID, key, nil, true)
+		if id == repository.NoID || st.full[id] {
+			t.Fatalf("ring placed on %d (full or none)", id)
+		}
+		if pos != NoPos {
+			t.Fatalf("ring placement reported walk pos %d, want NoPos", pos)
+		}
+		counts[id]++
+	}
+	// Hash-uniform overflow: every repository with room gets a share.
+	for _, id := range []repository.ID{2, 4, 5} {
+		if counts[id] == 0 {
+			t.Fatalf("ring never placed on repo %d: %v", id, counts)
+		}
+	}
+	// Determinism: the same key always lands on the same repository.
+	a, _ := ix.Place(st, 1, repository.NoID, Key("session-x"), nil, true)
+	b, _ := ix.Place(st, 1, repository.NoID, Key("session-x"), nil, true)
+	if a != b {
+		t.Fatalf("same key placed on %d then %d", a, b)
+	}
+}
+
+func TestKeyIsFNV1a(t *testing.T) {
+	if Key("") != 2166136261 {
+		t.Fatalf("Key(\"\") = %d, want FNV-1a offset basis", Key(""))
+	}
+	if Key("a") != 0xe40c292c {
+		t.Fatalf("Key(\"a\") = %#x, want 0xe40c292c", Key("a"))
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"d3t/internal/netsim"
 	"d3t/internal/node"
+	"d3t/internal/place"
 	"d3t/internal/repository"
 	"d3t/internal/resilience"
 	"d3t/internal/sim"
@@ -37,6 +38,7 @@ type Fleet struct {
 	cores []*node.Core             // indexed by id-1, serve-only
 	opts  Options
 	tr    fleetTransport
+	ix    *place.Index
 
 	sessions []*Session // plan order: session i is plan node i+1
 	byName   map[string]*Session
@@ -79,7 +81,7 @@ func (t *fleetTransport) SendToDependent(repository.ID, string, float64, bool) b
 func (t *fleetTransport) SendToClient(ns *node.Session, item string, v float64, resync bool) {
 	switch s := ns.Tag().(type) {
 	case *Session:
-		s.meters[item].deliver(t.now, v)
+		s.meterFor(item).deliver(t.now, v)
 		if resync {
 			t.f.stats.Resyncs++
 		} else {
@@ -116,6 +118,10 @@ func NewFleet(net *netsim.Network, repos []*repository.Repository, opts Options)
 		qByItem: make(map[string][]*QuerySession),
 		qOf:     make(map[*Session]*QuerySession),
 	}
+	// The concrete fleet keeps the overflow ring off: overflow stays in
+	// strict nearest-first order, preserving historical placements (and
+	// the golden figures) exactly. The virtual fleet opts in at scale.
+	f.ix = place.New(net, len(repos), place.Options{})
 	f.qInterval = opts.Interval
 	if f.qInterval <= 0 {
 		f.qInterval = 1
@@ -164,18 +170,7 @@ func (f *Fleet) Attach(c *repository.Client) (*Session, error) {
 	if f.byName[c.Name] != nil {
 		return nil, fmt.Errorf("serve: duplicate session %q", c.Name)
 	}
-	s := &Session{
-		Name:       c.Name,
-		Home:       c.Repo,
-		Repo:       repository.NoID,
-		Wants:      c.Wants,
-		ns:         node.NewSession(c.Name, c.Wants),
-		candidates: Candidates(f.net, c.Repo, len(f.repos)),
-		meters:     make(map[string]*meter, len(c.Wants)),
-	}
-	for x, tol := range c.Wants {
-		s.meters[x] = &meter{c: tol}
-	}
+	s := newSession(c.Name, c.Repo, c.Wants)
 	s.ns.SetTag(s)
 	f.byName[c.Name] = s
 	target := f.place(s, true)
@@ -184,16 +179,17 @@ func (f *Fleet) Attach(c *repository.Client) (*Session, error) {
 		return nil, fmt.Errorf("serve: no repository to place client %q on", c.Name)
 	}
 	f.attach(s, target, 0)
-	if target != s.candidates[0] {
+	order := f.ix.Order(s.Home)
+	if target != order[0] {
 		s.redirected = true
 		f.stats.Redirects++
 		// The redirect is charged to the nearest repository (the one
 		// that turned the client away); its latency is the admission
 		// walk's cost — a round trip to every candidate tried, the
 		// target included.
-		if on := f.opts.Obs.Node(s.candidates[0]); on != nil {
+		if on := f.opts.Obs.Node(order[0]); on != nil {
 			var lat sim.Time
-			for _, cand := range s.candidates {
+			for _, cand := range order {
 				lat += 2 * f.net.Delay[s.Home][cand]
 				if cand == target {
 					break
@@ -205,7 +201,7 @@ func (f *Fleet) Attach(c *repository.Client) (*Session, error) {
 	}
 	c.Repo = target
 	f.sessions = append(f.sessions, s)
-	for _, x := range sortedItems(c.Wants) {
+	for _, x := range s.items {
 		f.byItem[x] = append(f.byItem[x], s)
 	}
 	f.stats.Sessions++
@@ -222,58 +218,35 @@ func (f *Fleet) AttachAll(clients []*repository.Client) error {
 	return nil
 }
 
-// place walks the session's candidate order and returns the repository
-// to serve it, or NoID when none qualifies. Initial placement (before
+// place asks the shared placement index for the repository to serve the
+// session, or NoID when none qualifies. Initial placement (before
 // repository needs exist) requires only liveness and cap room, falling
 // back to the least-loaded live repository when every one is full; later
 // placements (migration, re-arrival) first require the candidate to
 // serve every watched item at the client's tolerance, then drop that
 // requirement rather than strand the session.
 func (f *Fleet) place(s *Session, initialPlacement bool) repository.ID {
+	var serves func(repository.ID) bool
 	if !initialPlacement {
-		for _, cand := range s.candidates {
-			if cand == s.Repo || !f.alive[cand] || !f.hasRoom(cand) {
-				continue
-			}
-			if f.core(cand).CanServeSession(s.Wants) {
-				return cand
-			}
-		}
+		serves = func(id repository.ID) bool { return f.core(id).CanServeSession(s.Wants) }
 	}
-	for _, cand := range s.candidates {
-		if cand == s.Repo || !f.alive[cand] || !f.hasRoom(cand) {
-			continue
-		}
-		return cand
-	}
-	if initialPlacement {
-		// Every live repository is at cap: overflow to the least loaded
-		// so the population always starts fully placed.
-		best := repository.NoID
-		for _, cand := range s.candidates {
-			if !f.alive[cand] {
-				continue
-			}
-			if best == repository.NoID || f.core(cand).SessionCount() < f.core(best).SessionCount() {
-				best = cand
-			}
-		}
-		return best
-	}
-	return repository.NoID
+	id, _ := f.ix.Place(f, s.Home, s.Repo, place.Key(s.Name), serves, initialPlacement)
+	return id
 }
 
-func (f *Fleet) hasRoom(id repository.ID) bool {
-	return f.core(id).HasSessionRoom()
-}
+// Alive, HasRoom and Load implement place.State over the fleet's own
+// bookkeeping.
+func (f *Fleet) Alive(id repository.ID) bool   { return f.alive[id] }
+func (f *Fleet) HasRoom(id repository.ID) bool { return f.core(id).HasSessionRoom() }
+func (f *Fleet) Load(id repository.ID) int     { return f.core(id).SessionCount() }
 
 // attach wires the session into the repository's core and starts its
 // meters; the core resyncs it to the repository's current copies (a
 // no-op at initial attachment, before Seed).
 func (f *Fleet) attach(s *Session, id repository.ID, now sim.Time) {
 	s.Repo = id
-	for _, x := range sortedItems(s.Wants) {
-		s.meters[x].attach(now)
+	for i := range s.meters {
+		s.meters[i].attach(now)
 	}
 	if qs := f.qOf[s]; qs != nil {
 		qs.attached = true
@@ -292,8 +265,8 @@ func (f *Fleet) detach(s *Session, now sim.Time) {
 	}
 	f.core(id).DropSession(s.Name)
 	s.Repo = repository.NoID
-	for _, x := range sortedItems(s.Wants) {
-		s.meters[x].detach(now)
+	for i := range s.meters {
+		s.meters[i].detach(now)
 	}
 	if qs := f.qOf[s]; qs != nil {
 		qs.attached = false
@@ -316,8 +289,9 @@ func (f *Fleet) Seed(initial map[string]float64) {
 		}
 	}
 	for _, s := range f.sessions {
-		for x, m := range s.meters {
+		for i, x := range s.items {
 			if v, ok := initial[x]; ok {
+				m := &s.meters[i]
 				m.src, m.have = v, v
 				m.refresh()
 				s.ns.SeedValue(x, v)
@@ -325,8 +299,9 @@ func (f *Fleet) Seed(initial map[string]float64) {
 		}
 	}
 	for _, qs := range f.queries {
-		for x, m := range qs.s.meters {
+		for i, x := range qs.s.items {
 			if v, ok := initial[x]; ok {
+				m := &qs.s.meters[i]
 				m.src, m.have = v, v
 				m.refresh()
 				qs.s.ns.SeedValue(x, v)
@@ -372,7 +347,7 @@ func (f *Fleet) ObserveSource(now sim.Time, item string, v float64) {
 	f.catchUp(now)
 	f.src[item] = v
 	for _, s := range f.byItem[item] {
-		s.meters[item].srcUpdate(now, v)
+		s.meterFor(item).srcUpdate(now, v)
 	}
 	f.observeQuerySource(now, item, v)
 }

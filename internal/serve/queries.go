@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"d3t/internal/coherency"
-	"d3t/internal/node"
 	"d3t/internal/query"
 	"d3t/internal/repository"
 	"d3t/internal/sim"
@@ -77,8 +76,8 @@ func (qs *QuerySession) Fidelity(now sim.Time) float64 {
 // measured: the query-fidelity figure checks the result stays above it.
 func (qs *QuerySession) InputFloor(now sim.Time) float64 {
 	floor := 1.0
-	for _, x := range sortedItems(qs.s.Wants) {
-		f, ok := qs.s.meters[x].fidelity(now)
+	for i := range qs.s.meters {
+		f, ok := qs.s.meters[i].fidelity(now)
 		if !ok {
 			continue
 		}
@@ -173,18 +172,7 @@ func (f *Fleet) AttachQueries() ([]*repository.Client, error) {
 		}
 		home := repository.ID(1 + i%len(f.repos))
 		wants := q.Wants()
-		s := &Session{
-			Name:       q.Name,
-			Home:       home,
-			Repo:       repository.NoID,
-			Wants:      wants,
-			ns:         node.NewSession(q.Name, wants),
-			candidates: Candidates(f.net, home, len(f.repos)),
-			meters:     make(map[string]*meter, len(wants)),
-		}
-		for x, tol := range wants {
-			s.meters[x] = &meter{c: tol}
-		}
+		s := newSession(q.Name, home, wants)
 		qs := &QuerySession{
 			Query:    q,
 			s:        s,
@@ -205,7 +193,7 @@ func (f *Fleet) AttachQueries() ([]*repository.Client, error) {
 			return nil, fmt.Errorf("serve: no repository to place query %q on", q.Name)
 		}
 		f.attach(s, target, 0)
-		for _, x := range sortedItems(wants) {
+		for _, x := range s.items {
 			f.byItem[x] = append(f.byItem[x], s)
 			f.qByItem[x] = append(f.qByItem[x], qs)
 		}
@@ -271,7 +259,7 @@ func (f *Fleet) observeQuerySource(now sim.Time, item string, v float64) {
 // and a changed result that passes the predicate is published to the
 // client's copy.
 func (f *Fleet) queryDeliver(qs *QuerySession, now sim.Time, item string, v float64, resync bool) {
-	qs.s.meters[item].deliver(now, v)
+	qs.s.meterFor(item).deliver(now, v)
 	if resync {
 		qs.resyncPushes++
 	} else {

@@ -28,19 +28,54 @@ type Session struct {
 	// and decision counters, shared with whichever node.Core currently
 	// serves the session.
 	ns *node.Session
-	// candidates is the placement order: every repository, nearest first.
-	candidates []repository.ID
+	// items is the watch list in sorted order, cached once at
+	// construction — every per-item sweep (attach, detach, seed,
+	// fidelity) walks it instead of re-sorting the Wants map.
+	items []string
 	// meters measures client-observed coherency per item over the
-	// session's attached lifetime.
-	meters map[string]*meter
+	// session's attached lifetime; meters[i] belongs to items[i]. The
+	// meters are inline (not pointer-boxed), so the delivery hot path
+	// resolves an index and touches the struct directly.
+	meters []meter
+	// midx maps item -> index into items/meters.
+	midx map[string]int32
 	// redirected records whether admission skipped the nearest candidate.
 	redirected bool
 }
 
+// newSession builds a detached session over the watch list, caching the
+// sorted item order and laying the meters out inline.
+func newSession(name string, home repository.ID, wants map[string]coherency.Requirement) *Session {
+	s := &Session{
+		Name:   name,
+		Home:   home,
+		Repo:   repository.NoID,
+		Wants:  wants,
+		ns:     node.NewSession(name, wants),
+		items:  sortedItems(wants),
+		meters: make([]meter, len(wants)),
+		midx:   make(map[string]int32, len(wants)),
+	}
+	for i, x := range s.items {
+		s.meters[i] = meter{c: wants[x]}
+		s.midx[x] = int32(i)
+	}
+	return s
+}
+
+// meterFor returns the session's meter for item, or nil when unwatched.
+func (s *Session) meterFor(item string) *meter {
+	i, ok := s.midx[item]
+	if !ok {
+		return nil
+	}
+	return &s.meters[i]
+}
+
 // Value returns the session's current copy of item.
 func (s *Session) Value(item string) (float64, bool) {
-	m, ok := s.meters[item]
-	if !ok {
+	m := s.meterFor(item)
+	if m == nil {
 		return 0, false
 	}
 	return m.have, true
@@ -65,9 +100,8 @@ func (s *Session) Redirected() bool { return s.redirected }
 func (s *Session) Fidelity(now sim.Time) float64 {
 	var sum float64
 	var n int
-	for _, x := range sortedItems(s.Wants) {
-		m := s.meters[x]
-		f, ok := m.fidelity(now)
+	for i := range s.meters {
+		f, ok := s.meters[i].fidelity(now)
 		if !ok {
 			continue
 		}

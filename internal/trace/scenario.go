@@ -1,0 +1,332 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Scenario specs describe the stress shapes the paper never tested:
+// flash crowds, correlated regional failures, and diurnal load waves.
+// The grammar is
+//
+//	kind[:key=value[,key=value]...]
+//
+// with one of three kinds:
+//
+//	flash    a Pareto burst of arrivals onto one hot item.
+//	         at     burst start, fraction of the horizon (default 0.3)
+//	         frac   fraction of the population in the crowd (default 0.5)
+//	         burst  mean Pareto inter-arrival in ticks (default 0.5,
+//	                minimum inter-arrival fixed at burst/10)
+//	         leave  crowd departure point, fraction of the horizon
+//	                (default 1 = the crowd stays)
+//	regional a contiguous block of repositories failing together.
+//	         at     failure point, fraction of the horizon (default 0.4)
+//	         frac   fraction of repositories in the region (default 0.25)
+//	         rejoin recovery point, fraction of the horizon (default 0.7;
+//	                1 = never rejoin)
+//	diurnal  the attached population follows a cosine load wave.
+//	         waves  full day/night cycles over the horizon (default 2)
+//	         low    attached fraction at the trough (default 0.3)
+//
+// Fractions are in [0, 1] and the spec is rejected outside its valid
+// ranges, so a fuzzer can hammer ParseScenario and anything accepted
+// must build a plan.
+//
+// A scenario is *time-indexed in ticks* (the workload's update rounds),
+// not simulated time: the serving layers translate ticks through their
+// own update interval. Everything is deterministic in (spec, population
+// sizes, seed).
+
+// ScenarioSpec is a parsed, validated scenario description.
+type ScenarioSpec struct {
+	// Kind is "flash", "regional" or "diurnal".
+	Kind string
+	// Params holds the kind's keyword parameters with defaults applied.
+	Params map[string]float64
+}
+
+// String renders the spec canonically (sorted keys).
+func (s *ScenarioSpec) String() string {
+	keys := make([]string, 0, len(s.Params))
+	for k := range s.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Kind)
+	for i, k := range keys {
+		if i == 0 {
+			b.WriteByte(':')
+		} else {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%g", k, s.Params[k])
+	}
+	return b.String()
+}
+
+// scenarioParam describes one keyword: its default and valid range.
+type scenarioParam struct {
+	def, min, max float64
+}
+
+var scenarioKinds = map[string]map[string]scenarioParam{
+	"flash": {
+		"at":    {def: 0.3, min: 0, max: 1},
+		"frac":  {def: 0.5, min: 0, max: 1},
+		"burst": {def: 0.5, min: 1e-6, max: 1e6},
+		"leave": {def: 1, min: 0, max: 1},
+	},
+	"regional": {
+		"at":     {def: 0.4, min: 0, max: 1},
+		"frac":   {def: 0.25, min: 0, max: 1},
+		"rejoin": {def: 0.7, min: 0, max: 1},
+	},
+	"diurnal": {
+		"waves": {def: 2, min: 1, max: 64},
+		"low":   {def: 0.3, min: 0, max: 1},
+	},
+}
+
+// ParseScenario parses and validates a scenario spec. Empty and "none"
+// parse to nil (no scenario).
+func ParseScenario(spec string) (*ScenarioSpec, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" || spec == "none" {
+		return nil, nil
+	}
+	kind, rest, _ := strings.Cut(spec, ":")
+	params, ok := scenarioKinds[kind]
+	if !ok {
+		return nil, fmt.Errorf("trace: unknown scenario kind %q (want flash, regional or diurnal)", kind)
+	}
+	s := &ScenarioSpec{Kind: kind, Params: make(map[string]float64, len(params))}
+	for k, p := range params {
+		s.Params[k] = p.def
+	}
+	if rest == "" && strings.Contains(spec, ":") {
+		return nil, fmt.Errorf("trace: scenario %q has an empty parameter list", spec)
+	}
+	if rest != "" {
+		for _, kv := range strings.Split(rest, ",") {
+			key, val, found := strings.Cut(kv, "=")
+			if !found {
+				return nil, fmt.Errorf("trace: scenario parameter %q is not key=value", kv)
+			}
+			p, ok := params[key]
+			if !ok {
+				return nil, fmt.Errorf("trace: scenario %s has no parameter %q", kind, key)
+			}
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("trace: scenario parameter %s=%q is not a finite number", key, val)
+			}
+			if v < p.min || v > p.max {
+				return nil, fmt.Errorf("trace: scenario parameter %s=%g outside [%g, %g]", key, v, p.min, p.max)
+			}
+			s.Params[key] = v
+		}
+	}
+	if kind == "regional" && s.Params["rejoin"] < 1 && s.Params["rejoin"] <= s.Params["at"] {
+		return nil, fmt.Errorf("trace: regional rejoin=%g must follow at=%g", s.Params["rejoin"], s.Params["at"])
+	}
+	return s, nil
+}
+
+// ScenarioEvent is one scheduled session churn action, in tick time.
+type ScenarioEvent struct {
+	Tick    int
+	Session int // population index, 0-based
+	Depart  bool
+}
+
+// ScenarioFault is one scheduled repository failure, in tick time.
+// RejoinTick < 0 means the repository never recovers.
+type ScenarioFault struct {
+	Repo       int // repository id, 1-based
+	Tick       int
+	RejoinTick int
+}
+
+// ScenarioPlan is a fully scheduled scenario over a concrete population:
+// which sessions start detached, which are in the flash crowd (and so
+// watch the hot item), the session churn timeline, and the repository
+// fault timeline. Events and Faults are sorted by tick.
+type ScenarioPlan struct {
+	// Spec is the canonical spec the plan was built from.
+	Spec string
+	// Kind is the scenario kind.
+	Kind string
+	// StartDetached[i] reports whether session i begins outside the
+	// system (flash-crowd members arrive with the burst).
+	StartDetached []bool
+	// Hot[i] reports whether session i is a flash-crowd member; the
+	// serving layer points its watch-list at the hot item.
+	Hot []bool
+	// Events is the session churn timeline, sorted by tick.
+	Events []ScenarioEvent
+	// Faults is the repository failure timeline, sorted by tick.
+	Faults []ScenarioFault
+}
+
+// BuildScenario schedules a parsed spec over a population of sessions
+// and repositories across ticks update rounds. A nil spec returns a nil
+// plan. The schedule is deterministic in (spec, sessions, repos, ticks,
+// seed).
+func BuildScenario(spec *ScenarioSpec, sessions, repos, ticks int, seed int64) (*ScenarioPlan, error) {
+	if spec == nil {
+		return nil, nil
+	}
+	if sessions < 0 || repos < 1 || ticks < 1 {
+		return nil, fmt.Errorf("trace: scenario over %d sessions, %d repos, %d ticks", sessions, repos, ticks)
+	}
+	p := &ScenarioPlan{
+		Spec:          spec.String(),
+		Kind:          spec.Kind,
+		StartDetached: make([]bool, sessions),
+		Hot:           make([]bool, sessions),
+	}
+	switch spec.Kind {
+	case "flash":
+		buildFlash(p, spec, sessions, ticks, seed)
+	case "regional":
+		buildRegional(p, spec, repos, ticks, seed)
+	case "diurnal":
+		buildDiurnal(p, spec, sessions, ticks)
+	default:
+		return nil, fmt.Errorf("trace: unknown scenario kind %q", spec.Kind)
+	}
+	sort.SliceStable(p.Events, func(i, j int) bool { return p.Events[i].Tick < p.Events[j].Tick })
+	sort.SliceStable(p.Faults, func(i, j int) bool { return p.Faults[i].Tick < p.Faults[j].Tick })
+	return p, nil
+}
+
+// buildFlash marks the crowd (the tail of the population, so the steady
+// base keeps the low indices) and schedules its Pareto arrival burst
+// onto the start tick, plus an optional departure wave.
+func buildFlash(p *ScenarioPlan, spec *ScenarioSpec, sessions, ticks int, seed int64) {
+	crowd := int(math.Round(spec.Params["frac"] * float64(sessions)))
+	if crowd > sessions {
+		crowd = sessions
+	}
+	start := tickAt(spec.Params["at"], ticks)
+	leave := -1
+	if spec.Params["leave"] < 1 {
+		leave = tickAt(spec.Params["leave"], ticks)
+	}
+	mean := spec.Params["burst"]
+	r := newRand(seed)
+	at := float64(start)
+	for i := sessions - crowd; i < sessions; i++ {
+		p.StartDetached[i] = true
+		p.Hot[i] = true
+		tick := int(at)
+		if tick >= ticks {
+			tick = ticks - 1
+		}
+		p.Events = append(p.Events, ScenarioEvent{Tick: tick, Session: i})
+		if leave > tick {
+			p.Events = append(p.Events, ScenarioEvent{Tick: leave, Session: i, Depart: true})
+		}
+		at += pareto(r, mean/10, mean)
+	}
+}
+
+// buildRegional fails a contiguous block of repository ids together —
+// the region — and rejoins the whole block at once.
+func buildRegional(p *ScenarioPlan, spec *ScenarioSpec, repos, ticks int, seed int64) {
+	size := int(math.Round(spec.Params["frac"] * float64(repos)))
+	if size < 1 {
+		size = 1
+	}
+	if size >= repos {
+		size = repos - 1 // never fail every repository
+	}
+	if size < 1 {
+		return
+	}
+	r := newRand(seed)
+	start := 1 + int(r.Uint64()%uint64(repos-size+1))
+	at := tickAt(spec.Params["at"], ticks)
+	rejoin := -1
+	if spec.Params["rejoin"] < 1 {
+		rejoin = tickAt(spec.Params["rejoin"], ticks)
+	}
+	for id := start; id < start+size; id++ {
+		p.Faults = append(p.Faults, ScenarioFault{Repo: id, Tick: at, RejoinTick: rejoin})
+	}
+}
+
+// buildDiurnal walks the horizon tracking a cosine load target and
+// departs/returns sessions round-robin from the tail to follow it.
+func buildDiurnal(p *ScenarioPlan, spec *ScenarioSpec, sessions, ticks int) {
+	waves := spec.Params["waves"]
+	low := spec.Params["low"]
+	attached := sessions // everyone starts attached (cos(0) = 1)
+	for tick := 1; tick < ticks; tick++ {
+		phase := 2 * math.Pi * waves * float64(tick) / float64(ticks)
+		frac := low + (1-low)*(0.5+0.5*math.Cos(phase))
+		target := int(math.Round(frac * float64(sessions)))
+		for attached > target {
+			attached--
+			p.Events = append(p.Events, ScenarioEvent{Tick: tick, Session: attached, Depart: true})
+		}
+		for attached < target {
+			p.Events = append(p.Events, ScenarioEvent{Tick: tick, Session: attached})
+			attached++
+		}
+	}
+}
+
+// tickAt maps a horizon fraction onto a tick index in [0, ticks-1].
+func tickAt(frac float64, ticks int) int {
+	t := int(math.Round(frac * float64(ticks-1)))
+	if t < 0 {
+		t = 0
+	}
+	if t >= ticks {
+		t = ticks - 1
+	}
+	return t
+}
+
+// newRand and pareto are a tiny self-contained deterministic generator
+// (splitmix64 + inverse-CDF bounded Pareto) so scenario schedules do not
+// depend on math/rand's version-sensitive stream.
+type scenarioRand struct{ state uint64 }
+
+func newRand(seed int64) *scenarioRand {
+	return &scenarioRand{state: uint64(seed)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d}
+}
+
+func (r *scenarioRand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *scenarioRand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// pareto draws a Pareto-distributed inter-arrival with the given minimum
+// and mean (mean > min implied by construction; equal collapses to the
+// constant min).
+func pareto(r *scenarioRand, min, mean float64) float64 {
+	if mean <= min {
+		return min
+	}
+	alpha := mean / (mean - min)
+	u := r.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return min / math.Pow(1-u, 1/alpha)
+}

@@ -1,0 +1,77 @@
+package trace
+
+import (
+	"testing"
+)
+
+// FuzzParseScenario fuzzes the scenario-spec grammar. The parser must
+// never panic; any spec it accepts must render a canonical form that
+// re-parses to the same parameters, and must build a plan over a small
+// population without error.
+func FuzzParseScenario(f *testing.F) {
+	f.Add("")
+	f.Add("none")
+	f.Add("flash")
+	f.Add("flash:at=0.3,frac=0.5,burst=0.5,leave=0.9")
+	f.Add("regional:at=0.4,frac=0.25,rejoin=0.7")
+	f.Add("diurnal:waves=2,low=0.3")
+	f.Add("flash:at=2")
+	f.Add("flash:burst=-1")
+	f.Add("storm:x=1")
+	f.Add("flash:")
+	f.Add("flash:at")
+	f.Add("flash:at=NaN")
+	f.Add("regional:at=0.9,rejoin=0.1")
+	f.Add("diurnal:waves=1e9")
+	f.Fuzz(func(t *testing.T, spec string) {
+		s, err := ParseScenario(spec)
+		if err != nil {
+			return
+		}
+		if s == nil {
+			return // empty / none
+		}
+		// Canonical round trip.
+		again, err := ParseScenario(s.String())
+		if err != nil {
+			t.Fatalf("canonical %q of accepted %q rejected: %v", s.String(), spec, err)
+		}
+		if again.Kind != s.Kind || len(again.Params) != len(s.Params) {
+			t.Fatalf("round trip changed spec: %+v -> %+v", s, again)
+		}
+		for k, v := range s.Params {
+			if again.Params[k] != v {
+				t.Fatalf("round trip changed %s: %g -> %g", k, v, again.Params[k])
+			}
+		}
+		// Anything accepted must schedule.
+		p, err := BuildScenario(s, 50, 4, 60, 1)
+		if err != nil {
+			t.Fatalf("accepted spec %q failed to build: %v", spec, err)
+		}
+		last := -1
+		for _, e := range p.Events {
+			if e.Tick < last {
+				t.Fatalf("events unsorted")
+			}
+			last = e.Tick
+			if e.Session < 0 || e.Session >= 50 {
+				t.Fatalf("event session %d outside population", e.Session)
+			}
+			if e.Tick < 0 || e.Tick >= 60 {
+				t.Fatalf("event tick %d outside horizon", e.Tick)
+			}
+		}
+		for _, ft := range p.Faults {
+			if ft.Repo < 1 || ft.Repo > 4 {
+				t.Fatalf("fault repo %d outside population", ft.Repo)
+			}
+			if ft.Tick < 0 || ft.Tick >= 60 {
+				t.Fatalf("fault tick %d outside horizon", ft.Tick)
+			}
+			if ft.RejoinTick >= 0 && ft.RejoinTick <= ft.Tick {
+				t.Fatalf("fault rejoin %d not after %d", ft.RejoinTick, ft.Tick)
+			}
+		}
+	})
+}

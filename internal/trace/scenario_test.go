@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"testing"
+)
+
+func TestParseScenarioDefaults(t *testing.T) {
+	for _, spec := range []string{"", "none", "  none  "} {
+		s, err := ParseScenario(spec)
+		if err != nil || s != nil {
+			t.Fatalf("ParseScenario(%q) = %v, %v, want nil, nil", spec, s, err)
+		}
+	}
+	s, err := ParseScenario("flash")
+	if err != nil {
+		t.Fatalf("ParseScenario(flash): %v", err)
+	}
+	if s.Kind != "flash" || s.Params["at"] != 0.3 || s.Params["frac"] != 0.5 || s.Params["burst"] != 0.5 || s.Params["leave"] != 1 {
+		t.Fatalf("flash defaults wrong: %+v", s)
+	}
+	s, err = ParseScenario("regional:at=0.2,frac=0.5,rejoin=0.9")
+	if err != nil {
+		t.Fatalf("ParseScenario(regional): %v", err)
+	}
+	if s.Params["at"] != 0.2 || s.Params["frac"] != 0.5 || s.Params["rejoin"] != 0.9 {
+		t.Fatalf("regional params wrong: %+v", s)
+	}
+	if got := s.String(); got != "regional:at=0.2,frac=0.5,rejoin=0.9" {
+		t.Fatalf("canonical spec %q", got)
+	}
+}
+
+func TestParseScenarioRejects(t *testing.T) {
+	for _, spec := range []string{
+		"storm",                      // unknown kind
+		"flash:",                     // empty parameter list
+		"flash:at",                   // not key=value
+		"flash:zap=1",                // unknown key
+		"flash:at=NaN",               // non-finite
+		"flash:at=2",                 // out of range
+		"flash:burst=0",              // out of range
+		"diurnal:waves=0",            // out of range
+		"regional:at=0.5,rejoin=0.4", // rejoin before failure
+	} {
+		if _, err := ParseScenario(spec); err == nil {
+			t.Fatalf("ParseScenario(%q) accepted", spec)
+		}
+	}
+}
+
+func TestBuildFlash(t *testing.T) {
+	spec, err := ParseScenario("flash:at=0.25,frac=0.4,burst=0.5,leave=0.75")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BuildScenario(spec, 100, 4, 101, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crowd := 0
+	for i, hot := range p.Hot {
+		if hot != p.StartDetached[i] {
+			t.Fatalf("session %d: hot=%v detached=%v, want equal", i, hot, p.StartDetached[i])
+		}
+		if hot {
+			crowd++
+			if i < 60 {
+				t.Fatalf("crowd member %d in the steady base (want tail indices)", i)
+			}
+		}
+	}
+	if crowd != 40 {
+		t.Fatalf("crowd size %d, want 40", crowd)
+	}
+	arrivals, departures := 0, 0
+	lastTick := -1
+	for _, e := range p.Events {
+		if e.Tick < lastTick {
+			t.Fatalf("events unsorted at tick %d after %d", e.Tick, lastTick)
+		}
+		lastTick = e.Tick
+		if e.Depart {
+			departures++
+			if e.Tick != 75 {
+				t.Fatalf("departure at tick %d, want 75", e.Tick)
+			}
+		} else {
+			arrivals++
+			if e.Tick < 25 || e.Tick > 74 {
+				t.Fatalf("arrival at tick %d, want within [25, 74]", e.Tick)
+			}
+			if !p.Hot[e.Session] {
+				t.Fatalf("arrival for non-crowd session %d", e.Session)
+			}
+		}
+	}
+	if arrivals != 40 || departures != 40 {
+		t.Fatalf("arrivals=%d departures=%d, want 40 each", arrivals, departures)
+	}
+	// Determinism.
+	q, _ := BuildScenario(spec, 100, 4, 101, 7)
+	if len(q.Events) != len(p.Events) {
+		t.Fatalf("rebuild changed event count")
+	}
+	for i := range p.Events {
+		if q.Events[i] != p.Events[i] {
+			t.Fatalf("rebuild changed event %d: %+v -> %+v", i, p.Events[i], q.Events[i])
+		}
+	}
+}
+
+func TestBuildRegional(t *testing.T) {
+	spec, err := ParseScenario("regional:at=0.5,frac=0.5,rejoin=0.8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BuildScenario(spec, 10, 8, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Faults) != 4 {
+		t.Fatalf("%d faults, want 4 (half of 8 repos)", len(p.Faults))
+	}
+	for i, ft := range p.Faults {
+		if ft.Tick != p.Faults[0].Tick || ft.RejoinTick != p.Faults[0].RejoinTick {
+			t.Fatalf("fault %d not correlated with the region: %+v vs %+v", i, ft, p.Faults[0])
+		}
+		if ft.Repo < 1 || ft.Repo > 8 {
+			t.Fatalf("fault repo %d outside population", ft.Repo)
+		}
+		if i > 0 && ft.Repo != p.Faults[i-1].Repo+1 {
+			t.Fatalf("region not contiguous: %+v", p.Faults)
+		}
+		if ft.RejoinTick <= ft.Tick {
+			t.Fatalf("rejoin %d not after failure %d", ft.RejoinTick, ft.Tick)
+		}
+	}
+	// frac=1 never fails every repository.
+	all, _ := ParseScenario("regional:frac=1")
+	p, err = BuildScenario(all, 10, 4, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Faults) != 3 {
+		t.Fatalf("frac=1 failed %d of 4 repos, want 3 (one survivor)", len(p.Faults))
+	}
+}
+
+func TestBuildDiurnal(t *testing.T) {
+	spec, err := ParseScenario("diurnal:waves=2,low=0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const sessions = 200
+	p, err := BuildScenario(spec, sessions, 4, 400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attached := make([]bool, sessions)
+	for i := range attached {
+		attached[i] = true
+	}
+	n, minN := sessions, sessions
+	for _, e := range p.Events {
+		if attached[e.Session] == !e.Depart {
+			t.Fatalf("event %+v repeats session state", e)
+		}
+		attached[e.Session] = !e.Depart
+		if e.Depart {
+			n--
+		} else {
+			n++
+		}
+		if n < minN {
+			minN = n
+		}
+	}
+	if minN < 45 || minN > 55 {
+		t.Fatalf("trough at %d attached, want ~50 (low=0.25 of 200)", minN)
+	}
+	if n < sessions-10 {
+		t.Fatalf("horizon ends with %d attached, want near full (cosine returns to 1)", n)
+	}
+}
+
+func TestBuildScenarioNil(t *testing.T) {
+	p, err := BuildScenario(nil, 10, 4, 100, 1)
+	if err != nil || p != nil {
+		t.Fatalf("BuildScenario(nil) = %v, %v", p, err)
+	}
+}

@@ -1,0 +1,1000 @@
+// Package vserve is the virtual-session serving mode: the same
+// client-serving semantics as internal/serve — nearest-first placement
+// under a session cap, Eqs. 3+7 per-client filtering with the first-push
+// rule, churn, crash migration with resync, client-observed fidelity —
+// scaled from tens of thousands of sessions to millions on one machine.
+//
+// The concrete fleet materializes each client as a Session object with a
+// core-side node.Session, a map of pointer-boxed meters, and a private
+// candidate slice: several hundred heap objects and ~2 KiB per client.
+// The virtual fleet materializes *none of that*. A session is a handle —
+// an index into per-shard struct-of-arrays state:
+//
+//	shard s (FNV-1a(name) % shards)
+//	├── home[i], repo[i], seq[i], orphan flags    per-session scalars
+//	├── wOff[i], wLen[i]                          watch-list extent
+//	└── watch entries (flat, item-sorted per session)
+//	    ├── wItem, wTol                           subscription
+//	    ├── wHave, wSeeded                        session-edge filter state
+//	    └── wInViol, wAttached, wLast, wSpan, wViol   fidelity meter
+//
+// The meter state is the same piecewise-constant integrator as
+// serve.meter with one compression: the per-meter source copy is gone —
+// the source value of an item is global, so it lives once in src[item]
+// instead of once per (session, item). Everything else is bit-identical
+// arithmetic, which is what lets TestVirtualParity demand *equality* (not
+// tolerance) between the two fleets' fidelity numbers.
+//
+// Fan-out is driven by postings lists instead of maps-of-objects:
+// byItem[item] lists every watch entry (source metering), and
+// post[shard][repo][item] lists the watch entries of sessions currently
+// attached to the repository (delivery). Attach/detach maintain the
+// postings with swap-deletes through a per-watch position; the delivery
+// hot path walks a slice, touches flat arrays, and allocates nothing
+// (TestVirtualDeliverAllocFree).
+//
+// Placement rides the shared internal/place index: per-home candidate
+// orders are computed once per home endpoint, not per session, and the
+// optional consistent-hash overflow ring (Options.RingSlots) bounds the
+// admission walk under cap pressure instead of degenerating to a linear
+// scan. Scenario plans from internal/trace (flash crowds, diurnal waves)
+// schedule churn; correlated regional failures arrive through the
+// resilience runner's crash/rejoin observers exactly as single faults do.
+package vserve
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"d3t/internal/coherency"
+	"d3t/internal/netsim"
+	"d3t/internal/obs"
+	"d3t/internal/place"
+	"d3t/internal/repository"
+	"d3t/internal/resilience"
+	"d3t/internal/serve"
+	"d3t/internal/sim"
+	"d3t/internal/trace"
+)
+
+// Options parameterizes a virtual fleet.
+type Options struct {
+	// Cap is the per-repository session cap (0 = unlimited), as in
+	// serve.Options.
+	Cap int
+	// Plan schedules session churn (Fault.Node is a 1-based session
+	// index), as in serve.Options.
+	Plan *resilience.Plan
+	// Scenario schedules scenario-driven churn (tick-indexed; converted
+	// through Interval). Flash-crowd members are created detached and
+	// watch the hot item; see Synthetic.
+	Scenario *trace.ScenarioPlan
+	// Interval is the tick length in sim time used to convert scenario
+	// ticks (defaults to 1, matching resilience.ParsePlan's convention
+	// At = tick * interval).
+	Interval sim.Time
+	// Obs, when set, collects per-repository serving counters and the
+	// redirect-latency histogram, exactly as the concrete fleet does.
+	Obs *obs.Tree
+	// Shards is the session-state shard count (default 8). Sessions are
+	// sharded by FNV-1a of their name.
+	Shards int
+	// RingSlots/RingAfter enable the placement index's consistent-hash
+	// overflow ring (see place.Options). Zero keeps strict nearest-first
+	// overflow — required for byte parity with the concrete fleet.
+	RingSlots int
+	RingAfter int
+	// Workers > 1 fans deliveries out across shards in parallel. Shard
+	// state is disjoint and per-shard tallies are merged in shard order,
+	// so results are identical to the sequential path.
+	Workers int
+}
+
+// Stats extends the serving-layer stats with virtual-fleet extras.
+type Stats struct {
+	serve.Stats
+	// Shards is the shard count; BytesPerSession the measured resident
+	// session-state footprint divided by the population.
+	Shards          int
+	BytesPerSession float64
+}
+
+// String renders the stats as a one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("%s shards=%d bytes/session=%.0f", s.Stats.String(), s.Shards, s.BytesPerSession)
+}
+
+// watchRef addresses one watch entry: shard index + index into the
+// shard's flat watch arrays.
+type watchRef struct {
+	sh uint32
+	wi uint32
+}
+
+// shard holds the struct-of-arrays session state of one shard. All
+// per-watch arrays are parallel; a session's watches occupy
+// [wOff[i], wOff[i]+wLen[i]) in item-sorted order.
+type shard struct {
+	// Per-session scalars.
+	hash   []uint32 // FNV-1a of the session name (ring key)
+	home   []int32
+	repo   []int32  // current repository id, or -1 detached
+	seq    []uint64 // attach sequence on the current repository
+	orphan []bool
+	wOff   []uint32
+	wLen   []uint16
+	names  []string // nil for synthetic populations
+
+	// Per-watch subscription and filter state.
+	wItem   []uint32
+	wTol    []coherency.Requirement
+	wHave   []float64
+	wSeeded []bool
+
+	// Per-watch fidelity meter (serve.meter, flattened; the source copy
+	// is global in Fleet.src).
+	wInViol   []bool
+	wAttached []bool
+	wLast     []sim.Time
+	wSpan     []sim.Time
+	wViol     []sim.Time
+
+	// wPos is the watch's position in its current delivery postings
+	// slice (valid while attached), maintained for O(1) swap-delete.
+	wPos []uint32
+}
+
+// rosterEntry records one admission on a repository, in attach order.
+// The entry is stale (the session has since left) unless the session's
+// current repo and seq still match.
+type rosterEntry struct {
+	h   uint64
+	seq uint64
+}
+
+// event is one scheduled churn action (sim time).
+type event struct {
+	at     sim.Time
+	idx    int
+	depart bool
+}
+
+// Fleet is the virtual-session fleet. Like serve.Fleet it is
+// single-threaded (Workers only parallelizes internally): populate,
+// Seed, run the simulation with the fleet as its observer, Finalize.
+type Fleet struct {
+	net   *netsim.Network
+	repos []*repository.Repository
+	opts  Options
+	ix    *place.Index
+
+	itemID   map[string]uint32
+	itemName []string
+	src      []float64 // current source value per item
+
+	// Per-repository serving state: current copies, liveness, load,
+	// attach rosters, attach-sequence counters.
+	values  [][]float64
+	valSet  [][]bool
+	alive   []bool
+	sessCnt []int
+	roster  [][]rosterEntry
+	seqs    []uint64
+
+	// byItem[item] is the static all-watchers postings list (source
+	// metering); post[shard][repo-1][item] the attached-watchers list
+	// (delivery fan-out).
+	byItem [][]watchRef
+	post   [][][][]watchRef
+
+	shards []shard
+	// order is every created session in population order (the churn
+	// plan's index space and the fidelity aggregation order).
+	order  []uint64
+	byName map[string]uint64
+
+	events []event
+	next   int
+
+	stats Stats
+	par   *parallel
+}
+
+// NewFleet builds an empty virtual fleet over the repository population
+// (ids 1..n matching the network's endpoints). Item catalogue and
+// sessions are added by AttachAll or Populate.
+func NewFleet(net *netsim.Network, repos []*repository.Repository, opts Options) (*Fleet, error) {
+	if opts.Shards <= 0 {
+		opts.Shards = 8
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = 1
+	}
+	f := &Fleet{
+		net:     net,
+		repos:   repos,
+		opts:    opts,
+		itemID:  make(map[string]uint32),
+		values:  make([][]float64, len(repos)),
+		valSet:  make([][]bool, len(repos)),
+		alive:   make([]bool, len(repos)),
+		sessCnt: make([]int, len(repos)),
+		roster:  make([][]rosterEntry, len(repos)),
+		seqs:    make([]uint64, len(repos)),
+		shards:  make([]shard, opts.Shards),
+		byName:  make(map[string]uint64),
+	}
+	for i, r := range repos {
+		if r.ID != repository.ID(i+1) {
+			return nil, fmt.Errorf("vserve: repository %d at index %d (want contiguous ids from 1)", r.ID, i)
+		}
+		f.alive[i] = true
+	}
+	f.ix = place.New(net, len(repos), place.Options{RingSlots: opts.RingSlots, RingAfter: opts.RingAfter})
+	f.post = make([][][][]watchRef, opts.Shards)
+	for s := range f.post {
+		f.post[s] = make([][][]watchRef, len(repos))
+	}
+	if opts.Plan != nil {
+		for _, ft := range opts.Plan.Faults {
+			idx := int(ft.Node) - 1
+			f.events = append(f.events, event{at: ft.At, idx: idx, depart: true})
+			if ft.RejoinAt > 0 {
+				f.events = append(f.events, event{at: ft.RejoinAt, idx: idx})
+			}
+		}
+	}
+	if opts.Scenario != nil {
+		for _, e := range opts.Scenario.Events {
+			f.events = append(f.events, event{at: sim.Time(e.Tick) * opts.Interval, idx: e.Session, depart: e.Depart})
+		}
+	}
+	sort.SliceStable(f.events, func(i, j int) bool { return f.events[i].at < f.events[j].at })
+	if opts.Workers > 1 {
+		f.par = newParallel(opts.Workers)
+	}
+	f.stats.Shards = opts.Shards
+	return f, nil
+}
+
+// Index exposes the placement index (test instrumentation).
+func (f *Fleet) Index() *place.Index { return f.ix }
+
+// item interns an item name.
+func (f *Fleet) item(name string) uint32 {
+	id, ok := f.itemID[name]
+	if !ok {
+		id = uint32(len(f.itemName))
+		f.itemID[name] = id
+		f.itemName = append(f.itemName, name)
+		f.src = append(f.src, 0)
+		f.byItem = append(f.byItem, nil)
+		for r := range f.values {
+			f.values[r] = append(f.values[r], 0)
+			f.valSet[r] = append(f.valSet[r], false)
+		}
+		for s := range f.post {
+			for r := range f.post[s] {
+				f.post[s][r] = append(f.post[s][r], nil)
+			}
+		}
+	}
+	return id
+}
+
+// handle packs (shard, index); split unpacks it.
+func handle(sh, idx uint32) uint64 { return uint64(sh)<<32 | uint64(idx) }
+
+func split(h uint64) (sh, idx uint32) { return uint32(h >> 32), uint32(h) }
+
+// create appends one detached session to its shard and returns the
+// handle. items must be sorted by name; tols parallel.
+func (f *Fleet) create(name string, hash uint32, home repository.ID, items []uint32, tols []coherency.Requirement) uint64 {
+	shi := hash % uint32(len(f.shards))
+	sh := &f.shards[shi]
+	idx := uint32(len(sh.hash))
+	h := handle(shi, idx)
+	sh.hash = append(sh.hash, hash)
+	sh.home = append(sh.home, int32(home))
+	sh.repo = append(sh.repo, -1)
+	sh.seq = append(sh.seq, 0)
+	sh.orphan = append(sh.orphan, false)
+	sh.wOff = append(sh.wOff, uint32(len(sh.wItem)))
+	sh.wLen = append(sh.wLen, uint16(len(items)))
+	if name != "" {
+		for len(sh.names) < int(idx) {
+			sh.names = append(sh.names, "")
+		}
+		sh.names = append(sh.names, name)
+	}
+	for k, it := range items {
+		wi := uint32(len(sh.wItem))
+		sh.wItem = append(sh.wItem, it)
+		sh.wTol = append(sh.wTol, tols[k])
+		sh.wHave = append(sh.wHave, 0)
+		sh.wSeeded = append(sh.wSeeded, false)
+		sh.wInViol = append(sh.wInViol, false)
+		sh.wAttached = append(sh.wAttached, false)
+		sh.wLast = append(sh.wLast, 0)
+		sh.wSpan = append(sh.wSpan, 0)
+		sh.wViol = append(sh.wViol, 0)
+		sh.wPos = append(sh.wPos, 0)
+		f.byItem[it] = append(f.byItem[it], watchRef{sh: shi, wi: wi})
+	}
+	f.order = append(f.order, h)
+	f.stats.Sessions++
+	return h
+}
+
+// advance accounts [wLast, now) against the watch's current meter state
+// — serve.meter.advance, flattened.
+func (sh *shard) advance(wi uint32, now sim.Time) {
+	if sh.wAttached[wi] {
+		d := now - sh.wLast[wi]
+		sh.wSpan[wi] += d
+		if sh.wInViol[wi] {
+			sh.wViol[wi] += d
+		}
+	}
+	sh.wLast[wi] = now
+}
+
+// deliverWatch is serve.meter.deliver: advance, move the client copy,
+// refresh the violation flag against the global source value.
+func (f *Fleet) deliverWatch(sh *shard, wi uint32, now sim.Time, v float64) {
+	sh.advance(wi, now)
+	sh.wHave[wi] = v
+	sh.wSeeded[wi] = true
+	sh.wInViol[wi] = sh.wTol[wi].Violated(f.src[sh.wItem[wi]], v)
+}
+
+// CanServe reports whether the repository serves every watched item of
+// the session at least as stringently as demanded — node.Core's
+// CanServeSession over flat state.
+func (f *Fleet) canServe(id repository.ID, sh *shard, i uint32) bool {
+	r := f.repos[id-1]
+	if r.IsSource() {
+		return true
+	}
+	off, n := sh.wOff[i], uint32(sh.wLen[i])
+	for wi := off; wi < off+n; wi++ {
+		own, ok := r.Serving[f.itemName[sh.wItem[wi]]]
+		if !ok || !own.AtLeastAsStringentAs(sh.wTol[wi]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Alive, HasRoom and Load implement place.State.
+func (f *Fleet) Alive(id repository.ID) bool { return f.alive[id-1] }
+func (f *Fleet) HasRoom(id repository.ID) bool {
+	return f.opts.Cap <= 0 || f.sessCnt[id-1] < f.opts.Cap
+}
+func (f *Fleet) Load(id repository.ID) int { return f.sessCnt[id-1] }
+
+// place asks the index for the session's repository — the same two-pass
+// policy as serve.Fleet.place.
+func (f *Fleet) place(sh *shard, shi, i uint32, initial bool) repository.ID {
+	var serves func(repository.ID) bool
+	if !initial {
+		serves = func(id repository.ID) bool { return f.canServe(id, sh, i) }
+	}
+	exclude := repository.NoID
+	if sh.repo[i] >= 0 {
+		exclude = repository.ID(sh.repo[i])
+	}
+	id, _ := f.ix.Place(f, repository.ID(sh.home[i]), exclude, sh.hash[i], serves, initial)
+	return id
+}
+
+// attach wires the session onto the repository: meters resume, postings
+// gain its watches, and the repository resyncs it to its current copies
+// (skipping values the session provably already holds) — serve.Fleet's
+// attach + node.Core.ForceAdmit in one pass.
+func (f *Fleet) attach(h uint64, id repository.ID, now sim.Time) {
+	shi, i := split(h)
+	sh := &f.shards[shi]
+	sh.repo[i] = int32(id)
+	sh.orphan[i] = false
+	sh.seq[i] = f.seqs[id-1]
+	f.seqs[id-1]++
+	f.sessCnt[id-1]++
+	f.roster[id-1] = append(f.roster[id-1], rosterEntry{h: h, seq: sh.seq[i]})
+	o := f.opts.Obs.Node(id)
+	o.Admit1()
+	resyncs := 0
+	off, n := sh.wOff[i], uint32(sh.wLen[i])
+	posts := f.post[shi][id-1]
+	vals, set := f.values[id-1], f.valSet[id-1]
+	for wi := off; wi < off+n; wi++ {
+		sh.advance(wi, now)
+		sh.wAttached[wi] = true
+		it := sh.wItem[wi]
+		sh.wPos[wi] = uint32(len(posts[it]))
+		posts[it] = append(posts[it], watchRef{sh: shi, wi: wi})
+		// Resync (item-sorted order, the watch layout's order): skip
+		// items the repository does not hold and values the session
+		// already has.
+		if !set[it] {
+			continue
+		}
+		v := vals[it]
+		if sh.wSeeded[wi] && sh.wHave[wi] == v {
+			continue
+		}
+		f.deliverWatch(sh, wi, now, v)
+		resyncs++
+	}
+	f.stats.Resyncs += resyncs
+	o.Resync(resyncs)
+}
+
+// detach unwires the session from its repository: postings lose its
+// watches (swap-delete via the tracked positions), meters pause. With
+// dead true the repository's postings are about to be cleared wholesale
+// (crash migration), so individual removal is skipped.
+func (f *Fleet) detach(h uint64, now sim.Time, dead bool) {
+	shi, i := split(h)
+	sh := &f.shards[shi]
+	id := repository.ID(sh.repo[i])
+	if id <= 0 {
+		return
+	}
+	sh.repo[i] = -1
+	f.sessCnt[id-1]--
+	posts := f.post[shi][id-1]
+	off, n := sh.wOff[i], uint32(sh.wLen[i])
+	for wi := off; wi < off+n; wi++ {
+		sh.advance(wi, now)
+		sh.wAttached[wi] = false
+		if dead {
+			continue
+		}
+		it := sh.wItem[wi]
+		lst := posts[it]
+		pos := sh.wPos[wi]
+		last := lst[len(lst)-1]
+		lst[pos] = last
+		f.shards[last.sh].wPos[last.wi] = pos
+		posts[it] = lst[:len(lst)-1]
+	}
+}
+
+// admit creates and initially places one session, charging redirects as
+// serve.Fleet.Attach does. detached creates the session outside the
+// system (a flash-crowd member awaiting its arrival event).
+func (f *Fleet) admit(name string, hash uint32, home repository.ID, items []uint32, tols []coherency.Requirement, detached bool) (uint64, error) {
+	h := f.create(name, hash, home, items, tols)
+	if detached {
+		return h, nil
+	}
+	shi, i := split(h)
+	sh := &f.shards[shi]
+	target := f.place(sh, shi, i, true)
+	if target == repository.NoID {
+		return h, fmt.Errorf("vserve: no repository to place session %q on", name)
+	}
+	f.attach(h, target, 0)
+	order := f.ix.Order(home)
+	if target != order[0] {
+		f.stats.Redirects++
+		if on := f.opts.Obs.Node(order[0]); on != nil {
+			var lat sim.Time
+			for _, cand := range order {
+				lat += 2 * f.net.Delay[home][cand]
+				if cand == target {
+					break
+				}
+			}
+			on.Redirect1()
+			on.ObserveRedirectLatency(int64(lat))
+		}
+	}
+	return h, nil
+}
+
+// AttachAll admits a concrete client population (the parity path): each
+// client becomes a virtual session, and the client's Repo is rewritten
+// to its placement exactly as serve.Fleet.AttachAll does, so
+// repository.DeriveNeeds sees where each client actually landed.
+func (f *Fleet) AttachAll(clients []*repository.Client) error {
+	for _, c := range clients {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+		if int(c.Repo) > len(f.repos) {
+			return fmt.Errorf("vserve: client %q homed at unknown repository %d", c.Name, c.Repo)
+		}
+		if _, dup := f.byName[c.Name]; dup {
+			return fmt.Errorf("vserve: duplicate session %q", c.Name)
+		}
+		names := make([]string, 0, len(c.Wants))
+		for x := range c.Wants {
+			names = append(names, x)
+		}
+		sort.Strings(names)
+		items := make([]uint32, len(names))
+		tols := make([]coherency.Requirement, len(names))
+		for k, x := range names {
+			items[k] = f.item(x)
+			tols[k] = c.Wants[x]
+		}
+		h, err := f.admit(c.Name, place.Key(c.Name), c.Repo, items, tols, false)
+		if err != nil {
+			return err
+		}
+		f.byName[c.Name] = h
+		shi, i := split(h)
+		c.Repo = repository.ID(f.shards[shi].repo[i])
+	}
+	return nil
+}
+
+// DeriveNeeds computes every repository's data and coherency needs from
+// the registered virtual population — repository.DeriveNeeds without
+// materializing a client slice. Attached sessions count against their
+// serving repository; detached scenario sessions (the flash crowd)
+// against their home endpoint, so the overlay is provisioned for demand
+// that has registered but not yet arrived.
+func (f *Fleet) DeriveNeeds() {
+	for _, r := range f.repos {
+		r.Needs = make(map[string]coherency.Requirement)
+		r.Serving = make(map[string]coherency.Requirement)
+	}
+	for _, h := range f.order {
+		shi, i := split(h)
+		sh := &f.shards[shi]
+		// Detached sessions (scenario crowds created outside the system,
+		// orphans) count against their home endpoint: the overlay is
+		// provisioned for the registered demand, so a flash crowd's hot
+		// item is being disseminated before the burst arrives.
+		at := sh.repo[i]
+		if at < 0 {
+			at = sh.home[i]
+		}
+		r := f.repos[at-1]
+		off, n := sh.wOff[i], uint32(sh.wLen[i])
+		for wi := off; wi < off+n; wi++ {
+			item := f.itemName[sh.wItem[wi]]
+			tol := sh.wTol[wi]
+			cur, exists := r.Needs[item]
+			if !exists || tol.AtLeastAsStringentAs(cur) {
+				r.Needs[item] = tol
+				r.Serving[item] = tol
+			}
+		}
+	}
+}
+
+// Seed initializes the source signal, every repository's copy of the
+// items it holds, and every session's copy, as if all clients joined
+// fully synchronized — serve.Fleet.Seed over flat state.
+func (f *Fleet) Seed(initial map[string]float64) {
+	for x, v := range initial {
+		id, ok := f.itemID[x]
+		if !ok {
+			continue
+		}
+		f.src[id] = v
+		for r, repo := range f.repos {
+			if repo.IsSource() || holds(repo, x) {
+				f.values[r][id] = v
+				f.valSet[r][id] = true
+			}
+		}
+	}
+	for s := range f.shards {
+		sh := &f.shards[s]
+		for wi := range sh.wItem {
+			if v, ok := initial[f.itemName[sh.wItem[wi]]]; ok {
+				sh.wHave[wi] = v
+				sh.wSeeded[wi] = true
+				sh.wInViol[wi] = sh.wTol[wi].Violated(v, v)
+			}
+		}
+	}
+}
+
+func holds(r *repository.Repository, item string) bool {
+	_, ok := r.Serving[item]
+	return ok
+}
+
+// catchUp executes every scheduled churn event due at or before now —
+// serve.Fleet.catchUp with handles for sessions.
+func (f *Fleet) catchUp(now sim.Time) {
+	for f.next < len(f.events) && f.events[f.next].at <= now {
+		e := f.events[f.next]
+		f.next++
+		if e.idx < 0 || e.idx >= len(f.order) {
+			continue // plan sized for a larger population
+		}
+		h := f.order[e.idx]
+		shi, i := split(h)
+		sh := &f.shards[shi]
+		if e.depart {
+			if sh.repo[i] < 0 && !sh.orphan[i] {
+				continue // already gone
+			}
+			f.detach(h, e.at, false)
+			sh.orphan[i] = false
+			f.stats.Departures++
+			continue
+		}
+		if sh.repo[i] >= 0 || sh.orphan[i] {
+			continue // already back (or waiting to be)
+		}
+		f.stats.Arrivals++
+		if target := f.place(sh, shi, i, false); target != repository.NoID {
+			f.attach(h, target, e.at)
+		} else {
+			sh.orphan[i] = true
+			f.stats.Orphaned++
+		}
+	}
+}
+
+// ObserveSource keeps every watching session's reference signal current:
+// the global source copy moves once, and each watcher's meter advances
+// and refreshes its violation flag — attached or not, exactly as
+// serve.meter.srcUpdate does.
+func (f *Fleet) ObserveSource(now sim.Time, item string, v float64) {
+	f.catchUp(now)
+	id, ok := f.itemID[item]
+	if !ok {
+		return
+	}
+	f.src[id] = v
+	for _, ref := range f.byItem[id] {
+		sh := &f.shards[ref.sh]
+		sh.advance(ref.wi, now)
+		sh.wInViol[ref.wi] = sh.wTol[ref.wi].Violated(v, sh.wHave[ref.wi])
+	}
+}
+
+// ObserveDeliver fans a repository's delivery out to its attached
+// watchers through the per-client filter (Eqs. 3+7 with the repository's
+// serving tolerance as cSelf, first-push rule for unseeded edges) —
+// node.Core.Apply + fanToSessions over postings. The steady-state path
+// allocates nothing.
+func (f *Fleet) ObserveDeliver(now sim.Time, repo repository.ID, item string, v float64) {
+	f.catchUp(now)
+	id, ok := f.itemID[item]
+	if !ok {
+		return
+	}
+	o := f.opts.Obs.Node(repo)
+	o.Apply1()
+	f.values[repo-1][id] = v
+	f.valSet[repo-1][id] = true
+	r := f.repos[repo-1]
+	var cSelf coherency.Requirement
+	if !r.IsSource() {
+		cSelf, _ = r.ServingTolerance(item)
+	}
+	var delivered, filtered int
+	if f.par != nil {
+		delivered, filtered = f.par.deliver(f, repo, id, now, v, cSelf)
+	} else {
+		for s := range f.shards {
+			d, fl := f.deliverShard(uint32(s), repo, id, now, v, cSelf)
+			delivered += d
+			filtered += fl
+		}
+	}
+	f.stats.Delivered += uint64(delivered)
+	f.stats.Filtered += uint64(filtered)
+	o.SessPass(delivered, filtered)
+}
+
+// deliverShard filters one shard's postings for (repo, item).
+func (f *Fleet) deliverShard(shi uint32, repo repository.ID, id uint32, now sim.Time, v float64, cSelf coherency.Requirement) (delivered, filtered int) {
+	sh := &f.shards[shi]
+	src := f.src[id]
+	for _, ref := range f.post[shi][repo-1][id] {
+		wi := ref.wi
+		if sh.wSeeded[wi] && !coherency.ShouldForward(v, sh.wHave[wi], sh.wTol[wi], cSelf) {
+			filtered++
+			continue
+		}
+		sh.advance(wi, now)
+		sh.wHave[wi] = v
+		sh.wSeeded[wi] = true
+		sh.wInViol[wi] = sh.wTol[wi].Violated(src, v)
+		delivered++
+	}
+	return delivered, filtered
+}
+
+// ObserveCrash migrates the dead repository's sessions in attach order
+// onto the nearest live alternative (preferring ones already serving
+// their items), orphaning those that find no room — serve's crash path
+// over the roster.
+func (f *Fleet) ObserveCrash(now sim.Time, id repository.ID) {
+	f.catchUp(now)
+	f.alive[id-1] = false
+	for _, e := range f.roster[id-1] {
+		shi, i := split(e.h)
+		sh := &f.shards[shi]
+		if repository.ID(sh.repo[i]) != id || sh.seq[i] != e.seq {
+			continue // stale roster entry: the session has since left
+		}
+		f.detach(e.h, now, true)
+		if target := f.place(sh, shi, i, false); target != repository.NoID {
+			f.attach(e.h, target, now)
+			f.stats.Migrations++
+			f.opts.Obs.Node(target).Migrate1()
+		} else {
+			sh.orphan[i] = true
+			f.stats.Orphaned++
+		}
+	}
+	f.roster[id-1] = f.roster[id-1][:0]
+	// The dead repository's delivery postings are cleared wholesale.
+	for s := range f.post {
+		posts := f.post[s][id-1]
+		for it := range posts {
+			posts[it] = posts[it][:0]
+		}
+	}
+}
+
+// ObserveRejoin marks the repository live again and retries orphaned
+// sessions in population order against the enlarged candidate set.
+func (f *Fleet) ObserveRejoin(now sim.Time, id repository.ID) {
+	f.catchUp(now)
+	f.alive[id-1] = true
+	for _, h := range f.order {
+		shi, i := split(h)
+		sh := &f.shards[shi]
+		if !sh.orphan[i] {
+			continue
+		}
+		if target := f.place(sh, shi, i, false); target != repository.NoID {
+			f.attach(h, target, now)
+			f.stats.Migrations++
+			f.opts.Obs.Node(target).Migrate1()
+		}
+	}
+}
+
+// SessionCount returns the created population size.
+func (f *Fleet) SessionCount() int { return len(f.order) }
+
+// Attached returns how many sessions are currently attached.
+func (f *Fleet) Attached() int {
+	n := 0
+	for _, c := range f.sessCnt {
+		n += c
+	}
+	return n
+}
+
+// SessionFidelity returns one session's client-observed fidelity at now
+// (population index order). Vacuous observation reports 1.
+func (f *Fleet) SessionFidelity(idx int, now sim.Time) float64 {
+	shi, i := split(f.order[idx])
+	sh := &f.shards[shi]
+	var sum float64
+	var n int
+	off, cnt := sh.wOff[i], uint32(sh.wLen[i])
+	for wi := off; wi < off+cnt; wi++ {
+		span, viol := sh.wSpan[wi], sh.wViol[wi]
+		if sh.wAttached[wi] && now > sh.wLast[wi] {
+			d := now - sh.wLast[wi]
+			span += d
+			if sh.wInViol[wi] {
+				viol += d
+			}
+		}
+		if span <= 0 {
+			continue
+		}
+		sum += 1 - float64(viol)/float64(span)
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	return sum / float64(n)
+}
+
+// PerSessionFidelity returns every session's fidelity at the horizon, in
+// population order — the parity test's comparison vector.
+func (f *Fleet) PerSessionFidelity(horizon sim.Time) []float64 {
+	out := make([]float64, len(f.order))
+	for i := range out {
+		out[i] = f.SessionFidelity(i, horizon)
+	}
+	return out
+}
+
+// Finalize flushes churn through the horizon and returns the run's
+// statistics, including the measured bytes/session footprint.
+func (f *Fleet) Finalize(horizon sim.Time) Stats {
+	f.catchUp(horizon)
+	st := f.stats
+	st.MeanFidelity, st.WorstFidelity = 1, 1
+	if len(f.order) > 0 {
+		var sum float64
+		worst := 1.0
+		for i := range f.order {
+			fid := f.SessionFidelity(i, horizon)
+			sum += fid
+			if fid < worst {
+				worst = fid
+			}
+		}
+		st.MeanFidelity = sum / float64(len(f.order))
+		st.WorstFidelity = worst
+	}
+	st.LossPercent = 100 * (1 - st.MeanFidelity)
+	if n := len(f.order); n > 0 {
+		st.BytesPerSession = float64(f.Footprint()) / float64(n)
+	}
+	return st
+}
+
+// Footprint returns the resident session-state bytes: every per-session
+// and per-watch array plus postings and rosters, by capacity. Fixed
+// per-run state (item tables, repository value copies) is excluded — it
+// does not grow with the population.
+func (f *Fleet) Footprint() int64 {
+	var b int64
+	for s := range f.shards {
+		sh := &f.shards[s]
+		b += int64(cap(sh.hash))*4 + int64(cap(sh.home))*4 + int64(cap(sh.repo))*4 +
+			int64(cap(sh.seq))*8 + int64(cap(sh.orphan)) + int64(cap(sh.wOff))*4 + int64(cap(sh.wLen))*2
+		b += int64(cap(sh.wItem))*4 + int64(cap(sh.wTol))*8 + int64(cap(sh.wHave))*8 +
+			int64(cap(sh.wSeeded)) + int64(cap(sh.wInViol)) + int64(cap(sh.wAttached)) +
+			int64(cap(sh.wLast))*8 + int64(cap(sh.wSpan))*8 + int64(cap(sh.wViol))*8 + int64(cap(sh.wPos))*4
+		for _, name := range sh.names {
+			b += int64(len(name)) + 16
+		}
+		for r := range f.post[s] {
+			for it := range f.post[s][r] {
+				b += int64(cap(f.post[s][r][it])) * 8
+			}
+		}
+	}
+	for it := range f.byItem {
+		b += int64(cap(f.byItem[it])) * 8
+	}
+	for r := range f.roster {
+		b += int64(cap(f.roster[r])) * 16
+	}
+	b += int64(cap(f.order)) * 8
+	return b
+}
+
+// Synthetic parameterizes a compact synthetic population — the same
+// distribution as repository.GenerateClients (home chosen uniformly,
+// 1..2·ItemsPerClient−1 items from a partial shuffle, the paper's
+// stringent/loose tolerance mix) without materializing a Client object
+// per session.
+type Synthetic struct {
+	// Sessions is the population size.
+	Sessions int
+	// Items is the item catalogue.
+	Items []string
+	// ItemsPerClient is the mean watch-list size (default 3).
+	ItemsPerClient int
+	// StringentFrac is the probability a tolerance is stringent
+	// ([0.01, 0.099] vs [0.1, 0.999]).
+	StringentFrac float64
+	// Seed makes generation deterministic.
+	Seed int64
+	// HotItem is the flash-crowd item (default Items[0]); only used when
+	// the fleet has a scenario with hot sessions.
+	HotItem string
+}
+
+// Populate generates and admits a synthetic population. Sessions marked
+// hot by the fleet's scenario watch only the hot item; sessions marked
+// start-detached are created outside the system and arrive with their
+// scenario event. Names are not retained (the hash is computed from the
+// generated name and discarded), keeping the per-session footprint flat.
+func (f *Fleet) Populate(cfg Synthetic) error {
+	if cfg.Sessions <= 0 || len(cfg.Items) == 0 {
+		return fmt.Errorf("vserve: synthetic population needs sessions and items")
+	}
+	if cfg.ItemsPerClient <= 0 {
+		cfg.ItemsPerClient = 3
+	}
+	hot := cfg.HotItem
+	if hot == "" {
+		hot = cfg.Items[0]
+	}
+	hotID := f.item(hot)
+	ids := make([]uint32, len(cfg.Items))
+	for k, x := range cfg.Items {
+		ids[k] = f.item(x)
+	}
+	sc := f.opts.Scenario
+	r := rand.New(rand.NewSource(cfg.Seed))
+	// Scratch state reused across sessions: a partial Fisher-Yates over
+	// item positions, swapped back after each draw.
+	pick := make([]int, len(cfg.Items))
+	for k := range pick {
+		pick[k] = k
+	}
+	items := make([]uint32, 0, 2*cfg.ItemsPerClient)
+	tols := make([]coherency.Requirement, 0, 2*cfg.ItemsPerClient)
+	name := make([]byte, 0, 24)
+	drawTol := func() coherency.Requirement {
+		if r.Float64() < cfg.StringentFrac {
+			return coherency.Requirement(0.01 + r.Float64()*(0.099-0.01))
+		}
+		return coherency.Requirement(0.1 + r.Float64()*(0.999-0.1))
+	}
+	for i := 0; i < cfg.Sessions; i++ {
+		home := repository.ID(1 + r.Intn(len(f.repos)))
+		items = items[:0]
+		tols = tols[:0]
+		isHot := sc != nil && i < len(sc.Hot) && sc.Hot[i]
+		if isHot {
+			items = append(items, hotID)
+			tols = append(tols, drawTol())
+		} else {
+			n := 1 + r.Intn(2*cfg.ItemsPerClient-1)
+			if n > len(pick) {
+				n = len(pick)
+			}
+			for j := 0; j < n; j++ {
+				k := j + r.Intn(len(pick)-j)
+				pick[j], pick[k] = pick[k], pick[j]
+			}
+			// Keep the watch layout item-sorted: positions sort ascending
+			// and the catalogue is registered in order, so sorting
+			// positions sorts item ids consistently with name order only
+			// when the catalogue itself is name-sorted — which trace item
+			// sets are. Sort by name to be exact regardless.
+			sel := pick[:n]
+			sort.Ints(sel)
+			for _, p := range sel {
+				items = append(items, ids[p])
+				tols = append(tols, drawTol())
+			}
+			// Restore the scratch permutation (order within the prefix is
+			// enough; contents are intact by construction).
+		}
+		name = append(name[:0], "vclient"...)
+		name = appendInt(name, i)
+		hash := fnv1a(name)
+		detached := sc != nil && i < len(sc.StartDetached) && sc.StartDetached[i]
+		if _, err := f.admit("", hash, home, items, tols, detached); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendInt appends the decimal digits of v.
+func appendInt(b []byte, v int) []byte {
+	if v == 0 {
+		return append(b, '0')
+	}
+	var tmp [20]byte
+	p := len(tmp)
+	for v > 0 {
+		p--
+		tmp[p] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(b, tmp[p:]...)
+}
+
+// fnv1a is place.Key over bytes.
+func fnv1a(b []byte) uint32 {
+	h := uint32(2166136261)
+	for _, c := range b {
+		h = (h ^ uint32(c)) * 16777619
+	}
+	return h
+}
+
+// Interface conformance: the fleet observes both the plain and the
+// resilient runners.
+var _ resilience.Observer = (*Fleet)(nil)
