@@ -44,6 +44,9 @@ func main() {
 		workload = flag.String("workload", "", "trace workload family (default stocks); see -list")
 		wpath    = flag.String("workload-path", "", "trace CSV file for -workload=csv")
 		faults   = flag.String("faults", "", "failure injection applied to every sweep point (resilience figures override it)")
+		walDir   = flag.String("durability-dir", "", "write-ahead log directory applied to every sweep point; kill: faults then recover from disk (res-recovery-disk overrides it per point)")
+		snapEv   = flag.Int("snapshot-every", 0, "commits between WAL snapshot rotations (0 = default 256)")
+		fsync    = flag.String("fsync", "", "WAL fsync policy: batch (default), always, never")
 		clients  = flag.Int("clients", 0, "client sessions applied to every sweep point (client figures override the population)")
 		itemsPC  = flag.Int("items-per-client", 0, "mean watch-list size per client (default 3)")
 		cap      = flag.Int("session-cap", 0, "sessions per repository before overflow redirects (0 = unlimited)")
@@ -124,6 +127,7 @@ func main() {
 	s.Workload = *workload
 	s.WorkloadPath = *wpath
 	s.Faults = *faults
+	s.Durability = core.DurabilityConfig{Dir: *walDir, SnapshotEvery: *snapEv, Fsync: *fsync}
 	s.Clients = *clients
 	s.ItemsPerClient = *itemsPC
 	s.SessionCap = *cap

@@ -57,8 +57,12 @@ func main() {
 	flag.Float64Var(&cfg.CompDelayMs, "comp", cfg.CompDelayMs, "computational delay per dissemination (ms; negative = zero)")
 	flag.Float64Var(&cfg.CommDelayMs, "comm", cfg.CommDelayMs, "uniform communication delay (ms; 0 = random topology)")
 	flag.StringVar(&cfg.Faults, "faults", cfg.Faults,
-		"failure injection: crash:<node|max>@<tick>[+<downticks>] or churn:<rate>[:<meandown>]")
+		"failure injection: crash:<node|max>@<tick>[+<downticks>], kill:... (process death; recovers from -durability-dir) or churn:<rate>[:<meandown>]")
 	flag.IntVar(&cfg.DetectTicks, "detect", cfg.DetectTicks, "failure-detection window in heartbeat intervals (0 = default 3)")
+	flag.StringVar(&cfg.Durability.Dir, "durability-dir", cfg.Durability.Dir,
+		"write-ahead log directory: every repository logs its state and kill: faults recover from disk (empty = off)")
+	flag.IntVar(&cfg.Durability.SnapshotEvery, "snapshot-every", 256, "commits between WAL snapshot rotations")
+	flag.StringVar(&cfg.Durability.Fsync, "fsync", cfg.Durability.Fsync, "WAL fsync policy: batch, always, never")
 	flag.IntVar(&cfg.Clients, "clients", cfg.Clients, "client sessions served by the repositories (0 = no client layer)")
 	flag.IntVar(&cfg.ItemsPerClient, "items-per-client", cfg.ItemsPerClient, "mean watch-list size per client (default 3)")
 	flag.IntVar(&cfg.SessionCap, "session-cap", cfg.SessionCap, "sessions per repository before overflow redirects (0 = unlimited)")
@@ -150,6 +154,14 @@ func main() {
 		if r.RecoverySamples > 0 {
 			fmt.Printf("recovery latency    mean %v, max %v (%d samples)\n",
 				r.MeanRecovery, r.MaxRecovery, r.RecoverySamples)
+		}
+		if r.Kills > 0 || r.DiskRecoveries > 0 {
+			fmt.Printf("kills               %d (process deaths; in-memory state lost)\n", r.Kills)
+			fmt.Printf("disk recoveries     %d (%d records replayed, %d restored at start)\n",
+				r.DiskRecoveries, r.ReplayedRecords, r.RestoredAtStart)
+			if r.DiskRecoveries > 0 {
+				fmt.Printf("replay time         %v total, %v mean per recovery\n", r.ReplayTime, r.MeanReplay)
+			}
 		}
 		fmt.Printf("heartbeats          %d\n", r.Heartbeats)
 	}

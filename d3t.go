@@ -38,6 +38,14 @@
 //     overflow ring, and Config.Scenario schedules flash crowds,
 //     correlated regional failures and diurnal load waves over the
 //     population.
+//   - Durability: Config.Durability (and the WAL building blocks) backs
+//     every repository with a per-shard write-ahead log plus periodic
+//     snapshots, group-committed on batch boundaries. A killed
+//     repository recovers its exact pre-crash values and edge filter
+//     state from disk instead of rejoining cold — the first
+//     post-recovery push is suppressed or forwarded as if the crash
+//     never happened. All three runtimes honor it (kill: fault specs,
+//     live NewDurableCluster, netio NodeConfig.Durability).
 //   - Derived-data queries: Config.Queries (and the Query building
 //     blocks) subscribe clients to *derived* values — windowed
 //     aggregates, joins, filters — with a tolerance cQ on the result;
@@ -67,6 +75,7 @@ import (
 	"d3t/internal/trace"
 	"d3t/internal/tree"
 	"d3t/internal/vserve"
+	"d3t/internal/wal"
 )
 
 // Experiment layer -----------------------------------------------------
@@ -361,6 +370,39 @@ func ParseFaultPlan(spec string, repos, ticks int, interval Time, seed int64) (*
 func RunResilient(o *Overlay, lela *LeLABuilder, traces []*Trace, p Protocol,
 	cfg ResilienceConfig, plan *FaultPlan) (*ResilienceResult, error) {
 	return resilience.Run(o, lela, traces, p, cfg, plan)
+}
+
+// Durability layer -------------------------------------------------------
+
+type (
+	// DurabilityConfig selects per-repository durable state for
+	// experiments (Config.Durability): each repository's values and edge
+	// filter state ride a write-ahead log with periodic snapshots under
+	// Dir, so kill: faults recover from disk instead of rejoining cold.
+	DurabilityConfig = core.DurabilityConfig
+	// WALOptions configures one write-ahead log directory; the live and
+	// netio runtimes take one via Options.Durability and
+	// NodeConfig.Durability.
+	WALOptions = wal.Options
+	// WALRecovered is what opening a log directory found on disk:
+	// snapshot state, replayable batches, and any truncated torn tail.
+	WALRecovered = wal.Recovered
+	// WALLog is an open write-ahead log (group commit per batch).
+	WALLog = wal.Log
+)
+
+// Fsync policies for WALOptions.Fsync.
+const (
+	WALFsyncBatch  = wal.PolicyBatch
+	WALFsyncAlways = wal.PolicyAlways
+	WALFsyncNever  = wal.PolicyNever
+)
+
+// OpenWAL recovers a log directory's state (truncating any torn tail)
+// and opens the log for appending — the building block custom runtimes
+// use directly.
+func OpenWAL(dir string, opts WALOptions) (*WALLog, *WALRecovered, error) {
+	return wal.Open(dir, opts)
 }
 
 // DeriveNeeds computes each repository's data and coherency needs from its

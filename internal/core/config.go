@@ -18,6 +18,7 @@ import (
 	"d3t/internal/sim"
 	"d3t/internal/trace"
 	"d3t/internal/tree"
+	"d3t/internal/wal"
 )
 
 // Config fully describes one simulation run. The zero value is not valid;
@@ -143,14 +144,25 @@ type Config struct {
 	// Faults selects a failure-injection plan (see resilience.ParsePlan):
 	// "" or "none" runs fault-free through the plain dissemination runner,
 	// "crash:<node|max>@<tick>[+<downticks>]" injects one crash (with
-	// optional rejoin), "churn:<rate>[:<meandown>]" injects seeded Poisson
-	// churn. Any other value routes the run through the resilient runner,
-	// which adds heartbeats, failure detection and backup-parent repair.
+	// optional rejoin), "kill:<node|max>@<tick>[+<downticks>]" injects a
+	// process death whose rejoin recovers from disk when Durability is
+	// set (cold when it is not), "churn:<rate>[:<meandown>]" injects
+	// seeded Poisson churn. Any other value routes the run through the
+	// resilient runner, which adds heartbeats, failure detection and
+	// backup-parent repair.
 	Faults string
 	// DetectTicks overrides the failure-detection silence window, in
 	// heartbeat intervals (0 keeps the resilience default of 3). Only
 	// meaningful with Faults set.
 	DetectTicks int
+
+	// Durability gives every repository a write-ahead log with periodic
+	// snapshots (internal/wal), so kill: faults recover from disk and a
+	// rerun over the same directory is a full-cluster restart. Setting it
+	// routes the run through the resilient runner (which owns the
+	// crash/recovery machinery) even when Faults is empty. The zero value
+	// disables it and leaves every figure byte-identical.
+	Durability DurabilityConfig
 
 	// Obs, when set, collects per-node observability — decision counters,
 	// latency histograms, load/edge-delay EWMAs and sampled update traces
@@ -247,7 +259,38 @@ func (c Config) Validate() error {
 	if _, err := c.queries(); err != nil {
 		return err
 	}
+	if c.Durability.SnapshotEvery < 0 {
+		return fmt.Errorf("core: negative snapshot interval %d", c.Durability.SnapshotEvery)
+	}
+	if _, err := wal.ParsePolicy(c.Durability.Fsync); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
 	return nil
+}
+
+// DurabilityConfig selects per-repository durable state for a run (see
+// internal/wal for the machinery and on-disk layout).
+type DurabilityConfig struct {
+	// Dir is the log root; each repository logs under its own
+	// subdirectory. Empty disables durability.
+	Dir string
+	// SnapshotEvery is the commit count between snapshot rotations
+	// (0 = the wal default of 256). Smaller means faster recovery and
+	// more snapshot writes.
+	SnapshotEvery int
+	// Fsync is the fsync policy: "batch" (default), "always" or "never".
+	Fsync string
+}
+
+// Enabled reports whether the run keeps durable state.
+func (d DurabilityConfig) Enabled() bool { return d.Dir != "" }
+
+// walOptions converts to the wal package's options.
+func (d DurabilityConfig) walOptions() *wal.Options {
+	if !d.Enabled() {
+		return nil
+	}
+	return &wal.Options{Dir: d.Dir, SnapshotEvery: d.SnapshotEvery, Fsync: d.Fsync}
 }
 
 // ClientsEnabled reports whether the run serves a client population.
@@ -287,7 +330,8 @@ func (c Config) ingestConfig() ingest.Config {
 // path and ignore the ingest fields.
 func (c Config) IngestEnabled() bool {
 	return c.ingestConfig().Enabled() && !c.Queueing && !c.FaultsEnabled() &&
-		!c.ClientsEnabled() && !c.QueriesEnabled() && !c.VirtualEnabled()
+		!c.ClientsEnabled() && !c.QueriesEnabled() && !c.VirtualEnabled() &&
+		!c.Durability.Enabled()
 }
 
 // sessionPlan parses the configured session-churn plan over whichever

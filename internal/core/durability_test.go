@@ -1,0 +1,107 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunExperimentWithDurability(t *testing.T) {
+	cfg := tinyScale().base()
+	cfg.Faults = "kill:max@60+80"
+	cfg.Durability = DurabilityConfig{
+		Dir:           t.TempDir(),
+		SnapshotEvery: 64,
+		Fsync:         "never",
+	}
+	out, err := RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := out.Resilience
+	if r == nil {
+		t.Fatal("durable kill run returned no resilience stats")
+	}
+	if r.Kills != 1 {
+		t.Errorf("kills = %d, want 1", r.Kills)
+	}
+	if r.DiskRecoveries != 1 {
+		t.Errorf("disk recoveries = %d, want 1", r.DiskRecoveries)
+	}
+	if r.ReplayedRecords == 0 {
+		t.Error("recovery replayed no records")
+	}
+	if r.MeanReplay <= 0 {
+		t.Errorf("mean replay = %v, want > 0", r.MeanReplay)
+	}
+	if out.Fidelity <= 0 || out.Fidelity > 1 {
+		t.Errorf("fidelity %v out of range", out.Fidelity)
+	}
+}
+
+// Durability without faults still routes through the resilient runner —
+// the WAL writes happen on the delivery path it owns — but must inject
+// nothing.
+func TestDurabilityAloneRoutesResilient(t *testing.T) {
+	cfg := tinyScale().base()
+	cfg.Durability = DurabilityConfig{Dir: t.TempDir(), Fsync: "never"}
+	out, err := RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := out.Resilience
+	if r == nil {
+		t.Fatal("durable run returned no resilience stats")
+	}
+	if r.Crashes != 0 || r.Kills != 0 || r.DiskRecoveries != 0 {
+		t.Errorf("fault-free durable run injected faults: %+v", r)
+	}
+}
+
+func TestConfigValidatesDurability(t *testing.T) {
+	cfg := tinyScale().base()
+	cfg.Durability = DurabilityConfig{Dir: "x", SnapshotEvery: -1}
+	if err := cfg.Validate(); err == nil {
+		t.Error("Validate accepted negative snapshot interval")
+	}
+	cfg.Durability = DurabilityConfig{Dir: "x", Fsync: "sometimes"}
+	if err := cfg.Validate(); err == nil {
+		t.Error("Validate accepted unknown fsync policy")
+	}
+	cfg.Durability = DurabilityConfig{Dir: "x", SnapshotEvery: 8, Fsync: "batch"}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("Validate rejected good durability config: %v", err)
+	}
+	cfg.Faults = "kill:max@5+10"
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("Validate rejected kill fault spec: %v", err)
+	}
+}
+
+func TestFigureRecoveryDisk(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweeps are slow")
+	}
+	fig, err := FigureRecoveryDisk(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "res-recovery-disk" {
+		t.Errorf("figure ID = %q", fig.ID)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d, want 2", len(fig.Series))
+	}
+	for _, se := range fig.Series {
+		if len(se.X) != len(snapGrid) || len(se.Y) != len(snapGrid) {
+			t.Errorf("series %q has %d/%d points, want %d", se.Label, len(se.X), len(se.Y), len(snapGrid))
+		}
+	}
+	replay := fig.Series[0]
+	if !strings.Contains(replay.Label, "replay") {
+		t.Errorf("first series label = %q", replay.Label)
+	}
+	// More commits between snapshots means a longer log tail to replay.
+	if replay.Y[len(replay.Y)-1] < replay.Y[0] {
+		t.Errorf("replay time shrank as the snapshot interval grew: %v", replay.Y)
+	}
+}

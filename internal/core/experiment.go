@@ -280,7 +280,7 @@ func runExperimentWith(cfg Config, net *netsim.Network, traces []*trace.Trace) (
 		if err != nil {
 			return nil, err
 		}
-	} else if cfg.FaultsEnabled() || !scenFaults.Empty() {
+	} else if cfg.FaultsEnabled() || !scenFaults.Empty() || cfg.Durability.Enabled() {
 		// Route through the resilient runner: same fidelity machinery,
 		// plus fault injection, detection and backup-parent repair.
 		// Scenario repository faults (regional failures) fold into the
@@ -303,8 +303,9 @@ func runExperimentWith(cfg Config, net *netsim.Network, traces []*trace.Trace) (
 		}
 		lela, _ := builder.(*tree.LeLA) // non-LeLA builders repair with defaults
 		resCfg := resilience.Config{
-			Push:    pushCfg,
-			DetectK: cfg.DetectTicks,
+			Push:       pushCfg,
+			DetectK:    cfg.DetectTicks,
+			Durability: cfg.Durability.walOptions(),
 		}
 		if fleet != nil {
 			resCfg.Observer = fleet

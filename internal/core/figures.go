@@ -52,6 +52,7 @@ func Figures() map[string]FigureFunc {
 		"ext-pull":          ExtensionPull,
 		"res-fidelity":      FigureFaultFidelity,
 		"res-recovery":      FigureRecoveryLatency,
+		"res-recovery-disk": FigureRecoveryDisk,
 		"clients-fidelity":  FigureClientFidelity,
 		"clients-churn":     FigureClientChurn,
 		"obs-latency":       FigureObsLatency,

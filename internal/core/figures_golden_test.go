@@ -91,7 +91,8 @@ func figureIDFromGolden(path string) string {
 // byte-identical with both layers disabled.
 func bornAfterGoldens(id string) bool {
 	switch id {
-	case "query-fidelity", "query-cost", "vserve-scale", "vserve-flash":
+	case "query-fidelity", "query-cost", "vserve-scale", "vserve-flash",
+		"res-recovery-disk":
 		return true
 	}
 	return false

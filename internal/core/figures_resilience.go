@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"d3t/internal/resilience"
 )
@@ -111,6 +113,78 @@ func FigureRecoveryLatency(s Scale) (*FigureResult, error) {
 		Notes: []string{
 			fmt.Sprintf("the busiest interior repository crashes at tick %d and never rejoins", crashTick),
 			fmt.Sprintf("detection silence window = %v; recovery = crash-to-re-home time over all severed feeds", window),
+		},
+	}, nil
+}
+
+// snapGrid is the x-axis of the disk-recovery sweep: commits between
+// snapshot rotations. Small intervals snapshot often and replay almost
+// nothing; large intervals amortize snapshot writes but replay a long
+// log tail at recovery.
+var snapGrid = []int{1, 4, 16, 64, 256}
+
+// FigureRecoveryDisk measures recovery from durable state: the busiest
+// interior repository is killed (process death, in-memory state lost)
+// and recovers from its write-ahead log, once per snapshot interval.
+// Replay cost is the modeled snapshot-load plus per-record time, so the
+// figure is deterministic — the trade it shows is how the snapshot
+// interval bounds the log tail a recovering node must replay.
+func FigureRecoveryDisk(s Scale) (*FigureResult, error) {
+	crashTick := s.Ticks / 3
+	if crashTick < 1 {
+		crashTick = 1
+	}
+	down := s.Ticks / 8
+	if down < 1 {
+		down = 1
+	}
+	root, err := os.MkdirTemp("", "d3t-res-recovery-disk-")
+	if err != nil {
+		return nil, fmt.Errorf("core: res-recovery-disk scratch dir: %w", err)
+	}
+	defer os.RemoveAll(root)
+	var cfgs []Config
+	for _, every := range snapGrid {
+		cfg := s.base()
+		cfg.CoopDegree = 0 // controlled cooperation
+		cfg.Faults = fmt.Sprintf("kill:max@%d+%d", crashTick, down)
+		cfg.Durability = DurabilityConfig{
+			Dir:           filepath.Join(root, fmt.Sprintf("snap%03d", every)),
+			SnapshotEvery: every,
+			Fsync:         "never", // scratch dirs; policy does not change what is measured
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	outs, err := s.runAll(cfgs)
+	if err != nil {
+		return nil, err
+	}
+	replay := Series{Label: "replay time (ms)"}
+	records := Series{Label: "records replayed"}
+	for i, every := range snapGrid {
+		r := outs[i].Resilience
+		if r == nil {
+			return nil, fmt.Errorf("core: res-recovery-disk point %d ran without resilience stats", i)
+		}
+		if r.DiskRecoveries == 0 {
+			return nil, fmt.Errorf("core: res-recovery-disk point %d recovered nothing from disk", i)
+		}
+		replay.X = append(replay.X, float64(every))
+		replay.Y = append(replay.Y, r.MeanReplay.Ms())
+		records.X = append(records.X, float64(every))
+		records.Y = append(records.Y, float64(r.ReplayedRecords))
+	}
+	cfg := resilience.Config{}.WithDefaults()
+	return &FigureResult{
+		ID:     "res-recovery-disk",
+		Title:  "Disk Recovery Time vs Snapshot Interval (kill and recover from WAL)",
+		XLabel: "Snapshot Interval (commits between rotations)",
+		YLabel: "Replay Time (ms) / Records Replayed",
+		Series: []Series{replay, records},
+		Notes: []string{
+			fmt.Sprintf("the busiest interior repository is killed at tick %d and recovers from its log %d ticks later", crashTick, down),
+			fmt.Sprintf("modeled replay cost: %v snapshot load + %v per replayed record", cfg.SnapshotLoad, cfg.ReplayPerRecord),
+			"recovered state is the pre-crash state bit-for-bit; the detection window still dominates end-to-end recovery",
 		},
 	}, nil
 }

@@ -48,6 +48,10 @@ type Scale struct {
 	// Config.Shards).
 	Shards     int
 	BatchTicks int
+	// Durability applies per-repository durable state (WAL + snapshots)
+	// to every sweep point; the res-recovery-disk figure overrides the
+	// directory and snapshot interval per point. See Config.Durability.
+	Durability DurabilityConfig
 	// Obs attaches a fresh observability tree to every sweep point, so
 	// each Outcome carries its per-node counter/latency snapshot.
 	// Observation is passive: figures render byte-identically either way
@@ -115,6 +119,7 @@ func (s Scale) base() Config {
 	cfg.Scenario = s.Scenario
 	cfg.Shards = s.Shards
 	cfg.BatchTicks = s.BatchTicks
+	cfg.Durability = s.Durability
 	if s.ObsTree != nil {
 		cfg.Obs = s.ObsTree
 	} else if s.Obs {

@@ -1,0 +1,250 @@
+package live
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"d3t/internal/coherency"
+	"d3t/internal/repository"
+	"d3t/internal/wal"
+)
+
+// TestDurableClusterRecoversPreCrashState is the headline regression for
+// the cold-rejoin bug: a repository process that is killed and rebuilt
+// over its write-ahead log directory serves its exact pre-crash value to
+// a late subscriber, and its restored edge filter state suppresses the
+// first post-recovery push exactly as if the crash never happened. The
+// closing counterfactual pins what the bug looked like: without
+// durability the rebuilt cluster comes back unseeded and serves nothing
+// until the next source push.
+func TestDurableClusterRecoversPreCrashState(t *testing.T) {
+	o := chainOverlay(t)
+	d := &wal.Options{Dir: t.TempDir(), Fsync: wal.PolicyNever}
+
+	c1, err := NewDurableCluster(o, Options{Durability: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Seed("X", 100)
+	c1.Start()
+	c1.Publish("X", 140) // violates P (30) and, via Eq. 7, Q (50)
+	if !waitFor(t, time.Second, func() bool {
+		q, _ := c1.Value(2, "X")
+		return q == 140
+	}) {
+		t.Fatalf("140 did not propagate before the crash: %v", c1.Snapshot("X"))
+	}
+	c1.Stop() // the process dies; only the log directories survive
+	if err := c1.DurabilityErr(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebuild over the same directories, with no re-seeding.
+	o2 := chainOverlay(t)
+	c2, err := NewDurableCluster(o2, Options{Durability: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.Start()
+	defer c2.Stop()
+	for id := repository.ID(1); id <= 2; id++ {
+		v, ok := c2.Value(id, "X")
+		if !ok || v != 140 {
+			t.Fatalf("repo %d recovered X=%v (ok=%v), want the pre-crash 140", id, v, ok)
+		}
+	}
+
+	// A late subscriber's admission resync serves the pre-crash value.
+	s, err := c2.Subscribe("late", map[string]coherency.Requirement{"X": 100}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Value("X"); !ok || v != 140 {
+		t.Fatalf("late subscriber got X=%v (ok=%v), want the pre-crash 140", v, ok)
+	}
+
+	// The restored edge state filters: 150 is within P's tolerance 30 of
+	// the pre-crash 140, so the first post-recovery push must be
+	// suppressed, not forwarded under the first-push rule.
+	c2.Publish("X", 150)
+	time.Sleep(20 * time.Millisecond)
+	if v, _ := c2.Value(1, "X"); v != 140 {
+		t.Errorf("first post-recovery push leaked through restored filter state: P holds %v", v)
+	}
+	c2.Publish("X", 200)
+	if !waitFor(t, time.Second, func() bool {
+		q, _ := c2.Value(2, "X")
+		return q == 200
+	}) {
+		t.Fatalf("post-recovery violation did not propagate: %v", c2.Snapshot("X"))
+	}
+
+	// Counterfactual: the same rebuild without durability rejoins cold.
+	c3 := NewCluster(chainOverlay(t), Options{})
+	c3.Start()
+	defer c3.Stop()
+	if _, ok := c3.Value(1, "X"); ok {
+		t.Error("cold rebuild holds a value for X; the counterfactual is vacuous")
+	}
+	s3, err := c3.Subscribe("late-cold", map[string]coherency.Requirement{"X": 100}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s3.Value("X"); ok {
+		t.Error("cold rebuild served a value to the late subscriber — the bug this PR fixes would be gone without the WAL")
+	}
+}
+
+// TestDurableClusterFullRestart drives a sharded 10-repository cluster
+// through 30 publish rounds, stops it, and rebuilds over the same log
+// directories: every (repository, item) copy must come back bit-identical
+// to the pre-stop state, with all (node, shard) recoveries replaying
+// concurrently.
+func TestDurableClusterFullRestart(t *testing.T) {
+	dir := t.TempDir()
+	d := &wal.Options{Dir: dir, SnapshotEvery: 4, Fsync: wal.PolicyNever}
+	o1, items := multiOverlay(t, 7)
+	c1, err := NewDurableCluster(o1, Options{Buffer: 1024, Shards: 4, Durability: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range items {
+		c1.Seed(x, 100)
+	}
+	c1.Start()
+	for round := 1; round <= 30; round++ {
+		ups := make([]Update, 0, len(items))
+		for i, item := range items {
+			ups = append(ups, Update{Item: item, Value: float64(100 + round*(i+3))})
+		}
+		if !c1.PublishBatch(ups) {
+			t.Fatal("cluster stopped mid-feed")
+		}
+	}
+	// Quiesce before stopping: poll until two reads 10ms apart agree, so
+	// no update is still in flight when the values are recorded.
+	type key struct {
+		repo string
+		item string
+	}
+	readAll := func(c *Cluster) map[key]float64 {
+		out := make(map[key]float64)
+		for _, item := range items {
+			for id, v := range c.Snapshot(item) {
+				out[key{id.String(), item}] = v
+			}
+		}
+		return out
+	}
+	var want map[key]float64
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		a := readAll(c1)
+		time.Sleep(10 * time.Millisecond)
+		b := readAll(c1)
+		if len(a) > 0 && fmt.Sprint(a) == fmt.Sprint(b) {
+			want = b
+			break
+		}
+	}
+	c1.Stop()
+	if err := c1.DurabilityErr(); err != nil {
+		t.Fatal(err)
+	}
+	want = readAll(c1) // post-stop state is what the logs must hold
+	if len(want) == 0 {
+		t.Fatal("pre-stop cluster held nothing; the test is vacuous")
+	}
+
+	o2, _ := multiOverlay(t, 7)
+	c2, err := NewDurableCluster(o2, Options{Buffer: 1024, Shards: 4, Durability: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		c2.Start()
+		c2.Stop()
+	}()
+	got := readAll(c2)
+	for k, w := range want {
+		g, ok := got[k]
+		if !ok {
+			t.Errorf("%s/%s lost across restart (want %v)", k.repo, k.item, w)
+			continue
+		}
+		if math.Float64bits(g) != math.Float64bits(w) {
+			t.Errorf("%s/%s: recovered %x, pre-stop %x — not bit-identical",
+				k.repo, k.item, math.Float64bits(g), math.Float64bits(w))
+		}
+	}
+	for k := range got {
+		if _, ok := want[k]; !ok {
+			t.Errorf("%s/%s appeared from nowhere across restart", k.repo, k.item)
+		}
+	}
+}
+
+// TestDurableClusterRecoveryRacesTraffic rebuilds from populated log
+// directories and immediately hammers the recovered cluster with
+// concurrent publishes and subscribe/close churn — the -race exercise for
+// WAL commits interleaving with session admission resyncs.
+func TestDurableClusterRecoveryRacesTraffic(t *testing.T) {
+	dir := t.TempDir()
+	d := &wal.Options{Dir: dir, SnapshotEvery: 2, Fsync: wal.PolicyNever}
+	o1, items := multiOverlay(t, 11)
+	c1, err := NewDurableCluster(o1, Options{Buffer: 1024, Durability: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range items {
+		c1.Seed(x, 100)
+	}
+	c1.Start()
+	for round := 1; round <= 10; round++ {
+		for i, item := range items {
+			c1.Publish(item, float64(100+round*(i+5)))
+		}
+	}
+	c1.Stop()
+
+	o2, _ := multiOverlay(t, 11)
+	c2, err := NewDurableCluster(o2, Options{Buffer: 1024, Durability: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.Start()
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 1; round <= 20; round++ {
+				for i, item := range items {
+					c2.Publish(item, float64(200+w+round*(i+5)))
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			s, err := c2.Subscribe(fmt.Sprintf("churn-%d", i),
+				map[string]coherency.Requirement{items[i%len(items)]: 1000})
+			if err != nil {
+				continue // a candidate may not serve the item; churn on
+			}
+			s.Value(items[i%len(items)])
+			s.Close()
+		}
+	}()
+	wg.Wait()
+	c2.Stop()
+	if err := c2.DurabilityErr(); err != nil {
+		t.Fatalf("durable cluster under concurrent traffic: %v", err)
+	}
+}

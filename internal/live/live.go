@@ -41,6 +41,7 @@ import (
 	"d3t/internal/repository"
 	"d3t/internal/sim"
 	"d3t/internal/tree"
+	"d3t/internal/wal"
 )
 
 // Options configures a live cluster.
@@ -97,6 +98,13 @@ type Options struct {
 	// traces from the running cluster. Observation is passive: a cluster
 	// with Obs attached makes exactly the decisions it makes without.
 	Obs *obs.Tree
+
+	// Durability, when set, gives every (node, shard) core a write-ahead
+	// log with periodic snapshots under Durability.Dir (one subdirectory
+	// per repoNNN/shardNN), group-committed per received batch. It is
+	// honored by NewDurableCluster, which also recovers whatever state the
+	// directory already holds; NewCluster ignores it.
+	Durability *wal.Options
 }
 
 // Update is one (item, value) pair of a published batch.
@@ -126,6 +134,12 @@ type Cluster struct {
 
 	sessionRedirects  int
 	sessionMigrations int
+
+	// walMu guards walErr, the first write-ahead-log failure any shard
+	// hit; a failing log means subsequent commits may be missing from a
+	// recovery, so the error is latched for DurabilityErr.
+	walMu  sync.Mutex
+	walErr error
 
 	closeOnce sync.Once
 }
@@ -189,6 +203,9 @@ type nodeShard struct {
 	in   chan batch
 	out  map[repository.ID]chan batch
 	tr   transport
+	// log is the shard's write-ahead log (nil without durability); it is
+	// guarded by mu, the same lock that guards the core it shadows.
+	log *wal.Log
 	// sends is the worker's per-dependent grouping scratch, reused across
 	// handleBatch passes (only the shard's own worker touches it). The
 	// ups slices inside are NOT reused: ownership transfers to the
@@ -467,10 +484,23 @@ func (c *Cluster) forwardLoop(ch chan batch, child *node, shard int) {
 	}
 }
 
-// Stop terminates all node goroutines and waits for them.
+// Stop terminates all node goroutines and waits for them, then closes
+// every shard's write-ahead log (flushing and fsyncing per policy), so a
+// stopped durable cluster's directories hold its exact final state.
 func (c *Cluster) Stop() {
 	c.closeOnce.Do(func() { close(c.done) })
 	c.wg.Wait()
+	for _, n := range c.nodes {
+		for _, sh := range n.shards {
+			sh.mu.Lock()
+			if sh.log != nil {
+				if err := sh.log.Close(); err != nil {
+					c.noteWALErr(err)
+				}
+			}
+			sh.mu.Unlock()
+		}
+	}
 }
 
 // Publish injects a new value of item at the source. It blocks only if
@@ -597,6 +627,18 @@ func (c *Cluster) handleBatch(n *node, sh *nodeShard, b batch) {
 	sh.tr.pending = sh.tr.pending[:0]
 	for _, u := range b.ups {
 		sh.core.Apply(u.item, u.value, &sh.tr)
+	}
+	if sh.log != nil {
+		// Group commit on the batch boundary, after the Apply loop: a
+		// commit that rotates snapshots the core, which must already hold
+		// this batch (the records carrying it are deleted with the old
+		// segment).
+		for _, u := range b.ups {
+			sh.log.Append(u.item, u.value)
+		}
+		if err := sh.log.Commit(sh.walState); err != nil {
+			c.noteWALErr(err)
+		}
 	}
 	sends := sh.groupSends()
 	sh.mu.Unlock()

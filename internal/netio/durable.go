@@ -1,0 +1,81 @@
+package netio
+
+import (
+	"fmt"
+	"path/filepath"
+
+	dnode "d3t/internal/node"
+	"d3t/internal/repository"
+	"d3t/internal/wal"
+)
+
+// This file is the TCP runtime's durability layer: openWAL recovers the
+// node's core from its log directory during Start, commitWAL is the
+// group commit every apply pass runs under Node.mu, and walState is the
+// snapshot callback a rotating commit dumps. A node process that dies
+// and restarts over the same directory resumes with its exact pre-crash
+// values and per-child filter state, so the first post-restart push is
+// suppressed or forwarded as if the crash never happened.
+
+// openWAL opens the node's log directory (Durability.Dir/repoNNN),
+// replays whatever it holds into the freshly built core — snapshot state
+// verbatim, then the logged batches through the normal Apply pipeline so
+// edge decisions replay too — and keeps the log open for appending.
+func (n *Node) openWAL() error {
+	dir := filepath.Join(n.cfg.Durability.Dir, fmt.Sprintf("repo%03d", n.cfg.ID))
+	log, rec, err := wal.Open(dir, *n.cfg.Durability)
+	if err != nil {
+		return fmt.Errorf("netio: %v durability: %w", n.cfg.ID, err)
+	}
+	for item, v := range rec.State.Values {
+		n.core.SetValue(item, v)
+	}
+	for _, e := range rec.State.Edges {
+		n.core.RestoreEdge(repository.ID(e.Dep), e.Item, e.Last, e.Seeded)
+	}
+	for _, b := range rec.Batches {
+		for _, u := range b {
+			n.core.Apply(u.Item, u.Value, dnode.ReplayTransport{})
+		}
+	}
+	n.log = log
+	return nil
+}
+
+// commitWAL appends the pass's applied updates and group-commits them as
+// one record. Caller holds Node.mu and has already run the updates
+// through the core, so a commit that rotates snapshots state that
+// includes them (the records carrying them are deleted with the old
+// segment).
+func (n *Node) commitWAL(ups []Update) {
+	if n.log == nil || len(ups) == 0 {
+		return
+	}
+	for _, u := range ups {
+		n.log.Append(u.Item, u.Value)
+	}
+	if err := n.log.Commit(n.walState); err != nil && n.walErr == nil {
+		n.walErr = err
+	}
+}
+
+// walState dumps the core's durable state for a snapshot rotation.
+// Caller holds Node.mu.
+func (n *Node) walState() wal.State {
+	st := wal.State{Values: make(map[string]float64)}
+	n.core.DumpDurable(
+		func(item string, v float64) { st.Values[item] = v },
+		func(dep repository.ID, item string, last float64, seeded bool) {
+			st.Edges = append(st.Edges, wal.Edge{Dep: int64(dep), Item: item, Last: last, Seeded: seeded})
+		})
+	return st
+}
+
+// DurabilityErr reports the first write-ahead-log failure the node hit,
+// or nil. After a non-nil error, commits may be missing from what a
+// restart over the same directory replays.
+func (n *Node) DurabilityErr() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.walErr
+}

@@ -1,0 +1,127 @@
+package netio
+
+import (
+	"testing"
+	"time"
+
+	"d3t/internal/coherency"
+	"d3t/internal/repository"
+	"d3t/internal/wal"
+)
+
+// TestTCPNodeRestartsFromDisk is the TCP runtime's cold-rejoin
+// regression: a node process that dies and restarts over its write-ahead
+// log directory holds its exact pre-crash value immediately — with an
+// empty Initial — where a restart without durability comes back holding
+// nothing. The second half restarts the source and proves its per-child
+// edge filter state recovered too: the first post-restart update within
+// tolerance of the pre-crash last push is suppressed, not forwarded
+// under the first-push rule.
+func TestTCPNodeRestartsFromDisk(t *testing.T) {
+	d := &wal.Options{Dir: t.TempDir(), Fsync: wal.PolicyNever}
+	srcCfg := NodeConfig{
+		ID:         repository.SourceID,
+		Children:   map[repository.ID]map[string]coherency.Requirement{1: {"X": 30}},
+		Durability: d,
+	}
+	childCfg := NodeConfig{
+		ID:         1,
+		Serving:    map[string]coherency.Requirement{"X": 30},
+		Durability: d,
+	}
+	src, err := Start(srcCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	childCfg.Parents = []string{src.Addr()}
+	child, err := Start(childCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !waitFor(t, 2*time.Second, func() bool { return src.ConnectedChildren() == 1 }) {
+		t.Fatal("child never connected")
+	}
+	// 100 rides the first-push rule; 140 violates the child's 30.
+	for _, v := range []float64{100, 140} {
+		if err := src.Publish("X", v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !waitFor(t, 2*time.Second, func() bool {
+		v, _ := child.Value("X")
+		return v == 140
+	}) {
+		v, ok := child.Value("X")
+		t.Fatalf("child holds X=%v (ok=%v), want 140 before the crash", v, ok)
+	}
+	child.Close()
+	if err := child.DurabilityErr(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart over the same directory: the recovered value is there the
+	// moment Start returns, before any frame arrives.
+	child2, err := Start(childCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := child2.Value("X"); !ok || v != 140 {
+		t.Fatalf("restarted child recovered X=%v (ok=%v), want the pre-crash 140", v, ok)
+	}
+	child2.Close()
+
+	// Counterfactual: the same restart without durability rejoins cold.
+	coldCfg := childCfg
+	coldCfg.Durability = nil
+	cold, err := Start(coldCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cold.Value("X"); ok {
+		t.Error("cold restart holds a value for X; the counterfactual is vacuous")
+	}
+	cold.Close()
+	src.Close()
+	if err := src.DurabilityErr(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart the source from disk and hang a brand-new cold child off it.
+	// The recovered edge state (last=140, seeded) must suppress 150
+	// (|150-140| <= 30); without it the first-push rule would forward 150
+	// and the cold child would hold a value.
+	src2, err := Start(srcCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src2.Close()
+	if v, ok := src2.Value("X"); !ok || v != 140 {
+		t.Fatalf("restarted source recovered X=%v (ok=%v), want 140", v, ok)
+	}
+	coldCfg.Parents = []string{src2.Addr()}
+	child3, err := Start(coldCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer child3.Close()
+	if !waitFor(t, 2*time.Second, func() bool { return src2.ConnectedChildren() == 1 }) {
+		t.Fatal("fresh child never connected to the restarted source")
+	}
+	if err := src2.Publish("X", 150); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if v, ok := child3.Value("X"); ok {
+		t.Errorf("first post-restart push leaked through recovered filter state: child holds %v", v)
+	}
+	if err := src2.Publish("X", 200); err != nil {
+		t.Fatal(err)
+	}
+	if !waitFor(t, 2*time.Second, func() bool {
+		v, _ := child3.Value("X")
+		return v == 200
+	}) {
+		v, ok := child3.Value("X")
+		t.Fatalf("post-restart violation did not propagate: child holds %v (ok=%v)", v, ok)
+	}
+}

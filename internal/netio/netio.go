@@ -34,6 +34,7 @@ import (
 	"d3t/internal/query"
 	"d3t/internal/repository"
 	"d3t/internal/sim"
+	"d3t/internal/wal"
 	"d3t/internal/wire"
 )
 
@@ -95,6 +96,15 @@ type NodeConfig struct {
 	// MetricsAddr, when non-empty, serves the node's observability
 	// snapshot over HTTP (/metrics, /debug/vars, /debug/pprof/).
 	MetricsAddr string
+
+	// Durability, when set, backs the node's core with a write-ahead log
+	// and periodic snapshots under Durability.Dir/repoNNN (so one base
+	// directory serves a whole localhost cluster), group-committed per
+	// received frame. Start recovers whatever state the directory already
+	// holds — recovered values and edge filter state override Initial, so
+	// a restarted node resumes exactly where the dead process stopped
+	// instead of rejoining cold.
+	Durability *wal.Options
 }
 
 // Node is a running dissemination server.
@@ -125,6 +135,11 @@ type Node struct {
 	delivered int
 	// failovers counts successful re-connections to a backup parent.
 	failovers int
+
+	// log is the node's write-ahead log (nil without durability) and
+	// walErr the first commit failure, both guarded by mu.
+	log    *wal.Log
+	walErr error
 }
 
 // transport adapts the core's decisions to wire frames. Every call
@@ -338,6 +353,12 @@ func Start(cfg NodeConfig) (*Node, error) {
 	}
 	n.tr.n = n
 	n.core.SetObs(cfg.Obs)
+	if cfg.Durability != nil {
+		if err := n.openWAL(); err != nil {
+			ln.Close()
+			return nil, err
+		}
+	}
 	if cfg.MetricsAddr != "" {
 		ms, err := obs.ServeMetrics(cfg.MetricsAddr, func() any { return n.ObsSnapshot() })
 		if err != nil {
@@ -396,6 +417,13 @@ func (n *Node) Close() error {
 	}
 	n.metrics.Close()
 	n.wg.Wait()
+	n.mu.Lock()
+	if n.log != nil {
+		if cerr := n.log.Close(); cerr != nil && n.walErr == nil {
+			n.walErr = cerr
+		}
+	}
+	n.mu.Unlock()
 	return err
 }
 
@@ -768,6 +796,9 @@ func (n *Node) apply(item string, value float64, tid uint64, hops []obs.Hop) err
 	n.tr.begin()
 	n.tr.tid, n.tr.hops = tid, hops
 	n.core.Apply(item, value, &n.tr)
+	if n.log != nil {
+		n.commitWAL([]Update{{Item: item, Value: value}})
+	}
 	n.tr.flush()
 	return n.tr.err
 }
@@ -782,9 +813,14 @@ func (n *Node) applyBatch(ups []Update) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.tr.begin()
+	var applied []Update
 	for _, i := range dnode.CoalesceBatch(len(ups), func(i int) string { return ups[i].Item }) {
 		n.core.Apply(ups[i].Item, ups[i].Value, &n.tr)
+		if n.log != nil {
+			applied = append(applied, ups[i])
+		}
 	}
+	n.commitWAL(applied)
 	n.tr.flush()
 	return n.tr.err
 }

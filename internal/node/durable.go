@@ -1,0 +1,98 @@
+package node
+
+import (
+	"sort"
+
+	"d3t/internal/repository"
+	"d3t/internal/sim"
+)
+
+// This file is the core's durability surface: what a write-ahead log
+// snapshots (DumpDurable), how recovery puts it back (SetValue +
+// RestoreEdge + replaying logged updates through Apply with a
+// ReplayTransport), and how a process death is modeled in-process
+// (WipeDurable). The durable state is exactly the two things Eqs. 3+7
+// depend on: the per-item values and each outgoing edge's (last, seeded)
+// filter state — with them restored, the first post-recovery update is
+// suppressed or forwarded precisely as if the crash never happened.
+
+// DumpDurable streams the core's durable state in a deterministic order:
+// every held value (sorted by item), then every seeded outgoing edge
+// (items sorted, edges in plan order). Unseeded edges carry no filter
+// state and are skipped — recovery recreates them unseeded, which is
+// already their semantics.
+func (c *Core) DumpDurable(value func(item string, v float64), edge func(dep repository.ID, item string, last float64, seeded bool)) {
+	items := make([]string, 0, len(c.values))
+	for item := range c.values {
+		items = append(items, item)
+	}
+	sort.Strings(items)
+	for _, item := range items {
+		value(item, c.values[item])
+	}
+	if edge == nil || len(c.plans) == 0 {
+		return
+	}
+	planned := make([]string, 0, len(c.plans))
+	for item := range c.plans {
+		planned = append(planned, item)
+	}
+	sort.Strings(planned)
+	for _, item := range planned {
+		p := c.plans[item]
+		for i := range p.deps {
+			e := &p.deps[i]
+			if e.seeded {
+				edge(e.id, item, e.last, e.seeded)
+			}
+		}
+	}
+}
+
+// RestoreEdge sets one outgoing edge's filter state to a recovered
+// (last, seeded) pair. Unlike ResetEdge it restores the flag verbatim
+// rather than forcing a seeded post-resync state. A dependent the
+// current wiring no longer carries is ignored.
+func (c *Core) RestoreEdge(dep repository.ID, item string, last float64, seeded bool) {
+	p := c.plan(item)
+	if p == nil {
+		return
+	}
+	for i := range p.deps {
+		if p.deps[i].id == dep {
+			p.deps[i].last, p.deps[i].seeded = last, seeded
+			return
+		}
+	}
+}
+
+// WipeDurable models a process death for transports that keep the Core
+// object across a kill (the simulator): values, fan-out plans and their
+// filter state, and the retired decision tallies all vanish, exactly
+// what a real crash loses without a log. Wiring (the repository pointer)
+// survives — it belongs to the overlay, not the process.
+func (c *Core) WipeDurable() {
+	c.values = make(map[string]float64)
+	c.plans = make(map[string]*plan)
+	c.retired = make(map[string]Decisions)
+}
+
+// ReplayTransport drives Apply during log replay: time is pinned, every
+// dependent send is accepted (the pre-crash process already delivered
+// or filtered these updates; replay only needs the edge state to
+// advance identically), and client sends go nowhere (sessions did not
+// survive the crash).
+type ReplayTransport struct {
+	// At is the replay's fixed timestamp.
+	At sim.Time
+}
+
+// Now returns the pinned replay time.
+func (r ReplayTransport) Now() sim.Time { return r.At }
+
+// SendToDependent accepts every copy so the edge's (last, seeded) state
+// advances exactly as it did before the crash.
+func (r ReplayTransport) SendToDependent(repository.ID, string, float64, bool) bool { return true }
+
+// SendToClient drops the copy; no session outlives the process.
+func (r ReplayTransport) SendToClient(*Session, string, float64, bool) {}

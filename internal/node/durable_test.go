@@ -1,0 +1,127 @@
+package node
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"d3t/internal/repository"
+)
+
+// dump flattens DumpDurable's streams into comparable strings, value
+// bits spelled out so the comparison is bit-exact, not approximate.
+func dump(c *Core) []string {
+	var out []string
+	c.DumpDurable(
+		func(item string, v float64) {
+			out = append(out, fmt.Sprintf("v %s %016x", item, math.Float64bits(v)))
+		},
+		func(dep repository.ID, item string, last float64, seeded bool) {
+			out = append(out, fmt.Sprintf("e %v %s %016x %v", dep, item, math.Float64bits(last), seeded))
+		})
+	return out
+}
+
+func equalDumps(t *testing.T, before, after []string) {
+	t.Helper()
+	if len(before) != len(after) {
+		t.Fatalf("dump lengths differ: %d vs %d\nbefore %v\nafter  %v", len(before), len(after), before, after)
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("dump line %d differs:\nbefore %q\nafter  %q", i, before[i], after[i])
+		}
+	}
+}
+
+// TestDurableRoundTripBitIdentical is the kill-and-recover invariant at
+// the core level: wipe a core (process death) and restore it from its
+// own durable dump, and every per-item value and edge filter state is
+// bit-identical — so the next Apply makes the same forward/suppress
+// decision the pre-crash core would have.
+func TestDurableRoundTripBitIdentical(t *testing.T) {
+	core, _ := pair(10, 50, 80)
+	tr := newRecord()
+	core.Seed("X", 0.1) // a value without an exact short decimal
+	core.Apply("X", 0.1+1e-9, tr)
+	core.Apply("X", 123.456, tr)
+
+	before := dump(core)
+	if len(before) == 0 {
+		t.Fatal("nothing dumped")
+	}
+
+	type edgeState struct {
+		dep    repository.ID
+		item   string
+		last   float64
+		seeded bool
+	}
+	values := map[string]float64{}
+	var edges []edgeState
+	core.DumpDurable(
+		func(item string, v float64) { values[item] = v },
+		func(dep repository.ID, item string, last float64, seeded bool) {
+			edges = append(edges, edgeState{dep, item, last, seeded})
+		})
+
+	core.WipeDurable()
+	if got := dump(core); len(got) != 0 {
+		t.Fatalf("wiped core still dumps %v", got)
+	}
+
+	for item, v := range values {
+		core.SetValue(item, v)
+	}
+	for _, e := range edges {
+		core.RestoreEdge(e.dep, e.item, e.last, e.seeded)
+	}
+	equalDumps(t, before, dump(core))
+
+	// And the decisions agree: a sub-threshold move is suppressed by the
+	// restored edge state exactly as it would have been pre-crash.
+	if fwd, _ := core.Apply("X", 123.456+1, tr); fwd != 0 {
+		t.Fatal("restored edge forwarded a sub-threshold update")
+	}
+}
+
+// TestReplayRebuildsEdgeState is the WAL replay semantics: a wiped core
+// that re-Applies its logged updates through a ReplayTransport ends at
+// the same values and edge filter state as the pre-crash core — the
+// edges advance because replay accepts every send, and Eqs. 3+7 re-make
+// the same suppress decisions deterministically.
+func TestReplayRebuildsEdgeState(t *testing.T) {
+	updates := []float64{1, 30, 99, 105, 220, 221}
+
+	run := func() *Core {
+		core, _ := pair(10, 50, 80)
+		tr := newRecord()
+		for _, v := range updates {
+			core.Apply("X", v, tr)
+		}
+		return core
+	}
+
+	before := dump(run())
+
+	replayed, _ := pair(10, 50, 80)
+	for _, v := range updates {
+		replayed.Apply("X", v, ReplayTransport{At: 7})
+	}
+	equalDumps(t, before, dump(replayed))
+}
+
+// TestRestoreEdgeVerbatim: RestoreEdge keeps the recovered seeded flag
+// as-is, unlike ResetEdge which models a completed resync.
+func TestRestoreEdgeVerbatim(t *testing.T) {
+	core, _ := pair(10, 50, 0)
+	core.RestoreEdge(2, "X", 5, false)
+	tr := newRecord()
+	// The edge must still be unseeded: first push always forwards.
+	if fwd, _ := core.Apply("X", 5.0001, tr); fwd != 1 {
+		t.Fatal("unseeded restored edge suppressed the first push")
+	}
+	// Unknown dependents are ignored, not invented.
+	core.RestoreEdge(99, "X", 1, true)
+	core.RestoreEdge(2, "nosuch", 1, true)
+}

@@ -17,6 +17,7 @@ func FuzzParsePlan(f *testing.F) {
 	for _, spec := range []string{
 		"", "none",
 		"crash:3@50", "crash:max@50", "crash:3@50+100", "crash:1@1+1",
+		"kill:3@50", "kill:max@50+100", "kill:@", "kill:0@0",
 		"churn:2", "churn:2:30", "churn:0", "churn:0.5:0.5",
 		"crash:@", "crash:0@0", "crash:3@-1", "crash:3@50+0",
 		"churn:-1", "churn:Inf", "churn:NaN", "churn:1e300", "churn:2:Inf",

@@ -41,11 +41,16 @@ import (
 const AutoInterior repository.ID = -2
 
 // Fault is one scheduled failure: Node crashes at At and, if RejoinAt is
-// nonzero, rejoins (warm restart with stale copies) at RejoinAt.
+// nonzero, rejoins (warm restart with stale copies) at RejoinAt. Kill
+// marks a process death instead of a network-style outage: the node's
+// in-memory state is lost, and its rejoin recovers from disk when the
+// run has durability configured — cold, serving nothing, when it does
+// not (the rejoin-cold bug the WAL exists to fix).
 type Fault struct {
 	Node     repository.ID
 	At       sim.Time
 	RejoinAt sim.Time
+	Kill     bool
 }
 
 // Plan is a deterministic failure schedule, sorted by crash time.
@@ -66,6 +71,11 @@ func (p *Plan) Empty() bool { return p == nil || len(p.Faults) == 0 }
 //	crash:<node>@<tick>             node (id, or "max" for the busiest
 //	                                interior node) crashes at the tick
 //	crash:<node>@<tick>+<down>      ...and rejoins <down> ticks later
+//	kill:<node>@<tick>[+<down>]     like crash, but a process death: all
+//	                                in-memory state is lost, and the
+//	                                rejoin recovers from disk (WAL +
+//	                                snapshot) when durability is on —
+//	                                cold when it is not
 //	churn:<rate>[:<meandown>]       seeded Poisson churn: <rate> expected
 //	                                crashes per 100 ticks across the
 //	                                population, each down for an
@@ -87,7 +97,9 @@ func ParsePlan(spec string, repos, ticks int, interval sim.Time, seed int64) (*P
 	}
 	switch kind {
 	case "crash":
-		return parseCrash(spec, rest, repos, ticks, interval)
+		return parseCrash(spec, rest, repos, ticks, interval, false)
+	case "kill":
+		return parseCrash(spec, rest, repos, ticks, interval, true)
 	case "churn":
 		return parseChurn(spec, rest, repos, ticks, interval, seed)
 	default:
@@ -95,7 +107,7 @@ func ParsePlan(spec string, repos, ticks int, interval sim.Time, seed int64) (*P
 	}
 }
 
-func parseCrash(spec, rest string, repos, ticks int, interval sim.Time) (*Plan, error) {
+func parseCrash(spec, rest string, repos, ticks int, interval sim.Time, kill bool) (*Plan, error) {
 	nodePart, timePart, ok := strings.Cut(rest, "@")
 	if !ok {
 		return nil, fmt.Errorf("resilience: crash spec %q needs <node>@<tick>", spec)
@@ -113,7 +125,7 @@ func parseCrash(spec, rest string, repos, ticks int, interval sim.Time) (*Plan, 
 	if err != nil || tick < 1 || tick >= ticks {
 		return nil, fmt.Errorf("resilience: crash tick %q outside 1..%d", tickPart, ticks-1)
 	}
-	f := Fault{Node: node, At: sim.Time(tick) * interval}
+	f := Fault{Node: node, At: sim.Time(tick) * interval, Kill: kill}
 	if hasDown {
 		down, err := strconv.Atoi(downPart)
 		if err != nil || down < 1 {

@@ -2,14 +2,17 @@ package resilience
 
 import (
 	"fmt"
+	"path/filepath"
 	"sort"
 
 	"d3t/internal/coherency"
 	"d3t/internal/dissemination"
+	"d3t/internal/node"
 	"d3t/internal/repository"
 	"d3t/internal/sim"
 	"d3t/internal/trace"
 	"d3t/internal/tree"
+	"d3t/internal/wal"
 )
 
 // Config parameterizes the resilient simulation runner.
@@ -30,6 +33,19 @@ type Config struct {
 	// the client-serving layer can migrate sessions off dead repositories.
 	// Nil leaves the run byte-identical to one without the field.
 	Observer Observer
+	// Durability, when set, gives every repository a write-ahead log
+	// under Durability.Dir (one subdirectory per repository): each
+	// delivered update is appended and group-committed, a kill: fault
+	// closes the log with the process, and the rejoin recovers from disk
+	// instead of coming back cold. Nil leaves the run byte-identical to
+	// one without the field.
+	Durability *wal.Options
+	// ReplayPerRecord and SnapshotLoad model the recovery cost in
+	// simulated time: a disk rejoin completes SnapshotLoad +
+	// ReplayPerRecord per replayed record after the rejoin event.
+	// Defaults 50 µs and 5 ms — deterministic, never wall-clock.
+	ReplayPerRecord sim.Time
+	SnapshotLoad    sim.Time
 }
 
 // Observer extends the dissemination observer with fault events.
@@ -53,6 +69,12 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.BackupK <= 0 {
 		c.BackupK = 5
+	}
+	if c.ReplayPerRecord == 0 {
+		c.ReplayPerRecord = 50 * sim.Microsecond
+	}
+	if c.SnapshotLoad == 0 {
+		c.SnapshotLoad = 5 * sim.Millisecond
 	}
 	c.Push = c.Push.WithDefaults()
 	return c
@@ -84,6 +106,22 @@ type Stats struct {
 	RecoverySamples int
 	MeanRecovery    sim.Time
 	MaxRecovery     sim.Time
+	// Kills counts executed kill: faults (process deaths losing all
+	// in-memory state, unlike the network-outage crashes above).
+	Kills int
+	// DiskRecoveries counts rejoins that restored state from the
+	// write-ahead log; ReplayedRecords the log records they (and the
+	// run's start, see RestoredAtStart) replayed.
+	DiskRecoveries  int
+	ReplayedRecords int
+	// RestoredAtStart counts repositories that recovered state from disk
+	// when the run began — a full-cluster restart resuming where the
+	// previous run's logs left off.
+	RestoredAtStart int
+	// ReplayTime and MeanReplay total and average the modeled
+	// disk-recovery delay (snapshot load + per-record replay).
+	ReplayTime sim.Time
+	MeanReplay sim.Time
 }
 
 // Result extends the dissemination result with resilience statistics.
@@ -141,6 +179,7 @@ func Run(o *tree.Overlay, lela *tree.LeLA, traces []*trace.Trace, p disseminatio
 		orphans:   make(map[repository.ID]map[string]sim.Time),
 		byRepo:    make(map[string]map[repository.ID]*coherency.Tracker),
 		trackers:  make(map[string][]repoTracker),
+		killed:    make([]bool, n),
 	}
 	for i := range r.alive {
 		r.alive[i] = true
@@ -174,6 +213,35 @@ func Run(o *tree.Overlay, lela *tree.LeLA, traces []*trace.Trace, p disseminatio
 		}
 	}
 
+	// Durable state: open (and recover) every repository's write-ahead
+	// log before the clock starts. A directory left by a previous run —
+	// the full-cluster-restart case — restores here, so this run resumes
+	// with the previous run's exact per-item values and edge state. The
+	// source is not logged: it regenerates from the traces.
+	if cfg.Durability != nil {
+		r.logs = make([]*wal.Log, n)
+		defer func() {
+			for _, l := range r.logs {
+				if l != nil {
+					l.Close()
+				}
+			}
+		}()
+		for _, q := range o.Repos() {
+			id := q.ID
+			l, rec, err := wal.Open(filepath.Join(cfg.Durability.Dir, fmt.Sprintf("repo%03d", id)), *cfg.Durability)
+			if err != nil {
+				return nil, fmt.Errorf("resilience: repository %d: %w", id, err)
+			}
+			r.logs[id] = l
+			if !rec.Empty() {
+				r.restore(id, rec)
+				r.res.RestoredAtStart++
+				r.res.ReplayedRecords += len(rec.Batches)
+			}
+		}
+	}
+
 	// Source-side trace ticks (quiet ticks cost nothing).
 	for _, tr := range traces {
 		last := tr.Ticks[0].Value
@@ -199,8 +267,8 @@ func Run(o *tree.Overlay, lela *tree.LeLA, traces []*trace.Trace, p disseminatio
 			if node <= 0 || int(node) >= n {
 				return nil, fmt.Errorf("resilience: fault targets unknown repository %d", node)
 			}
-			id := node
-			r.engine.At(f.At, func(now sim.Time) { r.crash(now, id) })
+			id, kill := node, f.Kill
+			r.engine.At(f.At, func(now sim.Time) { r.crash(now, id, kill) })
 			if f.RejoinAt > 0 {
 				r.engine.At(f.RejoinAt, func(now sim.Time) { r.rejoin(now, id) })
 			}
@@ -220,6 +288,9 @@ func Run(o *tree.Overlay, lela *tree.LeLA, traces []*trace.Trace, p disseminatio
 	}
 
 	r.engine.RunUntil(horizon)
+	if r.walErr != nil {
+		return nil, r.walErr
+	}
 
 	report := coherency.NewReport()
 	items := make([]string, 0, len(r.trackers))
@@ -235,6 +306,9 @@ func Run(o *tree.Overlay, lela *tree.LeLA, traces []*trace.Trace, p disseminatio
 	r.stats.Events = r.engine.Processed()
 	if r.res.RecoverySamples > 0 {
 		r.res.MeanRecovery = r.recoverySum / sim.Time(r.res.RecoverySamples)
+	}
+	if r.res.DiskRecoveries > 0 {
+		r.res.MeanReplay = r.res.ReplayTime / sim.Time(r.res.DiskRecoveries)
 	}
 	name := p.Name()
 	if !plan.Empty() {
@@ -293,9 +367,98 @@ type runner struct {
 	trackers map[string][]repoTracker
 	byRepo   map[string]map[repository.ID]*coherency.Tracker
 
+	// logs are the per-repository write-ahead logs (nil without
+	// durability; a killed node's slot is nil while it is down). killed
+	// marks nodes whose in-memory state died with the process. walErr
+	// records the first log failure; the run reports it at the end.
+	logs   []*wal.Log
+	killed []bool
+	walErr error
+
 	stats       dissemination.Stats
 	res         Stats
 	recoverySum sim.Time
+}
+
+// coreHost is implemented by protocols built on the shared repository
+// core (Distributed and its naive variant); durable recovery restores
+// values and edge filter state straight into the core. Protocols without
+// one (AllPush) recover values only.
+type coreHost interface {
+	Core(repository.ID) *node.Core
+}
+
+// coreOf returns the protocol's core for id, nil when the protocol has
+// none.
+func (r *runner) coreOf(id repository.ID) *node.Core {
+	if h, ok := r.protocol.(coreHost); ok {
+		return h.Core(id)
+	}
+	return nil
+}
+
+// walState assembles the repository's current durable state for a
+// snapshot: the core's values and seeded edges when the protocol has a
+// core, the runner's value map alone otherwise.
+func (r *runner) walState(id repository.ID) wal.State {
+	if c := r.coreOf(id); c != nil {
+		st := wal.State{Values: make(map[string]float64)}
+		c.DumpDurable(
+			func(item string, v float64) { st.Values[item] = v },
+			func(dep repository.ID, item string, last float64, seeded bool) {
+				st.Edges = append(st.Edges, wal.Edge{Dep: int64(dep), Item: item, Last: last, Seeded: seeded})
+			})
+		return st
+	}
+	vals := make(map[string]float64, len(r.values[id]))
+	for x, v := range r.values[id] {
+		vals[x] = v
+	}
+	return wal.State{Values: vals}
+}
+
+// restore applies recovered durable state to a repository: the snapshot
+// verbatim, then the logged batches through the core's normal pipeline
+// (a ReplayTransport accepts every send, so edge filter state advances
+// exactly as before the crash).
+func (r *runner) restore(id repository.ID, rec *wal.Recovered) {
+	c := r.coreOf(id)
+	for x, v := range rec.State.Values {
+		r.values[id][x] = v
+		if c != nil {
+			c.SetValue(x, v)
+		}
+	}
+	if c != nil {
+		for _, e := range rec.State.Edges {
+			c.RestoreEdge(repository.ID(e.Dep), e.Item, e.Last, e.Seeded)
+		}
+	}
+	for _, b := range rec.Batches {
+		for _, u := range b {
+			r.values[id][u.Item] = u.Value
+			if c != nil {
+				c.Apply(u.Item, u.Value, node.ReplayTransport{})
+			}
+		}
+	}
+}
+
+// logDeliver appends a delivered update to the node's log and
+// group-commits it (in the unbatched resilient runner a delivery is the
+// batch boundary).
+func (r *runner) logDeliver(id repository.ID, item string, v float64) {
+	if r.logs == nil {
+		return
+	}
+	l := r.logs[id]
+	if l == nil {
+		return
+	}
+	l.Append(item, v)
+	if err := l.Commit(func() wal.State { return r.walState(id) }); err != nil && r.walErr == nil {
+		r.walErr = err
+	}
 }
 
 // sourceTick handles a changed value arriving at the source.
@@ -331,6 +494,11 @@ func (r *runner) deliver(now sim.Time, node *repository.Repository, from reposit
 		r.cfg.Observer.ObserveDeliver(now, node.ID, item, v)
 	}
 	fwd, checks := r.protocol.AtRepo(node, item, v, tag)
+	// The group commit sits after the protocol applied the update: a
+	// commit that rotates snapshots the core, which must already hold
+	// this update (the record carrying it is deleted with the old
+	// segment).
+	r.logDeliver(node.ID, item, v)
 	r.stats.RepoChecks += uint64(checks)
 	r.dispatch(now, node, item, v, fwd, checks)
 }
@@ -373,8 +541,11 @@ func (r *runner) send(depart sim.Time, from repository.ID, item string, v float6
 
 // crash takes a node down: it stops forwarding, heartbeating and
 // accepting deliveries. Its edges stay in place until neighbors detect
-// the silence.
-func (r *runner) crash(now sim.Time, id repository.ID) {
+// the silence. A kill is a process death on top of that: every byte of
+// in-memory state — values, fan-out plans, edge filter state — is gone,
+// and the node's log handle dies with the process (recovery reopens the
+// directory, exactly like a restarted binary would).
+func (r *runner) crash(now sim.Time, id repository.ID, kill bool) {
 	if !r.alive[id] {
 		return
 	}
@@ -382,16 +553,68 @@ func (r *runner) crash(now sim.Time, id repository.ID) {
 	r.dead[id] = true
 	r.crashedAt[id] = now
 	r.res.Crashes++
+	if kill {
+		r.res.Kills++
+		r.killed[id] = true
+		r.values[id] = make(map[string]float64)
+		if c := r.coreOf(id); c != nil {
+			c.WipeDurable()
+		}
+		if r.logs != nil && r.logs[id] != nil {
+			// The simulated process cannot fsync on its way out; Close here
+			// stands in for the OS reclaiming the descriptor. Committed
+			// records are already flushed, which is all recovery needs.
+			if err := r.logs[id].Close(); err != nil && r.walErr == nil {
+				r.walErr = err
+			}
+			r.logs[id] = nil
+		}
+	}
 	if r.cfg.Observer != nil {
 		r.cfg.Observer.ObserveCrash(now, id)
 	}
 }
 
-// rejoin warm-restarts a node: stale copies are kept (they were stale the
-// moment the process died), downstream edges survive for children that
-// never noticed the outage, and every upstream feed is re-established
-// through the backup machinery.
+// rejoin brings a downed node back. A plain crash warm-restarts
+// immediately: stale copies are kept (they were stale the moment the
+// process died). A killed node restarts as a fresh process: with
+// durability it first recovers from disk — reopen the log directory,
+// restore the snapshot, replay the records — and completes the rejoin
+// after the modeled recovery delay; without durability it completes at
+// once, cold, serving nothing until feeds resync (the bug this
+// machinery fixes).
 func (r *runner) rejoin(now sim.Time, id repository.ID) {
+	if r.alive[id] {
+		return
+	}
+	if r.killed[id] {
+		r.killed[id] = false
+		if r.cfg.Durability != nil {
+			l, rec, err := wal.Open(filepath.Join(r.cfg.Durability.Dir, fmt.Sprintf("repo%03d", id)), *r.cfg.Durability)
+			if err != nil {
+				if r.walErr == nil {
+					r.walErr = fmt.Errorf("resilience: repository %d recovery: %w", id, err)
+				}
+				return
+			}
+			r.logs[id] = l
+			r.restore(id, rec)
+			r.res.DiskRecoveries++
+			r.res.ReplayedRecords += len(rec.Batches)
+			delay := r.cfg.SnapshotLoad + sim.Time(len(rec.Batches))*r.cfg.ReplayPerRecord
+			r.res.ReplayTime += delay
+			// The node stays down (deliveries drop, heartbeats silent)
+			// while it replays; the rejoin completes when replay does.
+			r.engine.At(now+delay, func(t sim.Time) { r.completeRejoin(t, id) })
+			return
+		}
+	}
+	r.completeRejoin(now, id)
+}
+
+// completeRejoin finishes a restart: the node is alive again, detaches
+// from stale parents, and re-homes every feed it serves.
+func (r *runner) completeRejoin(now sim.Time, id repository.ID) {
 	if r.alive[id] {
 		return
 	}

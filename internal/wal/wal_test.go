@@ -1,0 +1,384 @@
+package wal
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// commitBatches writes batches through a fresh Log and closes it.
+func commitBatches(t *testing.T, dir string, opts Options, batches [][]Update, st State) {
+	t.Helper()
+	l, _, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	for _, b := range batches {
+		for _, u := range b {
+			l.Append(u.Item, u.Value)
+		}
+		if err := l.Commit(func() State { return st }); err != nil {
+			t.Fatalf("Commit: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	batches := [][]Update{
+		{{Item: "a", Value: 1.5}, {Item: "b", Value: -2}},
+		{{Item: "a", Value: 3}},
+		{{Item: "c", Value: math.Inf(1)}},
+	}
+	commitBatches(t, dir, Options{Fsync: PolicyNever}, batches, State{})
+
+	_, rec, err := Open(dir, Options{Fsync: PolicyNever})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if len(rec.Batches) != len(batches) {
+		t.Fatalf("replayed %d batches, want %d", len(rec.Batches), len(batches))
+	}
+	for i, b := range batches {
+		if len(rec.Batches[i]) != len(b) {
+			t.Fatalf("batch %d: %d updates, want %d", i, len(rec.Batches[i]), len(b))
+		}
+		for j, u := range b {
+			got := rec.Batches[i][j]
+			if got.Item != u.Item || math.Float64bits(got.Value) != math.Float64bits(u.Value) {
+				t.Fatalf("batch %d update %d: got %+v want %+v", i, j, got, u)
+			}
+		}
+	}
+	if rec.Updates != 4 {
+		t.Fatalf("Updates = %d, want 4", rec.Updates)
+	}
+	if rec.TornBytes != 0 {
+		t.Fatalf("TornBytes = %d on a clean log", rec.TornBytes)
+	}
+}
+
+func TestEmptyCommitWritesNothing(t *testing.T) {
+	dir := t.TempDir()
+	l, _, err := Open(dir, Options{Fsync: PolicyNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := l.Commit(func() State { t.Fatal("state requested for empty commit"); return State{} }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+	_, rec, err := Open(dir, Options{Fsync: PolicyNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Empty() {
+		t.Fatalf("empty commits left state: %+v", rec)
+	}
+}
+
+func TestSnapshotRotation(t *testing.T) {
+	dir := t.TempDir()
+	st := State{
+		Values: map[string]float64{"x": 10, "y": 20},
+		Edges:  []Edge{{Dep: 3, Item: "x", Last: 10, Seeded: true}},
+	}
+	l, _, err := Open(dir, Options{SnapshotEvery: 2, Fsync: PolicyNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ { // 2 rotations (after commits 2 and 4), 1 trailing record
+		l.Append("x", float64(i))
+		if err := l.Commit(func() State { return st }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if l.Snapshots() != 2 {
+		t.Fatalf("Snapshots() = %d, want 2", l.Snapshots())
+	}
+	if l.Seq() != 3 {
+		t.Fatalf("Seq() = %d, want 3", l.Seq())
+	}
+	l.Close()
+
+	_, rec, err := Open(dir, Options{SnapshotEvery: 2, Fsync: PolicyNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.SnapshotSeq != 3 {
+		t.Fatalf("SnapshotSeq = %d, want 3", rec.SnapshotSeq)
+	}
+	if rec.State.Values["x"] != 10 || rec.State.Values["y"] != 20 {
+		t.Fatalf("snapshot values = %v", rec.State.Values)
+	}
+	if len(rec.State.Edges) != 1 || rec.State.Edges[0] != st.Edges[0] {
+		t.Fatalf("snapshot edges = %+v", rec.State.Edges)
+	}
+	if len(rec.Batches) != 1 || rec.Batches[0][0].Value != 4 {
+		t.Fatalf("trailing batches = %+v", rec.Batches)
+	}
+	// Old segments must be gone.
+	for seq := uint64(1); seq < 3; seq++ {
+		if _, err := os.Stat(logPath(dir, seq)); !os.IsNotExist(err) {
+			t.Fatalf("stale wal-%d survived rotation", seq)
+		}
+		if _, err := os.Stat(snapPath(dir, seq)); !os.IsNotExist(err) {
+			t.Fatalf("stale snap-%d survived rotation", seq)
+		}
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	commitBatches(t, dir, Options{Fsync: PolicyNever},
+		[][]Update{{{Item: "a", Value: 1}}, {{Item: "b", Value: 2}}}, State{})
+
+	// Simulate a crash mid-commit: append half a record.
+	path := logPath(dir, 1)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := appendRecord(nil, []Update{{Item: "c", Value: 3}})
+	if _, err := f.Write(torn[:len(torn)-5]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	_, rec, err := Open(dir, Options{Fsync: PolicyNever})
+	if err != nil {
+		t.Fatalf("Open on torn log: %v", err)
+	}
+	if len(rec.Batches) != 2 {
+		t.Fatalf("replayed %d batches, want the 2 complete ones", len(rec.Batches))
+	}
+	if rec.TornBytes != int64(len(torn)-5) {
+		t.Fatalf("TornBytes = %d, want %d", rec.TornBytes, len(torn)-5)
+	}
+	// The truncation is physical: a second recovery sees a clean log.
+	_, rec2, err := Open(dir, Options{Fsync: PolicyNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.TornBytes != 0 || len(rec2.Batches) != 2 {
+		t.Fatalf("second recovery: torn=%d batches=%d", rec2.TornBytes, len(rec2.Batches))
+	}
+}
+
+func TestBitFlipStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	commitBatches(t, dir, Options{Fsync: PolicyNever},
+		[][]Update{{{Item: "a", Value: 1}}, {{Item: "bb", Value: 2}}, {{Item: "c", Value: 3}}}, State{})
+
+	path := logPath(dir, 1)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a bit inside the second record's payload (header + record 1 is
+	// 8 + 8+4+2+1+8 = 31 bytes; flip inside the next record's item).
+	data[31+8+4+2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec, err := Open(dir, Options{Fsync: PolicyNever})
+	if err != nil {
+		t.Fatalf("Open on bit-flipped log: %v", err)
+	}
+	if len(rec.Batches) != 1 || rec.Batches[0][0].Item != "a" {
+		t.Fatalf("replay past a bit flip: %+v", rec.Batches)
+	}
+	if rec.TornBytes == 0 {
+		t.Fatal("bit-flipped tail not truncated")
+	}
+}
+
+func TestCorruptSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	st := State{Values: map[string]float64{"x": 1}}
+	l, _, err := Open(dir, Options{SnapshotEvery: 1, Fsync: PolicyNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Append("x", 1)
+	if err := l.Commit(func() State { return st }); err != nil { // rotates to seq 2
+		t.Fatal(err)
+	}
+	l.Close()
+
+	// Corrupt snap-2's checksum region.
+	path := snapPath(dir, 2)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// No older snapshot survives rotation, so recovery restarts empty —
+	// but it must not error, and the directory must be writable again.
+	l2, rec, err := Open(dir, Options{SnapshotEvery: 1, Fsync: PolicyNever})
+	if err != nil {
+		t.Fatalf("Open with corrupt snapshot: %v", err)
+	}
+	if !rec.Empty() {
+		t.Fatalf("corrupt snapshot yielded state: %+v", rec)
+	}
+	l2.Append("y", 2)
+	if err := l2.Commit(func() State { return State{} }); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+}
+
+func TestInterruptedRotationSnapshotOnly(t *testing.T) {
+	// Crash window: snap-(S+1) written, wal-(S+1) not yet created.
+	dir := t.TempDir()
+	commitBatches(t, dir, Options{Fsync: PolicyNever},
+		[][]Update{{{Item: "a", Value: 1}}}, State{})
+	st := State{Values: map[string]float64{"a": 1}}
+	if err := writeSnapshot(dir, 2, st, false); err != nil {
+		t.Fatal(err)
+	}
+
+	l, rec, err := Open(dir, Options{Fsync: PolicyNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.SnapshotSeq != 2 || rec.State.Values["a"] != 1 {
+		t.Fatalf("recovered %+v, want snapshot 2", rec)
+	}
+	if len(rec.Batches) != 0 {
+		t.Fatalf("wal-1's records must not replay over snap-2: %+v", rec.Batches)
+	}
+	if l.Seq() != 2 {
+		t.Fatalf("Seq() = %d, want 2", l.Seq())
+	}
+	// wal-1 was stale and must be cleaned up.
+	if _, err := os.Stat(logPath(dir, 1)); !os.IsNotExist(err) {
+		t.Fatal("stale wal-1 survived recovery")
+	}
+	l.Close()
+}
+
+func TestFreshDirTmpSnapshotIgnored(t *testing.T) {
+	// Crash window: snapshot temp file written but never renamed.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "snap-00000002.snap.tmp"), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := Open(dir, Options{Fsync: PolicyNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Empty() {
+		t.Fatalf("temp snapshot recovered as state: %+v", rec)
+	}
+}
+
+func TestSnapshotBytesDeterministic(t *testing.T) {
+	st := State{
+		Values: map[string]float64{"b": 2, "a": 1, "c": 3},
+		Edges: []Edge{
+			{Dep: 2, Item: "b", Last: 2, Seeded: true},
+			{Dep: 1, Item: "a", Last: 1},
+			{Dep: 1, Item: "b", Last: 2, Seeded: true},
+		},
+	}
+	d1, d2 := t.TempDir(), t.TempDir()
+	if err := writeSnapshot(d1, 1, st, false); err != nil {
+		t.Fatal(err)
+	}
+	// Same state, different map iteration / edge order.
+	st2 := State{
+		Values: map[string]float64{"c": 3, "a": 1, "b": 2},
+		Edges: []Edge{
+			{Dep: 1, Item: "b", Last: 2, Seeded: true},
+			{Dep: 2, Item: "b", Last: 2, Seeded: true},
+			{Dep: 1, Item: "a", Last: 1},
+		},
+	}
+	if err := writeSnapshot(d2, 1, st2, false); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := os.ReadFile(snapPath(d1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := os.ReadFile(snapPath(d2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("equal states produced different snapshot bytes")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, ok := range []string{"", "batch", "always", "never"} {
+		if _, err := ParsePolicy(ok); err != nil {
+			t.Errorf("ParsePolicy(%q): %v", ok, err)
+		}
+	}
+	if _, err := ParsePolicy("sync"); err == nil {
+		t.Error("ParsePolicy accepted an unknown policy")
+	}
+	if p, _ := ParsePolicy(""); p != PolicyBatch {
+		t.Errorf("empty policy resolved to %q, want batch", p)
+	}
+}
+
+func TestFsyncAlways(t *testing.T) {
+	dir := t.TempDir()
+	commitBatches(t, dir, Options{Fsync: PolicyAlways},
+		[][]Update{{{Item: "a", Value: 1}}}, State{})
+	_, rec, err := Open(dir, Options{Fsync: PolicyAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Batches) != 1 {
+		t.Fatalf("batches = %d, want 1", len(rec.Batches))
+	}
+}
+
+func TestOpenRequiresDir(t *testing.T) {
+	if _, _, err := Open("", Options{}); err == nil {
+		t.Fatal("Open accepted an empty dir")
+	}
+}
+
+func TestBadHeaderSegmentRestarts(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(logPath(dir, 1), []byte("not a wal file at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, rec, err := Open(dir, Options{Fsync: PolicyNever})
+	if err != nil {
+		t.Fatalf("Open on foreign file: %v", err)
+	}
+	if !rec.Empty() {
+		t.Fatalf("foreign file recovered as state: %+v", rec)
+	}
+	l.Append("a", 1)
+	if err := l.Commit(func() State { return State{} }); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	_, rec2, err := Open(dir, Options{Fsync: PolicyNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec2.Batches) != 1 {
+		t.Fatalf("restarted segment lost its record: %+v", rec2)
+	}
+}

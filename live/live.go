@@ -28,3 +28,13 @@ type (
 func NewCluster(o *d3t.Overlay, opts Options) *Cluster {
 	return ilive.NewCluster(o, opts)
 }
+
+// NewDurableCluster builds (but does not start) a live cluster whose
+// per-shard cores are backed by write-ahead logs under
+// opts.Durability.Dir, recovering whatever state those directories
+// already hold — a cluster rebuilt over the same directories resumes
+// with its exact pre-crash values and edge filter state instead of
+// rejoining cold.
+func NewDurableCluster(o *d3t.Overlay, opts Options) (*Cluster, error) {
+	return ilive.NewDurableCluster(o, opts)
+}
